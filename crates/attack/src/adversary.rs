@@ -1,0 +1,212 @@
+//! The adversary: orchestrating BCM/BPM against whole auctions.
+//!
+//! The attacker is the curious-but-honest auctioneer (or an
+//! eavesdropper). Its knowledge is the public spectrum database — every
+//! channel's availability region and per-cell quality statistics — plus
+//! whatever the submissions reveal:
+//!
+//! * against the **plaintext** auction it reads bid vectors directly and
+//!   runs BCM then BPM per victim;
+//! * against **LPPA** it sees only per-channel masked bids. Within one
+//!   channel the masked comparisons still yield a total order, so the
+//!   best it can do is attribute each channel to the bidders ranked in
+//!   the top slice of that channel's column and run BCM on the
+//!   attribution. Cross-channel magnitudes are hidden (per-channel HMAC
+//!   keys), so BPM is structurally impossible — exactly the paper's
+//!   claim.
+
+use lppa_auction::bidder::{BidTable, BidderId};
+use lppa_spectrum::geo::CellSet;
+use lppa_spectrum::{ChannelId, SpectrumMap};
+
+use crate::bcm::bcm_attack;
+use crate::bpm::{bpm_attack, BpmConfig, BpmResult};
+
+/// Attack of one victim of a plaintext auction: BCM alone.
+pub fn bcm_on_plain_bids(map: &SpectrumMap, table: &BidTable, victim: BidderId) -> CellSet {
+    bcm_attack(map, &table.positive_channels(victim))
+}
+
+/// Attack of one victim of a plaintext auction: BCM then BPM.
+pub fn bpm_on_plain_bids(
+    map: &SpectrumMap,
+    table: &BidTable,
+    victim: BidderId,
+    config: &BpmConfig,
+) -> BpmResult {
+    let channels = table.positive_channels(victim);
+    let candidates = bcm_attack(map, &channels);
+    let bids: Vec<(ChannelId, u32)> =
+        channels.iter().map(|&ch| (ch, table.bid(victim, ch))).collect();
+    bpm_attack(map, &candidates, &bids, config)
+}
+
+/// What the auctioneer can reconstruct from an LPPA-masked bid table: for
+/// every channel, the bidders ordered by descending masked bid.
+///
+/// The `lppa` crate produces this via prefix-membership comparisons; any
+/// test can fabricate one directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelRankings {
+    rankings: Vec<Vec<BidderId>>,
+    n_bidders: usize,
+}
+
+impl ChannelRankings {
+    /// Wraps per-channel descending rankings over `n_bidders` bidders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ranking mentions an out-of-range bidder.
+    pub fn new(rankings: Vec<Vec<BidderId>>, n_bidders: usize) -> Self {
+        for ranking in &rankings {
+            assert!(
+                ranking.iter().all(|b| b.0 < n_bidders),
+                "ranking mentions unknown bidder"
+            );
+        }
+        Self { rankings, n_bidders }
+    }
+
+    /// Number of channels.
+    pub fn n_channels(&self) -> usize {
+        self.rankings.len()
+    }
+
+    /// Number of bidders.
+    pub fn n_bidders(&self) -> usize {
+        self.n_bidders
+    }
+
+    /// The descending ranking for `channel`.
+    pub fn ranking(&self, channel: ChannelId) -> &[BidderId] {
+        &self.rankings[channel.0]
+    }
+
+    /// Attributes each channel to the top `fraction` of its column: the
+    /// attacker assumes those bidders find the channel available.
+    ///
+    /// Returns, per bidder, the attributed channel list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1]`.
+    pub fn attribute_top(&self, fraction: f64) -> Vec<Vec<ChannelId>> {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let mut per_bidder: Vec<Vec<ChannelId>> = vec![Vec::new(); self.n_bidders];
+        for (ch, ranking) in self.rankings.iter().enumerate() {
+            let take = ((ranking.len() as f64) * fraction).ceil() as usize;
+            for &bidder in ranking.iter().take(take) {
+                per_bidder[bidder.0].push(ChannelId(ch));
+            }
+        }
+        per_bidder
+    }
+}
+
+/// BCM against an LPPA victim using top-`fraction` channel attribution.
+pub fn bcm_on_masked_rankings(
+    map: &SpectrumMap,
+    rankings: &ChannelRankings,
+    victim: BidderId,
+    fraction: f64,
+) -> CellSet {
+    let attributed = rankings.attribute_top(fraction);
+    bcm_attack(map, &attributed[victim.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_auction::bidder::{generate_bidders, BidModel};
+    use lppa_spectrum::area::AreaProfile;
+    use lppa_spectrum::geo::GridSpec;
+    use lppa_spectrum::synth::SyntheticMapBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area4())
+            .grid(GridSpec::new(50, 50, 75.0))
+            .channels(30)
+            .seed(31)
+            .build()
+    }
+
+    #[test]
+    fn plain_attack_pipeline_localizes_victims() {
+        let map = map();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = BidModel::default();
+        let bidders = generate_bidders(&map, 20, &model, &mut rng);
+        let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+
+        let mut bcm_total = 0usize;
+        let mut bpm_total = 0usize;
+        let mut victims = 0usize;
+        for b in &bidders {
+            if table.positive_channels(b.id).len() < 3 {
+                continue;
+            }
+            victims += 1;
+            let bcm = bcm_on_plain_bids(&map, &table, b.id);
+            assert!(bcm.contains(b.cell), "BCM must be sound for truthful bids");
+            let bpm = bpm_on_plain_bids(&map, &table, b.id, &BpmConfig::fraction(0.5));
+            assert!(bpm.possible.len() <= bcm.len());
+            bcm_total += bcm.len();
+            bpm_total += bpm.possible.len();
+        }
+        assert!(victims > 5, "not enough usable victims in fixture");
+        assert!(bpm_total * 3 < bcm_total * 2, "BPM should shrink the set substantially");
+    }
+
+    #[test]
+    fn rankings_attribution_shapes() {
+        let rankings = ChannelRankings::new(
+            vec![
+                vec![BidderId(2), BidderId(0), BidderId(1)],
+                vec![BidderId(1)],
+                vec![],
+            ],
+            3,
+        );
+        assert_eq!(rankings.n_channels(), 3);
+        let top_half = rankings.attribute_top(0.5);
+        // Channel 0: ceil(3*0.5)=2 → bidders 2 and 0. Channel 1: bidder 1.
+        assert_eq!(top_half[0], vec![ChannelId(0)]);
+        assert_eq!(top_half[1], vec![ChannelId(1)]);
+        assert_eq!(top_half[2], vec![ChannelId(0)]);
+        let all = rankings.attribute_top(1.0);
+        assert_eq!(all[1], vec![ChannelId(0), ChannelId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bidder")]
+    fn rankings_validate_bidder_ids() {
+        ChannelRankings::new(vec![vec![BidderId(5)]], 3);
+    }
+
+    #[test]
+    fn masked_bcm_uses_attributed_channels_only() {
+        let map = map();
+        // Fabricate a ranking where the victim tops channel 0 only.
+        let n = 4;
+        let rankings = ChannelRankings::new(
+            vec![
+                vec![BidderId(0), BidderId(1), BidderId(2), BidderId(3)],
+                vec![BidderId(1), BidderId(2), BidderId(3), BidderId(0)],
+            ],
+            n,
+        );
+        let possible = bcm_on_masked_rankings(&map, &rankings, BidderId(0), 0.25);
+        // Victim attributed channel 0 only → P = C_0.
+        assert_eq!(possible.len(), map.availability(ChannelId(0)).len());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let rankings = ChannelRankings::new(vec![], 0);
+        rankings.attribute_top(1.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Bid-Channels-Mining (BCM) attack — Algorithm 1 of the paper.
+//!
+//! A bidder only bids on channels that are available at its location, so
+//! every positive bid places the bidder inside that channel's
+//! availability region `C_r` (the complement of the PU's protected
+//! coverage). Intersecting the regions of all positively-bid channels
+//! shrinks the possible-position set, often dramatically when the bidder
+//! has many available channels.
+
+use lppa_spectrum::geo::CellSet;
+use lppa_spectrum::{ChannelId, SpectrumMap};
+
+/// Runs the BCM attack given the channels a victim revealed positive
+/// bids on.
+///
+/// Returns the possible-location set `P = A ∩ (⋂_r C_r)`. With no
+/// revealed channels the attacker learns nothing and `P` is the whole
+/// area.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_attack::bcm::bcm_attack;
+/// use lppa_spectrum::area::AreaProfile;
+/// use lppa_spectrum::synth::SyntheticMapBuilder;
+/// use lppa_spectrum::geo::Cell;
+///
+/// let map = SyntheticMapBuilder::new(AreaProfile::area4())
+///     .channels(16).seed(1).build();
+/// let victim = Cell::new(40, 40);
+/// let revealed = map.available_channels(victim);
+/// let possible = bcm_attack(&map, &revealed);
+/// assert!(possible.contains(victim)); // sound: truth always inside
+/// ```
+pub fn bcm_attack(map: &SpectrumMap, positive_channels: &[ChannelId]) -> CellSet {
+    let mut possible = CellSet::full(map.grid());
+    for &ch in positive_channels {
+        possible.intersect_with(map.availability(ch));
+    }
+    possible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_spectrum::area::AreaProfile;
+    use lppa_spectrum::geo::{Cell, GridSpec};
+    use lppa_spectrum::synth::SyntheticMapBuilder;
+
+    fn map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area4())
+            .grid(GridSpec::new(50, 50, 75.0))
+            .channels(40)
+            .seed(13)
+            .build()
+    }
+
+    #[test]
+    fn no_channels_means_no_information() {
+        let map = map();
+        let possible = bcm_attack(&map, &[]);
+        assert_eq!(possible.len(), map.grid().cell_count());
+    }
+
+    #[test]
+    fn truthful_bids_keep_the_victim_inside() {
+        // Soundness: when the revealed set is the victim's true available
+        // set, the attack never excludes the true cell.
+        let map = map();
+        for cell in [Cell::new(0, 0), Cell::new(25, 25), Cell::new(49, 12)] {
+            let revealed = map.available_channels(cell);
+            let possible = bcm_attack(&map, &revealed);
+            assert!(possible.contains(cell), "victim at {cell} escaped its own set");
+        }
+    }
+
+    #[test]
+    fn more_channels_monotonically_shrink_the_set() {
+        let map = map();
+        let victim = Cell::new(30, 30);
+        let revealed = map.available_channels(victim);
+        let mut prev = map.grid().cell_count();
+        for take in [1, revealed.len() / 2, revealed.len()] {
+            if take == 0 {
+                continue;
+            }
+            let possible = bcm_attack(&map, &revealed[..take]);
+            assert!(possible.len() <= prev, "intersection grew");
+            prev = possible.len();
+        }
+    }
+
+    #[test]
+    fn attack_narrows_substantially_with_many_channels() {
+        // The headline effect (Fig. 4a): with tens of channels the
+        // possible set collapses from the full grid to a small region.
+        let map = map();
+        let total = map.grid().cell_count();
+        let mut narrowed = 0usize;
+        let mut victims = 0usize;
+        for (i, cell) in map.grid().iter().enumerate() {
+            if i % 97 != 0 {
+                continue; // sample a few victims
+            }
+            let revealed = map.available_channels(cell);
+            if revealed.len() < 5 {
+                continue;
+            }
+            victims += 1;
+            let possible = bcm_attack(&map, &revealed);
+            if possible.len() < total / 4 {
+                narrowed += 1;
+            }
+        }
+        assert!(victims > 0);
+        assert!(
+            narrowed * 2 >= victims,
+            "attack too weak: narrowed {narrowed}/{victims}"
+        );
+    }
+
+    #[test]
+    fn forged_channels_can_evict_the_victim() {
+        // Completeness of the defence argument: if a victim's revealed
+        // set contains a channel NOT available at its location (as LPPA's
+        // zero-replacement forges), the intersection may exclude it.
+        let map = map();
+        let victim = Cell::new(10, 10);
+        let unavailable: Vec<ChannelId> = map
+            .channel_ids()
+            .filter(|&ch| !map.is_available(ch, victim))
+            .take(3)
+            .collect();
+        if unavailable.is_empty() {
+            return; // seed produced full availability; nothing to test
+        }
+        let possible = bcm_attack(&map, &unavailable);
+        assert!(!possible.contains(victim));
+    }
+}

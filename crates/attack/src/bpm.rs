@@ -1,0 +1,246 @@
+//! The Bid-Price-Mining (BPM) attack — Algorithm 2 of the paper.
+//!
+//! Truthful bids track channel quality, and channel quality varies with
+//! location. The attacker normalizes the victim's bid vector by its
+//! maximum to obtain an estimated quality profile, compares it with the
+//! ground-truth per-cell quality statistics from a geo-location database,
+//! and keeps the cells with the smallest squared distance `dq`.
+//!
+//! Because spectrum sensing is noisy, the attacker keeps several
+//! least-`dq` cells rather than only the minimum: a fraction of the BCM
+//! output, optionally capped by an absolute threshold (§VI.B).
+
+use lppa_spectrum::geo::{Cell, CellSet};
+use lppa_spectrum::ChannelId;
+
+use crate::knowledge::QualityDatabase;
+
+/// Selection policy for the BPM attack's output cells.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BpmConfig {
+    /// Fraction of the candidate cells to keep (1.0 keeps all — the BCM
+    /// output; 0.5 keeps the best half, and so on). At least one cell is
+    /// always kept if any candidate exists.
+    pub keep_fraction: f64,
+    /// Absolute cap on the number of kept cells (the paper's
+    /// "threshold", e.g. 250), applied after the fraction.
+    pub max_cells: Option<usize>,
+}
+
+impl Default for BpmConfig {
+    fn default() -> Self {
+        Self { keep_fraction: 0.5, max_cells: None }
+    }
+}
+
+impl BpmConfig {
+    /// Keeps the given fraction with no absolute cap.
+    pub fn fraction(keep_fraction: f64) -> Self {
+        Self { keep_fraction, max_cells: None }
+    }
+
+    /// Number of cells to keep out of `candidates`.
+    fn target(&self, candidates: usize) -> usize {
+        let by_fraction = ((candidates as f64) * self.keep_fraction).ceil() as usize;
+        let capped = match self.max_cells {
+            Some(cap) => by_fraction.min(cap),
+            None => by_fraction,
+        };
+        capped.clamp(usize::from(candidates > 0), candidates.max(1))
+    }
+}
+
+/// Output of the BPM attack: the kept cells ranked by distance.
+#[derive(Clone, Debug)]
+pub struct BpmResult {
+    /// Kept cells with their `dq` values, ascending.
+    pub ranked: Vec<(Cell, f64)>,
+    /// The kept cells as a set.
+    pub possible: CellSet,
+}
+
+/// Runs the BPM attack.
+///
+/// * `map` — the attacker's quality database (the true
+///   [`lppa_spectrum::SpectrumMap`] in the paper's model, or a
+///   [`crate::knowledge::NoisyDatabase`] for imperfect knowledge);
+/// * `possible` — the candidate set (normally the BCM output; pass
+///   [`CellSet::full`] for the paper's "without our basic attack"
+///   whole-area variant);
+/// * `bids` — the victim's positive bids `(channel, price)`; channels
+///   with zero bids must be omitted (they are not in `AS(i)`).
+///
+/// Returns the kept cells ranked by the quality-profile distance `dq`.
+/// With no positive bids the attack degenerates to the candidate set.
+///
+/// # Panics
+///
+/// Panics if `keep_fraction` is not within `(0, 1]`.
+pub fn bpm_attack<D: QualityDatabase>(
+    map: &D,
+    possible: &CellSet,
+    bids: &[(ChannelId, u32)],
+    config: &BpmConfig,
+) -> BpmResult {
+    assert!(
+        config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
+        "keep_fraction must be in (0, 1]"
+    );
+
+    // Estimated quality profile: q̂_r = b_r / b_max (Eq. 1).
+    let &(r_max, b_max) = match bids.iter().max_by_key(|&&(_, b)| b) {
+        Some(best) if best.1 > 0 => best,
+        _ => {
+            // No price information: the attacker keeps the whole
+            // candidate set.
+            let ranked = possible.iter().map(|c| (c, 0.0)).collect();
+            return BpmResult { ranked, possible: possible.clone() };
+        }
+    };
+    let estimated: Vec<(ChannelId, f64)> = bids
+        .iter()
+        .map(|&(ch, b)| (ch, f64::from(b) / f64::from(b_max)))
+        .collect();
+
+    // Score every candidate cell (Eq. 2), normalizing the ground truth by
+    // the quality of the victim's best channel in that cell.
+    let mut scored: Vec<(Cell, f64)> = possible
+        .iter()
+        .map(|cell| {
+            let q_ref = map.quality(r_max, cell).max(f64::EPSILON);
+            let dq = estimated
+                .iter()
+                .map(|&(ch, q_hat)| {
+                    let q_norm = map.quality(ch, cell) / q_ref;
+                    (q_hat - q_norm).powi(2)
+                })
+                .sum::<f64>();
+            (cell, dq)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    let keep = config.target(scored.len()).min(scored.len());
+    scored.truncate(keep);
+
+    let mut kept_set = CellSet::empty(possible.grid());
+    kept_set.extend(scored.iter().map(|&(c, _)| c));
+    BpmResult { ranked: scored, possible: kept_set }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_spectrum::SpectrumMap;
+    use lppa_spectrum::area::AreaProfile;
+    use lppa_spectrum::geo::GridSpec;
+    use lppa_spectrum::synth::SyntheticMapBuilder;
+
+    use crate::bcm::bcm_attack;
+
+    fn map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area4())
+            .grid(GridSpec::new(50, 50, 75.0))
+            .channels(40)
+            .seed(23)
+            .build()
+    }
+
+    /// Noise-free truthful bids at `cell`: b_r = q_r * 100.
+    fn ideal_bids(map: &SpectrumMap, cell: Cell) -> Vec<(ChannelId, u32)> {
+        map.available_channels(cell)
+            .into_iter()
+            .map(|ch| (ch, (map.quality(ch, cell) * 100.0).round() as u32))
+            .filter(|&(_, b)| b > 0)
+            .collect()
+    }
+
+    #[test]
+    fn ideal_bids_rank_the_true_cell_highly() {
+        let map = map();
+        let victim = Cell::new(35, 20);
+        let bids = ideal_bids(&map, victim);
+        assert!(bids.len() >= 3, "victim needs several channels for the test");
+        let candidates = bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+        let result = bpm_attack(&map, &candidates, &bids, &BpmConfig::fraction(0.25));
+        assert!(
+            result.possible.contains(victim),
+            "true cell dropped from top quarter ({} candidates)",
+            candidates.len()
+        );
+        // And the refinement is strictly smaller than the BCM output.
+        assert!(result.possible.len() < candidates.len() || candidates.len() <= 1);
+    }
+
+    #[test]
+    fn smaller_fraction_keeps_fewer_cells() {
+        let map = map();
+        let victim = Cell::new(10, 40);
+        let bids = ideal_bids(&map, victim);
+        let candidates =
+            bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+        let mut last = usize::MAX;
+        for frac in [1.0, 0.5, 0.2, 0.05] {
+            let result = bpm_attack(&map, &candidates, &bids, &BpmConfig::fraction(frac));
+            assert!(result.possible.len() <= last);
+            last = result.possible.len();
+        }
+    }
+
+    #[test]
+    fn cap_limits_output_size() {
+        let map = map();
+        let victim = Cell::new(25, 25);
+        let bids = ideal_bids(&map, victim);
+        let candidates =
+            bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+        let config = BpmConfig { keep_fraction: 1.0, max_cells: Some(7) };
+        let result = bpm_attack(&map, &candidates, &bids, &config);
+        assert!(result.possible.len() <= 7);
+    }
+
+    #[test]
+    fn ranked_output_is_ascending_in_dq() {
+        let map = map();
+        let victim = Cell::new(40, 8);
+        let bids = ideal_bids(&map, victim);
+        let candidates =
+            bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+        let result = bpm_attack(&map, &candidates, &bids, &BpmConfig::fraction(1.0));
+        for pair in result.ranked.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(result.ranked.len(), result.possible.len());
+    }
+
+    #[test]
+    fn no_positive_bids_returns_candidates_unchanged() {
+        let map = map();
+        let candidates = CellSet::from_predicate(map.grid(), |c| c.row < 5);
+        let result = bpm_attack(&map, &candidates, &[], &BpmConfig::default());
+        assert_eq!(result.possible, candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn zero_fraction_panics() {
+        let map = map();
+        let candidates = CellSet::full(map.grid());
+        bpm_attack(&map, &candidates, &[(ChannelId(0), 5)], &BpmConfig::fraction(0.0));
+    }
+
+    #[test]
+    fn at_least_one_cell_kept_when_candidates_exist() {
+        let map = map();
+        let mut candidates = CellSet::empty(map.grid());
+        candidates.insert(Cell::new(1, 1));
+        candidates.insert(Cell::new(2, 2));
+        let result = bpm_attack(
+            &map,
+            &candidates,
+            &[(ChannelId(0), 10)],
+            &BpmConfig::fraction(0.001),
+        );
+        assert_eq!(result.possible.len(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Residual leakage through the conflict graph.
+//!
+//! PPBS hides coordinates, but the auctioneer *must* end up knowing the
+//! conflict graph — that is the protocol's functionality. The graph
+//! itself is location information: an edge means two bidders are within
+//! `2λ` of each other on both axes, a non-edge means they are not. An
+//! attacker holding **side information** about a few bidders' positions
+//! (public base stations, self-disclosed users, or victims it localized
+//! with BCM in an earlier round) can propagate it through the edges:
+//! every neighbour of a known bidder lies inside a small box around it.
+//!
+//! The paper does not analyse this channel; quantifying it here shows
+//! what the scheme inherently concedes — an edge localizes a bidder to
+//! `(4λ−1)²` cells around a known neighbour, and non-edges carve away
+//! further area.
+
+use lppa_auction::bidder::{BidderId, Location};
+use lppa_auction::conflict::ConflictGraph;
+use lppa_spectrum::geo::{CellSet, GridSpec};
+
+/// The `|Δx| < 2λ ∧ |Δy| < 2λ` box around a known location, as a cell
+/// set (one location unit = one cell).
+fn conflict_box(grid: &GridSpec, center: Location, lambda: u32) -> CellSet {
+    let reach = 2 * lambda - 1;
+    CellSet::from_predicate(grid, |cell| {
+        let loc = Location::from_cell(cell);
+        loc.x.abs_diff(center.x) <= reach && loc.y.abs_diff(center.y) <= reach
+    })
+}
+
+/// Infers possible-location sets for every bidder from the conflict
+/// graph plus side information about some bidders' true locations.
+///
+/// For each unknown bidder the attacker intersects the conflict boxes of
+/// its *known* neighbours and removes the boxes of known non-neighbours.
+/// Bidders with no known neighbour keep only the non-edge exclusions.
+///
+/// Returns one possible set per bidder; known bidders get singleton
+/// sets.
+///
+/// # Panics
+///
+/// Panics if a known id is out of range for the graph.
+pub fn infer_from_conflicts(
+    grid: &GridSpec,
+    conflicts: &ConflictGraph,
+    known: &[(BidderId, Location)],
+    lambda: u32,
+) -> Vec<CellSet> {
+    let n = conflicts.len();
+    let mut result: Vec<CellSet> = (0..n).map(|_| CellSet::full(grid)).collect();
+
+    for &(id, loc) in known {
+        let mut singleton = CellSet::empty(grid);
+        singleton.insert(loc.to_cell());
+        result[id.0] = singleton;
+    }
+
+    let known_ids: Vec<(BidderId, Location)> = known.to_vec();
+    for target in (0..n).map(BidderId) {
+        if known_ids.iter().any(|&(id, _)| id == target) {
+            continue;
+        }
+        for &(anchor, loc) in &known_ids {
+            let the_box = conflict_box(grid, loc, lambda);
+            if conflicts.are_conflicting(target, anchor) {
+                result[target.0].intersect_with(&the_box);
+            } else {
+                result[target.0].intersect_with(&the_box.complement());
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(50, 50, 37.5)
+    }
+
+    #[test]
+    fn conflict_box_matches_predicate() {
+        let grid = grid();
+        let center = Location::new(25, 25);
+        let lambda = 3;
+        let the_box = conflict_box(&grid, center, lambda);
+        for cell in grid.iter() {
+            let loc = Location::from_cell(cell);
+            assert_eq!(the_box.contains(cell), loc.conflicts_with(&center, lambda), "{cell}");
+        }
+        // Box size is (4λ−1)² when away from edges.
+        assert_eq!(the_box.len(), (4 * lambda as usize - 1).pow(2));
+    }
+
+    #[test]
+    fn one_known_neighbor_localizes_to_its_box() {
+        let grid = grid();
+        let lambda = 3;
+        let locations =
+            [Location::new(20, 20), Location::new(22, 21), Location::new(40, 5)];
+        let conflicts = ConflictGraph::from_locations(&locations, lambda);
+        let inferred = infer_from_conflicts(
+            &grid,
+            &conflicts,
+            &[(BidderId(0), locations[0])],
+            lambda,
+        );
+        // Bidder 1 conflicts with known bidder 0 → confined to 0's box.
+        assert!(inferred[1].len() <= (4 * lambda as usize - 1).pow(2));
+        assert!(inferred[1].contains(locations[1].to_cell()), "truth must stay inside");
+        // Bidder 2 does not conflict → excluded from the box but keeps
+        // the rest of the grid.
+        assert!(!inferred[2].contains(locations[0].to_cell()));
+        assert!(inferred[2].contains(locations[2].to_cell()));
+        assert!(inferred[2].len() > inferred[1].len());
+        // Known bidder collapses to its own cell.
+        assert_eq!(inferred[0].len(), 1);
+    }
+
+    #[test]
+    fn multiple_anchors_intersect() {
+        let grid = grid();
+        let lambda = 4;
+        // Victim conflicts with two anchors whose boxes overlap only in a
+        // corner.
+        let victim = Location::new(25, 25);
+        let a = Location::new(20, 20);
+        let b = Location::new(30, 30);
+        let locations = [a, b, victim];
+        let conflicts = ConflictGraph::from_locations(&locations, lambda);
+        assert!(conflicts.are_conflicting(BidderId(2), BidderId(0)));
+        assert!(conflicts.are_conflicting(BidderId(2), BidderId(1)));
+        let inferred = infer_from_conflicts(
+            &grid,
+            &conflicts,
+            &[(BidderId(0), a), (BidderId(1), b)],
+            lambda,
+        );
+        let single_box = conflict_box(&grid, a, lambda);
+        assert!(inferred[2].len() < single_box.len(), "two anchors must beat one");
+        assert!(inferred[2].contains(victim.to_cell()));
+    }
+
+    #[test]
+    fn no_side_information_means_no_leakage() {
+        let grid = grid();
+        let lambda = 3;
+        let locations = [Location::new(10, 10), Location::new(11, 11)];
+        let conflicts = ConflictGraph::from_locations(&locations, lambda);
+        let inferred = infer_from_conflicts(&grid, &conflicts, &[], lambda);
+        for set in &inferred {
+            assert_eq!(set.len(), grid.cell_count());
+        }
+    }
+
+    #[test]
+    fn inference_is_always_sound() {
+        // The true location is never excluded, whatever the topology.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let grid = grid();
+        let lambda = 2;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let locations: Vec<Location> = (0..12)
+                .map(|_| Location::new(rng.gen_range(0..50), rng.gen_range(0..50)))
+                .collect();
+            let conflicts = ConflictGraph::from_locations(&locations, lambda);
+            let known: Vec<(BidderId, Location)> =
+                (0..3).map(|i| (BidderId(i), locations[i])).collect();
+            let inferred = infer_from_conflicts(&grid, &conflicts, &known, lambda);
+            for (i, set) in inferred.iter().enumerate() {
+                assert!(
+                    set.contains(locations[i].to_cell()),
+                    "bidder {i} excluded from its own inferred set"
+                );
+            }
+        }
+    }
+}

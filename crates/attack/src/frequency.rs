@@ -1,0 +1,106 @@
+//! Frequency analysis of masked bid tables (§IV.C.1 of the paper).
+//!
+//! The *basic* bid-submission scheme masks equal plaintexts to equal tag
+//! sets. Since zero is by far the most common bid ("the number of zero
+//! bid price is much larger than the amount of other values"), the
+//! auctioneer can fingerprint every cell, take the modal fingerprint as
+//! "zero", and read off each bidder's available channel set — feeding
+//! straight into BCM. This module implements that attack generically
+//! over any per-cell fingerprint; the advanced scheme defeats it by
+//! making every fingerprint unique.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use lppa_spectrum::ChannelId;
+
+/// Result of the frequency attack on one masked table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequencyAttackResult {
+    /// Per bidder: channels whose fingerprint differs from the inferred
+    /// zero fingerprint (the attacker's reconstruction of `AS(i)`).
+    pub attributed: Vec<Vec<ChannelId>>,
+    /// How many cells matched the inferred zero fingerprint, per channel
+    /// — a confidence signal (a modal group of size 1 means the attack
+    /// found nothing).
+    pub zero_group_sizes: Vec<usize>,
+}
+
+/// Runs the frequency attack.
+///
+/// `fingerprints[bidder][channel]` is any equality-preserving digest of
+/// the masked cell (e.g. `MaskedPoint::fingerprint`). For each channel
+/// the modal fingerprint is declared "zero"; every bidder with a
+/// different fingerprint is assumed to find the channel available.
+///
+/// # Panics
+///
+/// Panics if the rows are ragged or empty.
+pub fn frequency_attack<F: Eq + Hash + Copy>(
+    fingerprints: &[Vec<F>],
+) -> FrequencyAttackResult {
+    let n = fingerprints.len();
+    assert!(n > 0, "need at least one bidder");
+    let k = fingerprints[0].len();
+    assert!(
+        fingerprints.iter().all(|row| row.len() == k),
+        "ragged fingerprint table"
+    );
+
+    let mut attributed: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+    let mut zero_group_sizes = Vec::with_capacity(k);
+    for ch in 0..k {
+        let mut counts: HashMap<F, usize> = HashMap::new();
+        for row in fingerprints {
+            *counts.entry(row[ch]).or_insert(0) += 1;
+        }
+        let (&zero_fp, &size) =
+            counts.iter().max_by_key(|&(_, &c)| c).expect("non-empty column");
+        zero_group_sizes.push(size);
+        for (bidder, row) in fingerprints.iter().enumerate() {
+            if row[ch] != zero_fp {
+                attributed[bidder].push(ChannelId(ch));
+            }
+        }
+    }
+    FrequencyAttackResult { attributed, zero_group_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_availability_when_zeros_collide() {
+        // Model of the basic scheme: fingerprint = plaintext bid. Three
+        // bidders, bids with many zeros.
+        let table = vec![
+            vec![0u32, 5, 0],
+            vec![0, 0, 7],
+            vec![3, 0, 0],
+            vec![0, 0, 0],
+        ];
+        let result = frequency_attack(&table);
+        assert_eq!(result.attributed[0], vec![ChannelId(1)]);
+        assert_eq!(result.attributed[1], vec![ChannelId(2)]);
+        assert_eq!(result.attributed[2], vec![ChannelId(0)]);
+        assert!(result.attributed[3].is_empty());
+        assert_eq!(result.zero_group_sizes, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn unique_fingerprints_defeat_the_attack() {
+        // Model of the advanced scheme: every cell fingerprint distinct.
+        let table: Vec<Vec<u32>> =
+            (0..4).map(|i| (0..3).map(|j| i * 10 + j).collect()).collect();
+        let result = frequency_attack(&table);
+        // Modal groups are singletons — the attacker has no signal.
+        assert!(result.zero_group_sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_table_panics() {
+        frequency_attack(&[vec![1u32, 2], vec![3]]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Attacker knowledge models.
+//!
+//! The BPM attacker needs per-cell channel-quality statistics, which the
+//! paper assumes it obtains "from a geo-location database". In practice
+//! that database never matches the victims' own spectrum sensing
+//! exactly; this module abstracts the attacker's quality knowledge as a
+//! trait and provides a deterministic noisy wrapper so experiments can
+//! measure how BPM degrades with database error — the effect that
+//! motivates the paper's multi-cell BPM output.
+
+use lppa_spectrum::geo::Cell;
+use lppa_spectrum::{ChannelId, SpectrumMap};
+
+/// The attacker's source of ground-truth quality statistics
+/// `q*_r(m, n)`.
+pub trait QualityDatabase {
+    /// Quality of `channel` at `cell`, in `[0, 1]`.
+    fn quality(&self, channel: ChannelId, cell: Cell) -> f64;
+}
+
+/// A perfect database: the actual map (the paper's assumption).
+impl QualityDatabase for SpectrumMap {
+    fn quality(&self, channel: ChannelId, cell: Cell) -> f64 {
+        SpectrumMap::quality(self, channel, cell)
+    }
+}
+
+/// A database whose entries carry deterministic, zero-mean error.
+///
+/// The noise is a pure function of `(seed, channel, cell)`, so repeated
+/// queries are consistent — the attacker has a *wrong* database, not a
+/// flickering one.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_attack::knowledge::{NoisyDatabase, QualityDatabase};
+/// use lppa_spectrum::area::AreaProfile;
+/// use lppa_spectrum::geo::Cell;
+/// use lppa_spectrum::synth::SyntheticMapBuilder;
+/// use lppa_spectrum::ChannelId;
+///
+/// let map = SyntheticMapBuilder::new(AreaProfile::area4())
+///     .channels(4).seed(1).build();
+/// let noisy = NoisyDatabase::new(&map, 0.1, 7);
+/// let q = noisy.quality(ChannelId(0), Cell::new(3, 3));
+/// assert!((0.0..=1.0).contains(&q));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NoisyDatabase<'a> {
+    map: &'a SpectrumMap,
+    sigma: f64,
+    seed: u64,
+}
+
+impl<'a> NoisyDatabase<'a> {
+    /// Wraps `map` with noise of standard deviation `sigma` (in quality
+    /// units, i.e. fractions of the `[0, 1]` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn new(map: &'a SpectrumMap, sigma: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0, "noise level must be non-negative");
+        Self { map, sigma, seed }
+    }
+
+    /// The configured noise level.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl QualityDatabase for NoisyDatabase<'_> {
+    fn quality(&self, channel: ChannelId, cell: Cell) -> f64 {
+        let clean = self.map.quality(channel, cell);
+        if clean <= 0.0 {
+            // Unavailable cells are public knowledge (coverage maps);
+            // noise applies to the quality statistics only.
+            return clean;
+        }
+        let h = split_mix(
+            self.seed
+                ^ ((channel.0 as u64) << 40)
+                ^ ((u64::from(cell.row)) << 20)
+                ^ u64::from(cell.col),
+        );
+        // Irwin–Hall(4) approximate normal with variance 1.
+        let mut acc = 0.0;
+        let mut state = h;
+        for _ in 0..4 {
+            state = split_mix(state);
+            acc += (state >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        let noise = (acc - 2.0) * (3.0f64).sqrt() * self.sigma;
+        (clean + noise).clamp(0.0, 1.0)
+    }
+}
+
+fn split_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_spectrum::area::AreaProfile;
+    use lppa_spectrum::geo::GridSpec;
+    use lppa_spectrum::synth::SyntheticMapBuilder;
+
+    fn map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area4())
+            .grid(GridSpec::new(30, 30, 45.0))
+            .channels(8)
+            .seed(4)
+            .build()
+    }
+
+    #[test]
+    fn zero_sigma_is_the_clean_map() {
+        let map = map();
+        let noisy = NoisyDatabase::new(&map, 0.0, 3);
+        for ch in map.channel_ids() {
+            for cell in [Cell::new(0, 0), Cell::new(15, 15), Cell::new(29, 29)] {
+                assert_eq!(noisy.quality(ch, cell), SpectrumMap::quality(&map, ch, cell));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_seed_dependent() {
+        let map = map();
+        let a = NoisyDatabase::new(&map, 0.2, 1);
+        let b = NoisyDatabase::new(&map, 0.2, 1);
+        let c = NoisyDatabase::new(&map, 0.2, 2);
+        let cell = Cell::new(10, 10);
+        let mut diffs = 0;
+        for ch in map.channel_ids() {
+            assert_eq!(a.quality(ch, cell), b.quality(ch, cell));
+            if a.quality(ch, cell) != c.quality(ch, cell) {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 0, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn noise_stays_in_unit_interval_and_preserves_zeros() {
+        let map = map();
+        let noisy = NoisyDatabase::new(&map, 0.5, 9);
+        for ch in map.channel_ids() {
+            for cell in map.grid().iter() {
+                let q = noisy.quality(ch, cell);
+                assert!((0.0..=1.0).contains(&q));
+                if SpectrumMap::quality(&map, ch, cell) == 0.0 {
+                    assert_eq!(q, 0.0, "unavailable cells must stay zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn average_error_scales_with_sigma() {
+        let map = map();
+        let small = NoisyDatabase::new(&map, 0.05, 11);
+        let large = NoisyDatabase::new(&map, 0.3, 11);
+        let mut small_err = 0.0;
+        let mut large_err = 0.0;
+        let mut count = 0;
+        for ch in map.channel_ids() {
+            for cell in map.grid().iter() {
+                let clean = SpectrumMap::quality(&map, ch, cell);
+                if clean <= 0.0 {
+                    continue;
+                }
+                small_err += (small.quality(ch, cell) - clean).abs();
+                large_err += (large.quality(ch, cell) - clean).abs();
+                count += 1;
+            }
+        }
+        assert!(count > 100);
+        assert!(large_err > small_err * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let map = map();
+        NoisyDatabase::new(&map, -0.1, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Location-privacy attacks against dynamic spectrum auctions.
+//!
+//! Implements the two attacks the LPPA paper introduces (§III) and the
+//! metrics it scores them with (§VI.A):
+//!
+//! * [`bcm`] — Bid-Channels-Mining: intersect the availability regions of
+//!   every channel the victim bid on (Algorithm 1);
+//! * [`bpm`] — Bid-Price-Mining: refine the BCM output by matching the
+//!   victim's normalized bid profile against per-cell quality statistics
+//!   (Algorithm 2);
+//! * [`adversary`] — running the attacks against plaintext auctions and
+//!   against LPPA's masked tables (where only within-channel order
+//!   survives);
+//! * [`metrics`] — uncertainty, incorrectness, failure rate and
+//!   possible-set size.
+//!
+//! # Examples
+//!
+//! ```
+//! use lppa_attack::adversary::{bcm_on_plain_bids, bpm_on_plain_bids};
+//! use lppa_attack::bpm::BpmConfig;
+//! use lppa_attack::metrics::PrivacyReport;
+//! use lppa_auction::bidder::{generate_bidders, BidModel, BidTable, BidderId};
+//! use lppa_spectrum::area::AreaProfile;
+//! use lppa_spectrum::synth::SyntheticMapBuilder;
+//! use rand::SeedableRng;
+//!
+//! let map = SyntheticMapBuilder::new(AreaProfile::area4())
+//!     .channels(20).seed(5).build();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+//! let model = BidModel::default();
+//! let bidders = generate_bidders(&map, 5, &model, &mut rng);
+//! let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+//!
+//! let victim = &bidders[0];
+//! let possible = bcm_on_plain_bids(&map, &table, victim.id);
+//! let report = PrivacyReport::evaluate(&possible, victim.cell);
+//! assert!(!report.failed); // BCM is sound against truthful bids
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod bcm;
+pub mod conflict_inference;
+pub mod bpm;
+pub mod frequency;
+pub mod knowledge;
+pub mod metrics;
+pub mod multi_round;
+
+pub use adversary::{bcm_on_masked_rankings, bcm_on_plain_bids, bpm_on_plain_bids, ChannelRankings};
+pub use bcm::bcm_attack;
+pub use conflict_inference::infer_from_conflicts;
+pub use bpm::{bpm_attack, BpmConfig, BpmResult};
+pub use frequency::{frequency_attack, FrequencyAttackResult};
+pub use knowledge::{NoisyDatabase, QualityDatabase};
+pub use metrics::{AggregateReport, PrivacyReport};
+pub use multi_round::{intersect_observations, WinnerHistory};

@@ -1,0 +1,247 @@
+//! Privacy metrics (§VI.A of the paper).
+//!
+//! An attack produces a possible-location set `P` for each victim. With
+//! the attacker's posterior taken as uniform over `P` (it has no basis to
+//! prefer one cell), the paper scores privacy with four quantities —
+//! larger is better for the victim:
+//!
+//! * **uncertainty** — the entropy `−Σ Pr_x log2 Pr_x = log2 |P|`;
+//! * **incorrectness** — the expected distance `Σ Pr_x ‖l_x − l_0‖`
+//!   from the true location, in km;
+//! * **failure** — whether the true cell escaped `P` entirely;
+//! * **number of possible cells** — `|P|`.
+
+use lppa_spectrum::geo::{Cell, CellSet};
+
+/// Metrics of one attack against one victim.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacyReport {
+    /// Entropy of the uniform posterior over the possible set, bits.
+    pub uncertainty_bits: f64,
+    /// Expected distance from the true location, km. For a failed attack
+    /// this is still computed over `P` (distance to wherever the attacker
+    /// believes the victim is).
+    pub incorrectness_km: f64,
+    /// Whether the true cell is *not* in the possible set.
+    pub failed: bool,
+    /// Cardinality of the possible set.
+    pub possible_cells: usize,
+}
+
+impl PrivacyReport {
+    /// Scores the possible set `possible` against the victim's true
+    /// `cell`.
+    ///
+    /// An empty possible set is a total attack failure: zero cells,
+    /// zero-entropy (the attacker concluded *something*, just nothing
+    /// useful), infinite-incorrectness avoided by reporting 0 km over an
+    /// empty sum as the paper's estimator does.
+    pub fn evaluate(possible: &CellSet, cell: Cell) -> Self {
+        let n = possible.len();
+        if n == 0 {
+            return Self {
+                uncertainty_bits: 0.0,
+                incorrectness_km: 0.0,
+                failed: true,
+                possible_cells: 0,
+            };
+        }
+        let grid = possible.grid();
+        let pr = 1.0 / n as f64;
+        let incorrectness_km =
+            possible.iter().map(|x| pr * grid.distance_km(x, cell)).sum::<f64>();
+        Self {
+            uncertainty_bits: (n as f64).log2(),
+            incorrectness_km,
+            failed: !possible.contains(cell),
+            possible_cells: n,
+        }
+    }
+}
+
+/// Aggregates [`PrivacyReport`]s over a population of victims.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_attack::metrics::{AggregateReport, PrivacyReport};
+///
+/// let mut agg = AggregateReport::new();
+/// agg.push(PrivacyReport {
+///     uncertainty_bits: 4.0,
+///     incorrectness_km: 2.0,
+///     failed: false,
+///     possible_cells: 16,
+/// });
+/// assert_eq!(agg.mean_uncertainty_bits(), 4.0);
+/// assert_eq!(agg.failure_rate(), 0.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AggregateReport {
+    uncertainty_sum: f64,
+    incorrectness_sum: f64,
+    possible_sum: usize,
+    failures: usize,
+    count: usize,
+}
+
+impl AggregateReport {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one victim's report.
+    pub fn push(&mut self, report: PrivacyReport) {
+        self.uncertainty_sum += report.uncertainty_bits;
+        self.incorrectness_sum += report.incorrectness_km;
+        self.possible_sum += report.possible_cells;
+        self.failures += usize::from(report.failed);
+        self.count += 1;
+    }
+
+    /// Number of victims aggregated.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no reports have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean entropy, bits (0 when empty).
+    pub fn mean_uncertainty_bits(&self) -> f64 {
+        self.mean(self.uncertainty_sum)
+    }
+
+    /// Mean expected distance from truth, km (0 when empty).
+    pub fn mean_incorrectness_km(&self) -> f64 {
+        self.mean(self.incorrectness_sum)
+    }
+
+    /// Mean possible-set cardinality (0 when empty).
+    pub fn mean_possible_cells(&self) -> f64 {
+        self.mean(self.possible_sum as f64)
+    }
+
+    /// Fraction of victims whose true cell escaped the attacker (0 when
+    /// empty).
+    pub fn failure_rate(&self) -> f64 {
+        self.mean(self.failures as f64)
+    }
+
+    /// The complementary success rate.
+    pub fn success_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            1.0 - self.failure_rate()
+        }
+    }
+
+    fn mean(&self, sum: f64) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            sum / self.count as f64
+        }
+    }
+}
+
+impl FromIterator<PrivacyReport> for AggregateReport {
+    fn from_iter<T: IntoIterator<Item = PrivacyReport>>(iter: T) -> Self {
+        let mut agg = Self::new();
+        for report in iter {
+            agg.push(report);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_spectrum::geo::GridSpec;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(10, 10, 10.0) // 1 km cells
+    }
+
+    #[test]
+    fn singleton_set_has_zero_uncertainty() {
+        let g = grid();
+        let mut p = CellSet::empty(&g);
+        p.insert(Cell::new(3, 3));
+        let r = PrivacyReport::evaluate(&p, Cell::new(3, 3));
+        assert_eq!(r.uncertainty_bits, 0.0);
+        assert_eq!(r.incorrectness_km, 0.0);
+        assert!(!r.failed);
+        assert_eq!(r.possible_cells, 1);
+    }
+
+    #[test]
+    fn uniform_uncertainty_is_log2_of_size() {
+        let g = grid();
+        let p = CellSet::from_predicate(&g, |c| c.row < 4 && c.col < 4);
+        let r = PrivacyReport::evaluate(&p, Cell::new(0, 0));
+        assert!((r.uncertainty_bits - 4.0).abs() < 1e-12); // log2(16)
+    }
+
+    #[test]
+    fn incorrectness_is_mean_distance() {
+        let g = grid();
+        let mut p = CellSet::empty(&g);
+        p.insert(Cell::new(0, 0));
+        p.insert(Cell::new(0, 2)); // 2 km from (0,0) cell centre
+        let r = PrivacyReport::evaluate(&p, Cell::new(0, 0));
+        assert!((r.incorrectness_km - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_when_truth_escapes() {
+        let g = grid();
+        let mut p = CellSet::empty(&g);
+        p.insert(Cell::new(9, 9));
+        let r = PrivacyReport::evaluate(&p, Cell::new(0, 0));
+        assert!(r.failed);
+        assert!(r.incorrectness_km > 10.0);
+    }
+
+    #[test]
+    fn empty_set_is_failure() {
+        let g = grid();
+        let p = CellSet::empty(&g);
+        let r = PrivacyReport::evaluate(&p, Cell::new(5, 5));
+        assert!(r.failed);
+        assert_eq!(r.possible_cells, 0);
+        assert_eq!(r.uncertainty_bits, 0.0);
+    }
+
+    #[test]
+    fn aggregate_means_and_rates() {
+        let g = grid();
+        let full = CellSet::full(&g);
+        let mut single = CellSet::empty(&g);
+        single.insert(Cell::new(9, 9));
+        let reports = vec![
+            PrivacyReport::evaluate(&full, Cell::new(1, 1)),
+            PrivacyReport::evaluate(&single, Cell::new(0, 0)), // failure
+        ];
+        let agg: AggregateReport = reports.into_iter().collect();
+        assert_eq!(agg.len(), 2);
+        assert!((agg.failure_rate() - 0.5).abs() < 1e-12);
+        assert!((agg.success_rate() - 0.5).abs() < 1e-12);
+        assert!((agg.mean_possible_cells() - 50.5).abs() < 1e-12);
+        assert!(agg.mean_uncertainty_bits() > 0.0);
+    }
+
+    #[test]
+    fn empty_aggregate_is_all_zeros() {
+        let agg = AggregateReport::new();
+        assert!(agg.is_empty());
+        assert_eq!(agg.mean_uncertainty_bits(), 0.0);
+        assert_eq!(agg.failure_rate(), 0.0);
+        assert_eq!(agg.success_rate(), 0.0);
+    }
+}

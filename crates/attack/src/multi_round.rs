@@ -1,0 +1,198 @@
+//! Multi-round attacks (§V.C.3 of the paper).
+//!
+//! A user participating in several auctions under a stable identifier
+//! hands the attacker two extra weapons:
+//!
+//! * **observation intersection** — each round yields a possible-location
+//!   set; their intersection only shrinks (the victim is assumed
+//!   stationary over a leasing period);
+//! * **winner-history mining** — charges are published per winner, so the
+//!   channels a bidder *won* are public plaintext; a won channel is
+//!   certainly available at the winner's location, enabling a BCM attack
+//!   on won channels alone, immune to bid masking.
+//!
+//! The paper's countermeasure is identifier mixing between rounds
+//! (implemented in `lppa::pseudonym`); these attacks quantify what it
+//! prevents.
+
+use std::collections::HashMap;
+
+use lppa_auction::bidder::BidderId;
+use lppa_spectrum::geo::CellSet;
+use lppa_spectrum::{ChannelId, SpectrumMap};
+
+use crate::bcm::bcm_attack;
+
+/// Intersects per-round possible-location sets for one linked victim.
+///
+/// Returns `None` for an empty observation list.
+///
+/// # Panics
+///
+/// Panics if the observations are over different grids.
+pub fn intersect_observations(rounds: &[CellSet]) -> Option<CellSet> {
+    let (first, rest) = rounds.split_first()?;
+    let mut acc = first.clone();
+    for set in rest {
+        acc.intersect_with(set);
+    }
+    Some(acc)
+}
+
+/// Accumulates published winner lists across auction rounds, keyed by
+/// the (supposedly stable) bidder identifier.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_attack::multi_round::WinnerHistory;
+/// use lppa_auction::bidder::BidderId;
+/// use lppa_spectrum::ChannelId;
+///
+/// let mut history = WinnerHistory::new();
+/// history.record(BidderId(3), ChannelId(7));
+/// history.record(BidderId(3), ChannelId(9));
+/// assert_eq!(history.won_channels(BidderId(3)).len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WinnerHistory {
+    wins: HashMap<BidderId, Vec<ChannelId>>,
+}
+
+impl WinnerHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one published win.
+    pub fn record(&mut self, bidder: BidderId, channel: ChannelId) {
+        let channels = self.wins.entry(bidder).or_default();
+        if !channels.contains(&channel) {
+            channels.push(channel);
+        }
+    }
+
+    /// Records every assignment of a published outcome.
+    pub fn record_outcome(&mut self, outcome: &lppa_auction::outcome::AuctionOutcome) {
+        for a in outcome.assignments() {
+            self.record(a.bidder, a.channel);
+        }
+    }
+
+    /// The distinct channels `bidder` has been seen winning.
+    pub fn won_channels(&self, bidder: BidderId) -> &[ChannelId] {
+        self.wins.get(&bidder).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of tracked identifiers.
+    pub fn len(&self) -> usize {
+        self.wins.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.wins.is_empty()
+    }
+
+    /// The winner-history BCM: intersect the availability regions of
+    /// every channel this identifier ever won. A won channel is
+    /// *certainly* available at the winner — no disguise can pollute
+    /// this, which is why the paper insists on ID mixing.
+    pub fn bcm(&self, map: &SpectrumMap, bidder: BidderId) -> CellSet {
+        bcm_attack(map, self.won_channels(bidder))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_auction::outcome::{Assignment, AuctionOutcome};
+    use lppa_spectrum::area::AreaProfile;
+    use lppa_spectrum::geo::{Cell, GridSpec};
+    use lppa_spectrum::synth::SyntheticMapBuilder;
+
+    fn map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area4())
+            .grid(GridSpec::new(40, 40, 60.0))
+            .channels(24)
+            .seed(8)
+            .build()
+    }
+
+    #[test]
+    fn intersection_monotonically_shrinks() {
+        let map = map();
+        let victim = Cell::new(12, 30);
+        let channels = map.available_channels(victim);
+        assert!(channels.len() >= 6, "fixture victim needs channels");
+        // Three rounds observing different channel subsets.
+        let rounds: Vec<CellSet> = channels
+            .chunks(channels.len() / 3)
+            .take(3)
+            .map(|chunk| bcm_attack(&map, chunk))
+            .collect();
+        let merged = intersect_observations(&rounds).unwrap();
+        for r in &rounds {
+            assert!(merged.len() <= r.len());
+        }
+        assert!(merged.contains(victim), "victim stays inside every sound observation");
+    }
+
+    #[test]
+    fn empty_observation_list_yields_none() {
+        assert!(intersect_observations(&[]).is_none());
+    }
+
+    #[test]
+    fn winner_history_accumulates_and_dedups() {
+        let mut h = WinnerHistory::new();
+        assert!(h.is_empty());
+        h.record(BidderId(1), ChannelId(4));
+        h.record(BidderId(1), ChannelId(4));
+        h.record(BidderId(1), ChannelId(6));
+        h.record(BidderId(2), ChannelId(4));
+        assert_eq!(h.won_channels(BidderId(1)), &[ChannelId(4), ChannelId(6)]);
+        assert_eq!(h.len(), 2);
+        assert!(h.won_channels(BidderId(9)).is_empty());
+    }
+
+    #[test]
+    fn record_outcome_ingests_assignments() {
+        let outcome = AuctionOutcome::from_assignments(
+            vec![
+                Assignment { bidder: BidderId(0), channel: ChannelId(1), price: 5 },
+                Assignment { bidder: BidderId(3), channel: ChannelId(2), price: 7 },
+            ],
+            5,
+        );
+        let mut h = WinnerHistory::new();
+        h.record_outcome(&outcome);
+        assert_eq!(h.won_channels(BidderId(0)), &[ChannelId(1)]);
+        assert_eq!(h.won_channels(BidderId(3)), &[ChannelId(2)]);
+    }
+
+    #[test]
+    fn winner_history_bcm_narrows_with_more_wins() {
+        let map = map();
+        // Pick the best-covered cell so the fixture is robust to seed
+        // changes.
+        let victim = map
+            .grid()
+            .iter()
+            .max_by_key(|&c| map.available_channels(c).len())
+            .unwrap();
+        let channels = map.available_channels(victim);
+        assert!(channels.len() >= 4);
+        let mut h = WinnerHistory::new();
+        let mut last = map.grid().cell_count();
+        for &ch in channels.iter().take(4) {
+            h.record(BidderId(0), ch);
+            let possible = h.bcm(&map, BidderId(0));
+            assert!(possible.len() <= last, "win on {ch} grew the set");
+            assert!(possible.contains(victim));
+            last = possible.len();
+        }
+        assert!(last < map.grid().cell_count());
+    }
+}

@@ -1,0 +1,282 @@
+//! The greedy spectrum allocation engine (Algorithm 3 of the paper).
+//!
+//! The auctioneer repeatedly picks a channel uniformly at random from a
+//! round-robin pool `R`, awards it to the highest remaining bid in that
+//! column, deletes the winner's row (a bidder takes at most one channel)
+//! and the same-channel entries of the winner's conflict neighbours, and
+//! continues until the bid table is exhausted.
+//!
+//! The engine is generic over a [`BidOracle`] so the *same* control flow
+//! drives both the plaintext baseline (this crate) and the LPPA masked
+//! table (the `lppa` crate), where "find the maximum" is performed with
+//! prefix-membership comparisons instead of plaintext ones.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bidder::{BidTable, BidderId};
+use crate::conflict::ConflictGraph;
+use lppa_spectrum::ChannelId;
+
+/// What the allocation engine needs to know about a bid table.
+///
+/// Implementations decide *how* bids are compared (plaintext or masked);
+/// the engine owns all deletion bookkeeping.
+pub trait BidOracle {
+    /// Number of bidders (rows).
+    fn n_bidders(&self) -> usize;
+
+    /// Number of channels (columns).
+    fn n_channels(&self) -> usize;
+
+    /// Whether the table initially holds an entry for (`bidder`,
+    /// `channel`). The plaintext baseline omits zero bids (an unavailable
+    /// channel); the masked table cannot tell zeros apart and keeps every
+    /// cell.
+    fn has_entry(&self, bidder: BidderId, channel: ChannelId) -> bool;
+
+    /// Picks the winner among `candidates` (non-empty, all with entries)
+    /// for `channel`, breaking ties uniformly at random with `rng`.
+    fn select_winner(
+        &self,
+        channel: ChannelId,
+        candidates: &[BidderId],
+        rng: &mut dyn rand::RngCore,
+    ) -> BidderId;
+}
+
+/// A channel grant produced by the allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// The winning bidder.
+    pub bidder: BidderId,
+    /// The channel awarded.
+    pub channel: ChannelId,
+}
+
+/// Runs Algorithm 3 over `oracle`, respecting `conflicts`.
+///
+/// Returns the grants in the order they were awarded. Each bidder appears
+/// at most once; a channel may be granted to several non-conflicting
+/// bidders (spectrum reuse).
+///
+/// # Panics
+///
+/// Panics if the conflict graph size differs from the oracle's bidder
+/// count.
+pub fn greedy_allocate<O: BidOracle, R: Rng>(
+    oracle: &O,
+    conflicts: &ConflictGraph,
+    rng: &mut R,
+) -> Vec<Grant> {
+    let n = oracle.n_bidders();
+    let k = oracle.n_channels();
+    assert_eq!(conflicts.len(), n, "conflict graph size mismatch");
+
+    // Remaining entries: start from the oracle's initial table.
+    let mut entry = vec![vec![false; k]; n];
+    let mut remaining = 0usize;
+    for (i, row) in entry.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = oracle.has_entry(BidderId(i), ChannelId(j));
+            remaining += usize::from(*cell);
+        }
+    }
+
+    let mut row_alive = vec![true; n];
+    let mut grants = Vec::new();
+    // The round-robin pool R of §V.A: refilled once exhausted.
+    let mut pool: Vec<usize> = Vec::new();
+
+    while remaining > 0 {
+        if pool.is_empty() {
+            pool = (0..k).collect();
+            pool.shuffle(rng);
+        }
+        let channel = ChannelId(pool.pop().expect("pool refilled above"));
+
+        let candidates: Vec<BidderId> = (0..n)
+            .filter(|&i| row_alive[i] && entry[i][channel.0])
+            .map(BidderId)
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+
+        let winner = oracle.select_winner(channel, &candidates, rng);
+        debug_assert!(candidates.contains(&winner), "oracle must pick a candidate");
+        grants.push(Grant { bidder: winner, channel });
+
+        // Delete the winner's whole row.
+        row_alive[winner.0] = false;
+        remaining -= entry[winner.0].iter().filter(|&&e| e).count();
+
+        // Delete conflicting neighbours' entries for this channel.
+        for nb in conflicts.neighbors(winner) {
+            if row_alive[nb.0] && entry[nb.0][channel.0] {
+                entry[nb.0][channel.0] = false;
+                remaining -= 1;
+            }
+        }
+    }
+    grants
+}
+
+/// The plaintext oracle: zero bids are absent, the maximum plaintext bid
+/// wins, ties break uniformly at random.
+impl BidOracle for BidTable {
+    fn n_bidders(&self) -> usize {
+        BidTable::n_bidders(self)
+    }
+
+    fn n_channels(&self) -> usize {
+        BidTable::n_channels(self)
+    }
+
+    fn has_entry(&self, bidder: BidderId, channel: ChannelId) -> bool {
+        self.bid(bidder, channel) > 0
+    }
+
+    fn select_winner(
+        &self,
+        channel: ChannelId,
+        candidates: &[BidderId],
+        rng: &mut dyn rand::RngCore,
+    ) -> BidderId {
+        let best = candidates
+            .iter()
+            .map(|&b| self.bid(b, channel))
+            .max()
+            .expect("candidates are non-empty");
+        let tied: Vec<BidderId> = candidates
+            .iter()
+            .copied()
+            .filter(|&b| self.bid(b, channel) == best)
+            .collect();
+        *tied.choose(rng).expect("tied set is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn single_channel_highest_bid_wins() {
+        let table = BidTable::from_rows(vec![vec![5], vec![9], vec![3]]);
+        let conflicts = ConflictGraph::from_locations(
+            &[
+                crate::bidder::Location::new(0, 0),
+                crate::bidder::Location::new(1, 0),
+                crate::bidder::Location::new(2, 0),
+            ],
+            5, // everyone conflicts
+        );
+        let grants = greedy_allocate(&table, &conflicts, &mut rng());
+        assert_eq!(grants, vec![Grant { bidder: BidderId(1), channel: ChannelId(0) }]);
+    }
+
+    #[test]
+    fn spectrum_reuse_among_non_conflicting_bidders() {
+        // Two far-apart bidders both want channel 0; both should get it.
+        let table = BidTable::from_rows(vec![vec![5], vec![4]]);
+        let conflicts = ConflictGraph::disconnected(2);
+        let grants = greedy_allocate(&table, &conflicts, &mut rng());
+        assert_eq!(grants.len(), 2);
+        let channels: Vec<ChannelId> = grants.iter().map(|g| g.channel).collect();
+        assert_eq!(channels, vec![ChannelId(0), ChannelId(0)]);
+    }
+
+    #[test]
+    fn conflicting_neighbor_is_excluded_from_won_channel_only() {
+        // Bidders 0 and 1 conflict. 0 wins channel 0 (higher bid); 1 must
+        // not get channel 0 but can still win channel 1.
+        let table = BidTable::from_rows(vec![vec![9, 0], vec![5, 7]]);
+        let mut conflicts = ConflictGraph::disconnected(2);
+        conflicts.add_conflict(BidderId(0), BidderId(1));
+        let grants = greedy_allocate(&table, &conflicts, &mut rng());
+        assert!(grants.contains(&Grant { bidder: BidderId(0), channel: ChannelId(0) }));
+        assert!(grants.contains(&Grant { bidder: BidderId(1), channel: ChannelId(1) }));
+        assert_eq!(grants.len(), 2);
+    }
+
+    #[test]
+    fn each_bidder_wins_at_most_one_channel() {
+        let mut r = rng();
+        // A bidder with the top bid everywhere still wins only once.
+        let table = BidTable::from_rows(vec![vec![9, 9, 9], vec![1, 1, 1], vec![2, 2, 2]]);
+        let conflicts = ConflictGraph::disconnected(3);
+        let grants = greedy_allocate(&table, &conflicts, &mut r);
+        let mut winners: Vec<usize> = grants.iter().map(|g| g.bidder.0).collect();
+        winners.sort_unstable();
+        winners.dedup();
+        assert_eq!(winners.len(), grants.len(), "a bidder won twice");
+    }
+
+    #[test]
+    fn zero_bids_never_win_in_plaintext_baseline() {
+        let table = BidTable::from_rows(vec![vec![0, 0], vec![0, 3]]);
+        let conflicts = ConflictGraph::disconnected(2);
+        let grants = greedy_allocate(&table, &conflicts, &mut rng());
+        assert_eq!(grants, vec![Grant { bidder: BidderId(1), channel: ChannelId(1) }]);
+    }
+
+    #[test]
+    fn all_zero_table_allocates_nothing() {
+        let table = BidTable::from_rows(vec![vec![0, 0], vec![0, 0]]);
+        let conflicts = ConflictGraph::disconnected(2);
+        assert!(greedy_allocate(&table, &conflicts, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn grants_respect_conflicts_globally() {
+        // Random stress: no two conflicting bidders ever share a channel.
+        let mut r = StdRng::seed_from_u64(99);
+        use rand::Rng as _;
+        for trial in 0..20 {
+            let n = 25;
+            let k = 6;
+            let rows: Vec<Vec<u32>> =
+                (0..n).map(|_| (0..k).map(|_| r.gen_range(0..8)).collect()).collect();
+            let table = BidTable::from_rows(rows);
+            let locs: Vec<crate::bidder::Location> = (0..n)
+                .map(|_| crate::bidder::Location::new(r.gen_range(0..40), r.gen_range(0..40)))
+                .collect();
+            let conflicts = ConflictGraph::from_locations(&locs, 4);
+            let grants = greedy_allocate(&table, &conflicts, &mut r);
+            for ch in 0..k {
+                let holders: Vec<BidderId> = grants
+                    .iter()
+                    .filter(|g| g.channel == ChannelId(ch))
+                    .map(|g| g.bidder)
+                    .collect();
+                assert!(conflicts.is_independent(&holders), "trial {trial} channel {ch}");
+            }
+            // No winner with a zero bid.
+            for g in &grants {
+                assert!(table.bid(g.bidder, g.channel) > 0, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_is_random_but_valid() {
+        let table = BidTable::from_rows(vec![vec![7], vec![7]]);
+        let mut conflicts = ConflictGraph::disconnected(2);
+        conflicts.add_conflict(BidderId(0), BidderId(1));
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..32 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let grants = greedy_allocate(&table, &conflicts, &mut r);
+            assert_eq!(grants.len(), 1);
+            seen.insert(grants[0].bidder);
+        }
+        assert_eq!(seen.len(), 2, "both tied bidders should win sometimes");
+    }
+}

@@ -1,0 +1,360 @@
+//! Bidders and the paper's bid-generation model.
+//!
+//! Each secondary user `SU_i` sits in a grid cell, carries an integer
+//! protocol location, and values channel `j` at `b_j^i = q_j · β_i + η`
+//! (§VI.A): spectrum quality `q_j` at its location, a per-user
+//! transmission-emergency factor `β_i`, and bounded valuation noise
+//! `|η| ≤ 20% · q_j β_i`. Bids are non-negative integers scaled into
+//! `[0, bmax]`; unavailable channels are bid at zero.
+
+use lppa_spectrum::geo::Cell;
+use lppa_spectrum::{ChannelId, SpectrumMap};
+use rand::Rng;
+
+/// Identifier of a bidder within one auction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BidderId(pub usize);
+
+impl std::fmt::Display for BidderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SU{}", self.0)
+    }
+}
+
+/// Integer protocol coordinates of a bidder.
+///
+/// The prefix-membership location protocol operates on non-negative
+/// integers; one unit corresponds to one grid cell (the paper likewise
+/// assumes integral coordinates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Easting in cells.
+    pub x: u32,
+    /// Northing in cells.
+    pub y: u32,
+}
+
+impl Location {
+    /// Creates a location from explicit coordinates.
+    pub fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// The location of a grid cell (x = column, y = row).
+    pub fn from_cell(cell: Cell) -> Self {
+        Self { x: u32::from(cell.col), y: u32::from(cell.row) }
+    }
+
+    /// The grid cell containing this location.
+    pub fn to_cell(self) -> Cell {
+        Cell::new(self.y as u16, self.x as u16)
+    }
+
+    /// Chebyshev-style conflict test used by the paper: two users
+    /// interfere iff both coordinate gaps are below `2λ`.
+    pub fn conflicts_with(&self, other: &Location, lambda: u32) -> bool {
+        let dx = self.x.abs_diff(other.x);
+        let dy = self.y.abs_diff(other.y);
+        dx < 2 * lambda && dy < 2 * lambda
+    }
+}
+
+impl From<Cell> for Location {
+    fn from(cell: Cell) -> Self {
+        Self::from_cell(cell)
+    }
+}
+
+/// A secondary user participating in the auction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bidder {
+    /// Auction-scoped identifier.
+    pub id: BidderId,
+    /// True position (ground truth for attack evaluation).
+    pub cell: Cell,
+    /// Integer protocol location.
+    pub location: Location,
+    /// Transmission-emergency factor `β_i`.
+    pub beta: f64,
+}
+
+/// Parameters of the bid-generation model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BidModel {
+    /// Inclusive range `β` is drawn from.
+    pub beta_range: (f64, f64),
+    /// Relative valuation noise bound (the paper's 20 %).
+    pub noise_frac: f64,
+    /// Upper bound `bmax` of integer bid prices.
+    pub bmax: u32,
+}
+
+impl Default for BidModel {
+    fn default() -> Self {
+        Self { beta_range: (0.2, 1.0), noise_frac: 0.2, bmax: 127 }
+    }
+}
+
+impl BidModel {
+    /// Draws a `β` factor for a new bidder.
+    pub fn sample_beta<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.beta_range.0..=self.beta_range.1)
+    }
+
+    /// Computes `SU`'s integer bid for a channel of quality `quality` at
+    /// its location.
+    ///
+    /// Returns 0 when the channel is unavailable (`quality == 0`), and
+    /// may legitimately round to 0 for available-but-poor channels — the
+    /// paper relies on this ("the bid of the available spectrum with low
+    /// quality can be zero").
+    pub fn bid<R: Rng + ?Sized>(&self, quality: f64, beta: f64, rng: &mut R) -> u32 {
+        if quality <= 0.0 {
+            return 0;
+        }
+        let base = quality * beta;
+        let noise = rng.gen_range(-self.noise_frac..=self.noise_frac);
+        let value = base * (1.0 + noise) * f64::from(self.bmax);
+        // β and quality both live in [0, 1]; clamp defensively anyway.
+        (value.round().max(0.0) as u32).min(self.bmax)
+    }
+}
+
+/// Places `n` bidders uniformly at random on the map's grid.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_auction::bidder::{generate_bidders, BidModel};
+/// use lppa_spectrum::area::AreaProfile;
+/// use lppa_spectrum::synth::SyntheticMapBuilder;
+/// use rand::SeedableRng;
+///
+/// let map = SyntheticMapBuilder::new(AreaProfile::area4())
+///     .channels(4).seed(1).build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let bidders = generate_bidders(&map, 10, &BidModel::default(), &mut rng);
+/// assert_eq!(bidders.len(), 10);
+/// ```
+pub fn generate_bidders<R: Rng + ?Sized>(
+    map: &SpectrumMap,
+    n: usize,
+    model: &BidModel,
+    rng: &mut R,
+) -> Vec<Bidder> {
+    let grid = map.grid();
+    (0..n)
+        .map(|i| {
+            let cell = Cell::new(rng.gen_range(0..grid.rows()), rng.gen_range(0..grid.cols()));
+            Bidder {
+                id: BidderId(i),
+                cell,
+                location: Location::from_cell(cell),
+                beta: model.sample_beta(rng),
+            }
+        })
+        .collect()
+}
+
+/// The plaintext bid table `T`: one row per bidder, one column per
+/// channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BidTable {
+    bids: Vec<Vec<u32>>,
+    n_channels: usize,
+}
+
+impl BidTable {
+    /// Generates the table for `bidders` on `map` under `model`.
+    pub fn generate<R: Rng + ?Sized>(
+        map: &SpectrumMap,
+        bidders: &[Bidder],
+        model: &BidModel,
+        rng: &mut R,
+    ) -> Self {
+        let n_channels = map.channel_count();
+        let bids = bidders
+            .iter()
+            .map(|b| {
+                map.channel_ids()
+                    .map(|ch| model.bid(map.quality(ch, b.cell), b.beta, rng))
+                    .collect()
+            })
+            .collect();
+        Self { bids, n_channels }
+    }
+
+    /// Builds a table from explicit rows (mainly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the table is empty.
+    pub fn from_rows(rows: Vec<Vec<u32>>) -> Self {
+        assert!(!rows.is_empty(), "bid table needs at least one bidder");
+        let n_channels = rows[0].len();
+        assert!(n_channels > 0, "bid table needs at least one channel");
+        assert!(rows.iter().all(|r| r.len() == n_channels), "ragged bid table");
+        Self { bids: rows, n_channels }
+    }
+
+    /// Number of bidders (rows).
+    pub fn n_bidders(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Number of channels (columns).
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// The bid of `bidder` on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn bid(&self, bidder: BidderId, channel: ChannelId) -> u32 {
+        self.bids[bidder.0][channel.0]
+    }
+
+    /// The full bid vector `B_i` of one bidder.
+    pub fn row(&self, bidder: BidderId) -> &[u32] {
+        &self.bids[bidder.0]
+    }
+
+    /// Channels a bidder bid a positive price on — its revealed available
+    /// set `AS(i)` (exactly what the BCM attacker reads off).
+    pub fn positive_channels(&self, bidder: BidderId) -> Vec<ChannelId> {
+        self.bids[bidder.0]
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0)
+            .map(|(i, _)| ChannelId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_spectrum::area::AreaProfile;
+    use lppa_spectrum::geo::GridSpec;
+    use lppa_spectrum::synth::SyntheticMapBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area4())
+            .grid(GridSpec::new(30, 30, 45.0))
+            .channels(10)
+            .seed(5)
+            .build()
+    }
+
+    #[test]
+    fn location_cell_roundtrip() {
+        let cell = Cell::new(42, 17);
+        let loc = Location::from_cell(cell);
+        assert_eq!(loc, Location::new(17, 42));
+        assert_eq!(loc.to_cell(), cell);
+        let loc2: Location = cell.into();
+        assert_eq!(loc, loc2);
+    }
+
+    #[test]
+    fn conflict_is_symmetric_and_thresholded() {
+        let a = Location::new(10, 10);
+        for (dx, dy, lambda, expect) in [
+            (0u32, 0u32, 2u32, true),
+            (3, 3, 2, true),
+            (4, 0, 2, false), // dx == 2λ is non-conflicting (strict <)
+            (0, 4, 2, false),
+            (3, 5, 2, false),
+        ] {
+            let b = Location::new(10 + dx, 10 + dy);
+            assert_eq!(a.conflicts_with(&b, lambda), expect, "d=({dx},{dy})");
+            assert_eq!(b.conflicts_with(&a, lambda), expect, "symmetry");
+        }
+    }
+
+    #[test]
+    fn zero_quality_bids_zero() {
+        let model = BidModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(model.bid(0.0, 1.0, &mut rng), 0);
+        assert_eq!(model.bid(-0.5, 1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn bids_scale_with_quality_and_stay_in_range() {
+        let model = BidModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low_total = 0u32;
+        let mut high_total = 0u32;
+        for _ in 0..200 {
+            let lo = model.bid(0.2, 0.9, &mut rng);
+            let hi = model.bid(0.9, 0.9, &mut rng);
+            assert!(lo <= model.bmax && hi <= model.bmax);
+            low_total += lo;
+            high_total += hi;
+        }
+        assert!(high_total > low_total);
+    }
+
+    #[test]
+    fn noise_respects_twenty_percent_bound() {
+        let model = BidModel { beta_range: (1.0, 1.0), noise_frac: 0.2, bmax: 1000 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = 0.5 * 1.0 * 1000.0;
+        for _ in 0..500 {
+            let b = f64::from(model.bid(0.5, 1.0, &mut rng));
+            assert!(b >= (base * 0.8 - 1.0) && b <= (base * 1.2 + 1.0), "bid {b}");
+        }
+    }
+
+    #[test]
+    fn generated_bidders_are_on_grid_with_consistent_locations() {
+        let map = map();
+        let mut rng = StdRng::seed_from_u64(4);
+        let bidders = generate_bidders(&map, 50, &BidModel::default(), &mut rng);
+        assert_eq!(bidders.len(), 50);
+        for (i, b) in bidders.iter().enumerate() {
+            assert_eq!(b.id, BidderId(i));
+            assert!(map.grid().contains(b.cell));
+            assert_eq!(b.location.to_cell(), b.cell);
+            assert!(b.beta >= 0.2 && b.beta <= 1.0);
+        }
+    }
+
+    #[test]
+    fn bid_table_matches_availability() {
+        let map = map();
+        let mut rng = StdRng::seed_from_u64(6);
+        let bidders = generate_bidders(&map, 30, &BidModel::default(), &mut rng);
+        let table = BidTable::generate(&map, &bidders, &BidModel::default(), &mut rng);
+        assert_eq!(table.n_bidders(), 30);
+        assert_eq!(table.n_channels(), 10);
+        for b in &bidders {
+            for ch in map.channel_ids() {
+                if table.bid(b.id, ch) > 0 {
+                    // A positive bid implies the channel is available here.
+                    assert!(map.is_available(ch, b.cell), "{} bid on unavailable {ch}", b.id);
+                }
+            }
+            // positive_channels agrees with the row.
+            let pos = table.positive_channels(b.id);
+            assert_eq!(pos.len(), table.row(b.id).iter().filter(|&&x| x > 0).count());
+        }
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        let t = BidTable::from_rows(vec![vec![1, 2], vec![3, 0]]);
+        assert_eq!(t.bid(BidderId(1), ChannelId(0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        BidTable::from_rows(vec![vec![1, 2], vec![3]]);
+    }
+}

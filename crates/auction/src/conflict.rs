@@ -1,0 +1,177 @@
+//! The interference conflict graph.
+//!
+//! Spectrum reusability means two bidders may share a channel iff they do
+//! not interfere. The paper models interference as a square of side `2λ`
+//! centred on each user: `SU_i` and `SU_j` conflict iff
+//! `|x_i − x_j| < 2λ` **and** `|y_i − y_j| < 2λ` (§IV.A.1). The plaintext
+//! graph here is the baseline; the LPPA crate constructs the same graph
+//! from masked submissions and must agree with it exactly.
+
+use crate::bidder::{BidderId, Location};
+
+/// An undirected conflict graph over `n` bidders.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_auction::bidder::Location;
+/// use lppa_auction::conflict::ConflictGraph;
+///
+/// let locs = [Location::new(0, 0), Location::new(1, 1), Location::new(50, 50)];
+/// let graph = ConflictGraph::from_locations(&locs, 2);
+/// assert!(graph.are_conflicting(0.into(), 1.into()));
+/// assert!(!graph.are_conflicting(0.into(), 2.into()));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictGraph {
+    n: usize,
+    /// Row-major adjacency matrix (symmetric, false diagonal).
+    adj: Vec<bool>,
+}
+
+impl From<usize> for BidderId {
+    fn from(i: usize) -> Self {
+        BidderId(i)
+    }
+}
+
+impl ConflictGraph {
+    /// Builds the graph from plaintext locations with interference
+    /// half-width `lambda`.
+    pub fn from_locations(locations: &[Location], lambda: u32) -> Self {
+        let n = locations.len();
+        let mut graph = Self::disconnected(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if locations[i].conflicts_with(&locations[j], lambda) {
+                    graph.add_conflict(BidderId(i), BidderId(j));
+                }
+            }
+        }
+        graph
+    }
+
+    /// A graph over `n` bidders with no conflicts.
+    pub fn disconnected(n: usize) -> Self {
+        Self { n, adj: vec![false; n * n] }
+    }
+
+    /// Number of bidders.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no bidders.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Marks `a` and `b` as conflicting (no-op for `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_conflict(&mut self, a: BidderId, b: BidderId) {
+        assert!(a.0 < self.n && b.0 < self.n, "bidder id out of range");
+        if a == b {
+            return;
+        }
+        self.adj[a.0 * self.n + b.0] = true;
+        self.adj[b.0 * self.n + a.0] = true;
+    }
+
+    /// Whether `a` and `b` interfere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn are_conflicting(&self, a: BidderId, b: BidderId) -> bool {
+        assert!(a.0 < self.n && b.0 < self.n, "bidder id out of range");
+        self.adj[a.0 * self.n + b.0]
+    }
+
+    /// The neighbour set `N(i)`.
+    pub fn neighbors(&self, i: BidderId) -> impl Iterator<Item = BidderId> + '_ {
+        let row = &self.adj[i.0 * self.n..(i.0 + 1) * self.n];
+        row.iter().enumerate().filter(|(_, &c)| c).map(|(j, _)| BidderId(j))
+    }
+
+    /// Number of conflicting pairs.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().filter(|&&c| c).count() / 2
+    }
+
+    /// Verifies that a channel-sharing assignment is interference-free:
+    /// no two of `holders` conflict.
+    pub fn is_independent(&self, holders: &[BidderId]) -> bool {
+        for (idx, &a) in holders.iter().enumerate() {
+            for &b in &holders[idx + 1..] {
+                if self.are_conflicting(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_locations_matches_pairwise_predicate() {
+        let locs: Vec<Location> = (0..20)
+            .map(|i| Location::new((i * 7) % 30, (i * 13) % 30))
+            .collect();
+        let lambda = 3;
+        let g = ConflictGraph::from_locations(&locs, lambda);
+        for i in 0..locs.len() {
+            for j in 0..locs.len() {
+                let expected = i != j && locs[i].conflicts_with(&locs[j], lambda);
+                assert_eq!(g.are_conflicting(BidderId(i), BidderId(j)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_never_conflicting() {
+        let mut g = ConflictGraph::disconnected(3);
+        g.add_conflict(BidderId(1), BidderId(1));
+        assert!(!g.are_conflicting(BidderId(1), BidderId(1)));
+    }
+
+    #[test]
+    fn neighbors_enumerates_conflicts() {
+        let mut g = ConflictGraph::disconnected(4);
+        g.add_conflict(BidderId(0), BidderId(2));
+        g.add_conflict(BidderId(0), BidderId(3));
+        let n0: Vec<BidderId> = g.neighbors(BidderId(0)).collect();
+        assert_eq!(n0, vec![BidderId(2), BidderId(3)]);
+        let n1: Vec<BidderId> = g.neighbors(BidderId(1)).collect();
+        assert!(n1.is_empty());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn independence_check() {
+        let mut g = ConflictGraph::disconnected(4);
+        g.add_conflict(BidderId(0), BidderId(1));
+        assert!(g.is_independent(&[BidderId(0), BidderId(2), BidderId(3)]));
+        assert!(!g.is_independent(&[BidderId(0), BidderId(1)]));
+        assert!(g.is_independent(&[]));
+    }
+
+    #[test]
+    fn colocated_users_always_conflict() {
+        let locs = [Location::new(5, 5), Location::new(5, 5)];
+        let g = ConflictGraph::from_locations(&locs, 1);
+        assert!(g.are_conflicting(BidderId(0), BidderId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        ConflictGraph::disconnected(2).are_conflicting(BidderId(0), BidderId(5));
+    }
+}

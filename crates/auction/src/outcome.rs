@@ -1,0 +1,133 @@
+//! Auction outcomes: charging and the paper's performance metrics.
+//!
+//! The paper uses first-price charging (§V.C.1: "the winner pays the
+//! exact amount of his bid") and evaluates auction performance through
+//! two aggregates (§VI.A): the **sum of winning bids** (gross revenue)
+//! and **user satisfaction** (fraction of bidders holding spectrum).
+
+use crate::allocation::Grant;
+use crate::bidder::{BidTable, BidderId};
+use lppa_spectrum::ChannelId;
+
+/// A finalized assignment: bidder, channel and the price charged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// The winning bidder.
+    pub bidder: BidderId,
+    /// The channel held.
+    pub channel: ChannelId,
+    /// First-price charge (the winner's own bid).
+    pub price: u32,
+}
+
+/// The result of one complete auction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuctionOutcome {
+    assignments: Vec<Assignment>,
+    n_bidders: usize,
+}
+
+impl AuctionOutcome {
+    /// Charges `grants` at first price from the plaintext `table`.
+    ///
+    /// Grants whose underlying bid is zero are dropped as invalid — this
+    /// mirrors the TTP's "winning price is invalid" notification in the
+    /// private protocol and never triggers for the plaintext baseline
+    /// (zeros are not entered there).
+    pub fn from_grants(grants: &[Grant], table: &BidTable) -> Self {
+        let assignments = grants
+            .iter()
+            .filter_map(|g| {
+                let price = table.bid(g.bidder, g.channel);
+                (price > 0).then_some(Assignment { bidder: g.bidder, channel: g.channel, price })
+            })
+            .collect();
+        Self { assignments, n_bidders: table.n_bidders() }
+    }
+
+    /// Builds an outcome from explicit assignments (used by the private
+    /// protocol, where prices come from the TTP).
+    pub fn from_assignments(assignments: Vec<Assignment>, n_bidders: usize) -> Self {
+        Self { assignments, n_bidders }
+    }
+
+    /// The finalized assignments.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Total number of bidders that participated.
+    pub fn n_bidders(&self) -> usize {
+        self.n_bidders
+    }
+
+    /// Gross revenue: the paper's "sum of winning bids".
+    pub fn revenue(&self) -> u64 {
+        self.assignments.iter().map(|a| u64::from(a.price)).sum()
+    }
+
+    /// The paper's "user satisfaction": fraction of bidders holding a
+    /// channel. Zero for an auction with no bidders.
+    pub fn satisfaction(&self) -> f64 {
+        if self.n_bidders == 0 {
+            return 0.0;
+        }
+        self.assignments.len() as f64 / self.n_bidders as f64
+    }
+
+    /// The channel held by `bidder`, if any.
+    pub fn channel_of(&self, bidder: BidderId) -> Option<ChannelId> {
+        self.assignments.iter().find(|a| a.bidder == bidder).map(|a| a.channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_price_charging() {
+        let table = BidTable::from_rows(vec![vec![5, 2], vec![0, 7]]);
+        let grants = vec![
+            Grant { bidder: BidderId(0), channel: ChannelId(0) },
+            Grant { bidder: BidderId(1), channel: ChannelId(1) },
+        ];
+        let outcome = AuctionOutcome::from_grants(&grants, &table);
+        assert_eq!(outcome.revenue(), 12);
+        assert_eq!(outcome.satisfaction(), 1.0);
+        assert_eq!(outcome.channel_of(BidderId(0)), Some(ChannelId(0)));
+        assert_eq!(outcome.channel_of(BidderId(1)), Some(ChannelId(1)));
+    }
+
+    #[test]
+    fn zero_price_grants_are_invalidated() {
+        let table = BidTable::from_rows(vec![vec![0], vec![4]]);
+        let grants = vec![
+            Grant { bidder: BidderId(0), channel: ChannelId(0) },
+            Grant { bidder: BidderId(1), channel: ChannelId(0) },
+        ];
+        let outcome = AuctionOutcome::from_grants(&grants, &table);
+        assert_eq!(outcome.assignments().len(), 1);
+        assert_eq!(outcome.revenue(), 4);
+        assert_eq!(outcome.satisfaction(), 0.5);
+        assert_eq!(outcome.channel_of(BidderId(0)), None);
+    }
+
+    #[test]
+    fn empty_outcome() {
+        let outcome = AuctionOutcome::from_assignments(vec![], 0);
+        assert_eq!(outcome.revenue(), 0);
+        assert_eq!(outcome.satisfaction(), 0.0);
+    }
+
+    #[test]
+    fn satisfaction_counts_assignments_over_bidders() {
+        let assignments = vec![
+            Assignment { bidder: BidderId(0), channel: ChannelId(0), price: 3 },
+            Assignment { bidder: BidderId(2), channel: ChannelId(1), price: 5 },
+        ];
+        let outcome = AuctionOutcome::from_assignments(assignments, 8);
+        assert!((outcome.satisfaction() - 0.25).abs() < 1e-12);
+        assert_eq!(outcome.n_bidders(), 8);
+    }
+}

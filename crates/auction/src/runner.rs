@@ -1,0 +1,171 @@
+//! One-call plaintext auction runner: the non-private baseline the paper
+//! compares LPPA against.
+
+use rand::Rng;
+
+use crate::allocation::greedy_allocate;
+use crate::bidder::{generate_bidders, BidModel, BidTable, Bidder};
+use crate::conflict::ConflictGraph;
+use crate::outcome::AuctionOutcome;
+use lppa_spectrum::SpectrumMap;
+
+/// Configuration for a plaintext auction round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuctionConfig {
+    /// Number of secondary users.
+    pub n_bidders: usize,
+    /// Interference half-width `λ` in location units (cells).
+    pub lambda: u32,
+    /// Bid-generation model.
+    pub bid_model: BidModel,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        Self { n_bidders: 100, lambda: 3, bid_model: BidModel::default() }
+    }
+}
+
+/// Everything produced by one plaintext auction round, kept together so
+/// attacks and comparisons can inspect intermediate state.
+#[derive(Clone, Debug)]
+pub struct PlainAuction {
+    /// The participating bidders (ground-truth positions included).
+    pub bidders: Vec<Bidder>,
+    /// The full plaintext bid table the auctioneer saw.
+    pub table: BidTable,
+    /// The conflict graph used for allocation.
+    pub conflicts: ConflictGraph,
+    /// The auction result.
+    pub outcome: AuctionOutcome,
+}
+
+/// Runs a complete plaintext auction on `map`.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_auction::runner::{run_plain_auction, AuctionConfig};
+/// use lppa_spectrum::area::AreaProfile;
+/// use lppa_spectrum::synth::SyntheticMapBuilder;
+/// use rand::SeedableRng;
+///
+/// let map = SyntheticMapBuilder::new(AreaProfile::area4())
+///     .channels(8).seed(3).build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let auction = run_plain_auction(&map, &AuctionConfig::default(), &mut rng);
+/// assert_eq!(auction.bidders.len(), 100);
+/// ```
+pub fn run_plain_auction<R: Rng>(
+    map: &SpectrumMap,
+    config: &AuctionConfig,
+    rng: &mut R,
+) -> PlainAuction {
+    let bidders = generate_bidders(map, config.n_bidders, &config.bid_model, rng);
+    run_plain_auction_with_bidders(map, &bidders, config, rng)
+}
+
+/// Runs a plaintext auction for pre-placed `bidders` (so private and
+/// plaintext rounds can share identical populations).
+pub fn run_plain_auction_with_bidders<R: Rng>(
+    map: &SpectrumMap,
+    bidders: &[Bidder],
+    config: &AuctionConfig,
+    rng: &mut R,
+) -> PlainAuction {
+    let table = BidTable::generate(map, bidders, &config.bid_model, rng);
+    run_plain_auction_with_table(bidders, table, config, rng)
+}
+
+/// Runs the allocation and charging stages on an existing bid table.
+pub fn run_plain_auction_with_table<R: Rng>(
+    bidders: &[Bidder],
+    table: BidTable,
+    config: &AuctionConfig,
+    rng: &mut R,
+) -> PlainAuction {
+    let locations: Vec<_> = bidders.iter().map(|b| b.location).collect();
+    let conflicts = ConflictGraph::from_locations(&locations, config.lambda);
+    let grants = greedy_allocate(&table, &conflicts, rng);
+    let outcome = AuctionOutcome::from_grants(&grants, &table);
+    PlainAuction { bidders: bidders.to_vec(), table, conflicts, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_spectrum::area::AreaProfile;
+    use lppa_spectrum::geo::GridSpec;
+    use lppa_spectrum::synth::SyntheticMapBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area4())
+            .grid(GridSpec::new(40, 40, 60.0))
+            .channels(12)
+            .seed(21)
+            .build()
+    }
+
+    #[test]
+    fn end_to_end_auction_is_consistent() {
+        let map = map();
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = AuctionConfig { n_bidders: 60, lambda: 2, bid_model: BidModel::default() };
+        let auction = run_plain_auction(&map, &config, &mut rng);
+
+        assert_eq!(auction.bidders.len(), 60);
+        assert_eq!(auction.table.n_bidders(), 60);
+        assert_eq!(auction.conflicts.len(), 60);
+        // Every assignment charges the winner's own positive bid.
+        for a in auction.outcome.assignments() {
+            assert_eq!(a.price, auction.table.bid(a.bidder, a.channel));
+            assert!(a.price > 0);
+        }
+        // No channel is shared by conflicting winners.
+        for ch in map.channel_ids() {
+            let holders: Vec<_> = auction
+                .outcome
+                .assignments()
+                .iter()
+                .filter(|a| a.channel == ch)
+                .map(|a| a.bidder)
+                .collect();
+            assert!(auction.conflicts.is_independent(&holders));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let map = map();
+        let config = AuctionConfig::default();
+        let a = run_plain_auction(&map, &config, &mut StdRng::seed_from_u64(5));
+        let b = run_plain_auction(&map, &config, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn more_bidders_do_not_reduce_revenue() {
+        // With more competition the greedy first-price auction should
+        // collect at least roughly as much revenue.
+        let map = map();
+        let mut few_total = 0u64;
+        let mut many_total = 0u64;
+        for seed in 0..5 {
+            let few = run_plain_auction(
+                &map,
+                &AuctionConfig { n_bidders: 20, ..AuctionConfig::default() },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let many = run_plain_auction(
+                &map,
+                &AuctionConfig { n_bidders: 150, ..AuctionConfig::default() },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            few_total += few.outcome.revenue();
+            many_total += many.outcome.revenue();
+        }
+        assert!(many_total > few_total);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: invariants of the greedy allocation engine and
+//! the pricing rules over random auctions.
+
+use lppa_auction::allocation::greedy_allocate;
+use lppa_auction::bidder::{BidTable, BidderId, Location};
+use lppa_auction::conflict::ConflictGraph;
+use lppa_auction::outcome::AuctionOutcome;
+use lppa_auction::pricing::{charge_traced, greedy_allocate_traced, PricingRule};
+use lppa_spectrum::ChannelId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random auction (bid table + locations).
+fn auction() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<Location>, u32)> {
+    (2usize..12, 1usize..6).prop_flat_map(|(n, k)| {
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(0u32..30, k..=k),
+            n..=n,
+        );
+        let locs = proptest::collection::vec((0u32..25, 0u32..25), n..=n)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Location::new(x, y)).collect());
+        (rows, locs, 1u32..5)
+    })
+}
+
+proptest! {
+    /// Core allocation invariants for arbitrary auctions.
+    #[test]
+    fn allocation_invariants((rows, locs, lambda) in auction(), seed in any::<u64>()) {
+        let table = BidTable::from_rows(rows.clone());
+        let conflicts = ConflictGraph::from_locations(&locs, lambda);
+        let grants = greedy_allocate(&table, &conflicts, &mut StdRng::seed_from_u64(seed));
+
+        // 1. A bidder wins at most once.
+        let mut winners: Vec<BidderId> = grants.iter().map(|g| g.bidder).collect();
+        winners.sort();
+        let before = winners.len();
+        winners.dedup();
+        prop_assert_eq!(winners.len(), before);
+
+        // 2. Winners bid positively on their channel.
+        for g in &grants {
+            prop_assert!(table.bid(g.bidder, g.channel) > 0);
+        }
+
+        // 3. Channel co-holders never conflict.
+        for ch in 0..table.n_channels() {
+            let holders: Vec<BidderId> = grants
+                .iter()
+                .filter(|g| g.channel == ChannelId(ch))
+                .map(|g| g.bidder)
+                .collect();
+            prop_assert!(conflicts.is_independent(&holders));
+        }
+
+        // 4. Allocation is exhaustive: any non-winner with a positive bid
+        //    on some channel must be blocked there by a conflicting winner
+        //    of that channel (otherwise the loop would have granted it).
+        for i in 0..table.n_bidders() {
+            let bidder = BidderId(i);
+            if winners.contains(&bidder) {
+                continue;
+            }
+            for ch in 0..table.n_channels() {
+                if table.bid(bidder, ChannelId(ch)) == 0 {
+                    continue;
+                }
+                let blocked = grants.iter().any(|g| {
+                    g.channel == ChannelId(ch)
+                        && conflicts.are_conflicting(g.bidder, bidder)
+                });
+                prop_assert!(
+                    blocked,
+                    "bidder {i} had an unblocked positive bid on channel {ch}"
+                );
+            }
+        }
+    }
+
+    /// Traced allocation agrees with the plain engine and second-price
+    /// charging never exceeds first-price.
+    #[test]
+    fn pricing_invariants((rows, locs, lambda) in auction(), seed in any::<u64>()) {
+        let table = BidTable::from_rows(rows);
+        let conflicts = ConflictGraph::from_locations(&locs, lambda);
+        let traces =
+            greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(seed));
+        let grants = greedy_allocate(&table, &conflicts, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(traces.iter().map(|t| t.grant).collect::<Vec<_>>(), grants.clone());
+
+        let first = charge_traced(&traces, &table, &conflicts, PricingRule::FirstPrice);
+        let second = charge_traced(&traces, &table, &conflicts, PricingRule::SecondPrice);
+        prop_assert!(second.revenue() <= first.revenue());
+        prop_assert_eq!(first.assignments().len(), second.assignments().len());
+        for (f, s) in first.assignments().iter().zip(second.assignments()) {
+            prop_assert_eq!(f.bidder, s.bidder);
+            prop_assert!(s.price <= f.price);
+            prop_assert_eq!(f.price, table.bid(f.bidder, f.channel));
+        }
+
+        // First-price outcome via traces equals the standard outcome.
+        let standard = AuctionOutcome::from_grants(&grants, &table);
+        prop_assert_eq!(first, standard);
+    }
+
+    /// The conflict relation is symmetric, irreflexive in effect, and
+    /// matches the coordinate predicate.
+    #[test]
+    fn conflict_graph_matches_predicate(
+        locs in proptest::collection::vec((0u32..40, 0u32..40), 2..15),
+        lambda in 1u32..6,
+    ) {
+        let locations: Vec<Location> =
+            locs.into_iter().map(|(x, y)| Location::new(x, y)).collect();
+        let graph = ConflictGraph::from_locations(&locations, lambda);
+        for i in 0..locations.len() {
+            prop_assert!(!graph.are_conflicting(BidderId(i), BidderId(i)));
+            for j in 0..locations.len() {
+                let expected = i != j
+                    && locations[i].x.abs_diff(locations[j].x) < 2 * lambda
+                    && locations[i].y.abs_diff(locations[j].y) < 2 * lambda;
+                prop_assert_eq!(graph.are_conflicting(BidderId(i), BidderId(j)), expected);
+            }
+        }
+    }
+}

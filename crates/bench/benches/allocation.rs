@@ -1,0 +1,100 @@
+//! Benchmarks of the auctioneer-side work: masked comparisons, masked
+//! winner selection, channel ranking, conflict-graph construction, and
+//! the greedy allocation on plaintext vs masked tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lppa::ppbs::location::{build_conflict_graph, LocationSubmission};
+use lppa::protocol::SuSubmission;
+use lppa::psd::table::MaskedBidTable;
+use lppa::ttp::Ttp;
+use lppa::zero_replace::ZeroReplacePolicy;
+use lppa::LppaConfig;
+use lppa_auction::allocation::{greedy_allocate, BidOracle};
+use lppa_auction::bidder::{BidTable, BidderId, Location};
+use lppa_auction::conflict::ConflictGraph;
+use lppa_spectrum::ChannelId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_masked_fixture(
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> (MaskedBidTable, BidTable, ConflictGraph, Vec<LocationSubmission>) {
+    let config = LppaConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ttp = Ttp::new(k, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
+    let mut rows = Vec::with_capacity(n);
+    let mut submissions = Vec::with_capacity(n);
+    let mut locations = Vec::with_capacity(n);
+    for _ in 0..n {
+        let loc = Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127));
+        let bids: Vec<u32> = (0..k)
+            .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=config.bid_max()) })
+            .collect();
+        let sub = SuSubmission::build(loc, &bids, &ttp, &policy, &mut rng).unwrap();
+        rows.push(bids);
+        locations.push(sub.location.clone());
+        submissions.push(sub.bids.clone());
+    }
+    let masked = MaskedBidTable::collect_pruned(submissions).unwrap();
+    let plain = BidTable::from_rows(rows);
+    let conflicts = build_conflict_graph(&locations);
+    (masked, plain, conflicts, locations)
+}
+
+fn bench_masked_comparison(c: &mut Criterion) {
+    let (masked, _, _, _) = build_masked_fixture(8, 2, 1);
+    c.bench_function("allocation/masked_ge", |b| {
+        b.iter(|| masked.ge(ChannelId(0), BidderId(0), BidderId(1)))
+    });
+}
+
+fn bench_select_winner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation/masked_select_winner");
+    for n in [10usize, 50, 100] {
+        let (masked, _, _, _) = build_masked_fixture(n, 1, 2);
+        let candidates: Vec<BidderId> = (0..n).map(BidderId).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| masked.select_winner(ChannelId(0), &candidates, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank_channel(c: &mut Criterion) {
+    let (masked, _, _, _) = build_masked_fixture(100, 1, 4);
+    c.bench_function("allocation/rank_channel_n100", |b| {
+        b.iter(|| masked.rank_channel(ChannelId(0)))
+    });
+}
+
+fn bench_conflict_graph(c: &mut Criterion) {
+    let (_, _, _, locations) = build_masked_fixture(100, 1, 5);
+    c.bench_function("allocation/masked_conflict_graph_n100", |b| {
+        b.iter(|| build_conflict_graph(&locations))
+    });
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let (masked, plain, conflicts, _) = build_masked_fixture(50, 16, 6);
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("allocation/greedy_plaintext_n50_k16", |b| {
+        b.iter(|| greedy_allocate(&plain, &conflicts, &mut rng))
+    });
+    c.bench_function("allocation/greedy_masked_n50_k16", |b| {
+        b.iter(|| greedy_allocate(&masked, &conflicts, &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_masked_comparison,
+    bench_select_winner,
+    bench_rank_channel,
+    bench_conflict_graph,
+    bench_greedy
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates Fig. 4 of the LPPA paper: effectiveness of the BCM and
+//! BPM attacks.
+//!
+//! ```text
+//! fig4_attacks [a|b|c|all] [--quick]
+//!   a    Fig. 4(a): mean possible-location cells vs #channels (Area 4)
+//!   b    Fig. 4(b): attack success rate vs #channels (Area 4)
+//!   c    Fig. 4(c): BCM/BPM across the four areas at the full 129
+//!        channels
+//! --quick  shrink the sweep for smoke runs
+//! ```
+//!
+//! Output is CSV on stdout; one row per (channels, attack variant).
+
+use lppa_bench::csv;
+use lppa_bench::experiments::{attack_sweep, AttackRow};
+use lppa_spectrum::area::AreaProfile;
+
+const SEED: u64 = 0x1cdc_2013;
+
+fn print_rows(rows: &[AttackRow]) {
+    csv::header(&[
+        "area",
+        "channels",
+        "variant",
+        "mean_possible_cells",
+        "success_rate",
+        "failure_rate",
+        "mean_uncertainty_bits",
+        "mean_incorrectness_km",
+        "victims",
+    ]);
+    for row in rows {
+        println!(
+            "{},{},{},{},{},{},{},{},{}",
+            row.area,
+            row.channels,
+            row.variant,
+            csv::f(row.report.mean_possible_cells()),
+            csv::f(row.report.success_rate()),
+            csv::f(row.report.failure_rate()),
+            csv::f(row.report.mean_uncertainty_bits()),
+            csv::f(row.report.mean_incorrectness_km()),
+            row.report.len(),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+
+    // The BPM percentages of Fig. 4: 1, 1/2, 1/3, 1/4, 1/5.
+    let fractions = [0.5, 1.0 / 3.0, 0.25, 0.2];
+    let channel_counts: Vec<usize> =
+        if quick { vec![10, 40] } else { vec![10, 20, 40, 80, 129] };
+    let n_victims = if quick { 30 } else { 100 };
+
+    match which.as_str() {
+        "a" | "b" => {
+            // (a) and (b) share the same sweep; both metrics are columns.
+            let rows = attack_sweep(&AreaProfile::area4(), &channel_counts, n_victims, &fractions, SEED);
+            print_rows(&rows);
+        }
+        "c" => {
+            let k = if quick { 40 } else { 129 };
+            let mut rows = Vec::new();
+            for area in AreaProfile::all() {
+                rows.extend(attack_sweep(&area, &[k], n_victims, &fractions, SEED));
+            }
+            print_rows(&rows);
+        }
+        _ => {
+            let rows = attack_sweep(&AreaProfile::area4(), &channel_counts, n_victims, &fractions, SEED);
+            print_rows(&rows);
+            println!();
+            let k = if quick { 40 } else { 129 };
+            let mut area_rows = Vec::new();
+            for area in AreaProfile::all() {
+                area_rows.extend(attack_sweep(&area, &[k], n_victims, &fractions, SEED));
+            }
+            print_rows(&area_rows);
+        }
+    }
+}

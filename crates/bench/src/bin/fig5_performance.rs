@@ -1,0 +1,50 @@
+//! Regenerates Fig. 5 (e)(f) of the LPPA paper: the auction-performance
+//! cost of LPPA — sum of winning bids (e) and user satisfaction (f),
+//! relative to the plaintext auction on the identical bid table, as the
+//! zero-replace probability grows and for several population sizes.
+//!
+//! ```text
+//! fig5_performance [--quick]
+//! ```
+
+use lppa_bench::csv;
+use lppa_bench::experiments::lppa_performance_sweep;
+use lppa_spectrum::area::AreaProfile;
+
+const SEED: u64 = 0x1cdc_2013;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let replace_probs: Vec<f64> = if quick {
+        vec![0.1, 0.5, 1.0]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    };
+    let n_list: Vec<usize> = if quick { vec![30] } else { vec![50, 100, 200] };
+    let k = if quick { 16 } else { 129 };
+    let reps = if quick { 2 } else { 5 };
+
+    let rows =
+        lppa_performance_sweep(&AreaProfile::area3(), k, &n_list, &replace_probs, reps, SEED);
+
+    csv::header(&[
+        "model",
+        "replace_prob",
+        "n_bidders",
+        "revenue_ratio",
+        "satisfaction_ratio",
+        "invalid_grants",
+    ]);
+    for row in rows {
+        println!(
+            "{},{},{},{},{},{}",
+            row.model,
+            csv::f(row.replace_prob),
+            row.n_bidders,
+            csv::f(row.revenue_ratio),
+            csv::f(row.satisfaction_ratio),
+            row.invalid_grants,
+        );
+    }
+}

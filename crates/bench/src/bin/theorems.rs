@@ -1,0 +1,121 @@
+//! Validates Theorems 1–3 of the LPPA paper: closed forms vs Monte-Carlo
+//! simulation.
+//!
+//! ```text
+//! theorems [t1|t2|t3|all] [--quick]
+//! ```
+//!
+//! For Theorem 2 both the paper's printed formula and this repository's
+//! re-derived exact form are shown; for Theorem 3 the printed
+//! combinatorial form is shown against the (authoritative) Monte-Carlo
+//! estimate — see EXPERIMENTS.md for the discussion of the printed
+//! formulas' transcription ambiguities.
+
+use lppa::analysis::{
+    simulate_expected_true_selected, simulate_no_leakage, simulate_zero_loses,
+    theorem1_zero_loses, theorem2_as_printed, theorem2_no_leakage, theorem3_as_printed,
+};
+use lppa::zero_replace::ZeroReplacePolicy;
+use lppa_bench::csv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BMAX: u32 = 15;
+
+fn t1(trials: usize, rng: &mut StdRng) {
+    println!("# Theorem 1: P(no zero wins) — closed form vs Monte Carlo");
+    csv::header(&["replace_prob", "b_n", "m", "closed_form", "monte_carlo", "abs_err"]);
+    for replace in [0.2, 0.5, 0.8, 0.95] {
+        let policy = ZeroReplacePolicy::uniform(replace, BMAX);
+        for (b_n, m) in [(12u32, 4usize), (12, 12), (6, 8), (15, 10)] {
+            let closed = theorem1_zero_loses(&policy, b_n, m);
+            let mc = simulate_zero_loses(&policy, b_n, m, trials, rng);
+            println!(
+                "{},{},{},{},{},{}",
+                csv::f(replace),
+                b_n,
+                m,
+                csv::f(closed),
+                csv::f(mc),
+                csv::f((closed - mc).abs())
+            );
+        }
+    }
+}
+
+fn t2(trials: usize, rng: &mut StdRng) {
+    println!("# Theorem 2: P(no leakage under t-largest selection)");
+    csv::header(&[
+        "replace_prob",
+        "b_n",
+        "m",
+        "t",
+        "exact_form",
+        "paper_form",
+        "monte_carlo",
+        "exact_abs_err",
+    ]);
+    for replace in [0.5, 0.8, 0.95] {
+        let policy = ZeroReplacePolicy::uniform(replace, BMAX);
+        for (b_n, m, t) in [(12u32, 8usize, 2usize), (12, 12, 3), (6, 10, 1), (10, 14, 4)] {
+            let exact = theorem2_no_leakage(&policy, b_n, m, t);
+            let printed = theorem2_as_printed(&policy, b_n, m, t);
+            let mc = simulate_no_leakage(&policy, &[b_n], m, t, trials, rng);
+            println!(
+                "{},{},{},{},{},{},{},{}",
+                csv::f(replace),
+                b_n,
+                m,
+                t,
+                csv::f(exact),
+                csv::f(printed),
+                csv::f(mc),
+                csv::f((exact - mc).abs())
+            );
+        }
+    }
+}
+
+fn t3(trials: usize, rng: &mut StdRng) {
+    println!("# Theorem 3: E[# true bids among t-largest], uniform policy p = 1/(bmax+1)");
+    csv::header(&["b_set", "m", "t", "paper_form", "monte_carlo"]);
+    let replace = f64::from(BMAX) / f64::from(BMAX + 1); // p_0 = p
+    let policy = ZeroReplacePolicy::uniform(replace, BMAX);
+    for (bids, m, t) in [
+        (vec![3u32, 7, 12], 8usize, 3usize),
+        (vec![5, 9, 14], 12, 4),
+        (vec![2, 4, 6, 8, 10], 10, 2),
+    ] {
+        let printed = theorem3_as_printed(BMAX, &bids, m, t);
+        let mc = simulate_expected_true_selected(&policy, &bids, m, t, trials, rng);
+        println!(
+            "{:?},{},{},{},{}",
+            bids,
+            m,
+            t,
+            csv::f(printed),
+            csv::f(mc)
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let trials = if quick { 20_000 } else { 200_000 };
+    let mut rng = StdRng::seed_from_u64(0x7e0);
+
+    match which.as_str() {
+        "t1" => t1(trials, &mut rng),
+        "t2" => t2(trials, &mut rng),
+        "t3" => t3(trials, &mut rng),
+        _ => {
+            t1(trials, &mut rng);
+            println!();
+            t2(trials, &mut rng);
+            println!();
+            t3(trials, &mut rng);
+        }
+    }
+}

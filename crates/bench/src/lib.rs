@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every figure of the LPPA paper.
+//!
+//! Each binary in `src/bin/` prints one figure's data as CSV; this
+//! library holds the shared experiment logic so Criterion benches and
+//! binaries agree on workloads:
+//!
+//! * [`experiments::attack_sweep`] — Fig. 4 (a)(b)(c): BCM/BPM
+//!   effectiveness vs number of channels and across areas;
+//! * [`experiments::lppa_privacy_sweep`] — Fig. 5 (a)–(d): the four
+//!   privacy metrics with and without LPPA, vs zero-replace probability;
+//! * [`experiments::lppa_performance_sweep`] — Fig. 5 (e)(f): revenue
+//!   and satisfaction cost of LPPA.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Tiny CSV helpers shared by the figure binaries.
+pub mod csv {
+    /// Prints a CSV header line.
+    pub fn header(columns: &[&str]) {
+        println!("{}", columns.join(","));
+    }
+
+    /// Formats a float with fixed precision for CSV cells.
+    pub fn f(value: f64) -> String {
+        format!("{value:.4}")
+    }
+}

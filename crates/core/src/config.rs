@@ -1,0 +1,219 @@
+//! Protocol configuration.
+//!
+//! All LPPA parties must agree on the integer domains (bit widths) of
+//! locations and bids, the interference half-width `λ`, and the two
+//! secret transform parameters of the advanced bid scheme: the zero
+//! offset `rd` and the range-expansion factor `cr` (§IV.C.2, §V.B).
+
+use crate::error::LppaError;
+
+/// Shared protocol parameters.
+///
+/// # Examples
+///
+/// ```
+/// use lppa::LppaConfig;
+///
+/// let config = LppaConfig::default();
+/// assert_eq!(config.bid_max(), 127);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LppaConfig {
+    /// Bit width of each location coordinate.
+    pub loc_bits: u8,
+    /// Bit width of raw bid prices; raw bids live in `[0, 2^bid_bits − 1]`.
+    pub bid_bits: u8,
+    /// Interference half-width `λ` (conflict iff both coordinate gaps
+    /// are `< 2λ`). Must be at least 1.
+    pub lambda: u32,
+    /// The secret offset added to every bid; raw zeros map uniformly
+    /// into `[0, rd]` (kept from the auctioneer, shared by SUs and TTP).
+    pub rd: u32,
+    /// The secret range-expansion factor; an offset bid `x` is mapped
+    /// uniformly into `[cr·x, cr·(x+1) − 1]`. Must be at least 1.
+    pub cr: u32,
+}
+
+impl Default for LppaConfig {
+    /// The defaults used throughout the evaluation: 7-bit locations
+    /// (a 100×100 grid), 7-bit bids, `λ = 3`, `rd = 8`, `cr = 4`.
+    fn default() -> Self {
+        Self { loc_bits: 7, bid_bits: 7, lambda: 3, rd: 8, cr: 4 }
+    }
+}
+
+impl LppaConfig {
+    /// Largest representable location coordinate.
+    pub fn loc_max(&self) -> u32 {
+        (1u32 << self.loc_bits) - 1
+    }
+
+    /// Largest raw bid `bmax`.
+    pub fn bid_max(&self) -> u32 {
+        (1u32 << self.bid_bits) - 1
+    }
+
+    /// Largest bid after the offset (`bmax + rd`).
+    pub fn offset_max(&self) -> u32 {
+        self.bid_max() + self.rd
+    }
+
+    /// Largest transmitted (offset + `cr`-mapped) bid value:
+    /// `cr·(bmax + rd + 1) − 1`.
+    pub fn transformed_max(&self) -> u32 {
+        self.cr * (self.offset_max() + 1) - 1
+    }
+
+    /// Bit width of the transmitted bid domain (what Theorem 4 calls
+    /// `w`).
+    pub fn transformed_bits(&self) -> u8 {
+        let max = self.transformed_max();
+        (32 - max.leading_zeros()) as u8
+    }
+
+    /// Applies the offset stage to a *non-zero* raw bid.
+    pub fn offset_bid(&self, raw: u32) -> u32 {
+        raw + self.rd
+    }
+
+    /// Recovers the offset-domain value from a transformed one
+    /// (`⌊v / cr⌋`, the TTP's first decoding step).
+    pub fn decode_transformed(&self, transformed: u32) -> u32 {
+        transformed / self.cr
+    }
+
+    /// Whether an offset-domain value denotes a raw zero (it fell in
+    /// `[0, rd]`).
+    pub fn is_zero_price(&self, offset_value: u32) -> bool {
+        offset_value <= self.rd
+    }
+
+    /// Recovers the raw bid from an offset-domain value.
+    ///
+    /// Returns 0 for values in the zero band `[0, rd]`.
+    pub fn decode_offset(&self, offset_value: u32) -> u32 {
+        offset_value.saturating_sub(self.rd)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppaError::InvalidConfig`] when any parameter is out of
+    /// range or the transformed bid domain would overflow the prefix
+    /// machinery's 32-bit ceiling.
+    pub fn validate(&self) -> Result<(), LppaError> {
+        let fail = |reason: String| Err(LppaError::InvalidConfig { reason });
+        if self.loc_bits == 0 || self.loc_bits > 32 {
+            return fail(format!("loc_bits {} outside 1..=32", self.loc_bits));
+        }
+        if self.bid_bits == 0 || self.bid_bits > 24 {
+            return fail(format!("bid_bits {} outside 1..=24", self.bid_bits));
+        }
+        if self.lambda == 0 {
+            return fail("lambda must be at least 1".into());
+        }
+        if self.cr == 0 {
+            return fail("cr must be at least 1".into());
+        }
+        let offset_max = u64::from(self.bid_max()) + u64::from(self.rd);
+        let transformed_max = u64::from(self.cr) * (offset_max + 1) - 1;
+        if transformed_max > u64::from(u32::MAX >> 1) {
+            return fail(format!(
+                "transformed bid domain {transformed_max} exceeds the 31-bit prefix ceiling"
+            ));
+        }
+        // The conflict range [x − (2λ−1), x + (2λ−1)] must stay
+        // representable for all coordinates.
+        if u64::from(2 * self.lambda - 1) > u64::from(self.loc_max()) {
+            return fail(format!(
+                "lambda {} too large for {}-bit coordinates",
+                self.lambda, self.loc_bits
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = LppaConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.loc_max(), 127);
+        assert_eq!(c.bid_max(), 127);
+        assert_eq!(c.offset_max(), 135);
+        assert_eq!(c.transformed_max(), 4 * 136 - 1);
+        assert_eq!(c.transformed_bits(), 10);
+    }
+
+    #[test]
+    fn transform_decode_roundtrip() {
+        let c = LppaConfig::default();
+        for raw in [1u32, 5, 60, 127] {
+            let offset = c.offset_bid(raw);
+            // Any value in the cr band decodes back.
+            for u in 0..c.cr {
+                let transformed = c.cr * offset + u;
+                let decoded_offset = c.decode_transformed(transformed);
+                assert_eq!(decoded_offset, offset);
+                assert!(!c.is_zero_price(decoded_offset));
+                assert_eq!(c.decode_offset(decoded_offset), raw);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_band_is_detected() {
+        let c = LppaConfig::default();
+        for x in 0..=c.rd {
+            assert!(c.is_zero_price(x));
+            assert_eq!(c.decode_offset(x), 0);
+        }
+        assert!(!c.is_zero_price(c.rd + 1));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let base = LppaConfig::default();
+        for (config, needle) in [
+            (LppaConfig { loc_bits: 0, ..base }, "loc_bits"),
+            (LppaConfig { loc_bits: 40, ..base }, "loc_bits"),
+            (LppaConfig { bid_bits: 0, ..base }, "bid_bits"),
+            (LppaConfig { bid_bits: 30, ..base }, "bid_bits"),
+            (LppaConfig { lambda: 0, ..base }, "lambda"),
+            (LppaConfig { cr: 0, ..base }, "cr"),
+            (LppaConfig { lambda: 1000, ..base }, "lambda"),
+            (LppaConfig { bid_bits: 24, rd: u32::MAX / 8, cr: 16, ..base }, "transformed"),
+        ] {
+            let err = config.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{config:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn transformed_bits_covers_domain() {
+        for (bid_bits, rd, cr) in [(4u8, 0u32, 1u32), (7, 8, 4), (8, 20, 7), (10, 1, 2)] {
+            let c = LppaConfig { bid_bits, rd, cr, ..LppaConfig::default() };
+            c.validate().unwrap();
+            let w = c.transformed_bits();
+            assert!(u64::from(c.transformed_max()) < (1u64 << w));
+            assert!(u64::from(c.transformed_max()) >= (1u64 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn cr_one_rd_zero_is_identity_transform() {
+        let c = LppaConfig { rd: 0, cr: 1, ..LppaConfig::default() };
+        c.validate().unwrap();
+        assert_eq!(c.transformed_max(), c.bid_max());
+        assert_eq!(c.offset_bid(9), 9);
+        assert_eq!(c.decode_transformed(9), 9);
+        assert!(c.is_zero_price(0));
+        assert!(!c.is_zero_price(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types of the LPPA protocol crate.
+
+use lppa_prefix::PrefixError;
+
+/// Errors raised while configuring or executing the LPPA protocol.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LppaError {
+    /// A protocol parameter is out of range or inconsistent.
+    InvalidConfig {
+        /// Which parameter, and why.
+        reason: String,
+    },
+    /// A prefix-level operation failed (bad width, empty range, …).
+    Prefix(PrefixError),
+    /// A submission referenced a different number of channels than the
+    /// auction sells.
+    ChannelCountMismatch {
+        /// Channels in the submission.
+        submitted: usize,
+        /// Channels in the auction.
+        expected: usize,
+    },
+    /// A raw bid exceeded the configured maximum.
+    BidOutOfRange {
+        /// The offending bid.
+        bid: u32,
+        /// The configured maximum.
+        bmax: u32,
+    },
+    /// A location coordinate exceeded the configured domain.
+    LocationOutOfRange {
+        /// The offending coordinate.
+        coordinate: u32,
+        /// The largest representable coordinate.
+        max: u32,
+    },
+    /// The TTP could not authenticate a sealed bid forwarded for
+    /// charging.
+    ChargeAuthentication,
+    /// The winning bid's masked prefixes do not match its sealed price —
+    /// the bidder manipulated its submission.
+    ChargeManipulated,
+}
+
+impl std::fmt::Display for LppaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LppaError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            LppaError::Prefix(e) => write!(f, "prefix operation failed: {e}"),
+            LppaError::ChannelCountMismatch { submitted, expected } => {
+                write!(f, "submission covers {submitted} channels, auction has {expected}")
+            }
+            LppaError::BidOutOfRange { bid, bmax } => {
+                write!(f, "bid {bid} exceeds maximum {bmax}")
+            }
+            LppaError::LocationOutOfRange { coordinate, max } => {
+                write!(f, "coordinate {coordinate} exceeds domain maximum {max}")
+            }
+            LppaError::ChargeAuthentication => {
+                write!(f, "sealed winning bid failed authentication")
+            }
+            LppaError::ChargeManipulated => {
+                write!(f, "winning bid's prefixes do not match its sealed price")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LppaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LppaError::Prefix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PrefixError> for LppaError {
+    fn from(e: PrefixError) -> Self {
+        LppaError::Prefix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(LppaError, &str)> = vec![
+            (LppaError::InvalidConfig { reason: "rd too big".into() }, "rd too big"),
+            (
+                LppaError::Prefix(PrefixError::EmptyRange { lo: 2, hi: 1 }),
+                "prefix",
+            ),
+            (
+                LppaError::ChannelCountMismatch { submitted: 3, expected: 5 },
+                "3 channels",
+            ),
+            (LppaError::BidOutOfRange { bid: 200, bmax: 127 }, "200"),
+            (LppaError::LocationOutOfRange { coordinate: 9, max: 7 }, "9"),
+            (LppaError::ChargeAuthentication, "authentication"),
+            (LppaError::ChargeManipulated, "do not match"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_errors_convert_and_chain() {
+        let err: LppaError = PrefixError::WidthOutOfRange { width: 0 }.into();
+        assert!(matches!(err, LppaError::Prefix(_)));
+        use std::error::Error as _;
+        assert!(err.source().is_some());
+        assert!(LppaError::ChargeAuthentication.source().is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Private Location Submission (§IV.A of the paper).
+//!
+//! Each bidder submits, per axis, the masked prefix family of its
+//! coordinate and the masked cover of its interference range. The
+//! auctioneer declares two bidders conflicting iff the point of one lies
+//! in the range of the other on **both** axes — exactly the plaintext
+//! predicate `|Δx| < 2λ ∧ |Δy| < 2λ`, computed without seeing any
+//! coordinate.
+//!
+//! The transmitted interference range is `[x − (2λ−1), x + (2λ−1)]`
+//! (clamped to the domain): with integer coordinates, membership in that
+//! closed range is exactly the paper's strict `|Δ| < 2λ` test.
+
+use lppa_auction::bidder::Location;
+use lppa_auction::conflict::ConflictGraph;
+use lppa_crypto::keys::HmacKey;
+use lppa_prefix::{MaskedPoint, MaskedRange};
+use rand::Rng;
+
+use crate::config::LppaConfig;
+use crate::error::LppaError;
+
+/// A bidder's masked location submission.
+///
+/// # Examples
+///
+/// ```
+/// use lppa::ppbs::location::LocationSubmission;
+/// use lppa::LppaConfig;
+/// use lppa_auction::bidder::Location;
+/// use lppa_crypto::keys::HmacKey;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lppa::LppaError> {
+/// let g0 = HmacKey::from_bytes([7u8; 32]);
+/// let config = LppaConfig::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = LocationSubmission::build(Location::new(10, 10), &g0, &config, &mut rng)?;
+/// let b = LocationSubmission::build(Location::new(12, 11), &g0, &config, &mut rng)?;
+/// assert!(a.conflicts_with(&b)); // both gaps < 2λ = 6
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocationSubmission {
+    point_x: MaskedPoint,
+    range_x: MaskedRange,
+    point_y: MaskedPoint,
+    range_y: MaskedRange,
+}
+
+impl LocationSubmission {
+    /// Masks `location` under the shared key `g0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppaError::LocationOutOfRange`] if a coordinate does not
+    /// fit the configured domain, or a config/prefix error.
+    pub fn build<R: Rng + ?Sized>(
+        location: Location,
+        g0: &HmacKey,
+        config: &LppaConfig,
+        rng: &mut R,
+    ) -> Result<Self, LppaError> {
+        config.validate()?;
+        let max = config.loc_max();
+        for coordinate in [location.x, location.y] {
+            if coordinate > max {
+                return Err(LppaError::LocationOutOfRange { coordinate, max });
+            }
+        }
+        let w = config.loc_bits;
+        let half = 2 * config.lambda - 1; // closed-range radius for strict < 2λ
+        let build_axis = |value: u32, rng: &mut R| -> Result<(MaskedPoint, MaskedRange), LppaError> {
+            let lo = value.saturating_sub(half);
+            let hi = (value + half).min(max);
+            Ok((
+                MaskedPoint::mask(g0, w, value)?,
+                MaskedRange::mask_padded(g0, w, lo, hi, rng)?,
+            ))
+        };
+        let (point_x, range_x) = build_axis(location.x, rng)?;
+        let (point_y, range_y) = build_axis(location.y, rng)?;
+        Ok(Self { point_x, range_x, point_y, range_y })
+    }
+
+    /// The auctioneer's conflict test: does `self`'s point fall inside
+    /// `other`'s interference range on both axes?
+    ///
+    /// Symmetric for submissions built with the same `λ`, since the
+    /// ranges have equal radius.
+    pub fn conflicts_with(&self, other: &LocationSubmission) -> bool {
+        self.point_x.in_range(&other.range_x) && self.point_y.in_range(&other.range_y)
+    }
+
+    /// Transmission size in bytes (both axes, points and ranges).
+    pub fn wire_len(&self) -> usize {
+        self.point_x.wire_len()
+            + self.range_x.wire_len()
+            + self.point_y.wire_len()
+            + self.range_y.wire_len()
+    }
+}
+
+/// Builds the full conflict graph from all bidders' masked submissions —
+/// what the curious auctioneer actually computes.
+pub fn build_conflict_graph(submissions: &[LocationSubmission]) -> ConflictGraph {
+    let n = submissions.len();
+    let mut graph = ConflictGraph::disconnected(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if submissions[i].conflicts_with(&submissions[j]) {
+                graph.add_conflict(i.into(), j.into());
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (HmacKey, LppaConfig, StdRng) {
+        (
+            HmacKey::from_bytes([3u8; 32]),
+            LppaConfig::default(),
+            StdRng::seed_from_u64(5),
+        )
+    }
+
+    #[test]
+    fn masked_conflicts_match_plaintext_predicate() {
+        let (g0, config, mut rng) = setup();
+        let base = Location::new(50, 50);
+        let a = LocationSubmission::build(base, &g0, &config, &mut rng).unwrap();
+        // Sweep the whole neighbourhood around the 2λ boundary.
+        for dx in 0..=8u32 {
+            for dy in 0..=8u32 {
+                let other = Location::new(50 + dx, 50 + dy);
+                let b = LocationSubmission::build(other, &g0, &config, &mut rng).unwrap();
+                let expected = base.conflicts_with(&other, config.lambda);
+                assert_eq!(a.conflicts_with(&b), expected, "d=({dx},{dy})");
+                assert_eq!(b.conflicts_with(&a), expected, "symmetry d=({dx},{dy})");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_matches_plaintext_graph() {
+        let (g0, config, mut rng) = setup();
+        use rand::Rng as _;
+        let locations: Vec<Location> = (0..25)
+            .map(|_| Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127)))
+            .collect();
+        let submissions: Vec<LocationSubmission> = locations
+            .iter()
+            .map(|&l| LocationSubmission::build(l, &g0, &config, &mut rng).unwrap())
+            .collect();
+        let masked = build_conflict_graph(&submissions);
+        let plain = ConflictGraph::from_locations(&locations, config.lambda);
+        assert_eq!(masked, plain);
+    }
+
+    #[test]
+    fn boundary_coordinates_clamp_cleanly() {
+        let (g0, config, mut rng) = setup();
+        let corner = LocationSubmission::build(Location::new(0, 0), &g0, &config, &mut rng)
+            .unwrap();
+        let far = LocationSubmission::build(
+            Location::new(config.loc_max(), config.loc_max()),
+            &g0,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!corner.conflicts_with(&far));
+        assert!(corner.conflicts_with(&corner));
+    }
+
+    #[test]
+    fn out_of_domain_location_is_rejected() {
+        let (g0, config, mut rng) = setup();
+        let err = LocationSubmission::build(Location::new(500, 0), &g0, &config, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, LppaError::LocationOutOfRange { coordinate: 500, .. }));
+    }
+
+    #[test]
+    fn different_keys_never_conflict() {
+        // Submissions masked under different keys are mutually opaque —
+        // the structural reason an eavesdropper without g0 learns nothing.
+        let (_, config, mut rng) = setup();
+        let k1 = HmacKey::from_bytes([1u8; 32]);
+        let k2 = HmacKey::from_bytes([2u8; 32]);
+        let a = LocationSubmission::build(Location::new(9, 9), &k1, &config, &mut rng).unwrap();
+        let b = LocationSubmission::build(Location::new(9, 9), &k2, &config, &mut rng).unwrap();
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn wire_len_is_uniform_across_locations() {
+        // Padding makes every submission the same size: the auctioneer
+        // cannot distinguish edge users by submission length.
+        let (g0, config, mut rng) = setup();
+        let sizes: std::collections::HashSet<usize> = [
+            Location::new(0, 0),
+            Location::new(1, 127),
+            Location::new(64, 64),
+            Location::new(127, 0),
+        ]
+        .into_iter()
+        .map(|l| {
+            LocationSubmission::build(l, &g0, &config, &mut rng).unwrap().wire_len()
+        })
+        .collect();
+        assert_eq!(sizes.len(), 1, "submission sizes leak location: {sizes:?}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Privacy Preserving Bid Submission (PPBS): masked locations and masked,
+//! transformed bids (§IV of the paper).
+
+pub mod bid;
+pub mod location;

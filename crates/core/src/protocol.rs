@@ -1,0 +1,362 @@
+//! The end-to-end LPPA protocol: bidder side, auctioneer side, TTP
+//! charging.
+//!
+//! The flow mirrors the paper's architecture (Fig. 1a):
+//!
+//! 1. the TTP issues keys to the bidders ([`crate::ttp::Ttp`]);
+//! 2. each SU builds a [`SuSubmission`] — masked location plus masked,
+//!    transformed bids — and sends it to the auctioneer;
+//! 3. the auctioneer constructs the conflict graph and runs the greedy
+//!    allocation entirely on masked data;
+//! 4. winning sealed bids go to the TTP in one batch; valid charges come
+//!    back, disguised zeros are flagged invalid (the channel grant is
+//!    wasted — the §VI performance cost of the defence).
+
+use lppa_auction::allocation::{greedy_allocate, Grant};
+use lppa_auction::bidder::{BidderId, Location};
+use lppa_auction::conflict::ConflictGraph;
+use lppa_auction::outcome::{Assignment, AuctionOutcome};
+use rand::Rng;
+
+use crate::error::LppaError;
+use crate::ppbs::bid::AdvancedBidSubmission;
+use crate::ppbs::location::{build_conflict_graph, LocationSubmission};
+use crate::psd::table::MaskedBidTable;
+use crate::ttp::{ChargeDecision, ChargeRequest, Ttp};
+use crate::zero_replace::ZeroReplacePolicy;
+
+/// Everything one secondary user transmits to the auctioneer.
+#[derive(Clone, Debug)]
+pub struct SuSubmission {
+    /// Masked location (conflict-graph material).
+    pub location: LocationSubmission,
+    /// Masked, transformed per-channel bids.
+    pub bids: AdvancedBidSubmission,
+}
+
+impl SuSubmission {
+    /// Builds a submission on the bidder side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates location/bid domain violations and configuration
+    /// errors.
+    pub fn build<R: Rng + ?Sized>(
+        location: Location,
+        raw_bids: &[u32],
+        ttp: &Ttp,
+        policy: &ZeroReplacePolicy,
+        rng: &mut R,
+    ) -> Result<Self, LppaError> {
+        let keys = ttp.bidder_keys();
+        let config = ttp.config();
+        Ok(Self {
+            location: LocationSubmission::build(location, &keys.g0, config, rng)?,
+            bids: AdvancedBidSubmission::build(raw_bids, keys, config, policy, rng)?,
+        })
+    }
+
+    /// Total transmission size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.location.wire_len() + self.bids.wire_len()
+    }
+}
+
+/// How the auctioneer handles cells it cannot prove are genuine bids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AuctioneerModel {
+    /// Fully oblivious single-shot charging: every cell is an entry, the
+    /// TTP is consulted exactly once, and every invalid (zero) win is a
+    /// final, wasted grant. This is the most conservative reading of the
+    /// paper and over-counts wasted grants in the long tail, where
+    /// columns hold only plain zeros.
+    Oblivious,
+    /// Iterative charging: when a winner turns out to be an *undisguised*
+    /// zero, the TTP can prove it (the sealed zero-band value matches the
+    /// submitted prefixes), reveal it, and the auctioneer strikes the
+    /// cell and re-auctions the channel. Disguised-zero wins stay final —
+    /// retrying those would reveal which bids were disguises and defeat
+    /// the defence. Equivalent to pruning plain-zero cells up front,
+    /// which is how it is implemented. This model matches the paper's
+    /// §VI performance curves and is the default.
+    #[default]
+    IterativeCharging,
+}
+
+/// The auctioneer's result of a private auction round.
+#[derive(Clone, Debug)]
+pub struct PrivateAuctionResult {
+    /// Valid assignments with TTP-decrypted first-price charges.
+    pub outcome: AuctionOutcome,
+    /// Grants the TTP invalidated (disguised zeros that won) — wasted
+    /// spectrum, the price of the defence.
+    pub invalid_grants: Vec<Grant>,
+    /// The conflict graph the auctioneer reconstructed from masked
+    /// locations.
+    pub conflicts: ConflictGraph,
+    /// The raw grants in allocation order (before charging).
+    pub grants: Vec<Grant>,
+}
+
+/// Runs the auctioneer + TTP side of one complete LPPA auction.
+///
+/// `table` and the location submissions come from collected
+/// [`SuSubmission`]s; `ttp` performs the charging step.
+///
+/// # Errors
+///
+/// Returns an error if the submissions are inconsistent or the TTP
+/// detects tampering. Disguised zeros are *not* errors — they surface in
+/// `invalid_grants`.
+pub fn run_private_auction<R: Rng>(
+    submissions: &[SuSubmission],
+    ttp: &Ttp,
+    rng: &mut R,
+) -> Result<PrivateAuctionResult, LppaError> {
+    run_private_auction_with_model(submissions, ttp, AuctioneerModel::default(), rng)
+}
+
+/// As [`run_private_auction`], with an explicit [`AuctioneerModel`].
+///
+/// # Errors
+///
+/// As for [`run_private_auction`].
+pub fn run_private_auction_with_model<R: Rng>(
+    submissions: &[SuSubmission],
+    ttp: &Ttp,
+    model: AuctioneerModel,
+    rng: &mut R,
+) -> Result<PrivateAuctionResult, LppaError> {
+    // Phase 1: conflict graph from masked locations.
+    let locations: Vec<LocationSubmission> =
+        submissions.iter().map(|s| s.location.clone()).collect();
+    let conflicts = build_conflict_graph(&locations);
+
+    // Phase 2: masked table.
+    let bids = submissions.iter().map(|s| s.bids.clone()).collect();
+    let table = match model {
+        AuctioneerModel::Oblivious => MaskedBidTable::collect(bids)?,
+        AuctioneerModel::IterativeCharging => MaskedBidTable::collect_pruned(bids)?,
+    };
+
+    // Phase 3: greedy allocation over masked comparisons.
+    let grants = greedy_allocate(&table, &conflicts, rng);
+
+    // Phase 4: batch charging through the TTP.
+    let requests: Vec<ChargeRequest> = grants
+        .iter()
+        .map(|g| {
+            let bid = &table.submissions()[g.bidder.0].bids()[g.channel.0];
+            ChargeRequest { channel: g.channel, sealed: bid.sealed.clone(), point: bid.point.clone() }
+        })
+        .collect();
+    let decisions = ttp.open_charges(&requests)?;
+
+    let mut assignments = Vec::new();
+    let mut invalid_grants = Vec::new();
+    for (grant, decision) in grants.iter().zip(decisions) {
+        match decision {
+            ChargeDecision::Valid { raw_price } => assignments.push(Assignment {
+                bidder: grant.bidder,
+                channel: grant.channel,
+                price: raw_price,
+            }),
+            ChargeDecision::InvalidZero => invalid_grants.push(*grant),
+        }
+    }
+
+    Ok(PrivateAuctionResult {
+        outcome: AuctionOutcome::from_assignments(assignments, submissions.len()),
+        invalid_grants,
+        conflicts,
+        grants,
+    })
+}
+
+/// Convenience wrapper: builds every submission and runs the auction.
+///
+/// `bidders` supplies `(location, raw bid vector)` pairs; all bidders
+/// share `policy`.
+///
+/// # Errors
+///
+/// As for [`SuSubmission::build`] and [`run_private_auction`].
+pub fn run_private_auction_from_bids<R: Rng>(
+    bidders: &[(Location, Vec<u32>)],
+    ttp: &Ttp,
+    policy: &ZeroReplacePolicy,
+    rng: &mut R,
+) -> Result<PrivateAuctionResult, LppaError> {
+    run_private_auction_from_bids_with_model(bidders, ttp, policy, AuctioneerModel::default(), rng)
+}
+
+/// As [`run_private_auction_from_bids`], with an explicit
+/// [`AuctioneerModel`].
+///
+/// # Errors
+///
+/// As for [`run_private_auction_from_bids`].
+pub fn run_private_auction_from_bids_with_model<R: Rng>(
+    bidders: &[(Location, Vec<u32>)],
+    ttp: &Ttp,
+    policy: &ZeroReplacePolicy,
+    model: AuctioneerModel,
+    rng: &mut R,
+) -> Result<PrivateAuctionResult, LppaError> {
+    let submissions = bidders
+        .iter()
+        .map(|(loc, bids)| SuSubmission::build(*loc, bids, ttp, policy, rng))
+        .collect::<Result<Vec<_>, _>>()?;
+    run_private_auction_with_model(&submissions, ttp, model, rng)
+}
+
+/// Re-derives which bidder a grant belongs to for bookkeeping.
+pub fn grant_bidders(grants: &[Grant]) -> Vec<BidderId> {
+    grants.iter().map(|g| g.bidder).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LppaConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ttp(k: usize, seed: u64) -> (Ttp, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ttp = Ttp::new(k, LppaConfig::default(), &mut rng).unwrap();
+        (ttp, rng)
+    }
+
+    #[test]
+    fn private_auction_matches_plaintext_semantics_without_disguises() {
+        // With no zero disguises, the private auction must award channels
+        // to plaintext maxima, respect conflicts, and charge first price.
+        let (ttp, mut rng) = ttp(3, 1);
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let bidders: Vec<(Location, Vec<u32>)> = vec![
+            (Location::new(0, 0), vec![50, 0, 10]),
+            (Location::new(100, 100), vec![40, 20, 0]),
+            (Location::new(1, 1), vec![60, 0, 5]), // conflicts with bidder 0
+        ];
+        let result = run_private_auction_from_bids(&bidders, &ttp, &policy, &mut rng).unwrap();
+
+        assert!(result.invalid_grants.is_empty(), "no disguises, no invalid wins");
+        // Bidder 2 outbids bidder 0 on channel 0 and they conflict, so
+        // bidder 0 cannot also hold channel 0.
+        let holders0: Vec<BidderId> = result
+            .outcome
+            .assignments()
+            .iter()
+            .filter(|a| a.channel == lppa_spectrum::ChannelId(0))
+            .map(|a| a.bidder)
+            .collect();
+        assert!(result.conflicts.is_independent(&holders0));
+        // Every charge equals the raw bid.
+        for a in result.outcome.assignments() {
+            assert_eq!(a.price, bidders[a.bidder.0].1[a.channel.0], "{a:?}");
+            assert!(a.price > 0);
+        }
+    }
+
+    #[test]
+    fn conflict_graph_matches_plaintext() {
+        let (ttp, mut rng) = ttp(1, 2);
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let locs = [
+            Location::new(10, 10),
+            Location::new(12, 12),
+            Location::new(90, 90),
+            Location::new(13, 9),
+        ];
+        let bidders: Vec<(Location, Vec<u32>)> =
+            locs.iter().map(|&l| (l, vec![5u32])).collect();
+        let result = run_private_auction_from_bids(&bidders, &ttp, &policy, &mut rng).unwrap();
+        let plain = ConflictGraph::from_locations(&locs, ttp.config().lambda);
+        assert_eq!(result.conflicts, plain);
+    }
+
+    #[test]
+    fn disguised_zero_wins_are_invalidated_not_charged() {
+        // One genuine small bid, many bidders whose zeros always disguise
+        // as large values: disguises will win but must never be charged.
+        let (ttp, mut rng) = ttp(1, 3);
+        let bmax = ttp.config().bid_max();
+        let always_high = ZeroReplacePolicy::from_probabilities({
+            let mut p = vec![0.0; bmax as usize + 1];
+            p[bmax as usize] = 1.0; // always disguise as bmax
+            p
+        });
+        // All bidders conflict (same spot) so exactly one grant happens.
+        let bidders: Vec<(Location, Vec<u32>)> = vec![
+            (Location::new(5, 5), vec![1]),
+            (Location::new(5, 5), vec![0]),
+            (Location::new(5, 5), vec![0]),
+        ];
+        let result =
+            run_private_auction_from_bids(&bidders, &ttp, &always_high, &mut rng).unwrap();
+        // The disguised zeros (presenting bmax) beat the genuine bid 1.
+        assert_eq!(result.grants.len(), 1);
+        assert_eq!(result.invalid_grants.len(), 1);
+        assert!(result.outcome.assignments().is_empty());
+        assert_eq!(result.outcome.revenue(), 0);
+    }
+
+    #[test]
+    fn revenue_decreases_with_disguise_probability() {
+        // The Fig. 5e effect in miniature: more disguising, less revenue.
+        let (ttp, _) = ttp(4, 4);
+        let run = |replace: f64, seed: u64| -> u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let policy = ZeroReplacePolicy::uniform(replace, ttp.config().bid_max());
+            use rand::Rng as _;
+            let bidders: Vec<(Location, Vec<u32>)> = (0..20)
+                .map(|_| {
+                    let loc = Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127));
+                    let bids =
+                        (0..4).map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=80) }).collect();
+                    (loc, bids)
+                })
+                .collect();
+            run_private_auction_from_bids(&bidders, &ttp, &policy, &mut rng)
+                .unwrap()
+                .outcome
+                .revenue()
+        };
+        let mut none_total = 0u64;
+        let mut full_total = 0u64;
+        for seed in 0..8 {
+            none_total += run(0.0, seed);
+            full_total += run(1.0, seed);
+        }
+        assert!(
+            full_total < none_total,
+            "full disguising ({full_total}) should cost revenue vs none ({none_total})"
+        );
+    }
+
+    #[test]
+    fn submission_wire_len_accounts_location_and_bids() {
+        let (ttp, mut rng) = ttp(2, 5);
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let sub = SuSubmission::build(
+            Location::new(3, 4),
+            &[1, 2],
+            &ttp,
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sub.wire_len(), sub.location.wire_len() + sub.bids.wire_len());
+        assert!(sub.wire_len() > 0);
+    }
+
+    #[test]
+    fn grant_bidders_projects() {
+        let grants = vec![
+            Grant { bidder: BidderId(3), channel: lppa_spectrum::ChannelId(0) },
+            Grant { bidder: BidderId(1), channel: lppa_spectrum::ChannelId(2) },
+        ];
+        assert_eq!(grant_bidders(&grants), vec![BidderId(3), BidderId(1)]);
+    }
+}

@@ -1,0 +1,4 @@
+//! Private Spectrum Distribution (PSD): greedy allocation over masked
+//! bids and TTP-assisted charging (§V of the paper).
+
+pub mod table;

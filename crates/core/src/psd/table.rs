@@ -1,0 +1,265 @@
+//! The auctioneer's masked bid table.
+//!
+//! After the bidding phase the auctioneer holds one
+//! [`AdvancedBidSubmission`] per bidder. It cannot read any price, but
+//! within a channel it can test `a ≥ b` through prefix membership — which
+//! is enough to drive the greedy allocation (as the [`BidOracle`]
+//! implementation) and to rank a column (which is also exactly the
+//! information the §VI attacker can exploit, see
+//! `lppa_attack::ChannelRankings`).
+
+use lppa_auction::allocation::BidOracle;
+use lppa_auction::bidder::BidderId;
+use lppa_spectrum::ChannelId;
+use rand::seq::SliceRandom;
+
+use crate::error::LppaError;
+use crate::ppbs::bid::AdvancedBidSubmission;
+
+/// All bidders' masked submissions, as the auctioneer stores them.
+#[derive(Clone, Debug)]
+pub struct MaskedBidTable {
+    submissions: Vec<AdvancedBidSubmission>,
+    n_channels: usize,
+    prune_plain_zeros: bool,
+}
+
+impl MaskedBidTable {
+    /// Collects the submissions into a fully oblivious table: every cell
+    /// is an entry, because the auctioneer cannot tell zeros apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppaError::ChannelCountMismatch`] if the submissions do
+    /// not all cover the same channels, or [`LppaError::InvalidConfig`]
+    /// if there are none.
+    pub fn collect(submissions: Vec<AdvancedBidSubmission>) -> Result<Self, LppaError> {
+        Self::collect_inner(submissions, false)
+    }
+
+    /// Collects the submissions with *plain-zero pruning*: cells whose
+    /// presented value is an undisguised zero are treated as absent.
+    ///
+    /// This models the iterative charging protocol
+    /// (`crate::protocol::AuctioneerModel::IterativeCharging`): whenever
+    /// a plain zero wins, the TTP detects it (the winner's prefixes match
+    /// its sealed zero-band value), reveals it, and the auctioneer
+    /// strikes the cell and re-auctions the channel. Since a plain zero
+    /// never beats a positive-looking entry, striking them all up front
+    /// yields the same final allocation as the round-by-round iteration.
+    pub fn collect_pruned(submissions: Vec<AdvancedBidSubmission>) -> Result<Self, LppaError> {
+        Self::collect_inner(submissions, true)
+    }
+
+    fn collect_inner(
+        submissions: Vec<AdvancedBidSubmission>,
+        prune_plain_zeros: bool,
+    ) -> Result<Self, LppaError> {
+        let n_channels = submissions
+            .first()
+            .map(AdvancedBidSubmission::n_channels)
+            .ok_or_else(|| LppaError::InvalidConfig { reason: "no submissions".into() })?;
+        for s in &submissions {
+            if s.n_channels() != n_channels {
+                return Err(LppaError::ChannelCountMismatch {
+                    submitted: s.n_channels(),
+                    expected: n_channels,
+                });
+            }
+        }
+        Ok(Self { submissions, n_channels, prune_plain_zeros })
+    }
+
+    /// The stored submissions.
+    pub fn submissions(&self) -> &[AdvancedBidSubmission] {
+        &self.submissions
+    }
+
+    /// The masked comparison `bid(a, channel) ≥ bid(b, channel)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn ge(&self, channel: ChannelId, a: BidderId, b: BidderId) -> bool {
+        let pa = &self.submissions[a.0].bids()[channel.0];
+        let pb = &self.submissions[b.0].bids()[channel.0];
+        pa.point.in_range(&pb.range)
+    }
+
+    /// Ranks all bidders on `channel` by descending masked bid — the
+    /// §VI attacker's view of a column.
+    pub fn rank_channel(&self, channel: ChannelId) -> Vec<BidderId> {
+        let mut order: Vec<BidderId> = (0..self.submissions.len()).map(BidderId).collect();
+        // The masked ≥ relation is a total preorder on the column;
+        // testing both directions keeps the comparator consistent even
+        // when two transformed values tie (equal raw bids landing in the
+        // same cr slot).
+        order.sort_by(|&a, &b| {
+            if a == b {
+                return std::cmp::Ordering::Equal;
+            }
+            match (self.ge(channel, a, b), self.ge(channel, b, a)) {
+                (true, false) => std::cmp::Ordering::Less, // larger bid sorts first
+                (false, true) => std::cmp::Ordering::Greater,
+                // Tied transformed values — or, unreachable for a sound
+                // oracle, mutually incomparable ones.
+                _ => std::cmp::Ordering::Equal,
+            }
+        });
+        order
+    }
+
+    /// Per-channel descending rankings for every channel.
+    pub fn channel_rankings(&self) -> Vec<Vec<BidderId>> {
+        (0..self.n_channels).map(|c| self.rank_channel(ChannelId(c))).collect()
+    }
+
+    /// Finds the bidders holding the column maximum among `candidates`
+    /// (usually one; several only on a transformed-value tie).
+    fn maxima(&self, channel: ChannelId, candidates: &[BidderId]) -> Vec<BidderId> {
+        let mut best = candidates[0];
+        for &c in &candidates[1..] {
+            if !self.ge(channel, best, c) {
+                best = c;
+            }
+        }
+        candidates.iter().copied().filter(|&c| self.ge(channel, c, best)).collect()
+    }
+}
+
+impl BidOracle for MaskedBidTable {
+    fn n_bidders(&self) -> usize {
+        self.submissions.len()
+    }
+
+    fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// In the oblivious model every cell is an entry — the auctioneer
+    /// cannot distinguish zeros, which is precisely why disguised zeros
+    /// can win and why the TTP must invalidate them at charging time. In
+    /// the pruned (iterative-charging) model, cells whose presented value
+    /// is a plain zero are absent.
+    fn has_entry(&self, bidder: BidderId, channel: ChannelId) -> bool {
+        if self.prune_plain_zeros {
+            self.submissions[bidder.0].presented_positive()[channel.0]
+        } else {
+            true
+        }
+    }
+
+    fn select_winner(
+        &self,
+        channel: ChannelId,
+        candidates: &[BidderId],
+        rng: &mut dyn rand::RngCore,
+    ) -> BidderId {
+        let maxima = self.maxima(channel, candidates);
+        *maxima.choose(rng).expect("maxima set is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LppaConfig;
+    use crate::ttp::Ttp;
+    use crate::zero_replace::ZeroReplacePolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table_for(raw_rows: &[Vec<u32>], seed: u64) -> (MaskedBidTable, Vec<Vec<u32>>) {
+        let config = LppaConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = raw_rows[0].len();
+        let ttp = Ttp::new(k, config, &mut rng).unwrap();
+        let policy = ZeroReplacePolicy::never(config.bid_max());
+        let submissions = raw_rows
+            .iter()
+            .map(|row| {
+                AdvancedBidSubmission::build(row, ttp.bidder_keys(), &config, &policy, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        (MaskedBidTable::collect(submissions).unwrap(), raw_rows.to_vec())
+    }
+
+    #[test]
+    fn ge_matches_plaintext_for_distinct_bids() {
+        let (table, raws) = table_for(&[vec![5, 80], vec![9, 3], vec![1, 40]], 1);
+        for (ch, _) in raws[0].iter().enumerate() {
+            for a in 0..3usize {
+                for b in 0..3usize {
+                    let (ra, rb) = (raws[a][ch], raws[b][ch]);
+                    if ra == rb {
+                        continue;
+                    }
+                    assert_eq!(
+                        table.ge(ChannelId(ch), BidderId(a), BidderId(b)),
+                        ra > rb,
+                        "ch={ch} {ra} vs {rb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_matches_plaintext_order() {
+        let rows = vec![vec![5u32], vec![90], vec![13], vec![0], vec![55]];
+        let (table, raws) = table_for(&rows, 2);
+        let ranking = table.rank_channel(ChannelId(0));
+        let ranked_raws: Vec<u32> = ranking.iter().map(|b| raws[b.0][0]).collect();
+        let mut expected: Vec<u32> = rows.iter().map(|r| r[0]).collect();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(ranked_raws, expected);
+        assert_eq!(table.channel_rankings().len(), 1);
+    }
+
+    #[test]
+    fn select_winner_picks_the_plaintext_maximum() {
+        let (table, _) = table_for(&[vec![5], vec![90], vec![13]], 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let winner = table.select_winner(
+            ChannelId(0),
+            &[BidderId(0), BidderId(1), BidderId(2)],
+            &mut rng,
+        );
+        assert_eq!(winner, BidderId(1));
+        // Restricting candidates excludes the global maximum.
+        let winner = table.select_winner(ChannelId(0), &[BidderId(0), BidderId(2)], &mut rng);
+        assert_eq!(winner, BidderId(2));
+    }
+
+    #[test]
+    fn every_cell_is_an_entry() {
+        let (table, _) = table_for(&[vec![0, 0], vec![1, 0]], 5);
+        for b in 0..2 {
+            for c in 0..2 {
+                assert!(BidOracle::has_entry(&table, BidderId(b), ChannelId(c)));
+            }
+        }
+        assert_eq!(BidOracle::n_bidders(&table), 2);
+        assert_eq!(BidOracle::n_channels(&table), 2);
+    }
+
+    #[test]
+    fn collect_rejects_mismatched_submissions() {
+        let config = LppaConfig::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let policy = ZeroReplacePolicy::never(config.bid_max());
+        let ttp2 = Ttp::new(2, config, &mut rng).unwrap();
+        let ttp3 = Ttp::new(3, config, &mut rng).unwrap();
+        let a = AdvancedBidSubmission::build(&[1, 2], ttp2.bidder_keys(), &config, &policy, &mut rng)
+            .unwrap();
+        let b =
+            AdvancedBidSubmission::build(&[1, 2, 3], ttp3.bidder_keys(), &config, &policy, &mut rng)
+                .unwrap();
+        assert!(matches!(
+            MaskedBidTable::collect(vec![a, b]),
+            Err(LppaError::ChannelCountMismatch { .. })
+        ));
+        assert!(MaskedBidTable::collect(vec![]).is_err());
+    }
+}

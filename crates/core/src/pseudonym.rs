@@ -1,0 +1,147 @@
+//! Identifier mixing between auction rounds (§V.C.3 of the paper).
+//!
+//! "We can mix the buyers' IDs once the auction finished or use the
+//! different ID pools in each auction." — a bidder that keeps one
+//! identifier across rounds lets the auctioneer intersect observations
+//! and mine its published wins (see `lppa_attack::multi_round`). A
+//! [`PseudonymPool`] hands every bidder a fresh, uniformly drawn
+//! pseudonym per round, so cross-round linking by identifier carries no
+//! information.
+
+use lppa_auction::bidder::BidderId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One round's pseudonym assignment: a random bijection between true
+/// bidder indices and wire identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use lppa::pseudonym::PseudonymPool;
+/// use lppa_auction::bidder::BidderId;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let round = PseudonymPool::assign(5, &mut rng);
+/// let wire = round.pseudonym_of(BidderId(2));
+/// assert_eq!(round.true_of(wire), BidderId(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PseudonymPool {
+    /// `to_wire[true_id] = wire_id`.
+    to_wire: Vec<usize>,
+    /// `to_true[wire_id] = true_id`.
+    to_true: Vec<usize>,
+}
+
+impl PseudonymPool {
+    /// Draws a fresh uniform pseudonym assignment for `n` bidders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn assign<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n > 0, "pseudonym pool needs at least one bidder");
+        let mut to_wire: Vec<usize> = (0..n).collect();
+        to_wire.shuffle(rng);
+        let mut to_true = vec![0usize; n];
+        for (true_id, &wire) in to_wire.iter().enumerate() {
+            to_true[wire] = true_id;
+        }
+        Self { to_wire, to_true }
+    }
+
+    /// The identity assignment (no mixing) — what a naive deployment
+    /// does, and what the multi-round attacks exploit.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "pseudonym pool needs at least one bidder");
+        Self { to_wire: (0..n).collect(), to_true: (0..n).collect() }
+    }
+
+    /// Number of bidders covered.
+    pub fn len(&self) -> usize {
+        self.to_wire.len()
+    }
+
+    /// Whether the pool is empty (never true — construction requires
+    /// `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.to_wire.is_empty()
+    }
+
+    /// The wire identifier a bidder uses this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_id` is out of range.
+    pub fn pseudonym_of(&self, true_id: BidderId) -> BidderId {
+        BidderId(self.to_wire[true_id.0])
+    }
+
+    /// The true bidder behind a wire identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire_id` is out of range.
+    pub fn true_of(&self, wire_id: BidderId) -> BidderId {
+        BidderId(self.to_true[wire_id.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn assignment_is_a_bijection() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = PseudonymPool::assign(20, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20 {
+            let wire = pool.pseudonym_of(BidderId(i));
+            assert!(seen.insert(wire), "duplicate pseudonym {wire}");
+            assert_eq!(pool.true_of(wire), BidderId(i));
+        }
+        assert_eq!(pool.len(), 20);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn identity_pool_maps_to_self() {
+        let pool = PseudonymPool::identity(5);
+        for i in 0..5 {
+            assert_eq!(pool.pseudonym_of(BidderId(i)), BidderId(i));
+        }
+    }
+
+    #[test]
+    fn fresh_rounds_break_linkage() {
+        // Across many re-draws, a fixed bidder's pseudonym is close to
+        // uniform: the most common wire id appears no more than a few
+        // times above expectation.
+        let n = 10;
+        let rounds = 2000;
+        let mut counts = vec![0usize; n];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..rounds {
+            let pool = PseudonymPool::assign(n, &mut rng);
+            counts[pool.pseudonym_of(BidderId(3)).0] += 1;
+        }
+        let expected = rounds / n;
+        for (wire, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "wire {wire} drawn {c} times, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bidder")]
+    fn empty_pool_panics() {
+        PseudonymPool::identity(0);
+    }
+}

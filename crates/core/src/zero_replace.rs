@@ -1,0 +1,215 @@
+//! Zero-replacement policies (§IV.C.2–3 of the paper).
+//!
+//! A zero bid reveals that a channel is unavailable at the bidder's
+//! location, so the advanced scheme lets each bidder *disguise* zeros:
+//! with probability `p_t` a zero's masked prefixes are replaced by those
+//! of the value `t ∈ {1, …, bmax}`, and with probability `p_0` the zero
+//! stays a zero. The paper requires `p_1 ≥ p_2 ≥ … ≥ p_bmax` so large
+//! disguises (which can spuriously win the auction) stay rare — and
+//! studies the tradeoff as the total replacement probability `1 − p_0`
+//! grows.
+//!
+//! Each bidder chooses its own policy according to its privacy demand.
+
+use rand::Rng;
+
+/// A per-bidder zero-replacement distribution over `{0, 1, …, bmax}`.
+///
+/// # Examples
+///
+/// ```
+/// use lppa::zero_replace::ZeroReplacePolicy;
+/// use rand::SeedableRng;
+///
+/// let policy = ZeroReplacePolicy::geometric(0.5, 0.7, 127);
+/// assert!((policy.replace_probability() - 0.5).abs() < 1e-9);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// match policy.sample(&mut rng) {
+///     Some(t) => assert!((1..=127).contains(&t)), // disguise as t
+///     None => {}                                   // stay zero
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZeroReplacePolicy {
+    /// `probs[t]` = probability of disguising as `t` (index 0 = stay
+    /// zero). Sums to 1.
+    probs: Vec<f64>,
+}
+
+impl ZeroReplacePolicy {
+    /// Never disguise (`p_0 = 1`): the basic scheme's behaviour.
+    pub fn never(bmax: u32) -> Self {
+        let mut probs = vec![0.0; bmax as usize + 1];
+        probs[0] = 1.0;
+        Self { probs }
+    }
+
+    /// Disguise with total probability `replace_prob`, spreading mass
+    /// over `{1, …, bmax}` geometrically: `p_t ∝ decay^(t−1)`. A decay
+    /// below 1 honours the paper's monotonicity requirement
+    /// `p_1 ≥ … ≥ p_bmax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replace_prob ∉ [0, 1]`, `decay ∉ (0, 1]`, or
+    /// `bmax == 0`.
+    pub fn geometric(replace_prob: f64, decay: f64, bmax: u32) -> Self {
+        assert!((0.0..=1.0).contains(&replace_prob), "replace_prob must be in [0, 1]");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        assert!(bmax > 0, "bmax must be positive");
+        let mut probs = Vec::with_capacity(bmax as usize + 1);
+        probs.push(1.0 - replace_prob);
+        let mut weights: Vec<f64> = Vec::with_capacity(bmax as usize);
+        let mut w = 1.0;
+        for _ in 0..bmax {
+            weights.push(w);
+            w *= decay;
+        }
+        let total: f64 = weights.iter().sum();
+        probs.extend(weights.iter().map(|w| replace_prob * w / total));
+        Self { probs }
+    }
+
+    /// Disguise with total probability `replace_prob`, uniformly over
+    /// `{1, …, bmax}` — the paper's best-protection case
+    /// (`p_0 = p_1 = … = p_bmax` when `replace_prob = bmax/(bmax+1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`ZeroReplacePolicy::geometric`].
+    pub fn uniform(replace_prob: f64, bmax: u32) -> Self {
+        Self::geometric(replace_prob, 1.0, bmax)
+    }
+
+    /// Builds a policy from an explicit distribution (`probs[0]` = stay
+    /// zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is empty, has negative entries or does
+    /// not sum to 1 (±1e-6).
+    pub fn from_probabilities(probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "distribution must be non-empty");
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}, not 1");
+        Self { probs }
+    }
+
+    /// The total disguise probability `1 − p_0`.
+    pub fn replace_probability(&self) -> f64 {
+        1.0 - self.probs[0]
+    }
+
+    /// The probability `p_t` of disguising as `t` (or of staying zero for
+    /// `t = 0`). Zero for out-of-range `t`.
+    pub fn prob(&self, t: u32) -> f64 {
+        self.probs.get(t as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The largest disguise value with non-zero probability support.
+    pub fn bmax(&self) -> u32 {
+        (self.probs.len() - 1) as u32
+    }
+
+    /// Samples a disguise: `Some(t)` to masquerade as `t ≥ 1`, `None` to
+    /// stay zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        let mut x: f64 = rng.gen();
+        for (t, &p) in self.probs.iter().enumerate() {
+            if x < p {
+                return (t > 0).then_some(t as u32);
+            }
+            x -= p;
+        }
+        // Floating-point slack: fall into the last bucket.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_policy_always_stays_zero() {
+        let policy = ZeroReplacePolicy::never(15);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(policy.sample(&mut rng), None);
+        }
+        assert_eq!(policy.replace_probability(), 0.0);
+    }
+
+    #[test]
+    fn geometric_is_monotone_decreasing() {
+        let policy = ZeroReplacePolicy::geometric(0.6, 0.8, 20);
+        for t in 1..20u32 {
+            assert!(policy.prob(t) >= policy.prob(t + 1), "t={t}");
+        }
+        assert!((policy.replace_probability() - 0.6).abs() < 1e-9);
+        let total: f64 = (0..=20).map(|t| policy.prob(t)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let policy = ZeroReplacePolicy::uniform(0.5, 10);
+        for t in 1..=10u32 {
+            assert!((policy.prob(t) - 0.05).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_matches_distribution() {
+        let policy = ZeroReplacePolicy::geometric(0.4, 0.5, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000usize;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            match policy.sample(&mut rng) {
+                None => counts[0] += 1,
+                Some(t) => counts[t as usize] += 1,
+            }
+        }
+        for t in 0..=6u32 {
+            let expected = policy.prob(t);
+            let observed = counts[t as usize] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.015,
+                "t={t} observed {observed} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_probabilities_roundtrip() {
+        let policy = ZeroReplacePolicy::from_probabilities(vec![0.7, 0.2, 0.1]);
+        assert_eq!(policy.bmax(), 2);
+        assert!((policy.replace_probability() - 0.3).abs() < 1e-12);
+        assert_eq!(policy.prob(5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn bad_distribution_panics() {
+        ZeroReplacePolicy::from_probabilities(vec![0.5, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replace_prob")]
+    fn bad_replace_prob_panics() {
+        ZeroReplacePolicy::geometric(1.5, 0.5, 4);
+    }
+
+    #[test]
+    fn full_replacement_never_stays_zero() {
+        let policy = ZeroReplacePolicy::uniform(1.0, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert!(policy.sample(&mut rng).is_some());
+        }
+    }
+}

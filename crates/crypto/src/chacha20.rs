@@ -1,0 +1,217 @@
+//! The ChaCha20 stream cipher (RFC 8439), implemented from the
+//! specification.
+//!
+//! The TTP in the LPPA protocol shares a symmetric key `gc` with the
+//! bidders; the sealed bid price travelling through the auctioneer is
+//! encrypted under this cipher (and authenticated with HMAC, see
+//! [`crate::seal`]). Validated against the RFC 8439 test vectors.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+const BLOCK_WORDS: usize = 16;
+
+/// The ChaCha20 cipher keyed with a 256-bit key.
+///
+/// The same object encrypts and decrypts: XOR-ing the keystream is an
+/// involution.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_crypto::chacha20::ChaCha20;
+///
+/// let cipher = ChaCha20::new(&[7u8; 32]);
+/// let nonce = [1u8; 12];
+/// let mut data = *b"secret bid: 42";
+/// cipher.apply_keystream(&nonce, 1, &mut data);
+/// assert_ne!(&data, b"secret bid: 42");
+/// cipher.apply_keystream(&nonce, 1, &mut data);
+/// assert_eq!(&data, b"secret bid: 42");
+/// ```
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key_words: [u32; 8],
+}
+
+impl std::fmt::Debug for ChaCha20 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("ChaCha20").field("key_words", &"<redacted>").finish()
+    }
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 32-byte key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let mut key_words = [0u32; 8];
+        for (word, chunk) in key_words.iter_mut().zip(key.chunks_exact(4)) {
+            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Self { key_words }
+    }
+
+    /// Computes one 64-byte keystream block for (`nonce`, `counter`).
+    fn block(&self, nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 64] {
+        // "expand 32-byte k"
+        let mut state = [0u32; BLOCK_WORDS];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key_words);
+        state[12] = counter;
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            state[13 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+
+        let mut out = [0u8; 64];
+        for i in 0..BLOCK_WORDS {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream for (`nonce`, starting `counter`) into `data`.
+    ///
+    /// Applying the same call twice restores the plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is long enough to overflow the 32-bit block
+    /// counter (≥ 256 GiB), which cannot occur for auction payloads.
+    pub fn apply_keystream(&self, nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(64).enumerate() {
+            let block_counter = counter
+                .checked_add(u32::try_from(i).expect("message too long"))
+                .expect("ChaCha20 block counter overflow");
+            let keystream = self.block(nonce, block_counter);
+            for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+                *byte ^= ks;
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.3.2: the keystream block test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key);
+        let block = cipher.block(&nonce, 1);
+        let expected = hex_to_bytes(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    /// RFC 8439 §2.4.2: the "sunscreen" encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        ChaCha20::new(&key).apply_keystream(&nonce, 1, &mut data);
+        let expected = hex_to_bytes(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn roundtrip_restores_plaintext() {
+        let cipher = ChaCha20::new(&[0x42u8; KEY_LEN]);
+        let nonce = [0x17u8; NONCE_LEN];
+        let original: Vec<u8> = (0u16..300).map(|i| (i % 256) as u8).collect();
+        let mut data = original.clone();
+        cipher.apply_keystream(&nonce, 0, &mut data);
+        assert_ne!(data, original);
+        cipher.apply_keystream(&nonce, 0, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_produce_different_ciphertexts() {
+        let cipher = ChaCha20::new(&[1u8; KEY_LEN]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        cipher.apply_keystream(&[0u8; NONCE_LEN], 0, &mut a);
+        cipher.apply_keystream(&[1u8; NONCE_LEN], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // Encrypting 128 bytes starting at counter 0 must equal block 0
+        // keystream followed by block 1 keystream.
+        let cipher = ChaCha20::new(&[9u8; KEY_LEN]);
+        let nonce = [3u8; NONCE_LEN];
+        let mut long = vec![0u8; 128];
+        cipher.apply_keystream(&nonce, 0, &mut long);
+        let b0 = cipher.block(&nonce, 0);
+        let b1 = cipher.block(&nonce, 1);
+        assert_eq!(&long[..64], &b0[..]);
+        assert_eq!(&long[64..], &b1[..]);
+    }
+
+    #[test]
+    fn debug_redacts_key() {
+        let cipher = ChaCha20::new(&[5u8; KEY_LEN]);
+        let repr = format!("{cipher:?}");
+        assert!(repr.contains("redacted"));
+        assert!(!repr.contains('5'));
+    }
+}

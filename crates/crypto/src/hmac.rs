@@ -1,0 +1,197 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on [`crate::sha256`].
+//!
+//! Every prefix in the LPPA protocol is masked as
+//! `HMAC_k(numericalized prefix)`; the keyed hash is what prevents the
+//! curious auctioneer from reversing a masked set back to a location or a
+//! bid. Validated against the RFC 4231 test vectors.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA256.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"The quick brown fox jumps over the lazy dog");
+/// let tag = mac.finalize();
+/// assert_eq!(tag[..2], [0xf7, 0xbc]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Outer-pad key block, retained until `finalize`.
+    opad: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key`.
+    ///
+    /// Keys longer than the 64-byte block size are hashed first, exactly as
+    /// the RFC prescribes; any key length is accepted.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256::sha256(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        Self { inner, opad }
+    }
+
+    /// Feeds message bytes into the MAC.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Consumes the MAC and returns the 32-byte authentication tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA256.
+///
+/// # Examples
+///
+/// ```
+/// let tag = lppa_crypto::hmac::hmac_sha256(b"secret", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Constant-time equality check for two MAC tags.
+///
+/// The auctioneer compares masked prefixes by equality; using a
+/// short-circuiting comparison there would open a (mostly theoretical,
+/// in-process) timing channel, so the library offers this helper.
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2: short key, short data.
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: key and data of 0xaa/0xdd fill.
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key larger than one block.
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 4231 test case 7: long key and long data.
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let data: &[u8] = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hex(&hmac_sha256(&key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let key = b"0123456789abcdef";
+        let msg: Vec<u8> = (0u16..300).map(|i| (i & 0xff) as u8).collect();
+        let one_shot = hmac_sha256(key, &msg);
+        let mut mac = HmacSha256::new(key);
+        for chunk in msg.chunks(7) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), one_shot);
+    }
+
+    #[test]
+    fn different_keys_produce_different_tags() {
+        let t1 = hmac_sha256(b"key-one", b"same message");
+        let t2 = hmac_sha256(b"key-two", b"same message");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn empty_key_and_message_are_accepted() {
+        // Degenerate inputs should still produce a well-defined tag.
+        let tag = hmac_sha256(b"", b"");
+        assert_eq!(tag.len(), 32);
+    }
+
+    #[test]
+    fn verify_tag_accepts_equal_and_rejects_unequal() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_tag(&tag, &tag));
+        let mut other = tag;
+        other[31] ^= 1;
+        assert!(!verify_tag(&tag, &other));
+        assert!(!verify_tag(&tag, &tag[..31]));
+    }
+}

@@ -1,0 +1,123 @@
+//! Key material newtypes used throughout the LPPA protocol.
+//!
+//! The TTP generates and distributes three kinds of secrets (§IV, §V of the
+//! paper):
+//!
+//! * `g0` — the HMAC key masking *location* prefixes ([`HmacKey`]);
+//! * `gb` / `gb_1..gb_k` — HMAC keys masking *bid* prefixes, one per
+//!   channel in the advanced scheme ([`HmacKey`]);
+//! * `gc` — the TTP's symmetric key sealing the exact bid values
+//!   ([`SealKey`]).
+//!
+//! All of these are opaque 32-byte secrets; the newtypes keep them from
+//! being confused with one another and keep `Debug` output free of key
+//! bytes.
+
+use rand::RngCore;
+
+/// Length in bytes of every key in the system.
+pub const KEY_LEN: usize = 32;
+
+macro_rules! key_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, PartialEq, Eq)]
+        pub struct $name([u8; KEY_LEN]);
+
+        impl $name {
+            /// Wraps explicit key bytes (e.g. from a key-distribution
+            /// message).
+            pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+                Self(bytes)
+            }
+
+            /// Samples a fresh random key from `rng`.
+            pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                let mut bytes = [0u8; KEY_LEN];
+                rng.fill_bytes(&mut bytes);
+                Self(bytes)
+            }
+
+            /// Exposes the raw key bytes to the primitives that consume
+            /// them.
+            pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+                &self.0
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(<redacted>)"))
+            }
+        }
+
+        impl From<[u8; KEY_LEN]> for $name {
+            fn from(bytes: [u8; KEY_LEN]) -> Self {
+                Self::from_bytes(bytes)
+            }
+        }
+    };
+}
+
+key_newtype! {
+    /// A key for HMAC-SHA256 prefix masking (`g0`, `gb`, `gb_r`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lppa_crypto::keys::HmacKey;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let key = HmacKey::random(&mut rng);
+    /// assert_eq!(key.as_bytes().len(), 32);
+    /// ```
+    HmacKey
+}
+
+key_newtype! {
+    /// The TTP's symmetric sealing key (`gc`), used with
+    /// [`crate::seal::SealedValue`].
+    SealKey
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_keys_differ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = HmacKey::random(&mut rng);
+        let b = HmacKey::random(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_is_deterministic_under_seed() {
+        let a = HmacKey::random(&mut StdRng::seed_from_u64(99));
+        let b = HmacKey::random(&mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_bytes_roundtrips() {
+        let bytes = [0xabu8; KEY_LEN];
+        let key = SealKey::from_bytes(bytes);
+        assert_eq!(key.as_bytes(), &bytes);
+        let key2 = SealKey::from(bytes);
+        assert_eq!(key, key2);
+    }
+
+    #[test]
+    fn debug_never_leaks_key_bytes() {
+        let key = HmacKey::from_bytes([0x11u8; KEY_LEN]);
+        let repr = format!("{key:?}");
+        assert!(repr.contains("redacted"));
+        assert!(!repr.contains("11"));
+        let seal = SealKey::from_bytes([0x22u8; KEY_LEN]);
+        assert!(format!("{seal:?}").contains("SealKey"));
+    }
+}

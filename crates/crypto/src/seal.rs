@@ -1,0 +1,180 @@
+//! Authenticated sealing of bid values for the TTP.
+//!
+//! Alongside the masked prefix sets, every bidder submits its exact
+//! (transformed) bid price encrypted under the TTP's symmetric key `gc`
+//! (§IV.B step i of the paper). The auctioneer relays the winning
+//! ciphertext to the TTP during the charging phase; only the TTP can open
+//! it. We use ChaCha20 with a random nonce plus an HMAC-SHA256 tag
+//! (encrypt-then-MAC), so a misbehaving relay cannot tamper with a sealed
+//! price undetected.
+
+use rand::RngCore;
+
+use crate::chacha20::{ChaCha20, NONCE_LEN};
+use crate::hmac::{hmac_sha256, verify_tag};
+use crate::keys::SealKey;
+
+/// Length in bytes of the authentication tag on a sealed value.
+pub const MAC_LEN: usize = 16;
+
+/// Error returned when opening a sealed value fails authentication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenError;
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sealed value failed authentication")
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// A bid price encrypted under the TTP key `gc`.
+///
+/// The random nonce makes sealing non-deterministic: two bidders sealing
+/// the same price produce unrelated ciphertexts, which is required for the
+/// plaintext–ciphertext unlinkability argument of §V.B.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_crypto::keys::SealKey;
+/// use lppa_crypto::seal::SealedValue;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lppa_crypto::seal::OpenError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let key = SealKey::random(&mut rng);
+/// let sealed = SealedValue::seal(&key, 1234, &mut rng);
+/// assert_eq!(sealed.open(&key)?, 1234);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SealedValue {
+    nonce: [u8; NONCE_LEN],
+    ciphertext: [u8; 8],
+    mac: [u8; MAC_LEN],
+}
+
+impl std::fmt::Debug for SealedValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Ciphertext bytes are not secret, but printing them invites
+        // eyeballing correlations; keep Debug terse.
+        f.debug_struct("SealedValue").field("nonce", &self.nonce).finish_non_exhaustive()
+    }
+}
+
+impl SealedValue {
+    /// Seals `value` under `key` with a nonce drawn from `rng`.
+    pub fn seal<R: RngCore + ?Sized>(key: &SealKey, value: u64, rng: &mut R) -> Self {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+
+        let mut ciphertext = value.to_le_bytes();
+        ChaCha20::new(key.as_bytes()).apply_keystream(&nonce, 1, &mut ciphertext);
+
+        let mac = Self::mac(key, &nonce, &ciphertext);
+        Self { nonce, ciphertext, mac }
+    }
+
+    /// Opens the sealed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenError`] if the authentication tag does not match,
+    /// i.e. the ciphertext was corrupted or sealed under a different key.
+    pub fn open(&self, key: &SealKey) -> Result<u64, OpenError> {
+        let expected = Self::mac(key, &self.nonce, &self.ciphertext);
+        if !verify_tag(&expected, &self.mac) {
+            return Err(OpenError);
+        }
+        let mut plaintext = self.ciphertext;
+        ChaCha20::new(key.as_bytes()).apply_keystream(&self.nonce, 1, &mut plaintext);
+        Ok(u64::from_le_bytes(plaintext))
+    }
+
+    /// Size of the sealed value on the wire, in bytes.
+    pub fn wire_len(&self) -> usize {
+        NONCE_LEN + self.ciphertext.len() + MAC_LEN
+    }
+
+    fn mac(key: &SealKey, nonce: &[u8; NONCE_LEN], ciphertext: &[u8]) -> [u8; MAC_LEN] {
+        let mut msg = Vec::with_capacity(NONCE_LEN + ciphertext.len());
+        msg.extend_from_slice(nonce);
+        msg.extend_from_slice(ciphertext);
+        let full = hmac_sha256(key.as_bytes(), &msg);
+        let mut mac = [0u8; MAC_LEN];
+        mac.copy_from_slice(&full[..MAC_LEN]);
+        mac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SealKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let key = SealKey::random(&mut rng);
+        (key, rng)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let (key, mut rng) = setup();
+        for value in [0u64, 1, 14, 127, u64::MAX] {
+            let sealed = SealedValue::seal(&key, value, &mut rng);
+            assert_eq!(sealed.open(&key), Ok(value));
+        }
+    }
+
+    #[test]
+    fn sealing_is_randomized() {
+        // Two seals of the same value must be indistinguishable from seals
+        // of different values — this is the §V.B unlinkability property.
+        let (key, mut rng) = setup();
+        let a = SealedValue::seal(&key, 7, &mut rng);
+        let b = SealedValue::seal(&key, 7, &mut rng);
+        assert_ne!(a, b);
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let (key, mut rng) = setup();
+        let other = SealKey::random(&mut rng);
+        let sealed = SealedValue::seal(&key, 99, &mut rng);
+        assert_eq!(sealed.open(&other), Err(OpenError));
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let (key, mut rng) = setup();
+        let mut sealed = SealedValue::seal(&key, 99, &mut rng);
+        sealed.ciphertext[0] ^= 1;
+        assert_eq!(sealed.open(&key), Err(OpenError));
+    }
+
+    #[test]
+    fn tampered_nonce_is_rejected() {
+        let (key, mut rng) = setup();
+        let mut sealed = SealedValue::seal(&key, 99, &mut rng);
+        sealed.nonce[0] ^= 1;
+        assert_eq!(sealed.open(&key), Err(OpenError));
+    }
+
+    #[test]
+    fn wire_len_is_constant() {
+        let (key, mut rng) = setup();
+        let sealed = SealedValue::seal(&key, 5, &mut rng);
+        assert_eq!(sealed.wire_len(), 12 + 8 + 16);
+    }
+
+    #[test]
+    fn open_error_displays() {
+        assert_eq!(OpenError.to_string(), "sealed value failed authentication");
+    }
+}

@@ -1,0 +1,141 @@
+//! Masked-prefix tags.
+//!
+//! A [`Tag`] is the value actually transmitted for each prefix in the LPPA
+//! protocol: the HMAC of a numericalized prefix, truncated to 128 bits.
+//! Truncation keeps the submission size down (Theorem 4 measures
+//! communication cost) while a 128-bit tag keeps the accidental-collision
+//! probability negligible for auction-sized sets.
+
+use crate::hmac::hmac_sha256;
+use crate::keys::HmacKey;
+
+/// Length in bytes of a transmitted tag.
+pub const TAG_LEN: usize = 16;
+
+/// A 128-bit masked prefix: `truncate(HMAC_k(prefix bytes))`.
+///
+/// Tags are ordinary values — the whole point of the scheme is that the
+/// auctioneer stores, sorts and intersects them — so the type implements
+/// the full set of comparison and hashing traits.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_crypto::keys::HmacKey;
+/// use lppa_crypto::tag::Tag;
+///
+/// let key = HmacKey::from_bytes([9u8; 32]);
+/// let a = Tag::compute(&key, b"10100");
+/// let b = Tag::compute(&key, b"10100");
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag([u8; TAG_LEN]);
+
+impl Tag {
+    /// Masks `message` under `key`.
+    pub fn compute(key: &HmacKey, message: &[u8]) -> Self {
+        let full = hmac_sha256(key.as_bytes(), message);
+        let mut out = [0u8; TAG_LEN];
+        out.copy_from_slice(&full[..TAG_LEN]);
+        Self(out)
+    }
+
+    /// Wraps raw tag bytes (e.g. parsed from a submission).
+    pub fn from_bytes(bytes: [u8; TAG_LEN]) -> Self {
+        Self(bytes)
+    }
+
+    /// Returns the raw tag bytes.
+    pub fn as_bytes(&self) -> &[u8; TAG_LEN] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tag(")?;
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<[u8; TAG_LEN]> for Tag {
+    fn from(bytes: [u8; TAG_LEN]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Tag {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(byte: u8) -> HmacKey {
+        HmacKey::from_bytes([byte; 32])
+    }
+
+    #[test]
+    fn same_input_same_tag() {
+        assert_eq!(Tag::compute(&key(1), b"x"), Tag::compute(&key(1), b"x"));
+    }
+
+    #[test]
+    fn different_key_different_tag() {
+        assert_ne!(Tag::compute(&key(1), b"x"), Tag::compute(&key(2), b"x"));
+    }
+
+    #[test]
+    fn different_message_different_tag() {
+        assert_ne!(Tag::compute(&key(1), b"x"), Tag::compute(&key(1), b"y"));
+    }
+
+    #[test]
+    fn truncation_matches_full_hmac_prefix() {
+        let k = key(7);
+        let tag = Tag::compute(&k, b"hello");
+        let full = hmac_sha256(k.as_bytes(), b"hello");
+        assert_eq!(tag.as_bytes()[..], full[..TAG_LEN]);
+    }
+
+    #[test]
+    fn display_is_full_hex_and_debug_is_abbreviated() {
+        let tag = Tag::from_bytes([0xab; TAG_LEN]);
+        assert_eq!(tag.to_string(), "ab".repeat(TAG_LEN));
+        let dbg = format!("{tag:?}");
+        assert!(dbg.starts_with("Tag(abababab"));
+        assert!(dbg.len() < 20);
+    }
+
+    #[test]
+    fn tags_are_usable_in_hash_sets() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(Tag::compute(&key(1), b"a"));
+        set.insert(Tag::compute(&key(1), b"b"));
+        assert!(set.contains(&Tag::compute(&key(1), b"a")));
+        assert!(!set.contains(&Tag::compute(&key(1), b"c")));
+    }
+
+    #[test]
+    fn conversion_traits_roundtrip() {
+        let bytes = [3u8; TAG_LEN];
+        let tag: Tag = bytes.into();
+        assert_eq!(tag.as_ref(), &bytes[..]);
+    }
+}

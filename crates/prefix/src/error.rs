@@ -1,0 +1,78 @@
+//! Error types for prefix construction and range covering.
+
+/// Errors arising when constructing prefixes, families or range covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PrefixError {
+    /// Bit width must be in `1..=MAX_WIDTH`.
+    WidthOutOfRange {
+        /// The rejected width.
+        width: u8,
+    },
+    /// The value does not fit in the requested bit width.
+    ValueTooWide {
+        /// The rejected value.
+        value: u64,
+        /// The width it was supposed to fit in.
+        width: u8,
+    },
+    /// The number of specified bits exceeds the prefix width.
+    SpecLenTooLong {
+        /// The rejected specified-bit count.
+        spec_len: u8,
+        /// The prefix width.
+        width: u8,
+    },
+    /// A range `[lo, hi]` with `lo > hi` has no cover.
+    EmptyRange {
+        /// Range lower bound.
+        lo: u64,
+        /// Range upper bound.
+        hi: u64,
+    },
+}
+
+impl std::fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PrefixError::WidthOutOfRange { width } => {
+                write!(f, "bit width {width} is outside 1..={}", crate::MAX_WIDTH)
+            }
+            PrefixError::ValueTooWide { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            PrefixError::SpecLenTooLong { spec_len, width } => {
+                write!(f, "{spec_len} specified bits exceed prefix width {width}")
+            }
+            PrefixError::EmptyRange { lo, hi } => {
+                write!(f, "range [{lo}, {hi}] is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(PrefixError, &str)> = vec![
+            (PrefixError::WidthOutOfRange { width: 0 }, "width 0"),
+            (PrefixError::ValueTooWide { value: 9, width: 3 }, "value 9"),
+            (
+                PrefixError::SpecLenTooLong { spec_len: 5, width: 4 },
+                "5 specified bits",
+            ),
+            (PrefixError::EmptyRange { lo: 8, hi: 3 }, "[8, 3]"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err:?} should mention {needle}"
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The prefix family `G(x)`: every prefix containing a given number.
+//!
+//! For a `w`-bit number the family has exactly `w + 1` members — the
+//! number itself, then each successively shorter prefix up to the
+//! all-wildcard pattern. A number `x` lies in a range `[a, b]` iff
+//! `G(x)` shares a member with the range cover `Q([a, b])`
+//! (see [`crate::range`]).
+
+use crate::error::PrefixError;
+use crate::prefix::Prefix;
+
+/// Computes the prefix family `G(value)` over a `width`-bit domain.
+///
+/// The result is ordered from the fully specified prefix down to the
+/// all-wildcard prefix, matching the paper's presentation
+/// `{t1..tw, t1..t(w-1)*, …, *..*}`.
+///
+/// # Errors
+///
+/// Returns [`PrefixError`] if `width` is invalid or `value` does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_prefix::family::prefix_family;
+///
+/// # fn main() -> Result<(), lppa_prefix::PrefixError> {
+/// // The paper's example: G(7) over 4 bits.
+/// let family = prefix_family(4, 7)?;
+/// let rendered: Vec<String> = family.iter().map(|p| p.to_string()).collect();
+/// assert_eq!(rendered, ["0111", "011*", "01**", "0***", "****"]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn prefix_family(width: u8, value: u32) -> Result<Vec<Prefix>, PrefixError> {
+    // Validate once via the strictest constructor.
+    Prefix::exact(width, value)?;
+    let mut family = Vec::with_capacity(usize::from(width) + 1);
+    for spec_len in (0..=width).rev() {
+        let bits = if spec_len == 0 { 0 } else { value >> (width - spec_len) };
+        family.push(Prefix::new(width, bits, spec_len).expect("validated above"));
+    }
+    Ok(family)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_size_is_width_plus_one() {
+        for width in 1..=12u8 {
+            let family = prefix_family(width, 0).unwrap();
+            assert_eq!(family.len(), usize::from(width) + 1);
+        }
+    }
+
+    #[test]
+    fn every_member_contains_the_value() {
+        for value in [0u32, 1, 7, 42, 99, 1023] {
+            let family = prefix_family(10, value).unwrap();
+            for p in &family {
+                assert!(p.contains(value), "{p} should contain {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn members_shrink_monotonically() {
+        let family = prefix_family(8, 200).unwrap();
+        for pair in family.windows(2) {
+            assert_eq!(pair[0].spec_len(), pair[1].spec_len() + 1);
+            // Each later prefix covers a superset.
+            assert!(pair[1].low() <= pair[0].low());
+            assert!(pair[1].high() >= pair[0].high());
+        }
+    }
+
+    #[test]
+    fn first_member_is_exact_last_is_wildcard() {
+        let family = prefix_family(6, 33).unwrap();
+        assert_eq!(family[0].spec_len(), 6);
+        assert_eq!((family[0].low(), family[0].high()), (33, 33));
+        assert_eq!(family.last().unwrap().spec_len(), 0);
+    }
+
+    #[test]
+    fn value_out_of_domain_is_rejected() {
+        assert!(prefix_family(4, 16).is_err());
+        assert!(prefix_family(0, 0).is_err());
+    }
+
+    #[test]
+    fn numericalized_family_of_paper_example() {
+        // §II.B: member 01110 of O(G(7)) is the witness for 7 ∈ [6, 14].
+        let family = prefix_family(4, 7).unwrap();
+        let nums: Vec<u64> = family.iter().map(Prefix::numericalize).collect();
+        assert!(nums.contains(&0b01110));
+    }
+
+    #[test]
+    fn distinct_values_share_only_short_prefixes() {
+        let f1 = prefix_family(8, 0b1010_0000).unwrap();
+        let f2 = prefix_family(8, 0b1010_0001).unwrap();
+        // They differ only in the last bit: exactly the fully-specified
+        // member differs, the remaining 8 members coincide.
+        let shared = f1.iter().filter(|p| f2.contains(p)).count();
+        assert_eq!(shared, 8);
+    }
+}

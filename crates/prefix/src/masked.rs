@@ -1,0 +1,309 @@
+//! HMAC-masked prefix sets: what actually travels to the auctioneer.
+//!
+//! A bidder never transmits prefixes in the clear. Instead it sends
+//! `H_g(O(prefix))` for every member of a prefix family or range cover,
+//! where `H_g` is HMAC under a key the auctioneer does not hold. The
+//! auctioneer can still test *set intersection* — the membership predicate
+//! of the scheme — but learns nothing about the underlying values beyond
+//! the outcomes of those tests.
+//!
+//! Two newtypes keep the protocol type-safe:
+//!
+//! * [`MaskedPoint`] — a masked prefix *family* `H(G(x))`, representing a
+//!   hidden number;
+//! * [`MaskedRange`] — a masked *range cover* `H(Q([a, b]))`, representing
+//!   a hidden interval, optionally padded to a fixed cardinality.
+
+use std::collections::HashSet;
+
+use lppa_crypto::keys::HmacKey;
+use lppa_crypto::tag::{Tag, TAG_LEN};
+use rand::RngCore;
+
+use crate::error::PrefixError;
+use crate::family::prefix_family;
+use crate::prefix::Prefix;
+use crate::range::{max_cover_len, range_prefixes};
+
+/// Masks a slice of prefixes under `key`.
+fn mask_all(key: &HmacKey, prefixes: &[Prefix]) -> HashSet<Tag> {
+    prefixes.iter().map(|p| Tag::compute(key, &p.to_mask_input())).collect()
+}
+
+/// A masked prefix family `H_g(O(G(x)))`: a hidden point.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_crypto::keys::HmacKey;
+/// use lppa_prefix::masked::{MaskedPoint, MaskedRange};
+///
+/// # fn main() -> Result<(), lppa_prefix::PrefixError> {
+/// let key = HmacKey::from_bytes([1u8; 32]);
+/// let point = MaskedPoint::mask(&key, 4, 7)?;
+/// let range = MaskedRange::mask(&key, 4, 6, 14)?;
+/// assert!(point.in_range(&range)); // 7 ∈ [6, 14]
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaskedPoint {
+    tags: HashSet<Tag>,
+}
+
+impl MaskedPoint {
+    /// Masks the prefix family of `value` over a `width`-bit domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError`] if the domain or value is invalid.
+    pub fn mask(key: &HmacKey, width: u8, value: u32) -> Result<Self, PrefixError> {
+        let family = prefix_family(width, value)?;
+        Ok(Self { tags: mask_all(key, &family) })
+    }
+
+    /// Reconstructs a masked point from raw transmitted tags.
+    pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Self {
+        Self { tags: tags.into_iter().collect() }
+    }
+
+    /// The membership test: does the hidden point lie in the hidden range?
+    ///
+    /// Sound and complete when both sides were masked under the same key
+    /// over the same domain width (up to the negligible probability of a
+    /// 128-bit tag collision).
+    pub fn in_range(&self, range: &MaskedRange) -> bool {
+        self.tags.iter().any(|t| range.tags.contains(t))
+    }
+
+    /// Number of transmitted tags (`w + 1` for a genuine family).
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the set holds no tags (never true for a genuine family).
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Iterates over the transmitted tags.
+    pub fn iter(&self) -> impl Iterator<Item = &Tag> {
+        self.tags.iter()
+    }
+
+    /// Transmission size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.tags.len() * TAG_LEN
+    }
+
+    /// An order-independent 64-bit fingerprint of the transmitted tag
+    /// set.
+    ///
+    /// Two masked points have equal fingerprints iff they carry the same
+    /// tags (up to negligible collision probability) — which is exactly
+    /// the observable an attacker exploits against the *basic* bid
+    /// scheme, where equal plaintexts produce identical masked sets. The
+    /// advanced scheme's per-channel keys and value randomization make
+    /// fingerprints unique and useless.
+    pub fn fingerprint(&self) -> u64 {
+        // XOR of per-tag mixes is order-independent over the set.
+        self.tags
+            .iter()
+            .map(|t| {
+                let bytes = t.as_bytes();
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&bytes[..8]);
+                split_mix(u64::from_le_bytes(word))
+            })
+            .fold(0u64, |acc, h| acc ^ h)
+    }
+}
+
+/// SplitMix64 avalanche, used for tag-set fingerprints.
+fn split_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A masked range cover `H_g(O(Q([a, b])))`: a hidden interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaskedRange {
+    tags: HashSet<Tag>,
+}
+
+impl MaskedRange {
+    /// Masks the minimal cover of `[lo, hi]` over a `width`-bit domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError`] if the domain is invalid or `lo > hi`.
+    pub fn mask(key: &HmacKey, width: u8, lo: u32, hi: u32) -> Result<Self, PrefixError> {
+        let cover = range_prefixes(width, lo, hi)?;
+        Ok(Self { tags: mask_all(key, &cover) })
+    }
+
+    /// Masks the cover of `[lo, hi]` and pads it with random tags to the
+    /// worst-case cardinality `2·width − 2`.
+    ///
+    /// Without padding, the number of transmitted tags leaks the shape of
+    /// the range (§IV.C.1 problem 3 in the paper: `[10, 14]` has three
+    /// prefixes, `[5, 14]` five). Padding tags are drawn uniformly from
+    /// the tag space, so they collide with genuine tags only with
+    /// negligible probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError`] as for [`MaskedRange::mask`].
+    pub fn mask_padded<R: RngCore + ?Sized>(
+        key: &HmacKey,
+        width: u8,
+        lo: u32,
+        hi: u32,
+        rng: &mut R,
+    ) -> Result<Self, PrefixError> {
+        let mut masked = Self::mask(key, width, lo, hi)?;
+        let target = max_cover_len(width);
+        while masked.tags.len() < target {
+            let mut bytes = [0u8; TAG_LEN];
+            rng.fill_bytes(&mut bytes);
+            masked.tags.insert(Tag::from_bytes(bytes));
+        }
+        Ok(masked)
+    }
+
+    /// Reconstructs a masked range from raw transmitted tags.
+    pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Self {
+        Self { tags: tags.into_iter().collect() }
+    }
+
+    /// Number of transmitted tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the set holds no tags (never true for a genuine cover).
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Iterates over the transmitted tags.
+    pub fn iter(&self) -> impl Iterator<Item = &Tag> {
+        self.tags.iter()
+    }
+
+    /// Transmission size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.tags.len() * TAG_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(byte: u8) -> HmacKey {
+        HmacKey::from_bytes([byte; 32])
+    }
+
+    #[test]
+    fn membership_matches_plaintext_exhaustively() {
+        let k = key(3);
+        let width = 5u8;
+        for value in 0..32u32 {
+            let point = MaskedPoint::mask(&k, width, value).unwrap();
+            for lo in (0..32u32).step_by(3) {
+                for hi in (lo..32u32).step_by(5) {
+                    let range = MaskedRange::mask(&k, width, lo, hi).unwrap();
+                    assert_eq!(
+                        point.in_range(&range),
+                        (lo..=hi).contains(&value),
+                        "v={value} [{lo},{hi}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_keys_break_membership() {
+        // Cross-key intersection must (overwhelmingly) fail even when the
+        // plaintext relation holds — this is what isolates channels under
+        // per-channel keys in the advanced scheme.
+        let point = MaskedPoint::mask(&key(1), 8, 100).unwrap();
+        let range = MaskedRange::mask(&key(2), 8, 0, 255).unwrap();
+        assert!(!point.in_range(&range));
+    }
+
+    #[test]
+    fn padding_reaches_worst_case_cardinality() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let k = key(9);
+        // [10, 14] over 4 bits has a 3-prefix cover; padded it must have 6.
+        let plain = MaskedRange::mask(&k, 4, 10, 14).unwrap();
+        assert_eq!(plain.len(), 3);
+        let padded = MaskedRange::mask_padded(&k, 4, 10, 14, &mut rng).unwrap();
+        assert_eq!(padded.len(), max_cover_len(4));
+    }
+
+    #[test]
+    fn padding_preserves_membership_semantics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let k = key(7);
+        let width = 6u8;
+        for value in 0..64u32 {
+            let point = MaskedPoint::mask(&k, width, value).unwrap();
+            let padded = MaskedRange::mask_padded(&k, width, 20, 40, &mut rng).unwrap();
+            assert_eq!(point.in_range(&padded), (20..=40).contains(&value), "v={value}");
+        }
+    }
+
+    #[test]
+    fn all_padded_ranges_have_equal_cardinality() {
+        // The leakage the padding closes: every transmitted range looks
+        // the same size regardless of the underlying interval.
+        let mut rng = StdRng::seed_from_u64(8);
+        let k = key(4);
+        let sizes: HashSet<usize> = [(0u32, 1u32), (3, 14), (10, 14), (5, 14), (0, 15)]
+            .into_iter()
+            .map(|(lo, hi)| MaskedRange::mask_padded(&k, 4, lo, hi, &mut rng).unwrap().len())
+            .collect();
+        assert_eq!(sizes.len(), 1);
+    }
+
+    #[test]
+    fn family_wire_len_matches_theorem_4_shape() {
+        // Theorem 4 counts w+1 prefix-family elements; the masked point
+        // transmits exactly that many tags.
+        let k = key(2);
+        for width in [4u8, 8, 12] {
+            let point = MaskedPoint::mask(&k, width, 1).unwrap();
+            assert_eq!(point.len(), usize::from(width) + 1);
+            assert_eq!(point.wire_len(), (usize::from(width) + 1) * TAG_LEN);
+        }
+    }
+
+    #[test]
+    fn from_tags_roundtrip() {
+        let k = key(11);
+        let point = MaskedPoint::mask(&k, 4, 9).unwrap();
+        let rebuilt = MaskedPoint::from_tags(point.iter().copied());
+        assert_eq!(point, rebuilt);
+        let range = MaskedRange::mask(&k, 4, 2, 9).unwrap();
+        let rebuilt = MaskedRange::from_tags(range.iter().copied());
+        assert_eq!(range, rebuilt);
+        assert!(!rebuilt.is_empty());
+    }
+
+    #[test]
+    fn invalid_inputs_propagate_errors() {
+        let k = key(1);
+        assert!(MaskedPoint::mask(&k, 4, 16).is_err());
+        assert!(MaskedRange::mask(&k, 4, 9, 3).is_err());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(MaskedRange::mask_padded(&k, 0, 0, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! The [`Prefix`] type: a `{0,1}^s {*}^(w-s)` pattern over `w`-bit
+//! integers, and its numericalization.
+//!
+//! A *prefix* with `s` specified bits denotes the set of all `w`-bit
+//! numbers sharing those leading bits — equivalently, an aligned dyadic
+//! interval of size `2^(w-s)`. The paper's prefix-membership scheme
+//! (borrowed from SafeQ \[11\]) rests on two operations implemented here:
+//!
+//! * membership: does a prefix contain a number?
+//! * numericalization `O(·)`: the injective map sending the prefix
+//!   `t1..ts *..*` to the `(w+1)`-bit number `t1..ts 1 0..0`, which lets
+//!   prefix equality be tested as integer equality.
+
+use crate::error::PrefixError;
+
+/// Maximum supported bit width of the underlying domain.
+///
+/// 32 bits comfortably covers grid coordinates (at most ~14 bits in the
+/// paper's 100×100 evaluation grids) and bid prices.
+pub const MAX_WIDTH: u8 = 32;
+
+/// A prefix pattern over `w`-bit unsigned integers.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_prefix::Prefix;
+///
+/// # fn main() -> Result<(), lppa_prefix::PrefixError> {
+/// // The prefix 01** over 4-bit numbers covers 4..=7.
+/// let p = Prefix::new(4, 0b01, 2)?;
+/// assert!(p.contains(5));
+/// assert!(!p.contains(8));
+/// assert_eq!(p.numericalize(), 0b01100);
+/// assert_eq!(p.to_string(), "01**");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    /// The value of the specified leading bits, right-aligned.
+    bits: u32,
+    /// Number of specified bits (`s`).
+    spec_len: u8,
+    /// Total width (`w`).
+    width: u8,
+}
+
+impl Prefix {
+    /// Creates the prefix whose `spec_len` leading bits equal the
+    /// `spec_len` low-order bits of `bits`, over a `width`-bit domain.
+    ///
+    /// # Errors
+    ///
+    /// * [`PrefixError::WidthOutOfRange`] if `width` is 0 or exceeds
+    ///   [`MAX_WIDTH`];
+    /// * [`PrefixError::SpecLenTooLong`] if `spec_len > width`;
+    /// * [`PrefixError::ValueTooWide`] if `bits` has more than
+    ///   `spec_len` significant bits.
+    pub fn new(width: u8, bits: u32, spec_len: u8) -> Result<Self, PrefixError> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(PrefixError::WidthOutOfRange { width });
+        }
+        if spec_len > width {
+            return Err(PrefixError::SpecLenTooLong { spec_len, width });
+        }
+        if spec_len < 32 && u64::from(bits) >= (1u64 << spec_len) {
+            return Err(PrefixError::ValueTooWide { value: u64::from(bits), width: spec_len });
+        }
+        Ok(Self { bits, spec_len, width })
+    }
+
+    /// The fully-specified prefix equal to the single number `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError::ValueTooWide`] if `value` does not fit in
+    /// `width` bits, or [`PrefixError::WidthOutOfRange`] for a bad width.
+    pub fn exact(width: u8, value: u32) -> Result<Self, PrefixError> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(PrefixError::WidthOutOfRange { width });
+        }
+        if width < 32 && u64::from(value) >= (1u64 << width) {
+            return Err(PrefixError::ValueTooWide { value: u64::from(value), width });
+        }
+        Ok(Self { bits: value, spec_len: width, width })
+    }
+
+    /// Number of specified (non-`*`) bits.
+    pub fn spec_len(&self) -> u8 {
+        self.spec_len
+    }
+
+    /// Total bit width of the domain.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The value of the specified leading bits, right-aligned.
+    pub fn leading_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Smallest number matched by this prefix.
+    pub fn low(&self) -> u32 {
+        if self.spec_len == 0 {
+            0
+        } else {
+            self.bits << (self.width - self.spec_len)
+        }
+    }
+
+    /// Largest number matched by this prefix.
+    pub fn high(&self) -> u32 {
+        let wild = self.width - self.spec_len;
+        let mask: u32 = if wild >= 32 { u32::MAX } else { (1u32 << wild) - 1 };
+        self.low() | mask
+    }
+
+    /// Whether `value` matches the prefix pattern.
+    pub fn contains(&self, value: u32) -> bool {
+        if self.spec_len == 0 {
+            // All-wildcard prefix matches the whole domain.
+            return self.width == 32 || u64::from(value) < (1u64 << self.width);
+        }
+        let shift = self.width - self.spec_len;
+        (value >> shift) == self.bits && (self.width == 32 || u64::from(value) < (1u64 << self.width))
+    }
+
+    /// Numericalization `O(·)`: the `(w+1)`-bit number `t1..ts 1 0..0`.
+    ///
+    /// This map is injective over prefixes of a fixed width, so two
+    /// prefixes are equal iff their numericalizations are equal — the
+    /// property that turns prefix matching into (masked) equality checks.
+    pub fn numericalize(&self) -> u64 {
+        let marked = (u64::from(self.bits) << 1) | 1;
+        marked << (self.width - self.spec_len)
+    }
+
+    /// Serializes the numericalized prefix for HMAC masking.
+    ///
+    /// The encoding is `[width, O(prefix) as big-endian u64]`, making
+    /// prefixes of different domain widths hash to unrelated tags.
+    pub fn to_mask_input(&self) -> [u8; 9] {
+        let mut out = [0u8; 9];
+        out[0] = self.width;
+        out[1..].copy_from_slice(&self.numericalize().to_be_bytes());
+        out
+    }
+}
+
+impl std::str::FromStr for Prefix {
+    type Err = PrefixError;
+
+    /// Parses the paper's notation, e.g. `"01**"`; round-trips with the
+    /// [`std::fmt::Display`] rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError::WidthOutOfRange`] for empty or over-long
+    /// patterns and [`PrefixError::ValueTooWide`] for any character other
+    /// than `0`, `1` and trailing `*`s (a specified bit after a wildcard
+    /// is also rejected, reported as `SpecLenTooLong`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let width = u8::try_from(s.len()).map_err(|_| PrefixError::WidthOutOfRange { width: u8::MAX })?;
+        if width == 0 || width > MAX_WIDTH {
+            return Err(PrefixError::WidthOutOfRange { width });
+        }
+        let mut bits: u32 = 0;
+        let mut spec_len: u8 = 0;
+        let mut seen_wildcard = false;
+        for ch in s.chars() {
+            match ch {
+                '0' | '1' => {
+                    if seen_wildcard {
+                        // Specified bits must precede wildcards.
+                        return Err(PrefixError::SpecLenTooLong { spec_len: width, width });
+                    }
+                    bits = (bits << 1) | u32::from(ch == '1');
+                    spec_len += 1;
+                }
+                '*' => seen_wildcard = true,
+                _ => {
+                    return Err(PrefixError::ValueTooWide {
+                        value: u64::from(ch as u32),
+                        width,
+                    })
+                }
+            }
+        }
+        Prefix::new(width, bits, spec_len)
+    }
+}
+
+impl std::fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    /// Renders the pattern in the paper's notation, e.g. `01**`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..self.spec_len).rev() {
+            let bit = (self.bits >> i) & 1;
+            write!(f, "{bit}")?;
+        }
+        for _ in 0..(self.width - self.spec_len) {
+            write!(f, "*")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_numericalization() {
+        // O(110*) = 11010 (§II.B of the paper).
+        let p = Prefix::new(4, 0b110, 3).unwrap();
+        assert_eq!(p.numericalize(), 0b11010);
+    }
+
+    #[test]
+    fn exact_prefix_numericalization_appends_one() {
+        // O(0111) = 01111 for the fully specified prefix of 7.
+        let p = Prefix::exact(4, 7).unwrap();
+        assert_eq!(p.numericalize(), 0b01111);
+    }
+
+    #[test]
+    fn all_wildcard_numericalization_is_leading_one() {
+        // O(****) = 10000.
+        let p = Prefix::new(4, 0, 0).unwrap();
+        assert_eq!(p.numericalize(), 0b10000);
+    }
+
+    #[test]
+    fn contains_matches_interval() {
+        let p = Prefix::new(4, 0b10, 2).unwrap(); // 10** covers 8..=11
+        assert_eq!(p.low(), 8);
+        assert_eq!(p.high(), 11);
+        for v in 0..16 {
+            assert_eq!(p.contains(v), (8..=11).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn all_wildcard_covers_domain() {
+        let p = Prefix::new(3, 0, 0).unwrap();
+        assert_eq!((p.low(), p.high()), (0, 7));
+        assert!(p.contains(0));
+        assert!(p.contains(7));
+        assert!(!p.contains(8));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Prefix::new(4, 0b011, 3).unwrap().to_string(), "011*");
+        assert_eq!(Prefix::new(4, 0b10, 2).unwrap().to_string(), "10**");
+        assert_eq!(Prefix::exact(4, 0b1110).unwrap().to_string(), "1110");
+        assert_eq!(Prefix::new(4, 0, 0).unwrap().to_string(), "****");
+    }
+
+    #[test]
+    fn invalid_constructions_are_rejected() {
+        assert_eq!(
+            Prefix::new(0, 0, 0),
+            Err(PrefixError::WidthOutOfRange { width: 0 })
+        );
+        assert_eq!(
+            Prefix::new(33, 0, 0),
+            Err(PrefixError::WidthOutOfRange { width: 33 })
+        );
+        assert_eq!(
+            Prefix::new(4, 0, 5),
+            Err(PrefixError::SpecLenTooLong { spec_len: 5, width: 4 })
+        );
+        assert_eq!(
+            Prefix::new(4, 0b100, 2),
+            Err(PrefixError::ValueTooWide { value: 4, width: 2 })
+        );
+        assert_eq!(
+            Prefix::exact(4, 16),
+            Err(PrefixError::ValueTooWide { value: 16, width: 4 })
+        );
+    }
+
+    #[test]
+    fn numericalization_is_injective_for_small_width() {
+        // Enumerate every prefix of width 6 and check all O(·) values are
+        // distinct.
+        let width = 6u8;
+        let mut seen = std::collections::HashSet::new();
+        for spec_len in 0..=width {
+            let count = 1u32 << spec_len;
+            for bits in 0..count {
+                let p = Prefix::new(width, bits, spec_len).unwrap();
+                assert!(seen.insert(p.numericalize()), "collision at {p}");
+            }
+        }
+        // Total number of prefixes of width w is 2^(w+1) - 1.
+        assert_eq!(seen.len(), (1usize << (width + 1)) - 1);
+    }
+
+    #[test]
+    fn mask_input_distinguishes_widths() {
+        let p4 = Prefix::exact(4, 3).unwrap();
+        let p5 = Prefix::exact(5, 3).unwrap();
+        assert_ne!(p4.to_mask_input(), p5.to_mask_input());
+    }
+
+    #[test]
+    fn parse_roundtrips_with_display() {
+        for text in ["01**", "1110", "****", "0", "1", "10110***"] {
+            let p: Prefix = text.parse().unwrap();
+            assert_eq!(p.to_string(), text, "roundtrip failed");
+        }
+        // Exhaustive roundtrip over a small width.
+        for spec_len in 0..=5u8 {
+            for bits in 0..(1u32 << spec_len) {
+                let p = Prefix::new(5, bits, spec_len).unwrap();
+                let back: Prefix = p.to_string().parse().unwrap();
+                assert_eq!(p, back);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_patterns() {
+        assert!("".parse::<Prefix>().is_err());
+        assert!("01x*".parse::<Prefix>().is_err());
+        assert!("0*1".parse::<Prefix>().is_err(), "bit after wildcard");
+        assert!("0".repeat(40).parse::<Prefix>().is_err(), "too wide");
+    }
+
+    #[test]
+    fn full_width_32_is_supported() {
+        let p = Prefix::exact(32, u32::MAX).unwrap();
+        assert!(p.contains(u32::MAX));
+        assert_eq!(p.numericalize(), (u64::from(u32::MAX) << 1) | 1);
+        let wild = Prefix::new(32, 0, 0).unwrap();
+        assert!(wild.contains(u32::MAX));
+        assert!(wild.contains(0));
+        assert_eq!(wild.high(), u32::MAX);
+    }
+}

@@ -1,0 +1,192 @@
+//! The minimal range cover `Q([a, b])`: the smallest set of prefixes whose
+//! union is exactly the integer interval `[a, b]`.
+//!
+//! Each prefix is an aligned dyadic interval; the canonical minimal cover
+//! consists of the *maximal* dyadic intervals inside `[a, b]` and has at
+//! most `2w − 2` members for a `w`-bit domain (Gupta & McKeown, the
+//! paper's reference \[15\]).
+
+use crate::error::PrefixError;
+use crate::prefix::{Prefix, MAX_WIDTH};
+
+/// Computes the minimal prefix cover `Q([lo, hi])` over a `width`-bit
+/// domain.
+///
+/// The cover is returned in ascending order of the intervals it denotes.
+///
+/// # Errors
+///
+/// * [`PrefixError::EmptyRange`] if `lo > hi`;
+/// * [`PrefixError::WidthOutOfRange`] / [`PrefixError::ValueTooWide`] for
+///   invalid domains.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_prefix::range::range_prefixes;
+///
+/// # fn main() -> Result<(), lppa_prefix::PrefixError> {
+/// // The paper's example: Q([6, 14]) = {011*, 10**, 110*, 1110}.
+/// let cover = range_prefixes(4, 6, 14)?;
+/// let rendered: Vec<String> = cover.iter().map(|p| p.to_string()).collect();
+/// assert_eq!(rendered, ["011*", "10**", "110*", "1110"]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn range_prefixes(width: u8, lo: u32, hi: u32) -> Result<Vec<Prefix>, PrefixError> {
+    if width == 0 || width > MAX_WIDTH {
+        return Err(PrefixError::WidthOutOfRange { width });
+    }
+    if lo > hi {
+        return Err(PrefixError::EmptyRange { lo: u64::from(lo), hi: u64::from(hi) });
+    }
+    // Validating `hi` suffices since `lo <= hi`.
+    Prefix::exact(width, hi)?;
+
+    let mut cover = Vec::new();
+    descend(width, 0, 0, lo, hi, &mut cover);
+    Ok(cover)
+}
+
+/// Recursively walks the prefix trie, emitting maximal fully-contained
+/// nodes.
+fn descend(width: u8, bits: u32, spec_len: u8, lo: u32, hi: u32, out: &mut Vec<Prefix>) {
+    let node = Prefix::new(width, bits, spec_len).expect("trie nodes are valid by construction");
+    let (node_lo, node_hi) = (node.low(), node.high());
+    if node_lo > hi || node_hi < lo {
+        return; // disjoint
+    }
+    if lo <= node_lo && node_hi <= hi {
+        out.push(node); // maximal contained dyadic interval
+        return;
+    }
+    debug_assert!(spec_len < width, "leaf nodes are single values and always contained or disjoint");
+    descend(width, bits << 1, spec_len + 1, lo, hi, out);
+    descend(width, (bits << 1) | 1, spec_len + 1, lo, hi, out);
+}
+
+/// Upper bound on the cover size for a `width`-bit domain: `2·width − 2`.
+///
+/// The advanced bid-submission protocol pads every transmitted range cover
+/// to exactly this many elements so cover cardinality cannot be used to
+/// distinguish bid values (§IV.C.2 of the paper).
+pub fn max_cover_len(width: u8) -> usize {
+    if width <= 1 {
+        // A 1-bit domain has covers of size at most 2 ({0},{1} or the
+        // wildcard); the 2w−2 bound degenerates, so special-case it.
+        2
+    } else {
+        2 * usize::from(width) - 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check that a cover is exact: every in-range value is
+    /// covered, every out-of-range value is not.
+    fn assert_exact_cover(width: u8, lo: u32, hi: u32, cover: &[Prefix]) {
+        let domain = 1u64 << width;
+        for v in 0..domain {
+            let v = v as u32;
+            let covered = cover.iter().any(|p| p.contains(v));
+            assert_eq!(covered, (lo..=hi).contains(&v), "w={width} [{lo},{hi}] v={v}");
+        }
+    }
+
+    #[test]
+    fn paper_example_6_to_14() {
+        let cover = range_prefixes(4, 6, 14).unwrap();
+        assert_exact_cover(4, 6, 14, &cover);
+        assert_eq!(cover.len(), 4);
+        // Numericalized set from §II.B: {01110, 01100, 10100, 11010, 11100}
+        // — the paper lists O(Q([6,14])) as {0110(0?),...}; our canonical
+        // cover yields these four:
+        let nums: Vec<u64> = cover.iter().map(Prefix::numericalize).collect();
+        assert!(nums.contains(&0b01110)); // 011*
+        assert!(nums.contains(&0b10100)); // 10**
+        assert!(nums.contains(&0b11010)); // 110*
+        assert!(nums.contains(&0b11101)); // 1110 exact
+    }
+
+    #[test]
+    fn full_domain_is_single_wildcard() {
+        let cover = range_prefixes(4, 0, 15).unwrap();
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].spec_len(), 0);
+    }
+
+    #[test]
+    fn singleton_range_is_exact_prefix() {
+        let cover = range_prefixes(8, 77, 77).unwrap();
+        assert_eq!(cover.len(), 1);
+        assert_eq!((cover[0].low(), cover[0].high()), (77, 77));
+    }
+
+    #[test]
+    fn exhaustive_small_domain() {
+        // Every range over a 5-bit domain must be covered exactly and
+        // within the 2w−2 bound.
+        let width = 5u8;
+        for lo in 0..32u32 {
+            for hi in lo..32u32 {
+                let cover = range_prefixes(width, lo, hi).unwrap();
+                assert_exact_cover(width, lo, hi, &cover);
+                assert!(
+                    cover.len() <= max_cover_len(width),
+                    "[{lo},{hi}] cover {} > bound {}",
+                    cover.len(),
+                    max_cover_len(width)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_reaches_bound() {
+        // [1, 2^w − 2] is the classic worst case with exactly 2w−2
+        // prefixes.
+        let width = 8u8;
+        let cover = range_prefixes(width, 1, (1 << width) - 2).unwrap();
+        assert_eq!(cover.len(), max_cover_len(width));
+    }
+
+    #[test]
+    fn cover_is_sorted_and_disjoint() {
+        let cover = range_prefixes(10, 100, 900).unwrap();
+        for pair in cover.windows(2) {
+            assert!(pair[0].high() < pair[1].low(), "{:?} then {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn empty_range_is_rejected() {
+        assert_eq!(
+            range_prefixes(4, 9, 3),
+            Err(PrefixError::EmptyRange { lo: 9, hi: 3 })
+        );
+    }
+
+    #[test]
+    fn out_of_domain_bound_is_rejected() {
+        assert!(range_prefixes(4, 0, 16).is_err());
+        assert!(range_prefixes(0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn max_cover_len_degenerate_widths() {
+        assert_eq!(max_cover_len(1), 2);
+        assert_eq!(max_cover_len(2), 2);
+        assert_eq!(max_cover_len(4), 6);
+        assert_eq!(max_cover_len(16), 30);
+    }
+
+    #[test]
+    fn width_one_domain() {
+        let cover = range_prefixes(1, 0, 1).unwrap();
+        assert_eq!(cover.len(), 1);
+        let cover = range_prefixes(1, 1, 1).unwrap();
+        assert_exact_cover(1, 1, 1, &cover);
+    }
+}

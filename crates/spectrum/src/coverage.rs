@@ -1,0 +1,340 @@
+//! Channel coverage maps: availability regions and quality statistics.
+//!
+//! For every channel the map records the PU signal strength in each cell.
+//! From it derive the two artefacts the rest of the system consumes:
+//!
+//! * the **availability region** `C_r` — cells where the PU signal is at
+//!   or below the threshold, i.e. where a secondary user may transmit
+//!   (the *complement* of the PU's protected coverage); and
+//! * the **quality statistic** `q*_r(m, n)` — how good the channel is for
+//!   a secondary user in a cell, derived from the interference margin.
+//!   This is exactly the geo-location-database knowledge the BPM attacker
+//!   is assumed to hold (§III.B).
+
+use crate::geo::{Cell, CellSet, GridSpec};
+use crate::propagation::{PathLossModel, Transmitter};
+use crate::terrain::TerrainField;
+
+/// Identifier of a channel within a [`SpectrumMap`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub usize);
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// dB of interference margin at which quality saturates at 1.0.
+pub const QUALITY_SATURATION_DB: f64 = 40.0;
+
+/// Per-channel signal map over a grid.
+#[derive(Clone, Debug)]
+pub struct ChannelCoverage {
+    rssi_dbm: Vec<f64>,
+    availability: CellSet,
+    threshold_dbm: f64,
+}
+
+impl ChannelCoverage {
+    /// Computes the coverage of a channel served by `transmitters` under
+    /// `model` and `terrain`. When several transmitters share a channel,
+    /// the strongest signal in each cell governs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmitters` is empty — a channel with no PU would be
+    /// trivially available everywhere and carries no location signal.
+    pub fn compute(
+        grid: &GridSpec,
+        transmitters: &[Transmitter],
+        model: &PathLossModel,
+        terrain: &TerrainField,
+        threshold_dbm: f64,
+    ) -> Self {
+        assert!(!transmitters.is_empty(), "a channel needs at least one transmitter");
+        let mut rssi_dbm = Vec::with_capacity(grid.cell_count());
+        for cell in grid.iter() {
+            let strongest = transmitters
+                .iter()
+                .map(|tx| model.rssi_dbm(grid, tx, cell, terrain))
+                .fold(f64::NEG_INFINITY, f64::max);
+            rssi_dbm.push(strongest);
+        }
+        let availability = {
+            let rssi = &rssi_dbm;
+            CellSet::from_predicate(grid, |cell| rssi[grid.index_of(cell)] <= threshold_dbm)
+        };
+        Self { rssi_dbm, availability, threshold_dbm }
+    }
+
+    /// Builds a coverage directly from a signal field (useful for tests
+    /// and replaying recorded maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rssi_dbm.len() != grid.cell_count()`.
+    pub fn from_rssi(grid: &GridSpec, rssi_dbm: Vec<f64>, threshold_dbm: f64) -> Self {
+        assert_eq!(rssi_dbm.len(), grid.cell_count(), "rssi field size mismatch");
+        let availability = {
+            let rssi = &rssi_dbm;
+            CellSet::from_predicate(grid, |cell| rssi[grid.index_of(cell)] <= threshold_dbm)
+        };
+        Self { rssi_dbm, availability, threshold_dbm }
+    }
+
+    /// PU signal strength at `cell` in dBm.
+    pub fn rssi_dbm(&self, grid: &GridSpec, cell: Cell) -> f64 {
+        self.rssi_dbm[grid.index_of(cell)]
+    }
+
+    /// The availability region `C_r`: cells where a secondary user may
+    /// operate.
+    pub fn availability(&self) -> &CellSet {
+        &self.availability
+    }
+
+    /// Whether the channel is available to a secondary user in `cell`.
+    pub fn is_available(&self, cell: Cell) -> bool {
+        self.availability.contains(cell)
+    }
+
+    /// The ground-truth quality statistic `q*` at `cell`, in `[0, 1]`.
+    ///
+    /// Quality is the normalized interference margin below the threshold:
+    /// zero at (or above) the threshold, saturating at 1.0 once the PU
+    /// signal is [`QUALITY_SATURATION_DB`] below it. Unavailable cells
+    /// have quality 0.
+    pub fn quality(&self, grid: &GridSpec, cell: Cell) -> f64 {
+        let margin = self.threshold_dbm - self.rssi_dbm[grid.index_of(cell)];
+        (margin / QUALITY_SATURATION_DB).clamp(0.0, 1.0)
+    }
+}
+
+/// A complete spectrum map: every channel's coverage over one grid.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_spectrum::geo::{Cell, GridSpec};
+/// use lppa_spectrum::synth::SyntheticMapBuilder;
+/// use lppa_spectrum::area::AreaProfile;
+///
+/// let map = SyntheticMapBuilder::new(AreaProfile::area4())
+///     .channels(8)
+///     .seed(1)
+///     .build();
+/// assert_eq!(map.channel_count(), 8);
+/// let cell = Cell::new(50, 50);
+/// let available = map.available_channels(cell);
+/// for ch in &available {
+///     assert!(map.quality(*ch, cell) > 0.0);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpectrumMap {
+    grid: GridSpec,
+    channels: Vec<ChannelCoverage>,
+    threshold_dbm: f64,
+}
+
+impl SpectrumMap {
+    /// Assembles a map from per-channel coverages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty.
+    pub fn new(grid: GridSpec, channels: Vec<ChannelCoverage>, threshold_dbm: f64) -> Self {
+        assert!(!channels.is_empty(), "a spectrum map needs at least one channel");
+        Self { grid, channels, threshold_dbm }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// The availability threshold in dBm (−81 in the paper's setup).
+    pub fn threshold_dbm(&self) -> f64 {
+        self.threshold_dbm
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Identifiers of all channels.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.channels.len()).map(ChannelId)
+    }
+
+    /// The coverage record of `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel(&self, channel: ChannelId) -> &ChannelCoverage {
+        &self.channels[channel.0]
+    }
+
+    /// The availability region `C_r` of `channel`.
+    pub fn availability(&self, channel: ChannelId) -> &CellSet {
+        self.channels[channel.0].availability()
+    }
+
+    /// Whether `channel` is available in `cell`.
+    pub fn is_available(&self, channel: ChannelId, cell: Cell) -> bool {
+        self.channels[channel.0].is_available(cell)
+    }
+
+    /// Ground-truth quality `q*_r(m, n)` of `channel` at `cell`.
+    pub fn quality(&self, channel: ChannelId, cell: Cell) -> f64 {
+        self.channels[channel.0].quality(&self.grid, cell)
+    }
+
+    /// The available channel set `AS(i)` of a user located in `cell`.
+    pub fn available_channels(&self, cell: Cell) -> Vec<ChannelId> {
+        self.channel_ids().filter(|&ch| self.is_available(ch, cell)).collect()
+    }
+
+    /// Restricts the map to its first `k` channels (the paper sweeps the
+    /// number of auctioned channels in Fig. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the channel count.
+    pub fn take_channels(&self, k: usize) -> SpectrumMap {
+        assert!(k > 0 && k <= self.channels.len(), "invalid channel subset {k}");
+        SpectrumMap {
+            grid: self.grid,
+            channels: self.channels[..k].to_vec(),
+            threshold_dbm: self.threshold_dbm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(40, 40, 30.0)
+    }
+
+    fn one_channel(grid: &GridSpec, radius: f64) -> ChannelCoverage {
+        let model = PathLossModel::new(88.0, 3.0);
+        let terrain = TerrainField::flat(grid);
+        let tx = Transmitter::with_coverage_radius(15.0, 15.0, radius, -81.0, &model);
+        ChannelCoverage::compute(grid, &[tx], &model, &terrain, -81.0)
+    }
+
+    #[test]
+    fn availability_is_complement_of_pu_coverage() {
+        let g = grid();
+        let cov = one_channel(&g, 10.0);
+        // Near the tower: PU signal strong, channel NOT available.
+        assert!(!cov.is_available(Cell::new(20, 20)));
+        // Far corner (~21 km away): available.
+        assert!(cov.is_available(Cell::new(0, 0)));
+        // Availability set matches the per-cell predicate.
+        for cell in g.iter() {
+            assert_eq!(
+                cov.availability().contains(cell),
+                cov.rssi_dbm(&g, cell) <= -81.0
+            );
+        }
+    }
+
+    #[test]
+    fn larger_radius_shrinks_availability() {
+        let g = grid();
+        let small = one_channel(&g, 5.0);
+        let large = one_channel(&g, 25.0);
+        assert!(small.availability().len() > large.availability().len());
+    }
+
+    #[test]
+    fn quality_zero_at_unavailable_cells_and_monotone_with_distance() {
+        let g = grid();
+        let cov = one_channel(&g, 8.0);
+        assert_eq!(cov.quality(&g, Cell::new(20, 20)), 0.0);
+        // Quality grows with distance from the tower (larger margin).
+        let q_mid = cov.quality(&g, Cell::new(5, 5));
+        let q_corner = cov.quality(&g, Cell::new(0, 0));
+        assert!(q_corner >= q_mid);
+        assert!((0.0..=1.0).contains(&q_corner));
+    }
+
+    #[test]
+    fn multiple_transmitters_use_strongest_signal() {
+        let g = grid();
+        let model = PathLossModel::new(88.0, 3.0);
+        let terrain = TerrainField::flat(&g);
+        let tx1 = Transmitter::with_coverage_radius(0.0, 0.0, 12.0, -81.0, &model);
+        let tx2 = Transmitter::with_coverage_radius(30.0, 30.0, 12.0, -81.0, &model);
+        let both = ChannelCoverage::compute(&g, &[tx1, tx2], &model, &terrain, -81.0);
+        let only1 = ChannelCoverage::compute(&g, &[tx1], &model, &terrain, -81.0);
+        // Adding a transmitter can only shrink availability.
+        assert!(both.availability().len() <= only1.availability().len());
+        for cell in g.iter() {
+            assert!(both.rssi_dbm(&g, cell) >= only1.rssi_dbm(&g, cell) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_rssi_roundtrip() {
+        let g = GridSpec::new(4, 4, 3.0);
+        let rssi: Vec<f64> = (0..16).map(|i| -100.0 + f64::from(i)).collect();
+        let cov = ChannelCoverage::from_rssi(&g, rssi.clone(), -90.0);
+        // Cells 0..=10 have rssi ≤ −90.
+        assert_eq!(cov.availability().len(), 11);
+        assert_eq!(cov.rssi_dbm(&g, Cell::new(0, 0)), -100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_rssi_wrong_size_panics() {
+        ChannelCoverage::from_rssi(&GridSpec::new(4, 4, 3.0), vec![0.0; 5], -81.0);
+    }
+
+    #[test]
+    fn spectrum_map_available_channels() {
+        let g = grid();
+        let map = SpectrumMap::new(
+            g,
+            vec![one_channel(&g, 5.0), one_channel(&g, 25.0)],
+            -81.0,
+        );
+        let corner = Cell::new(0, 0);
+        let available = map.available_channels(corner);
+        for ch in map.channel_ids() {
+            assert_eq!(available.contains(&ch), map.is_available(ch, corner));
+        }
+        assert_eq!(map.channel_count(), 2);
+    }
+
+    #[test]
+    fn take_channels_subsets() {
+        let g = grid();
+        let map = SpectrumMap::new(
+            g,
+            vec![one_channel(&g, 5.0), one_channel(&g, 15.0), one_channel(&g, 25.0)],
+            -81.0,
+        );
+        let sub = map.take_channels(2);
+        assert_eq!(sub.channel_count(), 2);
+        assert_eq!(
+            sub.availability(ChannelId(1)).len(),
+            map.availability(ChannelId(1)).len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid channel subset")]
+    fn take_zero_channels_panics() {
+        let g = grid();
+        let map = SpectrumMap::new(g, vec![one_channel(&g, 5.0)], -81.0);
+        map.take_channels(0);
+    }
+}

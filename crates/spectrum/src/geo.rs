@@ -1,0 +1,475 @@
+//! Geography: the evaluation grid and sets of cells.
+//!
+//! The paper divides each 75 km × 75 km evaluation area into 100 × 100
+//! cells addressed as `(m, n)` row/column pairs. [`GridSpec`] captures the
+//! geometry; [`CellSet`] is a bitset over the grid used for coverage
+//! regions and attack position sets, where intersections must be cheap
+//! (the BCM attack intersects up to 129 coverage regions per bidder).
+
+/// A cell address `(m, n)`: row `m`, column `n`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cell {
+    /// Row index (0-based).
+    pub row: u16,
+    /// Column index (0-based).
+    pub col: u16,
+}
+
+impl Cell {
+    /// Creates a cell address.
+    pub fn new(row: u16, col: u16) -> Self {
+        Self { row, col }
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+/// Geometry of an evaluation grid.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_spectrum::geo::{Cell, GridSpec};
+///
+/// let grid = GridSpec::paper_default();
+/// assert_eq!(grid.cell_count(), 10_000);
+/// assert!((grid.cell_size_km() - 0.75).abs() < 1e-9);
+/// let d = grid.distance_km(Cell::new(0, 0), Cell::new(0, 4));
+/// assert!((d - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridSpec {
+    rows: u16,
+    cols: u16,
+    side_km: f64,
+}
+
+impl GridSpec {
+    /// Creates a grid of `rows × cols` cells spanning `side_km` km on
+    /// each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `side_km` is not positive —
+    /// these are programming errors, not recoverable conditions.
+    pub fn new(rows: u16, cols: u16, side_km: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        assert!(side_km > 0.0, "grid side must be positive");
+        Self { rows, cols, side_km }
+    }
+
+    /// The paper's evaluation grid: 100 × 100 cells over 75 km.
+    pub fn paper_default() -> Self {
+        Self::new(100, 100, 75.0)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Length of the (square) area side in km.
+    pub fn side_km(&self) -> f64 {
+        self.side_km
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        usize::from(self.rows) * usize::from(self.cols)
+    }
+
+    /// Edge length of one (square-ish) cell in km, using the column pitch.
+    pub fn cell_size_km(&self) -> f64 {
+        self.side_km / f64::from(self.cols)
+    }
+
+    /// Flattened index of `cell`, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell lies outside the grid.
+    pub fn index_of(&self, cell: Cell) -> usize {
+        assert!(self.contains(cell), "cell {cell} outside {}x{} grid", self.rows, self.cols);
+        usize::from(cell.row) * usize::from(self.cols) + usize::from(cell.col)
+    }
+
+    /// Cell address of a flattened index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cell_count()`.
+    pub fn cell_at(&self, index: usize) -> Cell {
+        assert!(index < self.cell_count(), "index {index} out of bounds");
+        Cell::new((index / usize::from(self.cols)) as u16, (index % usize::from(self.cols)) as u16)
+    }
+
+    /// Whether `cell` lies inside the grid.
+    pub fn contains(&self, cell: Cell) -> bool {
+        cell.row < self.rows && cell.col < self.cols
+    }
+
+    /// Centre of `cell` in km from the area's south-west corner, `(x, y)`
+    /// with `x` along columns and `y` along rows.
+    pub fn center_km(&self, cell: Cell) -> (f64, f64) {
+        let cw = self.side_km / f64::from(self.cols);
+        let ch = self.side_km / f64::from(self.rows);
+        (
+            (f64::from(cell.col) + 0.5) * cw,
+            (f64::from(cell.row) + 0.5) * ch,
+        )
+    }
+
+    /// Euclidean distance between cell centres, in km.
+    pub fn distance_km(&self, a: Cell, b: Cell) -> f64 {
+        let (ax, ay) = self.center_km(a);
+        let (bx, by) = self.center_km(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Iterates over every cell in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
+        (0..self.rows).flat_map(move |r| (0..self.cols).map(move |c| Cell::new(r, c)))
+    }
+}
+
+/// A set of cells, stored as a bitset over the flattened grid.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_spectrum::geo::{Cell, CellSet, GridSpec};
+///
+/// let grid = GridSpec::new(10, 10, 7.5);
+/// let mut set = CellSet::empty(&grid);
+/// set.insert(Cell::new(2, 3));
+/// assert!(set.contains(Cell::new(2, 3)));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CellSet {
+    grid: GridSpec,
+    words: Vec<u64>,
+    len: usize,
+}
+
+// GridSpec contains f64 and so is not Eq; CellSet equality only needs the
+// integer dimensions, which PartialEq on words + grid covers. Implement Eq
+// manually-adjacent via PartialEq derive above: derive(Eq) requires all
+// fields Eq, so provide a manual impl.
+impl std::cmp::Eq for GridSpec {}
+
+impl std::fmt::Debug for CellSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CellSet({} of {} cells)", self.len, self.grid.cell_count())
+    }
+}
+
+impl CellSet {
+    /// The empty set over `grid`.
+    pub fn empty(grid: &GridSpec) -> Self {
+        let words = vec![0u64; grid.cell_count().div_ceil(64)];
+        Self { grid: *grid, words, len: 0 }
+    }
+
+    /// The full set over `grid` (the attack's initial `P = A`).
+    pub fn full(grid: &GridSpec) -> Self {
+        let mut set = Self::empty(grid);
+        let n = grid.cell_count();
+        for (i, word) in set.words.iter_mut().enumerate() {
+            let remaining = n.saturating_sub(i * 64);
+            *word = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+        }
+        set.len = n;
+        set
+    }
+
+    /// Builds a set from a predicate over cells.
+    pub fn from_predicate<F: FnMut(Cell) -> bool>(grid: &GridSpec, mut pred: F) -> Self {
+        let mut set = Self::empty(grid);
+        for cell in grid.iter() {
+            if pred(cell) {
+                set.insert(cell);
+            }
+        }
+        set
+    }
+
+    /// The grid this set is defined over.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Inserts `cell`; returns whether it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn insert(&mut self, cell: Cell) -> bool {
+        let idx = self.grid.index_of(cell);
+        let (w, b) = (idx / 64, idx % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        if newly {
+            self.words[w] |= 1 << b;
+            self.len += 1;
+        }
+        newly
+    }
+
+    /// Removes `cell`; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn remove(&mut self, cell: Cell) -> bool {
+        let idx = self.grid.index_of(cell);
+        let (w, b) = (idx / 64, idx % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        if present {
+            self.words[w] &= !(1 << b);
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Whether `cell` is in the set. Cells outside the grid are not.
+    pub fn contains(&self, cell: Cell) -> bool {
+        if !self.grid.contains(cell) {
+            return false;
+        }
+        let idx = self.grid.index_of(cell);
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of cells in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-place intersection (`P = P ∩ other`), the BCM attack's inner
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets are over different grids.
+    pub fn intersect_with(&mut self, other: &CellSet) {
+        assert_eq!(self.grid, other.grid, "sets over different grids");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Returns the intersection as a new set.
+    pub fn intersection(&self, other: &CellSet) -> CellSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets are over different grids.
+    pub fn union_with(&mut self, other: &CellSet) {
+        assert_eq!(self.grid, other.grid, "sets over different grids");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// The complement within the grid.
+    pub fn complement(&self) -> CellSet {
+        let mut out = CellSet::full(&self.grid);
+        for (a, b) in out.words.iter_mut().zip(self.words.iter()) {
+            *a &= !*b;
+        }
+        out.len = out.words.iter().map(|w| w.count_ones() as usize).sum();
+        out
+    }
+
+    /// Iterates over member cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let grid = self.grid;
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(grid.cell_at(wi * 64 + b))
+            })
+        })
+    }
+}
+
+impl Extend<Cell> for CellSet {
+    fn extend<T: IntoIterator<Item = Cell>>(&mut self, iter: T) {
+        for cell in iter {
+            self.insert(cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(10, 12, 7.5)
+    }
+
+    #[test]
+    fn paper_default_dimensions() {
+        let g = GridSpec::paper_default();
+        assert_eq!((g.rows(), g.cols()), (100, 100));
+        assert_eq!(g.cell_count(), 10_000);
+        assert!((g.side_km() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = grid();
+        for cell in g.iter() {
+            assert_eq!(g.cell_at(g.index_of(cell)), cell);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_of_out_of_bounds_panics() {
+        grid().index_of(Cell::new(10, 0));
+    }
+
+    #[test]
+    fn centers_and_distances() {
+        let g = GridSpec::new(100, 100, 75.0);
+        let (x, y) = g.center_km(Cell::new(0, 0));
+        assert!((x - 0.375).abs() < 1e-12);
+        assert!((y - 0.375).abs() < 1e-12);
+        // Distance is symmetric and zero on the diagonal.
+        let a = Cell::new(3, 4);
+        let b = Cell::new(40, 80);
+        assert_eq!(g.distance_km(a, a), 0.0);
+        assert!((g.distance_km(a, b) - g.distance_km(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_full_sets() {
+        let g = grid();
+        let empty = CellSet::empty(&g);
+        assert!(empty.is_empty());
+        let full = CellSet::full(&g);
+        assert_eq!(full.len(), g.cell_count());
+        for cell in g.iter() {
+            assert!(!empty.contains(cell));
+            assert!(full.contains(cell));
+        }
+    }
+
+    #[test]
+    fn full_set_has_no_phantom_bits() {
+        // 10×12 = 120 cells is not a multiple of 64; the tail word must
+        // not carry stray bits that distort counts after complement.
+        let g = grid();
+        let full = CellSet::full(&g);
+        assert_eq!(full.complement().len(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let g = grid();
+        let mut s = CellSet::empty(&g);
+        let c = Cell::new(5, 7);
+        assert!(s.insert(c));
+        assert!(!s.insert(c), "double insert reports false");
+        assert!(s.contains(c));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(c));
+        assert!(!s.remove(c));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn contains_out_of_grid_is_false() {
+        let s = CellSet::empty(&grid());
+        assert!(!s.contains(Cell::new(200, 200)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let g = grid();
+        let a = CellSet::from_predicate(&g, |c| c.row < 5);
+        let b = CellSet::from_predicate(&g, |c| c.col < 6);
+        let inter = a.intersection(&b);
+        assert_eq!(inter.len(), 5 * 6);
+        let mut uni = a.clone();
+        uni.union_with(&b);
+        assert_eq!(uni.len(), 5 * 12 + 10 * 6 - 30);
+        for cell in g.iter() {
+            assert_eq!(inter.contains(cell), a.contains(cell) && b.contains(cell));
+            assert_eq!(uni.contains(cell), a.contains(cell) || b.contains(cell));
+        }
+    }
+
+    #[test]
+    fn complement_partitions_grid() {
+        let g = grid();
+        let a = CellSet::from_predicate(&g, |c| (c.row + c.col) % 3 == 0);
+        let comp = a.complement();
+        assert_eq!(a.len() + comp.len(), g.cell_count());
+        assert_eq!(a.intersection(&comp).len(), 0);
+    }
+
+    #[test]
+    fn iter_visits_exactly_members() {
+        let g = grid();
+        let s = CellSet::from_predicate(&g, |c| c.row == c.col);
+        let visited: Vec<Cell> = s.iter().collect();
+        assert_eq!(visited.len(), s.len());
+        for cell in &visited {
+            assert!(s.contains(*cell));
+        }
+        // Row-major order.
+        let mut sorted = visited.clone();
+        sorted.sort();
+        assert_eq!(visited, sorted);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let g = grid();
+        let mut s = CellSet::empty(&g);
+        s.extend([Cell::new(0, 0), Cell::new(1, 1), Cell::new(0, 0)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different grids")]
+    fn cross_grid_intersection_panics() {
+        let a = CellSet::empty(&GridSpec::new(5, 5, 1.0));
+        let mut b = CellSet::empty(&GridSpec::new(6, 6, 1.0));
+        b.intersect_with(&a);
+    }
+}

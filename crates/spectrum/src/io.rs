@@ -1,0 +1,267 @@
+//! Saving and loading spectrum maps.
+//!
+//! Generating a 129-channel map over 10,000 cells costs a couple of
+//! seconds; experiment harnesses that sweep many configurations can
+//! cache maps on disk instead. The format is a small, versioned,
+//! line-oriented text format — human-inspectable and independent of
+//! serialization crates.
+//!
+//! Functions take `R: Read` / `W: Write` by value; pass `&mut reader` /
+//! `&mut writer` to keep using the underlying stream afterwards.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::coverage::{ChannelCoverage, SpectrumMap};
+use crate::geo::GridSpec;
+
+/// Format tag written as the first line.
+const MAGIC: &str = "lppa-spectrum-map v1";
+
+/// Errors arising while reading a serialized map.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadMapError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a recognizable map file.
+    Format {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ReadMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadMapError::Io(e) => write!(f, "i/o error reading map: {e}"),
+            ReadMapError::Format { reason } => write!(f, "malformed map file: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadMapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadMapError::Io(e) => Some(e),
+            ReadMapError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadMapError {
+    fn from(e: io::Error) -> Self {
+        ReadMapError::Io(e)
+    }
+}
+
+fn format_err<T>(reason: impl Into<String>) -> Result<T, ReadMapError> {
+    Err(ReadMapError::Format { reason: reason.into() })
+}
+
+/// Writes `map` to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_spectrum::area::AreaProfile;
+/// use lppa_spectrum::io::{read_map, write_map};
+/// use lppa_spectrum::geo::GridSpec;
+/// use lppa_spectrum::synth::SyntheticMapBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let map = SyntheticMapBuilder::new(AreaProfile::area4())
+///     .grid(GridSpec::new(10, 10, 7.5)).channels(3).seed(1).build();
+/// let mut buffer = Vec::new();
+/// write_map(&map, &mut buffer)?;
+/// let restored = read_map(&buffer[..])?;
+/// assert_eq!(restored.channel_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_map<W: Write>(map: &SpectrumMap, mut writer: W) -> io::Result<()> {
+    let grid = map.grid();
+    writeln!(writer, "{MAGIC}")?;
+    writeln!(
+        writer,
+        "grid {} {} {}",
+        grid.rows(),
+        grid.cols(),
+        grid.side_km()
+    )?;
+    writeln!(writer, "threshold {}", map.threshold_dbm())?;
+    writeln!(writer, "channels {}", map.channel_count())?;
+    for ch in map.channel_ids() {
+        writeln!(writer, "channel {}", ch.0)?;
+        let coverage = map.channel(ch);
+        for cell in grid.iter() {
+            // One value per line keeps the parser trivial; files gzip
+            // well if size matters.
+            writeln!(writer, "{}", coverage.rssi_dbm(grid, cell))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a map previously written by [`write_map`].
+///
+/// # Errors
+///
+/// Returns [`ReadMapError::Format`] for version mismatches, truncation
+/// or unparsable fields, and [`ReadMapError::Io`] for stream failures.
+pub fn read_map<R: Read>(reader: R) -> Result<SpectrumMap, ReadMapError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut next = || -> Result<String, ReadMapError> {
+        match lines.next() {
+            Some(line) => Ok(line?),
+            None => format_err("unexpected end of file"),
+        }
+    };
+
+    if next()? != MAGIC {
+        return format_err("missing or unsupported header");
+    }
+
+    let grid_line = next()?;
+    let parts: Vec<&str> = grid_line.split_whitespace().collect();
+    if parts.len() != 4 || parts[0] != "grid" {
+        return format_err(format!("bad grid line: {grid_line:?}"));
+    }
+    let rows: u16 = parts[1].parse().map_err(|_| ReadMapError::Format {
+        reason: format!("bad row count {:?}", parts[1]),
+    })?;
+    let cols: u16 = parts[2].parse().map_err(|_| ReadMapError::Format {
+        reason: format!("bad column count {:?}", parts[2]),
+    })?;
+    let side_km: f64 = parts[3].parse().map_err(|_| ReadMapError::Format {
+        reason: format!("bad side length {:?}", parts[3]),
+    })?;
+    if rows == 0 || cols == 0 || side_km.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return format_err("degenerate grid dimensions");
+    }
+    let grid = GridSpec::new(rows, cols, side_km);
+
+    let threshold_line = next()?;
+    let threshold_dbm: f64 = threshold_line
+        .strip_prefix("threshold ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ReadMapError::Format {
+            reason: format!("bad threshold line: {threshold_line:?}"),
+        })?;
+
+    let channels_line = next()?;
+    let n_channels: usize = channels_line
+        .strip_prefix("channels ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ReadMapError::Format {
+            reason: format!("bad channels line: {channels_line:?}"),
+        })?;
+    if n_channels == 0 {
+        return format_err("map has no channels");
+    }
+
+    let mut channels = Vec::with_capacity(n_channels);
+    for expected in 0..n_channels {
+        let header = next()?;
+        if header != format!("channel {expected}") {
+            return format_err(format!("expected channel {expected}, found {header:?}"));
+        }
+        let mut rssi = Vec::with_capacity(grid.cell_count());
+        for _ in 0..grid.cell_count() {
+            let line = next()?;
+            let value: f64 = line.parse().map_err(|_| ReadMapError::Format {
+                reason: format!("bad rssi value {line:?}"),
+            })?;
+            rssi.push(value);
+        }
+        channels.push(ChannelCoverage::from_rssi(&grid, rssi, threshold_dbm));
+    }
+    Ok(SpectrumMap::new(grid, channels, threshold_dbm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::AreaProfile;
+    use crate::geo::Cell;
+    use crate::synth::SyntheticMapBuilder;
+
+    fn sample_map() -> SpectrumMap {
+        SyntheticMapBuilder::new(AreaProfile::area3())
+            .grid(GridSpec::new(12, 9, 8.0))
+            .channels(4)
+            .seed(77)
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let map = sample_map();
+        let mut buffer = Vec::new();
+        write_map(&map, &mut buffer).unwrap();
+        let restored = read_map(&buffer[..]).unwrap();
+
+        assert_eq!(restored.channel_count(), map.channel_count());
+        assert_eq!(restored.grid().rows(), map.grid().rows());
+        assert_eq!(restored.grid().cols(), map.grid().cols());
+        assert_eq!(restored.threshold_dbm(), map.threshold_dbm());
+        for ch in map.channel_ids() {
+            assert_eq!(
+                restored.availability(ch).len(),
+                map.availability(ch).len(),
+                "{ch}"
+            );
+            for cell in [Cell::new(0, 0), Cell::new(5, 5), Cell::new(11, 8)] {
+                assert_eq!(restored.quality(ch, cell), map.quality(ch, cell));
+            }
+        }
+    }
+
+    #[test]
+    fn writer_can_be_reused_via_mut_reference() {
+        let map = sample_map();
+        let mut buffer = Vec::new();
+        write_map(&map, &mut buffer).unwrap();
+        let len_one = buffer.len();
+        write_map(&map, &mut buffer).unwrap();
+        assert_eq!(buffer.len(), 2 * len_one);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_map(&b"not a map\n"[..]).unwrap_err();
+        assert!(matches!(err, ReadMapError::Format { .. }));
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let map = sample_map();
+        let mut buffer = Vec::new();
+        write_map(&map, &mut buffer).unwrap();
+        let truncated = &buffer[..buffer.len() / 2];
+        assert!(read_map(truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_value() {
+        let map = sample_map();
+        let mut buffer = Vec::new();
+        write_map(&map, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let corrupted = text.replacen("channel 1", "channel 7", 1);
+        let err = read_map(corrupted.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("channel"));
+    }
+
+    #[test]
+    fn error_source_chains_io() {
+        let io_err = io::Error::other("boom");
+        let err: ReadMapError = io_err.into();
+        use std::error::Error as _;
+        assert!(err.source().is_some());
+    }
+}

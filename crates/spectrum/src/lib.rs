@@ -1,0 +1,50 @@
+//! Synthetic FCC-style spectrum substrate for the LPPA reproduction.
+//!
+//! The paper evaluates on channel coverage extracted from FCC
+//! Google-Earth maps (TVFool) of Los Angeles: 129 TV channels over four
+//! 75 km × 75 km areas divided into 100 × 100 cells. This crate rebuilds
+//! that substrate synthetically:
+//!
+//! * [`geo`] — the cell grid and fast cell-set operations;
+//! * [`terrain`] — deterministic, spatially correlated shadowing;
+//! * [`propagation`] — PU transmitters and log-distance path loss;
+//! * [`coverage`] — per-channel availability regions `C_r` and
+//!   ground-truth quality statistics `q*_r(m, n)`;
+//! * [`area`] — profiles reproducing the paper's four urban/rural areas;
+//! * [`synth`] — the seeded map generator.
+//!
+//! # Examples
+//!
+//! ```
+//! use lppa_spectrum::area::AreaProfile;
+//! use lppa_spectrum::geo::Cell;
+//! use lppa_spectrum::synth::SyntheticMapBuilder;
+//!
+//! let map = SyntheticMapBuilder::new(AreaProfile::area4())
+//!     .channels(12)
+//!     .seed(42)
+//!     .build();
+//! let here = Cell::new(30, 60);
+//! println!("{} channels available at {here}", map.available_channels(here).len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod coverage;
+pub mod geo;
+pub mod io;
+pub mod propagation;
+pub mod stats;
+pub mod synth;
+pub mod terrain;
+
+pub use area::AreaProfile;
+pub use coverage::{ChannelCoverage, ChannelId, SpectrumMap};
+pub use geo::{Cell, CellSet, GridSpec};
+pub use io::{read_map, write_map, ReadMapError};
+pub use propagation::{PathLossModel, Transmitter};
+pub use stats::MapStats;
+pub use synth::{SyntheticMapBuilder, PAPER_CHANNELS, PAPER_THRESHOLD_DBM};
+pub use terrain::TerrainField;

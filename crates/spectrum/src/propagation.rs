@@ -1,0 +1,185 @@
+//! Radio propagation: transmitters and the log-distance path-loss model.
+//!
+//! Each licensed channel is backed by one or more primary-user (PU)
+//! transmitters. A secondary user may only use the channel where the PU
+//! signal is weak — below the availability threshold (−81 dBm in the
+//! paper, after \[16\]) — so the received-signal-strength field over the
+//! grid determines both *availability* and the *quality statistics* the
+//! BPM attacker exploits.
+
+use crate::geo::{Cell, GridSpec};
+use crate::terrain::TerrainField;
+
+/// A primary-user transmitter.
+///
+/// Rather than specifying raw EIRP, a transmitter is parameterized by its
+/// *intended coverage radius* under the reference path-loss model; the
+/// equivalent transmit power is derived from it. This keeps synthetic maps
+/// well-scaled regardless of the model constants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transmitter {
+    /// Easting of the tower in km (may lie outside the evaluation area).
+    pub x_km: f64,
+    /// Northing of the tower in km.
+    pub y_km: f64,
+    /// Transmit power in dBm.
+    pub power_dbm: f64,
+}
+
+impl Transmitter {
+    /// Places a transmitter whose signal drops to `threshold_dbm` at
+    /// `radius_km` under `model` (ignoring shadowing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius_km` is not positive.
+    pub fn with_coverage_radius(
+        x_km: f64,
+        y_km: f64,
+        radius_km: f64,
+        threshold_dbm: f64,
+        model: &PathLossModel,
+    ) -> Self {
+        assert!(radius_km > 0.0, "coverage radius must be positive");
+        let power_dbm = threshold_dbm + model.path_loss_db(radius_km);
+        Self { x_km, y_km, power_dbm }
+    }
+
+    /// Distance from the tower to the centre of `cell`, in km.
+    pub fn distance_km(&self, grid: &GridSpec, cell: Cell) -> f64 {
+        let (cx, cy) = grid.center_km(cell);
+        ((self.x_km - cx).powi(2) + (self.y_km - cy).powi(2)).sqrt()
+    }
+}
+
+/// Log-distance path loss: `PL(d) = PL0 + 10·n·log10(d / d0)`.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_spectrum::propagation::PathLossModel;
+///
+/// let model = PathLossModel::new(90.0, 3.0);
+/// // Path loss grows by 30 dB per decade of distance at exponent 3.
+/// let near = model.path_loss_db(1.0);
+/// let far = model.path_loss_db(10.0);
+/// assert!((far - near - 30.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathLossModel {
+    /// Reference loss at 1 km, in dB.
+    pub pl0_db: f64,
+    /// Path-loss exponent `n` (≈2 free space, 3–4 urban).
+    pub exponent: f64,
+}
+
+impl PathLossModel {
+    /// Creates a model with reference loss `pl0_db` at 1 km and exponent
+    /// `exponent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is not positive.
+    pub fn new(pl0_db: f64, exponent: f64) -> Self {
+        assert!(exponent > 0.0, "path-loss exponent must be positive");
+        Self { pl0_db, exponent }
+    }
+
+    /// Path loss in dB at distance `d_km` (clamped below at 50 m so the
+    /// model stays finite on top of a tower).
+    pub fn path_loss_db(&self, d_km: f64) -> f64 {
+        let d = d_km.max(0.05);
+        self.pl0_db + 10.0 * self.exponent * d.log10()
+    }
+
+    /// Received signal strength at `cell` from `tx`, including terrain
+    /// shadowing.
+    pub fn rssi_dbm(
+        &self,
+        grid: &GridSpec,
+        tx: &Transmitter,
+        cell: Cell,
+        terrain: &TerrainField,
+    ) -> f64 {
+        let d = tx.distance_km(grid, cell);
+        tx.power_dbm - self.path_loss_db(d) - terrain.shadowing_db(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(100, 100, 75.0)
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance() {
+        let m = PathLossModel::new(90.0, 3.2);
+        let mut prev = f64::NEG_INFINITY;
+        for d in [0.1, 0.5, 1.0, 5.0, 20.0, 75.0] {
+            let pl = m.path_loss_db(d);
+            assert!(pl > prev);
+            prev = pl;
+        }
+    }
+
+    #[test]
+    fn near_field_is_clamped() {
+        let m = PathLossModel::new(90.0, 3.0);
+        assert_eq!(m.path_loss_db(0.0), m.path_loss_db(0.01));
+    }
+
+    #[test]
+    fn coverage_radius_calibration() {
+        // A transmitter calibrated for a 30 km radius must deliver exactly
+        // the threshold at 30 km (without shadowing).
+        let m = PathLossModel::new(88.0, 3.0);
+        let threshold = -81.0;
+        let tx = Transmitter::with_coverage_radius(0.0, 0.0, 30.0, threshold, &m);
+        let rssi_at_edge = tx.power_dbm - m.path_loss_db(30.0);
+        assert!((rssi_at_edge - threshold).abs() < 1e-9);
+        // Inside the radius: above threshold; outside: below.
+        assert!(tx.power_dbm - m.path_loss_db(10.0) > threshold);
+        assert!(tx.power_dbm - m.path_loss_db(60.0) < threshold);
+    }
+
+    #[test]
+    fn rssi_decreases_away_from_tower() {
+        let g = grid();
+        let m = PathLossModel::new(90.0, 3.0);
+        let flat = TerrainField::flat(&g);
+        let tx = Transmitter::with_coverage_radius(0.375, 0.375, 40.0, -81.0, &m);
+        let near = m.rssi_dbm(&g, &tx, Cell::new(0, 0), &flat);
+        let mid = m.rssi_dbm(&g, &tx, Cell::new(50, 50), &flat);
+        let far = m.rssi_dbm(&g, &tx, Cell::new(99, 99), &flat);
+        assert!(near > mid && mid > far);
+    }
+
+    #[test]
+    fn shadowing_shifts_rssi() {
+        let g = grid();
+        let m = PathLossModel::new(90.0, 3.0);
+        let flat = TerrainField::flat(&g);
+        let rough = TerrainField::generate(&g, 10.0, 8, 3);
+        let tx = Transmitter::with_coverage_radius(10.0, 10.0, 40.0, -81.0, &m);
+        let cell = Cell::new(70, 70);
+        let diff = m.rssi_dbm(&g, &tx, cell, &flat) - m.rssi_dbm(&g, &tx, cell, &rough);
+        assert!((diff - rough.shadowing_db(cell)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transmitter_distance_uses_cell_centers() {
+        let g = grid();
+        let tx = Transmitter { x_km: 0.375, y_km: 0.375, power_dbm: 60.0 };
+        assert!(tx.distance_km(&g, Cell::new(0, 0)) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn non_positive_radius_panics() {
+        let m = PathLossModel::new(90.0, 3.0);
+        Transmitter::with_coverage_radius(0.0, 0.0, 0.0, -81.0, &m);
+    }
+}

@@ -1,0 +1,161 @@
+//! Summary statistics of spectrum maps.
+//!
+//! The attack and auction dynamics are driven by a few aggregate
+//! properties of a map — how many channels an average user sees, how
+//! fragmented coverage regions are. This module computes them once so
+//! experiments, examples and tests can assert on map character instead
+//! of re-deriving it ad hoc.
+
+use crate::coverage::SpectrumMap;
+
+/// Aggregate statistics of one spectrum map.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MapStats {
+    /// Number of channels.
+    pub channels: usize,
+    /// Number of grid cells.
+    pub cells: usize,
+    /// Mean number of available channels per cell.
+    pub mean_available_per_cell: f64,
+    /// Minimum and maximum available channels over all cells.
+    pub available_per_cell_range: (usize, usize),
+    /// Mean fraction of the area each channel is available in.
+    pub mean_availability_fraction: f64,
+    /// Channels available nowhere (carry no location signal).
+    pub dead_channels: usize,
+    /// Channels available everywhere (carry no location signal either).
+    pub ubiquitous_channels: usize,
+    /// Mean quality over all (available channel, cell) pairs.
+    pub mean_available_quality: f64,
+}
+
+impl MapStats {
+    /// Computes the statistics of `map` (one full scan).
+    pub fn compute(map: &SpectrumMap) -> Self {
+        let grid = map.grid();
+        let cells = grid.cell_count();
+        let channels = map.channel_count();
+
+        let mut per_cell_total = 0usize;
+        let mut per_cell_min = usize::MAX;
+        let mut per_cell_max = 0usize;
+        for cell in grid.iter() {
+            let n = map.available_channels(cell).len();
+            per_cell_total += n;
+            per_cell_min = per_cell_min.min(n);
+            per_cell_max = per_cell_max.max(n);
+        }
+
+        let mut availability_fraction_total = 0.0;
+        let mut dead = 0usize;
+        let mut ubiquitous = 0usize;
+        let mut quality_total = 0.0;
+        let mut quality_count = 0usize;
+        for ch in map.channel_ids() {
+            let avail = map.availability(ch);
+            availability_fraction_total += avail.len() as f64 / cells as f64;
+            if avail.is_empty() {
+                dead += 1;
+            }
+            if avail.len() == cells {
+                ubiquitous += 1;
+            }
+            for cell in avail.iter() {
+                quality_total += map.quality(ch, cell);
+                quality_count += 1;
+            }
+        }
+
+        Self {
+            channels,
+            cells,
+            mean_available_per_cell: per_cell_total as f64 / cells as f64,
+            available_per_cell_range: (per_cell_min, per_cell_max),
+            mean_availability_fraction: availability_fraction_total / channels as f64,
+            dead_channels: dead,
+            ubiquitous_channels: ubiquitous,
+            mean_available_quality: if quality_count == 0 {
+                0.0
+            } else {
+                quality_total / quality_count as f64
+            },
+        }
+    }
+
+    /// Fraction of channels that carry location information (available
+    /// somewhere but not everywhere).
+    pub fn informative_fraction(&self) -> f64 {
+        let informative = self.channels - self.dead_channels - self.ubiquitous_channels;
+        informative as f64 / self.channels as f64
+    }
+}
+
+impl std::fmt::Display for MapStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} channels over {} cells; {:.1} available per cell (range {}..={})",
+            self.channels,
+            self.cells,
+            self.mean_available_per_cell,
+            self.available_per_cell_range.0,
+            self.available_per_cell_range.1,
+        )?;
+        write!(
+            f,
+            "mean availability {:.0}%, {:.0}% informative, mean quality {:.2}",
+            self.mean_availability_fraction * 100.0,
+            self.informative_fraction() * 100.0,
+            self.mean_available_quality,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::AreaProfile;
+    use crate::geo::GridSpec;
+    use crate::synth::SyntheticMapBuilder;
+
+    fn stats(profile: AreaProfile) -> MapStats {
+        let map = SyntheticMapBuilder::new(profile)
+            .grid(GridSpec::new(40, 40, 60.0))
+            .channels(24)
+            .seed(6)
+            .build();
+        MapStats::compute(&map)
+    }
+
+    #[test]
+    fn aggregates_are_internally_consistent() {
+        let s = stats(AreaProfile::area3());
+        assert_eq!(s.channels, 24);
+        assert_eq!(s.cells, 1600);
+        let (lo, hi) = s.available_per_cell_range;
+        assert!(lo as f64 <= s.mean_available_per_cell);
+        assert!(hi as f64 >= s.mean_available_per_cell);
+        assert!(hi <= s.channels);
+        // Mean per-cell availability and mean per-channel availability
+        // fraction are the same mass counted two ways.
+        let via_channels = s.mean_availability_fraction * s.channels as f64;
+        assert!((via_channels - s.mean_available_per_cell).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&s.mean_available_quality));
+        assert!((0.0..=1.0).contains(&s.informative_fraction()));
+    }
+
+    #[test]
+    fn rural_has_more_availability_than_urban() {
+        let rural = stats(AreaProfile::area4());
+        let urban = stats(AreaProfile::area2());
+        assert!(rural.mean_available_per_cell > urban.mean_available_per_cell);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = stats(AreaProfile::area1());
+        let text = s.to_string();
+        assert!(text.contains("channels"));
+        assert!(text.contains("available per cell"));
+    }
+}

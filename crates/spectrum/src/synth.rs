@@ -1,0 +1,235 @@
+//! Synthetic spectrum-map generation.
+//!
+//! The paper's experiments run on channel-coverage data extracted from
+//! FCC Google-Earth maps via TVFool (129 TV channels around Los Angeles).
+//! That extract is not redistributable, so this module synthesizes maps
+//! with the same structure: each channel is backed by one or more PU
+//! towers placed in and around the area, with protected footprints whose
+//! size and raggedness follow the [`AreaProfile`]. Everything is a pure
+//! function of the seed, so the attacker's ground-truth database and the
+//! simulation agree by construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::area::AreaProfile;
+use crate::coverage::{ChannelCoverage, SpectrumMap};
+use crate::geo::GridSpec;
+use crate::propagation::Transmitter;
+use crate::terrain::TerrainField;
+
+/// Availability threshold used in the paper: −81 dBm (after Senseless
+/// \[16\], tighter than the FCC's −114 dBm rule).
+pub const PAPER_THRESHOLD_DBM: f64 = -81.0;
+
+/// Number of TV channels in the paper's Los Angeles dataset.
+pub const PAPER_CHANNELS: usize = 129;
+
+/// Builder for synthetic [`SpectrumMap`]s.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_spectrum::area::AreaProfile;
+/// use lppa_spectrum::synth::SyntheticMapBuilder;
+///
+/// let map = SyntheticMapBuilder::new(AreaProfile::area4())
+///     .channels(16)
+///     .seed(7)
+///     .build();
+/// assert_eq!(map.channel_count(), 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SyntheticMapBuilder {
+    profile: AreaProfile,
+    grid: GridSpec,
+    channels: usize,
+    threshold_dbm: f64,
+    seed: u64,
+}
+
+impl SyntheticMapBuilder {
+    /// Starts a builder for `profile` with the paper's defaults
+    /// (100×100 cells over 75 km, 129 channels, −81 dBm threshold, the
+    /// profile's default seed).
+    pub fn new(profile: AreaProfile) -> Self {
+        let seed = profile.default_seed();
+        Self {
+            profile,
+            grid: GridSpec::paper_default(),
+            channels: PAPER_CHANNELS,
+            threshold_dbm: PAPER_THRESHOLD_DBM,
+            seed,
+        }
+    }
+
+    /// Sets the grid geometry.
+    pub fn grid(mut self, grid: GridSpec) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Sets the number of channels.
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Sets the availability threshold in dBm.
+    pub fn threshold_dbm(mut self, threshold_dbm: f64) -> Self {
+        self.threshold_dbm = threshold_dbm;
+        self
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count is zero.
+    pub fn build(&self) -> SpectrumMap {
+        assert!(self.channels > 0, "need at least one channel");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let terrain = TerrainField::generate(
+            &self.grid,
+            self.profile.shadowing_sigma_db,
+            self.profile.shadowing_lattice_step,
+            // Independent sub-seed for the terrain.
+            self.seed ^ 0x7e11_aa5e_d00d_f00d,
+        );
+
+        let side = self.grid.side_km();
+        let margin = side * self.profile.placement_margin;
+        let (tx_lo, tx_hi) = self.profile.transmitters_per_channel;
+        let (r_lo, r_hi) = self.profile.coverage_radius_km;
+
+        let mut channels = Vec::with_capacity(self.channels);
+        for _ in 0..self.channels {
+            let n_tx = rng.gen_range(u32::from(tx_lo)..=u32::from(tx_hi));
+            let towers: Vec<Transmitter> = (0..n_tx)
+                .map(|_| {
+                    let x = rng.gen_range(-margin..(side + margin));
+                    let y = rng.gen_range(-margin..(side + margin));
+                    let radius = rng.gen_range(r_lo..=r_hi);
+                    Transmitter::with_coverage_radius(
+                        x,
+                        y,
+                        radius,
+                        self.threshold_dbm,
+                        &self.profile.path_loss,
+                    )
+                })
+                .collect();
+            channels.push(ChannelCoverage::compute(
+                &self.grid,
+                &towers,
+                &self.profile.path_loss,
+                &terrain,
+                self.threshold_dbm,
+            ));
+        }
+        SpectrumMap::new(self.grid, channels, self.threshold_dbm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Cell;
+
+    fn small_map(profile: AreaProfile, seed: u64) -> SpectrumMap {
+        SyntheticMapBuilder::new(profile)
+            .grid(GridSpec::new(50, 50, 75.0))
+            .channels(30)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small_map(AreaProfile::area4(), 11);
+        let b = small_map(AreaProfile::area4(), 11);
+        for ch in a.channel_ids() {
+            assert_eq!(a.availability(ch).len(), b.availability(ch).len());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_map(AreaProfile::area4(), 1);
+        let b = small_map(AreaProfile::area4(), 2);
+        let same = a
+            .channel_ids()
+            .filter(|&ch| a.availability(ch) == b.availability(ch))
+            .count();
+        assert!(same < 5, "{same} identical channels out of 30");
+    }
+
+    #[test]
+    fn availability_is_nontrivial_for_most_channels() {
+        // Channels should neither cover nothing nor everything, otherwise
+        // they carry no location information.
+        let map = small_map(AreaProfile::area3(), 3);
+        let total = map.grid().cell_count();
+        let informative = map
+            .channel_ids()
+            .filter(|&ch| {
+                let n = map.availability(ch).len();
+                n > 0 && n < total
+            })
+            .count();
+        assert!(informative >= 20, "only {informative}/30 informative channels");
+    }
+
+    #[test]
+    fn rural_offers_more_available_channels_than_urban() {
+        // The structural property behind Fig. 4(c): rural users see more
+        // channels, giving the BCM attacker more constraints.
+        let rural = small_map(AreaProfile::area4(), 5);
+        let urban = small_map(AreaProfile::area2(), 5);
+        let avg = |map: &SpectrumMap| -> f64 {
+            let mut total = 0usize;
+            let mut cells = 0usize;
+            for cell in map.grid().iter() {
+                total += map.available_channels(cell).len();
+                cells += 1;
+            }
+            total as f64 / cells as f64
+        };
+        assert!(
+            avg(&rural) > avg(&urban),
+            "rural {} <= urban {}",
+            avg(&rural),
+            avg(&urban)
+        );
+    }
+
+    #[test]
+    fn quality_known_only_inside_availability() {
+        let map = small_map(AreaProfile::area1(), 9);
+        for ch in map.channel_ids().take(5) {
+            for cell in [Cell::new(0, 0), Cell::new(25, 25), Cell::new(49, 49)] {
+                let q = map.quality(ch, cell);
+                if map.is_available(ch, cell) {
+                    assert!(q >= 0.0);
+                } else {
+                    assert_eq!(q, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let builder = SyntheticMapBuilder::new(AreaProfile::area4());
+        assert_eq!(builder.channels, PAPER_CHANNELS);
+        assert_eq!(builder.threshold_dbm, PAPER_THRESHOLD_DBM);
+        assert_eq!(builder.grid.cell_count(), 10_000);
+    }
+}

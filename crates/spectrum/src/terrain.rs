@@ -1,0 +1,198 @@
+//! Deterministic terrain shadowing.
+//!
+//! Real TV-channel coverage (the FCC maps the paper samples) is shaped by
+//! terrain: hills and urban clutter carve holes into the ideal circular
+//! footprint of a transmitter. We model this with a spatially correlated
+//! shadowing field — value noise on a coarse lattice, bilinearly
+//! interpolated per cell and scaled to a configurable standard deviation.
+//!
+//! The field is a pure function of its seed, which matters twice: the
+//! generator and the BPM attacker must agree on the ground-truth quality
+//! statistics, and experiments must be reproducible run-to-run.
+
+use crate::geo::{Cell, GridSpec};
+
+/// A spatially correlated shadowing field over a grid, in dB.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_spectrum::geo::{Cell, GridSpec};
+/// use lppa_spectrum::terrain::TerrainField;
+///
+/// let grid = GridSpec::paper_default();
+/// let field = TerrainField::generate(&grid, 8.0, 10, 0xfeed);
+/// let a = field.shadowing_db(Cell::new(3, 4));
+/// // Deterministic under the same seed.
+/// let again = TerrainField::generate(&grid, 8.0, 10, 0xfeed);
+/// assert_eq!(a, again.shadowing_db(Cell::new(3, 4)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TerrainField {
+    grid: GridSpec,
+    values: Vec<f64>,
+}
+
+impl TerrainField {
+    /// Generates a field over `grid` with standard deviation `sigma_db`
+    /// and correlation length `lattice_step` cells, derived entirely from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_step` is zero or `sigma_db` is negative.
+    pub fn generate(grid: &GridSpec, sigma_db: f64, lattice_step: u16, seed: u64) -> Self {
+        assert!(lattice_step > 0, "lattice step must be positive");
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+
+        // Lattice of i.i.d. standard-normal-ish knots via a hash-based
+        // generator so each knot is a pure function of (seed, i, j).
+        let knot = |i: usize, j: usize| -> f64 {
+            let h = split_mix(seed ^ ((i as u64) << 32) ^ (j as u64));
+            // Sum of 4 uniforms, centred and scaled: good-enough normal
+            // approximation (Irwin–Hall) with variance 1.
+            let mut acc = 0.0;
+            let mut state = h;
+            for _ in 0..4 {
+                state = split_mix(state);
+                acc += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            (acc - 2.0) * (12.0f64 / 4.0).sqrt()
+        };
+
+        let step = f64::from(lattice_step);
+        let mut values = Vec::with_capacity(grid.cell_count());
+        for cell in grid.iter() {
+            let fi = f64::from(cell.row) / step;
+            let fj = f64::from(cell.col) / step;
+            let (i0, j0) = (fi.floor() as usize, fj.floor() as usize);
+            let (ti, tj) = (fi - fi.floor(), fj - fj.floor());
+            // Smoothstep for C1-continuous interpolation.
+            let (si, sj) = (smooth(ti), smooth(tj));
+            let v00 = knot(i0, j0);
+            let v01 = knot(i0, j0 + 1);
+            let v10 = knot(i0 + 1, j0);
+            let v11 = knot(i0 + 1, j0 + 1);
+            let top = v00 + (v01 - v00) * sj;
+            let bot = v10 + (v11 - v10) * sj;
+            values.push((top + (bot - top) * si) * sigma_db);
+        }
+        Self { grid: *grid, values }
+    }
+
+    /// A flat field (no shadowing), useful for tests and ideal-propagation
+    /// baselines.
+    pub fn flat(grid: &GridSpec) -> Self {
+        Self { grid: *grid, values: vec![0.0; grid.cell_count()] }
+    }
+
+    /// Shadowing attenuation in dB at `cell` (positive values attenuate,
+    /// negative values enhance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn shadowing_db(&self, cell: Cell) -> f64 {
+        self.values[self.grid.index_of(cell)]
+    }
+
+    /// The grid the field is defined over.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+}
+
+/// SplitMix64: the standard 64-bit avalanche mix, used to derive lattice
+/// knots from the seed.
+fn split_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn smooth(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(60, 60, 45.0)
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = grid();
+        let a = TerrainField::generate(&g, 6.0, 8, 123);
+        let b = TerrainField::generate(&g, 6.0, 8, 123);
+        for cell in g.iter() {
+            assert_eq!(a.shadowing_db(cell), b.shadowing_db(cell));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = grid();
+        let a = TerrainField::generate(&g, 6.0, 8, 1);
+        let b = TerrainField::generate(&g, 6.0, 8, 2);
+        let diffs = g.iter().filter(|&c| a.shadowing_db(c) != b.shadowing_db(c)).count();
+        assert!(diffs > g.cell_count() / 2);
+    }
+
+    #[test]
+    fn roughly_zero_mean_and_requested_scale() {
+        let g = GridSpec::new(100, 100, 75.0);
+        let sigma = 8.0;
+        let f = TerrainField::generate(&g, sigma, 10, 77);
+        let n = g.cell_count() as f64;
+        let mean: f64 = g.iter().map(|c| f.shadowing_db(c)).sum::<f64>() / n;
+        let var: f64 = g.iter().map(|c| (f.shadowing_db(c) - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 3.0, "mean {mean} too far from 0");
+        let sd = var.sqrt();
+        // Interpolation smooths the knot variance down; accept a broad
+        // band around the nominal sigma.
+        assert!(sd > 0.25 * sigma && sd < 1.6 * sigma, "sd {sd} vs sigma {sigma}");
+    }
+
+    #[test]
+    fn spatially_correlated() {
+        // Neighbouring cells must be far more similar than distant ones.
+        let g = grid();
+        let f = TerrainField::generate(&g, 6.0, 10, 9);
+        let mut near = 0.0;
+        let mut far = 0.0;
+        let mut count = 0;
+        for r in 0..50u16 {
+            for c in 0..50u16 {
+                let v = f.shadowing_db(Cell::new(r, c));
+                near += (v - f.shadowing_db(Cell::new(r, c + 1))).abs();
+                far += (v - f.shadowing_db(Cell::new(r + 9, c + 9))).abs();
+                count += 1;
+            }
+        }
+        assert!(near / f64::from(count) < far / f64::from(count));
+    }
+
+    #[test]
+    fn flat_field_is_zero() {
+        let g = grid();
+        let f = TerrainField::flat(&g);
+        assert!(g.iter().all(|c| f.shadowing_db(c) == 0.0));
+    }
+
+    #[test]
+    fn zero_sigma_is_zero_everywhere() {
+        let g = grid();
+        let f = TerrainField::generate(&g, 0.0, 8, 5);
+        assert!(g.iter().all(|c| f.shadowing_db(c).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice step")]
+    fn zero_lattice_step_panics() {
+        TerrainField::generate(&grid(), 6.0, 0, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: `CellSet` behaves exactly like a reference
+//! `HashSet<Cell>` model under arbitrary operation sequences.
+
+use std::collections::HashSet;
+
+use lppa_spectrum::geo::{Cell, CellSet, GridSpec};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u16),
+    Remove(u16, u16),
+    Complement,
+    IntersectRows(u16),
+    UnionCols(u16),
+}
+
+fn op_strategy(rows: u16, cols: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..rows, 0..cols).prop_map(|(r, c)| Op::Insert(r, c)),
+        (0..rows, 0..cols).prop_map(|(r, c)| Op::Remove(r, c)),
+        Just(Op::Complement),
+        (0..rows).prop_map(Op::IntersectRows),
+        (0..cols).prop_map(Op::UnionCols),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cellset_matches_hashset_model(
+        ops in proptest::collection::vec(op_strategy(9, 13), 0..60),
+    ) {
+        let grid = GridSpec::new(9, 13, 5.0);
+        let mut set = CellSet::empty(&grid);
+        let mut model: HashSet<Cell> = HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(r, c) => {
+                    let cell = Cell::new(r, c);
+                    prop_assert_eq!(set.insert(cell), model.insert(cell));
+                }
+                Op::Remove(r, c) => {
+                    let cell = Cell::new(r, c);
+                    prop_assert_eq!(set.remove(cell), model.remove(&cell));
+                }
+                Op::Complement => {
+                    set = set.complement();
+                    model = grid.iter().filter(|c| !model.contains(c)).collect();
+                }
+                Op::IntersectRows(below) => {
+                    let other = CellSet::from_predicate(&grid, |c| c.row < below);
+                    set.intersect_with(&other);
+                    model.retain(|c| c.row < below);
+                }
+                Op::UnionCols(below) => {
+                    let other = CellSet::from_predicate(&grid, |c| c.col < below);
+                    set.union_with(&other);
+                    model.extend(grid.iter().filter(|c| c.col < below));
+                }
+            }
+            // Full-state comparison after every step.
+            prop_assert_eq!(set.len(), model.len());
+            for cell in grid.iter() {
+                prop_assert_eq!(set.contains(cell), model.contains(&cell), "{}", cell);
+            }
+            let iterated: HashSet<Cell> = set.iter().collect();
+            prop_assert_eq!(&iterated, &model);
+        }
+    }
+
+    /// Set algebra identities hold for arbitrary predicate-defined sets.
+    #[test]
+    fn set_algebra_identities(pivot_row in 0u16..20, pivot_col in 0u16..20, modulo in 1u16..7) {
+        let grid = GridSpec::new(20, 20, 10.0);
+        let a = CellSet::from_predicate(&grid, |c| c.row < pivot_row);
+        let b = CellSet::from_predicate(&grid, |c| (c.col + c.row) % modulo == 0);
+
+        // |A| + |A^c| = |grid|
+        prop_assert_eq!(a.len() + a.complement().len(), grid.cell_count());
+        // A ∩ B ⊆ A and ⊆ B
+        let inter = a.intersection(&b);
+        prop_assert!(inter.len() <= a.len().min(b.len()));
+        // Inclusion–exclusion.
+        let mut union = a.clone();
+        union.union_with(&b);
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        // De Morgan: (A ∪ B)^c = A^c ∩ B^c.
+        let lhs = union.complement();
+        let rhs = a.complement().intersection(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+        prop_assert_eq!(pivot_col, pivot_col); // silence unused when 0
+    }
+
+    /// Grid index round-trips for every cell of arbitrary grids.
+    #[test]
+    fn grid_index_roundtrip(rows in 1u16..40, cols in 1u16..40) {
+        let grid = GridSpec::new(rows, cols, 10.0);
+        for cell in grid.iter() {
+            prop_assert_eq!(grid.cell_at(grid.index_of(cell)), cell);
+        }
+        prop_assert_eq!(grid.cell_count(), usize::from(rows) * usize::from(cols));
+    }
+}

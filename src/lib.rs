@@ -1,0 +1,20 @@
+//! Umbrella crate for the LPPA reproduction workspace.
+//!
+//! This package exists to host the runnable examples in `examples/` and
+//! the cross-crate integration tests in `tests/`. It re-exports every
+//! workspace member so examples can use a single dependency:
+//!
+//! ```
+//! use lppa_suite::lppa::LppaConfig;
+//! let config = LppaConfig::default();
+//! assert!(config.bid_bits >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lppa;
+pub use lppa_attack;
+pub use lppa_auction;
+pub use lppa_crypto;
+pub use lppa_prefix;
+pub use lppa_spectrum;

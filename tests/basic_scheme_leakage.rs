@@ -1,0 +1,138 @@
+//! Cross-crate integration: the §IV.C.1 leakage of the *basic* bid
+//! scheme, demonstrated with the actual frequency attack — and its
+//! defeat by the advanced scheme.
+
+use lppa_suite::lppa::ppbs::bid::{AdvancedBidSubmission, BasicBidSubmission};
+use lppa_suite::lppa::ttp::Ttp;
+use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
+use lppa_suite::lppa::LppaConfig;
+use lppa_suite::lppa_attack::frequency::frequency_attack;
+use lppa_suite::lppa_spectrum::ChannelId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const K: usize = 8;
+
+fn raw_rows(rng: &mut StdRng, n: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|_| {
+            (0..K)
+                .map(|_| if rng.gen_bool(0.6) { 0 } else { rng.gen_range(1..=100) })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn frequency_attack_recovers_availability_from_basic_scheme() {
+    let config = LppaConfig::default();
+    let mut rng = StdRng::seed_from_u64(77);
+    let ttp = Ttp::new(K, config, &mut rng).unwrap();
+    let keys = ttp.bidder_keys();
+    let rows = raw_rows(&mut rng, 12);
+
+    // Basic scheme: one key, no transforms — equal bids, equal tag sets.
+    let fingerprints: Vec<Vec<u64>> = rows
+        .iter()
+        .map(|row| {
+            let sub =
+                BasicBidSubmission::build(row, &keys.gb[0], &keys.gc, &config, &mut rng)
+                    .unwrap();
+            sub.bids().iter().map(|b| b.point.fingerprint()).collect()
+        })
+        .collect();
+
+    let result = frequency_attack(&fingerprints);
+    // The attack reconstructs each bidder's positive-channel set exactly
+    // whenever zero is the modal value on every channel.
+    for (bidder, row) in rows.iter().enumerate() {
+        let truth: Vec<ChannelId> = row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(ch, _)| ChannelId(ch))
+            .collect();
+        // Allow the rare channel where zeros were not modal.
+        let recovered = &result.attributed[bidder];
+        let overlap = truth.iter().filter(|c| recovered.contains(c)).count();
+        assert!(
+            overlap * 10 >= truth.len() * 8,
+            "bidder {bidder}: recovered {recovered:?} vs truth {truth:?}"
+        );
+    }
+}
+
+#[test]
+fn advanced_scheme_defeats_frequency_analysis() {
+    let config = LppaConfig::default();
+    let mut rng = StdRng::seed_from_u64(78);
+    let ttp = Ttp::new(K, config, &mut rng).unwrap();
+    let rows = raw_rows(&mut rng, 12);
+    // Even with NO disguising, the rd offset randomizes zeros and the cr
+    // expansion randomizes every value: all fingerprints unique.
+    let policy = ZeroReplacePolicy::never(config.bid_max());
+    let fingerprints: Vec<Vec<u64>> = rows
+        .iter()
+        .map(|row| {
+            let sub = AdvancedBidSubmission::build(
+                row,
+                ttp.bidder_keys(),
+                &config,
+                &policy,
+                &mut rng,
+            )
+            .unwrap();
+            sub.bids().iter().map(|b| b.point.fingerprint()).collect()
+        })
+        .collect();
+
+    let result = frequency_attack(&fingerprints);
+    // Occasional fingerprint collisions remain (two zeros landing in the
+    // same rd/cr slot), but the modal group never approaches the true
+    // zero population (~60 % of 12 bidders), so the attacker cannot
+    // separate zeros from bids.
+    assert!(
+        result.zero_group_sizes.iter().all(|&s| s <= 4),
+        "a channel's modal fingerprint group is suspiciously large: {:?}",
+        result.zero_group_sizes
+    );
+    // And the attributed channel sets are garbage: they no longer match
+    // the bidders' true positive sets.
+    let mut mismatches = 0usize;
+    for (bidder, row) in rows.iter().enumerate() {
+        let truth: Vec<ChannelId> = row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(ch, _)| ChannelId(ch))
+            .collect();
+        if result.attributed[bidder] != truth {
+            mismatches += 1;
+        }
+    }
+    assert!(
+        mismatches >= rows.len() / 2,
+        "frequency attack still recovers most availability sets ({mismatches} mismatches)"
+    );
+}
+
+#[test]
+fn basic_scheme_also_leaks_through_range_cover_sizes() {
+    // The third §IV.C.1 problem: unpadded range covers have
+    // bid-dependent cardinality.
+    let config = LppaConfig::default();
+    let mut rng = StdRng::seed_from_u64(79);
+    let ttp = Ttp::new(1, config, &mut rng).unwrap();
+    let keys = ttp.bidder_keys();
+    let sizes: std::collections::HashSet<usize> = [0u32, 5, 64, 127]
+        .iter()
+        .map(|&b| {
+            BasicBidSubmission::build(&[b], &keys.gb[0], &keys.gc, &config, &mut rng)
+                .unwrap()
+                .bids()[0]
+                .range
+                .len()
+        })
+        .collect();
+    assert!(sizes.len() > 1, "basic range covers should differ in size");
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration of the operational features: map caching on
+//! disk, master-secret key derivation across parties, the round driver,
+//! and the truthful-pricing comparator.
+
+use lppa_suite::lppa::analysis::cost_model;
+use lppa_suite::lppa::protocol::SuSubmission;
+use lppa_suite::lppa::rounds::RoundDriver;
+use lppa_suite::lppa::ttp::{ChargeDecision, ChargeRequest, Ttp};
+use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
+use lppa_suite::lppa::LppaConfig;
+use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Location};
+use lppa_suite::lppa_auction::conflict::ConflictGraph;
+use lppa_suite::lppa_auction::pricing::{charge_traced, greedy_allocate_traced, PricingRule};
+use lppa_suite::lppa_spectrum::area::AreaProfile;
+use lppa_suite::lppa_spectrum::geo::GridSpec;
+use lppa_suite::lppa_spectrum::io::{read_map, write_map};
+use lppa_suite::lppa_spectrum::stats::MapStats;
+use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn map_roundtrips_through_a_real_file() {
+    let map = SyntheticMapBuilder::new(AreaProfile::area1())
+        .grid(GridSpec::new(20, 20, 15.0))
+        .channels(6)
+        .seed(2)
+        .build();
+    let dir = std::env::temp_dir().join("lppa-io-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("map.txt");
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        write_map(&map, std::io::BufWriter::new(file)).unwrap();
+    }
+    let restored = read_map(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(MapStats::compute(&restored), MapStats::compute(&map));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bidder_and_ttp_derive_identical_keys_from_master() {
+    // The operational win of master-secret derivation: a bidder that
+    // knows (master, round) builds submissions the TTP can charge,
+    // without any per-round key exchange.
+    let config = LppaConfig::default();
+    let master = [0xabu8; 32];
+    let bidder_side = Ttp::from_master(&master, 3, 2, config).unwrap();
+    let ttp_side = Ttp::from_master(&master, 3, 2, config).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let policy = ZeroReplacePolicy::never(config.bid_max());
+    let sub = SuSubmission::build(
+        Location::new(9, 9),
+        &[42, 0],
+        &bidder_side,
+        &policy,
+        &mut rng,
+    )
+    .unwrap();
+    let request = ChargeRequest {
+        channel: lppa_suite::lppa_spectrum::ChannelId(0),
+        sealed: sub.bids.bids()[0].sealed.clone(),
+        point: sub.bids.bids()[0].point.clone(),
+    };
+    assert_eq!(
+        ttp_side.open_charge(&request).unwrap(),
+        ChargeDecision::Valid { raw_price: 42 }
+    );
+
+    // A different round's TTP must NOT accept the same submission.
+    let other_round = Ttp::from_master(&master, 4, 2, config).unwrap();
+    assert!(other_round.open_charge(&request).is_err());
+}
+
+#[test]
+fn round_driver_runs_many_rounds_against_one_population() {
+    // A 60 km side keeps PU footprints from smothering the whole grid.
+    let map = SyntheticMapBuilder::new(AreaProfile::area4())
+        .grid(GridSpec::new(40, 40, 60.0))
+        .channels(8)
+        .seed(5)
+        .build();
+    let config = LppaConfig { loc_bits: 6, ..LppaConfig::default() };
+    let model = BidModel::default();
+    let mut rng = StdRng::seed_from_u64(6);
+    let bidders = generate_bidders(&map, 10, &model, &mut rng);
+    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+    let raw: Vec<_> = bidders.iter().map(|b| (b.location, table.row(b.id).to_vec())).collect();
+
+    let mut driver = RoundDriver::new([9u8; 32], config, 8, true);
+    let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
+    let mut revenues = Vec::new();
+    for _ in 0..5 {
+        let result = driver.run_round(&raw, &policy, &mut rng).unwrap();
+        // Prices always correspond to the true bidders' own bids.
+        for a in result.outcome.assignments() {
+            assert_eq!(a.price, raw[a.bidder.0].1[a.channel.0]);
+        }
+        revenues.push(result.outcome.revenue());
+    }
+    assert!(revenues.iter().any(|&r| r > 0));
+}
+
+#[test]
+fn second_price_is_gentler_than_first_price_on_real_auctions() {
+    let map = SyntheticMapBuilder::new(AreaProfile::area3())
+        .grid(GridSpec::new(30, 30, 45.0))
+        .channels(8)
+        .seed(8)
+        .build();
+    let model = BidModel::default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let bidders = generate_bidders(&map, 25, &model, &mut rng);
+    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+    let locations: Vec<_> = bidders.iter().map(|b| b.location).collect();
+    let conflicts = ConflictGraph::from_locations(&locations, 3);
+    let traces = greedy_allocate_traced(&table, &conflicts, &mut rng);
+    let first = charge_traced(&traces, &table, &conflicts, PricingRule::FirstPrice);
+    let second = charge_traced(&traces, &table, &conflicts, PricingRule::SecondPrice);
+    assert!(second.revenue() <= first.revenue());
+    assert_eq!(first.assignments().len(), second.assignments().len());
+}
+
+#[test]
+fn cost_model_predicts_full_population_traffic() {
+    let config = LppaConfig::default();
+    let k = 6;
+    let n = 8;
+    let mut rng = StdRng::seed_from_u64(10);
+    let ttp = Ttp::new(k, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::geometric(0.5, 0.75, config.bid_max());
+    let model = cost_model(&config, n, k);
+    let mut total = 0u64;
+    for i in 0..n {
+        let sub = SuSubmission::build(
+            Location::new(i as u32 * 10, 64),
+            &vec![7; k],
+            &ttp,
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+        total += sub.wire_len() as u64;
+    }
+    assert_eq!(total, model.bidder_bytes * n as u64);
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration: the privacy claims of the paper, verified
+//! end-to-end against the actual attacks.
+
+use lppa_suite::lppa::ppbs::location::LocationSubmission;
+use lppa_suite::lppa::protocol::SuSubmission;
+use lppa_suite::lppa::psd::table::MaskedBidTable;
+use lppa_suite::lppa::ttp::Ttp;
+use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
+use lppa_suite::lppa::LppaConfig;
+use lppa_suite::lppa_attack::adversary::{bcm_on_plain_bids, ChannelRankings};
+use lppa_suite::lppa_attack::bcm::bcm_attack;
+use lppa_suite::lppa_attack::metrics::{AggregateReport, PrivacyReport};
+use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Location};
+use lppa_suite::lppa_spectrum::area::AreaProfile;
+use lppa_suite::lppa_spectrum::geo::GridSpec;
+use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn map() -> lppa_suite::lppa_spectrum::SpectrumMap {
+    SyntheticMapBuilder::new(AreaProfile::area3())
+        .grid(GridSpec::new(40, 40, 60.0))
+        .channels(16)
+        .seed(99)
+        .build()
+}
+
+fn config() -> LppaConfig {
+    LppaConfig { loc_bits: 6, ..LppaConfig::default() }
+}
+
+#[test]
+fn plain_bcm_localizes_but_lppa_attribution_fails_more() {
+    let map = map();
+    let config = config();
+    let model = BidModel::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let bidders = generate_bidders(&map, 25, &model, &mut rng);
+    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+
+    // Plain BCM: sound (never fails) and narrows the set.
+    let mut plain = AggregateReport::new();
+    for b in &bidders {
+        if table.positive_channels(b.id).is_empty() {
+            continue;
+        }
+        let possible = bcm_on_plain_bids(&map, &table, b.id);
+        let report = PrivacyReport::evaluate(&possible, b.cell);
+        assert!(!report.failed, "plain BCM must be sound for truthful bids");
+        plain.push(report);
+    }
+    assert!(plain.mean_possible_cells() < map.grid().cell_count() as f64 / 2.0);
+
+    // LPPA with heavy disguising: the attribution attack misfires.
+    let ttp = Ttp::new(16, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::uniform(0.9, config.bid_max());
+    let submissions: Vec<SuSubmission> = bidders
+        .iter()
+        .map(|b| {
+            SuSubmission::build(b.location, table.row(b.id), &ttp, &policy, &mut rng).unwrap()
+        })
+        .collect();
+    let masked =
+        MaskedBidTable::collect(submissions.iter().map(|s| s.bids.clone()).collect()).unwrap();
+    let rankings = ChannelRankings::new(masked.channel_rankings(), bidders.len());
+    let attributed = rankings.attribute_top(0.5);
+    let lppa: AggregateReport = bidders
+        .iter()
+        .map(|b| PrivacyReport::evaluate(&bcm_attack(&map, &attributed[b.id.0]), b.cell))
+        .collect();
+
+    assert!(
+        lppa.failure_rate() > plain.failure_rate() + 0.3,
+        "LPPA should raise the attack failure rate substantially: {} vs {}",
+        lppa.failure_rate(),
+        plain.failure_rate()
+    );
+}
+
+#[test]
+fn eavesdropper_without_keys_learns_no_conflicts() {
+    // An external adversary cannot even evaluate the membership tests:
+    // submissions masked under an unrelated key never intersect.
+    let config = config();
+    let mut rng = StdRng::seed_from_u64(2);
+    let ttp = Ttp::new(2, config, &mut rng).unwrap();
+    let foreign = Ttp::new(2, config, &mut rng).unwrap();
+    let same_spot = Location::new(20, 20);
+    let genuine =
+        LocationSubmission::build(same_spot, &ttp.bidder_keys().g0, &config, &mut rng).unwrap();
+    let forged =
+        LocationSubmission::build(same_spot, &foreign.bidder_keys().g0, &config, &mut rng)
+            .unwrap();
+    assert!(!genuine.conflicts_with(&forged));
+}
+
+#[test]
+fn masked_table_leaks_no_cross_channel_order() {
+    // Per-channel keys: even a plaintext-999-vs-1 relation across
+    // channels is invisible to the auctioneer.
+    let config = config();
+    let mut rng = StdRng::seed_from_u64(3);
+    let ttp = Ttp::new(2, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::never(config.bid_max());
+    let sub = SuSubmission::build(
+        Location::new(5, 5),
+        &[config.bid_max(), 1],
+        &ttp,
+        &policy,
+        &mut rng,
+    )
+    .unwrap();
+    let big = &sub.bids.bids()[0];
+    let small = &sub.bids.bids()[1];
+    assert!(!big.point.in_range(&small.range));
+    assert!(!small.point.in_range(&big.range));
+}
+
+#[test]
+fn submission_sizes_are_independent_of_location_and_bids() {
+    // Neither the location nor the bid vector shows through the
+    // submission's wire footprint.
+    let config = config();
+    let mut rng = StdRng::seed_from_u64(4);
+    let ttp = Ttp::new(4, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::uniform(0.5, config.bid_max());
+    let mut sizes = std::collections::HashSet::new();
+    for (loc, bids) in [
+        (Location::new(0, 0), vec![0u32, 0, 0, 0]),
+        (Location::new(63, 63), vec![127, 127, 127, 127]),
+        (Location::new(17, 42), vec![0, 64, 0, 3]),
+    ] {
+        let sub = SuSubmission::build(loc, &bids, &ttp, &policy, &mut rng).unwrap();
+        sizes.insert(sub.wire_len());
+    }
+    assert_eq!(sizes.len(), 1, "wire sizes leak: {sizes:?}");
+}
+
+#[test]
+fn repeated_submissions_are_unlinkable_via_sealed_prices() {
+    // The same bid submitted twice produces different sealed ciphertexts
+    // and different cr slots, so the auctioneer cannot match them.
+    let config = config();
+    let mut rng = StdRng::seed_from_u64(5);
+    let ttp = Ttp::new(1, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::never(config.bid_max());
+    let a = SuSubmission::build(Location::new(9, 9), &[50], &ttp, &policy, &mut rng).unwrap();
+    let b = SuSubmission::build(Location::new(9, 9), &[50], &ttp, &policy, &mut rng).unwrap();
+    assert_ne!(a.bids.bids()[0].sealed, b.bids.bids()[0].sealed);
+}
+
+#[test]
+fn full_disguising_fully_hides_availability_sets() {
+    // With replace probability 1.0 every zero looks like some positive
+    // bid: the per-bidder attributed channel set at 100 % attribution is
+    // ALL channels, destroying the BCM constraint structure.
+    let map = map();
+    let config = config();
+    let model = BidModel::default();
+    let mut rng = StdRng::seed_from_u64(6);
+    let bidders = generate_bidders(&map, 10, &model, &mut rng);
+    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+    let ttp = Ttp::new(16, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::uniform(1.0, config.bid_max());
+    let submissions: Vec<SuSubmission> = bidders
+        .iter()
+        .map(|b| {
+            SuSubmission::build(b.location, table.row(b.id), &ttp, &policy, &mut rng).unwrap()
+        })
+        .collect();
+    // Every presented value is positive-looking.
+    for sub in &submissions {
+        assert!(sub.bids.presented_positive().iter().all(|&p| p));
+    }
+}

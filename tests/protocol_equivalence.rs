@@ -1,0 +1,95 @@
+//! Cross-crate integration: the masked allocation is *functionally
+//! identical* to the plaintext allocation when nothing is disguised —
+//! the key correctness property of PPBS + PSD.
+
+use lppa_suite::lppa::ppbs::bid::AdvancedBidSubmission;
+use lppa_suite::lppa::psd::table::MaskedBidTable;
+use lppa_suite::lppa::ttp::Ttp;
+use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
+use lppa_suite::lppa::LppaConfig;
+use lppa_suite::lppa_auction::allocation::greedy_allocate;
+use lppa_suite::lppa_auction::bidder::{BidTable, Location};
+use lppa_suite::lppa_auction::conflict::ConflictGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds matching plaintext and masked tables over random bids with no
+/// equal positive bids per column (so tie-break draws coincide).
+fn matched_tables(
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> (BidTable, MaskedBidTable, ConflictGraph) {
+    let config = LppaConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ttp = Ttp::new(k, config, &mut rng).unwrap();
+    let policy = ZeroReplacePolicy::never(config.bid_max());
+
+    // Distinct positive bids per column, with some zeros sprinkled in.
+    let mut rows = vec![vec![0u32; k]; n];
+    for ch in 0..k {
+        let mut values: Vec<u32> = (1..=config.bid_max()).collect();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if (i + ch) % 3 == 0 {
+                row[ch] = 0; // unavailable
+            } else {
+                let idx = rng.gen_range(0..values.len());
+                row[ch] = values.swap_remove(idx);
+            }
+        }
+    }
+
+    let submissions: Vec<AdvancedBidSubmission> = rows
+        .iter()
+        .map(|row| {
+            AdvancedBidSubmission::build(row, ttp.bidder_keys(), &config, &policy, &mut rng)
+                .unwrap()
+        })
+        .collect();
+    let masked = MaskedBidTable::collect_pruned(submissions).unwrap();
+    let plain = BidTable::from_rows(rows);
+
+    let locations: Vec<Location> = (0..n)
+        .map(|_| Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127)))
+        .collect();
+    let conflicts = ConflictGraph::from_locations(&locations, config.lambda);
+    (plain, masked, conflicts)
+}
+
+#[test]
+fn masked_allocation_equals_plaintext_allocation() {
+    // Same entries, same comparisons, same rng stream → identical grant
+    // sequences, even though one side never sees a plaintext bid.
+    for seed in 0..5 {
+        let (plain, masked, conflicts) = matched_tables(12, 4, seed);
+        let plain_grants =
+            greedy_allocate(&plain, &conflicts, &mut StdRng::seed_from_u64(777 + seed));
+        let masked_grants =
+            greedy_allocate(&masked, &conflicts, &mut StdRng::seed_from_u64(777 + seed));
+        assert_eq!(plain_grants, masked_grants, "seed {seed}");
+    }
+}
+
+#[test]
+fn masked_rankings_equal_plaintext_rankings() {
+    let (plain, masked, _) = matched_tables(15, 3, 42);
+    for ch in 0..3usize {
+        let channel = lppa_suite::lppa_spectrum::ChannelId(ch);
+        let masked_ranking = masked.rank_channel(channel);
+        // Project to raw bids: must be non-increasing, with the pruned
+        // zeros at the tail in any order.
+        let raws: Vec<u32> =
+            masked_ranking.iter().map(|&b| plain.bid(b, channel)).collect();
+        let positives: Vec<u32> = raws.iter().copied().filter(|&r| r > 0).collect();
+        let mut sorted = positives.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // All positive bids must appear before... (zeros have random
+        // transformed values below every positive one).
+        let first_zero = raws.iter().position(|&r| r == 0).unwrap_or(raws.len());
+        assert!(
+            raws[..first_zero].iter().all(|&r| r > 0),
+            "ch {ch}: a zero ranked above a positive bid: {raws:?}"
+        );
+        assert_eq!(positives, sorted, "ch {ch}: positive bids out of order");
+    }
+}
