@@ -60,10 +60,7 @@ impl ChannelRankings {
     /// Panics if any ranking mentions an out-of-range bidder.
     pub fn new(rankings: Vec<Vec<BidderId>>, n_bidders: usize) -> Self {
         for ranking in &rankings {
-            assert!(
-                ranking.iter().all(|b| b.0 < n_bidders),
-                "ranking mentions unknown bidder"
-            );
+            assert!(ranking.iter().all(|b| b.0 < n_bidders), "ranking mentions unknown bidder");
         }
         Self { rankings, n_bidders }
     }
@@ -119,11 +116,11 @@ pub fn bcm_on_masked_rankings(
 mod tests {
     use super::*;
     use lppa_auction::bidder::{generate_bidders, BidModel};
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
     use lppa_spectrum::area::AreaProfile;
     use lppa_spectrum::geo::GridSpec;
     use lppa_spectrum::synth::SyntheticMapBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn map() -> SpectrumMap {
         SyntheticMapBuilder::new(AreaProfile::area4())
@@ -163,11 +160,7 @@ mod tests {
     #[test]
     fn rankings_attribution_shapes() {
         let rankings = ChannelRankings::new(
-            vec![
-                vec![BidderId(2), BidderId(0), BidderId(1)],
-                vec![BidderId(1)],
-                vec![],
-            ],
+            vec![vec![BidderId(2), BidderId(0), BidderId(1)], vec![BidderId(1)], vec![]],
             3,
         );
         assert_eq!(rankings.n_channels(), 3);

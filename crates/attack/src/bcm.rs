@@ -113,10 +113,7 @@ mod tests {
             }
         }
         assert!(victims > 0);
-        assert!(
-            narrowed * 2 >= victims,
-            "attack too weak: narrowed {narrowed}/{victims}"
-        );
+        assert!(narrowed * 2 >= victims, "attack too weak: narrowed {narrowed}/{victims}");
     }
 
     #[test]
@@ -126,11 +123,8 @@ mod tests {
         // zero-replacement forges), the intersection may exclude it.
         let map = map();
         let victim = Cell::new(10, 10);
-        let unavailable: Vec<ChannelId> = map
-            .channel_ids()
-            .filter(|&ch| !map.is_available(ch, victim))
-            .take(3)
-            .collect();
+        let unavailable: Vec<ChannelId> =
+            map.channel_ids().filter(|&ch| !map.is_available(ch, victim)).take(3).collect();
         if unavailable.is_empty() {
             return; // seed produced full availability; nothing to test
         }

@@ -97,10 +97,8 @@ pub fn bpm_attack<D: QualityDatabase>(
             return BpmResult { ranked, possible: possible.clone() };
         }
     };
-    let estimated: Vec<(ChannelId, f64)> = bids
-        .iter()
-        .map(|&(ch, b)| (ch, f64::from(b) / f64::from(b_max)))
-        .collect();
+    let estimated: Vec<(ChannelId, f64)> =
+        bids.iter().map(|&(ch, b)| (ch, f64::from(b) / f64::from(b_max))).collect();
 
     // Score every candidate cell (Eq. 2), normalizing the ground truth by
     // the quality of the victim's best channel in that cell.
@@ -131,10 +129,10 @@ pub fn bpm_attack<D: QualityDatabase>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lppa_spectrum::SpectrumMap;
     use lppa_spectrum::area::AreaProfile;
     use lppa_spectrum::geo::GridSpec;
     use lppa_spectrum::synth::SyntheticMapBuilder;
+    use lppa_spectrum::SpectrumMap;
 
     use crate::bcm::bcm_attack;
 
@@ -177,8 +175,7 @@ mod tests {
         let map = map();
         let victim = Cell::new(10, 40);
         let bids = ideal_bids(&map, victim);
-        let candidates =
-            bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+        let candidates = bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
         let mut last = usize::MAX;
         for frac in [1.0, 0.5, 0.2, 0.05] {
             let result = bpm_attack(&map, &candidates, &bids, &BpmConfig::fraction(frac));
@@ -192,8 +189,7 @@ mod tests {
         let map = map();
         let victim = Cell::new(25, 25);
         let bids = ideal_bids(&map, victim);
-        let candidates =
-            bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+        let candidates = bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
         let config = BpmConfig { keep_fraction: 1.0, max_cells: Some(7) };
         let result = bpm_attack(&map, &candidates, &bids, &config);
         assert!(result.possible.len() <= 7);
@@ -204,8 +200,7 @@ mod tests {
         let map = map();
         let victim = Cell::new(40, 8);
         let bids = ideal_bids(&map, victim);
-        let candidates =
-            bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+        let candidates = bcm_attack(&map, &bids.iter().map(|&(c, _)| c).collect::<Vec<_>>());
         let result = bpm_attack(&map, &candidates, &bids, &BpmConfig::fraction(1.0));
         for pair in result.ranked.windows(2) {
             assert!(pair[0].1 <= pair[1].1);
@@ -235,12 +230,8 @@ mod tests {
         let mut candidates = CellSet::empty(map.grid());
         candidates.insert(Cell::new(1, 1));
         candidates.insert(Cell::new(2, 2));
-        let result = bpm_attack(
-            &map,
-            &candidates,
-            &[(ChannelId(0), 10)],
-            &BpmConfig::fraction(0.001),
-        );
+        let result =
+            bpm_attack(&map, &candidates, &[(ChannelId(0), 10)], &BpmConfig::fraction(0.001));
         assert_eq!(result.possible.len(), 1);
     }
 }

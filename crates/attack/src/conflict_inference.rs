@@ -99,15 +99,10 @@ mod tests {
     fn one_known_neighbor_localizes_to_its_box() {
         let grid = grid();
         let lambda = 3;
-        let locations =
-            [Location::new(20, 20), Location::new(22, 21), Location::new(40, 5)];
+        let locations = [Location::new(20, 20), Location::new(22, 21), Location::new(40, 5)];
         let conflicts = ConflictGraph::from_locations(&locations, lambda);
-        let inferred = infer_from_conflicts(
-            &grid,
-            &conflicts,
-            &[(BidderId(0), locations[0])],
-            lambda,
-        );
+        let inferred =
+            infer_from_conflicts(&grid, &conflicts, &[(BidderId(0), locations[0])], lambda);
         // Bidder 1 conflicts with known bidder 0 → confined to 0's box.
         assert!(inferred[1].len() <= (4 * lambda as usize - 1).pow(2));
         assert!(inferred[1].contains(locations[1].to_cell()), "truth must stay inside");
@@ -133,12 +128,8 @@ mod tests {
         let conflicts = ConflictGraph::from_locations(&locations, lambda);
         assert!(conflicts.are_conflicting(BidderId(2), BidderId(0)));
         assert!(conflicts.are_conflicting(BidderId(2), BidderId(1)));
-        let inferred = infer_from_conflicts(
-            &grid,
-            &conflicts,
-            &[(BidderId(0), a), (BidderId(1), b)],
-            lambda,
-        );
+        let inferred =
+            infer_from_conflicts(&grid, &conflicts, &[(BidderId(0), a), (BidderId(1), b)], lambda);
         let single_box = conflict_box(&grid, a, lambda);
         assert!(inferred[2].len() < single_box.len(), "two anchors must beat one");
         assert!(inferred[2].contains(victim.to_cell()));
@@ -159,8 +150,8 @@ mod tests {
     #[test]
     fn inference_is_always_sound() {
         // The true location is never excluded, whatever the topology.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use lppa_rng::rngs::StdRng;
+        use lppa_rng::{Rng, SeedableRng};
         let grid = grid();
         let lambda = 2;
         let mut rng = StdRng::seed_from_u64(5);

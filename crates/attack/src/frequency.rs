@@ -36,16 +36,11 @@ pub struct FrequencyAttackResult {
 /// # Panics
 ///
 /// Panics if the rows are ragged or empty.
-pub fn frequency_attack<F: Eq + Hash + Copy>(
-    fingerprints: &[Vec<F>],
-) -> FrequencyAttackResult {
+pub fn frequency_attack<F: Eq + Hash + Copy>(fingerprints: &[Vec<F>]) -> FrequencyAttackResult {
     let n = fingerprints.len();
     assert!(n > 0, "need at least one bidder");
     let k = fingerprints[0].len();
-    assert!(
-        fingerprints.iter().all(|row| row.len() == k),
-        "ragged fingerprint table"
-    );
+    assert!(fingerprints.iter().all(|row| row.len() == k), "ragged fingerprint table");
 
     let mut attributed: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
     let mut zero_group_sizes = Vec::with_capacity(k);
@@ -54,8 +49,7 @@ pub fn frequency_attack<F: Eq + Hash + Copy>(
         for row in fingerprints {
             *counts.entry(row[ch]).or_insert(0) += 1;
         }
-        let (&zero_fp, &size) =
-            counts.iter().max_by_key(|&(_, &c)| c).expect("non-empty column");
+        let (&zero_fp, &size) = counts.iter().max_by_key(|&(_, &c)| c).expect("non-empty column");
         zero_group_sizes.push(size);
         for (bidder, row) in fingerprints.iter().enumerate() {
             if row[ch] != zero_fp {
@@ -74,12 +68,7 @@ mod tests {
     fn recovers_availability_when_zeros_collide() {
         // Model of the basic scheme: fingerprint = plaintext bid. Three
         // bidders, bids with many zeros.
-        let table = vec![
-            vec![0u32, 5, 0],
-            vec![0, 0, 7],
-            vec![3, 0, 0],
-            vec![0, 0, 0],
-        ];
+        let table = vec![vec![0u32, 5, 0], vec![0, 0, 7], vec![3, 0, 0], vec![0, 0, 0]];
         let result = frequency_attack(&table);
         assert_eq!(result.attributed[0], vec![ChannelId(1)]);
         assert_eq!(result.attributed[1], vec![ChannelId(2)]);
@@ -91,8 +80,7 @@ mod tests {
     #[test]
     fn unique_fingerprints_defeat_the_attack() {
         // Model of the advanced scheme: every cell fingerprint distinct.
-        let table: Vec<Vec<u32>> =
-            (0..4).map(|i| (0..3).map(|j| i * 10 + j).collect()).collect();
+        let table: Vec<Vec<u32>> = (0..4).map(|i| (0..3).map(|j| i * 10 + j).collect()).collect();
         let result = frequency_attack(&table);
         // Modal groups are singletons — the attacker has no signal.
         assert!(result.zero_group_sizes.iter().all(|&s| s == 1));

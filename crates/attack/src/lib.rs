@@ -23,11 +23,11 @@
 //! use lppa_auction::bidder::{generate_bidders, BidModel, BidTable, BidderId};
 //! use lppa_spectrum::area::AreaProfile;
 //! use lppa_spectrum::synth::SyntheticMapBuilder;
-//! use rand::SeedableRng;
+//! use lppa_rng::SeedableRng;
 //!
 //! let map = SyntheticMapBuilder::new(AreaProfile::area4())
 //!     .channels(20).seed(5).build();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+//! let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(6);
 //! let model = BidModel::default();
 //! let bidders = generate_bidders(&map, 5, &model, &mut rng);
 //! let table = BidTable::generate(&map, &bidders, &model, &mut rng);
@@ -43,17 +43,19 @@
 
 pub mod adversary;
 pub mod bcm;
-pub mod conflict_inference;
 pub mod bpm;
+pub mod conflict_inference;
 pub mod frequency;
 pub mod knowledge;
 pub mod metrics;
 pub mod multi_round;
 
-pub use adversary::{bcm_on_masked_rankings, bcm_on_plain_bids, bpm_on_plain_bids, ChannelRankings};
+pub use adversary::{
+    bcm_on_masked_rankings, bcm_on_plain_bids, bpm_on_plain_bids, ChannelRankings,
+};
 pub use bcm::bcm_attack;
-pub use conflict_inference::infer_from_conflicts;
 pub use bpm::{bpm_attack, BpmConfig, BpmResult};
+pub use conflict_inference::infer_from_conflicts;
 pub use frequency::{frequency_attack, FrequencyAttackResult};
 pub use knowledge::{NoisyDatabase, QualityDatabase};
 pub use metrics::{AggregateReport, PrivacyReport};

@@ -48,8 +48,7 @@ impl PrivacyReport {
         }
         let grid = possible.grid();
         let pr = 1.0 / n as f64;
-        let incorrectness_km =
-            possible.iter().map(|x| pr * grid.distance_km(x, cell)).sum::<f64>();
+        let incorrectness_km = possible.iter().map(|x| pr * grid.distance_km(x, cell)).sum::<f64>();
         Self {
             uncertainty_bits: (n as f64).log2(),
             incorrectness_km,

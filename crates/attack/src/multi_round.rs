@@ -177,11 +177,7 @@ mod tests {
         let map = map();
         // Pick the best-covered cell so the fixture is robust to seed
         // changes.
-        let victim = map
-            .grid()
-            .iter()
-            .max_by_key(|&c| map.available_channels(c).len())
-            .unwrap();
+        let victim = map.grid().iter().max_by_key(|&c| map.available_channels(c).len()).unwrap();
         let channels = map.available_channels(victim);
         assert!(channels.len() >= 4);
         let mut h = WinnerHistory::new();

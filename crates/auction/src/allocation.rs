@@ -11,8 +11,8 @@
 //! table (the `lppa` crate), where "find the maximum" is performed with
 //! prefix-membership comparisons instead of plaintext ones.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use lppa_rng::seq::SliceRandom;
+use lppa_rng::Rng;
 
 use crate::bidder::{BidTable, BidderId};
 use crate::conflict::ConflictGraph;
@@ -41,7 +41,7 @@ pub trait BidOracle {
         &self,
         channel: ChannelId,
         candidates: &[BidderId],
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn lppa_rng::RngCore,
     ) -> BidderId;
 }
 
@@ -95,10 +95,8 @@ pub fn greedy_allocate<O: BidOracle, R: Rng>(
         }
         let channel = ChannelId(pool.pop().expect("pool refilled above"));
 
-        let candidates: Vec<BidderId> = (0..n)
-            .filter(|&i| row_alive[i] && entry[i][channel.0])
-            .map(BidderId)
-            .collect();
+        let candidates: Vec<BidderId> =
+            (0..n).filter(|&i| row_alive[i] && entry[i][channel.0]).map(BidderId).collect();
         if candidates.is_empty() {
             continue;
         }
@@ -141,18 +139,15 @@ impl BidOracle for BidTable {
         &self,
         channel: ChannelId,
         candidates: &[BidderId],
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn lppa_rng::RngCore,
     ) -> BidderId {
         let best = candidates
             .iter()
             .map(|&b| self.bid(b, channel))
             .max()
             .expect("candidates are non-empty");
-        let tied: Vec<BidderId> = candidates
-            .iter()
-            .copied()
-            .filter(|&b| self.bid(b, channel) == best)
-            .collect();
+        let tied: Vec<BidderId> =
+            candidates.iter().copied().filter(|&b| self.bid(b, channel) == best).collect();
         *tied.choose(rng).expect("tied set is non-empty")
     }
 }
@@ -160,8 +155,8 @@ impl BidOracle for BidTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(17)
@@ -238,7 +233,7 @@ mod tests {
     fn grants_respect_conflicts_globally() {
         // Random stress: no two conflicting bidders ever share a channel.
         let mut r = StdRng::seed_from_u64(99);
-        use rand::Rng as _;
+        use lppa_rng::Rng as _;
         for trial in 0..20 {
             let n = 25;
             let k = 6;

@@ -7,9 +7,9 @@
 //! `|η| ≤ 20% · q_j β_i`. Bids are non-negative integers scaled into
 //! `[0, bmax]`; unavailable channels are bid at zero.
 
+use lppa_rng::Rng;
 use lppa_spectrum::geo::Cell;
 use lppa_spectrum::{ChannelId, SpectrumMap};
-use rand::Rng;
 
 /// Identifier of a bidder within one auction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -128,11 +128,11 @@ impl BidModel {
 /// use lppa_auction::bidder::{generate_bidders, BidModel};
 /// use lppa_spectrum::area::AreaProfile;
 /// use lppa_spectrum::synth::SyntheticMapBuilder;
-/// use rand::SeedableRng;
+/// use lppa_rng::SeedableRng;
 ///
 /// let map = SyntheticMapBuilder::new(AreaProfile::area4())
 ///     .channels(4).seed(1).build();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(2);
 /// let bidders = generate_bidders(&map, 10, &BidModel::default(), &mut rng);
 /// assert_eq!(bidders.len(), 10);
 /// ```
@@ -236,11 +236,11 @@ impl BidTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
     use lppa_spectrum::area::AreaProfile;
     use lppa_spectrum::geo::GridSpec;
     use lppa_spectrum::synth::SyntheticMapBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn map() -> SpectrumMap {
         SyntheticMapBuilder::new(AreaProfile::area4())

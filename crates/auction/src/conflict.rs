@@ -121,9 +121,8 @@ mod tests {
 
     #[test]
     fn from_locations_matches_pairwise_predicate() {
-        let locs: Vec<Location> = (0..20)
-            .map(|i| Location::new((i * 7) % 30, (i * 13) % 30))
-            .collect();
+        let locs: Vec<Location> =
+            (0..20).map(|i| Location::new((i * 7) % 30, (i * 13) % 30)).collect();
         let lambda = 3;
         let g = ConflictGraph::from_locations(&locs, lambda);
         for i in 0..locs.len() {

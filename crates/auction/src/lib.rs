@@ -18,11 +18,11 @@
 //! use lppa_auction::runner::{run_plain_auction, AuctionConfig};
 //! use lppa_spectrum::area::AreaProfile;
 //! use lppa_spectrum::synth::SyntheticMapBuilder;
-//! use rand::SeedableRng;
+//! use lppa_rng::SeedableRng;
 //!
 //! let map = SyntheticMapBuilder::new(AreaProfile::area3())
 //!     .channels(10).seed(9).build();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(1);
 //! let auction = run_plain_auction(&map, &AuctionConfig::default(), &mut rng);
 //! println!(
 //!     "revenue {} satisfaction {:.2}",

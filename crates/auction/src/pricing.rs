@@ -11,14 +11,14 @@
 //! masked table hides by design; the paper's open problem is exactly
 //! that tension, and the comparison here quantifies the revenue gap.
 
-use rand::Rng;
+use lppa_rng::Rng;
 
 use crate::allocation::{BidOracle, Grant};
 use crate::bidder::{BidTable, BidderId};
 use crate::conflict::ConflictGraph;
 use crate::outcome::{Assignment, AuctionOutcome};
+use lppa_rng::seq::SliceRandom;
 use lppa_spectrum::ChannelId;
-use rand::seq::SliceRandom;
 
 /// A grant plus the contest it was won in.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,10 +65,8 @@ pub fn greedy_allocate_traced<O: BidOracle, R: Rng>(
             pool.shuffle(rng);
         }
         let channel = ChannelId(pool.pop().expect("pool refilled above"));
-        let candidates: Vec<BidderId> = (0..n)
-            .filter(|&i| row_alive[i] && entry[i][channel.0])
-            .map(BidderId)
-            .collect();
+        let candidates: Vec<BidderId> =
+            (0..n).filter(|&i| row_alive[i] && entry[i][channel.0]).map(BidderId).collect();
         if candidates.is_empty() {
             continue;
         }
@@ -142,8 +140,8 @@ pub fn charge_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn everyone_conflicts(n: usize) -> ConflictGraph {
         let mut g = ConflictGraph::disconnected(n);
@@ -157,15 +155,10 @@ mod tests {
 
     #[test]
     fn traced_allocation_matches_untraced() {
-        let table = BidTable::from_rows(vec![
-            vec![9, 2, 0],
-            vec![4, 7, 3],
-            vec![1, 0, 8],
-            vec![6, 5, 2],
-        ]);
+        let table =
+            BidTable::from_rows(vec![vec![9, 2, 0], vec![4, 7, 3], vec![1, 0, 8], vec![6, 5, 2]]);
         let conflicts = everyone_conflicts(4);
-        let traces =
-            greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(3));
+        let traces = greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(3));
         let grants =
             crate::allocation::greedy_allocate(&table, &conflicts, &mut StdRng::seed_from_u64(3));
         assert_eq!(traces.iter().map(|t| t.grant).collect::<Vec<_>>(), grants);
@@ -181,8 +174,7 @@ mod tests {
         // loser's bid.
         let table = BidTable::from_rows(vec![vec![9], vec![4]]);
         let conflicts = everyone_conflicts(2);
-        let traces =
-            greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(1));
+        let traces = greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(1));
         let outcome = charge_traced(&traces, &table, &conflicts, PricingRule::SecondPrice);
         assert_eq!(outcome.assignments().len(), 1);
         assert_eq!(outcome.assignments()[0].price, 4);
@@ -197,8 +189,7 @@ mod tests {
         // 0's "contest" with 1 is not real competition.
         let table = BidTable::from_rows(vec![vec![9], vec![4]]);
         let conflicts = ConflictGraph::disconnected(2);
-        let traces =
-            greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(1));
+        let traces = greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(1));
         let outcome = charge_traced(&traces, &table, &conflicts, PricingRule::SecondPrice);
         // Both win, both unopposed → both pay zero.
         assert_eq!(outcome.assignments().len(), 2);
@@ -208,7 +199,7 @@ mod tests {
     #[test]
     fn second_price_never_exceeds_first_price() {
         let mut rng = StdRng::seed_from_u64(5);
-        use rand::Rng as _;
+        use lppa_rng::Rng as _;
         for _ in 0..10 {
             let n = 10;
             let rows: Vec<Vec<u32>> =
@@ -238,10 +229,8 @@ mod tests {
         let conflicts = everyone_conflicts(2);
         let utility = |my_bid: u32| -> i64 {
             let table = BidTable::from_rows(vec![vec![my_bid], vec![7]]);
-            let traces =
-                greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(2));
-            let outcome =
-                charge_traced(&traces, &table, &conflicts, PricingRule::SecondPrice);
+            let traces = greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(2));
+            let outcome = charge_traced(&traces, &table, &conflicts, PricingRule::SecondPrice);
             outcome
                 .assignments()
                 .iter()

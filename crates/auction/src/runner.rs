@@ -1,7 +1,7 @@
 //! One-call plaintext auction runner: the non-private baseline the paper
 //! compares LPPA against.
 
-use rand::Rng;
+use lppa_rng::Rng;
 
 use crate::allocation::greedy_allocate;
 use crate::bidder::{generate_bidders, BidModel, BidTable, Bidder};
@@ -48,11 +48,11 @@ pub struct PlainAuction {
 /// use lppa_auction::runner::{run_plain_auction, AuctionConfig};
 /// use lppa_spectrum::area::AreaProfile;
 /// use lppa_spectrum::synth::SyntheticMapBuilder;
-/// use rand::SeedableRng;
+/// use lppa_rng::SeedableRng;
 ///
 /// let map = SyntheticMapBuilder::new(AreaProfile::area4())
 ///     .channels(8).seed(3).build();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(4);
 /// let auction = run_plain_auction(&map, &AuctionConfig::default(), &mut rng);
 /// assert_eq!(auction.bidders.len(), 100);
 /// ```
@@ -94,11 +94,11 @@ pub fn run_plain_auction_with_table<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
     use lppa_spectrum::area::AreaProfile;
     use lppa_spectrum::geo::GridSpec;
     use lppa_spectrum::synth::SyntheticMapBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn map() -> SpectrumMap {
         SyntheticMapBuilder::new(AreaProfile::area4())

@@ -1,33 +1,38 @@
 //! Property-based tests: invariants of the greedy allocation engine and
 //! the pricing rules over random auctions.
+//!
+//! Run with the in-tree harness: each property draws its inputs from a
+//! seeded RNG; failures print the exact reproduction seed (see
+//! `lppa_rng::testing`).
 
 use lppa_auction::allocation::greedy_allocate;
 use lppa_auction::bidder::{BidTable, BidderId, Location};
 use lppa_auction::conflict::ConflictGraph;
 use lppa_auction::outcome::AuctionOutcome;
 use lppa_auction::pricing::{charge_traced, greedy_allocate_traced, PricingRule};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::testing::check;
+use lppa_rng::{Rng, SeedableRng};
 use lppa_spectrum::ChannelId;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-/// Strategy: a random auction (bid table + locations).
-fn auction() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<Location>, u32)> {
-    (2usize..12, 1usize..6).prop_flat_map(|(n, k)| {
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0u32..30, k..=k),
-            n..=n,
-        );
-        let locs = proptest::collection::vec((0u32..25, 0u32..25), n..=n)
-            .prop_map(|v| v.into_iter().map(|(x, y)| Location::new(x, y)).collect());
-        (rows, locs, 1u32..5)
-    })
+/// Generator: a random auction (bid table + locations + λ).
+fn auction(rng: &mut StdRng) -> (Vec<Vec<u32>>, Vec<Location>, u32) {
+    let n = rng.gen_range(2usize..12);
+    let k = rng.gen_range(1usize..6);
+    let rows: Vec<Vec<u32>> =
+        (0..n).map(|_| (0..k).map(|_| rng.gen_range(0u32..30)).collect()).collect();
+    let locs: Vec<Location> =
+        (0..n).map(|_| Location::new(rng.gen_range(0u32..25), rng.gen_range(0u32..25))).collect();
+    let lambda = rng.gen_range(1u32..5);
+    (rows, locs, lambda)
 }
 
-proptest! {
-    /// Core allocation invariants for arbitrary auctions.
-    #[test]
-    fn allocation_invariants((rows, locs, lambda) in auction(), seed in any::<u64>()) {
+/// Core allocation invariants for arbitrary auctions.
+#[test]
+fn allocation_invariants() {
+    check("allocation_invariants", |rng| {
+        let (rows, locs, lambda) = auction(rng);
+        let seed: u64 = rng.gen();
         let table = BidTable::from_rows(rows.clone());
         let conflicts = ConflictGraph::from_locations(&locs, lambda);
         let grants = greedy_allocate(&table, &conflicts, &mut StdRng::seed_from_u64(seed));
@@ -37,21 +42,18 @@ proptest! {
         winners.sort();
         let before = winners.len();
         winners.dedup();
-        prop_assert_eq!(winners.len(), before);
+        assert_eq!(winners.len(), before);
 
         // 2. Winners bid positively on their channel.
         for g in &grants {
-            prop_assert!(table.bid(g.bidder, g.channel) > 0);
+            assert!(table.bid(g.bidder, g.channel) > 0);
         }
 
         // 3. Channel co-holders never conflict.
         for ch in 0..table.n_channels() {
-            let holders: Vec<BidderId> = grants
-                .iter()
-                .filter(|g| g.channel == ChannelId(ch))
-                .map(|g| g.bidder)
-                .collect();
-            prop_assert!(conflicts.is_independent(&holders));
+            let holders: Vec<BidderId> =
+                grants.iter().filter(|g| g.channel == ChannelId(ch)).map(|g| g.bidder).collect();
+            assert!(conflicts.is_independent(&holders));
         }
 
         // 4. Allocation is exhaustive: any non-winner with a positive bid
@@ -67,61 +69,62 @@ proptest! {
                     continue;
                 }
                 let blocked = grants.iter().any(|g| {
-                    g.channel == ChannelId(ch)
-                        && conflicts.are_conflicting(g.bidder, bidder)
+                    g.channel == ChannelId(ch) && conflicts.are_conflicting(g.bidder, bidder)
                 });
-                prop_assert!(
-                    blocked,
-                    "bidder {i} had an unblocked positive bid on channel {ch}"
-                );
+                assert!(blocked, "bidder {i} had an unblocked positive bid on channel {ch}");
             }
         }
-    }
+    });
+}
 
-    /// Traced allocation agrees with the plain engine and second-price
-    /// charging never exceeds first-price.
-    #[test]
-    fn pricing_invariants((rows, locs, lambda) in auction(), seed in any::<u64>()) {
+/// Traced allocation agrees with the plain engine and second-price
+/// charging never exceeds first-price.
+#[test]
+fn pricing_invariants() {
+    check("pricing_invariants", |rng| {
+        let (rows, locs, lambda) = auction(rng);
+        let seed: u64 = rng.gen();
         let table = BidTable::from_rows(rows);
         let conflicts = ConflictGraph::from_locations(&locs, lambda);
-        let traces =
-            greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(seed));
+        let traces = greedy_allocate_traced(&table, &conflicts, &mut StdRng::seed_from_u64(seed));
         let grants = greedy_allocate(&table, &conflicts, &mut StdRng::seed_from_u64(seed));
-        prop_assert_eq!(traces.iter().map(|t| t.grant).collect::<Vec<_>>(), grants.clone());
+        assert_eq!(traces.iter().map(|t| t.grant).collect::<Vec<_>>(), grants.clone());
 
         let first = charge_traced(&traces, &table, &conflicts, PricingRule::FirstPrice);
         let second = charge_traced(&traces, &table, &conflicts, PricingRule::SecondPrice);
-        prop_assert!(second.revenue() <= first.revenue());
-        prop_assert_eq!(first.assignments().len(), second.assignments().len());
+        assert!(second.revenue() <= first.revenue());
+        assert_eq!(first.assignments().len(), second.assignments().len());
         for (f, s) in first.assignments().iter().zip(second.assignments()) {
-            prop_assert_eq!(f.bidder, s.bidder);
-            prop_assert!(s.price <= f.price);
-            prop_assert_eq!(f.price, table.bid(f.bidder, f.channel));
+            assert_eq!(f.bidder, s.bidder);
+            assert!(s.price <= f.price);
+            assert_eq!(f.price, table.bid(f.bidder, f.channel));
         }
 
         // First-price outcome via traces equals the standard outcome.
         let standard = AuctionOutcome::from_grants(&grants, &table);
-        prop_assert_eq!(first, standard);
-    }
+        assert_eq!(first, standard);
+    });
+}
 
-    /// The conflict relation is symmetric, irreflexive in effect, and
-    /// matches the coordinate predicate.
-    #[test]
-    fn conflict_graph_matches_predicate(
-        locs in proptest::collection::vec((0u32..40, 0u32..40), 2..15),
-        lambda in 1u32..6,
-    ) {
-        let locations: Vec<Location> =
-            locs.into_iter().map(|(x, y)| Location::new(x, y)).collect();
+/// The conflict relation is symmetric, irreflexive in effect, and
+/// matches the coordinate predicate.
+#[test]
+fn conflict_graph_matches_predicate() {
+    check("conflict_graph_matches_predicate", |rng| {
+        let n = rng.gen_range(2usize..15);
+        let locations: Vec<Location> = (0..n)
+            .map(|_| Location::new(rng.gen_range(0u32..40), rng.gen_range(0u32..40)))
+            .collect();
+        let lambda = rng.gen_range(1u32..6);
         let graph = ConflictGraph::from_locations(&locations, lambda);
         for i in 0..locations.len() {
-            prop_assert!(!graph.are_conflicting(BidderId(i), BidderId(i)));
+            assert!(!graph.are_conflicting(BidderId(i), BidderId(i)));
             for j in 0..locations.len() {
                 let expected = i != j
                     && locations[i].x.abs_diff(locations[j].x) < 2 * lambda
                     && locations[i].y.abs_diff(locations[j].y) < 2 * lambda;
-                prop_assert_eq!(graph.are_conflicting(BidderId(i), BidderId(j)), expected);
+                assert_eq!(graph.are_conflicting(BidderId(i), BidderId(j)), expected);
             }
         }
-    }
+    });
 }

@@ -2,7 +2,6 @@
 //! winner selection, channel ranking, conflict-graph construction, and
 //! the greedy allocation on plaintext vs masked tables.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lppa::ppbs::location::{build_conflict_graph, LocationSubmission};
 use lppa::protocol::SuSubmission;
 use lppa::psd::table::MaskedBidTable;
@@ -12,9 +11,10 @@ use lppa::LppaConfig;
 use lppa_auction::allocation::{greedy_allocate, BidOracle};
 use lppa_auction::bidder::{BidTable, BidderId, Location};
 use lppa_auction::conflict::ConflictGraph;
+use lppa_rng::bench::Bench;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
 use lppa_spectrum::ChannelId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn build_masked_fixture(
     n: usize,
@@ -44,57 +44,55 @@ fn build_masked_fixture(
     (masked, plain, conflicts, locations)
 }
 
-fn bench_masked_comparison(c: &mut Criterion) {
+fn bench_masked_comparison(b: &mut Bench) {
     let (masked, _, _, _) = build_masked_fixture(8, 2, 1);
-    c.bench_function("allocation/masked_ge", |b| {
-        b.iter(|| masked.ge(ChannelId(0), BidderId(0), BidderId(1)))
+    b.bench("allocation/masked_ge", || {
+        masked.ge(ChannelId(0), BidderId(0), BidderId(1));
     });
 }
 
-fn bench_select_winner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocation/masked_select_winner");
+fn bench_select_winner(b: &mut Bench) {
     for n in [10usize, 50, 100] {
         let (masked, _, _, _) = build_masked_fixture(n, 1, 2);
         let candidates: Vec<BidderId> = (0..n).map(BidderId).collect();
         let mut rng = StdRng::seed_from_u64(3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| masked.select_winner(ChannelId(0), &candidates, &mut rng))
+        b.bench(&format!("allocation/masked_select_winner/{n}"), || {
+            masked.select_winner(ChannelId(0), &candidates, &mut rng);
         });
     }
-    group.finish();
 }
 
-fn bench_rank_channel(c: &mut Criterion) {
+fn bench_rank_channel(b: &mut Bench) {
     let (masked, _, _, _) = build_masked_fixture(100, 1, 4);
-    c.bench_function("allocation/rank_channel_n100", |b| {
-        b.iter(|| masked.rank_channel(ChannelId(0)))
+    b.bench("allocation/rank_channel_n100", || {
+        masked.rank_channel(ChannelId(0));
     });
 }
 
-fn bench_conflict_graph(c: &mut Criterion) {
+fn bench_conflict_graph(b: &mut Bench) {
     let (_, _, _, locations) = build_masked_fixture(100, 1, 5);
-    c.bench_function("allocation/masked_conflict_graph_n100", |b| {
-        b.iter(|| build_conflict_graph(&locations))
+    b.bench("allocation/masked_conflict_graph_n100", || {
+        build_conflict_graph(&locations);
     });
 }
 
-fn bench_greedy(c: &mut Criterion) {
+fn bench_greedy(b: &mut Bench) {
     let (masked, plain, conflicts, _) = build_masked_fixture(50, 16, 6);
     let mut rng = StdRng::seed_from_u64(7);
-    c.bench_function("allocation/greedy_plaintext_n50_k16", |b| {
-        b.iter(|| greedy_allocate(&plain, &conflicts, &mut rng))
+    b.bench("allocation/greedy_plaintext_n50_k16", || {
+        greedy_allocate(&plain, &conflicts, &mut rng);
     });
-    c.bench_function("allocation/greedy_masked_n50_k16", |b| {
-        b.iter(|| greedy_allocate(&masked, &conflicts, &mut rng))
+    b.bench("allocation/greedy_masked_n50_k16", || {
+        greedy_allocate(&masked, &conflicts, &mut rng);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_masked_comparison,
-    bench_select_winner,
-    bench_rank_channel,
-    bench_conflict_graph,
-    bench_greedy
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("allocation");
+    bench_masked_comparison(&mut b);
+    bench_select_winner(&mut b);
+    bench_rank_channel(&mut b);
+    bench_conflict_graph(&mut b);
+    bench_greedy(&mut b);
+    b.finish();
+}

@@ -5,68 +5,71 @@
 //! needed for our security scheme is quite small", Theorem 4 discussion);
 //! these benchmarks quantify that claim for this implementation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use lppa_crypto::chacha20::ChaCha20;
 use lppa_crypto::hmac::hmac_sha256;
 use lppa_crypto::keys::{HmacKey, SealKey};
 use lppa_crypto::seal::SealedValue;
 use lppa_crypto::sha256::sha256;
 use lppa_crypto::tag::Tag;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lppa_rng::bench::Bench;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256(b: &mut Bench) {
     for size in [9usize, 64, 1024] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(std::hint::black_box(&data))));
+        b.bench_throughput(&format!("sha256/{size}B"), Some(size as u64), || {
+            sha256(std::hint::black_box(&data));
+        });
     }
-    group.finish();
 }
 
-fn bench_hmac(c: &mut Criterion) {
+fn bench_hmac(b: &mut Bench) {
     let key = [7u8; 32];
     // A numericalized prefix is 9 bytes — the protocol's hot path.
     let prefix_input = [1u8; 9];
-    c.bench_function("hmac_sha256/prefix_input", |b| {
-        b.iter(|| hmac_sha256(std::hint::black_box(&key), std::hint::black_box(&prefix_input)))
+    b.bench("hmac_sha256/prefix_input", || {
+        hmac_sha256(std::hint::black_box(&key), std::hint::black_box(&prefix_input));
     });
 }
 
-fn bench_tag(c: &mut Criterion) {
+fn bench_tag(b: &mut Bench) {
     let key = HmacKey::from_bytes([9u8; 32]);
-    c.bench_function("tag/compute", |b| {
-        b.iter(|| Tag::compute(std::hint::black_box(&key), std::hint::black_box(b"011101010")))
+    b.bench("tag/compute", || {
+        Tag::compute(std::hint::black_box(&key), std::hint::black_box(b"011101010"));
     });
 }
 
-fn bench_chacha20(c: &mut Criterion) {
+fn bench_chacha20(b: &mut Bench) {
     let cipher = ChaCha20::new(&[3u8; 32]);
     let nonce = [5u8; 12];
-    let mut group = c.benchmark_group("chacha20");
     for size in [8usize, 1024] {
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| {
-            b.iter_batched(
-                || vec![0u8; size],
-                |mut data| cipher.apply_keystream(&nonce, 1, &mut data),
-                BatchSize::SmallInput,
-            )
-        });
+        b.bench_batched(
+            &format!("chacha20/{size}B"),
+            || vec![0u8; size],
+            |mut data| cipher.apply_keystream(&nonce, 1, &mut data),
+        );
     }
-    group.finish();
 }
 
-fn bench_seal(c: &mut Criterion) {
+fn bench_seal(b: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(1);
     let key = SealKey::random(&mut rng);
-    c.bench_function("seal/seal_bid", |b| {
-        b.iter(|| SealedValue::seal(std::hint::black_box(&key), 1234, &mut rng))
+    b.bench("seal/seal_bid", || {
+        SealedValue::seal(std::hint::black_box(&key), 1234, &mut rng);
     });
     let sealed = SealedValue::seal(&key, 1234, &mut rng);
-    c.bench_function("seal/open_bid", |b| b.iter(|| sealed.open(std::hint::black_box(&key))));
+    b.bench("seal/open_bid", || {
+        let _ = sealed.open(std::hint::black_box(&key));
+    });
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_tag, bench_chacha20, bench_seal);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("crypto");
+    bench_sha256(&mut b);
+    bench_hmac(&mut b);
+    bench_tag(&mut b);
+    bench_chacha20(&mut b);
+    bench_seal(&mut b);
+    b.finish();
+}

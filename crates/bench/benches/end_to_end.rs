@@ -2,7 +2,6 @@
 //! conflict graph, masked allocation, TTP charging) vs the plaintext
 //! baseline on the same bids, plus the attack pipelines of Fig. 4.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lppa::protocol::{run_private_auction_from_bids, SuSubmission};
 use lppa::ttp::Ttp;
 use lppa::zero_replace::ZeroReplacePolicy;
@@ -11,15 +10,14 @@ use lppa_attack::adversary::{bcm_on_plain_bids, bpm_on_plain_bids};
 use lppa_attack::bpm::BpmConfig;
 use lppa_auction::bidder::{generate_bidders, BidModel, BidTable};
 use lppa_auction::runner::{run_plain_auction_with_table, AuctionConfig};
+use lppa_rng::bench::Bench;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_spectrum::area::AreaProfile;
 use lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_private_auction(c: &mut Criterion) {
+fn bench_private_auction(b: &mut Bench) {
     let config = LppaConfig::default();
-    let mut group = c.benchmark_group("end_to_end/private_auction");
-    group.sample_size(10);
     for (n, k) in [(20usize, 8usize), (50, 16)] {
         let map = SyntheticMapBuilder::new(AreaProfile::area3()).channels(k).seed(9).build();
         let model = BidModel::default();
@@ -27,35 +25,26 @@ fn bench_private_auction(c: &mut Criterion) {
         let bidders = generate_bidders(&map, n, &model, &mut rng);
         let table = BidTable::generate(&map, &bidders, &model, &mut rng);
         let raw: Vec<_> =
-            bidders.iter().map(|b| (b.location, table.row(b.id).to_vec())).collect();
+            bidders.iter().map(|bd| (bd.location, table.row(bd.id).to_vec())).collect();
         let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_k{k}")), &n, |b, _| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(11);
-                let ttp = Ttp::new(k, config, &mut rng).unwrap();
-                run_private_auction_from_bids(&raw, &ttp, &policy, &mut rng).unwrap()
-            })
+        b.bench(&format!("end_to_end/private_auction/n{n}_k{k}"), || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let ttp = Ttp::new(k, config, &mut rng).unwrap();
+            run_private_auction_from_bids(&raw, &ttp, &policy, &mut rng).unwrap();
         });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("plaintext_n{n}_k{k}")),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(11);
-                    run_plain_auction_with_table(
-                        &bidders,
-                        table.clone(),
-                        &AuctionConfig { n_bidders: n, lambda: config.lambda, bid_model: model },
-                        &mut rng,
-                    )
-                })
-            },
-        );
+        b.bench(&format!("end_to_end/private_auction/plaintext_n{n}_k{k}"), || {
+            let mut rng = StdRng::seed_from_u64(11);
+            run_plain_auction_with_table(
+                &bidders,
+                table.clone(),
+                &AuctionConfig { n_bidders: n, lambda: config.lambda, bid_model: model },
+                &mut rng,
+            );
+        });
     }
-    group.finish();
 }
 
-fn bench_submission_collection(c: &mut Criterion) {
+fn bench_submission_collection(b: &mut Bench) {
     // The bidder-side cost of one full auction round's submissions.
     let config = LppaConfig::default();
     let k = 32;
@@ -66,45 +55,36 @@ fn bench_submission_collection(c: &mut Criterion) {
     let table = BidTable::generate(&map, &bidders, &model, &mut rng);
     let ttp = Ttp::new(k, config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
-    let mut group = c.benchmark_group("end_to_end/submissions_20x32");
-    group.sample_size(20);
-    group.bench_function("build_all", |b| {
-        b.iter(|| {
-            bidders
-                .iter()
-                .map(|bd| {
-                    SuSubmission::build(
-                        bd.location,
-                        table.row(bd.id),
-                        &ttp,
-                        &policy,
-                        &mut rng,
-                    )
-                    .unwrap()
-                })
-                .collect::<Vec<_>>()
-        })
+    b.bench("end_to_end/submissions_20x32/build_all", || {
+        let subs: Vec<_> = bidders
+            .iter()
+            .map(|bd| {
+                SuSubmission::build(bd.location, table.row(bd.id), &ttp, &policy, &mut rng).unwrap()
+            })
+            .collect();
+        std::hint::black_box(subs);
     });
-    group.finish();
 }
 
-fn bench_attacks(c: &mut Criterion) {
+fn bench_attacks(b: &mut Bench) {
     let map = SyntheticMapBuilder::new(AreaProfile::area4()).channels(64).seed(14).build();
     let model = BidModel::default();
     let mut rng = StdRng::seed_from_u64(15);
     let bidders = generate_bidders(&map, 20, &model, &mut rng);
     let table = BidTable::generate(&map, &bidders, &model, &mut rng);
-    let victim = bidders
-        .iter()
-        .max_by_key(|b| table.positive_channels(b.id).len())
-        .unwrap();
-    c.bench_function("end_to_end/bcm_attack_k64", |b| {
-        b.iter(|| bcm_on_plain_bids(&map, &table, victim.id))
+    let victim = bidders.iter().max_by_key(|bd| table.positive_channels(bd.id).len()).unwrap();
+    b.bench("end_to_end/bcm_attack_k64", || {
+        bcm_on_plain_bids(&map, &table, victim.id);
     });
-    c.bench_function("end_to_end/bpm_attack_k64", |b| {
-        b.iter(|| bpm_on_plain_bids(&map, &table, victim.id, &BpmConfig::fraction(0.5)))
+    b.bench("end_to_end/bpm_attack_k64", || {
+        bpm_on_plain_bids(&map, &table, victim.id, &BpmConfig::fraction(0.5));
     });
 }
 
-criterion_group!(benches, bench_private_auction, bench_submission_collection, bench_attacks);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("end_to_end");
+    bench_private_auction(&mut b);
+    bench_submission_collection(&mut b);
+    bench_attacks(&mut b);
+    b.finish();
+}

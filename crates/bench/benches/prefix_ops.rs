@@ -1,59 +1,60 @@
 //! Benchmarks of the prefix-membership machinery, including the
 //! DESIGN.md ablation: minimal range cover vs a naive per-integer cover.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lppa_crypto::keys::HmacKey;
 use lppa_prefix::{prefix_family, range_prefixes, MaskedPoint, MaskedRange, Prefix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lppa_rng::bench::Bench;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 
 const WIDTH: u8 = 10;
 
-fn bench_family(c: &mut Criterion) {
-    c.bench_function("prefix/family_w10", |b| {
-        b.iter(|| prefix_family(WIDTH, std::hint::black_box(777)).unwrap())
+fn bench_family(b: &mut Bench) {
+    b.bench("prefix/family_w10", || {
+        prefix_family(WIDTH, std::hint::black_box(777)).unwrap();
     });
 }
 
-fn bench_range_cover(c: &mut Criterion) {
+fn bench_range_cover(b: &mut Bench) {
     // Worst case for the minimal cover: [1, 2^w − 2].
-    c.bench_function("prefix/minimal_cover_worst_case_w10", |b| {
-        b.iter(|| range_prefixes(WIDTH, 1, (1 << WIDTH) - 2).unwrap())
+    b.bench("prefix/minimal_cover_worst_case_w10", || {
+        range_prefixes(WIDTH, 1, (1 << WIDTH) - 2).unwrap();
     });
     // Ablation: the naive alternative masks one exact prefix per integer
     // in the range — linear in the range size instead of O(w).
-    c.bench_function("prefix/naive_per_integer_cover_w10", |b| {
-        b.iter(|| {
-            (1u32..=(1 << WIDTH) - 2)
-                .map(|v| Prefix::exact(WIDTH, v).unwrap())
-                .collect::<Vec<_>>()
-        })
+    b.bench("prefix/naive_per_integer_cover_w10", || {
+        let cover: Vec<_> =
+            (1u32..=(1 << WIDTH) - 2).map(|v| Prefix::exact(WIDTH, v).unwrap()).collect();
+        std::hint::black_box(cover);
     });
 }
 
-fn bench_masking(c: &mut Criterion) {
+fn bench_masking(b: &mut Bench) {
     let key = HmacKey::from_bytes([1u8; 32]);
     let mut rng = StdRng::seed_from_u64(2);
-    c.bench_function("prefix/mask_point_w10", |b| {
-        b.iter(|| MaskedPoint::mask(&key, WIDTH, std::hint::black_box(777)).unwrap())
+    b.bench("prefix/mask_point_w10", || {
+        MaskedPoint::mask(&key, WIDTH, std::hint::black_box(777)).unwrap();
     });
-    c.bench_function("prefix/mask_range_padded_w10", |b| {
-        b.iter(|| {
-            MaskedRange::mask_padded(&key, WIDTH, std::hint::black_box(400), 1023, &mut rng)
-                .unwrap()
-        })
+    b.bench("prefix/mask_range_padded_w10", || {
+        MaskedRange::mask_padded(&key, WIDTH, std::hint::black_box(400), 1023, &mut rng).unwrap();
     });
 }
 
-fn bench_membership(c: &mut Criterion) {
+fn bench_membership(b: &mut Bench) {
     let key = HmacKey::from_bytes([1u8; 32]);
     let mut rng = StdRng::seed_from_u64(3);
     let point = MaskedPoint::mask(&key, WIDTH, 700).unwrap();
     let range = MaskedRange::mask_padded(&key, WIDTH, 400, 1023, &mut rng).unwrap();
-    c.bench_function("prefix/masked_membership_test", |b| {
-        b.iter(|| std::hint::black_box(&point).in_range(std::hint::black_box(&range)))
+    b.bench("prefix/masked_membership_test", || {
+        std::hint::black_box(&point).in_range(std::hint::black_box(&range));
     });
 }
 
-criterion_group!(benches, bench_family, bench_range_cover, bench_masking, bench_membership);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("prefix_ops");
+    bench_family(&mut b);
+    bench_range_cover(&mut b);
+    bench_masking(&mut b);
+    bench_membership(&mut b);
+    b.finish();
+}

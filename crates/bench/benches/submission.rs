@@ -1,7 +1,6 @@
 //! Benchmarks of the bidder-side work: building masked location and bid
 //! submissions, the per-auction cost Theorem 4 accounts for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lppa::ppbs::bid::AdvancedBidSubmission;
 use lppa::ppbs::location::LocationSubmission;
 use lppa::protocol::SuSubmission;
@@ -9,47 +8,42 @@ use lppa::ttp::Ttp;
 use lppa::zero_replace::ZeroReplacePolicy;
 use lppa::LppaConfig;
 use lppa_auction::bidder::Location;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lppa_rng::bench::Bench;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
 
-fn bench_location_submission(c: &mut Criterion) {
+fn bench_location_submission(b: &mut Bench) {
     let config = LppaConfig::default();
     let mut rng = StdRng::seed_from_u64(1);
     let ttp = Ttp::new(1, config, &mut rng).unwrap();
-    c.bench_function("submission/location", |b| {
-        b.iter(|| {
-            LocationSubmission::build(
-                std::hint::black_box(Location::new(64, 64)),
-                &ttp.bidder_keys().g0,
-                &config,
-                &mut rng,
-            )
-            .unwrap()
-        })
+    b.bench("submission/location", || {
+        LocationSubmission::build(
+            std::hint::black_box(Location::new(64, 64)),
+            &ttp.bidder_keys().g0,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
     });
 }
 
-fn bench_bid_submission(c: &mut Criterion) {
+fn bench_bid_submission(b: &mut Bench) {
     let config = LppaConfig::default();
     let mut rng = StdRng::seed_from_u64(2);
-    let mut group = c.benchmark_group("submission/advanced_bids");
     for k in [16usize, 64, 129] {
         let ttp = Ttp::new(k, config, &mut rng).unwrap();
         let policy = ZeroReplacePolicy::geometric(0.5, 0.75, config.bid_max());
         let bids: Vec<u32> = (0..k)
             .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=config.bid_max()) })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                AdvancedBidSubmission::build(&bids, ttp.bidder_keys(), &config, &policy, &mut rng)
-                    .unwrap()
-            })
+        b.bench(&format!("submission/advanced_bids/{k}"), || {
+            AdvancedBidSubmission::build(&bids, ttp.bidder_keys(), &config, &policy, &mut rng)
+                .unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_full_submission(c: &mut Criterion) {
+fn bench_full_submission(b: &mut Bench) {
     let config = LppaConfig::default();
     let mut rng = StdRng::seed_from_u64(3);
     let k = 129;
@@ -58,12 +52,15 @@ fn bench_full_submission(c: &mut Criterion) {
     let bids: Vec<u32> = (0..k)
         .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=config.bid_max()) })
         .collect();
-    c.bench_function("submission/full_su_submission_k129", |b| {
-        b.iter(|| {
-            SuSubmission::build(Location::new(30, 40), &bids, &ttp, &policy, &mut rng).unwrap()
-        })
+    b.bench("submission/full_su_submission_k129", || {
+        SuSubmission::build(Location::new(30, 40), &bids, &ttp, &policy, &mut rng).unwrap();
     });
 }
 
-criterion_group!(benches, bench_location_submission, bench_bid_submission, bench_full_submission);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("submission");
+    bench_location_submission(&mut b);
+    bench_bid_submission(&mut b);
+    bench_full_submission(&mut b);
+    b.finish();
+}

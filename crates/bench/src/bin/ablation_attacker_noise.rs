@@ -20,10 +20,10 @@ use lppa_attack::metrics::{AggregateReport, PrivacyReport};
 use lppa_auction::bidder::{generate_bidders, BidModel, BidTable};
 use lppa_bench::csv;
 use lppa_bench::experiments::BPM_CELL_CAP;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_spectrum::area::AreaProfile;
 use lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const SEED: u64 = 0x0153;
 
@@ -55,10 +55,8 @@ fn main() {
                     continue;
                 }
                 let candidates = bcm_attack(&map, &channels);
-                let bids: Vec<_> =
-                    channels.iter().map(|&ch| (ch, table.bid(b.id, ch))).collect();
-                let config =
-                    BpmConfig { keep_fraction: fraction, max_cells: Some(BPM_CELL_CAP) };
+                let bids: Vec<_> = channels.iter().map(|&ch| (ch, table.bid(b.id, ch))).collect();
+                let config = BpmConfig { keep_fraction: fraction, max_cells: Some(BPM_CELL_CAP) };
                 let refined = bpm_attack(&db, &candidates, &bids, &config);
                 agg.push(PrivacyReport::evaluate(&refined.possible, b.cell));
             }

@@ -24,10 +24,10 @@ use lppa_attack::metrics::{AggregateReport, PrivacyReport};
 use lppa_auction::bidder::{generate_bidders, BidModel, BidTable};
 use lppa_auction::runner::{run_plain_auction_with_table, AuctionConfig};
 use lppa_bench::csv;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_spectrum::area::AreaProfile;
 use lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const SEED: u64 = 0xab1a;
 
@@ -85,17 +85,14 @@ fn main() {
                     SuSubmission::build(*loc, bids, &ttp, &policy, &mut rng).unwrap()
                 })
                 .collect();
-            let masked = MaskedBidTable::collect(
-                submissions.iter().map(|s| s.bids.clone()).collect(),
-            )
-            .unwrap();
+            let masked =
+                MaskedBidTable::collect(submissions.iter().map(|s| s.bids.clone()).collect())
+                    .unwrap();
             let rankings = ChannelRankings::new(masked.channel_rankings(), n);
             let attributed = rankings.attribute_top(0.5);
             let attack: AggregateReport = bidders
                 .iter()
-                .map(|b| {
-                    PrivacyReport::evaluate(&bcm_attack(&map, &attributed[b.id.0]), b.cell)
-                })
+                .map(|b| PrivacyReport::evaluate(&bcm_attack(&map, &attributed[b.id.0]), b.cell))
                 .collect();
             fail += attack.failure_rate();
             cells += attack.mean_possible_cells();

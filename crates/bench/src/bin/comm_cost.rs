@@ -19,8 +19,8 @@ use lppa::zero_replace::ZeroReplacePolicy;
 use lppa::LppaConfig;
 use lppa_auction::bidder::Location;
 use lppa_bench::csv;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -50,10 +50,13 @@ fn main() {
         let mut measured_prefix_bits = 0u64;
         let mut measured_total_bytes = 0u64;
         for _ in 0..n {
-            let location =
-                Location::new(rng.gen_range(0..=config.loc_max()), rng.gen_range(0..=config.loc_max()));
-            let bids: Vec<u32> =
-                (0..k).map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=config.bid_max()) }).collect();
+            let location = Location::new(
+                rng.gen_range(0..=config.loc_max()),
+                rng.gen_range(0..=config.loc_max()),
+            );
+            let bids: Vec<u32> = (0..k)
+                .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=config.bid_max()) })
+                .collect();
             let submission = SuSubmission::build(location, &bids, &ttp, &policy, &mut rng)
                 .expect("submission builds");
             measured_total_bytes += submission.wire_len() as u64;

@@ -53,14 +53,14 @@ fn main() {
 
     // The BPM percentages of Fig. 4: 1, 1/2, 1/3, 1/4, 1/5.
     let fractions = [0.5, 1.0 / 3.0, 0.25, 0.2];
-    let channel_counts: Vec<usize> =
-        if quick { vec![10, 40] } else { vec![10, 20, 40, 80, 129] };
+    let channel_counts: Vec<usize> = if quick { vec![10, 40] } else { vec![10, 20, 40, 80, 129] };
     let n_victims = if quick { 30 } else { 100 };
 
     match which.as_str() {
         "a" | "b" => {
             // (a) and (b) share the same sweep; both metrics are columns.
-            let rows = attack_sweep(&AreaProfile::area4(), &channel_counts, n_victims, &fractions, SEED);
+            let rows =
+                attack_sweep(&AreaProfile::area4(), &channel_counts, n_victims, &fractions, SEED);
             print_rows(&rows);
         }
         "c" => {
@@ -72,7 +72,8 @@ fn main() {
             print_rows(&rows);
         }
         _ => {
-            let rows = attack_sweep(&AreaProfile::area4(), &channel_counts, n_victims, &fractions, SEED);
+            let rows =
+                attack_sweep(&AreaProfile::area4(), &channel_counts, n_victims, &fractions, SEED);
             print_rows(&rows);
             println!();
             let k = if quick { 40 } else { 129 };

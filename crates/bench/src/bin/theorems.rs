@@ -12,13 +12,13 @@
 //! formulas' transcription ambiguities.
 
 use lppa::analysis::{
-    simulate_expected_true_selected, simulate_no_leakage, simulate_zero_loses,
-    theorem1_zero_loses, theorem2_as_printed, theorem2_no_leakage, theorem3_as_printed,
+    simulate_expected_true_selected, simulate_no_leakage, simulate_zero_loses, theorem1_zero_loses,
+    theorem2_as_printed, theorem2_no_leakage, theorem3_as_printed,
 };
 use lppa::zero_replace::ZeroReplacePolicy;
 use lppa_bench::csv;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 
 const BMAX: u32 = 15;
 
@@ -88,14 +88,7 @@ fn t3(trials: usize, rng: &mut StdRng) {
     ] {
         let printed = theorem3_as_printed(BMAX, &bids, m, t);
         let mc = simulate_expected_true_selected(&policy, &bids, m, t, trials, rng);
-        println!(
-            "{:?},{},{},{},{}",
-            bids,
-            m,
-            t,
-            csv::f(printed),
-            csv::f(mc)
-        );
+        println!("{:?},{},{},{},{}", bids, m, t, csv::f(printed), csv::f(mc));
     }
 }
 

@@ -1,8 +1,6 @@
 //! Shared experiment logic for the figure-regeneration binaries.
 
-use lppa::protocol::{
-    run_private_auction_from_bids_with_model, AuctioneerModel,
-};
+use lppa::protocol::{run_private_auction_from_bids_with_model, AuctioneerModel};
 use lppa::ttp::Ttp;
 use lppa::zero_replace::ZeroReplacePolicy;
 use lppa::LppaConfig;
@@ -12,11 +10,11 @@ use lppa_attack::bpm::{bpm_attack, BpmConfig};
 use lppa_attack::metrics::{AggregateReport, PrivacyReport};
 use lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Bidder, Location};
 use lppa_auction::runner::{run_plain_auction_with_table, AuctionConfig};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_spectrum::area::AreaProfile;
 use lppa_spectrum::synth::SyntheticMapBuilder;
 use lppa_spectrum::SpectrumMap;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The paper's BPM cell-count cap ("we define this threshold as 250").
 pub const BPM_CELL_CAP: usize = 250;
@@ -142,10 +140,7 @@ impl Fig5Fixture {
 
     /// The `(location, raw bids)` pairs the private protocol consumes.
     pub fn raw_bids(&self) -> Vec<(Location, Vec<u32>)> {
-        self.bidders
-            .iter()
-            .map(|b| (b.location, self.table.row(b.id).to_vec()))
-            .collect()
+        self.bidders.iter().map(|b| (b.location, self.table.row(b.id).to_vec())).collect()
     }
 }
 
@@ -164,18 +159,14 @@ pub fn lppa_privacy_sweep(
     for (variant, report) in
         attack_population(&fixture.map, &fixture.bidders, &fixture.table, &[0.5])
     {
-        rows.push(PrivacyRow {
-            replace_prob: 0.0,
-            variant: format!("no-LPPA {variant}"),
-            report,
-        });
+        rows.push(PrivacyRow { replace_prob: 0.0, variant: format!("no-LPPA {variant}"), report });
     }
 
     let raw = fixture.raw_bids();
     for &replace_prob in replace_probs {
         let mut rng = StdRng::seed_from_u64(seed ^ (replace_prob * 1e6) as u64);
-        let ttp = Ttp::new(fixture.map.channel_count(), fixture.config, &mut rng)
-            .expect("valid config");
+        let ttp =
+            Ttp::new(fixture.map.channel_count(), fixture.config, &mut rng).expect("valid config");
         let policy = experiment_policy(replace_prob, fixture.config.bid_max());
         let submissions: Vec<_> = raw
             .iter()
@@ -184,9 +175,10 @@ pub fn lppa_privacy_sweep(
                     .expect("submission builds")
             })
             .collect();
-        let table =
-            lppa::psd::table::MaskedBidTable::collect(submissions.iter().map(|s| s.bids.clone()).collect())
-                .expect("consistent submissions");
+        let table = lppa::psd::table::MaskedBidTable::collect(
+            submissions.iter().map(|s| s.bids.clone()).collect(),
+        )
+        .expect("consistent submissions");
         let rankings = ChannelRankings::new(table.channel_rankings(), fixture.bidders.len());
 
         for &fraction in fractions {
@@ -321,8 +313,7 @@ mod tests {
     #[test]
     fn attack_population_produces_one_row_per_variant() {
         let fixture = small_area_map_fixture();
-        let rows =
-            attack_population(&fixture.map, &fixture.bidders, &fixture.table, &[0.5, 0.25]);
+        let rows = attack_population(&fixture.map, &fixture.bidders, &fixture.table, &[0.5, 0.25]);
         assert_eq!(rows.len(), 3); // BCM + 2 BPM fractions
         assert_eq!(rows[0].0, "BCM");
         // BPM aggregates cover the same victims as BCM.
@@ -379,10 +370,14 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(10);
                 let ttp = Ttp::new(6, fixture.config, &mut rng).unwrap();
                 let policy = experiment_policy(replace, fixture.config.bid_max());
-                let result =
-                    run_private_auction_from_bids_with_model(
-                        &raw, &ttp, &policy, AuctioneerModel::IterativeCharging, &mut rng,
-                    ).unwrap();
+                let result = run_private_auction_from_bids_with_model(
+                    &raw,
+                    &ttp,
+                    &policy,
+                    AuctioneerModel::IterativeCharging,
+                    &mut rng,
+                )
+                .unwrap();
                 out.push((replace, result));
             }
             out

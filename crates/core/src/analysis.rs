@@ -20,7 +20,7 @@
 //! printed* plus independently derived exact forms and Monte-Carlo
 //! estimators, so the benches can display all of them side by side.
 
-use rand::Rng;
+use lppa_rng::Rng;
 
 use crate::zero_replace::ZeroReplacePolicy;
 
@@ -144,9 +144,7 @@ pub fn theorem2_as_printed(policy: &ZeroReplacePolicy, b_n: u32, m: usize, t: us
 
     let mut total = 0.0;
     for k in t..=m {
-        total += binomial(m as u64, k as u64)
-            * s_gt.powi(k as i32)
-            * s_le.powi((m - k) as i32);
+        total += binomial(m as u64, k as u64) * s_gt.powi(k as i32) * s_le.powi((m - k) as i32);
     }
     for k in 0..t.min(m + 1) {
         let mut inner = 0.0;
@@ -230,10 +228,8 @@ pub fn theorem3_as_printed(bmax: u32, true_bids_sorted: &[u32], m: usize, t: usi
     let mut expectation = 0.0;
     for mu in 1..=t.min(n) {
         let b_n_mu = f64::from(true_bids_sorted[n - mu]);
-        let outer = binomial(
-            (f64::from(bmax) - b_n_mu - mu as f64).max(0.0) as u64,
-            (t - mu) as u64,
-        );
+        let outer =
+            binomial((f64::from(bmax) - b_n_mu - mu as f64).max(0.0) as u64, (t - mu) as u64);
         let mut sum_j = 0.0;
         for j in (t - mu)..=m {
             let mut sum_i = 0.0;
@@ -247,7 +243,11 @@ pub fn theorem3_as_printed(bmax: u32, true_bids_sorted: &[u32], m: usize, t: usi
                     * if t == mu {
                         // C(j−i−1, −1) degenerates; only the empty
                         // arrangement (i = j) contributes.
-                        if i == j { 1.0 } else { 0.0 }
+                        if i == j {
+                            1.0
+                        } else {
+                            0.0
+                        }
                     } else {
                         binomial((j as i64 - i as i64 - 1).max(0) as u64, (t - mu - 1) as u64)
                     };
@@ -326,8 +326,8 @@ pub fn cost_model(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     #[test]
     fn binomial_basics() {
@@ -422,8 +422,7 @@ mod tests {
         // With NO disguising every top-4 pick includes all 3 true bids
         // (zeros stay 0, true bids positive).
         let none = ZeroReplacePolicy::never(15);
-        let e_none =
-            simulate_expected_true_selected(&none, &true_bids, 10, 4, 5_000, &mut rng);
+        let e_none = simulate_expected_true_selected(&none, &true_bids, 10, 4, 5_000, &mut rng);
         assert!(e_none > 2.9, "e_none={e_none}");
         // Full uniform disguising buries true bids: fewer selected.
         assert!(e < e_none);
@@ -448,14 +447,9 @@ mod tests {
         let policy = ZeroReplacePolicy::geometric(0.4, 0.8, config.bid_max());
         let model = cost_model(&config, 10, k);
 
-        let sub = SuSubmission::build(
-            Location::new(30, 40),
-            &[0, 5, 99, 0, 17],
-            &ttp,
-            &policy,
-            &mut rng,
-        )
-        .unwrap();
+        let sub =
+            SuSubmission::build(Location::new(30, 40), &[0, 5, 99, 0, 17], &ttp, &policy, &mut rng)
+                .unwrap();
         assert_eq!(sub.wire_len() as u64, model.bidder_bytes);
         let tags = (sub.location.wire_len() as u64
             + sub
@@ -476,10 +470,7 @@ mod tests {
         let per_channel = (large.bidder_bytes - small.bidder_bytes) / 10;
         assert!(per_channel > 0);
         // The location part is channel-independent.
-        assert_eq!(
-            large.bidder_bytes - 20 * per_channel,
-            small.bidder_bytes - 10 * per_channel
-        );
+        assert_eq!(large.bidder_bytes - 20 * per_channel, small.bidder_bytes - 10 * per_channel);
     }
 
     #[test]

@@ -90,14 +90,8 @@ mod tests {
     fn display_covers_variants() {
         let cases: Vec<(LppaError, &str)> = vec![
             (LppaError::InvalidConfig { reason: "rd too big".into() }, "rd too big"),
-            (
-                LppaError::Prefix(PrefixError::EmptyRange { lo: 2, hi: 1 }),
-                "prefix",
-            ),
-            (
-                LppaError::ChannelCountMismatch { submitted: 3, expected: 5 },
-                "3 channels",
-            ),
+            (LppaError::Prefix(PrefixError::EmptyRange { lo: 2, hi: 1 }), "prefix"),
+            (LppaError::ChannelCountMismatch { submitted: 3, expected: 5 }, "3 channels"),
             (LppaError::BidOutOfRange { bid: 200, bmax: 127 }, "200"),
             (LppaError::LocationOutOfRange { coordinate: 9, max: 7 }, "9"),
             (LppaError::ChargeAuthentication, "authentication"),

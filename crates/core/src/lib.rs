@@ -33,10 +33,10 @@
 //! use lppa::zero_replace::ZeroReplacePolicy;
 //! use lppa::LppaConfig;
 //! use lppa_auction::bidder::Location;
-//! use rand::SeedableRng;
+//! use lppa_rng::SeedableRng;
 //!
 //! # fn main() -> Result<(), lppa::LppaError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(1);
 //! let config = LppaConfig::default();
 //! let ttp = Ttp::new(2, config, &mut rng)?;
 //! let policy = ZeroReplacePolicy::geometric(0.3, 0.8, config.bid_max());
@@ -60,9 +60,9 @@ pub mod config;
 pub mod error;
 pub mod ppbs;
 pub mod protocol;
+pub mod psd;
 pub mod pseudonym;
 pub mod rounds;
-pub mod psd;
 pub mod ttp;
 pub mod zero_replace;
 

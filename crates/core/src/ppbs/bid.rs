@@ -21,7 +21,7 @@
 use lppa_crypto::keys::{HmacKey, SealKey};
 use lppa_crypto::seal::SealedValue;
 use lppa_prefix::{MaskedPoint, MaskedRange};
-use rand::Rng;
+use lppa_rng::Rng;
 
 use crate::config::LppaConfig;
 use crate::error::LppaError;
@@ -205,7 +205,16 @@ impl AdvancedBidSubmission {
                     presented_positive.push(true);
                     true_value
                 };
-                ChannelBid::build(key, &keys.gc, width, domain_max, shown_value, true_value, true, rng)
+                ChannelBid::build(
+                    key,
+                    &keys.gc,
+                    width,
+                    domain_max,
+                    shown_value,
+                    true_value,
+                    true,
+                    rng,
+                )
             })
             .collect::<Result<_, _>>()?;
         Ok(Self { bids, presented_positive })
@@ -242,8 +251,8 @@ impl AdvancedBidSubmission {
 mod tests {
     use super::*;
     use crate::ttp::Ttp;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn setup(k: usize) -> (Ttp, LppaConfig, StdRng) {
         let config = LppaConfig::default();
@@ -265,8 +274,7 @@ mod tests {
         let submissions: Vec<BasicBidSubmission> = [6u32, 10, 0, 5]
             .iter()
             .map(|&b| {
-                BasicBidSubmission::build(&[b], &keys.gb[0], &keys.gc, &config, &mut rng)
-                    .unwrap()
+                BasicBidSubmission::build(&[b], &keys.gb[0], &keys.gc, &config, &mut rng).unwrap()
             })
             .collect();
         let bid = |i: usize| &submissions[i].bids()[0];
@@ -285,9 +293,8 @@ mod tests {
     fn basic_scheme_rejects_oversized_bid() {
         let (ttp, config, mut rng) = setup(1);
         let keys = ttp.bidder_keys();
-        let err =
-            BasicBidSubmission::build(&[200], &keys.gb[0], &keys.gc, &config, &mut rng)
-                .unwrap_err();
+        let err = BasicBidSubmission::build(&[200], &keys.gb[0], &keys.gc, &config, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, LppaError::BidOutOfRange { bid: 200, .. }));
     }
 
@@ -299,9 +306,7 @@ mod tests {
         let raws = [3u32, 50, 50, 127, 1];
         let submissions: Vec<AdvancedBidSubmission> = raws
             .iter()
-            .map(|&b| {
-                AdvancedBidSubmission::build(&[b], keys, &config, &policy, &mut rng).unwrap()
-            })
+            .map(|&b| AdvancedBidSubmission::build(&[b], keys, &config, &policy, &mut rng).unwrap())
             .collect();
         for (i, &ri) in raws.iter().enumerate() {
             for (j, &rj) in raws.iter().enumerate() {
@@ -334,12 +339,9 @@ mod tests {
         let (ttp, config, mut rng) = setup(3);
         let keys = ttp.bidder_keys();
         let policy = ZeroReplacePolicy::never(config.bid_max());
-        let err = AdvancedBidSubmission::build(&[1, 2], keys, &config, &policy, &mut rng)
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            LppaError::ChannelCountMismatch { submitted: 2, expected: 3 }
-        ));
+        let err =
+            AdvancedBidSubmission::build(&[1, 2], keys, &config, &policy, &mut rng).unwrap_err();
+        assert!(matches!(err, LppaError::ChannelCountMismatch { submitted: 2, expected: 3 }));
     }
 
     #[test]
@@ -350,8 +352,7 @@ mod tests {
         for _ in 0..20 {
             let zero =
                 AdvancedBidSubmission::build(&[0], keys, &config, &policy, &mut rng).unwrap();
-            let one =
-                AdvancedBidSubmission::build(&[1], keys, &config, &policy, &mut rng).unwrap();
+            let one = AdvancedBidSubmission::build(&[1], keys, &config, &policy, &mut rng).unwrap();
             assert!(ge(&one.bids()[0], &zero.bids()[0]));
             assert!(!ge(&zero.bids()[0], &one.bids()[0]));
         }
@@ -402,11 +403,10 @@ mod tests {
         let sizes: std::collections::HashSet<usize> = [0u32, 1, 9, 64, 127]
             .iter()
             .map(|&b| {
-                AdvancedBidSubmission::build(&[b], keys, &config, &policy, &mut rng)
-                    .unwrap()
-                    .bids()[0]
-                    .range
-                    .len()
+                AdvancedBidSubmission::build(&[b], keys, &config, &policy, &mut rng).unwrap().bids()
+                    [0]
+                .range
+                .len()
             })
             .collect();
         assert_eq!(sizes.len(), 1, "range sizes differ: {sizes:?}");
@@ -417,18 +417,15 @@ mod tests {
         let (ttp, config, mut rng) = setup(4);
         let keys = ttp.bidder_keys();
         let policy = ZeroReplacePolicy::uniform(0.5, config.bid_max());
-        let sizes: std::collections::HashSet<usize> = [
-            vec![0u32, 0, 0, 0],
-            vec![127, 127, 127, 127],
-            vec![0, 3, 77, 127],
-        ]
-        .into_iter()
-        .map(|bids| {
-            AdvancedBidSubmission::build(&bids, keys, &config, &policy, &mut rng)
-                .unwrap()
-                .wire_len()
-        })
-        .collect();
+        let sizes: std::collections::HashSet<usize> =
+            [vec![0u32, 0, 0, 0], vec![127, 127, 127, 127], vec![0, 3, 77, 127]]
+                .into_iter()
+                .map(|bids| {
+                    AdvancedBidSubmission::build(&bids, keys, &config, &policy, &mut rng)
+                        .unwrap()
+                        .wire_len()
+                })
+                .collect();
         assert_eq!(sizes.len(), 1);
     }
 }

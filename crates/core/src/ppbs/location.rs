@@ -15,7 +15,7 @@ use lppa_auction::bidder::Location;
 use lppa_auction::conflict::ConflictGraph;
 use lppa_crypto::keys::HmacKey;
 use lppa_prefix::{MaskedPoint, MaskedRange};
-use rand::Rng;
+use lppa_rng::Rng;
 
 use crate::config::LppaConfig;
 use crate::error::LppaError;
@@ -29,12 +29,12 @@ use crate::error::LppaError;
 /// use lppa::LppaConfig;
 /// use lppa_auction::bidder::Location;
 /// use lppa_crypto::keys::HmacKey;
-/// use rand::SeedableRng;
+/// use lppa_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), lppa::LppaError> {
 /// let g0 = HmacKey::from_bytes([7u8; 32]);
 /// let config = LppaConfig::default();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(1);
 /// let a = LocationSubmission::build(Location::new(10, 10), &g0, &config, &mut rng)?;
 /// let b = LocationSubmission::build(Location::new(12, 11), &g0, &config, &mut rng)?;
 /// assert!(a.conflicts_with(&b)); // both gaps < 2λ = 6
@@ -71,13 +71,12 @@ impl LocationSubmission {
         }
         let w = config.loc_bits;
         let half = 2 * config.lambda - 1; // closed-range radius for strict < 2λ
-        let build_axis = |value: u32, rng: &mut R| -> Result<(MaskedPoint, MaskedRange), LppaError> {
+        let build_axis = |value: u32,
+                          rng: &mut R|
+         -> Result<(MaskedPoint, MaskedRange), LppaError> {
             let lo = value.saturating_sub(half);
             let hi = (value + half).min(max);
-            Ok((
-                MaskedPoint::mask(g0, w, value)?,
-                MaskedRange::mask_padded(g0, w, lo, hi, rng)?,
-            ))
+            Ok((MaskedPoint::mask(g0, w, value)?, MaskedRange::mask_padded(g0, w, lo, hi, rng)?))
         };
         let (point_x, range_x) = build_axis(location.x, rng)?;
         let (point_y, range_y) = build_axis(location.y, rng)?;
@@ -120,15 +119,11 @@ pub fn build_conflict_graph(submissions: &[LocationSubmission]) -> ConflictGraph
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn setup() -> (HmacKey, LppaConfig, StdRng) {
-        (
-            HmacKey::from_bytes([3u8; 32]),
-            LppaConfig::default(),
-            StdRng::seed_from_u64(5),
-        )
+        (HmacKey::from_bytes([3u8; 32]), LppaConfig::default(), StdRng::seed_from_u64(5))
     }
 
     #[test]
@@ -151,7 +146,7 @@ mod tests {
     #[test]
     fn graph_matches_plaintext_graph() {
         let (g0, config, mut rng) = setup();
-        use rand::Rng as _;
+        use lppa_rng::Rng as _;
         let locations: Vec<Location> = (0..25)
             .map(|_| Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127)))
             .collect();
@@ -167,8 +162,8 @@ mod tests {
     #[test]
     fn boundary_coordinates_clamp_cleanly() {
         let (g0, config, mut rng) = setup();
-        let corner = LocationSubmission::build(Location::new(0, 0), &g0, &config, &mut rng)
-            .unwrap();
+        let corner =
+            LocationSubmission::build(Location::new(0, 0), &g0, &config, &mut rng).unwrap();
         let far = LocationSubmission::build(
             Location::new(config.loc_max(), config.loc_max()),
             &g0,
@@ -183,8 +178,8 @@ mod tests {
     #[test]
     fn out_of_domain_location_is_rejected() {
         let (g0, config, mut rng) = setup();
-        let err = LocationSubmission::build(Location::new(500, 0), &g0, &config, &mut rng)
-            .unwrap_err();
+        let err =
+            LocationSubmission::build(Location::new(500, 0), &g0, &config, &mut rng).unwrap_err();
         assert!(matches!(err, LppaError::LocationOutOfRange { coordinate: 500, .. }));
     }
 
@@ -212,9 +207,7 @@ mod tests {
             Location::new(127, 0),
         ]
         .into_iter()
-        .map(|l| {
-            LocationSubmission::build(l, &g0, &config, &mut rng).unwrap().wire_len()
-        })
+        .map(|l| LocationSubmission::build(l, &g0, &config, &mut rng).unwrap().wire_len())
         .collect();
         assert_eq!(sizes.len(), 1, "submission sizes leak location: {sizes:?}");
     }

@@ -16,7 +16,7 @@ use lppa_auction::allocation::{greedy_allocate, Grant};
 use lppa_auction::bidder::{BidderId, Location};
 use lppa_auction::conflict::ConflictGraph;
 use lppa_auction::outcome::{Assignment, AuctionOutcome};
-use rand::Rng;
+use lppa_rng::Rng;
 
 use crate::error::LppaError;
 use crate::ppbs::bid::AdvancedBidSubmission;
@@ -147,7 +147,11 @@ pub fn run_private_auction_with_model<R: Rng>(
         .iter()
         .map(|g| {
             let bid = &table.submissions()[g.bidder.0].bids()[g.channel.0];
-            ChargeRequest { channel: g.channel, sealed: bid.sealed.clone(), point: bid.point.clone() }
+            ChargeRequest {
+                channel: g.channel,
+                sealed: bid.sealed.clone(),
+                point: bid.point.clone(),
+            }
         })
         .collect();
     let decisions = ttp.open_charges(&requests)?;
@@ -219,8 +223,8 @@ pub fn grant_bidders(grants: &[Grant]) -> Vec<BidderId> {
 mod tests {
     use super::*;
     use crate::config::LppaConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn ttp(k: usize, seed: u64) -> (Ttp, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -269,8 +273,7 @@ mod tests {
             Location::new(90, 90),
             Location::new(13, 9),
         ];
-        let bidders: Vec<(Location, Vec<u32>)> =
-            locs.iter().map(|&l| (l, vec![5u32])).collect();
+        let bidders: Vec<(Location, Vec<u32>)> = locs.iter().map(|&l| (l, vec![5u32])).collect();
         let result = run_private_auction_from_bids(&bidders, &ttp, &policy, &mut rng).unwrap();
         let plain = ConflictGraph::from_locations(&locs, ttp.config().lambda);
         assert_eq!(result.conflicts, plain);
@@ -293,8 +296,7 @@ mod tests {
             (Location::new(5, 5), vec![0]),
             (Location::new(5, 5), vec![0]),
         ];
-        let result =
-            run_private_auction_from_bids(&bidders, &ttp, &always_high, &mut rng).unwrap();
+        let result = run_private_auction_from_bids(&bidders, &ttp, &always_high, &mut rng).unwrap();
         // The disguised zeros (presenting bmax) beat the genuine bid 1.
         assert_eq!(result.grants.len(), 1);
         assert_eq!(result.invalid_grants.len(), 1);
@@ -309,12 +311,13 @@ mod tests {
         let run = |replace: f64, seed: u64| -> u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let policy = ZeroReplacePolicy::uniform(replace, ttp.config().bid_max());
-            use rand::Rng as _;
+            use lppa_rng::Rng as _;
             let bidders: Vec<(Location, Vec<u32>)> = (0..20)
                 .map(|_| {
                     let loc = Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127));
-                    let bids =
-                        (0..4).map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=80) }).collect();
+                    let bids = (0..4)
+                        .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=80) })
+                        .collect();
                     (loc, bids)
                 })
                 .collect();
@@ -339,14 +342,8 @@ mod tests {
     fn submission_wire_len_accounts_location_and_bids() {
         let (ttp, mut rng) = ttp(2, 5);
         let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
-        let sub = SuSubmission::build(
-            Location::new(3, 4),
-            &[1, 2],
-            &ttp,
-            &policy,
-            &mut rng,
-        )
-        .unwrap();
+        let sub =
+            SuSubmission::build(Location::new(3, 4), &[1, 2], &ttp, &policy, &mut rng).unwrap();
         assert_eq!(sub.wire_len(), sub.location.wire_len() + sub.bids.wire_len());
         assert!(sub.wire_len() > 0);
     }

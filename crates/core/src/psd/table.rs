@@ -10,8 +10,8 @@
 
 use lppa_auction::allocation::BidOracle;
 use lppa_auction::bidder::BidderId;
+use lppa_rng::seq::SliceRandom;
 use lppa_spectrum::ChannelId;
-use rand::seq::SliceRandom;
 
 use crate::error::LppaError;
 use crate::ppbs::bid::AdvancedBidSubmission;
@@ -153,7 +153,7 @@ impl BidOracle for MaskedBidTable {
         &self,
         channel: ChannelId,
         candidates: &[BidderId],
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn lppa_rng::RngCore,
     ) -> BidderId {
         let maxima = self.maxima(channel, candidates);
         *maxima.choose(rng).expect("maxima set is non-empty")
@@ -166,8 +166,8 @@ mod tests {
     use crate::config::LppaConfig;
     use crate::ttp::Ttp;
     use crate::zero_replace::ZeroReplacePolicy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn table_for(raw_rows: &[Vec<u32>], seed: u64) -> (MaskedBidTable, Vec<Vec<u32>>) {
         let config = LppaConfig::default();
@@ -221,11 +221,8 @@ mod tests {
     fn select_winner_picks_the_plaintext_maximum() {
         let (table, _) = table_for(&[vec![5], vec![90], vec![13]], 3);
         let mut rng = StdRng::seed_from_u64(4);
-        let winner = table.select_winner(
-            ChannelId(0),
-            &[BidderId(0), BidderId(1), BidderId(2)],
-            &mut rng,
-        );
+        let winner =
+            table.select_winner(ChannelId(0), &[BidderId(0), BidderId(1), BidderId(2)], &mut rng);
         assert_eq!(winner, BidderId(1));
         // Restricting candidates excludes the global maximum.
         let winner = table.select_winner(ChannelId(0), &[BidderId(0), BidderId(2)], &mut rng);
@@ -251,11 +248,17 @@ mod tests {
         let policy = ZeroReplacePolicy::never(config.bid_max());
         let ttp2 = Ttp::new(2, config, &mut rng).unwrap();
         let ttp3 = Ttp::new(3, config, &mut rng).unwrap();
-        let a = AdvancedBidSubmission::build(&[1, 2], ttp2.bidder_keys(), &config, &policy, &mut rng)
-            .unwrap();
-        let b =
-            AdvancedBidSubmission::build(&[1, 2, 3], ttp3.bidder_keys(), &config, &policy, &mut rng)
+        let a =
+            AdvancedBidSubmission::build(&[1, 2], ttp2.bidder_keys(), &config, &policy, &mut rng)
                 .unwrap();
+        let b = AdvancedBidSubmission::build(
+            &[1, 2, 3],
+            ttp3.bidder_keys(),
+            &config,
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
         assert!(matches!(
             MaskedBidTable::collect(vec![a, b]),
             Err(LppaError::ChannelCountMismatch { .. })

@@ -9,8 +9,8 @@
 //! information.
 
 use lppa_auction::bidder::BidderId;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use lppa_rng::seq::SliceRandom;
+use lppa_rng::Rng;
 
 /// One round's pseudonym assignment: a random bijection between true
 /// bidder indices and wire identifiers.
@@ -20,9 +20,9 @@ use rand::Rng;
 /// ```
 /// use lppa::pseudonym::PseudonymPool;
 /// use lppa_auction::bidder::BidderId;
-/// use rand::SeedableRng;
+/// use lppa_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(4);
 /// let round = PseudonymPool::assign(5, &mut rng);
 /// let wire = round.pseudonym_of(BidderId(2));
 /// assert_eq!(round.true_of(wire), BidderId(2));
@@ -92,8 +92,8 @@ impl PseudonymPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     #[test]
     fn assignment_is_a_bijection() {

@@ -8,7 +8,7 @@
 
 use lppa_auction::bidder::{BidderId, Location};
 use lppa_auction::outcome::{Assignment, AuctionOutcome};
-use rand::Rng;
+use lppa_rng::Rng;
 
 use crate::config::LppaConfig;
 use crate::error::LppaError;
@@ -26,10 +26,10 @@ use crate::zero_replace::ZeroReplacePolicy;
 /// use lppa::zero_replace::ZeroReplacePolicy;
 /// use lppa::LppaConfig;
 /// use lppa_auction::bidder::Location;
-/// use rand::SeedableRng;
+/// use lppa_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), lppa::LppaError> {
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(1);
 /// let config = LppaConfig::default();
 /// let mut driver = RoundDriver::new([9u8; 32], config, 2, true);
 /// let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
@@ -131,20 +131,15 @@ impl RoundDriver {
 
         let round = self.round;
         self.round += 1;
-        Ok(RoundResult {
-            outcome,
-            round,
-            invalid_grants: result.invalid_grants.len(),
-            pseudonyms,
-        })
+        Ok(RoundResult { outcome, round, invalid_grants: result.invalid_grants.len(), pseudonyms })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn bidders() -> Vec<(Location, Vec<u32>)> {
         vec![

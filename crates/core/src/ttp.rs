@@ -16,8 +16,8 @@
 use lppa_crypto::keys::{HmacKey, SealKey};
 use lppa_crypto::seal::SealedValue;
 use lppa_prefix::MaskedPoint;
+use lppa_rng::Rng;
 use lppa_spectrum::ChannelId;
-use rand::Rng;
 
 use crate::config::LppaConfig;
 use crate::error::LppaError;
@@ -111,10 +111,7 @@ impl Ttp {
             return Err(LppaError::InvalidConfig { reason: "auction needs channels".into() });
         }
         let schedule = lppa_crypto::kdf::KeySchedule::derive(master, round, n_channels);
-        Ok(Self {
-            keys: BidderKeys { g0: schedule.g0, gb: schedule.gb, gc: schedule.gc },
-            config,
-        })
+        Ok(Self { keys: BidderKeys { g0: schedule.g0, gb: schedule.gb, gc: schedule.gc }, config })
     }
 
     /// The key material distributed to bidders.
@@ -148,10 +145,8 @@ impl Ttp {
             expected: self.keys.gb.len(),
         })?;
 
-        let transformed = request
-            .sealed
-            .open(&self.keys.gc)
-            .map_err(|_| LppaError::ChargeAuthentication)?;
+        let transformed =
+            request.sealed.open(&self.keys.gc).map_err(|_| LppaError::ChargeAuthentication)?;
         let transformed =
             u32::try_from(transformed).map_err(|_| LppaError::ChargeAuthentication)?;
 
@@ -166,8 +161,7 @@ impl Ttp {
         // Verify the winner did not manipulate its price: the masked
         // family of the sealed transformed value must equal the family it
         // submitted for allocation.
-        let expected =
-            MaskedPoint::mask(key, self.config.transformed_bits(), transformed)?;
+        let expected = MaskedPoint::mask(key, self.config.transformed_bits(), transformed)?;
         if expected != request.point {
             return Err(LppaError::ChargeManipulated);
         }
@@ -191,8 +185,8 @@ impl Ttp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn setup() -> (Ttp, StdRng) {
         let mut rng = StdRng::seed_from_u64(77);
@@ -201,12 +195,7 @@ mod tests {
     }
 
     /// Builds a genuine charging request for raw bid `raw` on `channel`.
-    fn genuine_request(
-        ttp: &Ttp,
-        channel: ChannelId,
-        raw: u32,
-        rng: &mut StdRng,
-    ) -> ChargeRequest {
+    fn genuine_request(ttp: &Ttp, channel: ChannelId, raw: u32, rng: &mut StdRng) -> ChargeRequest {
         let config = ttp.config();
         let offset = if raw == 0 { rng.gen_range(0..=config.rd) } else { config.offset_bid(raw) };
         let transformed = config.cr * offset + rng.gen_range(0..config.cr);
@@ -216,8 +205,7 @@ mod tests {
             transformed,
         )
         .unwrap();
-        let sealed =
-            SealedValue::seal(&ttp.bidder_keys().gc, u64::from(transformed), rng);
+        let sealed = SealedValue::seal(&ttp.bidder_keys().gc, u64::from(transformed), rng);
         ChargeRequest { channel, sealed, point }
     }
 
@@ -226,10 +214,7 @@ mod tests {
         let (ttp, mut rng) = setup();
         for raw in [1u32, 17, 127] {
             let req = genuine_request(&ttp, ChannelId(2), raw, &mut rng);
-            assert_eq!(
-                ttp.open_charge(&req).unwrap(),
-                ChargeDecision::Valid { raw_price: raw }
-            );
+            assert_eq!(ttp.open_charge(&req).unwrap(), ChargeDecision::Valid { raw_price: raw });
         }
     }
 
@@ -268,12 +253,8 @@ mod tests {
         let config = *ttp.config();
         let low = config.cr * config.offset_bid(5);
         let high = config.cr * config.offset_bid(90);
-        let point = MaskedPoint::mask(
-            &ttp.bidder_keys().gb[0],
-            config.transformed_bits(),
-            high,
-        )
-        .unwrap();
+        let point =
+            MaskedPoint::mask(&ttp.bidder_keys().gb[0], config.transformed_bits(), high).unwrap();
         let sealed = SealedValue::seal(&ttp.bidder_keys().gc, u64::from(low), &mut rng);
         let req = ChargeRequest { channel: ChannelId(0), sealed, point };
         assert_eq!(ttp.open_charge(&req), Err(LppaError::ChargeManipulated));
@@ -284,12 +265,9 @@ mod tests {
         let (ttp, mut rng) = setup();
         let config = *ttp.config();
         let transformed = config.cr * config.offset_bid(5);
-        let point = MaskedPoint::mask(
-            &ttp.bidder_keys().gb[0],
-            config.transformed_bits(),
-            transformed,
-        )
-        .unwrap();
+        let point =
+            MaskedPoint::mask(&ttp.bidder_keys().gb[0], config.transformed_bits(), transformed)
+                .unwrap();
         let foreign = SealKey::random(&mut rng);
         let sealed = SealedValue::seal(&foreign, u64::from(transformed), &mut rng);
         let req = ChargeRequest { channel: ChannelId(0), sealed, point };
@@ -301,10 +279,7 @@ mod tests {
         let (ttp, mut rng) = setup();
         let req = genuine_request(&ttp, ChannelId(1), 3, &mut rng);
         let bad = ChargeRequest { channel: ChannelId(9), ..req };
-        assert!(matches!(
-            ttp.open_charge(&bad),
-            Err(LppaError::ChannelCountMismatch { .. })
-        ));
+        assert!(matches!(ttp.open_charge(&bad), Err(LppaError::ChannelCountMismatch { .. })));
     }
 
     #[test]

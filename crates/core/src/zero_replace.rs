@@ -11,7 +11,7 @@
 //!
 //! Each bidder chooses its own policy according to its privacy demand.
 
-use rand::Rng;
+use lppa_rng::Rng;
 
 /// A per-bidder zero-replacement distribution over `{0, 1, …, bmax}`.
 ///
@@ -19,11 +19,11 @@ use rand::Rng;
 ///
 /// ```
 /// use lppa::zero_replace::ZeroReplacePolicy;
-/// use rand::SeedableRng;
+/// use lppa_rng::SeedableRng;
 ///
 /// let policy = ZeroReplacePolicy::geometric(0.5, 0.7, 127);
 /// assert!((policy.replace_probability() - 0.5).abs() < 1e-9);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(1);
 /// match policy.sample(&mut rng) {
 ///     Some(t) => assert!((1..=127).contains(&t)), // disguise as t
 ///     None => {}                                   // stay zero
@@ -130,8 +130,8 @@ impl ZeroReplacePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     #[test]
     fn never_policy_always_stays_zero() {

@@ -1,5 +1,9 @@
 //! Property-based tests of the LPPA protocol layers: transform
 //! round-trips, masked comparisons, conflict construction and charging.
+//!
+//! Run with the in-tree harness: each property draws its inputs from a
+//! seeded RNG; failures print the exact reproduction seed (see
+//! `lppa_rng::testing`).
 
 use lppa::ppbs::bid::AdvancedBidSubmission;
 use lppa::ppbs::location::LocationSubmission;
@@ -7,102 +11,112 @@ use lppa::ttp::{ChargeDecision, ChargeRequest, Ttp};
 use lppa::zero_replace::ZeroReplacePolicy;
 use lppa::LppaConfig;
 use lppa_auction::bidder::Location;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lppa_rng::testing::check;
+use lppa_rng::{Rng, StdRng};
 
-/// Strategy: a valid protocol configuration.
-fn config() -> impl Strategy<Value = LppaConfig> {
-    (4u8..=8, 4u8..=8, 1u32..5, 0u32..12, 1u32..5).prop_map(
-        |(loc_bits, bid_bits, lambda, rd, cr)| {
-            let lambda = lambda.min((1u32 << loc_bits) / 4).max(1);
-            LppaConfig { loc_bits, bid_bits, lambda, rd, cr }
-        },
-    )
+/// Generator: a valid protocol configuration (re-draws until the
+/// sampled parameters validate).
+fn config(rng: &mut StdRng) -> LppaConfig {
+    loop {
+        let loc_bits = rng.gen_range(4u8..=8);
+        let bid_bits = rng.gen_range(4u8..=8);
+        let lambda = rng.gen_range(1u32..5).min((1u32 << loc_bits) / 4).max(1);
+        let rd = rng.gen_range(0u32..12);
+        let cr = rng.gen_range(1u32..5);
+        let candidate = LppaConfig { loc_bits, bid_bits, lambda, rd, cr };
+        if candidate.validate().is_ok() {
+            return candidate;
+        }
+    }
 }
 
-proptest! {
-    /// Offset + cr transform always decodes back to the raw bid.
-    #[test]
-    fn transform_roundtrip(config in config(), raw_frac in 0.0f64..1.0, slot_frac in 0.0f64..1.0) {
-        prop_assume!(config.validate().is_ok());
-        let raw = 1 + ((config.bid_max() - 1) as f64 * raw_frac) as u32;
+/// Offset + cr transform always decodes back to the raw bid.
+#[test]
+fn transform_roundtrip() {
+    check("transform_roundtrip", |rng| {
+        let config = config(rng);
+        let raw = rng.gen_range(1..=config.bid_max());
         let offset = config.offset_bid(raw);
-        let slot = (config.cr as f64 * slot_frac) as u32 % config.cr;
+        let slot = rng.gen_range(0..config.cr);
         let transformed = config.cr * offset + slot;
-        prop_assert!(transformed <= config.transformed_max());
+        assert!(transformed <= config.transformed_max());
         let decoded = config.decode_transformed(transformed);
-        prop_assert!(!config.is_zero_price(decoded));
-        prop_assert_eq!(config.decode_offset(decoded), raw);
-    }
+        assert!(!config.is_zero_price(decoded));
+        assert_eq!(config.decode_offset(decoded), raw);
+    });
+}
 
-    /// Zero-band values always decode to zero and are always flagged.
-    #[test]
-    fn zero_band_roundtrip(config in config(), z_frac in 0.0f64..1.0, slot_frac in 0.0f64..1.0) {
-        prop_assume!(config.validate().is_ok());
-        let z = ((config.rd + 1) as f64 * z_frac) as u32 % (config.rd + 1);
-        let slot = (config.cr as f64 * slot_frac) as u32 % config.cr;
+/// Zero-band values always decode to zero and are always flagged.
+#[test]
+fn zero_band_roundtrip() {
+    check("zero_band_roundtrip", |rng| {
+        let config = config(rng);
+        let z = rng.gen_range(0..=config.rd);
+        let slot = rng.gen_range(0..config.cr);
         let transformed = config.cr * z + slot;
         let decoded = config.decode_transformed(transformed);
-        prop_assert!(config.is_zero_price(decoded));
-        prop_assert_eq!(config.decode_offset(decoded), 0);
-    }
+        assert!(config.is_zero_price(decoded));
+        assert_eq!(config.decode_offset(decoded), 0);
+    });
+}
 
-    /// Masked bid comparisons agree with plaintext for arbitrary bids.
-    #[test]
-    fn masked_comparison_matches_plaintext(
-        a in 0u32..=127,
-        b in 0u32..=127,
-        seed in any::<u64>(),
-    ) {
+/// Masked bid comparisons agree with plaintext for arbitrary bids.
+#[test]
+fn masked_comparison_matches_plaintext() {
+    check("masked_comparison_matches_plaintext", |rng| {
+        let a = rng.gen_range(0u32..=127);
+        let b = rng.gen_range(0u32..=127);
         let config = LppaConfig::default();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ttp = Ttp::new(1, config, &mut rng).unwrap();
+        let ttp = Ttp::new(1, config, rng).unwrap();
         let policy = ZeroReplacePolicy::never(config.bid_max());
-        let sa = AdvancedBidSubmission::build(&[a], ttp.bidder_keys(), &config, &policy, &mut rng).unwrap();
-        let sb = AdvancedBidSubmission::build(&[b], ttp.bidder_keys(), &config, &policy, &mut rng).unwrap();
+        let sa =
+            AdvancedBidSubmission::build(&[a], ttp.bidder_keys(), &config, &policy, rng).unwrap();
+        let sb =
+            AdvancedBidSubmission::build(&[b], ttp.bidder_keys(), &config, &policy, rng).unwrap();
         let ge = sa.bids()[0].point.in_range(&sb.bids()[0].range);
         if a > b {
-            prop_assert!(ge, "{a} vs {b}");
+            assert!(ge, "{a} vs {b}");
         } else if a < b {
-            prop_assert!(!ge, "{a} vs {b}");
+            assert!(!ge, "{a} vs {b}");
         }
         // Equal values may order either way (random cr slots), but the
         // relation must stay antisymmetric-or-tie with the reverse test.
         let le = sb.bids()[0].point.in_range(&sa.bids()[0].range);
-        prop_assert!(ge || le, "comparison must be total");
-    }
+        assert!(ge || le, "comparison must be total");
+    });
+}
 
-    /// Masked conflict tests agree with the coordinate predicate for
-    /// arbitrary locations and λ.
-    #[test]
-    fn masked_conflicts_match_predicate(
-        ax in 0u32..=127, ay in 0u32..=127,
-        bx in 0u32..=127, by in 0u32..=127,
-        lambda in 1u32..8,
-        seed in any::<u64>(),
-    ) {
+/// Masked conflict tests agree with the coordinate predicate for
+/// arbitrary locations and λ.
+#[test]
+fn masked_conflicts_match_predicate() {
+    check("masked_conflicts_match_predicate", |rng| {
+        let lambda = rng.gen_range(1u32..8);
         let config = LppaConfig { lambda, ..LppaConfig::default() };
-        prop_assume!(config.validate().is_ok());
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ttp = Ttp::new(1, config, &mut rng).unwrap();
-        let a = Location::new(ax, ay);
-        let b = Location::new(bx, by);
-        let sa = LocationSubmission::build(a, &ttp.bidder_keys().g0, &config, &mut rng).unwrap();
-        let sb = LocationSubmission::build(b, &ttp.bidder_keys().g0, &config, &mut rng).unwrap();
-        prop_assert_eq!(sa.conflicts_with(&sb), a.conflicts_with(&b, lambda));
-        prop_assert_eq!(sb.conflicts_with(&sa), a.conflicts_with(&b, lambda));
-    }
+        if config.validate().is_err() {
+            return;
+        }
+        let a = Location::new(rng.gen_range(0u32..=127), rng.gen_range(0u32..=127));
+        let b = Location::new(rng.gen_range(0u32..=127), rng.gen_range(0u32..=127));
+        let ttp = Ttp::new(1, config, rng).unwrap();
+        let sa = LocationSubmission::build(a, &ttp.bidder_keys().g0, &config, rng).unwrap();
+        let sb = LocationSubmission::build(b, &ttp.bidder_keys().g0, &config, rng).unwrap();
+        assert_eq!(sa.conflicts_with(&sb), a.conflicts_with(&b, lambda));
+        assert_eq!(sb.conflicts_with(&sa), a.conflicts_with(&b, lambda));
+    });
+}
 
-    /// The TTP always reconstructs the exact raw price from a genuine
-    /// submission, and flags every genuine zero as invalid.
-    #[test]
-    fn charging_recovers_raw_prices(raw in 0u32..=127, seed in any::<u64>()) {
+/// The TTP always reconstructs the exact raw price from a genuine
+/// submission, and flags every genuine zero as invalid.
+#[test]
+fn charging_recovers_raw_prices() {
+    check("charging_recovers_raw_prices", |rng| {
+        let raw = rng.gen_range(0u32..=127);
         let config = LppaConfig::default();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ttp = Ttp::new(1, config, &mut rng).unwrap();
+        let ttp = Ttp::new(1, config, rng).unwrap();
         let policy = ZeroReplacePolicy::never(config.bid_max());
-        let sub = AdvancedBidSubmission::build(&[raw], ttp.bidder_keys(), &config, &policy, &mut rng).unwrap();
+        let sub =
+            AdvancedBidSubmission::build(&[raw], ttp.bidder_keys(), &config, &policy, rng).unwrap();
         let request = ChargeRequest {
             channel: lppa_spectrum::ChannelId(0),
             sealed: sub.bids()[0].sealed.clone(),
@@ -110,39 +124,45 @@ proptest! {
         };
         let decision = ttp.open_charge(&request).unwrap();
         if raw == 0 {
-            prop_assert_eq!(decision, ChargeDecision::InvalidZero);
+            assert_eq!(decision, ChargeDecision::InvalidZero);
         } else {
-            prop_assert_eq!(decision, ChargeDecision::Valid { raw_price: raw });
+            assert_eq!(decision, ChargeDecision::Valid { raw_price: raw });
         }
-    }
+    });
+}
 
-    /// Disguised zeros are always detected at charging, whatever the
-    /// disguise distribution.
-    #[test]
-    fn disguised_zeros_never_charge(seed in any::<u64>(), replace in 0.5f64..1.0) {
+/// Disguised zeros are always detected at charging, whatever the
+/// disguise distribution.
+#[test]
+fn disguised_zeros_never_charge() {
+    check("disguised_zeros_never_charge", |rng| {
+        let replace = rng.gen_range(0.5f64..1.0);
         let config = LppaConfig::default();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ttp = Ttp::new(1, config, &mut rng).unwrap();
+        let ttp = Ttp::new(1, config, rng).unwrap();
         let policy = ZeroReplacePolicy::uniform(replace, config.bid_max());
-        let sub = AdvancedBidSubmission::build(&[0], ttp.bidder_keys(), &config, &policy, &mut rng).unwrap();
+        let sub =
+            AdvancedBidSubmission::build(&[0], ttp.bidder_keys(), &config, &policy, rng).unwrap();
         let request = ChargeRequest {
             channel: lppa_spectrum::ChannelId(0),
             sealed: sub.bids()[0].sealed.clone(),
             point: sub.bids()[0].point.clone(),
         };
-        prop_assert_eq!(ttp.open_charge(&request).unwrap(), ChargeDecision::InvalidZero);
-    }
+        assert_eq!(ttp.open_charge(&request).unwrap(), ChargeDecision::InvalidZero);
+    });
+}
 
-    /// Zero-replacement sampling stays within the declared support and
-    /// respects the stay-zero probability approximately.
-    #[test]
-    fn policy_sampling_support(replace in 0.0f64..=1.0, decay in 0.1f64..=1.0, seed in any::<u64>()) {
+/// Zero-replacement sampling stays within the declared support and
+/// respects the stay-zero probability approximately.
+#[test]
+fn policy_sampling_support() {
+    check("policy_sampling_support", |rng| {
+        let replace = rng.gen_range(0.0f64..=1.0);
+        let decay = rng.gen_range(0.1f64..=1.0);
         let policy = ZeroReplacePolicy::geometric(replace, decay, 31);
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
-            if let Some(t) = policy.sample(&mut rng) {
-                prop_assert!((1..=31).contains(&t));
+            if let Some(t) = policy.sample(rng) {
+                assert!((1..=31).contains(&t));
             }
         }
-    }
+    });
 }

@@ -120,10 +120,7 @@ mod tests {
     #[test]
     fn different_masters_diverge() {
         let other = [0x43u8; KEY_LEN];
-        assert_ne!(
-            derive_key(&MASTER, b"info"),
-            derive_key(&other, b"info")
-        );
+        assert_ne!(derive_key(&MASTER, b"info"), derive_key(&other, b"info"));
     }
 
     #[test]

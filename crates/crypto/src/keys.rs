@@ -13,7 +13,7 @@
 //! being confused with one another and keep `Debug` output free of key
 //! bytes.
 
-use rand::RngCore;
+use crate::rand_core::RngCore;
 
 /// Length in bytes of every key in the system.
 pub const KEY_LEN: usize = 32;
@@ -66,9 +66,9 @@ key_newtype! {
     ///
     /// ```
     /// use lppa_crypto::keys::HmacKey;
-    /// use rand::SeedableRng;
+    /// use lppa_rng::SeedableRng;
     ///
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(7);
     /// let key = HmacKey::random(&mut rng);
     /// assert_eq!(key.as_bytes().len(), 32);
     /// ```
@@ -84,12 +84,11 @@ key_newtype! {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rand_core::TestRng;
 
     #[test]
     fn random_keys_differ() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = TestRng::new(1);
         let a = HmacKey::random(&mut rng);
         let b = HmacKey::random(&mut rng);
         assert_ne!(a, b);
@@ -97,8 +96,8 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_under_seed() {
-        let a = HmacKey::random(&mut StdRng::seed_from_u64(99));
-        let b = HmacKey::random(&mut StdRng::seed_from_u64(99));
+        let a = HmacKey::random(&mut TestRng::new(99));
+        let b = HmacKey::random(&mut TestRng::new(99));
         assert_eq!(a, b);
     }
 

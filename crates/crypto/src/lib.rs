@@ -41,11 +41,13 @@ pub mod chacha20;
 pub mod hmac;
 pub mod kdf;
 pub mod keys;
+pub mod rand_core;
 pub mod seal;
 pub mod sha256;
 pub mod tag;
 
 pub use kdf::{derive_key, KeySchedule};
 pub use keys::{HmacKey, SealKey};
+pub use rand_core::RngCore;
 pub use seal::{OpenError, SealedValue};
 pub use tag::Tag;

@@ -1,0 +1,89 @@
+//! The minimal random-source interface the primitives consume.
+//!
+//! The key and nonce generators in [`crate::keys`] and [`crate::seal`]
+//! only need a byte source; defining that interface here (rather than
+//! pulling in an external RNG crate) keeps the workspace fully
+//! self-contained and buildable offline. The concrete deterministic
+//! generator lives in the `lppa-rng` crate, which implements this trait
+//! on top of [`crate::chacha20::ChaCha20`].
+
+/// An object-safe source of random bytes.
+///
+/// Mirrors the de-facto standard `RngCore` shape so generic code can be
+/// written against `R: RngCore + ?Sized` or `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with bytes from the stream.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A deterministic splitmix64 generator for this crate's own unit tests.
+///
+/// The unit tests cannot use `lppa-rng`: the test harness recompiles this
+/// crate, so `lppa-rng`'s impls target the separately compiled library's
+/// `RngCore`, which the test build's trait does not unify with. Doctests
+/// link the library externally and keep using `lppa-rng`.
+#[cfg(test)]
+pub(crate) struct TestRng(u64);
+
+#[cfg(test)]
+impl TestRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+}
+
+#[cfg(test)]
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}

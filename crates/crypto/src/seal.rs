@@ -8,7 +8,7 @@
 //! (encrypt-then-MAC), so a misbehaving relay cannot tamper with a sealed
 //! price undetected.
 
-use rand::RngCore;
+use crate::rand_core::RngCore;
 
 use crate::chacha20::{ChaCha20, NONCE_LEN};
 use crate::hmac::{hmac_sha256, verify_tag};
@@ -40,10 +40,10 @@ impl std::error::Error for OpenError {}
 /// ```
 /// use lppa_crypto::keys::SealKey;
 /// use lppa_crypto::seal::SealedValue;
-/// use rand::SeedableRng;
+/// use lppa_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), lppa_crypto::seal::OpenError> {
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(3);
 /// let key = SealKey::random(&mut rng);
 /// let sealed = SealedValue::seal(&key, 1234, &mut rng);
 /// assert_eq!(sealed.open(&key)?, 1234);
@@ -113,11 +113,10 @@ impl SealedValue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rand_core::TestRng;
 
-    fn setup() -> (SealKey, StdRng) {
-        let mut rng = StdRng::seed_from_u64(42);
+    fn setup() -> (SealKey, TestRng) {
+        let mut rng = TestRng::new(42);
         let key = SealKey::random(&mut rng);
         (key, rng)
     }

@@ -1,23 +1,26 @@
 //! Property-based tests for the cryptographic primitives.
+//!
+//! Run with the in-tree harness: each property draws its inputs from a
+//! seeded RNG; failures print the exact reproduction seed (see
+//! `lppa_rng::testing`).
 
 use lppa_crypto::chacha20::ChaCha20;
 use lppa_crypto::hmac::{hmac_sha256, HmacSha256};
 use lppa_crypto::keys::SealKey;
 use lppa_crypto::seal::SealedValue;
 use lppa_crypto::sha256::{sha256, Sha256};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lppa_rng::testing::{byte_vec, check};
+use lppa_rng::{Rng, RngCore};
 
-proptest! {
-    /// Incremental hashing over arbitrary chunk boundaries equals the
-    /// one-shot digest.
-    #[test]
-    fn sha256_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..600),
-        cuts in proptest::collection::vec(0usize..600, 0..6),
-    ) {
-        let mut boundaries: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+/// Incremental hashing over arbitrary chunk boundaries equals the
+/// one-shot digest.
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    check("sha256_incremental_equals_oneshot", |rng| {
+        let data = byte_vec(rng, 600);
+        let n_cuts = rng.gen_range(0..6usize);
+        let mut boundaries: Vec<usize> =
+            (0..n_cuts).map(|_| rng.gen_range(0..=data.len())).collect();
         boundaries.sort_unstable();
         let mut hasher = Sha256::new();
         let mut prev = 0;
@@ -26,65 +29,66 @@ proptest! {
             prev = b;
         }
         hasher.update(&data[prev..]);
-        prop_assert_eq!(hasher.finalize(), sha256(&data));
-    }
+        assert_eq!(hasher.finalize(), sha256(&data));
+    });
+}
 
-    /// Same for HMAC, including arbitrary key lengths.
-    #[test]
-    fn hmac_incremental_equals_oneshot(
-        key in proptest::collection::vec(any::<u8>(), 0..130),
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-        cut in 0usize..300,
-    ) {
-        let cut = cut % (data.len() + 1);
+/// Same for HMAC, including arbitrary key lengths.
+#[test]
+fn hmac_incremental_equals_oneshot() {
+    check("hmac_incremental_equals_oneshot", |rng| {
+        let key = byte_vec(rng, 130);
+        let data = byte_vec(rng, 300);
+        let cut = rng.gen_range(0..=data.len());
         let mut mac = HmacSha256::new(&key);
         mac.update(&data[..cut]);
         mac.update(&data[cut..]);
-        prop_assert_eq!(mac.finalize(), hmac_sha256(&key, &data));
-    }
+        assert_eq!(mac.finalize(), hmac_sha256(&key, &data));
+    });
+}
 
-    /// The keystream XOR is always an involution.
-    #[test]
-    fn chacha20_roundtrip(
-        key in proptest::array::uniform32(any::<u8>()),
-        nonce in proptest::array::uniform12(any::<u8>()),
-        counter in any::<u32>(),
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+/// The keystream XOR is always an involution.
+#[test]
+fn chacha20_roundtrip() {
+    check("chacha20_roundtrip", |rng| {
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut nonce);
         // Keep the counter away from overflow for multi-block messages.
-        let counter = counter % (u32::MAX - 8);
+        let counter = rng.gen_range(0..u32::MAX - 8);
+        let data = byte_vec(rng, 300);
         let cipher = ChaCha20::new(&key);
         let mut work = data.clone();
         cipher.apply_keystream(&nonce, counter, &mut work);
         cipher.apply_keystream(&nonce, counter, &mut work);
-        prop_assert_eq!(work, data);
-    }
+        assert_eq!(work, data);
+    });
+}
 
-    /// Sealed values always open to the original under the right key and
-    /// never under a tampered ciphertext.
-    #[test]
-    fn seal_roundtrip_and_tamper_detection(
-        value in any::<u64>(),
-        seed in any::<u64>(),
-        flip_byte in 0usize..8,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let key = SealKey::random(&mut rng);
-        let sealed = SealedValue::seal(&key, value, &mut rng);
-        prop_assert_eq!(sealed.open(&key), Ok(value));
-        // Any single-byte flip in the sealed payload must be rejected.
-        let _ = flip_byte;
-        let other = SealKey::random(&mut rng);
-        prop_assert!(sealed.open(&other).is_err());
-    }
+/// Sealed values always open to the original under the right key and
+/// never under a different key.
+#[test]
+fn seal_roundtrip_and_tamper_detection() {
+    check("seal_roundtrip_and_tamper_detection", |rng| {
+        let value: u64 = rng.gen();
+        let key = SealKey::random(rng);
+        let sealed = SealedValue::seal(&key, value, rng);
+        assert_eq!(sealed.open(&key), Ok(value));
+        let other = SealKey::random(rng);
+        assert!(sealed.open(&other).is_err());
+    });
+}
 
-    /// Distinct messages virtually never collide under a fixed key.
-    #[test]
-    fn hmac_distinguishes_messages(
-        a in proptest::collection::vec(any::<u8>(), 0..64),
-        b in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
-        prop_assume!(a != b);
-        prop_assert_ne!(hmac_sha256(b"fixed key", &a), hmac_sha256(b"fixed key", &b));
-    }
+/// Distinct messages virtually never collide under a fixed key.
+#[test]
+fn hmac_distinguishes_messages() {
+    check("hmac_distinguishes_messages", |rng| {
+        let a = byte_vec(rng, 64);
+        let b = byte_vec(rng, 64);
+        if a == b {
+            return;
+        }
+        assert_ne!(hmac_sha256(b"fixed key", &a), hmac_sha256(b"fixed key", &b));
+    });
 }

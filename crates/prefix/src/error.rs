@@ -62,17 +62,11 @@ mod tests {
         let cases: Vec<(PrefixError, &str)> = vec![
             (PrefixError::WidthOutOfRange { width: 0 }, "width 0"),
             (PrefixError::ValueTooWide { value: 9, width: 3 }, "value 9"),
-            (
-                PrefixError::SpecLenTooLong { spec_len: 5, width: 4 },
-                "5 specified bits",
-            ),
+            (PrefixError::SpecLenTooLong { spec_len: 5, width: 4 }, "5 specified bits"),
             (PrefixError::EmptyRange { lo: 8, hi: 3 }, "[8, 3]"),
         ];
         for (err, needle) in cases {
-            assert!(
-                err.to_string().contains(needle),
-                "{err:?} should mention {needle}"
-            );
+            assert!(err.to_string().contains(needle), "{err:?} should mention {needle}");
         }
     }
 }

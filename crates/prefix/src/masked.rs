@@ -18,7 +18,7 @@ use std::collections::HashSet;
 
 use lppa_crypto::keys::HmacKey;
 use lppa_crypto::tag::{Tag, TAG_LEN};
-use rand::RngCore;
+use lppa_rng::RngCore;
 
 use crate::error::PrefixError;
 use crate::family::prefix_family;
@@ -202,8 +202,8 @@ impl MaskedRange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
 
     fn key(byte: u8) -> HmacKey {
         HmacKey::from_bytes([byte; 32])

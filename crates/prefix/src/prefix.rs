@@ -124,7 +124,8 @@ impl Prefix {
             return self.width == 32 || u64::from(value) < (1u64 << self.width);
         }
         let shift = self.width - self.spec_len;
-        (value >> shift) == self.bits && (self.width == 32 || u64::from(value) < (1u64 << self.width))
+        (value >> shift) == self.bits
+            && (self.width == 32 || u64::from(value) < (1u64 << self.width))
     }
 
     /// Numericalization `O(·)`: the `(w+1)`-bit number `t1..ts 1 0..0`.
@@ -162,7 +163,8 @@ impl std::str::FromStr for Prefix {
     /// than `0`, `1` and trailing `*`s (a specified bit after a wildcard
     /// is also rejected, reported as `SpecLenTooLong`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let width = u8::try_from(s.len()).map_err(|_| PrefixError::WidthOutOfRange { width: u8::MAX })?;
+        let width =
+            u8::try_from(s.len()).map_err(|_| PrefixError::WidthOutOfRange { width: u8::MAX })?;
         if width == 0 || width > MAX_WIDTH {
             return Err(PrefixError::WidthOutOfRange { width });
         }
@@ -180,12 +182,7 @@ impl std::str::FromStr for Prefix {
                     spec_len += 1;
                 }
                 '*' => seen_wildcard = true,
-                _ => {
-                    return Err(PrefixError::ValueTooWide {
-                        value: u64::from(ch as u32),
-                        width,
-                    })
-                }
+                _ => return Err(PrefixError::ValueTooWide { value: u64::from(ch as u32), width }),
             }
         }
         Prefix::new(width, bits, spec_len)
@@ -266,26 +263,14 @@ mod tests {
 
     #[test]
     fn invalid_constructions_are_rejected() {
-        assert_eq!(
-            Prefix::new(0, 0, 0),
-            Err(PrefixError::WidthOutOfRange { width: 0 })
-        );
-        assert_eq!(
-            Prefix::new(33, 0, 0),
-            Err(PrefixError::WidthOutOfRange { width: 33 })
-        );
+        assert_eq!(Prefix::new(0, 0, 0), Err(PrefixError::WidthOutOfRange { width: 0 }));
+        assert_eq!(Prefix::new(33, 0, 0), Err(PrefixError::WidthOutOfRange { width: 33 }));
         assert_eq!(
             Prefix::new(4, 0, 5),
             Err(PrefixError::SpecLenTooLong { spec_len: 5, width: 4 })
         );
-        assert_eq!(
-            Prefix::new(4, 0b100, 2),
-            Err(PrefixError::ValueTooWide { value: 4, width: 2 })
-        );
-        assert_eq!(
-            Prefix::exact(4, 16),
-            Err(PrefixError::ValueTooWide { value: 16, width: 4 })
-        );
+        assert_eq!(Prefix::new(4, 0b100, 2), Err(PrefixError::ValueTooWide { value: 4, width: 2 }));
+        assert_eq!(Prefix::exact(4, 16), Err(PrefixError::ValueTooWide { value: 16, width: 4 }));
     }
 
     #[test]

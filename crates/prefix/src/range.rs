@@ -60,7 +60,10 @@ fn descend(width: u8, bits: u32, spec_len: u8, lo: u32, hi: u32, out: &mut Vec<P
         out.push(node); // maximal contained dyadic interval
         return;
     }
-    debug_assert!(spec_len < width, "leaf nodes are single values and always contained or disjoint");
+    debug_assert!(
+        spec_len < width,
+        "leaf nodes are single values and always contained or disjoint"
+    );
     descend(width, bits << 1, spec_len + 1, lo, hi, out);
     descend(width, (bits << 1) | 1, spec_len + 1, lo, hi, out);
 }
@@ -162,10 +165,7 @@ mod tests {
 
     #[test]
     fn empty_range_is_rejected() {
-        assert_eq!(
-            range_prefixes(4, 9, 3),
-            Err(PrefixError::EmptyRange { lo: 9, hi: 3 })
-        );
+        assert_eq!(range_prefixes(4, 9, 3), Err(PrefixError::EmptyRange { lo: 9, hi: 3 }));
     }
 
     #[test]

@@ -1,119 +1,134 @@
 //! Property-based tests for the prefix-membership invariants that the
 //! whole LPPA protocol rests on.
+//!
+//! Run with the in-tree harness: each property draws its inputs from a
+//! seeded RNG; failures print the exact reproduction seed (see
+//! `lppa_rng::testing`).
 
 use lppa_crypto::keys::HmacKey;
-use lppa_prefix::{
-    max_cover_len, prefix_family, range_prefixes, MaskedPoint, MaskedRange, Prefix,
-};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lppa_prefix::{max_cover_len, prefix_family, range_prefixes, MaskedPoint, MaskedRange, Prefix};
+use lppa_rng::testing::check;
+use lppa_rng::{Rng, StdRng};
 
-/// Strategy: a domain width and a value that fits in it.
-fn width_and_value() -> impl Strategy<Value = (u8, u32)> {
-    (1u8..=16).prop_flat_map(|w| {
-        let max = (1u32 << w) - 1;
-        (Just(w), 0..=max)
-    })
+/// Generator: a domain width and a value that fits in it.
+fn width_and_value(rng: &mut StdRng) -> (u8, u32) {
+    let w = rng.gen_range(1u8..=16);
+    let max = (1u32 << w) - 1;
+    (w, rng.gen_range(0..=max))
 }
 
-/// Strategy: a domain width and an ordered pair inside it.
-fn width_and_range() -> impl Strategy<Value = (u8, u32, u32)> {
-    (1u8..=16).prop_flat_map(|w| {
-        let max = (1u32 << w) - 1;
-        (Just(w), 0..=max, 0..=max).prop_map(|(w, a, b)| (w, a.min(b), a.max(b)))
-    })
+/// Generator: a domain width and an ordered pair inside it.
+fn width_and_range(rng: &mut StdRng) -> (u8, u32, u32) {
+    let w = rng.gen_range(1u8..=16);
+    let max = (1u32 << w) - 1;
+    let a = rng.gen_range(0..=max);
+    let b = rng.gen_range(0..=max);
+    (w, a.min(b), a.max(b))
 }
 
-/// Strategy: a width, a value in it and a range in it — generated
+/// Generator: a width, a value in it and a range in it — generated
 /// together so every case is usable.
-fn width_value_range() -> impl Strategy<Value = (u8, u32, u32, u32)> {
-    (1u8..=16).prop_flat_map(|w| {
-        let max = (1u32 << w) - 1;
-        (Just(w), 0..=max, 0..=max, 0..=max)
-            .prop_map(|(w, x, a, b)| (w, x, a.min(b), a.max(b)))
-    })
+fn width_value_range(rng: &mut StdRng) -> (u8, u32, u32, u32) {
+    let w = rng.gen_range(1u8..=16);
+    let max = (1u32 << w) - 1;
+    let x = rng.gen_range(0..=max);
+    let a = rng.gen_range(0..=max);
+    let b = rng.gen_range(0..=max);
+    (w, x, a.min(b), a.max(b))
 }
 
-proptest! {
-    /// The defining equivalence of the scheme:
-    /// `x ∈ [a,b] ⇔ O(G(x)) ∩ O(Q([a,b])) ≠ ∅`.
-    #[test]
-    fn membership_equivalence((w, x, lo, hi) in width_value_range()) {
-        let family: Vec<u64> = prefix_family(w, x).unwrap()
-            .iter().map(Prefix::numericalize).collect();
-        let cover: Vec<u64> = range_prefixes(w, lo, hi).unwrap()
-            .iter().map(Prefix::numericalize).collect();
+/// The defining equivalence of the scheme:
+/// `x ∈ [a,b] ⇔ O(G(x)) ∩ O(Q([a,b])) ≠ ∅`.
+#[test]
+fn membership_equivalence() {
+    check("membership_equivalence", |rng| {
+        let (w, x, lo, hi) = width_value_range(rng);
+        let family: Vec<u64> =
+            prefix_family(w, x).unwrap().iter().map(Prefix::numericalize).collect();
+        let cover: Vec<u64> =
+            range_prefixes(w, lo, hi).unwrap().iter().map(Prefix::numericalize).collect();
         let intersects = family.iter().any(|n| cover.contains(n));
-        prop_assert_eq!(intersects, (lo..=hi).contains(&x));
-    }
+        assert_eq!(intersects, (lo..=hi).contains(&x));
+    });
+}
 
-    /// Same equivalence after HMAC masking.
-    #[test]
-    fn masked_membership_equivalence(
-        (w, x, lo, hi) in width_value_range(),
-        key_byte in any::<u8>(),
-    ) {
+/// Same equivalence after HMAC masking.
+#[test]
+fn masked_membership_equivalence() {
+    check("masked_membership_equivalence", |rng| {
+        let (w, x, lo, hi) = width_value_range(rng);
+        let key_byte: u8 = rng.gen();
         let key = HmacKey::from_bytes([key_byte; 32]);
         let point = MaskedPoint::mask(&key, w, x).unwrap();
         let range = MaskedRange::mask(&key, w, lo, hi).unwrap();
-        prop_assert_eq!(point.in_range(&range), (lo..=hi).contains(&x));
-    }
+        assert_eq!(point.in_range(&range), (lo..=hi).contains(&x));
+    });
+}
 
-    /// Padded ranges behave identically to unpadded ones.
-    #[test]
-    fn padded_membership_equivalence(
-        (w, x, lo, hi) in width_value_range(),
-        seed in any::<u64>(),
-    ) {
+/// Padded ranges behave identically to unpadded ones.
+#[test]
+fn padded_membership_equivalence() {
+    check("padded_membership_equivalence", |rng| {
+        let (w, x, lo, hi) = width_value_range(rng);
         let key = HmacKey::from_bytes([9u8; 32]);
-        let mut rng = StdRng::seed_from_u64(seed);
         let point = MaskedPoint::mask(&key, w, x).unwrap();
-        let range = MaskedRange::mask_padded(&key, w, lo, hi, &mut rng).unwrap();
-        prop_assert_eq!(point.in_range(&range), (lo..=hi).contains(&x));
-        prop_assert_eq!(range.len(), max_cover_len(w));
-    }
+        let range = MaskedRange::mask_padded(&key, w, lo, hi, rng).unwrap();
+        assert_eq!(point.in_range(&range), (lo..=hi).contains(&x));
+        assert_eq!(range.len(), max_cover_len(w));
+    });
+}
 
-    /// The family always has exactly `w + 1` members, each containing `x`.
-    #[test]
-    fn family_shape((w, x) in width_and_value()) {
+/// The family always has exactly `w + 1` members, each containing `x`.
+#[test]
+fn family_shape() {
+    check("family_shape", |rng| {
+        let (w, x) = width_and_value(rng);
         let family = prefix_family(w, x).unwrap();
-        prop_assert_eq!(family.len(), usize::from(w) + 1);
+        assert_eq!(family.len(), usize::from(w) + 1);
         for p in &family {
-            prop_assert!(p.contains(x));
+            assert!(p.contains(x));
         }
-    }
+    });
+}
 
-    /// The range cover is exact, minimal-bounded and sorted.
-    #[test]
-    fn cover_shape((w, lo, hi) in width_and_range()) {
+/// The range cover is exact, minimal-bounded and sorted.
+#[test]
+fn cover_shape() {
+    check("cover_shape", |rng| {
+        let (w, lo, hi) = width_and_range(rng);
         let cover = range_prefixes(w, lo, hi).unwrap();
-        prop_assert!(cover.len() <= max_cover_len(w).max(1));
+        assert!(cover.len() <= max_cover_len(w).max(1));
         // Sorted and pairwise disjoint.
         for pair in cover.windows(2) {
-            prop_assert!(pair[0].high() < pair[1].low());
+            assert!(pair[0].high() < pair[1].low());
         }
         // Boundary values covered, outside neighbours not.
-        prop_assert!(cover.iter().any(|p| p.contains(lo)));
-        prop_assert!(cover.iter().any(|p| p.contains(hi)));
+        assert!(cover.iter().any(|p| p.contains(lo)));
+        assert!(cover.iter().any(|p| p.contains(hi)));
         if lo > 0 {
-            prop_assert!(!cover.iter().any(|p| p.contains(lo - 1)));
+            assert!(!cover.iter().any(|p| p.contains(lo - 1)));
         }
         let dmax = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
         if hi < dmax {
-            prop_assert!(!cover.iter().any(|p| p.contains(hi + 1)));
+            assert!(!cover.iter().any(|p| p.contains(hi + 1)));
         }
-    }
+    });
+}
 
-    /// Numericalization round-trips through the displayed pattern: two
-    /// prefixes of the same width with equal `O(·)` are the same prefix.
-    #[test]
-    fn numericalization_injective(w in 1u8..=12, a in any::<u32>(), b in any::<u32>(), sa in 0u8..=12, sb in 0u8..=12) {
-        prop_assume!(sa <= w && sb <= w);
+/// Numericalization round-trips through the displayed pattern: two
+/// prefixes of the same width with equal `O(·)` are the same prefix.
+#[test]
+fn numericalization_injective() {
+    check("numericalization_injective", |rng| {
+        let w = rng.gen_range(1u8..=12);
+        let a: u32 = rng.gen();
+        let b: u32 = rng.gen();
+        let sa = rng.gen_range(0u8..=w);
+        let sb = rng.gen_range(0u8..=w);
         let mask_a = if sa == 0 { 0 } else { a & ((1u32 << sa) - 1) };
         let mask_b = if sb == 0 { 0 } else { b & ((1u32 << sb) - 1) };
         let pa = Prefix::new(w, mask_a, sa).unwrap();
         let pb = Prefix::new(w, mask_b, sb).unwrap();
-        prop_assert_eq!(pa.numericalize() == pb.numericalize(), pa == pb);
-    }
+        assert_eq!(pa.numericalize() == pb.numericalize(), pa == pb);
+    });
 }

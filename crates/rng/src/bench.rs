@@ -1,0 +1,265 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! Replaces `criterion` for this workspace's `[[bench]]` targets (which
+//! set `harness = false`). Each benchmark is warmed up, then timed over
+//! a fixed number of samples; one JSON line per benchmark is written to
+//! stdout and a human-readable summary to stderr.
+//!
+//! Cargo runs bench targets in two modes and the harness detects which:
+//!
+//! * `cargo bench` passes `--bench` — full measurement runs;
+//! * `cargo test` runs the same binary with no `--bench` flag — each
+//!   closure executes exactly once as a smoke test, so benchmarks are
+//!   compile- and run-checked by the ordinary test suite without
+//!   costing bench-scale wall-clock time.
+//!
+//! Any non-flag command-line argument is treated as a substring filter
+//! on benchmark names, mirroring `cargo bench <filter>`.
+//!
+//! Environment variables: `LPPA_BENCH_WARMUP_MS` (default 100),
+//! `LPPA_BENCH_SAMPLE_MS` (total measured time per benchmark,
+//! default 300), `LPPA_BENCH_SAMPLES` (default 15), and
+//! `LPPA_BENCH_FULL=1` to force full measurement without `--bench`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! let mut b = lppa_rng::bench::Bench::new("crypto");
+//! let data = vec![0u8; 1024];
+//! b.bench("checksum/1KiB", || {
+//!     std::hint::black_box(data.iter().map(|&x| x as u64).sum::<u64>());
+//! });
+//! b.finish();
+//! ```
+
+use std::time::Instant;
+
+fn env_ms(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Per-benchmark timing statistics, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Total iterations measured (across all samples).
+    pub iters: u64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// A named group of benchmarks sharing one output stream.
+pub struct Bench {
+    group: String,
+    full: bool,
+    filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Bench {
+    /// Creates a group. Mode (full vs smoke) and the optional name
+    /// filter come from the command line, as passed by cargo.
+    pub fn new(group: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let full = args.iter().any(|a| a == "--bench")
+            || std::env::var("LPPA_BENCH_FULL").is_ok_and(|v| v != "0");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Self { group: group.to_string(), full, filter, ran: 0, skipped: 0 }
+    }
+
+    /// Times `routine` and reports it as `name`.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, routine: F) {
+        self.bench_throughput(name, None, routine);
+    }
+
+    /// Like [`bench`](Self::bench), also reporting throughput for
+    /// `bytes` of input processed per iteration.
+    pub fn bench_throughput<F: FnMut()>(&mut self, name: &str, bytes: Option<u64>, mut routine: F) {
+        if !self.selected(name) {
+            return;
+        }
+        if !self.full {
+            routine();
+            self.ran += 1;
+            return;
+        }
+        let stats = measure(&mut routine);
+        self.report(name, bytes, &stats);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement (for routines that consume their
+    /// input, à la `iter_batched`).
+    pub fn bench_batched<I, S, F>(&mut self, name: &str, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I),
+    {
+        if !self.selected(name) {
+            return;
+        }
+        if !self.full {
+            routine(setup());
+            self.ran += 1;
+            return;
+        }
+        // Pre-building a batch of inputs keeps allocation out of the
+        // timed region without timing setup itself.
+        let stats = measure_batched(&mut setup, &mut routine);
+        self.report(name, None, &stats);
+    }
+
+    /// Prints the trailing summary line. Call once, last.
+    pub fn finish(self) {
+        if self.full {
+            eprintln!(
+                "[lppa-bench] group '{}' done: {} benchmark(s), {} filtered out",
+                self.group, self.ran, self.skipped
+            );
+        }
+    }
+
+    fn selected(&mut self, name: &str) -> bool {
+        let keep = self.filter.as_deref().is_none_or(|f| name.contains(f));
+        if !keep {
+            self.skipped += 1;
+        }
+        keep
+    }
+
+    fn report(&mut self, name: &str, bytes: Option<u64>, stats: &Stats) {
+        self.ran += 1;
+        let throughput = bytes.map(|b| b as f64 / (1024.0 * 1024.0) / (stats.mean_ns * 1e-9));
+        let mut json = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\
+             \"mean_ns\":{:.2},\"min_ns\":{:.2},\"median_ns\":{:.2},\"max_ns\":{:.2}",
+            self.group,
+            name,
+            stats.iters,
+            stats.mean_ns,
+            stats.min_ns,
+            stats.median_ns,
+            stats.max_ns,
+        );
+        if let Some(t) = throughput {
+            json.push_str(&format!(",\"throughput_mib_s\":{t:.2}"));
+        }
+        json.push('}');
+        println!("{json}");
+        eprintln!(
+            "[lppa-bench] {}/{name}: mean {} (min {}, median {}, max {}){}",
+            self.group,
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.max_ns),
+            throughput.map(|t| format!(", {t:.1} MiB/s")).unwrap_or_default(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Runs `routine` until `budget` nanoseconds have elapsed (at least
+/// once) and returns (iterations, mean ns/iter).
+fn spin<F: FnMut()>(routine: &mut F, budget_ns: u64) -> (u64, f64) {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        routine();
+        iters += 1;
+        let elapsed = start.elapsed().as_nanos() as u64;
+        if elapsed >= budget_ns {
+            return (iters, elapsed as f64 / iters as f64);
+        }
+    }
+}
+
+fn sample_stats(samples: &mut [f64], iters: u64) -> Stats {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Stats {
+        iters,
+        mean_ns: mean,
+        min_ns: samples[0],
+        median_ns: samples[samples.len() / 2],
+        max_ns: samples[samples.len() - 1],
+    }
+}
+
+fn measure<F: FnMut()>(routine: &mut F) -> Stats {
+    let warmup_ns = env_ms("LPPA_BENCH_WARMUP_MS", 100) * 1_000_000;
+    let sample_ns = env_ms("LPPA_BENCH_SAMPLE_MS", 300) * 1_000_000;
+    let n_samples = env_ms("LPPA_BENCH_SAMPLES", 15).max(1);
+
+    let (_, per_iter) = spin(routine, warmup_ns);
+    // Size each sample to roughly its share of the measurement budget.
+    let per_sample = ((sample_ns as f64 / n_samples as f64) / per_iter).ceil().max(1.0) as u64;
+
+    let mut samples = Vec::with_capacity(n_samples as usize);
+    let mut total_iters = 0u64;
+    for _ in 0..n_samples {
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            routine();
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        samples.push(elapsed / per_sample as f64);
+        total_iters += per_sample;
+    }
+    sample_stats(&mut samples, total_iters)
+}
+
+fn measure_batched<I, S, F>(setup: &mut S, routine: &mut F) -> Stats
+where
+    S: FnMut() -> I,
+    F: FnMut(I),
+{
+    let warmup_ns = env_ms("LPPA_BENCH_WARMUP_MS", 100) * 1_000_000;
+    let sample_ns = env_ms("LPPA_BENCH_SAMPLE_MS", 300) * 1_000_000;
+    let n_samples = env_ms("LPPA_BENCH_SAMPLES", 15).max(1);
+
+    // Warmup, timing only the routine.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut timed_ns = 0u64;
+    while timed_ns < warmup_ns && warm_start.elapsed().as_nanos() < (warmup_ns as u128) * 4 {
+        let input = setup();
+        let t = Instant::now();
+        routine(input);
+        timed_ns += t.elapsed().as_nanos() as u64;
+        warm_iters += 1;
+    }
+    let per_iter = (timed_ns as f64 / warm_iters as f64).max(1.0);
+    let per_sample = ((sample_ns as f64 / n_samples as f64) / per_iter).ceil().max(1.0) as u64;
+    // Bound batch memory: at most 4096 pre-built inputs per sample.
+    let per_sample = per_sample.min(4096);
+
+    let mut samples = Vec::with_capacity(n_samples as usize);
+    let mut total_iters = 0u64;
+    for _ in 0..n_samples {
+        let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            routine(input);
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        samples.push(elapsed / per_sample as f64);
+        total_iters += per_sample;
+    }
+    sample_stats(&mut samples, total_iters)
+}

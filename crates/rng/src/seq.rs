@@ -1,0 +1,98 @@
+//! Random slice operations: Fisher–Yates shuffle and uniform choice.
+
+use crate::uniform::uniform_u64_below;
+use crate::RngCore;
+
+/// Random operations on slices.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_rng::seq::SliceRandom;
+/// use lppa_rng::{SeedableRng, StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut items = [1, 2, 3, 4, 5];
+/// items.shuffle(&mut rng);
+/// let picked = items.choose(&mut rng);
+/// assert!(picked.is_some());
+/// ```
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, uniform over all
+    /// permutations).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_u64_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let original: Vec<u32> = (0..100).collect();
+        let mut shuffled = original.clone();
+        shuffled.shuffle(&mut rng);
+        assert_ne!(shuffled, original, "100 elements virtually never shuffle to identity");
+        let mut sorted = shuffled;
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_under_seed() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(7));
+        b.shuffle(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [i32; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dyn_rng: &mut dyn crate::RngCore = &mut rng;
+        let items = [10, 20, 30];
+        assert!(items.choose(dyn_rng).is_some());
+    }
+}

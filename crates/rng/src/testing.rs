@@ -1,0 +1,124 @@
+//! A minimal seeded property-test harness.
+//!
+//! Replaces `proptest` for this workspace: a property is an ordinary
+//! closure that draws its inputs from a seeded [`StdRng`] and asserts
+//! with the standard `assert!` family. [`check`] runs it over many
+//! deterministically derived seeds and, on failure, prints the exact
+//! seed so the failing case replays in isolation — no shrinking, just
+//! perfect reproducibility.
+//!
+//! Environment variables:
+//!
+//! * `LPPA_PROPTEST_CASES` — number of cases per property
+//!   (default [`DEFAULT_CASES`]);
+//! * `LPPA_PROPTEST_SEED` — base seed; case `i` runs with seed
+//!   `base + i`, so a failure at seed `s` reproduces with
+//!   `LPPA_PROPTEST_SEED=s LPPA_PROPTEST_CASES=1`.
+//!
+//! # Examples
+//!
+//! ```
+//! use lppa_rng::Rng;
+//!
+//! lppa_rng::testing::check("addition_commutes", |rng| {
+//!     let a: u32 = rng.gen_range(0..1000);
+//!     let b: u32 = rng.gen_range(0..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::{Rng, RngCore, SeedableRng, StdRng};
+
+/// Cases run per property when `LPPA_PROPTEST_CASES` is unset.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Base seed used when `LPPA_PROPTEST_SEED` is unset.
+pub const DEFAULT_SEED: u64 = 0x11AA_5EED;
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be an unsigned integer, got {raw:?}"),
+    }
+}
+
+/// The configured number of cases per property.
+pub fn cases() -> usize {
+    env_u64("LPPA_PROPTEST_CASES").map_or(DEFAULT_CASES, |v| v.max(1) as usize)
+}
+
+/// The configured base seed.
+pub fn base_seed() -> u64 {
+    env_u64("LPPA_PROPTEST_SEED").unwrap_or(DEFAULT_SEED)
+}
+
+/// Runs `property` over [`cases`] seeded inputs.
+///
+/// Case `i` receives an RNG seeded with `base_seed() + i`. If the
+/// property panics, the failing seed and a ready-to-paste reproduction
+/// command line are printed before the panic is propagated, e.g.:
+///
+/// ```text
+/// [lppa-proptest] property 'cover_shape' failed at case 17/64 (seed 296441362)
+/// [lppa-proptest] reproduce with: LPPA_PROPTEST_SEED=296441362 LPPA_PROPTEST_CASES=1 cargo test cover_shape
+/// ```
+pub fn check<F>(name: &str, mut property: F)
+where
+    F: FnMut(&mut StdRng),
+{
+    let n = cases();
+    let base = base_seed();
+    for i in 0..n {
+        let seed = base.wrapping_add(i as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            eprintln!("[lppa-proptest] property '{name}' failed at case {i}/{n} (seed {seed})");
+            eprintln!(
+                "[lppa-proptest] reproduce with: \
+                 LPPA_PROPTEST_SEED={seed} LPPA_PROPTEST_CASES=1 cargo test {name}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// A random byte vector with length uniform in `0..=max_len`.
+pub fn byte_vec<R: RngCore + ?Sized>(rng: &mut R, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_runs_every_case_with_distinct_seeds() {
+        let mut draws = Vec::new();
+        check("collect_draws", |rng| draws.push(rng.next_u64()));
+        assert_eq!(draws.len(), cases());
+        let unique: std::collections::HashSet<u64> = draws.iter().copied().collect();
+        assert_eq!(unique.len(), draws.len(), "cases must not repeat a seed");
+    }
+
+    #[test]
+    fn failing_property_panics_through() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", |_rng| panic!("boom"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn byte_vec_respects_max_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(byte_vec(&mut rng, 33).len() <= 33);
+        }
+    }
+}

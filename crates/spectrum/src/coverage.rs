@@ -239,10 +239,7 @@ mod tests {
         assert!(cov.is_available(Cell::new(0, 0)));
         // Availability set matches the per-cell predicate.
         for cell in g.iter() {
-            assert_eq!(
-                cov.availability().contains(cell),
-                cov.rssi_dbm(&g, cell) <= -81.0
-            );
+            assert_eq!(cov.availability().contains(cell), cov.rssi_dbm(&g, cell) <= -81.0);
         }
     }
 
@@ -301,11 +298,7 @@ mod tests {
     #[test]
     fn spectrum_map_available_channels() {
         let g = grid();
-        let map = SpectrumMap::new(
-            g,
-            vec![one_channel(&g, 5.0), one_channel(&g, 25.0)],
-            -81.0,
-        );
+        let map = SpectrumMap::new(g, vec![one_channel(&g, 5.0), one_channel(&g, 25.0)], -81.0);
         let corner = Cell::new(0, 0);
         let available = map.available_channels(corner);
         for ch in map.channel_ids() {
@@ -324,10 +317,7 @@ mod tests {
         );
         let sub = map.take_channels(2);
         assert_eq!(sub.channel_count(), 2);
-        assert_eq!(
-            sub.availability(ChannelId(1)).len(),
-            map.availability(ChannelId(1)).len()
-        );
+        assert_eq!(sub.availability(ChannelId(1)).len(), map.availability(ChannelId(1)).len());
     }
 
     #[test]

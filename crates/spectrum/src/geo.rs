@@ -122,10 +122,7 @@ impl GridSpec {
     pub fn center_km(&self, cell: Cell) -> (f64, f64) {
         let cw = self.side_km / f64::from(self.cols);
         let ch = self.side_km / f64::from(self.rows);
-        (
-            (f64::from(cell.col) + 0.5) * cw,
-            (f64::from(cell.row) + 0.5) * ch,
-        )
+        ((f64::from(cell.col) + 0.5) * cw, (f64::from(cell.row) + 0.5) * ch)
     }
 
     /// Euclidean distance between cell centres, in km.

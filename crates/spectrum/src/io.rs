@@ -85,13 +85,7 @@ fn format_err<T>(reason: impl Into<String>) -> Result<T, ReadMapError> {
 pub fn write_map<W: Write>(map: &SpectrumMap, mut writer: W) -> io::Result<()> {
     let grid = map.grid();
     writeln!(writer, "{MAGIC}")?;
-    writeln!(
-        writer,
-        "grid {} {} {}",
-        grid.rows(),
-        grid.cols(),
-        grid.side_km()
-    )?;
+    writeln!(writer, "grid {} {} {}", grid.rows(), grid.cols(), grid.side_km())?;
     writeln!(writer, "threshold {}", map.threshold_dbm())?;
     writeln!(writer, "channels {}", map.channel_count())?;
     for ch in map.channel_ids() {
@@ -130,34 +124,30 @@ pub fn read_map<R: Read>(reader: R) -> Result<SpectrumMap, ReadMapError> {
     if parts.len() != 4 || parts[0] != "grid" {
         return format_err(format!("bad grid line: {grid_line:?}"));
     }
-    let rows: u16 = parts[1].parse().map_err(|_| ReadMapError::Format {
-        reason: format!("bad row count {:?}", parts[1]),
-    })?;
-    let cols: u16 = parts[2].parse().map_err(|_| ReadMapError::Format {
-        reason: format!("bad column count {:?}", parts[2]),
-    })?;
-    let side_km: f64 = parts[3].parse().map_err(|_| ReadMapError::Format {
-        reason: format!("bad side length {:?}", parts[3]),
-    })?;
+    let rows: u16 = parts[1]
+        .parse()
+        .map_err(|_| ReadMapError::Format { reason: format!("bad row count {:?}", parts[1]) })?;
+    let cols: u16 = parts[2]
+        .parse()
+        .map_err(|_| ReadMapError::Format { reason: format!("bad column count {:?}", parts[2]) })?;
+    let side_km: f64 = parts[3]
+        .parse()
+        .map_err(|_| ReadMapError::Format { reason: format!("bad side length {:?}", parts[3]) })?;
     if rows == 0 || cols == 0 || side_km.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return format_err("degenerate grid dimensions");
     }
     let grid = GridSpec::new(rows, cols, side_km);
 
     let threshold_line = next()?;
-    let threshold_dbm: f64 = threshold_line
-        .strip_prefix("threshold ")
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| ReadMapError::Format {
-            reason: format!("bad threshold line: {threshold_line:?}"),
-        })?;
+    let threshold_dbm: f64 =
+        threshold_line.strip_prefix("threshold ").and_then(|s| s.parse().ok()).ok_or_else(
+            || ReadMapError::Format { reason: format!("bad threshold line: {threshold_line:?}") },
+        )?;
 
     let channels_line = next()?;
-    let n_channels: usize = channels_line
-        .strip_prefix("channels ")
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| ReadMapError::Format {
-            reason: format!("bad channels line: {channels_line:?}"),
+    let n_channels: usize =
+        channels_line.strip_prefix("channels ").and_then(|s| s.parse().ok()).ok_or_else(|| {
+            ReadMapError::Format { reason: format!("bad channels line: {channels_line:?}") }
         })?;
     if n_channels == 0 {
         return format_err("map has no channels");
@@ -172,9 +162,9 @@ pub fn read_map<R: Read>(reader: R) -> Result<SpectrumMap, ReadMapError> {
         let mut rssi = Vec::with_capacity(grid.cell_count());
         for _ in 0..grid.cell_count() {
             let line = next()?;
-            let value: f64 = line.parse().map_err(|_| ReadMapError::Format {
-                reason: format!("bad rssi value {line:?}"),
-            })?;
+            let value: f64 = line
+                .parse()
+                .map_err(|_| ReadMapError::Format { reason: format!("bad rssi value {line:?}") })?;
             rssi.push(value);
         }
         channels.push(ChannelCoverage::from_rssi(&grid, rssi, threshold_dbm));
@@ -209,11 +199,7 @@ mod tests {
         assert_eq!(restored.grid().cols(), map.grid().cols());
         assert_eq!(restored.threshold_dbm(), map.threshold_dbm());
         for ch in map.channel_ids() {
-            assert_eq!(
-                restored.availability(ch).len(),
-                map.availability(ch).len(),
-                "{ch}"
-            );
+            assert_eq!(restored.availability(ch).len(), map.availability(ch).len(), "{ch}");
             for cell in [Cell::new(0, 0), Cell::new(5, 5), Cell::new(11, 8)] {
                 assert_eq!(restored.quality(ch, cell), map.quality(ch, cell));
             }

@@ -9,8 +9,8 @@
 //! function of the seed, so the attacker's ground-truth database and the
 //! simulation agree by construction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
 
 use crate::area::AreaProfile;
 use crate::coverage::{ChannelCoverage, SpectrumMap};
@@ -164,10 +164,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = small_map(AreaProfile::area4(), 1);
         let b = small_map(AreaProfile::area4(), 2);
-        let same = a
-            .channel_ids()
-            .filter(|&ch| a.availability(ch) == b.availability(ch))
-            .count();
+        let same = a.channel_ids().filter(|&ch| a.availability(ch) == b.availability(ch)).count();
         assert!(same < 5, "{same} identical channels out of 30");
     }
 
@@ -202,12 +199,7 @@ mod tests {
             }
             total as f64 / cells as f64
         };
-        assert!(
-            avg(&rural) > avg(&urban),
-            "rural {} <= urban {}",
-            avg(&rural),
-            avg(&urban)
-        );
+        assert!(avg(&rural) > avg(&urban), "rural {} <= urban {}", avg(&rural), avg(&urban));
     }
 
     #[test]

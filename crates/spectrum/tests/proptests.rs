@@ -1,10 +1,15 @@
 //! Property-based tests: `CellSet` behaves exactly like a reference
 //! `HashSet<Cell>` model under arbitrary operation sequences.
+//!
+//! Run with the in-tree harness: each property draws its inputs from a
+//! seeded RNG; failures print the exact reproduction seed (see
+//! `lppa_rng::testing`).
 
 use std::collections::HashSet;
 
+use lppa_rng::testing::check;
+use lppa_rng::{Rng, StdRng};
 use lppa_spectrum::geo::{Cell, CellSet, GridSpec};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -15,21 +20,21 @@ enum Op {
     UnionCols(u16),
 }
 
-fn op_strategy(rows: u16, cols: u16) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..rows, 0..cols).prop_map(|(r, c)| Op::Insert(r, c)),
-        (0..rows, 0..cols).prop_map(|(r, c)| Op::Remove(r, c)),
-        Just(Op::Complement),
-        (0..rows).prop_map(Op::IntersectRows),
-        (0..cols).prop_map(Op::UnionCols),
-    ]
+fn random_op(rng: &mut StdRng, rows: u16, cols: u16) -> Op {
+    match rng.gen_range(0u8..5) {
+        0 => Op::Insert(rng.gen_range(0..rows), rng.gen_range(0..cols)),
+        1 => Op::Remove(rng.gen_range(0..rows), rng.gen_range(0..cols)),
+        2 => Op::Complement,
+        3 => Op::IntersectRows(rng.gen_range(0..rows)),
+        _ => Op::UnionCols(rng.gen_range(0..cols)),
+    }
 }
 
-proptest! {
-    #[test]
-    fn cellset_matches_hashset_model(
-        ops in proptest::collection::vec(op_strategy(9, 13), 0..60),
-    ) {
+#[test]
+fn cellset_matches_hashset_model() {
+    check("cellset_matches_hashset_model", |rng| {
+        let n_ops = rng.gen_range(0usize..60);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(rng, 9, 13)).collect();
         let grid = GridSpec::new(9, 13, 5.0);
         let mut set = CellSet::empty(&grid);
         let mut model: HashSet<Cell> = HashSet::new();
@@ -38,11 +43,11 @@ proptest! {
             match op {
                 Op::Insert(r, c) => {
                     let cell = Cell::new(r, c);
-                    prop_assert_eq!(set.insert(cell), model.insert(cell));
+                    assert_eq!(set.insert(cell), model.insert(cell));
                 }
                 Op::Remove(r, c) => {
                     let cell = Cell::new(r, c);
-                    prop_assert_eq!(set.remove(cell), model.remove(&cell));
+                    assert_eq!(set.remove(cell), model.remove(&cell));
                 }
                 Op::Complement => {
                     set = set.complement();
@@ -60,45 +65,52 @@ proptest! {
                 }
             }
             // Full-state comparison after every step.
-            prop_assert_eq!(set.len(), model.len());
+            assert_eq!(set.len(), model.len());
             for cell in grid.iter() {
-                prop_assert_eq!(set.contains(cell), model.contains(&cell), "{}", cell);
+                assert_eq!(set.contains(cell), model.contains(&cell), "{}", cell);
             }
             let iterated: HashSet<Cell> = set.iter().collect();
-            prop_assert_eq!(&iterated, &model);
+            assert_eq!(&iterated, &model);
         }
-    }
+    });
+}
 
-    /// Set algebra identities hold for arbitrary predicate-defined sets.
-    #[test]
-    fn set_algebra_identities(pivot_row in 0u16..20, pivot_col in 0u16..20, modulo in 1u16..7) {
+/// Set algebra identities hold for arbitrary predicate-defined sets.
+#[test]
+fn set_algebra_identities() {
+    check("set_algebra_identities", |rng| {
+        let pivot_row = rng.gen_range(0u16..20);
+        let modulo = rng.gen_range(1u16..7);
         let grid = GridSpec::new(20, 20, 10.0);
         let a = CellSet::from_predicate(&grid, |c| c.row < pivot_row);
         let b = CellSet::from_predicate(&grid, |c| (c.col + c.row) % modulo == 0);
 
         // |A| + |A^c| = |grid|
-        prop_assert_eq!(a.len() + a.complement().len(), grid.cell_count());
+        assert_eq!(a.len() + a.complement().len(), grid.cell_count());
         // A ∩ B ⊆ A and ⊆ B
         let inter = a.intersection(&b);
-        prop_assert!(inter.len() <= a.len().min(b.len()));
+        assert!(inter.len() <= a.len().min(b.len()));
         // Inclusion–exclusion.
         let mut union = a.clone();
         union.union_with(&b);
-        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        assert_eq!(union.len() + inter.len(), a.len() + b.len());
         // De Morgan: (A ∪ B)^c = A^c ∩ B^c.
         let lhs = union.complement();
         let rhs = a.complement().intersection(&b.complement());
-        prop_assert_eq!(lhs, rhs);
-        prop_assert_eq!(pivot_col, pivot_col); // silence unused when 0
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    /// Grid index round-trips for every cell of arbitrary grids.
-    #[test]
-    fn grid_index_roundtrip(rows in 1u16..40, cols in 1u16..40) {
+/// Grid index round-trips for every cell of arbitrary grids.
+#[test]
+fn grid_index_roundtrip() {
+    check("grid_index_roundtrip", |rng| {
+        let rows = rng.gen_range(1u16..40);
+        let cols = rng.gen_range(1u16..40);
         let grid = GridSpec::new(rows, cols, 10.0);
         for cell in grid.iter() {
-            prop_assert_eq!(grid.cell_at(grid.index_of(cell)), cell);
+            assert_eq!(grid.cell_at(grid.index_of(cell)), cell);
         }
-        prop_assert_eq!(grid.cell_count(), usize::from(rows) * usize::from(cols));
-    }
+        assert_eq!(grid.cell_count(), usize::from(rows) * usize::from(cols));
+    });
 }

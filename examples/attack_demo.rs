@@ -9,6 +9,8 @@
 //! against per-cell quality statistics (BPM, Algorithm 2). An ASCII map
 //! shows the possible-location set collapsing around the true position.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa_attack::adversary::{bcm_on_plain_bids, bpm_on_plain_bids};
 use lppa_suite::lppa_attack::bpm::BpmConfig;
 use lppa_suite::lppa_attack::metrics::PrivacyReport;
@@ -16,8 +18,6 @@ use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable};
 use lppa_suite::lppa_spectrum::area::AreaProfile;
 use lppa_suite::lppa_spectrum::geo::CellSet;
 use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Renders the possible set at 2-cells-per-character resolution.
 fn render(possible: &CellSet, truth: lppa_suite::lppa_spectrum::Cell) {
@@ -90,7 +90,5 @@ fn main() {
     );
     render(&bpm.possible, victim.cell);
 
-    println!(
-        "\nthe '#' region is everything the auctioneer considers possible; X is the victim."
-    );
+    println!("\nthe '#' region is everything the auctioneer considers possible; X is the victim.");
 }

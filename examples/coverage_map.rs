@@ -14,10 +14,7 @@ use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
 use lppa_suite::lppa_spectrum::ChannelId;
 
 fn main() {
-    let channel = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(17);
+    let channel = std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()).unwrap_or(17);
 
     let map = SyntheticMapBuilder::new(AreaProfile::area3()).seed(5).build();
     let ch = ChannelId(channel.min(map.channel_count() - 1));
@@ -44,8 +41,7 @@ fn main() {
     println!("\nper-area channel availability (mean over all cells):");
     for area in AreaProfile::all() {
         let map = SyntheticMapBuilder::new(area.clone()).seed(0x1cdc_2013).build();
-        let total: usize =
-            map.grid().iter().map(|cell| map.available_channels(cell).len()).sum();
+        let total: usize = map.grid().iter().map(|cell| map.available_channels(cell).len()).sum();
         let mean = total as f64 / map.grid().cell_count() as f64;
         println!(
             "  {:<24} {:>5.1} of {} channels available to an average user",

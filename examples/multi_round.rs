@@ -11,6 +11,8 @@
 //! despite all of PPBS's masking; with per-round pseudonyms the
 //! accumulated history mixes different people's wins and collapses.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa::protocol::run_private_auction_from_bids;
 use lppa_suite::lppa::pseudonym::PseudonymPool;
 use lppa_suite::lppa::ttp::Ttp;
@@ -21,8 +23,6 @@ use lppa_suite::lppa_attack::multi_round::WinnerHistory;
 use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable, BidderId};
 use lppa_suite::lppa_spectrum::area::AreaProfile;
 use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const ROUNDS: usize = 8;
 const N: usize = 20;
@@ -40,11 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         for _ in 0..ROUNDS {
             let table = BidTable::generate(&map, &bidders, &model, &mut rng);
-            let pool = if mix {
-                PseudonymPool::assign(N, &mut rng)
-            } else {
-                PseudonymPool::identity(N)
-            };
+            let pool =
+                if mix { PseudonymPool::assign(N, &mut rng) } else { PseudonymPool::identity(N) };
             let raw: Vec<_> = (0..N)
                 .map(|wire| {
                     let true_id = pool.true_of(BidderId(wire));

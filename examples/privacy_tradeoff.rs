@@ -9,6 +9,8 @@
 //! the same bids (performance, higher is better) — the tradeoff each
 //! bidder tunes for itself in the LPPA design.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa::protocol::{
     run_private_auction_from_bids_with_model, AuctioneerModel, SuSubmission,
 };
@@ -23,8 +25,6 @@ use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable};
 use lppa_suite::lppa_auction::runner::{run_plain_auction_with_table, AuctionConfig};
 use lppa_suite::lppa_spectrum::area::AreaProfile;
 use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 32;
@@ -65,15 +65,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|(loc, bids)| SuSubmission::build(*loc, bids, &ttp, &policy, &mut rng))
             .collect::<Result<_, _>>()?;
-        let masked =
-            MaskedBidTable::collect(submissions.iter().map(|s| s.bids.clone()).collect())?;
+        let masked = MaskedBidTable::collect(submissions.iter().map(|s| s.bids.clone()).collect())?;
         let rankings = ChannelRankings::new(masked.channel_rankings(), n);
         let attributed = rankings.attribute_top(0.5);
         let attack: AggregateReport = bidders
             .iter()
-            .map(|b| {
-                PrivacyReport::evaluate(&bcm_attack(&map, &attributed[b.id.0]), b.cell)
-            })
+            .map(|b| PrivacyReport::evaluate(&bcm_attack(&map, &attributed[b.id.0]), b.cell))
             .collect();
 
         // What the auction still delivers.

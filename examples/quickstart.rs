@@ -7,13 +7,13 @@
 //! channels without ever seeing a coordinate or a price, and the TTP
 //! decrypts only the winning charges.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa::protocol::{run_private_auction, SuSubmission};
 use lppa_suite::lppa::ttp::Ttp;
 use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
 use lppa_suite::lppa::LppaConfig;
 use lppa_suite::lppa_auction::bidder::Location;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2013);

@@ -2,23 +2,21 @@
 //! scheme, demonstrated with the actual frequency attack — and its
 //! defeat by the advanced scheme.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
 use lppa_suite::lppa::ppbs::bid::{AdvancedBidSubmission, BasicBidSubmission};
 use lppa_suite::lppa::ttp::Ttp;
 use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
 use lppa_suite::lppa::LppaConfig;
 use lppa_suite::lppa_attack::frequency::frequency_attack;
 use lppa_suite::lppa_spectrum::ChannelId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const K: usize = 8;
 
 fn raw_rows(rng: &mut StdRng, n: usize) -> Vec<Vec<u32>> {
     (0..n)
         .map(|_| {
-            (0..K)
-                .map(|_| if rng.gen_bool(0.6) { 0 } else { rng.gen_range(1..=100) })
-                .collect()
+            (0..K).map(|_| if rng.gen_bool(0.6) { 0 } else { rng.gen_range(1..=100) }).collect()
         })
         .collect()
 }
@@ -36,8 +34,7 @@ fn frequency_attack_recovers_availability_from_basic_scheme() {
         .iter()
         .map(|row| {
             let sub =
-                BasicBidSubmission::build(row, &keys.gb[0], &keys.gc, &config, &mut rng)
-                    .unwrap();
+                BasicBidSubmission::build(row, &keys.gb[0], &keys.gc, &config, &mut rng).unwrap();
             sub.bids().iter().map(|b| b.point.fingerprint()).collect()
         })
         .collect();
@@ -46,12 +43,8 @@ fn frequency_attack_recovers_availability_from_basic_scheme() {
     // The attack reconstructs each bidder's positive-channel set exactly
     // whenever zero is the modal value on every channel.
     for (bidder, row) in rows.iter().enumerate() {
-        let truth: Vec<ChannelId> = row
-            .iter()
-            .enumerate()
-            .filter(|&(_, &b)| b > 0)
-            .map(|(ch, _)| ChannelId(ch))
-            .collect();
+        let truth: Vec<ChannelId> =
+            row.iter().enumerate().filter(|&(_, &b)| b > 0).map(|(ch, _)| ChannelId(ch)).collect();
         // Allow the rare channel where zeros were not modal.
         let recovered = &result.attributed[bidder];
         let overlap = truth.iter().filter(|c| recovered.contains(c)).count();
@@ -74,14 +67,9 @@ fn advanced_scheme_defeats_frequency_analysis() {
     let fingerprints: Vec<Vec<u64>> = rows
         .iter()
         .map(|row| {
-            let sub = AdvancedBidSubmission::build(
-                row,
-                ttp.bidder_keys(),
-                &config,
-                &policy,
-                &mut rng,
-            )
-            .unwrap();
+            let sub =
+                AdvancedBidSubmission::build(row, ttp.bidder_keys(), &config, &policy, &mut rng)
+                    .unwrap();
             sub.bids().iter().map(|b| b.point.fingerprint()).collect()
         })
         .collect();
@@ -100,12 +88,8 @@ fn advanced_scheme_defeats_frequency_analysis() {
     // the bidders' true positive sets.
     let mut mismatches = 0usize;
     for (bidder, row) in rows.iter().enumerate() {
-        let truth: Vec<ChannelId> = row
-            .iter()
-            .enumerate()
-            .filter(|&(_, &b)| b > 0)
-            .map(|(ch, _)| ChannelId(ch))
-            .collect();
+        let truth: Vec<ChannelId> =
+            row.iter().enumerate().filter(|&(_, &b)| b > 0).map(|(ch, _)| ChannelId(ch)).collect();
         if result.attributed[bidder] != truth {
             mismatches += 1;
         }

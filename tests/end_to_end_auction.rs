@@ -1,9 +1,9 @@
 //! Cross-crate integration: a full LPPA round on a synthetic spectrum
 //! map, checked against the plaintext baseline on identical bids.
 
-use lppa_suite::lppa::protocol::{
-    run_private_auction_from_bids_with_model, AuctioneerModel,
-};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
+use lppa_suite::lppa::protocol::{run_private_auction_from_bids_with_model, AuctioneerModel};
 use lppa_suite::lppa::ttp::Ttp;
 use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
 use lppa_suite::lppa::LppaConfig;
@@ -13,8 +13,6 @@ use lppa_suite::lppa_auction::runner::{run_plain_auction_with_table, AuctionConf
 use lppa_suite::lppa_spectrum::area::AreaProfile;
 use lppa_suite::lppa_spectrum::geo::GridSpec;
 use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 struct Fixture {
     bidders: Vec<lppa_suite::lppa_auction::bidder::Bidder>,

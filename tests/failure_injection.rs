@@ -2,6 +2,8 @@
 //! protocol messages must fail loudly (or fail *safe*), never panic or
 //! silently mis-auction.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa::protocol::{run_private_auction, SuSubmission};
 use lppa_suite::lppa::psd::table::MaskedBidTable;
 use lppa_suite::lppa::ttp::{ChargeRequest, Ttp};
@@ -11,8 +13,6 @@ use lppa_suite::lppa_auction::bidder::Location;
 use lppa_suite::lppa_crypto::tag::Tag;
 use lppa_suite::lppa_prefix::{MaskedPoint, MaskedRange};
 use lppa_suite::lppa_spectrum::ChannelId;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn setup(k: usize) -> (Ttp, LppaConfig, StdRng) {
     let config = LppaConfig::default();
@@ -30,8 +30,7 @@ fn dropped_tags_fail_safe_for_membership() {
     let (ttp, config, mut rng) = setup(1);
     let keys = ttp.bidder_keys();
     let point = MaskedPoint::mask(&keys.g0, config.loc_bits, 77).unwrap();
-    let range =
-        MaskedRange::mask_padded(&keys.g0, config.loc_bits, 70, 84, &mut rng).unwrap();
+    let range = MaskedRange::mask_padded(&keys.g0, config.loc_bits, 70, 84, &mut rng).unwrap();
     assert!(point.in_range(&range));
 
     // Drop half the point's tags.
@@ -39,8 +38,7 @@ fn dropped_tags_fail_safe_for_membership() {
     let truncated = MaskedPoint::from_tags(kept);
     // Either outcome is allowed, but a *fabricated* membership for a
     // disjoint range is not.
-    let far_range =
-        MaskedRange::mask_padded(&keys.g0, config.loc_bits, 0, 10, &mut rng).unwrap();
+    let far_range = MaskedRange::mask_padded(&keys.g0, config.loc_bits, 0, 10, &mut rng).unwrap();
     assert!(!truncated.in_range(&far_range));
 }
 
@@ -48,8 +46,7 @@ fn dropped_tags_fail_safe_for_membership() {
 fn corrupted_tags_never_fabricate_membership() {
     let (ttp, config, mut rng) = setup(1);
     let keys = ttp.bidder_keys();
-    let range =
-        MaskedRange::mask_padded(&keys.g0, config.loc_bits, 20, 40, &mut rng).unwrap();
+    let range = MaskedRange::mask_padded(&keys.g0, config.loc_bits, 20, 40, &mut rng).unwrap();
     // A point of pure garbage tags matches nothing.
     let garbage = MaskedPoint::from_tags((0u8..8).map(|i| Tag::from_bytes([i ^ 0x5a; 16])));
     assert!(!garbage.in_range(&range));
@@ -61,8 +58,7 @@ fn ragged_submission_sets_are_rejected() {
     let ttp3 = Ttp::new(3, config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::never(config.bid_max());
     let a = SuSubmission::build(Location::new(1, 1), &[1, 2], &ttp2, &policy, &mut rng).unwrap();
-    let b =
-        SuSubmission::build(Location::new(2, 2), &[1, 2, 3], &ttp3, &policy, &mut rng).unwrap();
+    let b = SuSubmission::build(Location::new(2, 2), &[1, 2, 3], &ttp3, &policy, &mut rng).unwrap();
     let err = run_private_auction(&[a, b], &ttp2, &mut rng).unwrap_err();
     assert!(matches!(err, LppaError::ChannelCountMismatch { .. }));
 }
@@ -73,8 +69,7 @@ fn swapped_sealed_values_are_caught_at_charging() {
     // detected: the sealed value no longer matches the masked prefixes.
     let (ttp, config, mut rng) = setup(2);
     let policy = ZeroReplacePolicy::never(config.bid_max());
-    let sub =
-        SuSubmission::build(Location::new(3, 3), &[10, 90], &ttp, &policy, &mut rng).unwrap();
+    let sub = SuSubmission::build(Location::new(3, 3), &[10, 90], &ttp, &policy, &mut rng).unwrap();
     let crossed = ChargeRequest {
         channel: ChannelId(0),
         sealed: sub.bids.bids()[1].sealed.clone(), // price of channel 1
@@ -92,8 +87,7 @@ fn cross_auction_replay_is_rejected() {
     let (ttp_a, config, mut rng) = setup(1);
     let ttp_b = Ttp::new(1, config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::never(config.bid_max());
-    let sub =
-        SuSubmission::build(Location::new(5, 5), &[33], &ttp_a, &policy, &mut rng).unwrap();
+    let sub = SuSubmission::build(Location::new(5, 5), &[33], &ttp_a, &policy, &mut rng).unwrap();
     let replayed = ChargeRequest {
         channel: ChannelId(0),
         sealed: sub.bids.bids()[0].sealed.clone(),
@@ -120,24 +114,14 @@ fn out_of_domain_inputs_are_all_rejected() {
     let (ttp, config, mut rng) = setup(1);
     let policy = ZeroReplacePolicy::never(config.bid_max());
     // Oversized bid.
-    let err = SuSubmission::build(
-        Location::new(0, 0),
-        &[config.bid_max() + 1],
-        &ttp,
-        &policy,
-        &mut rng,
-    )
-    .unwrap_err();
+    let err =
+        SuSubmission::build(Location::new(0, 0), &[config.bid_max() + 1], &ttp, &policy, &mut rng)
+            .unwrap_err();
     assert!(matches!(err, LppaError::BidOutOfRange { .. }));
     // Oversized coordinate.
-    let err = SuSubmission::build(
-        Location::new(config.loc_max() + 1, 0),
-        &[1],
-        &ttp,
-        &policy,
-        &mut rng,
-    )
-    .unwrap_err();
+    let err =
+        SuSubmission::build(Location::new(config.loc_max() + 1, 0), &[1], &ttp, &policy, &mut rng)
+            .unwrap_err();
     assert!(matches!(err, LppaError::LocationOutOfRange { .. }));
     // Channel-count mismatch.
     let err =
@@ -155,8 +139,5 @@ fn charging_unknown_channels_is_rejected() {
         sealed: sub.bids.bids()[0].sealed.clone(),
         point: sub.bids.bids()[0].point.clone(),
     };
-    assert!(matches!(
-        ttp.open_charge(&request),
-        Err(LppaError::ChannelCountMismatch { .. })
-    ));
+    assert!(matches!(ttp.open_charge(&request), Err(LppaError::ChannelCountMismatch { .. })));
 }

@@ -5,6 +5,8 @@
 
 use std::collections::HashMap;
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa::protocol::run_private_auction_from_bids;
 use lppa_suite::lppa::pseudonym::PseudonymPool;
 use lppa_suite::lppa::ttp::Ttp;
@@ -17,8 +19,6 @@ use lppa_suite::lppa_spectrum::area::AreaProfile;
 use lppa_suite::lppa_spectrum::geo::GridSpec;
 use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
 use lppa_suite::lppa_spectrum::SpectrumMap;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const ROUNDS: usize = 6;
 const N: usize = 12;
@@ -81,9 +81,8 @@ fn soundness(run: &MultiRound) -> (f64, usize) {
         }
         considered += 1;
         let possible = run.history.bcm(&run.map, wire);
-        let all_inside = run.contributors[&wire]
-            .iter()
-            .all(|b| possible.contains(run.bidders[b.0].cell));
+        let all_inside =
+            run.contributors[&wire].iter().all(|b| possible.contains(run.bidders[b.0].cell));
         sound += usize::from(all_inside);
     }
     (if considered == 0 { 1.0 } else { sound as f64 / considered as f64 }, considered)

@@ -2,6 +2,8 @@
 //! disk, master-secret key derivation across parties, the round driver,
 //! and the truthful-pricing comparator.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa::analysis::cost_model;
 use lppa_suite::lppa::protocol::SuSubmission;
 use lppa_suite::lppa::rounds::RoundDriver;
@@ -16,8 +18,6 @@ use lppa_suite::lppa_spectrum::geo::GridSpec;
 use lppa_suite::lppa_spectrum::io::{read_map, write_map};
 use lppa_suite::lppa_spectrum::stats::MapStats;
 use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn map_roundtrips_through_a_real_file() {
@@ -50,23 +50,14 @@ fn bidder_and_ttp_derive_identical_keys_from_master() {
 
     let mut rng = StdRng::seed_from_u64(1);
     let policy = ZeroReplacePolicy::never(config.bid_max());
-    let sub = SuSubmission::build(
-        Location::new(9, 9),
-        &[42, 0],
-        &bidder_side,
-        &policy,
-        &mut rng,
-    )
-    .unwrap();
+    let sub = SuSubmission::build(Location::new(9, 9), &[42, 0], &bidder_side, &policy, &mut rng)
+        .unwrap();
     let request = ChargeRequest {
         channel: lppa_suite::lppa_spectrum::ChannelId(0),
         sealed: sub.bids.bids()[0].sealed.clone(),
         point: sub.bids.bids()[0].point.clone(),
     };
-    assert_eq!(
-        ttp_side.open_charge(&request).unwrap(),
-        ChargeDecision::Valid { raw_price: 42 }
-    );
+    assert_eq!(ttp_side.open_charge(&request).unwrap(), ChargeDecision::Valid { raw_price: 42 });
 
     // A different round's TTP must NOT accept the same submission.
     let other_round = Ttp::from_master(&master, 4, 2, config).unwrap();

@@ -1,6 +1,8 @@
 //! Cross-crate integration: the privacy claims of the paper, verified
 //! end-to-end against the actual attacks.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa::ppbs::location::LocationSubmission;
 use lppa_suite::lppa::protocol::SuSubmission;
 use lppa_suite::lppa::psd::table::MaskedBidTable;
@@ -14,8 +16,6 @@ use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Loc
 use lppa_suite::lppa_spectrum::area::AreaProfile;
 use lppa_suite::lppa_spectrum::geo::GridSpec;
 use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn map() -> lppa_suite::lppa_spectrum::SpectrumMap {
     SyntheticMapBuilder::new(AreaProfile::area3())
@@ -56,9 +56,7 @@ fn plain_bcm_localizes_but_lppa_attribution_fails_more() {
     let policy = ZeroReplacePolicy::uniform(0.9, config.bid_max());
     let submissions: Vec<SuSubmission> = bidders
         .iter()
-        .map(|b| {
-            SuSubmission::build(b.location, table.row(b.id), &ttp, &policy, &mut rng).unwrap()
-        })
+        .map(|b| SuSubmission::build(b.location, table.row(b.id), &ttp, &policy, &mut rng).unwrap())
         .collect();
     let masked =
         MaskedBidTable::collect(submissions.iter().map(|s| s.bids.clone()).collect()).unwrap();
@@ -89,8 +87,7 @@ fn eavesdropper_without_keys_learns_no_conflicts() {
     let genuine =
         LocationSubmission::build(same_spot, &ttp.bidder_keys().g0, &config, &mut rng).unwrap();
     let forged =
-        LocationSubmission::build(same_spot, &foreign.bidder_keys().g0, &config, &mut rng)
-            .unwrap();
+        LocationSubmission::build(same_spot, &foreign.bidder_keys().g0, &config, &mut rng).unwrap();
     assert!(!genuine.conflicts_with(&forged));
 }
 
@@ -102,14 +99,9 @@ fn masked_table_leaks_no_cross_channel_order() {
     let mut rng = StdRng::seed_from_u64(3);
     let ttp = Ttp::new(2, config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::never(config.bid_max());
-    let sub = SuSubmission::build(
-        Location::new(5, 5),
-        &[config.bid_max(), 1],
-        &ttp,
-        &policy,
-        &mut rng,
-    )
-    .unwrap();
+    let sub =
+        SuSubmission::build(Location::new(5, 5), &[config.bid_max(), 1], &ttp, &policy, &mut rng)
+            .unwrap();
     let big = &sub.bids.bids()[0];
     let small = &sub.bids.bids()[1];
     assert!(!big.point.in_range(&small.range));
@@ -164,9 +156,7 @@ fn full_disguising_fully_hides_availability_sets() {
     let policy = ZeroReplacePolicy::uniform(1.0, config.bid_max());
     let submissions: Vec<SuSubmission> = bidders
         .iter()
-        .map(|b| {
-            SuSubmission::build(b.location, table.row(b.id), &ttp, &policy, &mut rng).unwrap()
-        })
+        .map(|b| SuSubmission::build(b.location, table.row(b.id), &ttp, &policy, &mut rng).unwrap())
         .collect();
     // Every presented value is positive-looking.
     for sub in &submissions {

@@ -2,6 +2,8 @@
 //! identical* to the plaintext allocation when nothing is disguised —
 //! the key correctness property of PPBS + PSD.
 
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
 use lppa_suite::lppa::ppbs::bid::AdvancedBidSubmission;
 use lppa_suite::lppa::psd::table::MaskedBidTable;
 use lppa_suite::lppa::ttp::Ttp;
@@ -10,16 +12,10 @@ use lppa_suite::lppa::LppaConfig;
 use lppa_suite::lppa_auction::allocation::greedy_allocate;
 use lppa_suite::lppa_auction::bidder::{BidTable, Location};
 use lppa_suite::lppa_auction::conflict::ConflictGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds matching plaintext and masked tables over random bids with no
 /// equal positive bids per column (so tie-break draws coincide).
-fn matched_tables(
-    n: usize,
-    k: usize,
-    seed: u64,
-) -> (BidTable, MaskedBidTable, ConflictGraph) {
+fn matched_tables(n: usize, k: usize, seed: u64) -> (BidTable, MaskedBidTable, ConflictGraph) {
     let config = LppaConfig::default();
     let mut rng = StdRng::seed_from_u64(seed);
     let ttp = Ttp::new(k, config, &mut rng).unwrap();
@@ -49,9 +45,8 @@ fn matched_tables(
     let masked = MaskedBidTable::collect_pruned(submissions).unwrap();
     let plain = BidTable::from_rows(rows);
 
-    let locations: Vec<Location> = (0..n)
-        .map(|_| Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127)))
-        .collect();
+    let locations: Vec<Location> =
+        (0..n).map(|_| Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127))).collect();
     let conflicts = ConflictGraph::from_locations(&locations, config.lambda);
     (plain, masked, conflicts)
 }
@@ -78,8 +73,7 @@ fn masked_rankings_equal_plaintext_rankings() {
         let masked_ranking = masked.rank_channel(channel);
         // Project to raw bids: must be non-increasing, with the pruned
         // zeros at the tail in any order.
-        let raws: Vec<u32> =
-            masked_ranking.iter().map(|&b| plain.bid(b, channel)).collect();
+        let raws: Vec<u32> = masked_ranking.iter().map(|&b| plain.bid(b, channel)).collect();
         let positives: Vec<u32> = raws.iter().copied().filter(|&r| r > 0).collect();
         let mut sorted = positives.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
