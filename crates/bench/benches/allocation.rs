@@ -3,7 +3,7 @@
 //! the greedy allocation on plaintext vs masked tables.
 
 use lppa::ppbs::location::{build_conflict_graph, LocationSubmission};
-use lppa::protocol::SuSubmission;
+use lppa::protocol::build_submissions;
 use lppa::psd::table::MaskedBidTable;
 use lppa::ttp::Ttp;
 use lppa::zero_replace::ZeroReplacePolicy;
@@ -25,19 +25,20 @@ fn build_masked_fixture(
     let mut rng = StdRng::seed_from_u64(seed);
     let ttp = Ttp::new(k, config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
-    let mut rows = Vec::with_capacity(n);
-    let mut submissions = Vec::with_capacity(n);
-    let mut locations = Vec::with_capacity(n);
-    for _ in 0..n {
-        let loc = Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127));
-        let bids: Vec<u32> = (0..k)
-            .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=config.bid_max()) })
-            .collect();
-        let sub = SuSubmission::build(loc, &bids, &ttp, &policy, &mut rng).unwrap();
-        rows.push(bids);
-        locations.push(sub.location.clone());
-        submissions.push(sub.bids.clone());
-    }
+    let inputs: Vec<(Location, Vec<u32>)> = (0..n)
+        .map(|_| {
+            let loc = Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127));
+            let bids: Vec<u32> = (0..k)
+                .map(|_| if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..=config.bid_max()) })
+                .collect();
+            (loc, bids)
+        })
+        .collect();
+    // Fixture construction goes through the parallel batch path.
+    let subs = build_submissions(&inputs, &ttp, &policy, &mut rng).unwrap();
+    let locations: Vec<LocationSubmission> = subs.iter().map(|s| s.location.clone()).collect();
+    let submissions = subs.into_iter().map(|s| s.bids).collect();
+    let rows = inputs.into_iter().map(|(_, bids)| bids).collect();
     let masked = MaskedBidTable::collect_pruned(submissions).unwrap();
     let plain = BidTable::from_rows(rows);
     let conflicts = build_conflict_graph(&locations);
@@ -52,7 +53,7 @@ fn bench_masked_comparison(b: &mut Bench) {
 }
 
 fn bench_select_winner(b: &mut Bench) {
-    for n in [10usize, 50, 100] {
+    for n in [10usize, 50, 100, 500] {
         let (masked, _, _, _) = build_masked_fixture(n, 1, 2);
         let candidates: Vec<BidderId> = (0..n).map(BidderId).collect();
         let mut rng = StdRng::seed_from_u64(3);
@@ -70,10 +71,12 @@ fn bench_rank_channel(b: &mut Bench) {
 }
 
 fn bench_conflict_graph(b: &mut Bench) {
-    let (_, _, _, locations) = build_masked_fixture(100, 1, 5);
-    b.bench("allocation/masked_conflict_graph_n100", || {
-        build_conflict_graph(&locations);
-    });
+    for n in [100usize, 500] {
+        let (_, _, _, locations) = build_masked_fixture(n, 1, 5);
+        b.bench(&format!("allocation/masked_conflict_graph_n{n}"), || {
+            build_conflict_graph(&locations);
+        });
+    }
 }
 
 fn bench_greedy(b: &mut Bench) {

@@ -2,7 +2,7 @@
 //! conflict graph, masked allocation, TTP charging) vs the plaintext
 //! baseline on the same bids, plus the attack pipelines of Fig. 4.
 
-use lppa::protocol::{run_private_auction_from_bids, SuSubmission};
+use lppa::protocol::{build_submissions, run_private_auction_from_bids};
 use lppa::ttp::Ttp;
 use lppa::zero_replace::ZeroReplacePolicy;
 use lppa::LppaConfig;
@@ -55,13 +55,11 @@ fn bench_submission_collection(b: &mut Bench) {
     let table = BidTable::generate(&map, &bidders, &model, &mut rng);
     let ttp = Ttp::new(k, config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
+    let inputs: Vec<_> =
+        bidders.iter().map(|bd| (bd.location, table.row(bd.id).to_vec())).collect();
     b.bench("end_to_end/submissions_20x32/build_all", || {
-        let subs: Vec<_> = bidders
-            .iter()
-            .map(|bd| {
-                SuSubmission::build(bd.location, table.row(bd.id), &ttp, &policy, &mut rng).unwrap()
-            })
-            .collect();
+        // The batch path fans out over the lppa_par pool (LPPA_THREADS).
+        let subs = build_submissions(&inputs, &ttp, &policy, &mut rng).unwrap();
         std::hint::black_box(subs);
     });
 }

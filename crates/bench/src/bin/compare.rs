@@ -1,0 +1,144 @@
+//! Diffs two bench-harness JSON files and prints per-benchmark speedups.
+//!
+//! The `lppa_rng::bench` harness emits one JSON object per line:
+//!
+//! ```json
+//! {"group":"crypto","bench":"sha256/64B","iters":123,"mean_ns":640.88,...}
+//! ```
+//!
+//! This tool joins two such files on `group` + `bench` and reports
+//! `before_mean / after_mean` for every benchmark present in both
+//! (speedup > 1 means *after* is faster), plus a geometric-mean summary.
+//! Benchmarks present in only one file are listed separately so silent
+//! coverage changes cannot hide in the diff.
+//!
+//! Usage:
+//!
+//! ```text
+//! compare results/BENCH_pr2_before.json results/BENCH_pr2_after.json
+//! ```
+//!
+//! The parser is hand-rolled for the harness's flat numeric/string
+//! objects — the workspace is hermetic and takes no serde dependency.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed benchmark line: the mean latency keyed by `group/bench`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sample {
+    mean_ns: f64,
+}
+
+/// Extracts the JSON string value for `key`, if present.
+///
+/// Harness output never escapes quotes inside names, so scanning to the
+/// next `"` is exact for the files this tool consumes.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Extracts the JSON numeric value for `key`, if present.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses a whole bench file into `group/bench → sample`, skipping
+/// lines that are not benchmark records.
+fn parse_file(path: &str) -> Result<BTreeMap<String, Sample>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let (Some(group), Some(bench), Some(mean_ns)) =
+            (json_str(line, "group"), json_str(line, "bench"), json_num(line, "mean_ns"))
+        else {
+            continue;
+        };
+        out.insert(format!("{group}/{bench}"), Sample { mean_ns });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark records found"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, before_path, after_path] = &args[..] else {
+        eprintln!("usage: compare <before.json> <after.json>");
+        return ExitCode::FAILURE;
+    };
+    let (before, after) = match (parse_file(before_path), parse_file(after_path)) {
+        (Ok(b), Ok(a)) => (b, a),
+        (b, a) => {
+            for err in [b.err(), a.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let width = before.keys().chain(after.keys()).map(String::len).max().unwrap_or(0);
+    println!("{:width$}  {:>12}  {:>12}  {:>8}", "benchmark", "before", "after", "speedup");
+    let mut log_sum = 0.0f64;
+    let mut joined = 0usize;
+    for (name, b) in &before {
+        let Some(a) = after.get(name) else { continue };
+        let speedup = b.mean_ns / a.mean_ns;
+        log_sum += speedup.ln();
+        joined += 1;
+        println!("{name:width$}  {:>10.0}ns  {:>10.0}ns  {speedup:>7.2}x", b.mean_ns, a.mean_ns);
+    }
+    if joined > 0 {
+        println!(
+            "{:width$}  {:>12}  {:>12}  {:>7.2}x",
+            "geometric mean",
+            "",
+            "",
+            (log_sum / joined as f64).exp()
+        );
+    }
+    for name in before.keys().filter(|n| !after.contains_key(*n)) {
+        println!("only in before: {name}");
+    }
+    for name in after.keys().filter(|n| !before.contains_key(*n)) {
+        println!("only in after:  {name}");
+    }
+    if joined == 0 {
+        eprintln!("error: the two files share no benchmarks");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = r#"{"group":"crypto","bench":"sha256/64B","iters":440520,"mean_ns":640.88,"min_ns":523.63,"median_ns":651.05,"max_ns":698.30,"throughput_mib_s":95.24}"#;
+
+    #[test]
+    fn extracts_string_and_numeric_fields() {
+        assert_eq!(json_str(LINE, "group"), Some("crypto"));
+        assert_eq!(json_str(LINE, "bench"), Some("sha256/64B"));
+        assert_eq!(json_num(LINE, "mean_ns"), Some(640.88));
+        // The last field is closed by `}` rather than a comma.
+        assert_eq!(json_num(LINE, "throughput_mib_s"), Some(95.24));
+        assert_eq!(json_str(LINE, "missing"), None);
+        assert_eq!(json_num(LINE, "missing"), None);
+    }
+
+    #[test]
+    fn non_record_lines_are_ignored_by_field_extraction() {
+        assert_eq!(json_str("plain text", "group"), None);
+        assert_eq!(json_num("{\"group\":\"x\"}", "mean_ns"), None);
+    }
+}

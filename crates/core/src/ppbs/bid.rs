@@ -148,7 +148,8 @@ impl AdvancedBidSubmission {
     ///    instead, while the sealed price stays truthful so a disguised
     ///    win is caught by the TTP;
     /// 4. masks point and range under the per-channel key `gb_r`, padding
-    ///    the range to `2w − 2` tags.
+    ///    the range to `max(2, 2w − 2)` tags (the worst-case cover
+    ///    cardinality, see `lppa_prefix::max_cover_len`).
     ///
     /// # Errors
     ///

@@ -16,7 +16,8 @@ use lppa_auction::allocation::{greedy_allocate, Grant};
 use lppa_auction::bidder::{BidderId, Location};
 use lppa_auction::conflict::ConflictGraph;
 use lppa_auction::outcome::{Assignment, AuctionOutcome};
-use lppa_rng::Rng;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
 
 use crate::error::LppaError;
 use crate::ppbs::bid::AdvancedBidSubmission;
@@ -207,11 +208,39 @@ pub fn run_private_auction_from_bids_with_model<R: Rng>(
     model: AuctioneerModel,
     rng: &mut R,
 ) -> Result<PrivateAuctionResult, LppaError> {
-    let submissions = bidders
-        .iter()
-        .map(|(loc, bids)| SuSubmission::build(*loc, bids, ttp, policy, rng))
-        .collect::<Result<Vec<_>, _>>()?;
+    let submissions = build_submissions(bidders, ttp, policy, rng)?;
     run_private_auction_with_model(&submissions, ttp, model, rng)
+}
+
+/// Builds every bidder's [`SuSubmission`] in parallel.
+///
+/// Bidders are independent by construction — each one masks its own
+/// tags under the shared keys — so the batch fans out across the
+/// `lppa_par` worker pool. To keep the output independent of the thread
+/// count, one child seed per bidder is drawn *sequentially* from the
+/// caller's RNG first; each submission is then derived from its own
+/// seeded [`StdRng`]. The result is bit-identical for every
+/// `LPPA_THREADS` value (the reproducibility CI gate runs the suite
+/// under 1 and 4 threads to prove it).
+///
+/// # Errors
+///
+/// Returns the first (by bidder order) domain or configuration error, as
+/// for [`SuSubmission::build`].
+pub fn build_submissions<R: Rng>(
+    bidders: &[(Location, Vec<u32>)],
+    ttp: &Ttp,
+    policy: &ZeroReplacePolicy,
+    rng: &mut R,
+) -> Result<Vec<SuSubmission>, LppaError> {
+    let seeded: Vec<(u64, &(Location, Vec<u32>))> =
+        bidders.iter().map(|bidder| (rng.next_u64(), bidder)).collect();
+    lppa_par::par_map(&seeded, |(seed, (location, raw_bids))| {
+        let mut child = StdRng::seed_from_u64(*seed);
+        SuSubmission::build(*location, raw_bids, ttp, policy, &mut child)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Re-derives which bidder a grant belongs to for bookkeeping.

@@ -10,6 +10,7 @@
 
 use lppa_auction::allocation::BidOracle;
 use lppa_auction::bidder::BidderId;
+use lppa_prefix::TagIndex;
 use lppa_rng::seq::SliceRandom;
 use lppa_spectrum::ChannelId;
 
@@ -22,6 +23,11 @@ pub struct MaskedBidTable {
     submissions: Vec<AdvancedBidSubmission>,
     n_channels: usize,
     prune_plain_zeros: bool,
+    /// One inverted index per channel over every bidder's *point* tags,
+    /// built once at collect time. Probing a range against it yields all
+    /// bidders whose masked bid is ≥ that range's lower bound — the
+    /// second half of every winner selection.
+    point_indexes: Vec<TagIndex>,
 }
 
 impl MaskedBidTable {
@@ -67,7 +73,18 @@ impl MaskedBidTable {
                 });
             }
         }
-        Ok(Self { submissions, n_channels, prune_plain_zeros })
+        // One point-tag index per channel, built in parallel across
+        // channels (channels are independent columns of the table).
+        let channels: Vec<usize> = (0..n_channels).collect();
+        let point_indexes = lppa_par::par_map(&channels, |&ch| {
+            let tags_per_point = submissions[0].bids()[ch].point.len();
+            let mut index = TagIndex::with_capacity(submissions.len() * tags_per_point);
+            for (bidder, s) in submissions.iter().enumerate() {
+                index.insert_all(s.bids()[ch].point.iter(), bidder as u32);
+            }
+            index
+        });
+        Ok(Self { submissions, n_channels, prune_plain_zeros, point_indexes })
     }
 
     /// The stored submissions.
@@ -114,15 +131,58 @@ impl MaskedBidTable {
         (0..self.n_channels).map(|c| self.rank_channel(ChannelId(c))).collect()
     }
 
-    /// Finds the bidders holding the column maximum among `candidates`
-    /// (usually one; several only on a transformed-value tie).
-    fn maxima(&self, channel: ChannelId, candidates: &[BidderId]) -> Vec<BidderId> {
+    /// One maximal element of the column restricted to `candidates`:
+    /// a single tournament pass of masked comparisons.
+    fn scan_best(&self, channel: ChannelId, candidates: &[BidderId]) -> BidderId {
         let mut best = candidates[0];
         for &c in &candidates[1..] {
             if !self.ge(channel, best, c) {
                 best = c;
             }
         }
+        best
+    }
+
+    /// Finds the bidders holding the column maximum among `candidates`
+    /// (usually one; several only on a transformed-value tie), using the
+    /// per-channel point-tag index.
+    ///
+    /// After the `O(m)` tournament pass finds one maximal element
+    /// `best`, the tie set `{c : bid(c) ≥ bid(best)}` is collected by
+    /// probing `best`'s range tags against the prebuilt index — a
+    /// constant number of probes plus one mark per hit — instead of `m`
+    /// further masked membership tests. A probe hit is literally the
+    /// predicate `point(c) ∩ range(best) ≠ ∅` that [`Self::ge`]
+    /// evaluates, so the result equals [`Self::maxima_linear`] exactly;
+    /// the property suite asserts as much.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or any id is out of range.
+    pub fn maxima_indexed(&self, channel: ChannelId, candidates: &[BidderId]) -> Vec<BidderId> {
+        let best = self.scan_best(channel, candidates);
+        let range = &self.submissions[best.0].bids()[channel.0].range;
+        let index = &self.point_indexes[channel.0];
+        let mut hit = vec![false; self.submissions.len()];
+        for tag in range.iter() {
+            for &owner in index.owners(tag) {
+                hit[owner as usize] = true;
+            }
+        }
+        // Filter in candidate order so callers observe the same tie
+        // ordering as the linear reference.
+        candidates.iter().copied().filter(|&c| hit[c.0]).collect()
+    }
+
+    /// Reference implementation of [`Self::maxima_indexed`]: the
+    /// tournament pass followed by a second linear pass of masked
+    /// comparisons against the champion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or any id is out of range.
+    pub fn maxima_linear(&self, channel: ChannelId, candidates: &[BidderId]) -> Vec<BidderId> {
+        let best = self.scan_best(channel, candidates);
         candidates.iter().copied().filter(|&c| self.ge(channel, c, best)).collect()
     }
 }
@@ -155,7 +215,7 @@ impl BidOracle for MaskedBidTable {
         candidates: &[BidderId],
         rng: &mut dyn lppa_rng::RngCore,
     ) -> BidderId {
-        let maxima = self.maxima(channel, candidates);
+        let maxima = self.maxima_indexed(channel, candidates);
         *maxima.choose(rng).expect("maxima set is non-empty")
     }
 }

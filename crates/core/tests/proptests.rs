@@ -6,13 +6,17 @@
 //! `lppa_rng::testing`).
 
 use lppa::ppbs::bid::AdvancedBidSubmission;
-use lppa::ppbs::location::LocationSubmission;
+use lppa::ppbs::location::{
+    build_conflict_graph, build_conflict_graph_pairwise, LocationSubmission,
+};
+use lppa::psd::table::MaskedBidTable;
 use lppa::ttp::{ChargeDecision, ChargeRequest, Ttp};
 use lppa::zero_replace::ZeroReplacePolicy;
 use lppa::LppaConfig;
-use lppa_auction::bidder::Location;
+use lppa_auction::bidder::{BidderId, Location};
 use lppa_rng::testing::check;
 use lppa_rng::{Rng, StdRng};
+use lppa_spectrum::ChannelId;
 
 /// Generator: a valid protocol configuration (re-draws until the
 /// sampled parameters validate).
@@ -103,6 +107,82 @@ fn masked_conflicts_match_predicate() {
         let sb = LocationSubmission::build(b, &ttp.bidder_keys().g0, &config, rng).unwrap();
         assert_eq!(sa.conflicts_with(&sb), a.conflicts_with(&b, lambda));
         assert_eq!(sb.conflicts_with(&sa), a.conflicts_with(&b, lambda));
+    });
+}
+
+/// The inverted-index conflict graph is identical to the pairwise
+/// reference for arbitrary bidder sets — including the degenerate
+/// 0- and 1-bidder graphs and the fully-colliding case where every
+/// bidder shares one location (maximal owner lists, complete graph).
+#[test]
+fn indexed_conflict_graph_equals_pairwise() {
+    check("indexed_conflict_graph_equals_pairwise", |rng| {
+        let config = LppaConfig::default();
+        let ttp = Ttp::new(1, config, rng).unwrap();
+        let g0 = &ttp.bidder_keys().g0;
+        let n = rng.gen_range(0usize..=24);
+        let colliding = rng.gen_bool(0.2);
+        let base = Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127));
+        let submissions: Vec<LocationSubmission> = (0..n)
+            .map(|_| {
+                let loc = if colliding {
+                    base
+                } else {
+                    Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127))
+                };
+                LocationSubmission::build(loc, g0, &config, rng).unwrap()
+            })
+            .collect();
+        assert_eq!(
+            build_conflict_graph(&submissions),
+            build_conflict_graph_pairwise(&submissions),
+            "n={n} colliding={colliding}"
+        );
+    });
+}
+
+/// The index-probed winner set equals the linear-scan reference for
+/// arbitrary tables and candidate subsets — including single-bidder
+/// candidate sets and padded ranges carrying disguised zeros.
+#[test]
+fn indexed_maxima_equals_linear_scan() {
+    check("indexed_maxima_equals_linear_scan", |rng| {
+        let config = LppaConfig::default();
+        let k = rng.gen_range(1usize..=3);
+        let ttp = Ttp::new(k, config, rng).unwrap();
+        // A random disguise rate exercises ranges whose presented value
+        // is a fake positive while the sealed price is zero.
+        let policy = ZeroReplacePolicy::uniform(rng.gen_range(0.0..=1.0), config.bid_max());
+        let n = rng.gen_range(1usize..=16);
+        let submissions: Vec<AdvancedBidSubmission> = (0..n)
+            .map(|_| {
+                let bids: Vec<u32> =
+                    (0..k)
+                        .map(|_| {
+                            if rng.gen_bool(0.4) {
+                                0
+                            } else {
+                                rng.gen_range(1..=config.bid_max())
+                            }
+                        })
+                        .collect();
+                AdvancedBidSubmission::build(&bids, ttp.bidder_keys(), &config, &policy, rng)
+                    .unwrap()
+            })
+            .collect();
+        let table = MaskedBidTable::collect(submissions).unwrap();
+        for ch in 0..k {
+            let mut candidates: Vec<BidderId> =
+                (0..n).filter(|_| rng.gen_bool(0.7)).map(BidderId).collect();
+            if candidates.is_empty() {
+                candidates.push(BidderId(rng.gen_range(0..n)));
+            }
+            assert_eq!(
+                table.maxima_indexed(ChannelId(ch), &candidates),
+                table.maxima_linear(ChannelId(ch), &candidates),
+                "ch={ch} candidates={candidates:?}"
+            );
+        }
     });
 }
 

@@ -22,8 +22,27 @@ use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
 #[derive(Clone, Debug)]
 pub struct HmacSha256 {
     inner: Sha256,
-    /// Outer-pad key block, retained until `finalize`.
-    opad: [u8; BLOCK_LEN],
+    /// Outer SHA-256 state, already past the opad block.
+    outer: Sha256,
+}
+
+/// Derives the inner/outer pad blocks for `key` (RFC 2104 §2).
+fn pad_blocks(key: &[u8]) -> ([u8; BLOCK_LEN], [u8; BLOCK_LEN]) {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = crate::sha256::sha256(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0u8; BLOCK_LEN];
+    let mut opad = [0u8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+    (ipad, opad)
 }
 
 impl HmacSha256 {
@@ -32,24 +51,7 @@ impl HmacSha256 {
     /// Keys longer than the 64-byte block size are hashed first, exactly as
     /// the RFC prescribes; any key length is accepted.
     pub fn new(key: &[u8]) -> Self {
-        let mut key_block = [0u8; BLOCK_LEN];
-        if key.len() > BLOCK_LEN {
-            let digest = crate::sha256::sha256(key);
-            key_block[..DIGEST_LEN].copy_from_slice(&digest);
-        } else {
-            key_block[..key.len()].copy_from_slice(key);
-        }
-
-        let mut ipad = [0u8; BLOCK_LEN];
-        let mut opad = [0u8; BLOCK_LEN];
-        for i in 0..BLOCK_LEN {
-            ipad[i] = key_block[i] ^ 0x36;
-            opad[i] = key_block[i] ^ 0x5c;
-        }
-
-        let mut inner = Sha256::new();
-        inner.update(&ipad);
-        Self { inner, opad }
+        HmacMidstate::new(key).mac()
     }
 
     /// Feeds message bytes into the MAC.
@@ -60,10 +62,75 @@ impl HmacSha256 {
     /// Consumes the MAC and returns the 32-byte authentication tag.
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
+    }
+}
+
+/// Precomputed HMAC-SHA256 key schedule: the inner and outer SHA-256
+/// states *after* absorbing the pad blocks.
+///
+/// Deriving those states costs two compressions and depends only on the
+/// key, yet [`HmacSha256::new`] + `finalize` repeats half of that work on
+/// every call. Caching the midstate once per key cuts a short-message
+/// (≤ 55 bytes) MAC from four SHA-256 compressions to two — and masking a
+/// prefix tag *is* a short-message MAC, so the whole LPPA hot path (every
+/// `Tag::compute`, point family and range cover) runs through this type
+/// via the midstate embedded in `crate::keys::HmacKey`.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_crypto::hmac::{hmac_sha256, HmacMidstate};
+///
+/// let midstate = HmacMidstate::new(b"key");
+/// assert_eq!(midstate.compute(b"msg"), hmac_sha256(b"key", b"msg"));
+/// ```
+#[derive(Clone)]
+pub struct HmacMidstate {
+    /// SHA-256 state after compressing `key ⊕ ipad`.
+    inner: Sha256,
+    /// SHA-256 state after compressing `key ⊕ opad`.
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacMidstate {
+    /// The midstates are key-equivalent material; never print them.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HmacMidstate(<redacted>)")
+    }
+}
+
+impl HmacMidstate {
+    /// Precomputes the key schedule for `key`.
+    ///
+    /// Keys longer than the 64-byte block size are hashed first, exactly
+    /// as for [`HmacSha256::new`]; the two are interchangeable for any
+    /// key length.
+    pub fn new(key: &[u8]) -> Self {
+        let (ipad, opad) = pad_blocks(key);
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { inner, outer }
+    }
+
+    /// One-shot MAC of `message` from the cached midstate.
+    pub fn compute(&self, message: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut inner = self.inner.clone();
+        inner.update(message);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Starts an incremental MAC from the cached midstate; feed it with
+    /// [`HmacSha256::update`] and close with [`HmacSha256::finalize`].
+    pub fn mac(&self) -> HmacSha256 {
+        HmacSha256 { inner: self.inner.clone(), outer: self.outer.clone() }
     }
 }
 
@@ -105,55 +172,94 @@ mod tests {
         bytes.iter().map(|b| format!("{b:02x}")).collect()
     }
 
+    /// Checks one RFC 4231 vector through every keying path: the
+    /// one-shot function, a fresh precomputed [`HmacMidstate`], and an
+    /// incremental MAC started from that midstate. `expected_hex` may be
+    /// a truncated tag (RFC 4231 case 5 specifies 128 bits).
+    fn check_vector(key: &[u8], data: &[u8], expected_hex: &str) {
+        assert!(hex(&hmac_sha256(key, data)).starts_with(expected_hex));
+        let midstate = HmacMidstate::new(key);
+        assert!(hex(&midstate.compute(data)).starts_with(expected_hex));
+        let mut mac = midstate.mac();
+        mac.update(data);
+        assert!(hex(&mac.finalize()).starts_with(expected_hex));
+    }
+
     // RFC 4231 test case 1.
     #[test]
     fn rfc4231_case_1() {
-        let key = [0x0bu8; 20];
-        assert_eq!(
-            hex(&hmac_sha256(&key, b"Hi There")),
-            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        check_vector(
+            &[0x0bu8; 20],
+            b"Hi There",
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
         );
     }
 
     // RFC 4231 test case 2: short key, short data.
     #[test]
     fn rfc4231_case_2() {
-        assert_eq!(
-            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
-            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        check_vector(
+            b"Jefe",
+            b"what do ya want for nothing?",
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
         );
     }
 
     // RFC 4231 test case 3: key and data of 0xaa/0xdd fill.
     #[test]
     fn rfc4231_case_3() {
-        let key = [0xaau8; 20];
-        let data = [0xddu8; 50];
-        assert_eq!(
-            hex(&hmac_sha256(&key, &data)),
-            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        check_vector(
+            &[0xaau8; 20],
+            &[0xddu8; 50],
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
         );
+    }
+
+    // RFC 4231 test case 4: 25-byte counting key, 0xcd fill data.
+    #[test]
+    fn rfc4231_case_4() {
+        let key: Vec<u8> = (0x01..=0x19).collect();
+        check_vector(
+            &key,
+            &[0xcdu8; 50],
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+        );
+    }
+
+    // RFC 4231 test case 5: the vector is specified as a 128-bit
+    // truncated tag — exactly the truncation `crate::tag::Tag` applies.
+    #[test]
+    fn rfc4231_case_5_truncated() {
+        check_vector(&[0x0cu8; 20], b"Test With Truncation", "a3b6167473100ee06e0c796c2955552b");
     }
 
     // RFC 4231 test case 6: key larger than one block.
     #[test]
     fn rfc4231_case_6_long_key() {
-        let key = [0xaau8; 131];
-        assert_eq!(
-            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
-            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        check_vector(
+            &[0xaau8; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
         );
     }
 
     // RFC 4231 test case 7: long key and long data.
     #[test]
     fn rfc4231_case_7_long_key_and_data() {
-        let key = [0xaau8; 131];
         let data: &[u8] = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
-        assert_eq!(
-            hex(&hmac_sha256(&key, data)),
-            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        check_vector(
+            &[0xaau8; 131],
+            data,
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
         );
+    }
+
+    #[test]
+    fn midstate_is_reusable_across_messages() {
+        let midstate = HmacMidstate::new(b"reused-key");
+        for msg in [b"a".as_slice(), b"bb", b"", &[0u8; 200]] {
+            assert_eq!(midstate.compute(msg), hmac_sha256(b"reused-key", msg));
+        }
     }
 
     #[test]

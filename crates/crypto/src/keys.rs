@@ -13,72 +13,142 @@
 //! being confused with one another and keep `Debug` output free of key
 //! bytes.
 
+use crate::hmac::HmacMidstate;
 use crate::rand_core::RngCore;
 
 /// Length in bytes of every key in the system.
 pub const KEY_LEN: usize = 32;
 
-macro_rules! key_newtype {
-    ($(#[$meta:meta])* $name:ident) => {
-        $(#[$meta])*
-        #[derive(Clone, PartialEq, Eq)]
-        pub struct $name([u8; KEY_LEN]);
-
-        impl $name {
-            /// Wraps explicit key bytes (e.g. from a key-distribution
-            /// message).
-            pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
-                Self(bytes)
-            }
-
-            /// Samples a fresh random key from `rng`.
-            pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-                let mut bytes = [0u8; KEY_LEN];
-                rng.fill_bytes(&mut bytes);
-                Self(bytes)
-            }
-
-            /// Exposes the raw key bytes to the primitives that consume
-            /// them.
-            pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
-                &self.0
-            }
-        }
-
-        impl std::fmt::Debug for $name {
-            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-                write!(f, concat!(stringify!($name), "(<redacted>)"))
-            }
-        }
-
-        impl From<[u8; KEY_LEN]> for $name {
-            fn from(bytes: [u8; KEY_LEN]) -> Self {
-                Self::from_bytes(bytes)
-            }
-        }
-    };
+/// A key for HMAC-SHA256 prefix masking (`g0`, `gb`, `gb_r`).
+///
+/// Construction precomputes the HMAC key schedule (the inner/outer
+/// SHA-256 midstates, see [`HmacMidstate`]), so every tag masked under
+/// the key costs two compressions instead of four. Keys are created once
+/// per auction by the TTP and then used for millions of tags, so the
+/// two-compression setup cost is irrelevant while the per-tag saving is
+/// the protocol's single hottest optimization.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_crypto::keys::HmacKey;
+/// use lppa_rng::SeedableRng;
+///
+/// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(7);
+/// let key = HmacKey::random(&mut rng);
+/// assert_eq!(key.as_bytes().len(), 32);
+/// ```
+#[derive(Clone)]
+pub struct HmacKey {
+    bytes: [u8; KEY_LEN],
+    /// Cached HMAC key schedule for `bytes` (derived, never compared).
+    midstate: HmacMidstate,
 }
 
-key_newtype! {
-    /// A key for HMAC-SHA256 prefix masking (`g0`, `gb`, `gb_r`).
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use lppa_crypto::keys::HmacKey;
-    /// use lppa_rng::SeedableRng;
-    ///
-    /// let mut rng = lppa_rng::rngs::StdRng::seed_from_u64(7);
-    /// let key = HmacKey::random(&mut rng);
-    /// assert_eq!(key.as_bytes().len(), 32);
-    /// ```
-    HmacKey
+impl HmacKey {
+    /// Wraps explicit key bytes (e.g. from a key-distribution message).
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        Self { bytes, midstate: HmacMidstate::new(&bytes) }
+    }
+
+    /// Samples a fresh random key from `rng`.
+    pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; KEY_LEN];
+        rng.fill_bytes(&mut bytes);
+        Self::from_bytes(bytes)
+    }
+
+    /// Exposes the raw key bytes to the primitives that consume them.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.bytes
+    }
+
+    /// The precomputed HMAC-SHA256 key schedule for this key.
+    pub fn midstate(&self) -> &HmacMidstate {
+        &self.midstate
+    }
 }
 
-key_newtype! {
-    /// The TTP's symmetric sealing key (`gc`), used with
-    /// [`crate::seal::SealedValue`].
-    SealKey
+impl PartialEq for HmacKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The midstate is a pure function of the bytes.
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for HmacKey {}
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HmacKey(<redacted>)")
+    }
+}
+
+impl From<[u8; KEY_LEN]> for HmacKey {
+    fn from(bytes: [u8; KEY_LEN]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+/// The TTP's symmetric sealing key (`gc`), used with
+/// [`crate::seal::SealedValue`].
+///
+/// Sealing is encrypt-then-MAC: ChaCha20 consumes the raw bytes while
+/// the authentication tag is HMAC-SHA256 under the same key. As with
+/// [`HmacKey`], construction caches the HMAC key schedule so every
+/// seal/open pays two compressions for its tag instead of four — the
+/// auctioneer opens one sealed price per comparison-ambiguous winner,
+/// and bidders seal one price per channel per round.
+#[derive(Clone)]
+pub struct SealKey {
+    bytes: [u8; KEY_LEN],
+    /// Cached HMAC key schedule for `bytes` (derived, never compared).
+    midstate: HmacMidstate,
+}
+
+impl SealKey {
+    /// Wraps explicit key bytes (e.g. from a key-distribution message).
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        Self { bytes, midstate: HmacMidstate::new(&bytes) }
+    }
+
+    /// Samples a fresh random key from `rng`.
+    pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; KEY_LEN];
+        rng.fill_bytes(&mut bytes);
+        Self::from_bytes(bytes)
+    }
+
+    /// Exposes the raw key bytes to the primitives that consume them.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.bytes
+    }
+
+    /// The precomputed HMAC-SHA256 key schedule for this key.
+    pub fn midstate(&self) -> &HmacMidstate {
+        &self.midstate
+    }
+}
+
+impl PartialEq for SealKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The midstate is a pure function of the bytes.
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for SealKey {}
+
+impl std::fmt::Debug for SealKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SealKey(<redacted>)")
+    }
+}
+
+impl From<[u8; KEY_LEN]> for SealKey {
+    fn from(bytes: [u8; KEY_LEN]) -> Self {
+        Self::from_bytes(bytes)
+    }
 }
 
 #[cfg(test)]

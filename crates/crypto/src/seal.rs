@@ -11,7 +11,7 @@
 use crate::rand_core::RngCore;
 
 use crate::chacha20::{ChaCha20, NONCE_LEN};
-use crate::hmac::{hmac_sha256, verify_tag};
+use crate::hmac::verify_tag;
 use crate::keys::SealKey;
 
 /// Length in bytes of the authentication tag on a sealed value.
@@ -99,11 +99,14 @@ impl SealedValue {
         NONCE_LEN + self.ciphertext.len() + MAC_LEN
     }
 
-    fn mac(key: &SealKey, nonce: &[u8; NONCE_LEN], ciphertext: &[u8]) -> [u8; MAC_LEN] {
-        let mut msg = Vec::with_capacity(NONCE_LEN + ciphertext.len());
-        msg.extend_from_slice(nonce);
-        msg.extend_from_slice(ciphertext);
-        let full = hmac_sha256(key.as_bytes(), &msg);
+    fn mac(key: &SealKey, nonce: &[u8; NONCE_LEN], ciphertext: &[u8; 8]) -> [u8; MAC_LEN] {
+        // nonce ‖ ciphertext fits one stack buffer, and the key's cached
+        // midstate (see [`SealKey::midstate`]) turns the tag into two
+        // SHA-256 compressions — no allocation, no key re-scheduling.
+        let mut msg = [0u8; NONCE_LEN + 8];
+        msg[..NONCE_LEN].copy_from_slice(nonce);
+        msg[NONCE_LEN..].copy_from_slice(ciphertext);
+        let full = key.midstate().compute(&msg);
         let mut mac = [0u8; MAC_LEN];
         mac.copy_from_slice(&full[..MAC_LEN]);
         mac
@@ -170,6 +173,20 @@ mod tests {
         let (key, mut rng) = setup();
         let sealed = SealedValue::seal(&key, 5, &mut rng);
         assert_eq!(sealed.wire_len(), 12 + 8 + 16);
+    }
+
+    #[test]
+    fn mac_matches_one_shot_hmac() {
+        // The cached-midstate tag must be byte-identical to the textbook
+        // HMAC over nonce ‖ ciphertext — sealing under a midstate key and
+        // opening with a fresh HMAC implementation must interoperate.
+        let (key, mut rng) = setup();
+        let sealed = SealedValue::seal(&key, 0xdead_beef, &mut rng);
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&sealed.nonce);
+        msg.extend_from_slice(&sealed.ciphertext);
+        let full = crate::hmac::hmac_sha256(key.as_bytes(), &msg);
+        assert_eq!(sealed.mac, full[..MAC_LEN]);
     }
 
     #[test]

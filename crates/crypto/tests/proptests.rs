@@ -5,7 +5,7 @@
 //! `lppa_rng::testing`).
 
 use lppa_crypto::chacha20::ChaCha20;
-use lppa_crypto::hmac::{hmac_sha256, HmacSha256};
+use lppa_crypto::hmac::{hmac_sha256, HmacMidstate, HmacSha256};
 use lppa_crypto::keys::SealKey;
 use lppa_crypto::seal::SealedValue;
 use lppa_crypto::sha256::{sha256, Sha256};
@@ -30,6 +30,27 @@ fn sha256_incremental_equals_oneshot() {
         }
         hasher.update(&data[prev..]);
         assert_eq!(hasher.finalize(), sha256(&data));
+    });
+}
+
+/// A cached [`HmacMidstate`] is indistinguishable from a from-scratch
+/// HMAC for every key/message length in `0..=257` — below, at and past
+/// both the 64-byte key-block and 55-byte single-compression-message
+/// boundaries, including the hash-the-key-first path.
+#[test]
+fn midstate_equals_fresh_hmac() {
+    check("midstate_equals_fresh_hmac", |rng| {
+        let key = byte_vec(rng, 257);
+        let msg = byte_vec(rng, 257);
+        let expected = hmac_sha256(&key, &msg);
+        let midstate = HmacMidstate::new(&key);
+        assert_eq!(midstate.compute(&msg), expected, "key_len={}", key.len());
+        // The same midstate, used incrementally with a random split.
+        let cut = rng.gen_range(0..=msg.len());
+        let mut mac = midstate.mac();
+        mac.update(&msg[..cut]);
+        mac.update(&msg[cut..]);
+        assert_eq!(mac.finalize(), expected, "cut={cut}");
     });
 }
 

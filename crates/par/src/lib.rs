@@ -1,0 +1,243 @@
+//! A zero-dependency parallel runtime for the LPPA workspace.
+//!
+//! The auction pipeline has two embarrassingly parallel hot spots — the
+//! bidder-side submission masking (every bidder masks its own tags
+//! independently) and the auctioneer-side index construction. The
+//! workspace is hermetic by design, so instead of `rayon` this crate
+//! provides the two primitives those paths actually need, built on
+//! `std::thread::scope`:
+//!
+//! * [`par_map`] — map a function over a slice, results in input order;
+//! * [`par_chunks`] — map a function over fixed-size chunks of a slice,
+//!   results in chunk order.
+//!
+//! # Scheduling
+//!
+//! Work is split into chunks and workers *self-schedule*: each thread
+//! repeatedly claims the next unclaimed chunk from a shared atomic
+//! counter ("work-stealing lite" — the cheap half of a deque scheduler,
+//! which is all uniform workloads need). Results travel back over a
+//! channel labelled with their chunk number and are reassembled in
+//! order, so the output is **deterministic and identical for every
+//! thread count** — a property the repo's reproducibility CI gate
+//! checks by running the whole suite under `LPPA_THREADS=1` and
+//! `LPPA_THREADS=4`.
+//!
+//! # Thread count
+//!
+//! The worker count comes from the `LPPA_THREADS` environment variable
+//! (clamped to ≥ 1), defaulting to [`std::thread::available_parallelism`].
+//! It is read once per process and cached. With one worker the
+//! primitives run inline on the calling thread — no threads are spawned
+//! and no channel is allocated.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = lppa_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, [1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+/// Environment variable controlling the worker-thread count.
+pub const THREADS_ENV: &str = "LPPA_THREADS";
+
+/// Chunks per worker that [`par_map`] aims for, so slow chunks can be
+/// compensated by idle workers picking up remaining ones.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Parses a `LPPA_THREADS`-style value; `None` means unset/invalid and
+/// falls back to the machine's available parallelism.
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// The number of worker threads the primitives in this crate use.
+///
+/// `LPPA_THREADS` if set to a positive integer, else
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+/// Cached after the first call.
+pub fn thread_count() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        parse_threads(std::env::var(THREADS_ENV).ok().as_deref())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Maps `f` over `items` in parallel; the result order matches the
+/// input order regardless of thread count or scheduling.
+///
+/// Panics in `f` propagate to the caller (via the scoped-thread join).
+///
+/// # Examples
+///
+/// ```
+/// let lens = lppa_par::par_map(&["a", "bcd", ""], |s| s.len());
+/// assert_eq!(lens, [1, 3, 0]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count();
+    // Aim for several chunks per worker for load balance, but never
+    // more chunks than items.
+    let chunk_size = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let per_chunk = par_chunks(items, chunk_size, |_, chunk| chunk.iter().map(&f).collect());
+    flatten_in_order(per_chunk)
+}
+
+/// Splits `items` into `chunk_size`-sized chunks (the last may be
+/// shorter) and maps `f` over them in parallel. `f` receives the chunk
+/// index and the chunk; results come back in chunk order.
+///
+/// Runs inline on the calling thread when a single worker is configured
+/// or there is at most one chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero, or if `f` panics on any chunk.
+///
+/// # Examples
+///
+/// ```
+/// let sums = lppa_par::par_chunks(&[1u32, 2, 3, 4, 5], 2, |_, c| {
+///     c.iter().sum::<u32>()
+/// });
+/// assert_eq!(sums, [3, 7, 5]);
+/// ```
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n_chunks = items.len().div_ceil(chunk_size);
+    let threads = thread_count().min(n_chunks);
+    if threads <= 1 {
+        return items.chunks(chunk_size).enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+
+    let next_chunk = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next_chunk = &next_chunk;
+            let f = &f;
+            scope.spawn(move || loop {
+                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(items.len());
+                // The receiver outlives the scope; send cannot fail
+                // unless the main thread already panicked.
+                let _ = tx.send((c, f(c, &items[lo..hi])));
+            });
+        }
+    });
+    drop(tx);
+
+    // Reassemble in chunk order so the caller sees a deterministic
+    // result for every thread count.
+    let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+    for (c, out) in rx {
+        slots[c] = Some(out);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(c, slot)| slot.unwrap_or_else(|| panic!("chunk {c} produced no result")))
+        .collect()
+}
+
+/// Concatenates per-chunk result vectors, preserving chunk order.
+fn flatten_in_order<R>(per_chunk: Vec<Vec<R>>) -> Vec<R> {
+    let total = per_chunk.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(par_map(&items, |&x| x * 3 + 1), expected);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[42u32], |&x| x + 1), [43]);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_exactly_once() {
+        let items: Vec<usize> = (0..97).collect();
+        for chunk_size in [1usize, 2, 7, 50, 97, 200] {
+            let chunks = par_chunks(&items, chunk_size, |_, c| c.to_vec());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "chunk_size={chunk_size}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_passes_consistent_chunk_indices() {
+        let items: Vec<usize> = (0..40).collect();
+        let indexed = par_chunks(&items, 7, |i, c| (i, c[0]));
+        for (position, (index, first)) in indexed.iter().enumerate() {
+            assert_eq!(*index, position);
+            assert_eq!(*first, position * 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        par_chunks(&[1u8], 0, |_, c| c.len());
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-1")), None);
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one_and_stable() {
+        let first = thread_count();
+        assert!(first >= 1);
+        assert_eq!(thread_count(), first);
+    }
+
+    #[test]
+    fn results_match_sequential_reference_under_any_schedule() {
+        // Large enough to exercise multi-chunk scheduling when the
+        // suite runs with LPPA_THREADS > 1.
+        let items: Vec<u64> = (0..5000).map(|i| i * 2654435761 % 1013).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xabcd).collect();
+        assert_eq!(par_map(&items, |&x| x.wrapping_mul(x) ^ 0xabcd), sequential);
+    }
+}

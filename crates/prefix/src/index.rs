@@ -1,0 +1,258 @@
+//! Inverted tag index: the auctioneer-side matching accelerator.
+//!
+//! The membership predicate `x ∈ [a, b] ⇔ H(G(x)) ∩ H(Q([a,b])) ≠ ∅`
+//! is a *set intersection*, and the naive auction loops evaluate it for
+//! every pair of bidders — `O(n² · w)` probes for the conflict graph.
+//! This module turns the quadratic pair loop into a linear index pass:
+//! insert every range-cover tag into a [`TagIndex`] keyed by tag, then
+//! probe each bidder's point-family tags once. A probe hit names exactly
+//! the candidate pairs whose sets intersect; everything else is never
+//! touched.
+//!
+//! Owner lists are short in practice (a tag is shared only by the
+//! bidders whose ranges contain the same dyadic interval), so they are
+//! stored in a [`SmallVec`] that keeps up to three owners inline before
+//! spilling to the heap.
+//!
+//! # Examples
+//!
+//! ```
+//! use lppa_crypto::keys::HmacKey;
+//! use lppa_prefix::index::TagIndex;
+//! use lppa_prefix::masked::{MaskedPoint, MaskedRange};
+//!
+//! # fn main() -> Result<(), lppa_prefix::PrefixError> {
+//! let key = HmacKey::from_bytes([42u8; 32]);
+//! let ranges =
+//!     [MaskedRange::mask(&key, 4, 0, 5)?, MaskedRange::mask(&key, 4, 6, 14)?];
+//! let mut index = TagIndex::new();
+//! for (owner, range) in ranges.iter().enumerate() {
+//!     index.insert_all(range.iter(), owner as u32);
+//! }
+//! // 7 ∈ [6, 14] but 7 ∉ [0, 5]: probing G(7) hits only owner 1.
+//! let point = MaskedPoint::mask(&key, 4, 7)?;
+//! let hits: Vec<u32> =
+//!     point.iter().flat_map(|t| index.owners(t)).copied().collect();
+//! assert_eq!(hits, [1]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use lppa_crypto::tag::{Tag, TagBuildHasher};
+
+/// How many owners a [`SmallVec`] stores without a heap allocation.
+///
+/// Three covers the overwhelmingly common case: location-range covers
+/// are deep dyadic intervals shared by few bidders, and padding tags are
+/// unique.
+pub const INLINE_OWNERS: usize = 3;
+
+/// A tiny vector of `Copy` values that stores up to [`INLINE_OWNERS`]
+/// elements inline and spills to a `Vec` beyond that.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_prefix::index::SmallVec;
+///
+/// let mut v: SmallVec<u32> = SmallVec::new();
+/// for i in 0..5 {
+///     v.push(i);
+/// }
+/// assert_eq!(v.as_slice(), [0, 1, 2, 3, 4]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SmallVec<T: Copy + Default> {
+    repr: Repr<T>,
+}
+
+#[derive(Clone, Debug)]
+enum Repr<T: Copy + Default> {
+    Inline { buf: [T; INLINE_OWNERS], len: u8 },
+    Spilled(Vec<T>),
+}
+
+impl<T: Copy + Default> SmallVec<T> {
+    /// An empty vector; allocates nothing.
+    pub fn new() -> Self {
+        Self { repr: Repr::Inline { buf: [T::default(); INLINE_OWNERS], len: 0 } }
+    }
+
+    /// Appends `value`, moving to the heap on the first push past the
+    /// inline capacity.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                let n = usize::from(*len);
+                if n < INLINE_OWNERS {
+                    buf[n] = value;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(INLINE_OWNERS * 2);
+                    spilled.extend_from_slice(buf);
+                    spilled.push(value);
+                    self.repr = Repr::Spilled(spilled);
+                }
+            }
+            Repr::Spilled(v) => v.push(value),
+        }
+    }
+
+    /// The stored elements, in insertion order.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Inline { buf, len } => &buf[..usize::from(*len)],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl<T: Copy + Default> Default for SmallVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An inverted index from tag to the submissions that transmitted it.
+///
+/// Built once over one side of a batch of membership tests (typically
+/// every bidder's masked range cover) and probed with the other side
+/// (every bidder's masked point family). Probing is `O(1)` expected per
+/// tag plus the length of the returned owner list, so a full all-pairs
+/// matching pass costs `O(total tags + hits)` instead of `O(n² · w)`.
+///
+/// Owners are caller-chosen `u32` labels — bidder indices in the auction
+/// paths. The index never deduplicates: inserting the same `(tag,
+/// owner)` twice yields the owner twice.
+#[derive(Clone, Debug, Default)]
+pub struct TagIndex {
+    map: HashMap<Tag, SmallVec<u32>, TagBuildHasher>,
+    entries: usize,
+}
+
+impl TagIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty index pre-sized for roughly `tags` distinct tags.
+    pub fn with_capacity(tags: usize) -> Self {
+        Self { map: HashMap::with_capacity_and_hasher(tags, TagBuildHasher::default()), entries: 0 }
+    }
+
+    /// Records that `owner` transmitted `tag`.
+    pub fn insert(&mut self, tag: Tag, owner: u32) {
+        self.map.entry(tag).or_default().push(owner);
+        self.entries += 1;
+    }
+
+    /// Records every tag of one transmitted set for `owner`.
+    pub fn insert_all<'a, I>(&mut self, tags: I, owner: u32)
+    where
+        I: IntoIterator<Item = &'a Tag>,
+    {
+        for tag in tags {
+            self.insert(*tag, owner);
+        }
+    }
+
+    /// The owners that transmitted `tag` (empty slice if none did).
+    pub fn owners(&self, tag: &Tag) -> &[u32] {
+        self.map.get(tag).map_or(&[], SmallVec::as_slice)
+    }
+
+    /// Number of distinct tags present.
+    pub fn distinct_tags(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of `(tag, owner)` insertions.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index holds no tags.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(byte: u8) -> Tag {
+        Tag::from_bytes([byte; 16])
+    }
+
+    #[test]
+    fn smallvec_stays_inline_then_spills() {
+        let mut v: SmallVec<u32> = SmallVec::new();
+        assert!(v.is_empty());
+        for i in 0..INLINE_OWNERS as u32 {
+            v.push(i);
+        }
+        assert!(matches!(v.repr, Repr::Inline { .. }));
+        assert_eq!(v.as_slice(), [0, 1, 2]);
+        v.push(3);
+        assert!(matches!(v.repr, Repr::Spilled(_)));
+        assert_eq!(v.as_slice(), [0, 1, 2, 3]);
+        assert_eq!(v.len(), INLINE_OWNERS + 1);
+    }
+
+    #[test]
+    fn smallvec_push_order_is_preserved_across_spill() {
+        let mut v: SmallVec<u32> = SmallVec::default();
+        let values: Vec<u32> = (0..20).map(|i| i * 7).collect();
+        for &x in &values {
+            v.push(x);
+        }
+        assert_eq!(v.as_slice(), &values[..]);
+    }
+
+    #[test]
+    fn index_maps_tags_to_all_owners_in_order() {
+        let mut index = TagIndex::new();
+        index.insert(tag(1), 10);
+        index.insert(tag(2), 11);
+        index.insert(tag(1), 12);
+        assert_eq!(index.owners(&tag(1)), [10, 12]);
+        assert_eq!(index.owners(&tag(2)), [11]);
+        assert_eq!(index.owners(&tag(3)), [] as [u32; 0]);
+        assert_eq!(index.distinct_tags(), 2);
+        assert_eq!(index.entry_count(), 3);
+    }
+
+    #[test]
+    fn insert_all_indexes_every_tag_of_a_set() {
+        let mut index = TagIndex::with_capacity(8);
+        let tags = [tag(1), tag(2), tag(3)];
+        index.insert_all(tags.iter(), 7);
+        for t in &tags {
+            assert_eq!(index.owners(t), [7]);
+        }
+        assert_eq!(index.entry_count(), 3);
+    }
+
+    #[test]
+    fn empty_index_reports_empty() {
+        let index = TagIndex::new();
+        assert!(index.is_empty());
+        assert_eq!(index.distinct_tags(), 0);
+        assert_eq!(index.entry_count(), 0);
+        assert!(index.owners(&tag(9)).is_empty());
+    }
+}

@@ -9,9 +9,12 @@
 //! * [`family::prefix_family`] — the family `G(x)` of all prefixes
 //!   containing a number;
 //! * [`range::range_prefixes`] — the minimal cover `Q([a, b])` of an
-//!   interval (≤ `2w − 2` prefixes);
+//!   interval (≤ `max(2, 2w − 2)` prefixes, see [`range::max_cover_len`]);
 //! * [`masked`] — HMAC-masked families and covers, supporting the
-//!   oblivious membership test `x ∈ [a, b] ⇔ H(G(x)) ∩ H(Q([a,b])) ≠ ∅`.
+//!   oblivious membership test `x ∈ [a, b] ⇔ H(G(x)) ∩ H(Q([a,b])) ≠ ∅`;
+//! * [`index`] — an inverted tag index that batches those membership
+//!   tests, replacing `O(n²)` pairwise intersections with one linear
+//!   build-and-probe pass.
 //!
 //! # Examples
 //!
@@ -36,12 +39,14 @@
 
 pub mod error;
 pub mod family;
+pub mod index;
 pub mod masked;
 pub mod prefix;
 pub mod range;
 
 pub use error::PrefixError;
 pub use family::prefix_family;
+pub use index::TagIndex;
 pub use masked::{MaskedPoint, MaskedRange};
 pub use prefix::{Prefix, MAX_WIDTH};
 pub use range::{max_cover_len, range_prefixes};

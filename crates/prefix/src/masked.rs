@@ -17,7 +17,7 @@
 use std::collections::HashSet;
 
 use lppa_crypto::keys::HmacKey;
-use lppa_crypto::tag::{Tag, TAG_LEN};
+use lppa_crypto::tag::{Tag, TagBuildHasher, TAG_LEN};
 use lppa_rng::RngCore;
 
 use crate::error::PrefixError;
@@ -25,8 +25,15 @@ use crate::family::prefix_family;
 use crate::prefix::Prefix;
 use crate::range::{max_cover_len, range_prefixes};
 
+/// The set type backing masked families and covers.
+///
+/// Tags are HMAC output, so the sets use the cheap fixed
+/// [`TagBuildHasher`] rather than SipHash — membership probes are the
+/// auctioneer's innermost loop.
+pub type TagSet = HashSet<Tag, TagBuildHasher>;
+
 /// Masks a slice of prefixes under `key`.
-fn mask_all(key: &HmacKey, prefixes: &[Prefix]) -> HashSet<Tag> {
+fn mask_all(key: &HmacKey, prefixes: &[Prefix]) -> TagSet {
     prefixes.iter().map(|p| Tag::compute(key, &p.to_mask_input())).collect()
 }
 
@@ -48,7 +55,7 @@ fn mask_all(key: &HmacKey, prefixes: &[Prefix]) -> HashSet<Tag> {
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MaskedPoint {
-    tags: HashSet<Tag>,
+    tags: TagSet,
 }
 
 impl MaskedPoint {
@@ -76,7 +83,12 @@ impl MaskedPoint {
         self.tags.iter().any(|t| range.tags.contains(t))
     }
 
-    /// Number of transmitted tags (`w + 1` for a genuine family).
+    /// Number of transmitted tags.
+    ///
+    /// A genuine family over a `width`-bit domain carries exactly
+    /// `width + 1` tags: one prefix per wildcarded suffix length
+    /// `0..=width`, *including* the all-wildcard root that matches every
+    /// value (see [`prefix_family`]).
     pub fn len(&self) -> usize {
         self.tags.len()
     }
@@ -130,7 +142,7 @@ fn split_mix(mut z: u64) -> u64 {
 /// A masked range cover `H_g(O(Q([a, b])))`: a hidden interval.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MaskedRange {
-    tags: HashSet<Tag>,
+    tags: TagSet,
 }
 
 impl MaskedRange {
@@ -145,7 +157,9 @@ impl MaskedRange {
     }
 
     /// Masks the cover of `[lo, hi]` and pads it with random tags to the
-    /// worst-case cardinality `2·width − 2`.
+    /// worst-case cardinality [`max_cover_len`]`(width)` — `2·width − 2`
+    /// for widths ≥ 2, clamped to 2 below that (a 1-bit domain has
+    /// two-prefix covers but `2·1 − 2 = 0`).
     ///
     /// Without padding, the number of transmitted tags leaks the shape of
     /// the range (§IV.C.1 problem 3 in the paper: `[10, 14]` has three

@@ -68,7 +68,9 @@ fn descend(width: u8, bits: u32, spec_len: u8, lo: u32, hi: u32, out: &mut Vec<P
     descend(width, (bits << 1) | 1, spec_len + 1, lo, hi, out);
 }
 
-/// Upper bound on the cover size for a `width`-bit domain: `2·width − 2`.
+/// Upper bound on the cover size for a `width`-bit domain:
+/// `max(2, 2·width − 2)` — the classic `2w − 2` bound for `w ≥ 2`,
+/// clamped to 2 for the degenerate 1-bit domain.
 ///
 /// The advanced bid-submission protocol pads every transmitted range cover
 /// to exactly this many elements so cover cardinality cannot be used to
