@@ -93,7 +93,9 @@ pub fn greedy_allocate<O: BidOracle, R: Rng>(
             pool = (0..k).collect();
             pool.shuffle(rng);
         }
-        let channel = ChannelId(pool.pop().expect("pool refilled above"));
+        // `remaining > 0` implies `k > 0`, so the refilled pool is never
+        // empty — but a defensive break beats a panic mid-auction.
+        let Some(channel) = pool.pop().map(ChannelId) else { break };
 
         let candidates: Vec<BidderId> =
             (0..n).filter(|&i| row_alive[i] && entry[i][channel.0]).map(BidderId).collect();
@@ -141,14 +143,16 @@ impl BidOracle for BidTable {
         candidates: &[BidderId],
         rng: &mut dyn lppa_rng::RngCore,
     ) -> BidderId {
-        let best = candidates
-            .iter()
-            .map(|&b| self.bid(b, channel))
-            .max()
-            .expect("candidates are non-empty");
+        let best = candidates.iter().map(|&b| self.bid(b, channel)).max().unwrap_or(0);
         let tied: Vec<BidderId> =
             candidates.iter().copied().filter(|&b| self.bid(b, channel) == best).collect();
-        *tied.choose(rng).expect("tied set is non-empty")
+        // `tied` contains every maximal candidate, so it is non-empty
+        // whenever `candidates` is (the trait contract); the fallback
+        // avoids a panic path in the auction's innermost loop.
+        match tied.choose(rng) {
+            Some(&winner) => winner,
+            None => candidates[0],
+        }
     }
 }
 

@@ -64,7 +64,9 @@ pub fn greedy_allocate_traced<O: BidOracle, R: Rng>(
             pool = (0..k).collect();
             pool.shuffle(rng);
         }
-        let channel = ChannelId(pool.pop().expect("pool refilled above"));
+        // As in `greedy_allocate`: `remaining > 0` implies `k > 0`, so
+        // the refilled pool is never empty; break defensively anyway.
+        let Some(channel) = pool.pop().map(ChannelId) else { break };
         let candidates: Vec<BidderId> =
             (0..n).filter(|&i| row_alive[i] && entry[i][channel.0]).map(BidderId).collect();
         if candidates.is_empty() {

@@ -77,6 +77,34 @@ pub fn run_plain_auction_with_bidders<R: Rng>(
     run_plain_auction_with_table(bidders, table, config, rng)
 }
 
+/// Runs a plaintext auction with the listed bidders absent — the
+/// baseline mirror of a fault-tolerant session round where some bidders
+/// missed the collect deadline or were quarantined.
+///
+/// Excluded bidders keep their rows and conflict-graph nodes (ids stay
+/// original), but their bids are zeroed, so they hold no entries and can
+/// never win; everyone else competes exactly as they would have. This is
+/// the dropout semantics `lppa-session` implements privately: the round
+/// commits with whoever showed up.
+pub fn run_plain_auction_excluding<R: Rng>(
+    bidders: &[Bidder],
+    table: &BidTable,
+    excluded: &[usize],
+    config: &AuctionConfig,
+    rng: &mut R,
+) -> PlainAuction {
+    let rows: Vec<Vec<u32>> = (0..table.n_bidders())
+        .map(|i| {
+            if excluded.contains(&i) {
+                vec![0; table.n_channels()]
+            } else {
+                table.row(crate::bidder::BidderId(i)).to_vec()
+            }
+        })
+        .collect();
+    run_plain_auction_with_table(bidders, BidTable::from_rows(rows), config, rng)
+}
+
 /// Runs the allocation and charging stages on an existing bid table.
 pub fn run_plain_auction_with_table<R: Rng>(
     bidders: &[Bidder],
@@ -143,6 +171,45 @@ mod tests {
         let a = run_plain_auction(&map, &config, &mut StdRng::seed_from_u64(5));
         let b = run_plain_auction(&map, &config, &mut StdRng::seed_from_u64(5));
         assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn excluded_bidders_never_win_and_others_still_compete() {
+        let map = map();
+        let config = AuctionConfig { n_bidders: 30, lambda: 2, bid_model: BidModel::default() };
+        let mut rng = StdRng::seed_from_u64(9);
+        let bidders = generate_bidders(&map, config.n_bidders, &config.bid_model, &mut rng);
+        let table = BidTable::generate(&map, &bidders, &config.bid_model, &mut rng);
+
+        let excluded = [0usize, 7, 19];
+        let dropped = run_plain_auction_excluding(
+            &bidders,
+            &table,
+            &excluded,
+            &config,
+            &mut StdRng::seed_from_u64(17),
+        );
+        // Nobody excluded wins; ids stay original-sized.
+        assert_eq!(dropped.conflicts.len(), 30);
+        for a in dropped.outcome.assignments() {
+            assert!(!excluded.contains(&a.bidder.0), "{a:?}");
+            assert_eq!(a.price, table.bid(a.bidder, a.channel));
+        }
+        // Excluding nobody reproduces the ordinary run exactly.
+        let full = run_plain_auction_with_table(
+            &bidders,
+            table.clone(),
+            &config,
+            &mut StdRng::seed_from_u64(17),
+        );
+        let none = run_plain_auction_excluding(
+            &bidders,
+            &table,
+            &[],
+            &config,
+            &mut StdRng::seed_from_u64(17),
+        );
+        assert_eq!(full.outcome, none.outcome);
     }
 
     #[test]

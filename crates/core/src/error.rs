@@ -41,6 +41,47 @@ pub enum LppaError {
     /// The winning bid's masked prefixes do not match its sealed price —
     /// the bidder manipulated its submission.
     ChargeManipulated,
+    /// A received submission is structurally broken: wrong tag-set
+    /// cardinality, empty tag sets, or a failed integrity checksum.
+    ///
+    /// Unlike [`LppaError::ChannelCountMismatch`] &c., which describe a
+    /// *bidder-side* domain violation, this describes damage observable
+    /// at the auctioneer's edge — typically transport truncation or
+    /// deliberate tampering.
+    MalformedSubmission {
+        /// What is broken, human-readable.
+        reason: String,
+    },
+    /// One bidder's submission was rejected during a fault-tolerant
+    /// collection round. The round continues without the bidder; this
+    /// error records who and why (the cause chains through
+    /// [`std::error::Error::source`]).
+    SubmissionRejected {
+        /// Index of the rejected bidder in the collection order.
+        bidder: usize,
+        /// The underlying rejection.
+        cause: Box<LppaError>,
+    },
+    /// A fault-tolerant collection phase closed with fewer intact
+    /// submissions than the session's configured quorum.
+    QuorumNotReached {
+        /// Submissions accepted before the deadline.
+        accepted: usize,
+        /// Minimum required to commit the round.
+        required: usize,
+    },
+    /// The periodically-online TTP never became reachable within the
+    /// charging deadline; charges were deferred, not decided.
+    TtpUnavailable {
+        /// Ticks waited before giving up.
+        waited: u64,
+    },
+    /// An internal invariant was violated — the protocol-layer
+    /// replacement for a panic in library code.
+    Internal {
+        /// Which invariant.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for LppaError {
@@ -63,6 +104,21 @@ impl std::fmt::Display for LppaError {
             LppaError::ChargeManipulated => {
                 write!(f, "winning bid's prefixes do not match its sealed price")
             }
+            LppaError::MalformedSubmission { reason } => {
+                write!(f, "malformed submission: {reason}")
+            }
+            LppaError::SubmissionRejected { bidder, cause } => {
+                write!(f, "submission from bidder {bidder} rejected: {cause}")
+            }
+            LppaError::QuorumNotReached { accepted, required } => {
+                write!(f, "collection quorum not reached: {accepted} accepted, {required} required")
+            }
+            LppaError::TtpUnavailable { waited } => {
+                write!(f, "TTP unreachable for {waited} ticks; charging deferred")
+            }
+            LppaError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }
@@ -71,6 +127,7 @@ impl std::error::Error for LppaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LppaError::Prefix(e) => Some(e),
+            LppaError::SubmissionRejected { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -79,6 +136,14 @@ impl std::error::Error for LppaError {
 impl From<PrefixError> for LppaError {
     fn from(e: PrefixError) -> Self {
         LppaError::Prefix(e)
+    }
+}
+
+impl LppaError {
+    /// Wraps `self` as a per-bidder rejection, preserving it as the
+    /// chained [`std::error::Error::source`].
+    pub fn rejected_for(self, bidder: usize) -> LppaError {
+        LppaError::SubmissionRejected { bidder, cause: Box::new(self) }
     }
 }
 
@@ -96,6 +161,11 @@ mod tests {
             (LppaError::LocationOutOfRange { coordinate: 9, max: 7 }, "9"),
             (LppaError::ChargeAuthentication, "authentication"),
             (LppaError::ChargeManipulated, "do not match"),
+            (LppaError::MalformedSubmission { reason: "ragged point".into() }, "ragged point"),
+            (LppaError::ChargeAuthentication.rejected_for(4), "bidder 4"),
+            (LppaError::QuorumNotReached { accepted: 2, required: 5 }, "2 accepted"),
+            (LppaError::TtpUnavailable { waited: 64 }, "64 ticks"),
+            (LppaError::Internal { what: "empty maxima".into() }, "empty maxima"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err:?}");
@@ -109,5 +179,19 @@ mod tests {
         use std::error::Error as _;
         assert!(err.source().is_some());
         assert!(LppaError::ChargeAuthentication.source().is_none());
+    }
+
+    #[test]
+    fn rejection_chains_to_root_cause() {
+        use std::error::Error as _;
+        // Prefix failure → per-bidder rejection: the chain walks all the
+        // way down to the PrefixError.
+        let root: LppaError = PrefixError::EmptyTagSet.into();
+        let rejected = root.rejected_for(7);
+        let mid = rejected.source().expect("rejection has a source");
+        assert!(mid.to_string().contains("prefix"));
+        let leaf = mid.source().expect("Prefix chains to PrefixError");
+        assert!(leaf.to_string().contains("empty"));
+        assert!(leaf.source().is_none());
     }
 }

@@ -72,8 +72,10 @@ pub use error::LppaError;
 pub use ppbs::bid::{AdvancedBidSubmission, BasicBidSubmission, ChannelBid};
 pub use ppbs::location::{build_conflict_graph, LocationSubmission};
 pub use protocol::{
-    run_private_auction, run_private_auction_from_bids, run_private_auction_from_bids_with_model,
-    run_private_auction_with_model, AuctioneerModel, PrivateAuctionResult, SuSubmission,
+    charge_requests, run_private_auction, run_private_auction_from_bids,
+    run_private_auction_from_bids_with_model, run_private_auction_tolerant,
+    run_private_auction_with_model, validate_submission, AuctioneerModel, PrivateAuctionResult,
+    SuSubmission, TolerantAuctionResult,
 };
 pub use psd::table::MaskedBidTable;
 pub use pseudonym::PseudonymPool;

@@ -45,6 +45,17 @@ impl ChannelBid {
         self.point.wire_len() + self.range.wire_len() + self.sealed.wire_len()
     }
 
+    /// An order-sensitive digest of the transmitted parts, used by
+    /// transport integrity checksums.
+    pub fn checksum(&self) -> u64 {
+        self.point
+            .fingerprint()
+            .rotate_left(1)
+            .wrapping_add(self.range.fingerprint())
+            .rotate_left(1)
+            .wrapping_add(self.sealed.fingerprint())
+    }
+
     #[allow(clippy::too_many_arguments)] // private constructor mirroring the protocol fields
     fn build<R: Rng + ?Sized>(
         key: &HmacKey,
@@ -221,6 +232,31 @@ impl AdvancedBidSubmission {
         Ok(Self { bids, presented_positive })
     }
 
+    /// Reassembles a submission from raw parts — the receiving side of a
+    /// wire transfer, and the hook chaos tooling uses to model tampered
+    /// or corrupted submissions.
+    ///
+    /// No semantic validation happens here (the parts are opaque masked
+    /// sets); use `crate::protocol::validate_submission` at the
+    /// auctioneer's edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppaError::ChannelCountMismatch`] if the two vectors
+    /// disagree on the channel count.
+    pub fn from_parts(
+        bids: Vec<ChannelBid>,
+        presented_positive: Vec<bool>,
+    ) -> Result<Self, LppaError> {
+        if bids.len() != presented_positive.len() {
+            return Err(LppaError::ChannelCountMismatch {
+                submitted: presented_positive.len(),
+                expected: bids.len(),
+            });
+        }
+        Ok(Self { bids, presented_positive })
+    }
+
     /// The masked bids, channel by channel.
     pub fn bids(&self) -> &[ChannelBid] {
         &self.bids
@@ -245,6 +281,12 @@ impl AdvancedBidSubmission {
     /// Total transmission size in bytes.
     pub fn wire_len(&self) -> usize {
         self.bids.iter().map(ChannelBid::wire_len).sum()
+    }
+
+    /// Digest over every channel's transmitted parts (channel order is
+    /// significant).
+    pub fn checksum(&self) -> u64 {
+        self.bids.iter().fold(0u64, |acc, bid| acc.rotate_left(7).wrapping_add(bid.checksum()))
     }
 }
 

@@ -99,6 +99,52 @@ impl LocationSubmission {
             + self.point_y.wire_len()
             + self.range_y.wire_len()
     }
+
+    /// Structural validation of a *received* submission against the
+    /// auction's configuration: every axis must carry a full prefix
+    /// family (`loc_bits + 1` point tags) and a fully padded cover
+    /// (`max_cover_len(loc_bits)` range tags).
+    ///
+    /// Genuine bidders always satisfy this by construction; a failure
+    /// means transport truncation or tampering, and the auctioneer should
+    /// quarantine the sender rather than let a partial tag set silently
+    /// erase conflicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppaError::MalformedSubmission`] naming the broken axis.
+    pub fn validate(&self, config: &LppaConfig) -> Result<(), LppaError> {
+        let want_point = usize::from(config.loc_bits) + 1;
+        let want_range = lppa_prefix::max_cover_len(config.loc_bits);
+        let checks = [
+            ("x point", self.point_x.len(), want_point),
+            ("x range", self.range_x.len(), want_range),
+            ("y point", self.point_y.len(), want_point),
+            ("y range", self.range_y.len(), want_range),
+        ];
+        for (axis, got, want) in checks {
+            if got != want {
+                return Err(LppaError::MalformedSubmission {
+                    reason: format!("location {axis} has {got} tags, expected {want}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// An order-independent digest of every transmitted tag, used as the
+    /// transport integrity checksum. Reveals nothing beyond the wire
+    /// bytes themselves.
+    pub fn checksum(&self) -> u64 {
+        self.point_x
+            .fingerprint()
+            .rotate_left(1)
+            .wrapping_add(self.range_x.fingerprint())
+            .rotate_left(1)
+            .wrapping_add(self.point_y.fingerprint())
+            .rotate_left(1)
+            .wrapping_add(self.range_y.fingerprint())
+    }
 }
 
 /// Builds the full conflict graph from all bidders' masked submissions —
@@ -262,6 +308,33 @@ mod tests {
         let a = LocationSubmission::build(Location::new(9, 9), &k1, &config, &mut rng).unwrap();
         let b = LocationSubmission::build(Location::new(9, 9), &k2, &config, &mut rng).unwrap();
         assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn validate_accepts_genuine_and_rejects_truncated() {
+        let (g0, config, mut rng) = setup();
+        let sub = LocationSubmission::build(Location::new(9, 9), &g0, &config, &mut rng).unwrap();
+        assert!(sub.validate(&config).is_ok());
+        // Truncate the x point: validation must name the damage.
+        let mut broken = sub.clone();
+        let kept: Vec<_> = broken.point_x.iter().copied().take(2).collect();
+        broken.point_x = MaskedPoint::from_tags(kept).unwrap();
+        let err = broken.validate(&config).unwrap_err();
+        assert!(matches!(err, LppaError::MalformedSubmission { .. }), "{err}");
+        assert!(err.to_string().contains("x point"));
+    }
+
+    #[test]
+    fn checksum_is_stable_and_damage_sensitive() {
+        let (g0, config, mut rng) = setup();
+        let sub = LocationSubmission::build(Location::new(30, 40), &g0, &config, &mut rng).unwrap();
+        assert_eq!(sub.checksum(), sub.clone().checksum());
+        // Swapping the axes changes the digest (rotation breaks XOR
+        // symmetry), as does any tag-level damage.
+        let mut swapped = sub.clone();
+        std::mem::swap(&mut swapped.point_x, &mut swapped.point_y);
+        std::mem::swap(&mut swapped.range_x, &mut swapped.range_y);
+        assert_ne!(sub.checksum(), swapped.checksum());
     }
 
     #[test]

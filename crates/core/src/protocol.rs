@@ -61,6 +61,61 @@ impl SuSubmission {
     pub fn wire_len(&self) -> usize {
         self.location.wire_len() + self.bids.wire_len()
     }
+
+    /// Transport integrity checksum over everything transmitted.
+    ///
+    /// The sender computes it once and attaches it to the wire message;
+    /// the receiver recomputes and discards mismatching deliveries as
+    /// corrupt. It digests only public wire bytes (masked tags and
+    /// ciphertexts), so it leaks nothing new.
+    pub fn checksum(&self) -> u64 {
+        self.location.checksum().rotate_left(13).wrapping_add(self.bids.checksum())
+    }
+}
+
+/// Structural validation of a received [`SuSubmission`] at the
+/// auctioneer's edge.
+///
+/// Checks that the channel count matches the auction, every prefix
+/// family carries exactly `width + 1` tags and every range cover is
+/// padded to the worst-case cardinality — the shape every genuine
+/// bidder produces by construction. Ragged or truncated submissions are
+/// the fingerprint of transport damage or tampering and must be
+/// quarantined per bidder, not allowed to poison the round.
+///
+/// # Errors
+///
+/// [`LppaError::ChannelCountMismatch`] or
+/// [`LppaError::MalformedSubmission`] naming the broken part.
+pub fn validate_submission(sub: &SuSubmission, ttp: &Ttp) -> Result<(), LppaError> {
+    let expected = ttp.n_channels();
+    if sub.bids.n_channels() != expected {
+        return Err(LppaError::ChannelCountMismatch { submitted: sub.bids.n_channels(), expected });
+    }
+    let config = ttp.config();
+    sub.location.validate(config)?;
+    let width = config.transformed_bits();
+    let want_point = usize::from(width) + 1;
+    let want_range = lppa_prefix::max_cover_len(width);
+    for (ch, bid) in sub.bids.bids().iter().enumerate() {
+        if bid.point.len() != want_point {
+            return Err(LppaError::MalformedSubmission {
+                reason: format!(
+                    "channel {ch} point has {} tags, expected {want_point}",
+                    bid.point.len()
+                ),
+            });
+        }
+        if bid.range.len() != want_range {
+            return Err(LppaError::MalformedSubmission {
+                reason: format!(
+                    "channel {ch} range has {} tags, expected {want_range}",
+                    bid.range.len()
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// How the auctioneer handles cells it cannot prove are genuine bids.
@@ -144,17 +199,7 @@ pub fn run_private_auction_with_model<R: Rng>(
     let grants = greedy_allocate(&table, &conflicts, rng);
 
     // Phase 4: batch charging through the TTP.
-    let requests: Vec<ChargeRequest> = grants
-        .iter()
-        .map(|g| {
-            let bid = &table.submissions()[g.bidder.0].bids()[g.channel.0];
-            ChargeRequest {
-                channel: g.channel,
-                sealed: bid.sealed.clone(),
-                point: bid.point.clone(),
-            }
-        })
-        .collect();
+    let requests = charge_requests(&table, &grants)?;
     let decisions = ttp.open_charges(&requests)?;
 
     let mut assignments = Vec::new();
@@ -175,6 +220,140 @@ pub fn run_private_auction_with_model<R: Rng>(
         invalid_grants,
         conflicts,
         grants,
+    })
+}
+
+/// Builds the TTP charging requests for `grants` over `table`.
+///
+/// # Errors
+///
+/// Returns [`LppaError::Internal`] if a grant references a cell outside
+/// the table — impossible for grants produced by the allocation, but
+/// checked instead of indexed so corrupted grant lists cannot panic the
+/// auctioneer.
+pub fn charge_requests(
+    table: &MaskedBidTable,
+    grants: &[Grant],
+) -> Result<Vec<ChargeRequest>, LppaError> {
+    grants
+        .iter()
+        .map(|g| {
+            let bid = table
+                .submissions()
+                .get(g.bidder.0)
+                .and_then(|s| s.bids().get(g.channel.0))
+                .ok_or_else(|| LppaError::Internal {
+                what: format!("grant ({}, {}) outside bid table", g.bidder.0, g.channel.0),
+            })?;
+            Ok(ChargeRequest {
+                channel: g.channel,
+                sealed: bid.sealed.clone(),
+                point: bid.point.clone(),
+            })
+        })
+        .collect()
+}
+
+/// The result of a fault-tolerant private auction round: the valid
+/// subset was auctioned, and every per-bidder failure is reported
+/// instead of aborting the round.
+///
+/// All bidder ids in `outcome`, `invalid_grants` and `grants` are
+/// *original* submission indices; `conflicts` is over the accepted
+/// subset in `accepted` order (compact ids), since rejected bidders have
+/// no usable location.
+#[derive(Clone, Debug)]
+pub struct TolerantAuctionResult {
+    /// Valid assignments with TTP-decrypted charges, original ids.
+    pub outcome: AuctionOutcome,
+    /// Disguised-zero wins the TTP invalidated, original ids.
+    pub invalid_grants: Vec<Grant>,
+    /// Raw grants in allocation order (before charging), original ids.
+    pub grants: Vec<Grant>,
+    /// Conflict graph over the accepted subset (compact ids, index into
+    /// `accepted`).
+    pub conflicts: ConflictGraph,
+    /// Original indices of the submissions that entered the auction.
+    pub accepted: Vec<usize>,
+    /// Per-bidder rejections: `(original index, cause)`. Collect-stage
+    /// rejections come from [`validate_submission`]; charge-stage ones
+    /// are [`LppaError::ChargeAuthentication`] /
+    /// [`LppaError::ChargeManipulated`] verdicts whose grants were
+    /// struck.
+    pub rejected: Vec<(usize, LppaError)>,
+}
+
+/// Fault-tolerant variant of [`run_private_auction_with_model`]: instead
+/// of aborting on the first bad submission, each bidder is validated
+/// independently, the auction runs over the valid subset, and charging
+/// uses the per-request TTP interface so one manipulated price strikes
+/// only its own grant.
+///
+/// # Errors
+///
+/// Returns [`LppaError::QuorumNotReached`] (with `required == 1`) only
+/// when *no* submission survives validation; per-bidder failures land in
+/// [`TolerantAuctionResult::rejected`].
+pub fn run_private_auction_tolerant<R: Rng>(
+    submissions: &[SuSubmission],
+    ttp: &Ttp,
+    model: AuctioneerModel,
+    rng: &mut R,
+) -> Result<TolerantAuctionResult, LppaError> {
+    let mut accepted_idx: Vec<usize> = Vec::new();
+    let mut accepted: Vec<SuSubmission> = Vec::new();
+    let mut rejected: Vec<(usize, LppaError)> = Vec::new();
+    for (i, sub) in submissions.iter().enumerate() {
+        match validate_submission(sub, ttp) {
+            Ok(()) => {
+                accepted_idx.push(i);
+                accepted.push(sub.clone());
+            }
+            Err(cause) => rejected.push((i, cause)),
+        }
+    }
+    if accepted.is_empty() {
+        return Err(LppaError::QuorumNotReached { accepted: 0, required: 1 });
+    }
+
+    // Phases 1–3 over the accepted subset (compact ids).
+    let locations: Vec<LocationSubmission> = accepted.iter().map(|s| s.location.clone()).collect();
+    let conflicts = build_conflict_graph(&locations);
+    let bids = accepted.iter().map(|s| s.bids.clone()).collect();
+    let table = match model {
+        AuctioneerModel::Oblivious => MaskedBidTable::collect(bids)?,
+        AuctioneerModel::IterativeCharging => MaskedBidTable::collect_pruned(bids)?,
+    };
+    let compact_grants = greedy_allocate(&table, &conflicts, rng);
+
+    // Phase 4: per-request charging — a bad verdict strikes one grant.
+    let requests = charge_requests(&table, &compact_grants)?;
+    let verdicts = ttp.open_charges_tolerant(&requests);
+
+    let to_original = |g: &Grant| Grant { bidder: BidderId(accepted_idx[g.bidder.0]), ..*g };
+    let mut assignments = Vec::new();
+    let mut invalid_grants = Vec::new();
+    for (grant, verdict) in compact_grants.iter().zip(verdicts) {
+        let original = to_original(grant);
+        match verdict {
+            Ok(ChargeDecision::Valid { raw_price }) => assignments.push(Assignment {
+                bidder: original.bidder,
+                channel: original.channel,
+                price: raw_price,
+            }),
+            Ok(ChargeDecision::InvalidZero) => invalid_grants.push(original),
+            Err(cause) => rejected.push((original.bidder.0, cause)),
+        }
+    }
+    rejected.sort_by_key(|(i, _)| *i);
+
+    Ok(TolerantAuctionResult {
+        outcome: AuctionOutcome::from_assignments(assignments, submissions.len()),
+        invalid_grants,
+        grants: compact_grants.iter().map(|g| to_original(g)).collect(),
+        conflicts,
+        accepted: accepted_idx,
+        rejected,
     })
 }
 
@@ -375,6 +554,150 @@ mod tests {
             SuSubmission::build(Location::new(3, 4), &[1, 2], &ttp, &policy, &mut rng).unwrap();
         assert_eq!(sub.wire_len(), sub.location.wire_len() + sub.bids.wire_len());
         assert!(sub.wire_len() > 0);
+    }
+
+    #[test]
+    fn validate_submission_accepts_genuine_and_names_damage() {
+        let (ttp, mut rng) = ttp(2, 6);
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let sub =
+            SuSubmission::build(Location::new(9, 9), &[3, 0], &ttp, &policy, &mut rng).unwrap();
+        assert!(validate_submission(&sub, &ttp).is_ok());
+
+        // Ragged channel count.
+        let ttp3 = Ttp::new(3, *ttp.config(), &mut rng).unwrap();
+        let ragged =
+            SuSubmission::build(Location::new(9, 9), &[1, 2, 3], &ttp3, &policy, &mut rng).unwrap();
+        assert!(matches!(
+            validate_submission(&ragged, &ttp),
+            Err(LppaError::ChannelCountMismatch { submitted: 3, expected: 2 })
+        ));
+
+        // Truncated point tags on one channel.
+        let mut bids = sub.bids.bids().to_vec();
+        let kept: Vec<_> = bids[1].point.iter().copied().take(3).collect();
+        bids[1].point = lppa_prefix::MaskedPoint::from_tags(kept).unwrap();
+        let truncated = SuSubmission {
+            location: sub.location.clone(),
+            bids: crate::ppbs::bid::AdvancedBidSubmission::from_parts(
+                bids,
+                sub.bids.presented_positive().to_vec(),
+            )
+            .unwrap(),
+        };
+        let err = validate_submission(&truncated, &ttp).unwrap_err();
+        assert!(err.to_string().contains("channel 1 point"), "{err}");
+    }
+
+    #[test]
+    fn checksum_detects_bid_tampering() {
+        let (ttp, mut rng) = ttp(2, 7);
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let sub =
+            SuSubmission::build(Location::new(4, 5), &[7, 9], &ttp, &policy, &mut rng).unwrap();
+        let original = sub.checksum();
+        // Re-mask channel 0's point as a different value: same shape,
+        // different tags — the checksum must move.
+        let config = *ttp.config();
+        let forged = lppa_prefix::MaskedPoint::mask(
+            &ttp.bidder_keys().gb[0],
+            config.transformed_bits(),
+            config.cr * config.offset_bid(100),
+        )
+        .unwrap();
+        let mut bids = sub.bids.bids().to_vec();
+        bids[0].point = forged;
+        let tampered = SuSubmission {
+            location: sub.location,
+            bids: crate::ppbs::bid::AdvancedBidSubmission::from_parts(
+                bids,
+                sub.bids.presented_positive().to_vec(),
+            )
+            .unwrap(),
+        };
+        assert_ne!(original, tampered.checksum());
+        // Shape is intact, so structural validation still passes — the
+        // checksum is the transport-level defence, the TTP the
+        // protocol-level one.
+        assert!(validate_submission(&tampered, &ttp).is_ok());
+    }
+
+    #[test]
+    fn tolerant_auction_quarantines_ragged_and_continues() {
+        let (ttp, mut rng) = ttp(2, 8);
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let good_a =
+            SuSubmission::build(Location::new(0, 0), &[50, 10], &ttp, &policy, &mut rng).unwrap();
+        let ttp3 = Ttp::new(3, *ttp.config(), &mut rng).unwrap();
+        let ragged =
+            SuSubmission::build(Location::new(5, 5), &[1, 2, 3], &ttp3, &policy, &mut rng).unwrap();
+        let good_b =
+            SuSubmission::build(Location::new(90, 90), &[20, 40], &ttp, &policy, &mut rng).unwrap();
+
+        let result = run_private_auction_tolerant(
+            &[good_a, ragged, good_b],
+            &ttp,
+            AuctioneerModel::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(result.accepted, vec![0, 2]);
+        assert_eq!(result.rejected.len(), 1);
+        assert_eq!(result.rejected[0].0, 1);
+        // Original ids survive translation: bidder 2 (not compact id 1)
+        // appears in the outcome.
+        let winners: Vec<usize> = result.outcome.assignments().iter().map(|a| a.bidder.0).collect();
+        assert!(winners.contains(&0) && winners.contains(&2), "{winners:?}");
+        assert!(!winners.contains(&1));
+        // Both valid bidders are far apart: each takes a channel.
+        assert_eq!(result.outcome.assignments().len(), 2);
+    }
+
+    #[test]
+    fn tolerant_auction_strikes_manipulated_grants_only() {
+        // One bidder presents the prefixes of a huge bid but seals a tiny
+        // one: it wins allocation, the TTP flags manipulation, and only
+        // that grant is struck — honest winners keep theirs.
+        let (ttp, mut rng) = ttp(1, 9);
+        let config = *ttp.config();
+        let policy = ZeroReplacePolicy::never(config.bid_max());
+        let honest =
+            SuSubmission::build(Location::new(0, 0), &[30], &ttp, &policy, &mut rng).unwrap();
+        let mut cheat =
+            SuSubmission::build(Location::new(1, 1), &[2], &ttp, &policy, &mut rng).unwrap();
+        // Forge the presented point/range as bid 120, keep the sealed 2.
+        let shown = config.cr * config.offset_bid(120);
+        let keys = ttp.bidder_keys();
+        let mut bids = cheat.bids.bids().to_vec();
+        bids[0].point =
+            lppa_prefix::MaskedPoint::mask(&keys.gb[0], config.transformed_bits(), shown).unwrap();
+        bids[0].range = lppa_prefix::MaskedRange::mask_padded(
+            &keys.gb[0],
+            config.transformed_bits(),
+            shown,
+            config.transformed_max(),
+            &mut rng,
+        )
+        .unwrap();
+        cheat.bids = crate::ppbs::bid::AdvancedBidSubmission::from_parts(
+            bids,
+            cheat.bids.presented_positive().to_vec(),
+        )
+        .unwrap();
+
+        let result = run_private_auction_tolerant(
+            &[honest, cheat],
+            &ttp,
+            AuctioneerModel::default(),
+            &mut rng,
+        )
+        .unwrap();
+        // The cheat won the (conflicting) contest but was struck.
+        assert!(result
+            .rejected
+            .iter()
+            .any(|(i, e)| *i == 1 && matches!(e, LppaError::ChargeManipulated)));
+        assert!(result.outcome.assignments().iter().all(|a| a.bidder.0 != 1));
     }
 
     #[test]

@@ -96,11 +96,28 @@ impl MaskedBidTable {
     ///
     /// # Panics
     ///
-    /// Panics if any index is out of range.
+    /// Panics if any index is out of range; use [`Self::try_ge`] for
+    /// untrusted indices.
     pub fn ge(&self, channel: ChannelId, a: BidderId, b: BidderId) -> bool {
         let pa = &self.submissions[a.0].bids()[channel.0];
         let pb = &self.submissions[b.0].bids()[channel.0];
         pa.point.in_range(&pb.range)
+    }
+
+    /// Bounds-checked [`Self::ge`] for indices from untrusted inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppaError::Internal`] naming the out-of-range index.
+    pub fn try_ge(&self, channel: ChannelId, a: BidderId, b: BidderId) -> Result<bool, LppaError> {
+        let cell = |bidder: BidderId| {
+            self.submissions.get(bidder.0).and_then(|s| s.bids().get(channel.0)).ok_or_else(|| {
+                LppaError::Internal {
+                    what: format!("bid cell ({}, {}) out of range", bidder.0, channel.0),
+                }
+            })
+        };
+        Ok(cell(a)?.point.in_range(&cell(b)?.range))
     }
 
     /// Ranks all bidders on `channel` by descending masked bid — the
@@ -132,15 +149,17 @@ impl MaskedBidTable {
     }
 
     /// One maximal element of the column restricted to `candidates`:
-    /// a single tournament pass of masked comparisons.
-    fn scan_best(&self, channel: ChannelId, candidates: &[BidderId]) -> BidderId {
-        let mut best = candidates[0];
-        for &c in &candidates[1..] {
+    /// a single tournament pass of masked comparisons. `None` iff
+    /// `candidates` is empty.
+    fn scan_best(&self, channel: ChannelId, candidates: &[BidderId]) -> Option<BidderId> {
+        let (&first, rest) = candidates.split_first()?;
+        let mut best = first;
+        for &c in rest {
             if !self.ge(channel, best, c) {
                 best = c;
             }
         }
-        best
+        Some(best)
     }
 
     /// Finds the bidders holding the column maximum among `candidates`
@@ -156,11 +175,13 @@ impl MaskedBidTable {
     /// evaluates, so the result equals [`Self::maxima_linear`] exactly;
     /// the property suite asserts as much.
     ///
+    /// Returns an empty vector for empty `candidates`.
+    ///
     /// # Panics
     ///
-    /// Panics if `candidates` is empty or any id is out of range.
+    /// Panics if any id is out of range.
     pub fn maxima_indexed(&self, channel: ChannelId, candidates: &[BidderId]) -> Vec<BidderId> {
-        let best = self.scan_best(channel, candidates);
+        let Some(best) = self.scan_best(channel, candidates) else { return Vec::new() };
         let range = &self.submissions[best.0].bids()[channel.0].range;
         let index = &self.point_indexes[channel.0];
         let mut hit = vec![false; self.submissions.len()];
@@ -178,11 +199,13 @@ impl MaskedBidTable {
     /// tournament pass followed by a second linear pass of masked
     /// comparisons against the champion.
     ///
+    /// Returns an empty vector for empty `candidates`.
+    ///
     /// # Panics
     ///
-    /// Panics if `candidates` is empty or any id is out of range.
+    /// Panics if any id is out of range.
     pub fn maxima_linear(&self, channel: ChannelId, candidates: &[BidderId]) -> Vec<BidderId> {
-        let best = self.scan_best(channel, candidates);
+        let Some(best) = self.scan_best(channel, candidates) else { return Vec::new() };
         candidates.iter().copied().filter(|&c| self.ge(channel, c, best)).collect()
     }
 }
@@ -216,7 +239,12 @@ impl BidOracle for MaskedBidTable {
         rng: &mut dyn lppa_rng::RngCore,
     ) -> BidderId {
         let maxima = self.maxima_indexed(channel, candidates);
-        *maxima.choose(rng).expect("maxima set is non-empty")
+        // Non-empty whenever `candidates` is (the trait contract); fall
+        // back to the first candidate instead of panicking mid-auction.
+        match maxima.choose(rng) {
+            Some(&winner) => winner,
+            None => candidates[0],
+        }
     }
 }
 

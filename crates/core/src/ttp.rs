@@ -180,6 +180,22 @@ impl Ttp {
     ) -> Result<Vec<ChargeDecision>, LppaError> {
         requests.iter().map(|r| self.open_charge(r)).collect()
     }
+
+    /// Fault-tolerant batch interface: one verdict per request, in
+    /// request order, where a bad request poisons only its own slot.
+    ///
+    /// Charging is a pure function of the request and the TTP's keys, so
+    /// decisions are *idempotent* (a duplicated request yields the same
+    /// verdict) and *order-independent* (reordering a batch permutes the
+    /// verdicts identically). Both properties matter over an unreliable
+    /// auctioneer↔TTP link, where retransmissions duplicate and reorder
+    /// requests; the test suite pins them down.
+    pub fn open_charges_tolerant(
+        &self,
+        requests: &[ChargeRequest],
+    ) -> Vec<Result<ChargeDecision, LppaError>> {
+        requests.iter().map(|r| self.open_charge(r)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +315,65 @@ mod tests {
                 ChargeDecision::Valid { raw_price: 77 },
             ]
         );
+    }
+
+    #[test]
+    fn tolerant_batch_isolates_bad_requests() {
+        let (ttp, mut rng) = setup();
+        let good = genuine_request(&ttp, ChannelId(0), 12, &mut rng);
+        let unknown = ChargeRequest { channel: ChannelId(9), ..good.clone() };
+        let verdicts = ttp.open_charges_tolerant(&[good.clone(), unknown, good]);
+        assert_eq!(verdicts.len(), 3);
+        assert_eq!(verdicts[0], Ok(ChargeDecision::Valid { raw_price: 12 }));
+        assert!(matches!(verdicts[1], Err(LppaError::ChannelCountMismatch { .. })));
+        assert_eq!(verdicts[2], Ok(ChargeDecision::Valid { raw_price: 12 }));
+        // The strict batch interface still fails wholesale.
+        let bad = ChargeRequest {
+            channel: ChannelId(9),
+            ..genuine_request(&ttp, ChannelId(0), 1, &mut rng)
+        };
+        assert!(ttp.open_charges(&[bad]).is_err());
+    }
+
+    #[test]
+    fn charge_decisions_are_idempotent_under_duplication() {
+        // A retransmitting auctioneer link may deliver the same request
+        // several times; every copy must draw the identical verdict.
+        let (ttp, mut rng) = setup();
+        let reqs = vec![
+            genuine_request(&ttp, ChannelId(0), 10, &mut rng),
+            genuine_request(&ttp, ChannelId(1), 0, &mut rng),
+            genuine_request(&ttp, ChannelId(2), 77, &mut rng),
+        ];
+        let baseline = ttp.open_charges_tolerant(&reqs);
+        // Duplicate every request three times, interleaved.
+        let mut duplicated = Vec::new();
+        for _ in 0..3 {
+            duplicated.extend(reqs.iter().cloned());
+        }
+        let verdicts = ttp.open_charges_tolerant(&duplicated);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(*v, baseline[i % reqs.len()], "copy {i} diverged");
+        }
+    }
+
+    #[test]
+    fn charge_decisions_are_order_independent() {
+        // Reordering a batch must permute the verdicts and change nothing
+        // else — no decision may depend on its neighbours or position.
+        let (ttp, mut rng) = setup();
+        let reqs: Vec<ChargeRequest> = (0..6)
+            .map(|i| genuine_request(&ttp, ChannelId(i % 4), (i as u32) * 13 % 120, &mut rng))
+            .collect();
+        let baseline = ttp.open_charges_tolerant(&reqs);
+        for rotation in 1..reqs.len() {
+            let mut rotated = reqs.clone();
+            rotated.rotate_left(rotation);
+            let verdicts = ttp.open_charges_tolerant(&rotated);
+            for (i, v) in verdicts.iter().enumerate() {
+                assert_eq!(*v, baseline[(i + rotation) % reqs.len()], "rotation {rotation}");
+            }
+        }
     }
 
     #[test]

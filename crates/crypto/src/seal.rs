@@ -99,6 +99,20 @@ impl SealedValue {
         NONCE_LEN + self.ciphertext.len() + MAC_LEN
     }
 
+    /// A 64-bit digest of the transmitted bytes (nonce, ciphertext, MAC).
+    ///
+    /// Used by transport-level integrity checksums: it identifies *this
+    /// ciphertext*, not the sealed plaintext, so it reveals nothing a
+    /// wire observer does not already see.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for &b in self.nonce.iter().chain(self.ciphertext.iter()).chain(self.mac.iter()) {
+            acc ^= u64::from(b);
+            acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        acc
+    }
+
     fn mac(key: &SealKey, nonce: &[u8; NONCE_LEN], ciphertext: &[u8; 8]) -> [u8; MAC_LEN] {
         // nonce ‖ ciphertext fits one stack buffer, and the key's cached
         // midstate (see [`SealKey::midstate`]) turns the tag into two
@@ -131,6 +145,17 @@ mod tests {
             let sealed = SealedValue::seal(&key, value, &mut rng);
             assert_eq!(sealed.open(&key), Ok(value));
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_ciphertext_identity() {
+        let (key, mut rng) = setup();
+        let a = SealedValue::seal(&key, 7, &mut rng);
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // A re-seal of the same value has a fresh nonce, hence a
+        // different fingerprint: the digest identifies the transmission.
+        let b = SealedValue::seal(&key, 7, &mut rng);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub enum PrefixError {
         /// Range upper bound.
         hi: u64,
     },
+    /// A masked point or range was reconstructed from zero tags.
+    ///
+    /// A genuine prefix family always carries `width + 1` tags and a
+    /// genuine cover at least one, so an empty set can only come from a
+    /// lossy or truncating channel. It must be rejected at the edge: an
+    /// empty point silently matches *nothing*, which is indistinguishable
+    /// from a dropped message and would let transport loss masquerade as
+    /// "no conflict / lowest bid".
+    EmptyTagSet,
 }
 
 impl std::fmt::Display for PrefixError {
@@ -46,6 +55,9 @@ impl std::fmt::Display for PrefixError {
             }
             PrefixError::EmptyRange { lo, hi } => {
                 write!(f, "range [{lo}, {hi}] is empty")
+            }
+            PrefixError::EmptyTagSet => {
+                write!(f, "masked tag set is empty (truncated or dropped transmission)")
             }
         }
     }
@@ -64,6 +76,7 @@ mod tests {
             (PrefixError::ValueTooWide { value: 9, width: 3 }, "value 9"),
             (PrefixError::SpecLenTooLong { spec_len: 5, width: 4 }, "5 specified bits"),
             (PrefixError::EmptyRange { lo: 8, hi: 3 }, "[8, 3]"),
+            (PrefixError::EmptyTagSet, "empty"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err:?} should mention {needle}");

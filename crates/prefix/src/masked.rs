@@ -70,8 +70,19 @@ impl MaskedPoint {
     }
 
     /// Reconstructs a masked point from raw transmitted tags.
-    pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Self {
-        Self { tags: tags.into_iter().collect() }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError::EmptyTagSet`] if `tags` yields nothing: an
+    /// empty point matches *no* range, which is indistinguishable from a
+    /// dropped message and must be surfaced to the transport layer
+    /// instead of silently losing every comparison.
+    pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Result<Self, PrefixError> {
+        let tags: TagSet = tags.into_iter().collect();
+        if tags.is_empty() {
+            return Err(PrefixError::EmptyTagSet);
+        }
+        Ok(Self { tags })
     }
 
     /// The membership test: does the hidden point lie in the hidden range?
@@ -118,17 +129,20 @@ impl MaskedPoint {
     /// advanced scheme's per-channel keys and value randomization make
     /// fingerprints unique and useless.
     pub fn fingerprint(&self) -> u64 {
-        // XOR of per-tag mixes is order-independent over the set.
-        self.tags
-            .iter()
-            .map(|t| {
-                let bytes = t.as_bytes();
-                let mut word = [0u8; 8];
-                word.copy_from_slice(&bytes[..8]);
-                split_mix(u64::from_le_bytes(word))
-            })
-            .fold(0u64, |acc, h| acc ^ h)
+        tag_set_fingerprint(&self.tags)
     }
+}
+
+/// XOR of per-tag mixes: an order-independent digest over a tag set.
+fn tag_set_fingerprint(tags: &TagSet) -> u64 {
+    tags.iter()
+        .map(|t| {
+            let bytes = t.as_bytes();
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[..8]);
+            split_mix(u64::from_le_bytes(word))
+        })
+        .fold(0u64, |acc, h| acc ^ h)
 }
 
 /// SplitMix64 avalanche, used for tag-set fingerprints.
@@ -188,8 +202,24 @@ impl MaskedRange {
     }
 
     /// Reconstructs a masked range from raw transmitted tags.
-    pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Self {
-        Self { tags: tags.into_iter().collect() }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError::EmptyTagSet`] if `tags` yields nothing, for
+    /// the same reason as [`MaskedPoint::from_tags`]: an empty cover
+    /// contains no point, so transport loss would read as "out of range".
+    pub fn from_tags<I: IntoIterator<Item = Tag>>(tags: I) -> Result<Self, PrefixError> {
+        let tags: TagSet = tags.into_iter().collect();
+        if tags.is_empty() {
+            return Err(PrefixError::EmptyTagSet);
+        }
+        Ok(Self { tags })
+    }
+
+    /// An order-independent 64-bit fingerprint of the transmitted tag
+    /// set, as [`MaskedPoint::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        tag_set_fingerprint(&self.tags)
     }
 
     /// Number of transmitted tags.
@@ -304,12 +334,34 @@ mod tests {
     fn from_tags_roundtrip() {
         let k = key(11);
         let point = MaskedPoint::mask(&k, 4, 9).unwrap();
-        let rebuilt = MaskedPoint::from_tags(point.iter().copied());
+        let rebuilt = MaskedPoint::from_tags(point.iter().copied()).unwrap();
         assert_eq!(point, rebuilt);
         let range = MaskedRange::mask(&k, 4, 2, 9).unwrap();
-        let rebuilt = MaskedRange::from_tags(range.iter().copied());
+        let rebuilt = MaskedRange::from_tags(range.iter().copied()).unwrap();
         assert_eq!(range, rebuilt);
         assert!(!rebuilt.is_empty());
+    }
+
+    #[test]
+    fn from_tags_rejects_empty_sets() {
+        // An empty point matches nothing — indistinguishable from a
+        // dropped message, so reconstruction must refuse it outright.
+        assert_eq!(MaskedPoint::from_tags(std::iter::empty()), Err(PrefixError::EmptyTagSet));
+        assert_eq!(MaskedRange::from_tags(std::iter::empty()), Err(PrefixError::EmptyTagSet));
+        // One tag is enough to be a (possibly truncated) set again.
+        assert!(MaskedPoint::from_tags([Tag::from_bytes([1; 16])]).is_ok());
+    }
+
+    #[test]
+    fn range_fingerprint_is_order_independent_and_content_sensitive() {
+        let k = key(12);
+        let range = MaskedRange::mask(&k, 5, 3, 19).unwrap();
+        let mut tags: Vec<Tag> = range.iter().copied().collect();
+        tags.reverse();
+        let rebuilt = MaskedRange::from_tags(tags).unwrap();
+        assert_eq!(range.fingerprint(), rebuilt.fingerprint());
+        let other = MaskedRange::mask(&k, 5, 3, 20).unwrap();
+        assert_ne!(range.fingerprint(), other.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! The append-only session journal.
+//!
+//! Every decision a session takes is appended as a [`JournalEntry`]; an
+//! interrupted session can be recovered from the journal prefix and
+//! replayed to the identical outcome (the `CollectCommitted` entry
+//! carries the seeds the later phases need). The journal doubles as the
+//! determinism witness: two runs from the same seed must produce
+//! byte-identical journals, which the chaos gate diffs in CI.
+
+use std::fmt;
+
+/// The five phases of one auction round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// The auctioneer announces the round; bidders learn the parameters.
+    Announce,
+    /// Submissions are collected over the unreliable link, per-bidder
+    /// deadlines and retries apply.
+    Collect,
+    /// The greedy allocation runs over the accepted subset.
+    Allocate,
+    /// Winning sealed bids are charged through the periodically-online
+    /// TTP.
+    Charge,
+    /// The outcome is finalized and fingerprinted.
+    Settle,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Announce => "announce",
+            Self::Collect => "collect",
+            Self::Allocate => "allocate",
+            Self::Charge => "charge",
+            Self::Settle => "settle",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One recorded session event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// The session moved into `phase` at `tick`.
+    PhaseEntered {
+        /// The phase entered.
+        phase: Phase,
+        /// Session tick.
+        tick: u64,
+    },
+    /// An intact, valid submission was accepted.
+    SubmissionAccepted {
+        /// Original submission index.
+        bidder: usize,
+        /// Arrival tick.
+        tick: u64,
+        /// Which send attempt got through (1-based).
+        attempt: u32,
+    },
+    /// A delivery for an already-settled bidder was ignored.
+    DuplicateIgnored {
+        /// Original submission index.
+        bidder: usize,
+        /// Arrival tick.
+        tick: u64,
+    },
+    /// A delivery failed its transport checksum and was discarded.
+    CorruptDiscarded {
+        /// Original submission index.
+        bidder: usize,
+        /// Arrival tick.
+        tick: u64,
+    },
+    /// A bidder was quarantined; `reason` is the rendered
+    /// [`crate::quarantine::QuarantineReason`].
+    Quarantined {
+        /// Original submission index.
+        bidder: usize,
+        /// Rendered reason.
+        reason: String,
+    },
+    /// The collect phase committed: the round is now fully determined.
+    /// Carries everything the later phases need, so recovery can resume
+    /// from this entry alone.
+    CollectCommitted {
+        /// Accepted original indices, in order.
+        accepted: Vec<usize>,
+        /// Seed for the allocation RNG.
+        auction_seed: u64,
+        /// Seed for the TTP-link failure RNG.
+        ttp_seed: u64,
+        /// Commit tick.
+        tick: u64,
+    },
+    /// The allocation granted `channel` to `bidder` (original index).
+    GrantIssued {
+        /// Original submission index.
+        bidder: usize,
+        /// Channel index.
+        channel: usize,
+    },
+    /// The TTP decided one charge.
+    ChargeDecided {
+        /// Original submission index.
+        bidder: usize,
+        /// Channel index.
+        channel: usize,
+        /// Rendered verdict (`valid:<price>`, `invalid-zero`, or the
+        /// error).
+        verdict: String,
+    },
+    /// A TTP batch attempt failed; the link backs off until `retry_at`.
+    TtpBatchFailed {
+        /// Failure tick.
+        tick: u64,
+        /// Earliest tick of the next attempt.
+        retry_at: u64,
+    },
+    /// The charge deadline passed with requests still queued; the listed
+    /// grants degrade to provisional allocations with deferred charging.
+    ChargesDeferred {
+        /// Original indices of the provisionally-granted bidders.
+        bidders: Vec<usize>,
+        /// Deadline tick.
+        tick: u64,
+    },
+    /// The round settled at `tick`.
+    Settled {
+        /// Settle tick.
+        tick: u64,
+    },
+}
+
+/// An append-only log of [`JournalEntry`] values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Journal {
+    entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry.
+    pub fn append(&mut self, entry: JournalEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The committed collect decision, if the session got that far:
+    /// `(accepted, auction_seed, ttp_seed, tick)`.
+    pub fn collect_snapshot(&self) -> Option<(&[usize], u64, u64, u64)> {
+        self.entries.iter().find_map(|e| match e {
+            JournalEntry::CollectCommitted { accepted, auction_seed, ttp_seed, tick } => {
+                Some((accepted.as_slice(), *auction_seed, *ttp_seed, *tick))
+            }
+            _ => None,
+        })
+    }
+
+    /// The journal truncated to everything up to and including the
+    /// `CollectCommitted` entry — the prefix recovery needs. `None` if
+    /// collect never committed (nothing recoverable; rerun the round).
+    pub fn prefix_through_collect(&self) -> Option<Journal> {
+        let end =
+            self.entries.iter().position(|e| matches!(e, JournalEntry::CollectCommitted { .. }))?;
+        Some(Journal { entries: self.entries[..=end].to_vec() })
+    }
+
+    /// Quarantine events recorded so far, as `(bidder, rendered
+    /// reason)`.
+    pub fn quarantine_events(&self) -> Vec<(usize, &str)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                JournalEntry::Quarantined { bidder, reason } => Some((*bidder, reason.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A stable digest over the rendered entries. Two sessions with the
+    /// same fingerprint took the same decisions in the same order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for entry in &self.entries {
+            for b in format!("{entry:?}").bytes() {
+                acc ^= u64::from(b);
+                acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            acc = acc.rotate_left(1);
+        }
+        acc
+    }
+}
+
+/// `Display` renders one entry per line — the format the CI chaos gate
+/// diffs between runs.
+impl fmt::Display for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for entry in &self.entries {
+            writeln!(f, "{entry:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed() -> Journal {
+        let mut j = Journal::new();
+        j.append(JournalEntry::PhaseEntered { phase: Phase::Collect, tick: 0 });
+        j.append(JournalEntry::SubmissionAccepted { bidder: 0, tick: 1, attempt: 1 });
+        j.append(JournalEntry::Quarantined { bidder: 1, reason: "ragged".into() });
+        j.append(JournalEntry::CollectCommitted {
+            accepted: vec![0],
+            auction_seed: 11,
+            ttp_seed: 22,
+            tick: 4,
+        });
+        j.append(JournalEntry::GrantIssued { bidder: 0, channel: 0 });
+        j
+    }
+
+    #[test]
+    fn snapshot_reads_back_the_commit() {
+        let j = committed();
+        let (accepted, aseed, tseed, tick) = j.collect_snapshot().unwrap();
+        assert_eq!(accepted, [0]);
+        assert_eq!((aseed, tseed, tick), (11, 22, 4));
+    }
+
+    #[test]
+    fn prefix_stops_at_the_commit() {
+        let j = committed();
+        let prefix = j.prefix_through_collect().unwrap();
+        assert_eq!(prefix.len(), 4);
+        assert!(matches!(prefix.entries().last(), Some(JournalEntry::CollectCommitted { .. })));
+        assert!(Journal::new().prefix_through_collect().is_none());
+    }
+
+    #[test]
+    fn quarantine_events_are_extracted() {
+        assert_eq!(committed().quarantine_events(), vec![(1, "ragged")]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let a = committed();
+        let mut b = Journal::new();
+        for entry in a.entries().iter().rev() {
+            b.append(entry.clone());
+        }
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), committed().fingerprint());
+    }
+}

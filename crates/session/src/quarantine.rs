@@ -1,0 +1,189 @@
+//! Per-bidder quarantine: who was excluded from the round, and why.
+//!
+//! A fault-tolerant session never aborts on one bidder's misbehaviour or
+//! bad luck — it sidelines that bidder and finishes the round with the
+//! rest. The [`QuarantineReport`] is the auditable record of every such
+//! decision, keyed by original submission index.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lppa::LppaError;
+
+/// Why one bidder was excluded from the round.
+#[derive(Debug)]
+pub enum QuarantineReason {
+    /// No intact submission arrived before the collect deadline.
+    MissedDeadline {
+        /// Send attempts the bidder made.
+        attempts: u32,
+        /// Deliveries discarded as corrupt (checksum mismatch).
+        corrupt_copies: u32,
+    },
+    /// The submission arrived intact but failed structural validation —
+    /// ragged channel counts, truncated prefix families.
+    Rejected {
+        /// The validation failure.
+        cause: LppaError,
+    },
+    /// The TTP refused to charge the bidder's winning grant —
+    /// authentication failure or a manipulated price.
+    ChargeFailed {
+        /// The TTP's verdict.
+        cause: LppaError,
+    },
+    /// A reason recovered from a journal: the structured cause was not
+    /// persisted, only its rendering. Displays exactly as the original
+    /// did, so replayed sessions fingerprint identically.
+    Recovered {
+        /// The original reason's `Display` output.
+        detail: String,
+    },
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissedDeadline { attempts, corrupt_copies } => write!(
+                f,
+                "missed collect deadline after {attempts} attempts ({corrupt_copies} corrupt copies discarded)"
+            ),
+            Self::Rejected { cause } => write!(f, "submission rejected: {cause}"),
+            Self::ChargeFailed { cause } => write!(f, "charge refused: {cause}"),
+            Self::Recovered { detail } => f.write_str(detail),
+        }
+    }
+}
+
+/// The session's record of excluded bidders, keyed by original
+/// submission index. Iteration order is index order (BTreeMap), so
+/// reports render and fingerprint deterministically.
+#[derive(Debug, Default)]
+pub struct QuarantineReport {
+    events: BTreeMap<usize, QuarantineReason>,
+}
+
+impl QuarantineReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `reason` for `bidder`. A bidder is quarantined at most
+    /// once; the first reason wins (later stages never see a quarantined
+    /// bidder again, so a second insert indicates a session bug and is
+    /// ignored rather than silently overwritten).
+    pub fn insert(&mut self, bidder: usize, reason: QuarantineReason) {
+        self.events.entry(bidder).or_insert(reason);
+    }
+
+    /// The reason `bidder` was quarantined, if they were.
+    pub fn get(&self, bidder: usize) -> Option<&QuarantineReason> {
+        self.events.get(&bidder)
+    }
+
+    /// Whether `bidder` is quarantined.
+    pub fn contains(&self, bidder: usize) -> bool {
+        self.events.contains_key(&bidder)
+    }
+
+    /// Quarantined bidders in index order.
+    pub fn bidders(&self) -> Vec<usize> {
+        self.events.keys().copied().collect()
+    }
+
+    /// Number of quarantined bidders.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nobody was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates `(bidder, reason)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &QuarantineReason)> {
+        self.events.iter().map(|(i, r)| (*i, r))
+    }
+
+    /// A stable digest over `(bidder, rendered reason)` pairs. Uses the
+    /// `Display` rendering, not the enum structure, so a report rebuilt
+    /// from a journal ([`QuarantineReason::Recovered`]) fingerprints
+    /// identically to the original.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                acc ^= u64::from(b);
+                acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (bidder, reason) in &self.events {
+            eat(&bidder.to_le_bytes());
+            eat(reason.to_string().as_bytes());
+        }
+        acc
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return f.write_str("quarantine: empty");
+        }
+        writeln!(f, "quarantine ({} bidders):", self.events.len())?;
+        for (bidder, reason) in &self.events {
+            writeln!(f, "  bidder {bidder}: {reason}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reason_wins() {
+        let mut report = QuarantineReport::new();
+        report.insert(3, QuarantineReason::MissedDeadline { attempts: 2, corrupt_copies: 1 });
+        report.insert(3, QuarantineReason::Rejected { cause: LppaError::ChargeManipulated });
+        assert_eq!(report.len(), 1);
+        assert!(matches!(report.get(3), Some(QuarantineReason::MissedDeadline { .. })));
+    }
+
+    #[test]
+    fn recovered_reason_fingerprints_like_the_original() {
+        let mut original = QuarantineReport::new();
+        original.insert(1, QuarantineReason::MissedDeadline { attempts: 4, corrupt_copies: 0 });
+        original.insert(5, QuarantineReason::ChargeFailed { cause: LppaError::ChargeManipulated });
+
+        let mut recovered = QuarantineReport::new();
+        for (bidder, reason) in original.iter() {
+            recovered.insert(bidder, QuarantineReason::Recovered { detail: reason.to_string() });
+        }
+        assert_eq!(original.fingerprint(), recovered.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_membership_and_reason() {
+        let mut a = QuarantineReport::new();
+        a.insert(0, QuarantineReason::MissedDeadline { attempts: 1, corrupt_copies: 0 });
+        let mut b = QuarantineReport::new();
+        b.insert(0, QuarantineReason::MissedDeadline { attempts: 2, corrupt_copies: 0 });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), QuarantineReport::new().fingerprint());
+    }
+
+    #[test]
+    fn display_lists_bidders_in_index_order() {
+        let mut report = QuarantineReport::new();
+        report.insert(9, QuarantineReason::Recovered { detail: "late".into() });
+        report.insert(2, QuarantineReason::Recovered { detail: "ragged".into() });
+        let text = report.to_string();
+        let pos2 = text.find("bidder 2").unwrap();
+        let pos9 = text.find("bidder 9").unwrap();
+        assert!(pos2 < pos9, "{text}");
+    }
+}

@@ -1,0 +1,215 @@
+//! The periodically-online TTP, as the auctioneer experiences it.
+//!
+//! The paper's TTP (§V.C.2) is not a server that is always up — it comes
+//! online periodically, drains whatever charging work queued up while it
+//! was away, and disappears again. [`TtpSchedule`] models the
+//! availability windows; [`TtpLink`] models the auctioneer's side of the
+//! connection: a charge-request queue that drains in batches whenever
+//! the schedule says the TTP is reachable, retries failed batches with
+//! exponential backoff, and reports what is still pending so the session
+//! can degrade to provisional allocation when the TTP misses its window.
+
+use std::collections::VecDeque;
+
+use lppa::{ChargeDecision, ChargeRequest, LppaError, Ttp};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
+
+use crate::journal::{Journal, JournalEntry};
+
+/// When the TTP is reachable, in session ticks.
+///
+/// The schedule is periodic after an initial offline interval:
+/// unreachable during `[0, offline_until)`, then alternating `online`
+/// reachable ticks and `offline` unreachable ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TtpSchedule {
+    /// The TTP is unreachable before this tick.
+    pub offline_until: u64,
+    /// Length of each reachable window.
+    pub online: u64,
+    /// Gap between reachable windows.
+    pub offline: u64,
+}
+
+impl TtpSchedule {
+    /// A TTP that is reachable at every tick.
+    pub fn always_online() -> Self {
+        Self { offline_until: 0, online: 1, offline: 0 }
+    }
+
+    /// A TTP that never comes back — for exercising the degradation
+    /// path.
+    pub fn never_online() -> Self {
+        Self { offline_until: u64::MAX, online: 0, offline: 0 }
+    }
+
+    /// Whether the TTP is reachable at `tick`.
+    pub fn is_online(&self, tick: u64) -> bool {
+        if tick < self.offline_until {
+            return false;
+        }
+        let period = self.online + self.offline;
+        if period == 0 {
+            return self.online > 0;
+        }
+        (tick - self.offline_until) % period < self.online
+    }
+}
+
+/// Tuning for the auctioneer ↔ TTP connection.
+#[derive(Clone, Copy, Debug)]
+pub struct TtpLinkConfig {
+    /// Requests drained per connected tick.
+    pub batch_size: usize,
+    /// Probability a batch attempt fails in flight (connection flaps).
+    pub failure: f64,
+    /// Backoff after the first failed attempt, in ticks; doubles per
+    /// consecutive failure.
+    pub backoff: u64,
+    /// Consecutive failures after which the link stops trying and
+    /// reports the remaining queue as undeliverable.
+    pub max_batch_retries: u32,
+}
+
+impl Default for TtpLinkConfig {
+    fn default() -> Self {
+        Self { batch_size: 8, failure: 0.0, backoff: 1, max_batch_retries: 6 }
+    }
+}
+
+/// The auctioneer's queued connection to a periodically-online [`Ttp`].
+///
+/// Decisions land in slot order — `decisions()[i]` is the verdict for
+/// the `i`-th enqueued request — regardless of the order batches
+/// actually drained, so downstream bookkeeping is immune to the link's
+/// timing.
+#[derive(Debug)]
+pub struct TtpLink<'a> {
+    ttp: &'a Ttp,
+    schedule: TtpSchedule,
+    config: TtpLinkConfig,
+    /// `(slot, request)` pairs still waiting for a verdict.
+    queue: VecDeque<(usize, ChargeRequest)>,
+    decisions: Vec<Option<Result<ChargeDecision, LppaError>>>,
+    rng: StdRng,
+    consecutive_failures: u32,
+    blocked_until: u64,
+    gave_up: bool,
+}
+
+impl<'a> TtpLink<'a> {
+    /// A link to `ttp` under `schedule`, with connection flaps driven by
+    /// `seed`.
+    pub fn new(ttp: &'a Ttp, schedule: TtpSchedule, config: TtpLinkConfig, seed: u64) -> Self {
+        Self {
+            ttp,
+            schedule,
+            config,
+            queue: VecDeque::new(),
+            decisions: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            consecutive_failures: 0,
+            blocked_until: 0,
+            gave_up: false,
+        }
+    }
+
+    /// Queues `requests` for charging; returns the slot of the first.
+    pub fn enqueue(&mut self, requests: Vec<ChargeRequest>) -> usize {
+        let first = self.decisions.len();
+        for request in requests {
+            let slot = self.decisions.len();
+            self.decisions.push(None);
+            self.queue.push_back((slot, request));
+        }
+        first
+    }
+
+    /// Advances the link by one tick: if the TTP is reachable and the
+    /// backoff has elapsed, attempt one batch. Returns `true` if the
+    /// queue is fully drained.
+    pub fn pump(&mut self, tick: u64, journal: &mut Journal) -> bool {
+        if self.queue.is_empty() {
+            return true;
+        }
+        if self.gave_up || !self.schedule.is_online(tick) || tick < self.blocked_until {
+            return false;
+        }
+        if self.config.failure > 0.0 && self.rng.gen_bool(self.config.failure) {
+            self.consecutive_failures += 1;
+            if self.consecutive_failures > self.config.max_batch_retries {
+                self.gave_up = true;
+                return false;
+            }
+            let backoff = self.config.backoff.max(1) << (self.consecutive_failures - 1).min(16);
+            self.blocked_until = tick + backoff;
+            journal.append(JournalEntry::TtpBatchFailed { tick, retry_at: self.blocked_until });
+            return false;
+        }
+        self.consecutive_failures = 0;
+        let take = self.config.batch_size.max(1).min(self.queue.len());
+        for _ in 0..take {
+            let Some((slot, request)) = self.queue.pop_front() else { break };
+            self.decisions[slot] = Some(self.ttp.open_charge(&request));
+        }
+        self.queue.is_empty()
+    }
+
+    /// Whether every enqueued request has a verdict.
+    pub fn drained(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Requests still waiting (their slots), in queue order.
+    pub fn pending_slots(&self) -> Vec<usize> {
+        self.queue.iter().map(|(slot, _)| *slot).collect()
+    }
+
+    /// Per-slot verdicts; `None` marks requests the TTP never decided
+    /// (deferred to the next round).
+    pub fn decisions(&self) -> &[Option<Result<ChargeDecision, LppaError>>] {
+        &self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_online_is_online() {
+        let s = TtpSchedule::always_online();
+        for tick in 0..10 {
+            assert!(s.is_online(tick));
+        }
+    }
+
+    #[test]
+    fn never_online_is_never_online() {
+        let s = TtpSchedule::never_online();
+        for tick in [0, 1, 1000, u64::MAX - 1] {
+            assert!(!s.is_online(tick));
+        }
+    }
+
+    #[test]
+    fn periodic_windows_alternate() {
+        // Offline until 4, then 2 on / 3 off.
+        let s = TtpSchedule { offline_until: 4, online: 2, offline: 3 };
+        let expect = [
+            (0, false),
+            (3, false),
+            (4, true),
+            (5, true),
+            (6, false),
+            (8, false),
+            (9, true),
+            (10, true),
+            (11, false),
+        ];
+        for (tick, online) in expect {
+            assert_eq!(s.is_online(tick), online, "tick {tick}");
+        }
+    }
+}

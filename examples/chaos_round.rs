@@ -1,0 +1,121 @@
+//! Chaos round: one fault-tolerant auction session over a hostile
+//! network, replayed to prove determinism.
+//!
+//! Run with: `cargo run --example chaos_round`
+//!
+//! Knobs (all optional):
+//!   LPPA_CHAOS_SEED      session seed (default 2013)
+//!   LPPA_CHAOS_DROP      drop probability        [0, 1]
+//!   LPPA_CHAOS_DUP       duplication probability [0, 1]
+//!   LPPA_CHAOS_CORRUPT   corruption probability  [0, 1]
+//!   LPPA_CHAOS_DELAY     delay probability       [0, 1]
+//!   LPPA_CHAOS_MAX_DELAY max extra delay in ticks
+//!   LPPA_CHAOS_REORDER   1 = randomize same-tick delivery order
+//!
+//! The fleet includes a ragged sender (quarantined at collect) and a
+//! price manipulator (struck at charge time); the TTP sleeps through
+//! collect and then flaps. The session runs twice from the same seed and
+//! the outcome fingerprints and journals must match byte for byte — the
+//! same check the CI chaos gate performs under two pinned seeds.
+
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, SeedableRng};
+use lppa_suite::lppa::protocol::build_submissions;
+use lppa_suite::lppa::ttp::Ttp;
+use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
+use lppa_suite::lppa::LppaConfig;
+use lppa_suite::lppa_auction::bidder::Location;
+use lppa_suite::lppa_session::chaos::{forge_presented_bid, truncate_point};
+use lppa_suite::lppa_session::fault::{chaos_seed, FaultConfig};
+use lppa_suite::lppa_session::session::{AuctionSession, SessionConfig};
+use lppa_suite::lppa_session::ttp_link::{TtpLinkConfig, TtpSchedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = chaos_seed(2013);
+    let faults = FaultConfig {
+        drop: 0.3,
+        duplicate: 0.25,
+        corrupt: 0.2,
+        delay: 0.4,
+        max_delay: 3,
+        reorder: true,
+    }
+    .with_env_overrides()
+    .validated()
+    .map_err(std::io::Error::other)?;
+    println!("chaos seed {seed}, faults {faults:?}");
+
+    // 1. A 12-bidder, 3-channel fleet; bidder 3 ships a ragged prefix
+    //    family, bidder 7 presents a forged 110 while sealing its true
+    //    price.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = LppaConfig::default();
+    let ttp = Ttp::new(3, config, &mut rng)?;
+    let policy = ZeroReplacePolicy::never(config.bid_max());
+    let bidders: Vec<(Location, Vec<u32>)> = (0..12)
+        .map(|_| {
+            let loc = Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127));
+            let bids = (0..3).map(|_| rng.gen_range(1..=100)).collect();
+            (loc, bids)
+        })
+        .collect();
+    let mut submissions = build_submissions(&bidders, &ttp, &policy, &mut rng)?;
+    truncate_point(&mut submissions[3], 1, 2)?;
+    forge_presented_bid(&mut submissions[7], &ttp, 0, 110, &mut rng)?;
+
+    // 2. The session: tight collect deadline, TTP offline until tick 28
+    //    and flapping afterwards, flaky auctioneer↔TTP connection.
+    let session_config = SessionConfig {
+        faults,
+        collect_deadline: 24,
+        retry_backoff: 2,
+        max_retries: 5,
+        ttp_schedule: TtpSchedule { offline_until: 28, online: 2, offline: 4 },
+        ttp_link: TtpLinkConfig { batch_size: 2, failure: 0.3, backoff: 1, max_batch_retries: 8 },
+        charge_deadline: 64,
+        ..SessionConfig::default()
+    };
+    let session = AuctionSession::new(&ttp, session_config);
+    let outcome = session.run(&submissions, seed)?;
+
+    println!(
+        "\nsettled at tick {}: {} accepted, {} charged, {} provisional, {} invalid, revenue {}",
+        outcome.ticks,
+        outcome.accepted.len(),
+        outcome.outcome.assignments().len(),
+        outcome.provisional.len(),
+        outcome.invalid_grants.len(),
+        outcome.revenue(),
+    );
+    println!(
+        "transport: {} sent, {} delivered, {} dropped, {} duplicated, {} corrupted",
+        outcome.stats.sent,
+        outcome.stats.delivered,
+        outcome.stats.dropped,
+        outcome.stats.duplicated,
+        outcome.stats.corrupted,
+    );
+    println!("{}", outcome.quarantine);
+    for a in outcome.outcome.assignments() {
+        println!("  bidder {:2} holds channel {} at price {}", a.bidder.0, a.channel.0, a.price);
+    }
+
+    // 3. Replay from the same seed: the schedule, the journal and the
+    //    outcome must reproduce exactly.
+    let replay = session.run(&submissions, seed)?;
+    assert_eq!(outcome.fingerprint(), replay.fingerprint(), "replay diverged");
+    assert_eq!(outcome.journal, replay.journal, "journal diverged");
+
+    // 4. Recovery: salvage the journal prefix (as if the process died
+    //    right after collect committed) and resume to the same outcome.
+    let salvaged = outcome.journal.prefix_through_collect().expect("collect committed");
+    let recovered = session.resume(&submissions, &salvaged)?;
+    assert_eq!(outcome.fingerprint(), recovered.fingerprint(), "recovery diverged");
+
+    println!(
+        "\nreplay + journal recovery both reproduced fingerprint {:016x} over {} journal entries",
+        outcome.fingerprint(),
+        outcome.journal.len(),
+    );
+    Ok(())
+}

@@ -19,4 +19,5 @@ pub use lppa_crypto;
 pub use lppa_par;
 pub use lppa_prefix;
 pub use lppa_rng;
+pub use lppa_session;
 pub use lppa_spectrum;

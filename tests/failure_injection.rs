@@ -35,7 +35,7 @@ fn dropped_tags_fail_safe_for_membership() {
 
     // Drop half the point's tags.
     let kept: Vec<Tag> = point.iter().copied().take(point.len() / 2).collect();
-    let truncated = MaskedPoint::from_tags(kept);
+    let truncated = MaskedPoint::from_tags(kept).unwrap();
     // Either outcome is allowed, but a *fabricated* membership for a
     // disjoint range is not.
     let far_range = MaskedRange::mask_padded(&keys.g0, config.loc_bits, 0, 10, &mut rng).unwrap();
@@ -48,8 +48,12 @@ fn corrupted_tags_never_fabricate_membership() {
     let keys = ttp.bidder_keys();
     let range = MaskedRange::mask_padded(&keys.g0, config.loc_bits, 20, 40, &mut rng).unwrap();
     // A point of pure garbage tags matches nothing.
-    let garbage = MaskedPoint::from_tags((0u8..8).map(|i| Tag::from_bytes([i ^ 0x5a; 16])));
+    let garbage =
+        MaskedPoint::from_tags((0u8..8).map(|i| Tag::from_bytes([i ^ 0x5a; 16]))).unwrap();
     assert!(!garbage.in_range(&range));
+    // And a fully-truncated (empty) point is rejected outright rather
+    // than silently matching nothing.
+    assert!(MaskedPoint::from_tags(std::iter::empty()).is_err());
 }
 
 #[test]
