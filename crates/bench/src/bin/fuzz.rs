@@ -1,0 +1,244 @@
+//! Differential-oracle fuzzer for the masked-bid protocol.
+//!
+//! Drives N seeded scenarios through `lppa-oracle` — every scenario
+//! runs the plaintext reference, the masked pipeline and all shipped
+//! variant pairs, then is judged against the full invariant registry.
+//! The report is one JSON object per line in the same shape the bench
+//! harness emits (`{"group":"fuzz","bench":...}`), so the existing
+//! `compare` tooling and log scrapers keep working.
+//!
+//! On the first violation the shrinking minimizer reduces the scenario
+//! to a minimal repro, a self-contained `repro_<seed>.json` is written
+//! next to the report, the one-line re-run command is printed, and the
+//! process exits nonzero.
+//!
+//! Usage:
+//!
+//! ```text
+//! fuzz [--seed S] [--scenarios N] [--chaos] [--out PATH] [--repro FILE]
+//! ```
+//!
+//! * `--seed S`       master seed; scenario i uses seed S + i (default 1).
+//! * `--scenarios N`  number of scenarios to run (default 200).
+//! * `--chaos`        enable the unreliable-transport chaos knobs
+//!                    (`LPPA_CHAOS_*` env vars are honored as usual).
+//! * `--out PATH`     write the JSON report to PATH as well as stdout.
+//! * `--repro FILE`   replay a previously written repro file instead of
+//!                    generating scenarios.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use lppa_oracle::scenario::ScenarioParams;
+use lppa_oracle::{fuzz_one, repro, run_scenario, shrink};
+
+struct Args {
+    seed: u64,
+    scenarios: u64,
+    chaos: bool,
+    out: Option<String>,
+    repro: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 1, scenarios: 200, chaos: false, out: None, repro: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = parse_u64(&value("--seed")?)?,
+            "--scenarios" => args.scenarios = parse_u64(&value("--scenarios")?)?,
+            "--chaos" => args.chaos = true,
+            "--out" => args.out = Some(value("--out")?),
+            "--repro" => args.repro = Some(value("--repro")?),
+            "--help" | "-h" => {
+                return Err("usage: fuzz [--seed S] [--scenarios N] [--chaos] [--out PATH] \
+                     [--repro FILE]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("expected an unsigned integer, got {s:?}"))
+}
+
+/// Serializes one per-scenario report line in bench-harness shape.
+fn report_line(verdict: &lppa_oracle::ScenarioVerdict, elapsed_ms: f64) -> String {
+    let s = &verdict.scenario;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"group\":\"fuzz\",\"bench\":\"scenario/{seed}\",\"seed\":{seed},\
+         \"bidders\":{n},\"channels\":{k},\"w\":{w},\"tie_free\":{tf},\
+         \"chaos\":{chaos},\"violations\":{v},\"mean_ns\":{ns:.1}",
+        seed = s.seed,
+        n = s.n_bidders(),
+        k = s.n_channels,
+        w = s.config.transformed_bits(),
+        tf = s.tie_free(),
+        chaos = s.chaos,
+        v = verdict.violations.len(),
+        ns = elapsed_ms * 1e6,
+    );
+    if let Some(first) = verdict.violations.first() {
+        let _ = write!(line, ",\"invariant\":{}", quote(first.invariant));
+    }
+    line.push('}');
+    line
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Report {
+    lines: Vec<String>,
+}
+
+impl Report {
+    fn emit(&mut self, line: String) {
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    fn flush(&self, out: Option<&str>) -> Result<(), String> {
+        if let Some(path) = out {
+            let mut text = self.lines.join("\n");
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays a repro file: re-runs the embedded scenario and reports
+/// whether the recorded invariant (or any invariant) still fails.
+fn replay(path: &str, report: &mut Report) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let repro = repro::from_json(&text)?;
+    let violations = run_scenario(&repro.scenario);
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"group\":\"fuzz\",\"bench\":\"repro/{seed}\",\"seed\":{seed},\
+         \"bidders\":{n},\"channels\":{k},\"violations\":{v}",
+        seed = repro.scenario.seed,
+        n = repro.scenario.n_bidders(),
+        k = repro.scenario.n_channels,
+        v = violations.len(),
+    );
+    if let Some(first) = violations.first() {
+        let _ = write!(line, ",\"invariant\":{}", quote(first.invariant));
+    }
+    line.push('}');
+    report.emit(line);
+    for v in &violations {
+        eprintln!("repro {path}: {} — {}", v.invariant, v.detail);
+    }
+    match (&repro.invariant, violations.is_empty()) {
+        (_, true) => {
+            eprintln!("repro {path}: scenario no longer violates any invariant");
+            Ok(false)
+        }
+        (Some(recorded), false) => {
+            let reproduced = violations.iter().any(|v| v.invariant == *recorded);
+            if !reproduced {
+                eprintln!(
+                    "repro {path}: recorded invariant {recorded:?} did not recur \
+                     (other violations did)"
+                );
+            }
+            Ok(true)
+        }
+        (None, false) => Ok(true),
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut report = Report { lines: Vec::new() };
+
+    if let Some(path) = &args.repro {
+        let failing = replay(path, &mut report)?;
+        report.flush(args.out.as_deref())?;
+        return Ok(failing);
+    }
+
+    let params = if args.chaos { ScenarioParams::chaotic() } else { ScenarioParams::default() };
+    let mut failures = 0u64;
+    let mut first_failure: Option<(lppa_oracle::Scenario, lppa_oracle::Violation)> = None;
+
+    let started = std::time::Instant::now();
+    for i in 0..args.scenarios {
+        let seed = args.seed.wrapping_add(i);
+        let t0 = std::time::Instant::now();
+        let verdict = fuzz_one(&params, seed);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        report.emit(report_line(&verdict, elapsed_ms));
+        if let Some(first) = verdict.violations.first() {
+            failures += 1;
+            for v in &verdict.violations {
+                eprintln!("seed {seed}: {} — {}", v.invariant, v.detail);
+            }
+            if first_failure.is_none() {
+                first_failure = Some((verdict.scenario.clone(), first.clone()));
+            }
+        }
+    }
+    let total_s = started.elapsed().as_secs_f64();
+
+    report.emit(format!(
+        "{{\"group\":\"fuzz\",\"bench\":\"summary\",\"seed\":{},\"scenarios\":{},\
+         \"chaos\":{},\"failures\":{failures},\"elapsed_s\":{total_s:.2}}}",
+        args.seed, args.scenarios, args.chaos,
+    ));
+
+    // Minimize the first failure and write a self-contained repro.
+    if let Some((scenario, violation)) = first_failure {
+        eprintln!("minimizing seed {} ({} violated) ...", scenario.seed, violation.invariant);
+        let result = shrink(&scenario, violation.invariant, violation);
+        let file = repro::repro_file_name(&result.scenario);
+        let doc =
+            repro::to_json(&result.scenario, result.violation.invariant, &result.violation.detail);
+        std::fs::write(&file, &doc).map_err(|e| format!("cannot write {file}: {e}"))?;
+        eprintln!(
+            "minimal repro: {} bidders, {} channels after {} shrink steps \
+             ({} executions)",
+            result.scenario.n_bidders(),
+            result.scenario.n_channels,
+            result.steps,
+            result.executions,
+        );
+        eprintln!("wrote {file}; re-run with:");
+        eprintln!("  {}", repro::rerun_command(&file));
+    }
+
+    report.flush(args.out.as_deref())?;
+    Ok(failures > 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

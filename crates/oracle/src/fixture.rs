@@ -1,0 +1,149 @@
+//! Shared fixtures for integration tests.
+//!
+//! The top-level `tests/` used to hand-roll the same setup over and
+//! over: a tie-free plaintext/masked table pair here, a synthetic map
+//! plus bidder population there. Both now route through the oracle's
+//! [`Scenario`] machinery, so integration fixtures and fuzzed scenarios
+//! are the same data built the same way — a repro file from the fuzzer
+//! drops straight into any integration test.
+
+use lppa::protocol::{build_submissions, SuSubmission};
+use lppa::psd::table::MaskedBidTable;
+use lppa::LppaError;
+use lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Bidder, Location};
+use lppa_auction::conflict::ConflictGraph;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
+use lppa_spectrum::area::AreaProfile;
+use lppa_spectrum::geo::GridSpec;
+use lppa_spectrum::synth::SyntheticMapBuilder;
+use lppa_spectrum::SpectrumMap;
+
+use crate::scenario::Scenario;
+
+/// Builds the scenario's full submission set exactly the way the
+/// differential pipelines do (round-0 TTP, the scenario's disguise
+/// policy, the dedicated submission seed stream).
+///
+/// # Errors
+///
+/// Propagates protocol errors from key derivation or masking.
+pub fn submissions(scenario: &Scenario) -> Result<Vec<SuSubmission>, LppaError> {
+    let ttp = scenario.ttp(0)?;
+    build_submissions(
+        &scenario.bidder_inputs(),
+        &ttp,
+        &scenario.policy(),
+        &mut StdRng::seed_from_u64(scenario.submission_seed()),
+    )
+}
+
+/// A matching plaintext/masked table pair over one scenario, plus the
+/// ground-truth conflict graph — the classic equivalence fixture.
+pub struct MatchedTables {
+    /// The plaintext reference table.
+    pub plain: BidTable,
+    /// The pruned masked table over the same raw bids.
+    pub masked: MaskedBidTable,
+    /// Conflict graph from the scenario's true locations.
+    pub conflicts: ConflictGraph,
+}
+
+/// Materializes [`MatchedTables`] for a scenario. Build the scenario
+/// with `.tie_free()` when the test needs exact grant-sequence
+/// equivalence.
+///
+/// # Errors
+///
+/// Propagates protocol errors from submission building or collection.
+pub fn matched_tables(scenario: &Scenario) -> Result<MatchedTables, LppaError> {
+    let subs = submissions(scenario)?;
+    let masked = MaskedBidTable::collect_pruned(subs.into_iter().map(|s| s.bids).collect())?;
+    Ok(MatchedTables {
+        plain: scenario.plain_table(),
+        masked,
+        conflicts: scenario.plain_conflicts(),
+    })
+}
+
+/// A synthetic spectrum map plus helpers for populating it — the other
+/// setup block every integration test used to duplicate.
+pub struct MapFixture {
+    /// The built map.
+    pub map: SpectrumMap,
+}
+
+impl MapFixture {
+    /// Builds a map with explicit geometry.
+    pub fn new(profile: AreaProfile, grid: GridSpec, channels: usize, seed: u64) -> Self {
+        let map =
+            SyntheticMapBuilder::new(profile).grid(grid).channels(channels).seed(seed).build();
+        Self { map }
+    }
+
+    /// The geometry most integration tests share: a 40×40 grid over a
+    /// 60 km side (small enough for 6-bit coordinates, large enough
+    /// that PU footprints do not smother the whole area).
+    pub fn forty_by_forty(profile: AreaProfile, channels: usize, seed: u64) -> Self {
+        Self::new(profile, GridSpec::new(40, 40, 60.0), channels, seed)
+    }
+
+    /// Samples a bidder population and its bid table, in the draw order
+    /// every existing test uses (bidders first, then the table, from
+    /// one RNG).
+    pub fn population(
+        &self,
+        n: usize,
+        model: &BidModel,
+        rng: &mut StdRng,
+    ) -> (Vec<Bidder>, BidTable) {
+        let bidders = generate_bidders(&self.map, n, model, rng);
+        let table = BidTable::generate(&self.map, &bidders, model, rng);
+        (bidders, table)
+    }
+}
+
+/// Flattens a population into the `(location, raw bids)` pairs the
+/// protocol entry points consume.
+pub fn raw_bids(bidders: &[Bidder], table: &BidTable) -> Vec<(Location, Vec<u32>)> {
+    bidders.iter().map(|b| (b.location, table.row(b.id).to_vec())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lppa_auction::BidOracle;
+
+    #[test]
+    fn matched_tables_agree_with_the_pipeline() {
+        let scenario = Scenario::builder(5).bidders(9).channels(3).tie_free().build();
+        let fx = matched_tables(&scenario).unwrap();
+        assert_eq!(fx.plain.n_bidders(), 9);
+        assert_eq!(fx.masked.n_bidders(), 9);
+        assert_eq!(fx.conflicts, scenario.plain_conflicts());
+    }
+
+    #[test]
+    fn submissions_match_the_scenario_shape() {
+        let scenario = Scenario::builder(6).bidders(5).channels(2).build();
+        let subs = submissions(&scenario).unwrap();
+        assert_eq!(subs.len(), 5);
+        // Deterministic: a second build is bit-identical on the wire.
+        let again = submissions(&scenario).unwrap();
+        let sums: Vec<u64> = subs.iter().map(SuSubmission::checksum).collect();
+        let again_sums: Vec<u64> = again.iter().map(SuSubmission::checksum).collect();
+        assert_eq!(sums, again_sums);
+    }
+
+    #[test]
+    fn map_fixture_population_is_well_formed() {
+        let fx = MapFixture::forty_by_forty(AreaProfile::area3(), 4, 7);
+        let model = BidModel::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let (bidders, table) = fx.population(6, &model, &mut rng);
+        assert_eq!(bidders.len(), 6);
+        let raw = raw_bids(&bidders, &table);
+        assert_eq!(raw.len(), 6);
+        assert!(raw.iter().all(|(_, row)| row.len() == 4));
+    }
+}

@@ -1,0 +1,565 @@
+//! The named-invariant registry.
+//!
+//! Each invariant is a pure predicate over a [`ScenarioRun`]; a failure
+//! carries the invariant's registry name (so the shrinker can chase
+//! exactly that failure) and a human-readable detail string. Invariants
+//! whose precondition a scenario does not meet (e.g. exact equivalence
+//! on a tied or disguised scenario) pass vacuously — the generator
+//! keeps all preconditions populated across a fuzzing run.
+
+use lppa_auction::allocation::Grant;
+use lppa_auction::bidder::BidderId;
+use lppa_auction::conflict::ConflictGraph;
+use lppa_auction::outcome::AuctionOutcome;
+use lppa_crypto::hmac::{hmac_sha256, HmacMidstate, HmacSha256};
+use lppa_prefix::{max_cover_len, range_prefixes};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, RngCore, SeedableRng};
+use lppa_spectrum::ChannelId;
+
+use crate::pipelines::ScenarioRun;
+
+/// One invariant failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Registry name of the violated invariant.
+    pub invariant: &'static str,
+    /// What exactly diverged.
+    pub detail: String,
+}
+
+/// The pseudo-invariant name used when a pipeline errors out instead of
+/// producing a result to check.
+pub const PIPELINE_ERROR: &str = "pipeline_error";
+
+/// A named check over an executed scenario.
+pub struct Invariant {
+    /// Registry name (stable; repro files reference it).
+    pub name: &'static str,
+    /// One-line description for reports and docs.
+    pub summary: &'static str,
+    /// The predicate; `Err(detail)` on violation.
+    pub check: fn(&ScenarioRun) -> Result<(), String>,
+}
+
+/// Every registered invariant, in evaluation order.
+pub fn registry() -> Vec<Invariant> {
+    vec![
+        Invariant {
+            name: "conflict_graph_cross_check",
+            summary: "indexed, pairwise and plaintext conflict graphs agree",
+            check: conflict_graph_cross_check,
+        },
+        Invariant {
+            name: "serial_parallel_fanout",
+            summary: "serial and lppa-par submission builds are bit-identical",
+            check: serial_parallel_fanout,
+        },
+        Invariant {
+            name: "hmac_midstate_direct",
+            summary: "midstate HMAC equals direct and streaming HMAC",
+            check: hmac_midstate_direct,
+        },
+        Invariant {
+            name: "prefix_cover_bound",
+            summary: "every range cover is padded to max_cover_len ≤ max(2, 2w−2)",
+            check: prefix_cover_bound,
+        },
+        Invariant {
+            name: "maxima_variants",
+            summary: "indexed and linear masked maxima agree on every channel",
+            check: maxima_variants,
+        },
+        Invariant {
+            name: "outcome_equivalence",
+            summary: "masked grants equal plaintext grants (tie-free, undisguised)",
+            check: outcome_equivalence,
+        },
+        Invariant {
+            name: "interference_freedom",
+            summary: "no two conflicting bidders hold the same channel",
+            check: interference_freedom,
+        },
+        Invariant {
+            name: "charge_correctness",
+            summary: "every charge is the winner's true first-price bid",
+            check: charge_correctness,
+        },
+        Invariant {
+            name: "invalid_grants_are_zeros",
+            summary: "only true raw zeros are ever invalidated",
+            check: invalid_grants_are_zeros,
+        },
+        Invariant {
+            name: "winner_uniqueness",
+            summary: "a bidder holds at most one channel",
+            check: winner_uniqueness,
+        },
+        Invariant {
+            name: "session_consistency",
+            summary: "session runs are deterministic, resumable, and match the plain runner",
+            check: session_consistency,
+        },
+        Invariant {
+            name: "permutation_invariance",
+            summary: "relabeling bidders permutes the outcome and nothing else",
+            check: permutation_invariance,
+        },
+        Invariant {
+            name: "key_rotation_invariance",
+            summary: "per-round key rotation leaves the outcome fixed",
+            check: key_rotation_invariance,
+        },
+        Invariant {
+            name: "transform_shift_invariance",
+            summary: "shifting rd / scaling cr preserves winners and charges",
+            check: transform_shift_invariance,
+        },
+    ]
+}
+
+/// Evaluates the whole registry; returns every violation found.
+pub fn check_all(run: &ScenarioRun) -> Vec<Violation> {
+    registry()
+        .iter()
+        .filter_map(|inv| {
+            (inv.check)(run).err().map(|detail| Violation { invariant: inv.name, detail })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// `(bidder, channel, price)` triples, sorted — the order-insensitive
+/// projection of an outcome.
+fn assignment_set(outcome: &AuctionOutcome) -> Vec<(usize, usize, u32)> {
+    let mut set: Vec<_> =
+        outcome.assignments().iter().map(|a| (a.bidder.0, a.channel.0, a.price)).collect();
+    set.sort_unstable();
+    set
+}
+
+fn grant_set(grants: &[Grant]) -> Vec<(usize, usize)> {
+    let mut set: Vec<_> = grants.iter().map(|g| (g.bidder.0, g.channel.0)).collect();
+    set.sort_unstable();
+    set
+}
+
+/// Checks that no channel is held by two conflicting bidders.
+fn grants_interference_free(
+    grants: &[Grant],
+    conflicts: &ConflictGraph,
+    k: usize,
+    label: &str,
+) -> Result<(), String> {
+    for ch in 0..k {
+        let holders: Vec<BidderId> =
+            grants.iter().filter(|g| g.channel.0 == ch).map(|g| g.bidder).collect();
+        if !conflicts.is_independent(&holders) {
+            return Err(format!("{label}: channel {ch} holders {holders:?} conflict"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------
+
+fn conflict_graph_cross_check(run: &ScenarioRun) -> Result<(), String> {
+    if run.graph_indexed != run.graph_pairwise {
+        return Err("TagIndex conflict graph differs from pairwise reference".into());
+    }
+    if run.graph_indexed != run.plain.conflicts {
+        return Err("masked conflict graph differs from plaintext ground truth".into());
+    }
+    Ok(())
+}
+
+fn serial_parallel_fanout(run: &ScenarioRun) -> Result<(), String> {
+    if run.parallel_checksums != run.serial_checksums {
+        return Err(format!(
+            "parallel fan-out checksums {:?} != serial reference {:?}",
+            run.parallel_checksums, run.serial_checksums
+        ));
+    }
+    Ok(())
+}
+
+fn hmac_midstate_direct(run: &ScenarioRun) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(run.scenario.seed ^ 0x4dac_0000_0000_0001);
+    for case in 0..8 {
+        let mut key = vec![0u8; rng.gen_range(1..=80)];
+        rng.fill_bytes(&mut key);
+        let mut msg = vec![0u8; rng.gen_range(0..=64)];
+        rng.fill_bytes(&mut msg);
+
+        let direct = hmac_sha256(&key, &msg);
+        let midstate = HmacMidstate::new(&key).compute(&msg);
+        if direct != midstate {
+            return Err(format!("case {case}: midstate HMAC differs from direct HMAC"));
+        }
+        let mut streaming = HmacSha256::new(&key);
+        let split = msg.len() / 2;
+        streaming.update(&msg[..split]);
+        streaming.update(&msg[split..]);
+        if streaming.finalize() != direct {
+            return Err(format!("case {case}: streaming HMAC differs from one-shot HMAC"));
+        }
+    }
+    Ok(())
+}
+
+fn prefix_cover_bound(run: &ScenarioRun) -> Result<(), String> {
+    let config = &run.scenario.config;
+    let w = config.transformed_bits();
+    let bound = std::cmp::max(2, 2 * usize::from(w) - 2);
+    if max_cover_len(w) > bound {
+        return Err(format!(
+            "max_cover_len({w}) = {} exceeds max(2, 2w−2) = {bound}",
+            max_cover_len(w)
+        ));
+    }
+    for (i, sub) in run.submissions.iter().enumerate() {
+        for (ch, bid) in sub.bids.bids().iter().enumerate() {
+            if bid.range.len() != max_cover_len(w) {
+                return Err(format!(
+                    "bidder {i} channel {ch}: range has {} tags, expected padded {}",
+                    bid.range.len(),
+                    max_cover_len(w)
+                ));
+            }
+            if bid.point.len() != usize::from(w) + 1 {
+                return Err(format!(
+                    "bidder {i} channel {ch}: point has {} tags, expected {}",
+                    bid.point.len(),
+                    usize::from(w) + 1
+                ));
+            }
+        }
+    }
+    // Minimal (unpadded) covers of random intervals respect the
+    // Theorem-4 bound too.
+    let mut rng = StdRng::seed_from_u64(run.scenario.seed ^ 0xc07e_0000_0000_0002);
+    let max = config.transformed_max();
+    for _ in 0..16 {
+        let a = rng.gen_range(0..=max);
+        let b = rng.gen_range(0..=max);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let cover = range_prefixes(w, lo, hi).map_err(|e| e.to_string())?;
+        if cover.len() > bound {
+            return Err(format!(
+                "minimal cover of [{lo}, {hi}] has {} > {bound} prefixes",
+                cover.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn maxima_variants(run: &ScenarioRun) -> Result<(), String> {
+    use lppa_auction::allocation::BidOracle;
+    let table = &run.table_pruned;
+    let n = table.n_bidders();
+    let mut rng = StdRng::seed_from_u64(run.scenario.seed ^ 0x3a1_0000_0000_0003);
+    for ch in 0..table.n_channels() {
+        let channel = ChannelId(ch);
+        let all: Vec<BidderId> =
+            (0..n).map(BidderId).filter(|&b| table.has_entry(b, channel)).collect();
+        let mut subsets = vec![all.clone()];
+        if all.len() > 1 {
+            let sub: Vec<BidderId> = all.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+            if !sub.is_empty() {
+                subsets.push(sub);
+            }
+        }
+        for candidates in subsets {
+            if candidates.is_empty() {
+                continue;
+            }
+            let mut indexed = table.maxima_indexed(channel, &candidates);
+            let mut linear = table.maxima_linear(channel, &candidates);
+            indexed.sort_unstable_by_key(|b| b.0);
+            linear.sort_unstable_by_key(|b| b.0);
+            if indexed != linear {
+                return Err(format!(
+                    "channel {ch}: maxima_indexed {indexed:?} != maxima_linear {linear:?} over {candidates:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn outcome_equivalence(run: &ScenarioRun) -> Result<(), String> {
+    if !run.strong_equivalence_applies() {
+        return Ok(());
+    }
+    if run.masked.grants != run.plain.grants {
+        return Err(format!(
+            "masked grant sequence {:?} != plaintext {:?}",
+            grant_set(&run.masked.grants),
+            grant_set(&run.plain.grants)
+        ));
+    }
+    if !run.masked.invalid_grants.is_empty() {
+        return Err(format!(
+            "undisguised scenario produced invalid grants {:?}",
+            run.masked.invalid_grants
+        ));
+    }
+    let masked = assignment_set(&run.masked.outcome);
+    let plain = assignment_set(&run.plain.outcome);
+    if masked != plain {
+        return Err(format!("masked assignments {masked:?} != plaintext {plain:?}"));
+    }
+    Ok(())
+}
+
+fn interference_freedom(run: &ScenarioRun) -> Result<(), String> {
+    let k = run.scenario.n_channels;
+    let conflicts = &run.plain.conflicts;
+    grants_interference_free(&run.plain.grants, conflicts, k, "plain")?;
+    grants_interference_free(&run.masked.grants, conflicts, k, "masked")?;
+    grants_interference_free(&run.oblivious.grants, conflicts, k, "oblivious")?;
+    Ok(())
+}
+
+fn charge_correctness(run: &ScenarioRun) -> Result<(), String> {
+    let rows = &run.scenario.rows;
+    for (label, result) in [("masked", &run.masked), ("oblivious", &run.oblivious)] {
+        for a in result.outcome.assignments() {
+            let raw = rows[a.bidder.0][a.channel.0];
+            if a.price != raw || a.price == 0 {
+                return Err(format!(
+                    "{label}: bidder {} charged {} on channel {}, true bid {raw}",
+                    a.bidder.0, a.price, a.channel.0
+                ));
+            }
+        }
+    }
+    for a in run.plain.outcome.assignments() {
+        let raw = rows[a.bidder.0][a.channel.0];
+        if a.price != raw || a.price == 0 {
+            return Err(format!(
+                "plain: bidder {} charged {} on channel {}, true bid {raw}",
+                a.bidder.0, a.price, a.channel.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn invalid_grants_are_zeros(run: &ScenarioRun) -> Result<(), String> {
+    let rows = &run.scenario.rows;
+    for (label, result) in [("masked", &run.masked), ("oblivious", &run.oblivious)] {
+        for g in &result.invalid_grants {
+            let raw = rows[g.bidder.0][g.channel.0];
+            if raw != 0 {
+                return Err(format!(
+                    "{label}: invalidated grant ({}, {}) has true bid {raw} ≠ 0",
+                    g.bidder.0, g.channel.0
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn winner_uniqueness(run: &ScenarioRun) -> Result<(), String> {
+    for (label, grants) in [
+        ("plain", &run.plain.grants),
+        ("masked", &run.masked.grants),
+        ("oblivious", &run.oblivious.grants),
+    ] {
+        let mut seen = std::collections::HashSet::new();
+        for g in grants.iter() {
+            if !seen.insert(g.bidder.0) {
+                return Err(format!("{label}: bidder {} granted twice", g.bidder.0));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn session_consistency(run: &ScenarioRun) -> Result<(), String> {
+    let Some(session) = &run.session else {
+        return Ok(()); // starved below quorum under chaos — legitimate
+    };
+    let fp = session.outcome.fingerprint();
+    if fp != session.repeat_fingerprint {
+        return Err(format!(
+            "same-seed session reruns disagree: {fp:#x} vs {:#x}",
+            session.repeat_fingerprint
+        ));
+    }
+    if fp != session.resumed_fingerprint {
+        return Err(format!(
+            "journal-recovered replay disagrees: {fp:#x} vs {:#x}",
+            session.resumed_fingerprint
+        ));
+    }
+
+    // Charges must be true first prices for original-id assignments.
+    let rows = &run.scenario.rows;
+    for a in session.outcome.outcome.assignments() {
+        let raw = rows[a.bidder.0][a.channel.0];
+        if a.price != raw || a.price == 0 {
+            return Err(format!(
+                "session: bidder {} charged {} on channel {}, true bid {raw}",
+                a.bidder.0, a.price, a.channel.0
+            ));
+        }
+    }
+
+    // Interference freedom over the accepted-compact conflict graph.
+    let compact_of: std::collections::HashMap<usize, usize> = session
+        .outcome
+        .accepted
+        .iter()
+        .enumerate()
+        .map(|(compact, &original)| (original, compact))
+        .collect();
+    for ch in 0..run.scenario.n_channels {
+        let holders: Vec<BidderId> =
+            session
+                .outcome
+                .grants
+                .iter()
+                .filter(|g| g.channel.0 == ch)
+                .map(|g| {
+                    compact_of.get(&g.bidder.0).copied().map(BidderId).ok_or_else(|| {
+                        format!("session: grant for unaccepted bidder {}", g.bidder.0)
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+        if !session.outcome.conflicts.is_independent(&holders) {
+            return Err(format!("session: channel {ch} holders conflict"));
+        }
+    }
+
+    // A no-fault session equals the direct pipeline with the session's
+    // derived allocation seed.
+    if let Some(expected) = &session.expected {
+        let n = run.scenario.n_bidders();
+        if session.outcome.accepted != (0..n).collect::<Vec<_>>() {
+            return Err(format!(
+                "no-fault session rejected bidders: accepted {:?}",
+                session.outcome.accepted
+            ));
+        }
+        if !session.outcome.provisional.is_empty() {
+            return Err(format!(
+                "no-fault session left provisional grants {:?}",
+                session.outcome.provisional
+            ));
+        }
+        let got = assignment_set(&session.outcome.outcome);
+        let want = assignment_set(&expected.outcome);
+        if got != want {
+            return Err(format!("session assignments {got:?} != plain runner {want:?}"));
+        }
+        let got_invalid = grant_set(&session.outcome.invalid_grants);
+        let want_invalid = grant_set(&expected.invalid_grants);
+        if got_invalid != want_invalid {
+            return Err(format!(
+                "session invalid grants {got_invalid:?} != plain runner {want_invalid:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Looks up a metamorphic run by label; vacuous pass when absent.
+fn metamorphic_equivalence(run: &ScenarioRun, label: &str) -> Result<(), String> {
+    let Some(meta) = run.metamorphic.iter().find(|m| m.label == label) else {
+        return Ok(());
+    };
+    // Map the variant's outcome back to original bidder ids.
+    let mut original_of = vec![usize::MAX; meta.permutation.len()];
+    for (original, &variant) in meta.permutation.iter().enumerate() {
+        original_of[variant] = original;
+    }
+    let mut got: Vec<(usize, usize, u32)> = meta
+        .result
+        .outcome
+        .assignments()
+        .iter()
+        .map(|a| (original_of[a.bidder.0], a.channel.0, a.price))
+        .collect();
+    got.sort_unstable();
+    let want = assignment_set(&run.masked.outcome);
+    if got != want {
+        return Err(format!("{label}: variant assignments {got:?} != base {want:?}"));
+    }
+    if !meta.result.invalid_grants.is_empty() {
+        return Err(format!(
+            "{label}: undisguised variant produced invalid grants {:?}",
+            meta.result.invalid_grants
+        ));
+    }
+    Ok(())
+}
+
+fn permutation_invariance(run: &ScenarioRun) -> Result<(), String> {
+    metamorphic_equivalence(run, "permuted_bidders")
+}
+
+fn key_rotation_invariance(run: &ScenarioRun) -> Result<(), String> {
+    metamorphic_equivalence(run, "rotated_keys")
+}
+
+fn transform_shift_invariance(run: &ScenarioRun) -> Result<(), String> {
+    metamorphic_equivalence(run, "shifted_transform")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DisguiseSpec, Scenario, ScenarioParams};
+
+    #[test]
+    fn registry_names_are_unique_and_documented() {
+        let names: Vec<&str> = registry().iter().map(|i| i.name).collect();
+        let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len());
+        assert!(registry().iter().all(|i| !i.summary.is_empty()));
+    }
+
+    #[test]
+    fn clean_scenarios_violate_nothing() {
+        let params = ScenarioParams::default();
+        for seed in 100..110 {
+            let scenario = Scenario::generate(&params, seed);
+            let run = ScenarioRun::execute(scenario).unwrap();
+            let violations = check_all(&run);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn heavily_disguised_scenarios_violate_nothing() {
+        let scenario = Scenario::builder(500)
+            .bidders(10)
+            .channels(3)
+            .disguise(DisguiseSpec::Uniform { replace: 0.95 })
+            .build();
+        let run = ScenarioRun::execute(scenario).unwrap();
+        let violations = check_all(&run);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn a_seeded_corruption_is_caught() {
+        // Flip one raw bid after the pipelines ran: the charge no longer
+        // matches ground truth and the registry must notice.
+        let scenario = Scenario::builder(7).bidders(8).channels(3).tie_free().build();
+        let mut run = ScenarioRun::execute(scenario).unwrap();
+        let a = run.masked.outcome.assignments().first().expect("fixture awards something").clone();
+        run.scenario.rows[a.bidder.0][a.channel.0] = a.price.wrapping_add(1) & 0x7f;
+        let violations = check_all(&run);
+        assert!(violations.iter().any(|v| v.invariant == "charge_correctness"), "{violations:?}");
+    }
+}

@@ -1,0 +1,392 @@
+//! Runs one scenario through every implementation variant.
+//!
+//! The differential surface, matching the variant pairs the codebase
+//! actually ships:
+//!
+//! * **plaintext vs masked** — the same greedy allocation over the
+//!   plaintext [`BidTable`] and the masked [`MaskedBidTable`], seeded
+//!   with the same allocation RNG;
+//! * **pairwise vs indexed** conflict graphs over the same masked
+//!   location submissions;
+//! * **serial vs `lppa-par`** submission fan-out (compared by wire
+//!   checksums);
+//! * **oblivious vs iterative-charging** auctioneer models;
+//! * **plain runner vs `lppa-session`** round (with the session's
+//!   internally derived allocation seed replicated so the comparison is
+//!   exact);
+//! * metamorphic rebuilds: permuted bidders, rotated per-round keys,
+//!   shifted `rd` / scaled `cr` — each producing an outcome to compare
+//!   against the base masked run.
+
+use lppa::ppbs::location::{build_conflict_graph, build_conflict_graph_pairwise};
+use lppa::protocol::{
+    build_submissions, run_private_auction_with_model, AuctioneerModel, PrivateAuctionResult,
+    SuSubmission,
+};
+use lppa::psd::table::MaskedBidTable;
+use lppa::ttp::Ttp;
+use lppa::{LppaConfig, LppaError};
+use lppa_auction::allocation::{greedy_allocate, Grant};
+use lppa_auction::conflict::ConflictGraph;
+use lppa_auction::outcome::AuctionOutcome;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::seq::SliceRandom;
+use lppa_rng::{RngCore, SeedableRng};
+use lppa_session::{AuctionSession, FaultConfig, SessionConfig, SessionOutcome};
+
+use crate::scenario::Scenario;
+
+/// The plaintext reference pipeline's products.
+#[derive(Clone, Debug)]
+pub struct PlainRun {
+    /// Conflict graph from ground-truth locations.
+    pub conflicts: ConflictGraph,
+    /// Grant sequence in allocation order.
+    pub grants: Vec<Grant>,
+    /// First-price outcome.
+    pub outcome: AuctionOutcome,
+}
+
+/// The session pipeline's products (absent when chaos starves the
+/// round below quorum — a legitimate outcome, not a violation).
+#[derive(Debug)]
+pub struct SessionRun {
+    /// The settled session.
+    pub outcome: SessionOutcome,
+    /// Fingerprint of an independent second run from the same seed.
+    pub repeat_fingerprint: u64,
+    /// Fingerprint of a journal-recovered replay.
+    pub resumed_fingerprint: u64,
+    /// What the direct pipeline computes with the session's internally
+    /// derived allocation seed (no-fault sessions only).
+    pub expected: Option<PrivateAuctionResult>,
+}
+
+/// A metamorphic rebuild of the masked pipeline.
+#[derive(Debug)]
+pub struct MetamorphicRun {
+    /// Which transformation produced it.
+    pub label: &'static str,
+    /// Bidder permutation applied before the run (`variant_index =
+    /// permutation[original_index]`); identity when the transformation
+    /// does not reorder bidders.
+    pub permutation: Vec<usize>,
+    /// The rebuilt pipeline's result.
+    pub result: PrivateAuctionResult,
+}
+
+/// Everything one executed scenario produced, ready for the invariant
+/// registry.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The scenario that was executed.
+    pub scenario: Scenario,
+    /// Round-0 TTP.
+    pub ttp: Ttp,
+    /// The submissions every pipeline consumed (parallel build).
+    pub submissions: Vec<SuSubmission>,
+    /// Wire checksums of the parallel fan-out build.
+    pub parallel_checksums: Vec<u64>,
+    /// Wire checksums of the serial reference build.
+    pub serial_checksums: Vec<u64>,
+    /// TagIndex-based conflict graph over the masked locations.
+    pub graph_indexed: ConflictGraph,
+    /// O(n²) reference conflict graph over the same submissions.
+    pub graph_pairwise: ConflictGraph,
+    /// The pruned masked table (for maxima-variant checks).
+    pub table_pruned: MaskedBidTable,
+    /// Plaintext reference pipeline.
+    pub plain: PlainRun,
+    /// Masked pipeline, iterative-charging model, shared allocation
+    /// seed with `plain`.
+    pub masked: PrivateAuctionResult,
+    /// Masked pipeline, oblivious model.
+    pub oblivious: PrivateAuctionResult,
+    /// Session pipeline (None below quorum under chaos).
+    pub session: Option<SessionRun>,
+    /// Metamorphic rebuilds (only for tie-free, disguise-free
+    /// scenarios, where exact equivalence is well-defined).
+    pub metamorphic: Vec<MetamorphicRun>,
+}
+
+impl ScenarioRun {
+    /// Whether exact grant-sequence equivalence between the plaintext
+    /// and masked pipelines applies: no ties (else the two sides break
+    /// them over different value domains) and no disguises (else the
+    /// masked side auctions cells the plaintext side does not have).
+    pub fn strong_equivalence_applies(&self) -> bool {
+        self.scenario.disguise.is_never() && self.scenario.tie_free()
+    }
+
+    /// Executes `scenario` through every pipeline variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors (invalid configuration, inconsistent
+    /// submissions). A pipeline error on a generated scenario is itself
+    /// a finding — the fuzzer treats it as the `pipeline_error`
+    /// pseudo-invariant.
+    pub fn execute(scenario: Scenario) -> Result<Self, LppaError> {
+        let ttp = scenario.ttp(0)?;
+        let policy = scenario.policy();
+        let inputs = scenario.bidder_inputs();
+
+        // Parallel fan-out build vs serial reference build: the child
+        // seeds are drawn sequentially in both cases, so the results
+        // must be bit-identical regardless of LPPA_THREADS.
+        let submissions = build_submissions(
+            &inputs,
+            &ttp,
+            &policy,
+            &mut StdRng::seed_from_u64(scenario.submission_seed()),
+        )?;
+        let parallel_checksums: Vec<u64> = submissions.iter().map(SuSubmission::checksum).collect();
+        let serial_checksums = {
+            let mut rng = StdRng::seed_from_u64(scenario.submission_seed());
+            let seeds: Vec<u64> = inputs.iter().map(|_| rng.next_u64()).collect();
+            let mut sums = Vec::with_capacity(inputs.len());
+            for (seed, (location, raw)) in seeds.iter().zip(&inputs) {
+                let mut child = StdRng::seed_from_u64(*seed);
+                sums.push(
+                    SuSubmission::build(*location, raw, &ttp, &policy, &mut child)?.checksum(),
+                );
+            }
+            sums
+        };
+
+        let locations: Vec<_> = submissions.iter().map(|s| s.location.clone()).collect();
+        let graph_indexed = build_conflict_graph(&locations);
+        let graph_pairwise = build_conflict_graph_pairwise(&locations);
+
+        let table_pruned =
+            MaskedBidTable::collect_pruned(submissions.iter().map(|s| s.bids.clone()).collect())?;
+
+        let plain = {
+            let conflicts = scenario.plain_conflicts();
+            let table = scenario.plain_table();
+            let grants = greedy_allocate(
+                &table,
+                &conflicts,
+                &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+            );
+            let outcome = AuctionOutcome::from_grants(&grants, &table);
+            PlainRun { conflicts, grants, outcome }
+        };
+
+        let masked = run_private_auction_with_model(
+            &submissions,
+            &ttp,
+            AuctioneerModel::IterativeCharging,
+            &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+        )?;
+        let oblivious = run_private_auction_with_model(
+            &submissions,
+            &ttp,
+            AuctioneerModel::Oblivious,
+            &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+        )?;
+
+        let session = Self::run_session(&scenario, &ttp, &submissions)?;
+
+        let mut run = Self {
+            scenario,
+            ttp,
+            submissions,
+            parallel_checksums,
+            serial_checksums,
+            graph_indexed,
+            graph_pairwise,
+            table_pruned,
+            plain,
+            masked,
+            oblivious,
+            session,
+            metamorphic: Vec::new(),
+        };
+        if run.strong_equivalence_applies() {
+            run.metamorphic = run.run_metamorphic()?;
+        }
+        Ok(run)
+    }
+
+    fn session_config(scenario: &Scenario) -> SessionConfig {
+        if scenario.chaos {
+            SessionConfig {
+                faults: FaultConfig::chaotic().with_env_overrides(),
+                ..SessionConfig::default()
+            }
+        } else {
+            SessionConfig::default()
+        }
+    }
+
+    fn run_session(
+        scenario: &Scenario,
+        ttp: &Ttp,
+        submissions: &[SuSubmission],
+    ) -> Result<Option<SessionRun>, LppaError> {
+        let config = Self::session_config(scenario);
+        let session = AuctionSession::new(ttp, config);
+        let seed = scenario.session_seed();
+        let outcome = match session.run(submissions, seed) {
+            Ok(outcome) => outcome,
+            // Chaos legitimately starves a round below quorum.
+            Err(LppaError::QuorumNotReached { .. }) if scenario.chaos => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let repeat_fingerprint = session.run(submissions, seed)?.fingerprint();
+        let resumed_fingerprint = session.resume(submissions, &outcome.journal)?.fingerprint();
+
+        // A no-fault session must match the direct pipeline run with the
+        // session's own derived allocation seed (the second draw of the
+        // session's master stream — see `AuctionSession::run`).
+        let expected = if scenario.chaos {
+            None
+        } else {
+            let mut master = StdRng::seed_from_u64(seed);
+            let _transport_seed = master.next_u64();
+            let auction_seed = master.next_u64();
+            Some(run_private_auction_with_model(
+                submissions,
+                ttp,
+                config.model,
+                &mut StdRng::seed_from_u64(auction_seed),
+            )?)
+        };
+        Ok(Some(SessionRun { outcome, repeat_fingerprint, resumed_fingerprint, expected }))
+    }
+
+    /// The metamorphic rebuilds: each transforms the scenario in a way
+    /// that must not move the outcome, then runs the masked pipeline
+    /// with the same allocation seed.
+    fn run_metamorphic(&self) -> Result<Vec<MetamorphicRun>, LppaError> {
+        let scenario = &self.scenario;
+        let n = scenario.n_bidders();
+        let identity: Vec<usize> = (0..n).collect();
+        let mut runs = Vec::new();
+
+        // 1. Bidder permutation: relabeling bidders permutes the
+        //    outcome and nothing else.
+        {
+            let mut perm = identity.clone();
+            perm.shuffle(&mut StdRng::seed_from_u64(scenario.permute_seed()));
+            let inputs = scenario.bidder_inputs();
+            let mut permuted_inputs = vec![inputs[0].clone(); n];
+            for (original, &variant) in perm.iter().enumerate() {
+                permuted_inputs[variant] = inputs[original].clone();
+            }
+            let submissions = build_submissions(
+                &permuted_inputs,
+                &self.ttp,
+                &scenario.policy(),
+                &mut StdRng::seed_from_u64(scenario.submission_seed()),
+            )?;
+            let result = run_private_auction_with_model(
+                &submissions,
+                &self.ttp,
+                AuctioneerModel::IterativeCharging,
+                &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+            )?;
+            runs.push(MetamorphicRun { label: "permuted_bidders", permutation: perm, result });
+        }
+
+        // 2. Key rotation: round-1 keys, same bids, same outcome.
+        {
+            let ttp = scenario.ttp(1)?;
+            let submissions = build_submissions(
+                &scenario.bidder_inputs(),
+                &ttp,
+                &scenario.policy(),
+                &mut StdRng::seed_from_u64(scenario.submission_seed()),
+            )?;
+            let result = run_private_auction_with_model(
+                &submissions,
+                &ttp,
+                AuctioneerModel::IterativeCharging,
+                &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+            )?;
+            runs.push(MetamorphicRun {
+                label: "rotated_keys",
+                permutation: identity.clone(),
+                result,
+            });
+        }
+
+        // 3. rd shift + cr scale: the transform parameters are secret
+        //    bookkeeping; winners and charges must not move.
+        if let Some(config) = shifted_config(&scenario.config) {
+            let ttp = scenario.ttp_with_config(0, config)?;
+            let submissions = build_submissions(
+                &scenario.bidder_inputs(),
+                &ttp,
+                &scenario.policy(),
+                &mut StdRng::seed_from_u64(scenario.submission_seed()),
+            )?;
+            let result = run_private_auction_with_model(
+                &submissions,
+                &ttp,
+                AuctioneerModel::IterativeCharging,
+                &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+            )?;
+            runs.push(MetamorphicRun { label: "shifted_transform", permutation: identity, result });
+        }
+
+        Ok(runs)
+    }
+}
+
+/// An alternative configuration with `rd` shifted and `cr` scaled, or
+/// `None` if the shift would leave the valid domain.
+pub fn shifted_config(config: &LppaConfig) -> Option<LppaConfig> {
+    let shifted = LppaConfig { rd: config.rd + 5, cr: (config.cr * 2).min(8), ..*config };
+    if shifted == *config || shifted.validate().is_err() {
+        return None;
+    }
+    Some(shifted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DisguiseSpec, ScenarioParams};
+
+    #[test]
+    fn execute_covers_every_pipeline() {
+        let scenario = Scenario::builder(11).bidders(8).channels(3).tie_free().build();
+        let run = ScenarioRun::execute(scenario).unwrap();
+        assert!(run.strong_equivalence_applies());
+        assert_eq!(run.submissions.len(), 8);
+        assert_eq!(run.parallel_checksums, run.serial_checksums);
+        assert!(run.session.is_some());
+        assert_eq!(run.metamorphic.len(), 3, "all three metamorphic rebuilds should run");
+    }
+
+    #[test]
+    fn disguised_scenarios_skip_metamorphic_rebuilds() {
+        let scenario = Scenario::builder(12)
+            .bidders(6)
+            .channels(2)
+            .disguise(DisguiseSpec::Uniform { replace: 0.8 })
+            .build();
+        let run = ScenarioRun::execute(scenario).unwrap();
+        assert!(!run.strong_equivalence_applies());
+        assert!(run.metamorphic.is_empty());
+    }
+
+    #[test]
+    fn generated_scenarios_execute() {
+        let params = ScenarioParams::default();
+        for seed in 0..6 {
+            let scenario = Scenario::generate(&params, seed);
+            ScenarioRun::execute(scenario).unwrap();
+        }
+    }
+
+    #[test]
+    fn shifted_config_stays_valid() {
+        let base = LppaConfig::default();
+        let shifted = shifted_config(&base).unwrap();
+        shifted.validate().unwrap();
+        assert_eq!(shifted.rd, base.rd + 5);
+    }
+}

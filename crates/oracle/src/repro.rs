@@ -1,0 +1,521 @@
+//! Self-contained repro files.
+//!
+//! A failing (usually minimized) scenario is written as
+//! `repro_<seed>.json`: a flat, hand-rolled JSON document carrying the
+//! complete concrete scenario plus the violated invariant, so the file
+//! alone reproduces the failure on any checkout. The workspace is
+//! dependency-free, so both the writer and the (small, recursive
+//! descent) parser live here.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use lppa::LppaConfig;
+use lppa_auction::bidder::Location;
+
+use crate::scenario::{DisguiseSpec, Scenario};
+
+/// Format version stamped into every repro file.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The canonical re-run command for a repro file named `file_name`.
+pub fn rerun_command(file_name: &str) -> String {
+    format!("cargo run --release -p lppa-bench --bin fuzz -- --repro {file_name}")
+}
+
+/// The canonical file name for a scenario's repro.
+pub fn repro_file_name(scenario: &Scenario) -> String {
+    format!("repro_{}.json", scenario.seed)
+}
+
+/// Everything a repro file carries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repro {
+    /// The concrete scenario.
+    pub scenario: Scenario,
+    /// Violated invariant name, if the file records a failure.
+    pub invariant: Option<String>,
+    /// Failure detail, if any.
+    pub detail: Option<String>,
+}
+
+/// Serializes a failing scenario to the repro JSON document.
+pub fn to_json(scenario: &Scenario, invariant: &str, detail: &str) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"format\": {FORMAT_VERSION},");
+    let _ = writeln!(out, "  \"seed\": {},", scenario.seed);
+    let _ = writeln!(out, "  \"invariant\": {},", quote(invariant));
+    let _ = writeln!(out, "  \"detail\": {},", quote(detail));
+    let c = &scenario.config;
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"loc_bits\": {}, \"bid_bits\": {}, \"lambda\": {}, \"rd\": {}, \"cr\": {}}},",
+        c.loc_bits, c.bid_bits, c.lambda, c.rd, c.cr
+    );
+    let _ = writeln!(out, "  \"n_channels\": {},", scenario.n_channels);
+    let _ = writeln!(out, "  \"chaos\": {},", scenario.chaos);
+    match scenario.disguise {
+        DisguiseSpec::Never => {
+            let _ = writeln!(out, "  \"disguise\": {{\"kind\": \"never\"}},");
+        }
+        DisguiseSpec::Uniform { replace } => {
+            let _ =
+                writeln!(out, "  \"disguise\": {{\"kind\": \"uniform\", \"replace\": {replace}}},");
+        }
+        DisguiseSpec::Geometric { replace, decay } => {
+            let _ = writeln!(
+                out,
+                "  \"disguise\": {{\"kind\": \"geometric\", \"replace\": {replace}, \"decay\": {decay}}},"
+            );
+        }
+    }
+    let locations: Vec<String> =
+        scenario.locations.iter().map(|l| format!("[{}, {}]", l.x, l.y)).collect();
+    let _ = writeln!(out, "  \"locations\": [{}],", locations.join(", "));
+    let rows: Vec<String> = scenario
+        .rows
+        .iter()
+        .map(|r| {
+            let cells: Vec<String> = r.iter().map(u32::to_string).collect();
+            format!("[{}]", cells.join(", "))
+        })
+        .collect();
+    let _ = writeln!(out, "  \"rows\": [{}],", rows.join(", "));
+    let _ = writeln!(out, "  \"rerun\": {}", quote(&rerun_command(&repro_file_name(scenario))));
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Parses a repro document back into a [`Repro`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn from_json(input: &str) -> Result<Repro, String> {
+    let value = parse_value(&mut Cursor::new(input))?;
+    let obj = value.as_object("document")?;
+    let format = obj.required("format")?.as_u64("format")?;
+    if format != FORMAT_VERSION {
+        return Err(format!("unsupported repro format {format}, expected {FORMAT_VERSION}"));
+    }
+    let seed = obj.required("seed")?.as_u64("seed")?;
+    let config_obj = obj.required("config")?.as_object("config")?;
+    let config = LppaConfig {
+        loc_bits: config_obj.required("loc_bits")?.as_u64("loc_bits")? as u8,
+        bid_bits: config_obj.required("bid_bits")?.as_u64("bid_bits")? as u8,
+        lambda: config_obj.required("lambda")?.as_u64("lambda")? as u32,
+        rd: config_obj.required("rd")?.as_u64("rd")? as u32,
+        cr: config_obj.required("cr")?.as_u64("cr")? as u32,
+    };
+    let n_channels = obj.required("n_channels")?.as_u64("n_channels")? as usize;
+    let chaos = obj.required("chaos")?.as_bool("chaos")?;
+
+    let disguise_obj = obj.required("disguise")?.as_object("disguise")?;
+    let kind = disguise_obj.required("kind")?.as_str("disguise.kind")?;
+    let disguise = match kind {
+        "never" => DisguiseSpec::Never,
+        "uniform" => DisguiseSpec::Uniform {
+            replace: disguise_obj.required("replace")?.as_f64("disguise.replace")?,
+        },
+        "geometric" => DisguiseSpec::Geometric {
+            replace: disguise_obj.required("replace")?.as_f64("disguise.replace")?,
+            decay: disguise_obj.required("decay")?.as_f64("disguise.decay")?,
+        },
+        other => return Err(format!("unknown disguise kind {other:?}")),
+    };
+
+    let locations = obj
+        .required("locations")?
+        .as_array("locations")?
+        .iter()
+        .map(|v| {
+            let pair = v.as_array("location")?;
+            if pair.len() != 2 {
+                return Err(format!("location must be [x, y], got {} items", pair.len()));
+            }
+            Ok(Location::new(pair[0].as_u64("x")? as u32, pair[1].as_u64("y")? as u32))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let rows = obj
+        .required("rows")?
+        .as_array("rows")?
+        .iter()
+        .map(|v| v.as_array("row")?.iter().map(|b| Ok(b.as_u64("bid")? as u32)).collect())
+        .collect::<Result<Vec<Vec<u32>>, String>>()?;
+
+    if rows.len() != locations.len() {
+        return Err(format!("{} rows but {} locations", rows.len(), locations.len()));
+    }
+    if let Some(bad) = rows.iter().find(|r| r.len() != n_channels) {
+        return Err(format!("row has {} bids but n_channels is {n_channels}", bad.len()));
+    }
+    config.validate().map_err(|e| e.to_string())?;
+
+    let invariant = obj.optional("invariant").map(|v| v.as_str("invariant").map(str::to_owned));
+    let detail = obj.optional("detail").map(|v| v.as_str("detail").map(str::to_owned));
+
+    Ok(Repro {
+        scenario: Scenario { seed, config, n_channels, locations, rows, disguise, chaos },
+        invariant: invariant.transpose()?,
+        detail: detail.transpose()?,
+    })
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader (the workspace takes no external dependencies).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, String> {
+        match self {
+            Value::Object(map) => Ok(map),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("{what}: expected bool, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        let n = self.as_f64(what)?;
+        if n < 0.0 || n.fract() != 0.0 || n > 1.8446744073709552e19 {
+            return Err(format!("{what}: expected unsigned integer, got {n}"));
+        }
+        Ok(n as u64)
+    }
+}
+
+trait ObjectExt {
+    fn required(&self, key: &str) -> Result<&Value, String>;
+    fn optional(&self, key: &str) -> Option<&Value>;
+}
+
+impl ObjectExt for BTreeMap<String, Value> {
+    fn required(&self, key: &str) -> Result<&Value, String> {
+        self.get(key).ok_or_else(|| format!("missing required key {key:?}"))
+    }
+
+    fn optional(&self, key: &str) -> Option<&Value> {
+        self.get(key).filter(|v| !matches!(v, Value::Null))
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "byte {}: expected {:?}, found {:?}",
+                self.pos,
+                want as char,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn parse_value(cur: &mut Cursor) -> Result<Value, String> {
+    match cur.peek() {
+        Some(b'{') => parse_object(cur),
+        Some(b'[') => parse_array(cur),
+        Some(b'"') => Ok(Value::String(parse_string(cur)?)),
+        Some(b't') | Some(b'f') => {
+            if cur.eat_keyword("true") {
+                Ok(Value::Bool(true))
+            } else if cur.eat_keyword("false") {
+                Ok(Value::Bool(false))
+            } else {
+                Err(format!("byte {}: invalid literal", cur.pos))
+            }
+        }
+        Some(b'n') => {
+            if cur.eat_keyword("null") {
+                Ok(Value::Null)
+            } else {
+                Err(format!("byte {}: invalid literal", cur.pos))
+            }
+        }
+        Some(b) if b == b'-' || b.is_ascii_digit() => parse_number(cur),
+        other => Err(format!("byte {}: unexpected {:?}", cur.pos, other.map(|b| b as char))),
+    }
+}
+
+fn parse_object(cur: &mut Cursor) -> Result<Value, String> {
+    cur.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        cur.skip_ws();
+        let key = parse_string(cur)?;
+        cur.expect(b':')?;
+        let value = parse_value(cur)?;
+        map.insert(key, value);
+        match cur.peek() {
+            Some(b',') => {
+                cur.pos += 1;
+            }
+            Some(b'}') => {
+                cur.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            other => {
+                return Err(format!(
+                    "byte {}: expected ',' or '}}', found {:?}",
+                    cur.pos,
+                    other.map(|b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_array(cur: &mut Cursor) -> Result<Value, String> {
+    cur.expect(b'[')?;
+    let mut items = Vec::new();
+    if cur.peek() == Some(b']') {
+        cur.pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(cur)?);
+        match cur.peek() {
+            Some(b',') => {
+                cur.pos += 1;
+            }
+            Some(b']') => {
+                cur.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            other => {
+                return Err(format!(
+                    "byte {}: expected ',' or ']', found {:?}",
+                    cur.pos,
+                    other.map(|b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_string(cur: &mut Cursor) -> Result<String, String> {
+    cur.expect(b'"')?;
+    let mut out = String::new();
+    loop {
+        match cur.bump() {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => return Ok(out),
+            Some(b'\\') => match cur.bump() {
+                Some(b'"') => out.push('"'),
+                Some(b'\\') => out.push('\\'),
+                Some(b'/') => out.push('/'),
+                Some(b'n') => out.push('\n'),
+                Some(b'r') => out.push('\r'),
+                Some(b't') => out.push('\t'),
+                Some(b'u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = cur
+                            .bump()
+                            .and_then(|b| (b as char).to_digit(16))
+                            .ok_or("invalid \\u escape")?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("invalid escape {other:?}")),
+            },
+            Some(b) if b < 0x80 => out.push(b as char),
+            Some(b) => {
+                // Re-decode the UTF-8 sequence starting at this byte.
+                let start = cur.pos - 1;
+                let len = match b {
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    0xf0..=0xf7 => 4,
+                    _ => return Err("invalid UTF-8 in string".into()),
+                };
+                let end = start + len;
+                let slice =
+                    cur.bytes.get(start..end).ok_or("truncated UTF-8 sequence in string")?;
+                let s = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+                out.push_str(s);
+                cur.pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(cur: &mut Cursor) -> Result<Value, String> {
+    cur.skip_ws();
+    let start = cur.pos;
+    while let Some(&b) = cur.bytes.get(cur.pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            cur.pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&cur.bytes[start..cur.pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(Value::Number).map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioParams;
+
+    #[test]
+    fn roundtrip_preserves_the_scenario() {
+        for seed in [0u64, 7, 99, 12345] {
+            let scenario = Scenario::generate(&ScenarioParams::chaotic(), seed);
+            let json =
+                to_json(&scenario, "outcome_equivalence", "detail with \"quotes\"\nand newline");
+            let repro = from_json(&json).unwrap();
+            assert_eq!(repro.scenario, scenario, "seed {seed}");
+            assert_eq!(repro.invariant.as_deref(), Some("outcome_equivalence"));
+            assert!(repro.detail.unwrap().contains("\"quotes\""));
+        }
+    }
+
+    #[test]
+    fn rerun_command_names_the_file() {
+        let scenario = Scenario::builder(42).build();
+        let json = to_json(&scenario, "x", "y");
+        assert!(json.contains("repro_42.json"));
+        assert_eq!(repro_file_name(&scenario), "repro_42.json");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        for (input, needle) in [
+            ("", "unexpected"),
+            ("{", "expected"),
+            ("{\"format\": 99}", "unsupported repro format"),
+            ("{\"format\": 1}", "missing required key"),
+            ("[1, 2", "expected"),
+            ("{\"a\": tru}", "invalid literal"),
+        ] {
+            let err = from_json(input).unwrap_err();
+            assert!(err.contains(needle), "{input:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn disguise_variants_roundtrip() {
+        for disguise in [
+            DisguiseSpec::Never,
+            DisguiseSpec::Uniform { replace: 0.25 },
+            DisguiseSpec::Geometric { replace: 0.5, decay: 0.75 },
+        ] {
+            let mut scenario = Scenario::builder(5).bidders(3).channels(2).build();
+            scenario.disguise = disguise;
+            let repro = from_json(&to_json(&scenario, "inv", "d")).unwrap();
+            assert_eq!(repro.scenario.disguise, disguise);
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! Seeded random auction scenarios.
+//!
+//! A [`Scenario`] is *concrete data*: the protocol configuration, every
+//! bidder's location and raw bid row, the disguise policy and the chaos
+//! toggle. Everything else — keys, masking randomness, allocation
+//! randomness — is derived deterministically from the scenario seed, so
+//! a scenario value is a complete, self-contained reproduction of one
+//! differential-testing case. Concreteness is what makes the shrinking
+//! minimizer possible: dropping a bidder or a channel edits the data
+//! directly instead of hunting for a new seed.
+
+use lppa::ttp::Ttp;
+use lppa::zero_replace::ZeroReplacePolicy;
+use lppa::{LppaConfig, LppaError};
+use lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Location};
+use lppa_auction::conflict::ConflictGraph;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{Rng, RngCore, SeedableRng};
+use lppa_spectrum::area::AreaProfile;
+use lppa_spectrum::geo::GridSpec;
+use lppa_spectrum::synth::SyntheticMapBuilder;
+
+/// Domain-separation constants for the seed streams a scenario derives.
+const STREAM_GENERATE: u64 = 0x5ce7_a51a_9e4e_11aa;
+const STREAM_MASTER: u64 = 0x17e4_0000_7f4a_7c15;
+const STREAM_SUBMIT: u64 = 0x50b5_u64 << 32;
+const STREAM_ALLOC: u64 = 0xa110_c000_0000_0001;
+const STREAM_SESSION: u64 = 0x5e55_1000_0000_0001;
+const STREAM_PERMUTE: u64 = 0x9e37_79b9_0000_0002;
+
+/// How raw zeros are disguised — a serializable mirror of
+/// [`ZeroReplacePolicy`], kept simple so repro files stay readable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DisguiseSpec {
+    /// Zeros are never disguised.
+    Never,
+    /// Each zero is disguised with probability `replace`, uniformly in
+    /// `[1, bmax]`.
+    Uniform {
+        /// Disguise probability.
+        replace: f64,
+    },
+    /// Each zero is disguised with probability `replace`, geometrically
+    /// decaying over the value range.
+    Geometric {
+        /// Disguise probability.
+        replace: f64,
+        /// Geometric decay factor.
+        decay: f64,
+    },
+}
+
+impl DisguiseSpec {
+    /// Whether this spec never disguises anything.
+    pub fn is_never(&self) -> bool {
+        matches!(self, DisguiseSpec::Never)
+    }
+
+    /// The concrete policy for a bid domain capped at `bmax`.
+    pub fn policy(&self, bmax: u32) -> ZeroReplacePolicy {
+        match *self {
+            DisguiseSpec::Never => ZeroReplacePolicy::never(bmax),
+            DisguiseSpec::Uniform { replace } => ZeroReplacePolicy::uniform(replace, bmax),
+            DisguiseSpec::Geometric { replace, decay } => {
+                ZeroReplacePolicy::geometric(replace, decay, bmax)
+            }
+        }
+    }
+}
+
+/// Knobs of the scenario sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioParams {
+    /// Minimum bidder count (≥ 1).
+    pub min_bidders: usize,
+    /// Maximum bidder count.
+    pub max_bidders: usize,
+    /// Maximum channel count (≥ 1).
+    pub max_channels: usize,
+    /// Probability a scenario draws its bids from a synthetic spectrum
+    /// map (exercising propagation/terrain) instead of direct sampling.
+    pub map_fraction: f64,
+    /// Whether scenarios run their session round under chaotic
+    /// transport faults.
+    pub chaos: bool,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        Self { min_bidders: 2, max_bidders: 16, max_channels: 5, map_fraction: 0.25, chaos: false }
+    }
+}
+
+impl ScenarioParams {
+    /// Default knobs with chaotic session faults enabled.
+    pub fn chaotic() -> Self {
+        Self { chaos: true, ..Self::default() }
+    }
+}
+
+/// One complete, concrete differential-testing case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Master seed; every derived randomness stream namespaces it.
+    pub seed: u64,
+    /// Shared protocol parameters.
+    pub config: LppaConfig,
+    /// Number of auctioned channels.
+    pub n_channels: usize,
+    /// One location per bidder.
+    pub locations: Vec<Location>,
+    /// Raw bid rows, `n_bidders × n_channels`.
+    pub rows: Vec<Vec<u32>>,
+    /// The zero-disguise policy all bidders share.
+    pub disguise: DisguiseSpec,
+    /// Whether the session pipeline runs under chaotic faults.
+    pub chaos: bool,
+}
+
+impl Scenario {
+    /// Samples a random scenario from `seed`.
+    pub fn generate(params: &ScenarioParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ STREAM_GENERATE);
+        let config = LppaConfig {
+            loc_bits: rng.gen_range(5..=8),
+            bid_bits: rng.gen_range(4..=8),
+            lambda: rng.gen_range(1..=4),
+            rd: rng.gen_range(0..=12),
+            cr: rng.gen_range(1..=6),
+        };
+        debug_assert!(config.validate().is_ok(), "sampled config must be valid: {config:?}");
+
+        let k = rng.gen_range(1..=params.max_channels.max(1));
+        let mut n = rng.gen_range(params.min_bidders.max(1)..=params.max_bidders.max(1));
+        let tie_free = rng.gen_bool(0.5);
+        if tie_free {
+            // Distinct positive bids per column need enough headroom.
+            n = n.min(config.bid_max() as usize);
+        }
+
+        let use_map = !tie_free && rng.gen_bool(params.map_fraction);
+        let (locations, rows) = if use_map {
+            Self::sample_from_map(&config, n, k, &mut rng)
+        } else {
+            let locations = Self::sample_locations(&config, n, &mut rng);
+            let rows = if tie_free {
+                Self::sample_tie_free_rows(&config, n, k, &mut rng)
+            } else {
+                Self::sample_free_rows(&config, n, k, &mut rng)
+            };
+            (locations, rows)
+        };
+
+        // Keep half the cases disguise-free so the strong equivalence
+        // invariants stay exercised.
+        let disguise = if tie_free || rng.gen_bool(0.2) {
+            DisguiseSpec::Never
+        } else if rng.gen_bool(0.5) {
+            DisguiseSpec::Uniform { replace: rng.gen_range(0.1..0.9) }
+        } else {
+            DisguiseSpec::Geometric {
+                replace: rng.gen_range(0.1..0.9),
+                decay: rng.gen_range(0.5..0.9),
+            }
+        };
+
+        Self { seed, config, n_channels: k, locations, rows, disguise, chaos: params.chaos }
+    }
+
+    /// A fluent builder for hand-written fixtures (integration tests).
+    pub fn builder(seed: u64) -> ScenarioBuilder {
+        ScenarioBuilder::new(seed)
+    }
+
+    fn sample_locations(config: &LppaConfig, n: usize, rng: &mut StdRng) -> Vec<Location> {
+        let loc_max = config.loc_max();
+        // Cluster half the bidders so conflict edges actually appear
+        // even on large coordinate domains.
+        let cluster = (8 * config.lambda).min(loc_max);
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Location::new(rng.gen_range(0..=cluster), rng.gen_range(0..=cluster))
+                } else {
+                    Location::new(rng.gen_range(0..=loc_max), rng.gen_range(0..=loc_max))
+                }
+            })
+            .collect()
+    }
+
+    fn sample_free_rows(
+        config: &LppaConfig,
+        n: usize,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<u32>> {
+        let zero_prob = rng.gen_range(0.2..0.7);
+        let bmax = config.bid_max();
+        (0..n)
+            .map(|_| {
+                (0..k)
+                    .map(|_| if rng.gen_bool(zero_prob) { 0 } else { rng.gen_range(1..=bmax) })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn sample_tie_free_rows(
+        config: &LppaConfig,
+        n: usize,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<u32>> {
+        let mut rows = vec![vec![0u32; k]; n];
+        for ch in 0..k {
+            let mut values: Vec<u32> = (1..=config.bid_max()).collect();
+            for (i, row) in rows.iter_mut().enumerate() {
+                if (i + ch) % 3 == 0 {
+                    row[ch] = 0; // unavailable channel
+                } else {
+                    let idx = rng.gen_range(0..values.len());
+                    row[ch] = values.swap_remove(idx);
+                }
+            }
+        }
+        rows
+    }
+
+    /// Bids derived from a small synthetic spectrum map: exercises
+    /// propagation, terrain shadowing and grid-boundary bidders.
+    fn sample_from_map(
+        config: &LppaConfig,
+        n: usize,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> (Vec<Location>, Vec<Vec<u32>>) {
+        let dim_max = (config.loc_max() + 1).min(20) as u16;
+        let rows_n = rng.gen_range(4..=dim_max);
+        let cols_n = rng.gen_range(4..=dim_max);
+        let profile = match rng.gen_range(0..4u8) {
+            0 => AreaProfile::area1(),
+            1 => AreaProfile::area2(),
+            2 => AreaProfile::area3(),
+            _ => AreaProfile::area4(),
+        };
+        let map = SyntheticMapBuilder::new(profile)
+            .grid(GridSpec::new(rows_n, cols_n, rng.gen_range(20.0..80.0)))
+            .channels(k)
+            .seed(rng.next_u64())
+            .build();
+        let model = BidModel { bmax: config.bid_max(), ..BidModel::default() };
+        let bidders = generate_bidders(&map, n, &model, rng);
+        let table = BidTable::generate(&map, &bidders, &model, rng);
+        let locations = bidders.iter().map(|b| b.location).collect();
+        let rows = (0..n).map(|i| table.row(lppa_auction::bidder::BidderId(i)).to_vec()).collect();
+        (locations, rows)
+    }
+
+    /// Number of bidders.
+    pub fn n_bidders(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether every column's positive bids are pairwise distinct — the
+    /// precondition for exact plaintext/masked outcome equivalence
+    /// (equal raw bids tie-break differently once `cr` slots separate
+    /// them).
+    pub fn tie_free(&self) -> bool {
+        (0..self.n_channels).all(|ch| {
+            let mut seen = std::collections::HashSet::new();
+            self.rows.iter().map(|r| r[ch]).filter(|&b| b > 0).all(|b| seen.insert(b))
+        })
+    }
+
+    /// The 32-byte master secret every TTP key schedule derives from.
+    pub fn master(&self) -> [u8; 32] {
+        let mut bytes = [0u8; 32];
+        StdRng::seed_from_u64(self.seed ^ STREAM_MASTER).fill_bytes(&mut bytes);
+        bytes
+    }
+
+    /// The TTP for `round` (rounds rotate keys; the outcome must not
+    /// move — that is the key-rotation metamorphic invariant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`Ttp::from_master`].
+    pub fn ttp(&self, round: u64) -> Result<Ttp, LppaError> {
+        Ttp::from_master(&self.master(), round, self.n_channels, self.config)
+    }
+
+    /// As [`Scenario::ttp`], but under an alternative configuration —
+    /// used by the `rd`-shift / `cr`-scale metamorphic invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`Ttp::from_master`].
+    pub fn ttp_with_config(&self, round: u64, config: LppaConfig) -> Result<Ttp, LppaError> {
+        Ttp::from_master(&self.master(), round, self.n_channels, config)
+    }
+
+    /// The shared zero-disguise policy.
+    pub fn policy(&self) -> ZeroReplacePolicy {
+        self.disguise.policy(self.config.bid_max())
+    }
+
+    /// `(location, raw bids)` pairs in bidder order.
+    pub fn bidder_inputs(&self) -> Vec<(Location, Vec<u32>)> {
+        self.locations.iter().copied().zip(self.rows.iter().cloned()).collect()
+    }
+
+    /// Seed of the submission-building randomness stream.
+    pub fn submission_seed(&self) -> u64 {
+        self.seed ^ STREAM_SUBMIT
+    }
+
+    /// Seed of the allocation randomness stream (shared by the
+    /// plaintext and masked pipelines so their grant sequences are
+    /// comparable).
+    pub fn alloc_seed(&self) -> u64 {
+        self.seed ^ STREAM_ALLOC
+    }
+
+    /// Seed driving the `lppa-session` round.
+    pub fn session_seed(&self) -> u64 {
+        self.seed ^ STREAM_SESSION
+    }
+
+    /// Seed of the bidder-permutation metamorphic variant.
+    pub fn permute_seed(&self) -> u64 {
+        self.seed ^ STREAM_PERMUTE
+    }
+
+    /// The plaintext reference bid table.
+    pub fn plain_table(&self) -> BidTable {
+        BidTable::from_rows(self.rows.clone())
+    }
+
+    /// The plaintext reference conflict graph.
+    pub fn plain_conflicts(&self) -> ConflictGraph {
+        ConflictGraph::from_locations(&self.locations, self.config.lambda)
+    }
+}
+
+/// Hand-written scenario construction for integration tests: the same
+/// concrete [`Scenario`] type the fuzzer uses, with every knob pinned
+/// explicitly instead of sampled.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    config: LppaConfig,
+    n_bidders: usize,
+    n_channels: usize,
+    tie_free: bool,
+    disguise: DisguiseSpec,
+    chaos: bool,
+}
+
+impl ScenarioBuilder {
+    fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            config: LppaConfig::default(),
+            n_bidders: 10,
+            n_channels: 4,
+            tie_free: false,
+            disguise: DisguiseSpec::Never,
+            chaos: false,
+        }
+    }
+
+    /// Sets the protocol configuration.
+    pub fn config(mut self, config: LppaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the bidder count.
+    pub fn bidders(mut self, n: usize) -> Self {
+        self.n_bidders = n;
+        self
+    }
+
+    /// Sets the channel count.
+    pub fn channels(mut self, k: usize) -> Self {
+        self.n_channels = k;
+        self
+    }
+
+    /// Requests distinct positive bids per column (tie-free), the
+    /// precondition for exact masked/plaintext grant equivalence.
+    pub fn tie_free(mut self) -> Self {
+        self.tie_free = true;
+        self
+    }
+
+    /// Sets the zero-disguise policy.
+    pub fn disguise(mut self, disguise: DisguiseSpec) -> Self {
+        self.disguise = disguise;
+        self
+    }
+
+    /// Runs the session pipeline under chaotic faults.
+    pub fn chaos(mut self) -> Self {
+        self.chaos = true;
+        self
+    }
+
+    /// Materializes the scenario (locations and rows sampled from the
+    /// builder seed).
+    pub fn build(self) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ STREAM_GENERATE);
+        let n = if self.tie_free {
+            self.n_bidders.min(self.config.bid_max() as usize)
+        } else {
+            self.n_bidders
+        };
+        let locations = Scenario::sample_locations(&self.config, n, &mut rng);
+        let rows = if self.tie_free {
+            Scenario::sample_tie_free_rows(&self.config, n, self.n_channels, &mut rng)
+        } else {
+            Scenario::sample_free_rows(&self.config, n, self.n_channels, &mut rng)
+        };
+        Scenario {
+            seed: self.seed,
+            config: self.config,
+            n_channels: self.n_channels,
+            locations,
+            rows,
+            disguise: self.disguise,
+            chaos: self.chaos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = ScenarioParams::default();
+        for seed in 0..20 {
+            assert_eq!(Scenario::generate(&params, seed), Scenario::generate(&params, seed));
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed() {
+        let params = ScenarioParams::default();
+        for seed in 0..40 {
+            let s = Scenario::generate(&params, seed);
+            s.config.validate().unwrap();
+            assert!(s.n_bidders() >= 1 && s.n_bidders() <= params.max_bidders);
+            assert!(s.n_channels >= 1 && s.n_channels <= params.max_channels);
+            assert_eq!(s.locations.len(), s.n_bidders());
+            let loc_max = s.config.loc_max();
+            for loc in &s.locations {
+                assert!(loc.x <= loc_max && loc.y <= loc_max, "{loc:?} vs {loc_max}");
+            }
+            let bmax = s.config.bid_max();
+            for row in &s.rows {
+                assert_eq!(row.len(), s.n_channels);
+                assert!(row.iter().all(|&b| b <= bmax));
+            }
+        }
+    }
+
+    #[test]
+    fn tie_free_detection_matches_construction() {
+        for seed in 0..30 {
+            let s = Scenario::builder(seed).bidders(12).channels(3).tie_free().build();
+            assert!(s.tie_free(), "builder promised tie-free, seed {seed}");
+        }
+        // A deliberate tie is detected.
+        let mut s = Scenario::builder(1).bidders(4).channels(1).tie_free().build();
+        let v = s.rows.iter().map(|r| r[0]).find(|&b| b > 0).unwrap();
+        for row in &mut s.rows {
+            row[0] = v;
+        }
+        assert!(!s.tie_free());
+    }
+
+    #[test]
+    fn seed_streams_are_distinct() {
+        let s = Scenario::builder(7).build();
+        let streams =
+            [s.submission_seed(), s.alloc_seed(), s.session_seed(), s.permute_seed(), s.seed];
+        let unique: std::collections::HashSet<u64> = streams.iter().copied().collect();
+        assert_eq!(unique.len(), streams.len());
+    }
+
+    #[test]
+    fn ttp_rotation_changes_keys_but_not_config() {
+        let s = Scenario::builder(3).channels(2).build();
+        let t0 = s.ttp(0).unwrap();
+        let t1 = s.ttp(1).unwrap();
+        assert_eq!(t0.config(), t1.config());
+        assert_ne!(
+            t0.bidder_keys().g0.midstate().compute(b"x"),
+            t1.bidder_keys().g0.midstate().compute(b"x"),
+            "rotated rounds must derive fresh keys"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The shrinking minimizer.
+//!
+//! Scenarios are concrete data, so shrinking is direct structural
+//! editing: drop half the bidders, drop a channel, simplify the
+//! transform parameters (which shrinks `w`), disable chaos and
+//! disguising. An edit is kept only if the *same* invariant still
+//! fails on the edited scenario; the loop stops when no edit preserves
+//! the failure. Greedy and deterministic — the same failing scenario
+//! always minimizes to the same repro.
+
+use crate::invariants::{check_all, Violation, PIPELINE_ERROR};
+use crate::pipelines::ScenarioRun;
+use crate::scenario::{DisguiseSpec, Scenario};
+
+/// Hard cap on pipeline executions per minimization, so a pathological
+/// failure cannot stall the fuzzer.
+const MAX_EXECUTIONS: usize = 400;
+
+/// The outcome of a minimization.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest scenario still failing the target invariant.
+    pub scenario: Scenario,
+    /// The violation the minimal scenario produces.
+    pub violation: Violation,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Total pipeline executions spent.
+    pub executions: usize,
+}
+
+/// Re-executes `scenario` and returns the violation of `target`, if it
+/// still occurs. Execution errors surface as the [`PIPELINE_ERROR`]
+/// pseudo-invariant, so a scenario that makes the pipeline itself fail
+/// can be minimized the same way.
+pub fn violation_of(scenario: &Scenario, target: &str) -> Option<Violation> {
+    match ScenarioRun::execute(scenario.clone()) {
+        Ok(run) => check_all(&run).into_iter().find(|v| v.invariant == target),
+        Err(e) if target == PIPELINE_ERROR => {
+            Some(Violation { invariant: PIPELINE_ERROR, detail: e.to_string() })
+        }
+        Err(_) => None,
+    }
+}
+
+/// Minimizes `scenario` with respect to the named `target` invariant.
+///
+/// `initial_violation` is what the unshrunk scenario produced (so the
+/// result is meaningful even if no edit survives).
+pub fn shrink(scenario: &Scenario, target: &str, initial_violation: Violation) -> ShrinkResult {
+    let mut current = scenario.clone();
+    let mut violation = initial_violation;
+    let mut steps = 0usize;
+    let mut executions = 0usize;
+
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if executions >= MAX_EXECUTIONS {
+                break 'outer;
+            }
+            executions += 1;
+            if let Some(v) = violation_of(&candidate, target) {
+                current = candidate;
+                violation = v;
+                steps += 1;
+                continue 'outer; // restart edits from the smaller scenario
+            }
+        }
+        break;
+    }
+    ShrinkResult { scenario: current, violation, steps, executions }
+}
+
+/// Candidate one-step shrinks of `scenario`, largest reduction first.
+fn candidates(scenario: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let n = scenario.n_bidders();
+    let k = scenario.n_channels;
+
+    // Halve the bidder set (front half, back half).
+    if n > 1 {
+        out.push(keep_bidders(scenario, |i| i < n.div_ceil(2)));
+        out.push(keep_bidders(scenario, |i| i >= n / 2));
+    }
+    // Drop individual bidders once the set is small.
+    if n > 1 && n <= 8 {
+        for drop in 0..n {
+            out.push(keep_bidders(scenario, |i| i != drop));
+        }
+    }
+    // Drop each channel.
+    if k > 1 {
+        for drop in 0..k {
+            let mut s = scenario.clone();
+            s.n_channels -= 1;
+            for row in &mut s.rows {
+                row.remove(drop);
+            }
+            out.push(s);
+        }
+    }
+    // Disable chaos and disguising.
+    if scenario.chaos {
+        let mut s = scenario.clone();
+        s.chaos = false;
+        out.push(s);
+    }
+    if !scenario.disguise.is_never() {
+        let mut s = scenario.clone();
+        s.disguise = DisguiseSpec::Never;
+        out.push(s);
+    }
+    // Simplify the transform (shrinks the masked width w).
+    if scenario.config.cr > 1 {
+        let mut s = scenario.clone();
+        s.config.cr = scenario.config.cr / 2;
+        push_if_valid(&mut out, s);
+    }
+    if scenario.config.rd > 0 {
+        let mut s = scenario.clone();
+        s.config.rd = scenario.config.rd / 2;
+        push_if_valid(&mut out, s);
+    }
+    if scenario.config.bid_bits > 2 {
+        let mut s = scenario.clone();
+        s.config.bid_bits -= 1;
+        let bmax = s.config.bid_max();
+        for row in &mut s.rows {
+            for bid in row.iter_mut() {
+                *bid = (*bid).min(bmax);
+            }
+        }
+        push_if_valid(&mut out, s);
+    }
+    out
+}
+
+fn keep_bidders(scenario: &Scenario, keep: impl Fn(usize) -> bool) -> Scenario {
+    let mut s = scenario.clone();
+    s.locations =
+        s.locations.iter().enumerate().filter(|&(i, _)| keep(i)).map(|(_, &l)| l).collect();
+    s.rows = s.rows.iter().enumerate().filter(|&(i, _)| keep(i)).map(|(_, r)| r.clone()).collect();
+    s
+}
+
+fn push_if_valid(out: &mut Vec<Scenario>, scenario: Scenario) {
+    if scenario.config.validate().is_ok() {
+        out.push(scenario);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioParams;
+
+    #[test]
+    fn candidates_preserve_shape() {
+        let scenario = Scenario::generate(&ScenarioParams::chaotic(), 9);
+        for c in candidates(&scenario) {
+            c.config.validate().unwrap();
+            assert_eq!(c.locations.len(), c.n_bidders());
+            assert!(c.n_bidders() >= 1);
+            assert!(c.n_channels >= 1);
+            for row in &c.rows {
+                assert_eq!(row.len(), c.n_channels);
+                assert!(row.iter().all(|&b| b <= c.config.bid_max()));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_errors_shrink_to_the_offending_bidder() {
+        // An out-of-domain bid makes submission building fail; the
+        // minimizer must strip everything except a witness of that bid.
+        let mut scenario = Scenario::builder(21).bidders(10).channels(2).build();
+        scenario.rows[7][1] = scenario.config.bid_max() + 1;
+        let v = violation_of(&scenario, PIPELINE_ERROR).expect("oversized bid must error");
+        let result = shrink(&scenario, PIPELINE_ERROR, v);
+        assert!(result.scenario.n_bidders() <= 2, "left {} bidders", result.scenario.n_bidders());
+        assert!(
+            result.scenario.rows.iter().flatten().any(|&b| b > result.scenario.config.bid_max()),
+            "the offending bid must survive minimization"
+        );
+        assert_eq!(result.violation.invariant, PIPELINE_ERROR);
+        assert!(result.steps > 0);
+    }
+
+    #[test]
+    fn shrink_finds_a_small_repro_for_a_planted_failure() {
+        // Plant a failure that any scenario with ≥ 1 bidder exhibits by
+        // targeting an invariant with an always-false stand-in: here we
+        // use a synthetic target name that `violation_of` never finds,
+        // so shrink must return the initial violation untouched.
+        let scenario = Scenario::builder(3).bidders(12).channels(4).build();
+        let planted = Violation { invariant: "synthetic", detail: "planted".into() };
+        let result = shrink(&scenario, "synthetic", planted.clone());
+        assert_eq!(result.scenario, scenario);
+        assert_eq!(result.violation, planted);
+        assert_eq!(result.steps, 0);
+    }
+}

@@ -27,7 +27,7 @@
 //! });
 //! ```
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::{Rng, RngCore, SeedableRng, StdRng};
 
@@ -58,13 +58,20 @@ pub fn base_seed() -> u64 {
 /// Runs `property` over [`cases`] seeded inputs.
 ///
 /// Case `i` receives an RNG seeded with `base_seed() + i`. If the
-/// property panics, the failing seed and a ready-to-paste reproduction
-/// command line are printed before the panic is propagated, e.g.:
+/// property panics, the panic is re-raised with a message that embeds
+/// the original assertion text plus the property name, failing case
+/// index, master (base) seed, the case's own seed, and a ready-to-paste
+/// reproduction command line, e.g.:
 ///
 /// ```text
-/// [lppa-proptest] property 'cover_shape' failed at case 17/64 (seed 296441362)
-/// [lppa-proptest] reproduce with: LPPA_PROPTEST_SEED=296441362 LPPA_PROPTEST_CASES=1 cargo test cover_shape
+/// [lppa-proptest] property 'cover_shape' failed at case 17/64
+/// (master seed 296441345, case seed 296441362): assertion failed: ...
+/// reproduce with: LPPA_PROPTEST_SEED=296441362 LPPA_PROPTEST_CASES=1 cargo test cover_shape
 /// ```
+///
+/// Embedding the context in the panic message (not just stderr) means
+/// it survives every harness that captures output and only reports the
+/// panic payload.
 pub fn check<F>(name: &str, mut property: F)
 where
     F: FnMut(&mut StdRng),
@@ -75,13 +82,31 @@ where
         let seed = base.wrapping_add(i as u64);
         let mut rng = StdRng::seed_from_u64(seed);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
-            eprintln!("[lppa-proptest] property '{name}' failed at case {i}/{n} (seed {seed})");
-            eprintln!(
-                "[lppa-proptest] reproduce with: \
-                 LPPA_PROPTEST_SEED={seed} LPPA_PROPTEST_CASES=1 cargo test {name}"
+            let cause = payload_message(payload.as_ref());
+            let message = format!(
+                "[lppa-proptest] property '{name}' failed at case {i}/{n} \
+                 (master seed {base}, case seed {seed}): {cause}\n\
+                 reproduce with: LPPA_PROPTEST_SEED={seed} LPPA_PROPTEST_CASES=1 \
+                 cargo test {name}"
             );
-            resume_unwind(payload);
+            eprintln!("{message}");
+            panic!("{message}");
         }
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+///
+/// `panic!("...")` carries `String`, literal panics carry `&'static
+/// str`; anything else (custom payloads) is reported opaquely rather
+/// than dropped.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -112,6 +137,35 @@ mod tests {
             check("always_fails", |_rng| panic!("boom"));
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn panic_message_carries_seed_case_and_repro_command() {
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            check("seed_reporting", |rng| {
+                // Fail on the third case so both index and seed are
+                // nontrivial.
+                let first = rng.next_u64();
+                if StdRng::seed_from_u64(base_seed().wrapping_add(2)).next_u64() == first {
+                    panic!("deliberate failure payload");
+                }
+            });
+        }))
+        .expect_err("property must fail");
+        let message = payload_message(payload.as_ref());
+        let base = base_seed();
+        let seed = base.wrapping_add(2);
+        assert!(message.contains("property 'seed_reporting'"), "{message}");
+        assert!(message.contains("case 2/"), "{message}");
+        assert!(message.contains(&format!("master seed {base}")), "{message}");
+        assert!(message.contains(&format!("case seed {seed}")), "{message}");
+        assert!(message.contains("deliberate failure payload"), "{message}");
+        assert!(
+            message.contains(&format!(
+                "LPPA_PROPTEST_SEED={seed} LPPA_PROPTEST_CASES=1 cargo test seed_reporting"
+            )),
+            "{message}"
+        );
     }
 
     #[test]

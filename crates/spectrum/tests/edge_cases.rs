@@ -1,0 +1,151 @@
+//! Geometry and coverage edge cases.
+//!
+//! The oracle fuzzes whole auctions; these tests pin the spectrum-layer
+//! corners it cannot reach through the protocol: a receiver standing on
+//! the transmitter (zero distance), cells on the grid boundary, and
+//! coverage degenerating to a single cell or to nothing.
+
+use lppa_spectrum::coverage::{ChannelCoverage, SpectrumMap};
+use lppa_spectrum::geo::{Cell, CellSet, GridSpec};
+use lppa_spectrum::propagation::{PathLossModel, Transmitter};
+use lppa_spectrum::terrain::TerrainField;
+use lppa_spectrum::ChannelId;
+
+fn model() -> PathLossModel {
+    PathLossModel::new(90.0, 3.0)
+}
+
+#[test]
+fn zero_distance_receiver_sees_a_finite_clamped_signal() {
+    // A bidder in the tower's own cell is at distance ~0; the model
+    // clamps below 50 m so RSSI stays finite and maximal there.
+    let grid = GridSpec::new(9, 9, 9.0);
+    let terrain = TerrainField::flat(&grid);
+    let model = model();
+    let center = Cell::new(4, 4);
+    let (cx, cy) = grid.center_km(center);
+    let tx = Transmitter { x_km: cx, y_km: cy, power_dbm: 30.0 };
+
+    assert_eq!(tx.distance_km(&grid, center), 0.0);
+    let at_tower = model.rssi_dbm(&grid, &tx, center, &terrain);
+    assert!(at_tower.is_finite());
+    assert_eq!(at_tower, tx.power_dbm - model.path_loss_db(0.0));
+
+    // Every other cell hears strictly less.
+    for cell in grid.iter().filter(|&c| c != center) {
+        assert!(model.rssi_dbm(&grid, &tx, cell, &terrain) < at_tower);
+    }
+}
+
+#[test]
+fn coincident_transmitters_behave_like_one_louder_tower() {
+    // Two PUs at zero mutual distance: the strongest-signal fold must
+    // reduce to the max of the two powers everywhere.
+    let grid = GridSpec::new(5, 5, 5.0);
+    let terrain = TerrainField::flat(&grid);
+    let model = model();
+    let (x, y) = grid.center_km(Cell::new(2, 2));
+    let weak = Transmitter { x_km: x, y_km: y, power_dbm: 10.0 };
+    let strong = Transmitter { x_km: x, y_km: y, power_dbm: 25.0 };
+
+    let both = ChannelCoverage::compute(&grid, &[weak, strong], &model, &terrain, -81.0);
+    let strong_only = ChannelCoverage::compute(&grid, &[strong], &model, &terrain, -81.0);
+    for cell in grid.iter() {
+        assert_eq!(both.rssi_dbm(&grid, cell), strong_only.rssi_dbm(&grid, cell));
+    }
+}
+
+#[test]
+fn grid_boundary_cells_round_trip_and_stay_in_bounds() {
+    let grid = GridSpec::new(7, 3, 6.0);
+    let corners = [
+        Cell::new(0, 0),
+        Cell::new(0, grid.cols() - 1),
+        Cell::new(grid.rows() - 1, 0),
+        Cell::new(grid.rows() - 1, grid.cols() - 1),
+    ];
+    for corner in corners {
+        assert!(grid.contains(corner));
+        assert_eq!(grid.cell_at(grid.index_of(corner)), corner);
+        let (x, y) = grid.center_km(corner);
+        assert!(x > 0.0 && x < grid.side_km(), "corner centre x={x} escapes the area");
+        assert!(y > 0.0 && y < grid.side_km(), "corner centre y={y} escapes the area");
+    }
+    // One past each edge is out of bounds.
+    assert!(!grid.contains(Cell::new(grid.rows(), 0)));
+    assert!(!grid.contains(Cell::new(0, grid.cols())));
+
+    // Boundary membership is consistent between predicate and complement.
+    let edge = CellSet::from_predicate(&grid, |c| {
+        c.row == 0 || c.col == 0 || c.row == grid.rows() - 1 || c.col == grid.cols() - 1
+    });
+    let interior = edge.complement();
+    assert_eq!(edge.len() + interior.len(), grid.cell_count());
+    assert!(interior.iter().all(|c| c.row > 0 && c.col > 0));
+}
+
+#[test]
+fn transmitter_outside_the_grid_still_orders_cells_by_distance() {
+    // Towers may legally sit outside the evaluation area; nearest edge
+    // cells must hear them loudest.
+    let grid = GridSpec::new(4, 4, 8.0);
+    let terrain = TerrainField::flat(&grid);
+    let model = model();
+    let tx = Transmitter { x_km: -5.0, y_km: -5.0, power_dbm: 40.0 };
+    let near = model.rssi_dbm(&grid, &tx, Cell::new(0, 0), &terrain);
+    let far = model.rssi_dbm(&grid, &tx, Cell::new(3, 3), &terrain);
+    assert!(near > far);
+}
+
+#[test]
+fn degenerate_single_cell_coverage() {
+    // Exactly one cell below the threshold: availability is that cell,
+    // and the whole map pipeline (available_channels, quality) keeps
+    // working on the singleton.
+    let grid = GridSpec::new(6, 6, 6.0);
+    let lone = Cell::new(2, 3);
+    let rssi: Vec<f64> = grid.iter().map(|c| if c == lone { -95.0 } else { -60.0 }).collect();
+    let coverage = ChannelCoverage::from_rssi(&grid, rssi, -81.0);
+    assert_eq!(coverage.availability().len(), 1);
+    assert!(coverage.is_available(lone));
+
+    let map = SpectrumMap::new(grid, vec![coverage], -81.0);
+    assert_eq!(map.available_channels(lone), vec![ChannelId(0)]);
+    for cell in map.grid().iter().filter(|&c| c != lone) {
+        assert!(map.available_channels(cell).is_empty());
+    }
+    assert!(map.quality(ChannelId(0), lone).is_finite());
+}
+
+#[test]
+fn blanket_coverage_leaves_no_availability() {
+    // A tower calibrated to cover far beyond the area: nothing is
+    // available, and the availability set is exactly empty rather than
+    // panicking anywhere downstream.
+    let grid = GridSpec::new(5, 5, 5.0);
+    let terrain = TerrainField::flat(&grid);
+    let model = model();
+    let (x, y) = grid.center_km(Cell::new(2, 2));
+    let tx = Transmitter::with_coverage_radius(x, y, 1000.0, -81.0, &model);
+    let coverage = ChannelCoverage::compute(&grid, &[tx], &model, &terrain, -81.0);
+    assert!(coverage.availability().is_empty());
+}
+
+#[test]
+fn one_by_one_grid_supports_the_full_surface() {
+    let grid = GridSpec::new(1, 1, 2.0);
+    assert_eq!(grid.cell_count(), 1);
+    let only = Cell::new(0, 0);
+    assert_eq!(grid.cell_at(0), only);
+    assert_eq!(grid.distance_km(only, only), 0.0);
+
+    let flat = TerrainField::flat(&grid);
+    assert_eq!(flat.shadowing_db(only), 0.0);
+
+    // A quiet field leaves the single cell available.
+    let coverage = ChannelCoverage::from_rssi(&grid, vec![-120.0], -81.0);
+    assert_eq!(coverage.availability().len(), 1);
+    let full = CellSet::full(&grid);
+    assert_eq!(full.len(), 1);
+    assert!(full.complement().is_empty());
+}

@@ -16,6 +16,7 @@ pub use lppa;
 pub use lppa_attack;
 pub use lppa_auction;
 pub use lppa_crypto;
+pub use lppa_oracle;
 pub use lppa_par;
 pub use lppa_prefix;
 pub use lppa_rng;

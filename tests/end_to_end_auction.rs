@@ -7,12 +7,11 @@ use lppa_suite::lppa::protocol::{run_private_auction_from_bids_with_model, Aucti
 use lppa_suite::lppa::ttp::Ttp;
 use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
 use lppa_suite::lppa::LppaConfig;
-use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable};
+use lppa_suite::lppa_auction::bidder::{BidModel, BidTable};
 use lppa_suite::lppa_auction::conflict::ConflictGraph;
 use lppa_suite::lppa_auction::runner::{run_plain_auction_with_table, AuctionConfig};
+use lppa_suite::lppa_oracle::fixture::{raw_bids, MapFixture};
 use lppa_suite::lppa_spectrum::area::AreaProfile;
-use lppa_suite::lppa_spectrum::geo::GridSpec;
-use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
 
 struct Fixture {
     bidders: Vec<lppa_suite::lppa_auction::bidder::Bidder>,
@@ -22,15 +21,9 @@ struct Fixture {
 }
 
 fn fixture(n: usize, k: usize, seed: u64) -> Fixture {
-    let map = SyntheticMapBuilder::new(AreaProfile::area3())
-        .grid(GridSpec::new(40, 40, 60.0))
-        .channels(k)
-        .seed(seed)
-        .build();
-    let model = BidModel::default();
-    let mut rng = StdRng::seed_from_u64(seed ^ 1);
-    let bidders = generate_bidders(&map, n, &model, &mut rng);
-    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+    let fx = MapFixture::forty_by_forty(AreaProfile::area3(), k, seed);
+    let (bidders, table) =
+        fx.population(n, &BidModel::default(), &mut StdRng::seed_from_u64(seed ^ 1));
     // 40×40 grid: 6-bit coordinates suffice.
     let config = LppaConfig { loc_bits: 6, ..LppaConfig::default() };
     Fixture { bidders, table, config, k }
@@ -42,8 +35,7 @@ fn run_private(
     model: AuctioneerModel,
     seed: u64,
 ) -> lppa_suite::lppa::protocol::PrivateAuctionResult {
-    let raw: Vec<_> =
-        fx.bidders.iter().map(|b| (b.location, fx.table.row(b.id).to_vec())).collect();
+    let raw = raw_bids(&fx.bidders, &fx.table);
     let mut rng = StdRng::seed_from_u64(seed);
     let ttp = Ttp::new(fx.k, fx.config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::geometric(replace, 0.75, fx.config.bid_max());

@@ -15,9 +15,8 @@ use lppa_suite::lppa::LppaConfig;
 use lppa_suite::lppa_attack::metrics::PrivacyReport;
 use lppa_suite::lppa_attack::multi_round::WinnerHistory;
 use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Bidder, BidderId};
+use lppa_suite::lppa_oracle::fixture::MapFixture;
 use lppa_suite::lppa_spectrum::area::AreaProfile;
-use lppa_suite::lppa_spectrum::geo::GridSpec;
-use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
 use lppa_suite::lppa_spectrum::SpectrumMap;
 
 const ROUNDS: usize = 6;
@@ -35,11 +34,7 @@ struct MultiRound {
 }
 
 fn run_rounds(mix: bool, seed: u64) -> MultiRound {
-    let map = SyntheticMapBuilder::new(AreaProfile::area4())
-        .grid(GridSpec::new(40, 40, 60.0))
-        .channels(K)
-        .seed(seed)
-        .build();
+    let map = MapFixture::forty_by_forty(AreaProfile::area4(), K, seed).map;
     let config = LppaConfig { loc_bits: 6, ..LppaConfig::default() };
     let model = BidModel::default();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xaaaa);

@@ -10,22 +10,18 @@ use lppa_suite::lppa::rounds::RoundDriver;
 use lppa_suite::lppa::ttp::{ChargeDecision, ChargeRequest, Ttp};
 use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
 use lppa_suite::lppa::LppaConfig;
-use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Location};
+use lppa_suite::lppa_auction::bidder::{BidModel, Location};
 use lppa_suite::lppa_auction::conflict::ConflictGraph;
 use lppa_suite::lppa_auction::pricing::{charge_traced, greedy_allocate_traced, PricingRule};
+use lppa_suite::lppa_oracle::fixture::{raw_bids, MapFixture};
 use lppa_suite::lppa_spectrum::area::AreaProfile;
 use lppa_suite::lppa_spectrum::geo::GridSpec;
 use lppa_suite::lppa_spectrum::io::{read_map, write_map};
 use lppa_suite::lppa_spectrum::stats::MapStats;
-use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
 
 #[test]
 fn map_roundtrips_through_a_real_file() {
-    let map = SyntheticMapBuilder::new(AreaProfile::area1())
-        .grid(GridSpec::new(20, 20, 15.0))
-        .channels(6)
-        .seed(2)
-        .build();
+    let map = MapFixture::new(AreaProfile::area1(), GridSpec::new(20, 20, 15.0), 6, 2).map;
     let dir = std::env::temp_dir().join("lppa-io-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("map.txt");
@@ -67,17 +63,11 @@ fn bidder_and_ttp_derive_identical_keys_from_master() {
 #[test]
 fn round_driver_runs_many_rounds_against_one_population() {
     // A 60 km side keeps PU footprints from smothering the whole grid.
-    let map = SyntheticMapBuilder::new(AreaProfile::area4())
-        .grid(GridSpec::new(40, 40, 60.0))
-        .channels(8)
-        .seed(5)
-        .build();
+    let fx = MapFixture::forty_by_forty(AreaProfile::area4(), 8, 5);
     let config = LppaConfig { loc_bits: 6, ..LppaConfig::default() };
-    let model = BidModel::default();
     let mut rng = StdRng::seed_from_u64(6);
-    let bidders = generate_bidders(&map, 10, &model, &mut rng);
-    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
-    let raw: Vec<_> = bidders.iter().map(|b| (b.location, table.row(b.id).to_vec())).collect();
+    let (bidders, table) = fx.population(10, &BidModel::default(), &mut rng);
+    let raw = raw_bids(&bidders, &table);
 
     let mut driver = RoundDriver::new([9u8; 32], config, 8, true);
     let policy = ZeroReplacePolicy::geometric(0.3, 0.75, config.bid_max());
@@ -95,15 +85,9 @@ fn round_driver_runs_many_rounds_against_one_population() {
 
 #[test]
 fn second_price_is_gentler_than_first_price_on_real_auctions() {
-    let map = SyntheticMapBuilder::new(AreaProfile::area3())
-        .grid(GridSpec::new(30, 30, 45.0))
-        .channels(8)
-        .seed(8)
-        .build();
-    let model = BidModel::default();
+    let fx = MapFixture::new(AreaProfile::area3(), GridSpec::new(30, 30, 45.0), 8, 8);
     let mut rng = StdRng::seed_from_u64(9);
-    let bidders = generate_bidders(&map, 25, &model, &mut rng);
-    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+    let (bidders, table) = fx.population(25, &BidModel::default(), &mut rng);
     let locations: Vec<_> = bidders.iter().map(|b| b.location).collect();
     let conflicts = ConflictGraph::from_locations(&locations, 3);
     let traces = greedy_allocate_traced(&table, &conflicts, &mut rng);

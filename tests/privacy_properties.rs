@@ -12,17 +12,12 @@ use lppa_suite::lppa::LppaConfig;
 use lppa_suite::lppa_attack::adversary::{bcm_on_plain_bids, ChannelRankings};
 use lppa_suite::lppa_attack::bcm::bcm_attack;
 use lppa_suite::lppa_attack::metrics::{AggregateReport, PrivacyReport};
-use lppa_suite::lppa_auction::bidder::{generate_bidders, BidModel, BidTable, Location};
+use lppa_suite::lppa_auction::bidder::{BidModel, Location};
+use lppa_suite::lppa_oracle::fixture::MapFixture;
 use lppa_suite::lppa_spectrum::area::AreaProfile;
-use lppa_suite::lppa_spectrum::geo::GridSpec;
-use lppa_suite::lppa_spectrum::synth::SyntheticMapBuilder;
 
 fn map() -> lppa_suite::lppa_spectrum::SpectrumMap {
-    SyntheticMapBuilder::new(AreaProfile::area3())
-        .grid(GridSpec::new(40, 40, 60.0))
-        .channels(16)
-        .seed(99)
-        .build()
+    MapFixture::forty_by_forty(AreaProfile::area3(), 16, 99).map
 }
 
 fn config() -> LppaConfig {
@@ -35,8 +30,7 @@ fn plain_bcm_localizes_but_lppa_attribution_fails_more() {
     let config = config();
     let model = BidModel::default();
     let mut rng = StdRng::seed_from_u64(1);
-    let bidders = generate_bidders(&map, 25, &model, &mut rng);
-    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+    let (bidders, table) = MapFixture { map: map.clone() }.population(25, &model, &mut rng);
 
     // Plain BCM: sound (never fails) and narrows the set.
     let mut plain = AggregateReport::new();
@@ -150,8 +144,7 @@ fn full_disguising_fully_hides_availability_sets() {
     let config = config();
     let model = BidModel::default();
     let mut rng = StdRng::seed_from_u64(6);
-    let bidders = generate_bidders(&map, 10, &model, &mut rng);
-    let table = BidTable::generate(&map, &bidders, &model, &mut rng);
+    let (bidders, table) = MapFixture { map: map.clone() }.population(10, &model, &mut rng);
     let ttp = Ttp::new(16, config, &mut rng).unwrap();
     let policy = ZeroReplacePolicy::uniform(1.0, config.bid_max());
     let submissions: Vec<SuSubmission> = bidders

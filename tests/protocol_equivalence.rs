@@ -1,79 +1,42 @@
 //! Cross-crate integration: the masked allocation is *functionally
 //! identical* to the plaintext allocation when nothing is disguised —
 //! the key correctness property of PPBS + PSD.
+//!
+//! Fixtures come from the oracle scenario builder (`lppa_oracle`), so
+//! these tests consume the exact same scenario data the fuzzer
+//! minimizes and replays.
 
 use lppa_rng::rngs::StdRng;
-use lppa_rng::{Rng, SeedableRng};
-use lppa_suite::lppa::ppbs::bid::AdvancedBidSubmission;
-use lppa_suite::lppa::psd::table::MaskedBidTable;
-use lppa_suite::lppa::ttp::Ttp;
-use lppa_suite::lppa::zero_replace::ZeroReplacePolicy;
-use lppa_suite::lppa::LppaConfig;
+use lppa_rng::SeedableRng;
 use lppa_suite::lppa_auction::allocation::greedy_allocate;
-use lppa_suite::lppa_auction::bidder::{BidTable, Location};
-use lppa_suite::lppa_auction::conflict::ConflictGraph;
-
-/// Builds matching plaintext and masked tables over random bids with no
-/// equal positive bids per column (so tie-break draws coincide).
-fn matched_tables(n: usize, k: usize, seed: u64) -> (BidTable, MaskedBidTable, ConflictGraph) {
-    let config = LppaConfig::default();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let ttp = Ttp::new(k, config, &mut rng).unwrap();
-    let policy = ZeroReplacePolicy::never(config.bid_max());
-
-    // Distinct positive bids per column, with some zeros sprinkled in.
-    let mut rows = vec![vec![0u32; k]; n];
-    for ch in 0..k {
-        let mut values: Vec<u32> = (1..=config.bid_max()).collect();
-        for (i, row) in rows.iter_mut().enumerate() {
-            if (i + ch) % 3 == 0 {
-                row[ch] = 0; // unavailable
-            } else {
-                let idx = rng.gen_range(0..values.len());
-                row[ch] = values.swap_remove(idx);
-            }
-        }
-    }
-
-    let submissions: Vec<AdvancedBidSubmission> = rows
-        .iter()
-        .map(|row| {
-            AdvancedBidSubmission::build(row, ttp.bidder_keys(), &config, &policy, &mut rng)
-                .unwrap()
-        })
-        .collect();
-    let masked = MaskedBidTable::collect_pruned(submissions).unwrap();
-    let plain = BidTable::from_rows(rows);
-
-    let locations: Vec<Location> =
-        (0..n).map(|_| Location::new(rng.gen_range(0..=127), rng.gen_range(0..=127))).collect();
-    let conflicts = ConflictGraph::from_locations(&locations, config.lambda);
-    (plain, masked, conflicts)
-}
+use lppa_suite::lppa_oracle::fixture::matched_tables;
+use lppa_suite::lppa_oracle::Scenario;
 
 #[test]
 fn masked_allocation_equals_plaintext_allocation() {
     // Same entries, same comparisons, same rng stream → identical grant
     // sequences, even though one side never sees a plaintext bid.
     for seed in 0..5 {
-        let (plain, masked, conflicts) = matched_tables(12, 4, seed);
+        let scenario = Scenario::builder(seed).bidders(12).channels(4).tie_free().build();
+        let fx = matched_tables(&scenario).unwrap();
         let plain_grants =
-            greedy_allocate(&plain, &conflicts, &mut StdRng::seed_from_u64(777 + seed));
+            greedy_allocate(&fx.plain, &fx.conflicts, &mut StdRng::seed_from_u64(777 + seed));
         let masked_grants =
-            greedy_allocate(&masked, &conflicts, &mut StdRng::seed_from_u64(777 + seed));
+            greedy_allocate(&fx.masked, &fx.conflicts, &mut StdRng::seed_from_u64(777 + seed));
         assert_eq!(plain_grants, masked_grants, "seed {seed}");
     }
 }
 
 #[test]
 fn masked_rankings_equal_plaintext_rankings() {
-    let (plain, masked, _) = matched_tables(15, 3, 42);
+    let scenario = Scenario::builder(42).bidders(15).channels(3).tie_free().build();
+    let fx = matched_tables(&scenario).unwrap();
     for ch in 0..3usize {
         let channel = lppa_suite::lppa_spectrum::ChannelId(ch);
-        let masked_ranking = masked.rank_channel(channel);
+        let masked_ranking = fx.masked.rank_channel(channel);
         // Project to raw bids: must be non-increasing, with the pruned
         // zeros at the tail in any order.
-        let raws: Vec<u32> = masked_ranking.iter().map(|&b| plain.bid(b, channel)).collect();
+        let raws: Vec<u32> = masked_ranking.iter().map(|&b| fx.plain.bid(b, channel)).collect();
         let positives: Vec<u32> = raws.iter().copied().filter(|&r| r > 0).collect();
         let mut sorted = positives.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
