@@ -92,6 +92,7 @@ fn bench_greedy(b: &mut Bench) {
 
 fn main() {
     let mut b = Bench::new("allocation");
+    lppa_bench::machine_context(&mut b);
     bench_masked_comparison(&mut b);
     bench_select_winner(&mut b);
     bench_rank_channel(&mut b);

@@ -40,6 +40,48 @@ fn bench_tag(b: &mut Bench) {
     });
 }
 
+fn bench_tag_batch(b: &mut Bench) {
+    let key = HmacKey::from_bytes([9u8; 32]);
+    // Batch sizes from the w=13 hot path: a point family is w+1 = 14
+    // prefixes, a padded range cover max(2, 2w−2) = 24, and a full
+    // per-location submission under one key 2·(14+1+24+1) = 80.
+    for count in [14usize, 24, 80] {
+        let messages: Vec<[u8; 9]> = (0..count as u64)
+            .map(|i| {
+                let mut m = [0u8; 9];
+                m[0] = 13;
+                m[1..].copy_from_slice(&i.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_be_bytes());
+                m
+            })
+            .collect();
+        b.bench(&format!("tag_batch/{count}x9B"), || {
+            std::hint::black_box(Tag::compute_batch(std::hint::black_box(&key), &messages));
+        });
+    }
+}
+
+fn bench_lane_kernel(b: &mut Bench) {
+    // The raw multi-lane compression, 32 independent blocks per call —
+    // the before/after on this bench isolates the kernel itself from the
+    // HMAC/tag plumbing above it.
+    const N: usize = 32;
+    let blocks: Vec<[u8; 64]> = (0..N as u64)
+        .map(|i| {
+            let mut block = [0u8; 64];
+            for (j, chunk) in block.chunks_exact_mut(8).enumerate() {
+                chunk.copy_from_slice(&(i * 8 + j as u64).to_le_bytes());
+            }
+            block
+        })
+        .collect();
+    let states = vec![[0x6a09_e667u32; 8]; N];
+    b.bench_batched(
+        &format!("sha256_lanes/compress_batch_{N}x64B"),
+        || states.clone(),
+        |mut s| lppa_crypto::lanes::compress_batch(&mut s, std::hint::black_box(&blocks)),
+    );
+}
+
 fn bench_chacha20(b: &mut Bench) {
     let cipher = ChaCha20::new(&[3u8; 32]);
     let nonce = [5u8; 12];
@@ -66,9 +108,12 @@ fn bench_seal(b: &mut Bench) {
 
 fn main() {
     let mut b = Bench::new("crypto");
+    lppa_bench::machine_context(&mut b);
     bench_sha256(&mut b);
     bench_hmac(&mut b);
     bench_tag(&mut b);
+    bench_tag_batch(&mut b);
+    bench_lane_kernel(&mut b);
     bench_chacha20(&mut b);
     bench_seal(&mut b);
     b.finish();

@@ -81,6 +81,7 @@ fn bench_attacks(b: &mut Bench) {
 
 fn main() {
     let mut b = Bench::new("end_to_end");
+    lppa_bench::machine_context(&mut b);
     bench_private_auction(&mut b);
     bench_submission_collection(&mut b);
     bench_attacks(&mut b);

@@ -52,6 +52,7 @@ fn bench_membership(b: &mut Bench) {
 
 fn main() {
     let mut b = Bench::new("prefix_ops");
+    lppa_bench::machine_context(&mut b);
     bench_family(&mut b);
     bench_range_cover(&mut b);
     bench_masking(&mut b);

@@ -59,6 +59,7 @@ fn bench_full_submission(b: &mut Bench) {
 
 fn main() {
     let mut b = Bench::new("submission");
+    lppa_bench::machine_context(&mut b);
     bench_location_submission(&mut b);
     bench_bid_submission(&mut b);
     bench_full_submission(&mut b);

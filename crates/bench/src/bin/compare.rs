@@ -51,12 +51,28 @@ fn json_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-/// Parses a whole bench file into `group/bench → sample`, skipping
-/// lines that are not benchmark records.
-fn parse_file(path: &str) -> Result<BTreeMap<String, Sample>, String> {
+/// Extracts the flattened `"k=v k=v"` body of a machine-context
+/// metadata line (`{"group":...,"context":{...}}`), if this is one.
+fn context_body(line: &str) -> Option<String> {
+    let needle = "\"context\":{";
+    let start = line.find(needle)? + needle.len();
+    let body = &line[start..line[start..].find('}')? + start];
+    Some(body.replace("\":\"", "=").replace("\",\"", " ").replace('"', ""))
+}
+
+/// Parses a whole bench file into `group/bench → sample` plus the
+/// deduplicated machine-context lines, skipping anything else.
+fn parse_file(path: &str) -> Result<(BTreeMap<String, Sample>, Vec<String>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = BTreeMap::new();
+    let mut contexts: Vec<String> = Vec::new();
     for line in text.lines() {
+        if let Some(ctx) = context_body(line) {
+            if !contexts.contains(&ctx) {
+                contexts.push(ctx);
+            }
+            continue;
+        }
         let (Some(group), Some(bench), Some(mean_ns)) =
             (json_str(line, "group"), json_str(line, "bench"), json_num(line, "mean_ns"))
         else {
@@ -67,7 +83,7 @@ fn parse_file(path: &str) -> Result<BTreeMap<String, Sample>, String> {
     if out.is_empty() {
         return Err(format!("{path}: no benchmark records found"));
     }
-    Ok(out)
+    Ok((out, contexts))
 }
 
 fn main() -> ExitCode {
@@ -76,15 +92,21 @@ fn main() -> ExitCode {
         eprintln!("usage: compare <before.json> <after.json>");
         return ExitCode::FAILURE;
     };
-    let (before, after) = match (parse_file(before_path), parse_file(after_path)) {
-        (Ok(b), Ok(a)) => (b, a),
-        (b, a) => {
-            for err in [b.err(), a.err()].into_iter().flatten() {
-                eprintln!("error: {err}");
+    let ((before, before_ctx), (after, after_ctx)) =
+        match (parse_file(before_path), parse_file(after_path)) {
+            (Ok(b), Ok(a)) => (b, a),
+            (b, a) => {
+                for err in [b.err(), a.err()].into_iter().flatten() {
+                    eprintln!("error: {err}");
+                }
+                return ExitCode::FAILURE;
             }
-            return ExitCode::FAILURE;
+        };
+    for (label, contexts) in [("before", &before_ctx), ("after", &after_ctx)] {
+        for ctx in contexts {
+            println!("{label} context: {ctx}");
         }
-    };
+    }
 
     let width = before.keys().chain(after.keys()).map(String::len).max().unwrap_or(0);
     println!("{:width$}  {:>12}  {:>12}  {:>8}", "benchmark", "before", "after", "speedup");
@@ -134,6 +156,17 @@ mod tests {
         assert_eq!(json_num(LINE, "throughput_mib_s"), Some(95.24));
         assert_eq!(json_str(LINE, "missing"), None);
         assert_eq!(json_num(LINE, "missing"), None);
+    }
+
+    #[test]
+    fn context_lines_are_detected_and_flattened() {
+        let line = r#"{"group":"crypto","context":{"sha_lanes":"8","threads":"auto(1)","cpu_features":"sse2 avx2"}}"#;
+        assert_eq!(
+            context_body(line).as_deref(),
+            Some("sha_lanes=8 threads=auto(1) cpu_features=sse2 avx2")
+        );
+        // Benchmark records are not context lines.
+        assert_eq!(context_body(LINE), None);
     }
 
     #[test]

@@ -16,6 +16,23 @@
 
 pub mod experiments;
 
+/// Emits the standard machine-context metadata line for a bench group:
+/// the SHA-256 lane width in effect, the worker-thread configuration,
+/// and the detected CPU feature flags. Committed baseline files (e.g.
+/// `results/BENCH_pr5_*.json`) carry these lines so before/after runs
+/// stay interpretable — a "before" captured under `LPPA_SHA_LANES=1`
+/// is distinguishable from one captured on a machine without AVX2.
+pub fn machine_context(b: &mut lppa_rng::bench::Bench) {
+    let lanes = lppa_crypto::lanes::lane_width().to_string();
+    let threads = std::env::var(lppa_par::THREADS_ENV)
+        .unwrap_or_else(|_| format!("auto({})", lppa_par::thread_count()));
+    b.context(&[
+        ("sha_lanes", &lanes),
+        ("threads", &threads),
+        ("cpu_features", &lppa_crypto::lanes::cpu_features()),
+    ]);
+}
+
 /// Tiny CSV helpers shared by the figure binaries.
 pub mod csv {
     /// Prints a CSV header line.

@@ -395,12 +395,14 @@ pub fn run_private_auction_from_bids_with_model<R: Rng>(
 ///
 /// Bidders are independent by construction — each one masks its own
 /// tags under the shared keys — so the batch fans out across the
-/// `lppa_par` worker pool. To keep the output independent of the thread
-/// count, one child seed per bidder is drawn *sequentially* from the
-/// caller's RNG first; each submission is then derived from its own
-/// seeded [`StdRng`]. The result is bit-identical for every
-/// `LPPA_THREADS` value (the reproducibility CI gate runs the suite
-/// under 1 and 4 threads to prove it).
+/// `lppa_par` worker pool, with chunk sizes aligned to the SHA-256 lane
+/// width so each worker's run of bidders feeds the multi-lane tag kernel
+/// in whole passes. To keep the output independent of the thread count,
+/// one child seed per bidder is drawn *sequentially* from the caller's
+/// RNG first; each submission is then derived from its own seeded
+/// [`StdRng`]. The result is bit-identical for every `LPPA_THREADS` and
+/// `LPPA_SHA_LANES` value (the reproducibility CI gate diffs pinned-seed
+/// runs across both knobs to prove it).
 ///
 /// # Errors
 ///
@@ -414,7 +416,8 @@ pub fn build_submissions<R: Rng>(
 ) -> Result<Vec<SuSubmission>, LppaError> {
     let seeded: Vec<(u64, &(Location, Vec<u32>))> =
         bidders.iter().map(|bidder| (rng.next_u64(), bidder)).collect();
-    lppa_par::par_map(&seeded, |(seed, (location, raw_bids))| {
+    lppa_par::par_map_aligned(&seeded, lppa_crypto::lanes::lane_width(), |(seed, bidder)| {
+        let (location, raw_bids) = bidder;
         let mut child = StdRng::seed_from_u64(*seed);
         SuSubmission::build(*location, raw_bids, ttp, policy, &mut child)
     })

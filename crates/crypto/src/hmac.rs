@@ -5,7 +5,17 @@
 //! curious auctioneer from reversing a masked set back to a location or a
 //! bid. Validated against the RFC 4231 test vectors.
 
+use crate::lanes::{self, MAX_LANES};
 use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Longest message the batched two-compression HMAC path handles: the
+/// message, the `0x80` terminator and the 8-byte bit length must all fit
+/// in the single inner block that follows the ipad block.
+///
+/// Every numericalized prefix in the LPPA hot path is 9 bytes, far under
+/// this bound; longer messages fall back to the scalar path inside the
+/// batch API, so callers never need to check it themselves.
+pub const MAX_BATCH_MSG: usize = BLOCK_LEN - 9;
 
 /// Incremental HMAC-SHA256.
 ///
@@ -131,6 +141,148 @@ impl HmacMidstate {
     /// [`HmacSha256::update`] and close with [`HmacSha256::finalize`].
     pub fn mac(&self) -> HmacSha256 {
         HmacSha256 { inner: self.inner.clone(), outer: self.outer.clone() }
+    }
+
+    /// MACs a batch of independent messages through the multi-lane
+    /// SHA-256 kernel, delivering `(index, tag)` pairs to `sink`.
+    ///
+    /// A short message (≤ [`MAX_BATCH_MSG`] bytes) costs exactly two
+    /// compressions from the cached midstate — one inner block carrying
+    /// the padded message, one outer block carrying the inner digest —
+    /// and both are batched lane-wise across the messages, so N lanes
+    /// amortize one message-schedule walk over N MACs. Longer messages
+    /// take the scalar [`Self::compute`] path. Tags are bit-identical to
+    /// per-message [`Self::compute`] calls; delivery order is
+    /// unspecified (lanes flush as they fill), which is why the sink
+    /// receives the message index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lppa_crypto::hmac::HmacMidstate;
+    ///
+    /// let midstate = HmacMidstate::new(b"key");
+    /// let msgs: &[&[u8]] = &[b"a", b"bb", b"ccc"];
+    /// let mut tags = vec![[0u8; 32]; msgs.len()];
+    /// midstate.compute_batch_into(msgs, |i, tag| tags[i] = tag);
+    /// assert_eq!(tags[1], midstate.compute(b"bb"));
+    /// ```
+    pub fn compute_batch_into<M, F>(&self, messages: &[M], sink: F)
+    where
+        M: AsRef<[u8]>,
+        F: FnMut(usize, [u8; DIGEST_LEN]),
+    {
+        self.compute_batch_into_with_width(lanes::lane_width(), messages, sink);
+    }
+
+    /// [`Self::compute_batch_into`] with an explicit lane width, for
+    /// determinism tests and the differential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in [`lanes::SUPPORTED_WIDTHS`].
+    pub fn compute_batch_into_with_width<M, F>(&self, width: usize, messages: &[M], mut sink: F)
+    where
+        M: AsRef<[u8]>,
+        F: FnMut(usize, [u8; DIGEST_LEN]),
+    {
+        assert!(lanes::SUPPORTED_WIDTHS.contains(&width), "unsupported lane width {width}");
+        let inner_mid = self.inner.state_words();
+        let outer_mid = self.outer.state_words();
+
+        // Lane staging buffers live on the stack; `filled` lanes are in
+        // use. Flushing at `width` keeps every kernel pass full.
+        let mut idx = [0usize; MAX_LANES];
+        let mut blocks = [[0u8; BLOCK_LEN]; MAX_LANES];
+        let mut filled = 0usize;
+
+        for (i, message) in messages.iter().enumerate() {
+            let msg = message.as_ref();
+            if msg.len() > MAX_BATCH_MSG {
+                // Multi-block message: scalar fallback, emitted eagerly.
+                sink(i, self.compute(msg));
+                continue;
+            }
+            // Inner block: message ‖ 0x80 ‖ zeros ‖ total bit length
+            // (the ipad block already absorbed counts toward it).
+            let block = &mut blocks[filled];
+            *block = [0u8; BLOCK_LEN];
+            block[..msg.len()].copy_from_slice(msg);
+            block[msg.len()] = 0x80;
+            let bit_len = ((BLOCK_LEN + msg.len()) as u64) * 8;
+            block[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
+            idx[filled] = i;
+            filled += 1;
+
+            if filled == width {
+                flush_lanes(width, &inner_mid, &outer_mid, &idx[..filled], &blocks, &mut sink);
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            flush_lanes(width, &inner_mid, &outer_mid, &idx[..filled], &blocks, &mut sink);
+        }
+    }
+
+    /// Convenience wrapper over [`Self::compute_batch_into`] collecting
+    /// the tags into a `Vec` in message order.
+    pub fn compute_batch<M: AsRef<[u8]>>(&self, messages: &[M]) -> Vec<[u8; DIGEST_LEN]> {
+        let mut out = vec![[0u8; DIGEST_LEN]; messages.len()];
+        self.compute_batch_into(messages, |i, tag| out[i] = tag);
+        out
+    }
+}
+
+/// Runs the two batched compressions for `idx.len()` staged lanes and
+/// delivers the digests: inner blocks from the ipad midstate, then outer
+/// blocks (`inner digest ‖ padding`) from the opad midstate.
+fn flush_lanes<F: FnMut(usize, [u8; DIGEST_LEN])>(
+    width: usize,
+    inner_mid: &[u32; 8],
+    outer_mid: &[u32; 8],
+    idx: &[usize],
+    blocks: &[[u8; BLOCK_LEN]; MAX_LANES],
+    sink: &mut F,
+) {
+    let n = idx.len();
+    // A partial flush is padded with dummy lanes up to the next kernel
+    // width (not past `width`): one full N-lane pass over n live + pad
+    // dummy lanes is cheaper than splitting the remainder into narrower
+    // passes and scalar stragglers. Dummy outputs are simply discarded,
+    // so the live tags stay bit-identical.
+    let run = lanes::SUPPORTED_WIDTHS
+        .into_iter()
+        .find(|&w| w >= n)
+        .unwrap_or(MAX_LANES)
+        .min(width.max(n));
+    let mut states = [[0u32; 8]; MAX_LANES];
+    for state in &mut states[..run] {
+        *state = *inner_mid;
+    }
+    lanes::compress_batch_with_width(width, &mut states[..run], &blocks[..run]);
+
+    // The outer message is always digest-sized: 32 bytes, terminator,
+    // and the (64 + 32) * 8 = 768 bit length — one block exactly.
+    let mut outer_blocks = [[0u8; BLOCK_LEN]; MAX_LANES];
+    for (block, state) in outer_blocks[..run].iter_mut().zip(&states[..run]) {
+        for (chunk, word) in block[..DIGEST_LEN].chunks_exact_mut(4).zip(state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        block[DIGEST_LEN] = 0x80;
+        let bit_len = ((BLOCK_LEN + DIGEST_LEN) as u64) * 8;
+        block[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
+    }
+    for state in &mut states[..run] {
+        *state = *outer_mid;
+    }
+    lanes::compress_batch_with_width(width, &mut states[..run], &outer_blocks[..run]);
+
+    for (lane, &message_index) in idx.iter().enumerate() {
+        let mut tag = [0u8; DIGEST_LEN];
+        for (chunk, word) in tag.chunks_exact_mut(4).zip(states[lane].iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        sink(message_index, tag);
     }
 }
 
@@ -286,6 +438,54 @@ mod tests {
         // Degenerate inputs should still produce a well-defined tag.
         let tag = hmac_sha256(b"", b"");
         assert_eq!(tag.len(), 32);
+    }
+
+    #[test]
+    fn batch_matches_scalar_for_every_width_and_size() {
+        let midstate = HmacMidstate::new(b"batch-key");
+        // Message lengths straddle the MAX_BATCH_MSG fallback boundary.
+        let messages: Vec<Vec<u8>> = (0..23u8)
+            .map(|i| {
+                let len = [0, 1, 9, 54, 55, 56, 100][i as usize % 7];
+                vec![i ^ 0x5a; len]
+            })
+            .collect();
+        let want: Vec<_> = messages.iter().map(|m| midstate.compute(m)).collect();
+        for width in crate::lanes::SUPPORTED_WIDTHS {
+            for n in [0, 1, 3, 8, 23] {
+                let mut got = vec![[0u8; DIGEST_LEN]; n];
+                let mut seen = vec![false; n];
+                midstate.compute_batch_into_with_width(width, &messages[..n], |i, tag| {
+                    got[i] = tag;
+                    seen[i] = true;
+                });
+                assert!(seen.iter().all(|&s| s), "width={width} n={n}: sink missed an index");
+                assert_eq!(got, want[..n], "width={width} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_batch_returns_message_order() {
+        let midstate = HmacMidstate::new(b"vec-key");
+        let messages: Vec<Vec<u8>> = (0..11u8).map(|i| vec![i; (i as usize * 7) % 60]).collect();
+        let got = midstate.compute_batch(&messages);
+        for (m, tag) in messages.iter().zip(&got) {
+            assert_eq!(*tag, midstate.compute(m));
+        }
+    }
+
+    #[test]
+    fn batch_matches_rfc4231_vectors() {
+        // Case 1 and case 2 messages, MACed as one batch per key.
+        let m1 = HmacMidstate::new(&[0x0bu8; 20]);
+        let tags = m1.compute_batch(&[b"Hi There".as_slice()]);
+        assert!(hex(&tags[0])
+            .starts_with("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"));
+        let m2 = HmacMidstate::new(b"Jefe");
+        let tags = m2.compute_batch(&[b"what do ya want for nothing?".as_slice()]);
+        assert!(hex(&tags[0])
+            .starts_with("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"));
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Multi-lane (multi-buffer) SHA-256 compression.
+//!
+//! The LPPA hot path hashes thousands of *independent* short messages —
+//! one HMAC tag per prefix — so the classic multi-buffer trick applies:
+//! interleave N compressions lane-wise and pay for one message-schedule
+//! walk per N blocks. Three kernels are provided:
+//!
+//! * **1-lane** — the scalar [`crate::sha256`] compression function;
+//! * **4-lane / 8-lane portable** — a const-generic interleaving where
+//!   every round operates on `[u32; N]` lane vectors. The loops are
+//!   written element-wise with no cross-lane dependencies, which LLVM
+//!   autovectorizes to SSE2 on every `x86_64` target (SSE2 is baseline);
+//! * **8-lane AVX2** — the same round structure hand-written with
+//!   `core::arch::x86_64` intrinsics (`__m256i` holds one word of all
+//!   eight lanes), selected at runtime via `is_x86_feature_detected!` and
+//!   falling back to the portable kernel everywhere else.
+//!
+//! All kernels are bit-identical to N independent scalar compressions —
+//! property-tested per width and cross-checked continuously by the
+//! `batch_scalar_tags` oracle invariant — so lane width is a pure
+//! throughput knob with no observable effect on any protocol output.
+//!
+//! # Lane-width selection
+//!
+//! [`lane_width`] picks 8 when AVX2 is available and 4 otherwise, and can
+//! be pinned with the `LPPA_SHA_LANES` environment variable (accepted
+//! values: `1`, `4`, `8`; read once per process). CI diffs pinned-seed
+//! runs across all three widths to enforce the bit-identity contract.
+
+use crate::sha256::{compress, BLOCK_LEN, K};
+
+/// Environment variable pinning the lane width (`1`, `4` or `8`).
+pub const LANES_ENV: &str = "LPPA_SHA_LANES";
+
+/// Lane widths with a dedicated kernel, narrowest first.
+pub const SUPPORTED_WIDTHS: [usize; 3] = [1, 4, 8];
+
+/// The widest kernel; batch callers sizing stack buffers can use this.
+pub const MAX_LANES: usize = 8;
+
+/// The lane width the process-wide kernel dispatch uses.
+///
+/// Honours [`LANES_ENV`] when set to a supported width; otherwise picks
+/// the widest kernel the CPU runs well (8 with AVX2, 4 without). Cached
+/// after the first call.
+pub fn lane_width() -> usize {
+    use std::sync::OnceLock;
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        if let Ok(raw) = std::env::var(LANES_ENV) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if SUPPORTED_WIDTHS.contains(&n) {
+                    return n;
+                }
+            }
+        }
+        if avx2_available() {
+            8
+        } else {
+            4
+        }
+    })
+}
+
+/// Whether the AVX2 8-lane kernel is usable on this CPU.
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Space-separated CPU feature flags relevant to kernel selection, for
+/// bench metadata. Reports detection results, not which kernel ran.
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut flags = vec!["sse2"]; // baseline on x86_64
+        if std::arch::is_x86_feature_detected!("avx2") {
+            flags.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("sha") {
+            flags.push("sha_ni");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            flags.push("avx512f");
+        }
+        flags.join(" ")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        String::from("portable")
+    }
+}
+
+/// Folds `blocks[i]` into `states[i]` for every `i`, using the
+/// process-wide lane width ([`lane_width`]).
+///
+/// Each (state, block) pair is an independent compression; the result is
+/// bit-identical to calling the scalar compression once per pair.
+///
+/// # Panics
+///
+/// Panics if `states` and `blocks` differ in length.
+pub fn compress_batch(states: &mut [[u32; 8]], blocks: &[[u8; BLOCK_LEN]]) {
+    compress_batch_with_width(lane_width(), states, blocks);
+}
+
+/// [`compress_batch`] with an explicit lane width, for determinism tests
+/// and the differential oracle.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or `width` is not in [`SUPPORTED_WIDTHS`].
+pub fn compress_batch_with_width(
+    width: usize,
+    states: &mut [[u32; 8]],
+    blocks: &[[u8; BLOCK_LEN]],
+) {
+    assert_eq!(states.len(), blocks.len(), "one block per state");
+    assert!(SUPPORTED_WIDTHS.contains(&width), "unsupported lane width {width}");
+
+    let n = states.len();
+    let mut i = 0;
+    if width == 8 {
+        let use_avx2 = avx2_available();
+        while n - i >= 8 {
+            let s: &mut [[u32; 8]; 8] = (&mut states[i..i + 8]).try_into().unwrap();
+            let b: &[[u8; BLOCK_LEN]; 8] = (&blocks[i..i + 8]).try_into().unwrap();
+            if use_avx2 {
+                #[cfg(target_arch = "x86_64")]
+                avx2::compress8(s, b);
+                #[cfg(not(target_arch = "x86_64"))]
+                compress_wide::<8>(s, b);
+            } else {
+                compress_wide::<8>(s, b);
+            }
+            i += 8;
+        }
+    }
+    if width >= 4 {
+        while n - i >= 4 {
+            let s: &mut [[u32; 8]; 4] = (&mut states[i..i + 4]).try_into().unwrap();
+            let b: &[[u8; BLOCK_LEN]; 4] = (&blocks[i..i + 4]).try_into().unwrap();
+            compress_wide::<4>(s, b);
+            i += 4;
+        }
+    }
+    while i < n {
+        compress(&mut states[i], &blocks[i]);
+        i += 1;
+    }
+}
+
+/// Portable N-lane compression: the scalar rounds with every variable
+/// widened to a `[u32; N]` lane vector.
+///
+/// Each statement in the inner loops is element-wise over the lanes with
+/// no cross-lane dependency, exactly the shape LLVM's SLP/loop
+/// vectorizers turn into SSE2 (or wider, under `-C target-cpu`) code.
+#[allow(clippy::needless_range_loop)] // lane loops index several `w` rows at fixed offsets
+fn compress_wide<const N: usize>(states: &mut [[u32; 8]; N], blocks: &[[u8; BLOCK_LEN]; N]) {
+    // Message schedule, lane-interleaved: w[t][l] is word t of lane l.
+    let mut w = [[0u32; N]; 64];
+    for t in 0..16 {
+        for l in 0..N {
+            let chunk = &blocks[l][4 * t..4 * t + 4];
+            w[t][l] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    for t in 16..64 {
+        for l in 0..N {
+            let x = w[t - 15][l];
+            let y = w[t - 2][l];
+            let s0 = x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3);
+            let s1 = y.rotate_right(17) ^ y.rotate_right(19) ^ (y >> 10);
+            w[t][l] = w[t - 16][l].wrapping_add(s0).wrapping_add(w[t - 7][l]).wrapping_add(s1);
+        }
+    }
+
+    let mut a = [0u32; N];
+    let mut b = [0u32; N];
+    let mut c = [0u32; N];
+    let mut d = [0u32; N];
+    let mut e = [0u32; N];
+    let mut f = [0u32; N];
+    let mut g = [0u32; N];
+    let mut h = [0u32; N];
+    for l in 0..N {
+        [a[l], b[l], c[l], d[l], e[l], f[l], g[l], h[l]] = states[l];
+    }
+
+    for t in 0..64 {
+        for l in 0..N {
+            let s1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ ((!e[l]) & g[l]);
+            let t1 =
+                h[l].wrapping_add(s1).wrapping_add(ch).wrapping_add(K[t]).wrapping_add(w[t][l]);
+            let s0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            let t2 = s0.wrapping_add(maj);
+
+            h[l] = g[l];
+            g[l] = f[l];
+            f[l] = e[l];
+            e[l] = d[l].wrapping_add(t1);
+            d[l] = c[l];
+            c[l] = b[l];
+            b[l] = a[l];
+            a[l] = t1.wrapping_add(t2);
+        }
+    }
+
+    for l in 0..N {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+        states[l][4] = states[l][4].wrapping_add(e[l]);
+        states[l][5] = states[l][5].wrapping_add(f[l]);
+        states[l][6] = states[l][6].wrapping_add(g[l]);
+        states[l][7] = states[l][7].wrapping_add(h[l]);
+    }
+}
+
+/// 8-lane AVX2 kernel: one `__m256i` register holds the same working
+/// variable for all eight lanes.
+///
+/// The only `unsafe` in the workspace lives here; it is confined to
+/// `core::arch` intrinsic calls that are valid whenever AVX2 is present,
+/// which the safe [`compress8`] wrapper checks at runtime.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use super::{BLOCK_LEN, K};
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_and_si256, _mm256_andnot_si256, _mm256_or_si256,
+        _mm256_set1_epi32, _mm256_set_epi32, _mm256_slli_epi32, _mm256_srli_epi32,
+        _mm256_storeu_si256, _mm256_xor_si256,
+    };
+
+    /// Safe entry point: compresses eight independent blocks at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if AVX2 is not available (callers gate on detection).
+    pub(super) fn compress8(states: &mut [[u32; 8]; 8], blocks: &[[u8; BLOCK_LEN]; 8]) {
+        assert!(std::arch::is_x86_feature_detected!("avx2"), "AVX2 kernel on non-AVX2 CPU");
+        // SAFETY: the assertion above proves the `avx2` target feature is
+        // supported by the running CPU, which is the only requirement of
+        // the feature-gated function.
+        unsafe { compress8_impl(states, blocks) }
+    }
+
+    /// AVX2 has no rotate; synthesize it from two shifts and an or. A
+    /// macro (not a fn) because the shift intrinsics need constant
+    /// immediates.
+    macro_rules! rotr {
+        ($x:expr, $r:literal) => {{
+            let x = $x;
+            _mm256_or_si256(_mm256_srli_epi32(x, $r), _mm256_slli_epi32(x, 32 - $r))
+        }};
+    }
+
+    #[inline(always)]
+    unsafe fn add(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_add_epi32(a, b)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn compress8_impl(states: &mut [[u32; 8]; 8], blocks: &[[u8; BLOCK_LEN]; 8]) {
+        // Message schedule: w[t] carries word t of every lane. Loads are
+        // gathered scalar-wise (8 lanes × 4 bytes, byte-swapped).
+        let mut w = [_mm256_set1_epi32(0); 64];
+        for (t, wt) in w.iter_mut().take(16).enumerate() {
+            let word = |l: usize| -> i32 {
+                let chunk = &blocks[l][4 * t..4 * t + 4];
+                i32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]])
+            };
+            // set_epi32 takes arguments high-lane first.
+            *wt = _mm256_set_epi32(
+                word(7),
+                word(6),
+                word(5),
+                word(4),
+                word(3),
+                word(2),
+                word(1),
+                word(0),
+            );
+        }
+        for t in 16..64 {
+            let x = w[t - 15];
+            let y = w[t - 2];
+            let s0 = _mm256_xor_si256(
+                _mm256_xor_si256(rotr!(x, 7), rotr!(x, 18)),
+                _mm256_srli_epi32(x, 3),
+            );
+            let s1 = _mm256_xor_si256(
+                _mm256_xor_si256(rotr!(y, 17), rotr!(y, 19)),
+                _mm256_srli_epi32(y, 10),
+            );
+            w[t] = add(add(w[t - 16], s0), add(w[t - 7], s1));
+        }
+
+        // Transpose the eight states into eight working registers.
+        let mut regs = [_mm256_set1_epi32(0); 8];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = _mm256_set_epi32(
+                states[7][i] as i32,
+                states[6][i] as i32,
+                states[5][i] as i32,
+                states[4][i] as i32,
+                states[3][i] as i32,
+                states[2][i] as i32,
+                states[1][i] as i32,
+                states[0][i] as i32,
+            );
+        }
+        let (mut a, mut b, mut c, mut d) = (regs[0], regs[1], regs[2], regs[3]);
+        let (mut e, mut f, mut g, mut h) = (regs[4], regs[5], regs[6], regs[7]);
+        let (a0, b0, c0, d0, e0, f0, g0, h0) = (a, b, c, d, e, f, g, h);
+
+        for t in 0..64 {
+            let s1 = _mm256_xor_si256(_mm256_xor_si256(rotr!(e, 6), rotr!(e, 11)), rotr!(e, 25));
+            // ch = (e & f) ^ (!e & g); andnot computes !x & y directly.
+            let ch = _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+            let t1 = add(add(h, s1), add(add(ch, _mm256_set1_epi32(K[t] as i32)), w[t]));
+            let s0 = _mm256_xor_si256(_mm256_xor_si256(rotr!(a, 2), rotr!(a, 13)), rotr!(a, 22));
+            let maj = _mm256_xor_si256(
+                _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+                _mm256_and_si256(b, c),
+            );
+            let t2 = add(s0, maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = add(d, t1);
+            d = c;
+            c = b;
+            b = a;
+            a = add(t1, t2);
+        }
+
+        // Feed-forward, then scatter the lanes back out through a stack
+        // buffer (one store per working register).
+        let out = [
+            add(a, a0),
+            add(b, b0),
+            add(c, c0),
+            add(d, d0),
+            add(e, e0),
+            add(f, f0),
+            add(g, g0),
+            add(h, h0),
+        ];
+        let mut cols = [[0u32; 8]; 8];
+        for (i, v) in out.iter().enumerate() {
+            _mm256_storeu_si256(cols[i].as_mut_ptr() as *mut __m256i, *v);
+        }
+        for l in 0..8 {
+            for i in 0..8 {
+                states[l][i] = cols[i][l];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::H0;
+
+    /// Deterministic pseudo-random block/state material (no RNG dep here;
+    /// a simple LCG is plenty for kernel equivalence checks).
+    fn splat(seed: u64, n: usize) -> (Vec<[u32; 8]>, Vec<[u8; BLOCK_LEN]>) {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let states = (0..n)
+            .map(|_| {
+                let mut s = H0;
+                for word in &mut s {
+                    *word ^= next() as u32;
+                }
+                s
+            })
+            .collect();
+        let blocks = (0..n)
+            .map(|_| {
+                let mut b = [0u8; BLOCK_LEN];
+                for chunk in b.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&next().to_le_bytes());
+                }
+                b
+            })
+            .collect();
+        (states, blocks)
+    }
+
+    #[test]
+    fn every_width_matches_scalar_compress() {
+        for seed in 1..=8u64 {
+            for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 16, 23] {
+                let (states0, blocks) = splat(seed * 1000 + n as u64, n);
+                let mut want = states0.clone();
+                for (s, b) in want.iter_mut().zip(&blocks) {
+                    compress(s, b);
+                }
+                for width in SUPPORTED_WIDTHS {
+                    let mut got = states0.clone();
+                    compress_batch_with_width(width, &mut got, &blocks);
+                    assert_eq!(got, want, "width={width} n={n} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_width_matches_scalar() {
+        let (states0, blocks) = splat(42, 13);
+        let mut want = states0.clone();
+        for (s, b) in want.iter_mut().zip(&blocks) {
+            compress(s, b);
+        }
+        let mut got = states0;
+        compress_batch(&mut got, &blocks);
+        assert_eq!(got, want);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernel_matches_portable() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // nothing to compare on this machine
+        }
+        for seed in 1..=16u64 {
+            let (states0, blocks) = splat(seed, 8);
+            let mut portable: [[u32; 8]; 8] = states0.clone().try_into().unwrap();
+            let mut simd = portable;
+            let blocks: [[u8; BLOCK_LEN]; 8] = blocks.try_into().unwrap();
+            compress_wide::<8>(&mut portable, &blocks);
+            avx2::compress8(&mut simd, &blocks);
+            assert_eq!(simd, portable, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn lane_width_is_supported() {
+        assert!(SUPPORTED_WIDTHS.contains(&lane_width()));
+    }
+
+    #[test]
+    fn cpu_features_nonempty() {
+        assert!(!cpu_features().is_empty());
+    }
+}

@@ -44,6 +44,69 @@ impl Tag {
         Self(out)
     }
 
+    /// Masks a batch of independent messages under `key`, delivering
+    /// `(index, tag)` pairs to `sink`.
+    ///
+    /// Runs the multi-lane SHA-256 kernel via
+    /// [`crate::hmac::HmacMidstate::compute_batch_into`]: N lanes share
+    /// one message-schedule walk, so masking a whole prefix family or
+    /// range cover costs a fraction of per-message [`Self::compute`]
+    /// calls while producing bit-identical tags. Delivery order is
+    /// unspecified; order-insensitive sinks (e.g. inserting into a tag
+    /// set) can ignore the index.
+    pub fn compute_batch_into<M, F>(key: &HmacKey, messages: &[M], mut sink: F)
+    where
+        M: AsRef<[u8]>,
+        F: FnMut(usize, Tag),
+    {
+        key.midstate().compute_batch_into(messages, |i, full| {
+            let mut out = [0u8; TAG_LEN];
+            out.copy_from_slice(&full[..TAG_LEN]);
+            sink(i, Self(out));
+        });
+    }
+
+    /// Masks a batch of messages under `key`, returning tags in message
+    /// order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lppa_crypto::keys::HmacKey;
+    /// use lppa_crypto::tag::Tag;
+    ///
+    /// let key = HmacKey::from_bytes([9u8; 32]);
+    /// let tags = Tag::compute_batch(&key, &[b"10100".as_slice(), b"1010*"]);
+    /// assert_eq!(tags[0], Tag::compute(&key, b"10100"));
+    /// assert_eq!(tags[1], Tag::compute(&key, b"1010*"));
+    /// ```
+    pub fn compute_batch<M: AsRef<[u8]>>(key: &HmacKey, messages: &[M]) -> Vec<Tag> {
+        let mut out = vec![Tag([0u8; TAG_LEN]); messages.len()];
+        Self::compute_batch_into(key, messages, |i, tag| out[i] = tag);
+        out
+    }
+
+    /// [`Self::compute_batch`] pinned to an explicit lane width, for
+    /// determinism tests and the differential oracle's batch-vs-scalar
+    /// variant pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in [`crate::lanes::SUPPORTED_WIDTHS`].
+    pub fn compute_batch_with_width<M: AsRef<[u8]>>(
+        key: &HmacKey,
+        width: usize,
+        messages: &[M],
+    ) -> Vec<Tag> {
+        let mut out = vec![Tag([0u8; TAG_LEN]); messages.len()];
+        key.midstate().compute_batch_into_with_width(width, messages, |i, full| {
+            let mut bytes = [0u8; TAG_LEN];
+            bytes.copy_from_slice(&full[..TAG_LEN]);
+            out[i] = Tag(bytes);
+        });
+        out
+    }
+
     /// Wraps raw tag bytes (e.g. parsed from a submission).
     pub fn from_bytes(bytes: [u8; TAG_LEN]) -> Self {
         Self(bytes)
@@ -183,6 +246,17 @@ mod tests {
         set.insert(Tag::compute(&key(1), b"b"));
         assert!(set.contains(&Tag::compute(&key(1), b"a")));
         assert!(!set.contains(&Tag::compute(&key(1), b"c")));
+    }
+
+    #[test]
+    fn batch_matches_per_message_compute() {
+        let k = key(11);
+        let messages: Vec<Vec<u8>> = (0..17u8).map(|i| vec![i; 9]).collect();
+        let want: Vec<_> = messages.iter().map(|m| Tag::compute(&k, m)).collect();
+        assert_eq!(Tag::compute_batch(&k, &messages), want);
+        for width in crate::lanes::SUPPORTED_WIDTHS {
+            assert_eq!(Tag::compute_batch_with_width(&k, width, &messages), want, "w={width}");
+        }
     }
 
     #[test]

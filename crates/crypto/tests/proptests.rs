@@ -6,9 +6,11 @@
 
 use lppa_crypto::chacha20::ChaCha20;
 use lppa_crypto::hmac::{hmac_sha256, HmacMidstate, HmacSha256};
-use lppa_crypto::keys::SealKey;
+use lppa_crypto::keys::{HmacKey, SealKey};
+use lppa_crypto::lanes::{compress_batch, compress_batch_with_width, SUPPORTED_WIDTHS};
 use lppa_crypto::seal::SealedValue;
-use lppa_crypto::sha256::{sha256, Sha256};
+use lppa_crypto::sha256::{sha256, Sha256, BLOCK_LEN};
+use lppa_crypto::tag::Tag;
 use lppa_rng::testing::{byte_vec, check};
 use lppa_rng::{Rng, RngCore};
 
@@ -98,6 +100,83 @@ fn seal_roundtrip_and_tamper_detection() {
         assert_eq!(sealed.open(&key), Ok(value));
         let other = SealKey::random(rng);
         assert!(sealed.open(&other).is_err());
+    });
+}
+
+/// The multi-lane compression kernel equals N independent scalar
+/// compressions on random blocks, for every supported lane width and
+/// batch size (including sizes that leave partial-width remainders).
+#[test]
+fn lane_kernel_equals_scalar_compression() {
+    check("lane_kernel_equals_scalar_compression", |rng| {
+        let n = rng.gen_range(0..20usize);
+        let mut states = Vec::with_capacity(n);
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut state = [0u32; 8];
+            state.iter_mut().for_each(|w| *w = rng.gen());
+            let mut block = [0u8; BLOCK_LEN];
+            rng.fill_bytes(&mut block);
+            states.push(state);
+            blocks.push(block);
+        }
+        // Width 1 takes the scalar remainder loop — the reference.
+        let mut reference = states.clone();
+        compress_batch_with_width(1, &mut reference, &blocks);
+        for width in SUPPORTED_WIDTHS {
+            let mut lanes = states.clone();
+            compress_batch_with_width(width, &mut lanes, &blocks);
+            assert_eq!(lanes, reference, "width={width} n={n}");
+        }
+        let mut default_width = states;
+        compress_batch(&mut default_width, &blocks);
+        assert_eq!(default_width, reference, "default width, n={n}");
+    });
+}
+
+/// Batched HMAC over a random mix of message lengths — below, at and
+/// past the single-compression boundary (55 bytes), where the batch
+/// path falls back to scalar — equals per-message scalar HMAC at every
+/// lane width.
+#[test]
+fn batched_hmac_equals_scalar() {
+    check("batched_hmac_equals_scalar", |rng| {
+        let key = byte_vec(rng, 80);
+        let midstate = HmacMidstate::new(&key);
+        let n = rng.gen_range(0..24usize);
+        let messages: Vec<Vec<u8>> = (0..n).map(|_| byte_vec(rng, 120)).collect();
+        let expected: Vec<_> = messages.iter().map(|m| midstate.compute(m)).collect();
+        for width in SUPPORTED_WIDTHS {
+            let mut got = vec![[0u8; 32]; n];
+            midstate.compute_batch_into_with_width(width, &messages, |i, digest| {
+                got[i] = digest;
+            });
+            assert_eq!(got, expected, "width={width} n={n}");
+        }
+        assert_eq!(midstate.compute_batch(&messages), expected, "default width");
+    });
+}
+
+/// Batched tag generation equals scalar [`Tag::compute`] for random
+/// 9-byte mask inputs — the exact shape the submission hot path feeds.
+#[test]
+fn batched_tags_equal_scalar() {
+    check("batched_tags_equal_scalar", |rng| {
+        let key = HmacKey::random(rng);
+        let n = rng.gen_range(0..40usize);
+        let messages: Vec<[u8; 9]> = (0..n)
+            .map(|_| {
+                let mut m = [0u8; 9];
+                rng.fill_bytes(&mut m);
+                m
+            })
+            .collect();
+        let expected: Vec<Tag> = messages.iter().map(|m| Tag::compute(&key, m)).collect();
+        for width in SUPPORTED_WIDTHS {
+            let got = Tag::compute_batch_with_width(&key, width, &messages);
+            assert_eq!(got, expected, "width={width} n={n}");
+        }
+        assert_eq!(Tag::compute_batch(&key, &messages), expected, "default width");
     });
 }
 

@@ -61,6 +61,11 @@ pub fn registry() -> Vec<Invariant> {
             check: hmac_midstate_direct,
         },
         Invariant {
+            name: "batch_scalar_tags",
+            summary: "multi-lane batched tags equal scalar Tag::compute at every lane width",
+            check: batch_scalar_tags,
+        },
+        Invariant {
             name: "prefix_cover_bound",
             summary: "every range cover is padded to max_cover_len ≤ max(2, 2w−2)",
             check: prefix_cover_bound,
@@ -208,6 +213,30 @@ fn hmac_midstate_direct(run: &ScenarioRun) -> Result<(), String> {
         if streaming.finalize() != direct {
             return Err(format!("case {case}: streaming HMAC differs from one-shot HMAC"));
         }
+    }
+    Ok(())
+}
+
+fn batch_scalar_tags(run: &ScenarioRun) -> Result<(), String> {
+    let probe = &run.tag_kernel;
+    if probe.scalar.len() != probe.messages.len() {
+        return Err(format!(
+            "probe produced {} scalar tags for {} messages",
+            probe.scalar.len(),
+            probe.messages.len()
+        ));
+    }
+    for (width, tags) in &probe.batched {
+        if tags != &probe.scalar {
+            let i = probe.scalar.iter().zip(tags).position(|(a, b)| a != b).unwrap_or(0);
+            return Err(format!(
+                "lane width {width}: batched tag {i} (message len {}) differs from scalar",
+                probe.messages.get(i).map_or(0, Vec::len)
+            ));
+        }
+    }
+    if probe.default_batch != probe.scalar {
+        return Err("process-default batch width differs from scalar tags".into());
     }
     Ok(())
 }

@@ -14,6 +14,9 @@
 //! * **plain runner vs `lppa-session`** round (with the session's
 //!   internally derived allocation seed replicated so the comparison is
 //!   exact);
+//! * **scalar vs multi-lane batched tags** — the same scenario-derived
+//!   mask inputs masked per message through `Tag::compute` and as one
+//!   `Tag::compute_batch` per supported SHA-256 lane width;
 //! * metamorphic rebuilds: permuted bidders, rotated per-round keys,
 //!   shifted `rd` / scaled `cr` — each producing an outcome to compare
 //!   against the base masked run.
@@ -29,9 +32,12 @@ use lppa::{LppaConfig, LppaError};
 use lppa_auction::allocation::{greedy_allocate, Grant};
 use lppa_auction::conflict::ConflictGraph;
 use lppa_auction::outcome::AuctionOutcome;
+use lppa_crypto::lanes;
+use lppa_crypto::tag::Tag;
+use lppa_prefix::{prefix_family, range_prefixes};
 use lppa_rng::rngs::StdRng;
 use lppa_rng::seq::SliceRandom;
-use lppa_rng::{RngCore, SeedableRng};
+use lppa_rng::{Rng, RngCore, SeedableRng};
 use lppa_session::{AuctionSession, FaultConfig, SessionConfig, SessionOutcome};
 
 use crate::scenario::Scenario;
@@ -60,6 +66,25 @@ pub struct SessionRun {
     /// What the direct pipeline computes with the session's internally
     /// derived allocation seed (no-fault sessions only).
     pub expected: Option<PrivateAuctionResult>,
+}
+
+/// The scalar-vs-batched tag kernel variant pair's products.
+///
+/// The probe masks scenario-derived messages — a real prefix family, a
+/// real range cover, and raw messages straddling the batched path's
+/// single-block boundary — through every tag path the workspace ships.
+/// All vectors are index-aligned with [`Self::messages`].
+#[derive(Debug)]
+pub struct TagKernelRun {
+    /// The probe messages.
+    pub messages: Vec<Vec<u8>>,
+    /// Per-message scalar `Tag::compute` reference.
+    pub scalar: Vec<Tag>,
+    /// `(lane width, batched tags)` for every supported kernel width.
+    pub batched: Vec<(usize, Vec<Tag>)>,
+    /// Tags from the process-default batch path (`LPPA_SHA_LANES` or
+    /// CPU auto-detection).
+    pub default_batch: Vec<Tag>,
 }
 
 /// A metamorphic rebuild of the masked pipeline.
@@ -104,6 +129,8 @@ pub struct ScenarioRun {
     pub oblivious: PrivateAuctionResult,
     /// Session pipeline (None below quorum under chaos).
     pub session: Option<SessionRun>,
+    /// Scalar-vs-batched tag kernel probe.
+    pub tag_kernel: TagKernelRun,
     /// Metamorphic rebuilds (only for tie-free, disguise-free
     /// scenarios, where exact equivalence is well-defined).
     pub metamorphic: Vec<MetamorphicRun>,
@@ -187,6 +214,7 @@ impl ScenarioRun {
         )?;
 
         let session = Self::run_session(&scenario, &ttp, &submissions)?;
+        let tag_kernel = Self::run_tag_kernel(&scenario, &ttp);
 
         let mut run = Self {
             scenario,
@@ -201,12 +229,51 @@ impl ScenarioRun {
             masked,
             oblivious,
             session,
+            tag_kernel,
             metamorphic: Vec::new(),
         };
         if run.strong_equivalence_applies() {
             run.metamorphic = run.run_metamorphic()?;
         }
         Ok(run)
+    }
+
+    /// Runs the scalar-vs-batched tag probe for this scenario.
+    ///
+    /// Messages are derived from the scenario seed and its domains, so a
+    /// repro file replays the exact probe: one genuine prefix family and
+    /// one genuine range cover (the hot-path 9-byte mask inputs), plus
+    /// raw messages straddling the batched path's 55-byte single-block
+    /// boundary — the longer ones exercise the scalar fallback *inside*
+    /// the batch API.
+    fn run_tag_kernel(scenario: &Scenario, ttp: &Ttp) -> TagKernelRun {
+        let key = &ttp.bidder_keys().g0;
+        let config = &scenario.config;
+        let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x6c61_6e65_7350_5235);
+        let mut messages: Vec<Vec<u8>> = Vec::new();
+
+        let w = config.transformed_bits();
+        let value = rng.gen_range(0..=config.transformed_max());
+        if let Ok(family) = prefix_family(w, value) {
+            messages.extend(family.iter().map(|p| p.to_mask_input().to_vec()));
+        }
+        let (a, b) = (rng.gen_range(0..=config.loc_max()), rng.gen_range(0..=config.loc_max()));
+        if let Ok(cover) = range_prefixes(config.loc_bits, a.min(b), a.max(b)) {
+            messages.extend(cover.iter().map(|p| p.to_mask_input().to_vec()));
+        }
+        for len in [0usize, 1, 9, 54, 55, 56, 120] {
+            let mut msg = vec![0u8; len];
+            rng.fill_bytes(&mut msg);
+            messages.push(msg);
+        }
+
+        let scalar = messages.iter().map(|m| Tag::compute(key, m)).collect();
+        let batched = lanes::SUPPORTED_WIDTHS
+            .into_iter()
+            .map(|width| (width, Tag::compute_batch_with_width(key, width, &messages)))
+            .collect();
+        let default_batch = Tag::compute_batch(key, &messages);
+        TagKernelRun { messages, scalar, batched, default_batch }
     }
 
     fn session_config(scenario: &Scenario) -> SessionConfig {
@@ -359,6 +426,23 @@ mod tests {
         assert_eq!(run.parallel_checksums, run.serial_checksums);
         assert!(run.session.is_some());
         assert_eq!(run.metamorphic.len(), 3, "all three metamorphic rebuilds should run");
+    }
+
+    #[test]
+    fn tag_kernel_probe_covers_every_width_and_the_fallback() {
+        let scenario = Scenario::builder(21).bidders(4).channels(2).build();
+        let run = ScenarioRun::execute(scenario).unwrap();
+        let probe = &run.tag_kernel;
+        assert_eq!(probe.scalar.len(), probe.messages.len());
+        assert_eq!(probe.batched.len(), lanes::SUPPORTED_WIDTHS.len());
+        // The probe must include both 9-byte hot-path inputs and
+        // multi-block messages (the in-batch scalar fallback).
+        assert!(probe.messages.iter().any(|m| m.len() == 9));
+        assert!(probe.messages.iter().any(|m| m.len() > 55));
+        for (width, tags) in &probe.batched {
+            assert_eq!(tags, &probe.scalar, "lane width {width}");
+        }
+        assert_eq!(probe.default_batch, probe.scalar);
     }
 
     #[test]

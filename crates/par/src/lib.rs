@@ -87,10 +87,38 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_aligned(items, 1, f)
+}
+
+/// [`par_map`] with the chunk size rounded up to a multiple of `align`.
+///
+/// Per-item work that feeds a lane-batched kernel (e.g. the multi-lane
+/// SHA-256 tag path, where `align` is `lppa_crypto::lanes::lane_width()`)
+/// wastes lanes at every chunk boundary; aligning the chunk size keeps
+/// every chunk except the last a whole number of kernel passes. `align`
+/// of 0 or 1 degenerates to plain [`par_map`]. The output is identical
+/// for every `align`, thread count and schedule — alignment only moves
+/// chunk boundaries, never results.
+///
+/// # Examples
+///
+/// ```
+/// let doubled = lppa_par::par_map_aligned(&[1u8, 2, 3, 4, 5], 4, |&x| x * 2);
+/// assert_eq!(doubled, [2, 4, 6, 8, 10]);
+/// ```
+pub fn par_map_aligned<T, R, F>(items: &[T], align: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let threads = thread_count();
     // Aim for several chunks per worker for load balance, but never
     // more chunks than items.
-    let chunk_size = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let mut chunk_size = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    if align > 1 {
+        chunk_size = chunk_size.div_ceil(align) * align;
+    }
     let per_chunk = par_chunks(items, chunk_size, |_, chunk| chunk.iter().map(&f).collect());
     flatten_in_order(per_chunk)
 }
@@ -187,6 +215,15 @@ mod tests {
     fn par_map_handles_empty_and_single() {
         assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
         assert_eq!(par_map(&[42u32], |&x| x + 1), [43]);
+    }
+
+    #[test]
+    fn aligned_map_matches_plain_map_for_every_alignment() {
+        let items: Vec<u64> = (0..333).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x ^ 0x55).collect();
+        for align in [0usize, 1, 4, 8, 64, 1000] {
+            assert_eq!(par_map_aligned(&items, align, |&x| x ^ 0x55), expected, "align={align}");
+        }
     }
 
     #[test]

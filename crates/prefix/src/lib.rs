@@ -48,5 +48,5 @@ pub use error::PrefixError;
 pub use family::prefix_family;
 pub use index::TagIndex;
 pub use masked::{MaskedPoint, MaskedRange};
-pub use prefix::{Prefix, MAX_WIDTH};
+pub use prefix::{Prefix, MASK_INPUT_LEN, MAX_WIDTH};
 pub use range::{max_cover_len, range_prefixes};

@@ -142,13 +142,26 @@ impl Prefix {
     ///
     /// The encoding is `[width, O(prefix) as big-endian u64]`, making
     /// prefixes of different domain widths hash to unrelated tags.
-    pub fn to_mask_input(&self) -> [u8; 9] {
-        let mut out = [0u8; 9];
-        out[0] = self.width;
-        out[1..].copy_from_slice(&self.numericalize().to_be_bytes());
+    pub fn to_mask_input(&self) -> [u8; MASK_INPUT_LEN] {
+        let mut out = [0u8; MASK_INPUT_LEN];
+        self.write_mask_input(&mut out);
         out
     }
+
+    /// Writes the mask-input encoding into a caller-provided buffer.
+    ///
+    /// Allocation-free building block for the batched masking path,
+    /// which stages many mask inputs in one stack array before handing
+    /// them to the multi-lane tag kernel.
+    pub fn write_mask_input(&self, out: &mut [u8; MASK_INPUT_LEN]) {
+        out[0] = self.width;
+        out[1..].copy_from_slice(&self.numericalize().to_be_bytes());
+    }
 }
+
+/// Byte length of [`Prefix::to_mask_input`]'s encoding: a width byte
+/// plus the numericalization as a big-endian `u64`.
+pub const MASK_INPUT_LEN: usize = 9;
 
 impl std::str::FromStr for Prefix {
     type Err = PrefixError;

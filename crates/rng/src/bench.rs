@@ -73,6 +73,30 @@ impl Bench {
         Self { group: group.to_string(), full, filter, ran: 0, skipped: 0 }
     }
 
+    /// Emits one machine-context metadata line for this group:
+    ///
+    /// ```json
+    /// {"group":"crypto","context":{"sha_lanes":"8","threads":"auto"}}
+    /// ```
+    ///
+    /// The line carries no `bench`/`mean_ns` fields, so record parsers
+    /// (e.g. the `compare` bin) skip it while context-aware tools can
+    /// surface it. Printed **only in full measurement mode**: smoke runs
+    /// under `cargo test` stay silent so the CI determinism diffs never
+    /// see environment-dependent output.
+    pub fn context(&mut self, pairs: &[(&str, &str)]) {
+        if !self.full {
+            return;
+        }
+        let body: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\":\"{v}\"")).collect();
+        println!("{{\"group\":\"{}\",\"context\":{{{}}}}}", self.group, body.join(","));
+        eprintln!(
+            "[lppa-bench] {} context: {}",
+            self.group,
+            pairs.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+        );
+    }
+
     /// Times `routine` and reports it as `name`.
     pub fn bench<F: FnMut()>(&mut self, name: &str, routine: F) {
         self.bench_throughput(name, None, routine);
