@@ -21,10 +21,10 @@
 //! * `--seed S`       master seed; scenario i uses seed S + i (default 1).
 //! * `--scenarios N`  number of scenarios to run (default 200).
 //! * `--chaos`        enable the unreliable-transport chaos knobs
-//!                    (`LPPA_CHAOS_*` env vars are honored as usual).
+//!   (`LPPA_CHAOS_*` env vars are honored as usual).
 //! * `--out PATH`     write the JSON report to PATH as well as stdout.
 //! * `--repro FILE`   replay a previously written repro file instead of
-//!                    generating scenarios.
+//!   generating scenarios.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;

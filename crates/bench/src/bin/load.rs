@@ -1,0 +1,194 @@
+//! Load harness: pushes a large synthetic bidder fleet through the
+//! sharded [`lppa_service::AuctionService`] and reports throughput and
+//! per-area settlement latency in the workspace bench-JSON format.
+//!
+//! Default mode runs 100 000 bidders across 100 areas; `--full` scales
+//! to 1 000 000 bidders across 1000 areas (the ROADMAP target).
+//! Output is one JSON object per line, mirroring `lppa_rng::bench`:
+//!
+//! * a machine-context metadata line (`"context"`) with the SHA-256
+//!   lane width, worker threads, shard count and CPU features;
+//! * one **timing-free** outcome line (`"outcome"`) carrying the run's
+//!   aggregate decision fingerprint — byte-identical across
+//!   `LPPA_SHARDS`/`LPPA_THREADS`, which is exactly what the CI
+//!   `load-smoke` job diffs;
+//! * `"bench"`+`"mean_ns"` records (area latency quantiles, per-bidder
+//!   routing cost, total wall clock) that the `compare` bin can join.
+//!
+//! Usage:
+//!
+//! ```text
+//! load [--bidders N] [--areas N] [--channels N] [--seed N] [--out PATH] [--full]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lppa_service::{AuctionService, ServiceConfig, ServiceReport, WorkloadSpec};
+
+/// Command-line knobs, hand-parsed (the workspace takes no CLI crate).
+struct Args {
+    bidders: usize,
+    areas: u32,
+    channels: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { bidders: 100_000, areas: 100, channels: 2, seed: 20260809, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--bidders" => {
+                args.bidders = value("--bidders")?.parse().map_err(|e| format!("--bidders: {e}"))?
+            }
+            "--areas" => {
+                args.areas = value("--areas")?.parse().map_err(|e| format!("--areas: {e}"))?
+            }
+            "--channels" => {
+                args.channels =
+                    value("--channels")?.parse().map_err(|e| format!("--channels: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = Some(value("--out")?),
+            "--full" => {
+                args.bidders = 1_000_000;
+                args.areas = 1000;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.areas == 0 || args.channels == 0 {
+        return Err("--areas and --channels must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// One emitted report line: printed to stdout and buffered for `--out`.
+struct Report {
+    lines: Vec<String>,
+}
+
+impl Report {
+    fn push(&mut self, line: String) {
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    fn record(&mut self, bench: &str, iters: u64, mean_ns: f64, extra: &str) {
+        self.push(format!(
+            "{{\"group\":\"load\",\"bench\":\"{bench}\",\"iters\":{iters},\"mean_ns\":{mean_ns:.2}{extra}}}"
+        ));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("usage: load [--bidders N] [--areas N] [--channels N] [--seed N] [--out PATH] [--full]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServiceConfig::from_env();
+    let spec = WorkloadSpec::new(args.seed, args.areas, args.bidders, args.channels);
+    let mut report = Report { lines: Vec::new() };
+
+    // Machine-context metadata, same shape as `lppa_bench::machine_context`
+    // plus the shard count — committed baselines stay interpretable.
+    let threads = std::env::var(lppa_par::THREADS_ENV)
+        .unwrap_or_else(|_| format!("auto({})", config.threads));
+    let shards = std::env::var(lppa_service::SHARDS_ENV)
+        .unwrap_or_else(|_| format!("auto({})", config.shards));
+    report.push(format!(
+        "{{\"group\":\"load\",\"context\":{{\"sha_lanes\":\"{}\",\"threads\":\"{threads}\",\"shards\":\"{shards}\",\"cpu_features\":\"{}\"}}}}",
+        lppa_crypto::lanes::lane_width(),
+        lppa_crypto::lanes::cpu_features(),
+    ));
+    eprintln!(
+        "[load] {} bidders, {} areas, {} channels, seed {}; shards={shards} threads={threads}",
+        args.bidders, args.areas, args.channels, args.seed
+    );
+
+    let setup_start = Instant::now();
+    let plans = match spec.plans() {
+        Ok(plans) => plans,
+        Err(err) => {
+            eprintln!("error: building area plans failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bidders = spec.bidders();
+    let setup_ns = setup_start.elapsed().as_nanos() as f64;
+
+    let service = AuctionService::new(config, plans);
+    let run_start = Instant::now();
+    for bidder in bidders {
+        if let Err(err) = service.submit(bidder) {
+            eprintln!("error: submit failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let submit_ns = run_start.elapsed().as_nanos() as f64;
+    let outcome: ServiceReport = service.drain();
+    let total_ns = run_start.elapsed().as_nanos() as f64;
+
+    // Timing-free outcome line: the cross-configuration diff target.
+    report.push(format!(
+        "{{\"group\":\"load\",\"outcome\":{{\"fingerprint\":\"{:#018x}\",\"areas\":{},\"settled\":{},\"errors\":{},\"bidders\":{},\"assignments\":{},\"revenue\":{}}}}}",
+        outcome.fingerprint(),
+        args.areas,
+        outcome.areas.len(),
+        outcome.errors.len(),
+        outcome.total_bidders(),
+        outcome.total_assignments(),
+        outcome.total_revenue(),
+    ));
+
+    let lat = outcome.latency;
+    let n_areas = lat.count.max(1) as u64;
+    report.record("area_latency/p50", n_areas, lat.p50_ns as f64, "");
+    report.record("area_latency/p95", n_areas, lat.p95_ns as f64, "");
+    report.record("area_latency/p99", n_areas, lat.p99_ns as f64, "");
+    report.record("area_latency/mean", n_areas, lat.mean_ns as f64, "");
+    report.record("area_latency/max", n_areas, lat.max_ns as f64, "");
+    report.record("setup/plans_and_bidders", 1, setup_ns, "");
+    let n_bidders = args.bidders.max(1) as u64;
+    report.record("submit/per_bidder", n_bidders, submit_ns / n_bidders as f64, "");
+    let throughput = args.bidders as f64 / (total_ns * 1e-9);
+    report.record(
+        "wall/end_to_end",
+        1,
+        total_ns,
+        &format!(",\"throughput_bidders_s\":{throughput:.1}"),
+    );
+    eprintln!(
+        "[load] settled {}/{} areas in {:.2}s ({:.0} bidders/s); latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms",
+        outcome.areas.len(),
+        args.areas,
+        total_ns * 1e-9,
+        throughput,
+        lat.p50_ns as f64 * 1e-6,
+        lat.p95_ns as f64 * 1e-6,
+        lat.p99_ns as f64 * 1e-6,
+    );
+
+    if let Some(path) = &args.out {
+        let body = report.lines.join("\n") + "\n";
+        if let Err(err) = std::fs::write(path, body) {
+            eprintln!("error: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[load] report written to {path}");
+    }
+    if !outcome.errors.is_empty() {
+        for (area, err) in &outcome.errors {
+            eprintln!("error: area {area} failed to settle: {err}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -350,7 +350,7 @@ pub fn run_private_auction_tolerant<R: Rng>(
     Ok(TolerantAuctionResult {
         outcome: AuctionOutcome::from_assignments(assignments, submissions.len()),
         invalid_grants,
-        grants: compact_grants.iter().map(|g| to_original(g)).collect(),
+        grants: compact_grants.iter().map(to_original).collect(),
         conflicts,
         accepted: accepted_idx,
         rejected,

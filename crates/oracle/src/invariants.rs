@@ -106,6 +106,11 @@ pub fn registry() -> Vec<Invariant> {
             check: session_consistency,
         },
         Invariant {
+            name: "service_sequential_equivalence",
+            summary: "sharded service outcomes equal the unsharded sequential reference",
+            check: service_sequential_equivalence,
+        },
+        Invariant {
             name: "permutation_invariance",
             summary: "relabeling bidders permutes the outcome and nothing else",
             check: permutation_invariance,
@@ -501,6 +506,39 @@ fn session_consistency(run: &ScenarioRun) -> Result<(), String> {
     Ok(())
 }
 
+fn service_sequential_equivalence(run: &ScenarioRun) -> Result<(), String> {
+    let probe = &run.service;
+    if probe.sharded != probe.sequential {
+        let diff = probe
+            .sharded
+            .iter()
+            .zip(&probe.sequential)
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("first divergence: sharded {a:?} vs sequential {b:?}"))
+            .unwrap_or_else(|| {
+                format!(
+                    "area counts differ: {} sharded vs {} sequential",
+                    probe.sharded.len(),
+                    probe.sequential.len()
+                )
+            });
+        return Err(format!("sharded service diverged from sequential reference; {diff}"));
+    }
+    if probe.sharded_errors != probe.sequential_errors {
+        return Err(format!(
+            "service error rows diverged: sharded {:?} vs sequential {:?}",
+            probe.sharded_errors, probe.sequential_errors
+        ));
+    }
+    if probe.sharded_fingerprint != probe.sequential_fingerprint {
+        return Err(format!(
+            "aggregate fingerprints diverged: {:#x} vs {:#x}",
+            probe.sharded_fingerprint, probe.sequential_fingerprint
+        ));
+    }
+    Ok(())
+}
+
 /// Looks up a metamorphic run by label; vacuous pass when absent.
 fn metamorphic_equivalence(run: &ScenarioRun, label: &str) -> Result<(), String> {
     let Some(meta) = run.metamorphic.iter().find(|m| m.label == label) else {
@@ -586,7 +624,7 @@ mod tests {
         // matches ground truth and the registry must notice.
         let scenario = Scenario::builder(7).bidders(8).channels(3).tie_free().build();
         let mut run = ScenarioRun::execute(scenario).unwrap();
-        let a = run.masked.outcome.assignments().first().expect("fixture awards something").clone();
+        let a = *run.masked.outcome.assignments().first().expect("fixture awards something");
         run.scenario.rows[a.bidder.0][a.channel.0] = a.price.wrapping_add(1) & 0x7f;
         let violations = check_all(&run);
         assert!(violations.iter().any(|v| v.invariant == "charge_correctness"), "{violations:?}");

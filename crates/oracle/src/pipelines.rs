@@ -17,6 +17,10 @@
 //! * **scalar vs multi-lane batched tags** — the same scenario-derived
 //!   mask inputs masked per message through `Tag::compute` and as one
 //!   `Tag::compute_batch` per supported SHA-256 lane width;
+//! * **sharded service vs sequential reference** — a scenario-derived
+//!   multi-area workload settled through the work-stealing
+//!   `lppa-service` event loop and through its single-threaded
+//!   unsharded reference, compared on decision fingerprints;
 //! * metamorphic rebuilds: permuted bidders, rotated per-round keys,
 //!   shifted `rd` / scaled `cr` — each producing an outcome to compare
 //!   against the base masked run.
@@ -87,6 +91,31 @@ pub struct TagKernelRun {
     pub default_batch: Vec<Tag>,
 }
 
+/// The sharded-service-vs-sequential variant pair's products.
+///
+/// A small multi-area fleet is derived from the scenario seed and
+/// settled twice: once through the [`lppa_service::AuctionService`]
+/// (shards + persistent work-stealing executor + admission batching)
+/// and once through [`lppa_service::run_sequential`] (one thread, no
+/// shards, area-id order). The decision projections must be
+/// bit-identical; latency fields are timing and excluded.
+#[derive(Debug)]
+pub struct ServiceRun {
+    /// Per-area decision rows from the sharded service, latency zeroed.
+    pub sharded: Vec<lppa_service::AreaOutcome>,
+    /// Per-area decision rows from the sequential reference, latency
+    /// zeroed.
+    pub sequential: Vec<lppa_service::AreaOutcome>,
+    /// `(area, error)` rows from the sharded service.
+    pub sharded_errors: Vec<(u32, String)>,
+    /// `(area, error)` rows from the sequential reference.
+    pub sequential_errors: Vec<(u32, String)>,
+    /// Aggregate decision fingerprint of the sharded run.
+    pub sharded_fingerprint: u64,
+    /// Aggregate decision fingerprint of the sequential run.
+    pub sequential_fingerprint: u64,
+}
+
 /// A metamorphic rebuild of the masked pipeline.
 #[derive(Debug)]
 pub struct MetamorphicRun {
@@ -131,6 +160,8 @@ pub struct ScenarioRun {
     pub session: Option<SessionRun>,
     /// Scalar-vs-batched tag kernel probe.
     pub tag_kernel: TagKernelRun,
+    /// Sharded-service-vs-sequential probe.
+    pub service: ServiceRun,
     /// Metamorphic rebuilds (only for tie-free, disguise-free
     /// scenarios, where exact equivalence is well-defined).
     pub metamorphic: Vec<MetamorphicRun>,
@@ -215,6 +246,7 @@ impl ScenarioRun {
 
         let session = Self::run_session(&scenario, &ttp, &submissions)?;
         let tag_kernel = Self::run_tag_kernel(&scenario, &ttp);
+        let service = Self::run_service(&scenario)?;
 
         let mut run = Self {
             scenario,
@@ -230,6 +262,7 @@ impl ScenarioRun {
             oblivious,
             session,
             tag_kernel,
+            service,
             metamorphic: Vec::new(),
         };
         if run.strong_equivalence_applies() {
@@ -274,6 +307,54 @@ impl ScenarioRun {
             .collect();
         let default_batch = Tag::compute_batch(key, &messages);
         TagKernelRun { messages, scalar, batched, default_batch }
+    }
+
+    /// Runs the sharded-service-vs-sequential probe.
+    ///
+    /// The fleet is tiny (3 areas, ~6 bidders each) so the probe stays
+    /// cheap per scenario, but it still crosses every service layer:
+    /// round-robin routing, chunked admission flushes, affinity tasks on
+    /// the work-stealing executor, and per-area session rounds — while
+    /// the sequential side never touches a thread.
+    fn run_service(scenario: &Scenario) -> Result<ServiceRun, LppaError> {
+        use lppa_service::{
+            run_sequential, AuctionService, ServiceConfig, ServiceReport, WorkloadSpec,
+        };
+        let spec = WorkloadSpec::new(
+            scenario.seed ^ 0x5e4c_0000_0000_0006,
+            3,
+            18,
+            scenario.n_channels.max(1),
+        );
+        let plans = spec.plans()?;
+        let bidders = spec.bidders();
+        let config = ServiceConfig {
+            shards: 3,
+            threads: 2,
+            flush_chunk: 8,
+            session: SessionConfig::default(),
+        };
+        let service = AuctionService::new(config, plans.clone());
+        for bidder in &bidders {
+            service.submit(bidder.clone())?;
+        }
+        let sharded = service.drain();
+        let sequential = run_sequential(config.session, plans, &bidders);
+        let decisions = |report: &ServiceReport| {
+            report
+                .areas
+                .iter()
+                .map(|a| lppa_service::AreaOutcome { latency_ns: 0, ..a.clone() })
+                .collect::<Vec<_>>()
+        };
+        Ok(ServiceRun {
+            sharded: decisions(&sharded),
+            sequential: decisions(&sequential),
+            sharded_errors: sharded.errors.clone(),
+            sequential_errors: sequential.errors.clone(),
+            sharded_fingerprint: sharded.fingerprint(),
+            sequential_fingerprint: sequential.fingerprint(),
+        })
     }
 
     fn session_config(scenario: &Scenario) -> SessionConfig {
@@ -426,6 +507,9 @@ mod tests {
         assert_eq!(run.parallel_checksums, run.serial_checksums);
         assert!(run.session.is_some());
         assert_eq!(run.metamorphic.len(), 3, "all three metamorphic rebuilds should run");
+        assert_eq!(run.service.sharded, run.service.sequential);
+        assert_eq!(run.service.sharded.len(), 3, "errors: {:?}", run.service.sharded_errors);
+        assert_eq!(run.service.sharded_fingerprint, run.service.sequential_fingerprint);
     }
 
     #[test]

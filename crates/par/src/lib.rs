@@ -41,20 +41,56 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
 
+pub use executor::Executor;
+
 /// Environment variable controlling the worker-thread count.
 pub const THREADS_ENV: &str = "LPPA_THREADS";
+
+/// Upper bound any worker-count knob is clamped to. A typo like
+/// `LPPA_THREADS=100000` must not fork-bomb the host; no machine this
+/// workspace targets benefits from more workers than this.
+pub const MAX_WORKERS: usize = 512;
 
 /// Chunks per worker that [`par_map`] aims for, so slow chunks can be
 /// compensated by idle workers picking up remaining ones.
 const CHUNKS_PER_THREAD: usize = 4;
 
-/// Parses a `LPPA_THREADS`-style value; `None` means unset/invalid and
-/// falls back to the machine's available parallelism.
-fn parse_threads(value: Option<&str>) -> Option<usize> {
-    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+/// Parses a `LPPA_THREADS`-style worker-count value.
+///
+/// The accepted grammar is deliberately strict and shared by every
+/// worker-count knob in the workspace (`LPPA_THREADS` here,
+/// `LPPA_SHARDS` in `lppa-service`), so the knobs cannot drift apart:
+///
+/// * surrounding ASCII whitespace is trimmed (`" 4 "`, `"4\n"` → 4);
+/// * only plain decimal digits are accepted — signs (`"+4"`, `"-1"`),
+///   hex, separators and embedded whitespace are all rejected;
+/// * `0` is rejected: a zero-worker pool cannot make progress, and
+///   silently reading it as 1 would hide the misconfiguration;
+/// * values that overflow `usize` are rejected rather than saturated;
+/// * accepted values are clamped to [`MAX_WORKERS`].
+///
+/// `None` means unset or invalid; callers fall back to their default
+/// (the machine's available parallelism for `LPPA_THREADS`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lppa_par::parse_threads(Some(" 4 ")), Some(4));
+/// assert_eq!(lppa_par::parse_threads(Some("0")), None);
+/// assert_eq!(lppa_par::parse_threads(Some("+4")), None);
+/// assert_eq!(lppa_par::parse_threads(Some("99999999999999999999")), None);
+/// ```
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    let v = value?.trim();
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    v.parse::<usize>().ok().filter(|&n| n >= 1).map(|n| n.min(MAX_WORKERS))
 }
 
 /// The number of worker threads the primitives in this crate use.
@@ -260,6 +296,36 @@ mod tests {
         assert_eq!(parse_threads(Some("-1")), None);
         assert_eq!(parse_threads(Some("many")), None);
         assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn parse_threads_handles_whitespace_consistently() {
+        // Surrounding whitespace of any common kind is trimmed...
+        assert_eq!(parse_threads(Some("\t8\n")), Some(8));
+        assert_eq!(parse_threads(Some("  16")), Some(16));
+        // ...but whitespace-only and embedded whitespace are invalid.
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("   ")), None);
+        assert_eq!(parse_threads(Some("1 6")), None);
+    }
+
+    #[test]
+    fn parse_threads_rejects_signs_overflow_and_radix_tricks() {
+        // `usize::from_str` would accept "+4"; the strict grammar does not.
+        assert_eq!(parse_threads(Some("+4")), None);
+        assert_eq!(parse_threads(Some("-0")), None);
+        // One past usize::MAX and an absurdly long digit string.
+        assert_eq!(parse_threads(Some("18446744073709551616")), None);
+        assert_eq!(parse_threads(Some(&"9".repeat(80))), None);
+        assert_eq!(parse_threads(Some("0x8")), None);
+        assert_eq!(parse_threads(Some("4.0")), None);
+    }
+
+    #[test]
+    fn parse_threads_clamps_to_max_workers() {
+        assert_eq!(parse_threads(Some("100000")), Some(MAX_WORKERS));
+        assert_eq!(parse_threads(Some(&MAX_WORKERS.to_string())), Some(MAX_WORKERS));
+        assert_eq!(parse_threads(Some("511")), Some(511));
     }
 
     #[test]

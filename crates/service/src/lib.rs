@@ -1,0 +1,44 @@
+//! # lppa-service — sharded multi-auction service layer
+//!
+//! Runs **many** LPPA regional auctions concurrently as a long-lived
+//! service: bidders stream in, are routed to their area's shard,
+//! coalesced into lane-aligned masking batches, and each area's full
+//! Announce → Collect → Allocate → Charge → Settle state machine
+//! (`lppa-session`) settles on the persistent work-stealing executor
+//! from `lppa-par`.
+//!
+//! The crate is organized as four layers:
+//!
+//! - [`shard`] — shard topology (`LPPA_SHARDS`) and the deterministic
+//!   per-area ChaCha20 seed derivation everything else consumes.
+//! - [`admission`] — per-area buffering of arriving bidders and
+//!   lane-aligned flush chunks for the batched SHA-256 tag kernel.
+//! - [`service`] — the [`AuctionService`] event loop, its epoch-based
+//!   [`drain`](AuctionService::drain), and the unsharded
+//!   [`run_sequential`] reference it must match bit for bit.
+//! - [`workload`] / [`metrics`] — synthetic fleet generation and the
+//!   latency accounting used by the `load` harness in `lppa-bench`.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed workload, the settled outcomes are **byte-identical**
+//! across every `LPPA_SHARDS` × `LPPA_THREADS` combination and equal to
+//! the sequential reference. Scheduling moves timing, never results;
+//! see [`shard`] for the derivation argument and `DESIGN.md` §10 for
+//! the full write-up.
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod metrics;
+pub mod service;
+pub mod shard;
+pub mod workload;
+
+pub use admission::{default_flush_chunk, AreaState, BidderInput, MIN_FLUSH};
+pub use metrics::{LatencyRecorder, LatencySummary};
+pub use service::{run_sequential, AreaOutcome, AuctionService, ServiceConfig, ServiceReport};
+pub use shard::{
+    area_seeds, master_secret, parse_shards, shard_count, shard_of, AreaSeeds, SHARDS_ENV,
+};
+pub use workload::{AreaPlan, WorkloadSpec};

@@ -1,0 +1,128 @@
+//! Latency/throughput accounting for the service layer.
+//!
+//! A [`LatencyRecorder`] collects one nanosecond sample per completed
+//! area round (ready → settled) and reports the p50/p95/p99 quantiles
+//! the load harness emits. Quantiles use the nearest-rank method on the
+//! sorted samples — simple, exact, and stable for report diffing.
+
+/// Collects latency samples and computes summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+}
+
+/// Summary statistics over a set of latency samples, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (50th percentile).
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.samples.push(ns);
+    }
+
+    /// Folds another recorder's samples into this one (per-shard
+    /// recorders merged at drain time).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summary statistics; all zeros when empty.
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let rank = |q: f64| {
+            // Nearest-rank: smallest sample with at least q·count samples
+            // at or below it.
+            let idx = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+            sorted[idx]
+        };
+        let sum: u128 = sorted.iter().map(|&s| u128::from(s)).sum();
+        LatencySummary {
+            count,
+            mean_ns: (sum / count as u128) as u64,
+            p50_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            p99_ns: rank(0.99),
+            max_ns: sorted[count - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_reports_zeros() {
+        assert_eq!(LatencyRecorder::new().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_on_sorted_samples() {
+        let mut rec = LatencyRecorder::new();
+        // 1..=100 shuffled arrival order must not matter.
+        for v in (1..=50).rev().chain(51..=100) {
+            rec.record(v);
+        }
+        let s = rec.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50); // (5050 / 100) truncated
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(7);
+        let s = rec.summary();
+        assert_eq!((s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn merge_concatenates_samples() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(1);
+        b.record(3);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.summary().max_ns, 5);
+    }
+}

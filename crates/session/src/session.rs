@@ -488,7 +488,7 @@ impl<'a> AuctionSession<'a> {
             outcome: AuctionOutcome::from_assignments(assignments, submissions.len()),
             invalid_grants,
             provisional,
-            grants: compact_grants.iter().map(|g| to_original(g)).collect(),
+            grants: compact_grants.iter().map(to_original).collect(),
             conflicts,
             accepted,
             quarantine,
