@@ -1,0 +1,569 @@
+//! Incremental churn engine: delta-maintained auction state.
+//!
+//! The batch path rebuilds everything per round — `O(n²)` conflict
+//! pairs, an `O(n·k)` entry matrix, full-column winner scans. Under
+//! churn (a few joins/leaves/revisions between rounds) almost all of
+//! that work recomputes unchanged state. [`IncrementalAuction`] keeps
+//! the auction state *resident* and applies bidder deltas instead:
+//!
+//! - **slots** — each bidder occupies a stable slot id for its
+//!   lifetime; leaves free the slot for reuse, so id space stays
+//!   compact under sustained churn.
+//! - **conflict adjacency** — a join probes only the live set
+//!   (`O(live)`) and a leave clears one row (`O(degree)`); the batch
+//!   path pays `O(live²)` every round.
+//! - **per-channel trackers** — a [`ChannelTracker`] holds the live
+//!   `(bid, slot)` pairs of one column in a max-ordered set, so
+//!   joins/leaves/revisions update maxima in `O(log n)` and the
+//!   allocator reads the tied-at-max set directly instead of scanning.
+//! - **dirty channels** — deltas mark only the columns they touch;
+//!   [`IncrementalAuction::allocate`] re-derives candidate lists for
+//!   exactly those channels and reuses the rest.
+//!
+//! The allocator replays the *identical* control flow and RNG draw
+//! sequence as [`greedy_allocate`](crate::allocation::greedy_allocate)
+//! over a from-scratch table, so its grants are bitwise-equal — the
+//! property tests below and the differential oracle hold it to that.
+
+use std::collections::{BTreeSet, HashSet};
+
+use lppa_rng::seq::SliceRandom;
+use lppa_rng::Rng;
+
+use crate::allocation::Grant;
+use crate::bidder::{BidTable, BidderId, Location};
+use crate::conflict::ConflictGraph;
+use lppa_spectrum::ChannelId;
+
+/// Live `(bid, slot)` entries of one channel column, ordered so the
+/// maximum — and the set tied at it — is read off the tail.
+///
+/// Updated on join/leave/revise in `O(log n)`; never mutated during a
+/// round (in-round deletions live in the allocator's scratch).
+#[derive(Clone, Debug, Default)]
+pub struct ChannelTracker {
+    /// `(bid, slot)` pairs for every live positive bid on the channel.
+    /// The tuple order makes the last element the winner candidate and
+    /// equal bids iterate in ascending slot order — the same order the
+    /// batch path's column scan produces.
+    entries: BTreeSet<(u32, u32)>,
+}
+
+impl ChannelTracker {
+    /// Records a positive bid for `slot` (no-op for zero).
+    fn insert(&mut self, slot: u32, bid: u32) {
+        if bid > 0 {
+            self.entries.insert((bid, slot));
+        }
+    }
+
+    /// Forgets `slot`'s bid (no-op for zero).
+    fn remove(&mut self, slot: u32, bid: u32) {
+        if bid > 0 {
+            self.entries.remove(&(bid, slot));
+        }
+    }
+
+    /// The current maximum bid, if any entry is live.
+    pub fn max_bid(&self) -> Option<u32> {
+        self.entries.iter().next_back().map(|&(bid, _)| bid)
+    }
+
+    /// The slots tied at the maximum bid, ascending — exactly the tied
+    /// set a full column scan would produce.
+    pub fn top(&self) -> Vec<u32> {
+        let Some(max) = self.max_bid() else { return Vec::new() };
+        self.entries.range((max, 0)..=(max, u32::MAX)).map(|&(_, slot)| slot).collect()
+    }
+
+    /// The `k` highest `(slot, bid)` entries, descending by bid and
+    /// ascending by slot among equals.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(k.min(self.entries.len()));
+        let mut iter = self.entries.iter().rev().peekable();
+        while out.len() < k {
+            let Some(&&(bid, _)) = iter.peek() else { break };
+            // Take the whole equal-bid run, then flip it to ascending
+            // slot order.
+            let start = out.len();
+            while let Some(&&(b, slot)) = iter.peek() {
+                if b != bid {
+                    break;
+                }
+                out.push((slot, b));
+                iter.next();
+            }
+            out[start..].reverse();
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// Number of live entries on the channel.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the channel has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One resident bidder.
+#[derive(Clone, Debug)]
+struct Slot {
+    location: Location,
+    bids: Vec<u32>,
+}
+
+/// Delta-maintained plaintext auction state; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use lppa_auction::bidder::Location;
+/// use lppa_auction::incremental::IncrementalAuction;
+/// use lppa_rng::rngs::StdRng;
+/// use lppa_rng::SeedableRng;
+///
+/// let mut auction = IncrementalAuction::new(2, 2);
+/// let a = auction.join(Location::new(0, 0), vec![5, 0]);
+/// let b = auction.join(Location::new(50, 50), vec![3, 7]);
+/// let grants = auction.allocate(&mut StdRng::seed_from_u64(1));
+/// assert_eq!(grants.len(), 2);
+/// auction.leave(a);
+/// auction.revise(b, vec![0, 9]);
+/// assert_eq!(auction.live_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalAuction {
+    lambda: u32,
+    n_channels: usize,
+    slots: Vec<Option<Slot>>,
+    /// Freed slot ids, reused lowest-first so the id space stays dense.
+    free: BTreeSet<u32>,
+    /// Per-slot live conflict neighbours (ascending — the same order a
+    /// dense row scan yields).
+    adj: Vec<BTreeSet<u32>>,
+    trackers: Vec<ChannelTracker>,
+    /// Per-channel candidate lists: live slots with a positive bid,
+    /// ascending. Only rebuilt for channels marked dirty by a delta.
+    cand: Vec<Vec<u32>>,
+    dirty: Vec<bool>,
+    live: usize,
+}
+
+impl IncrementalAuction {
+    /// Empty state for `n_channels` channels and interference half-width
+    /// `lambda`.
+    pub fn new(lambda: u32, n_channels: usize) -> Self {
+        Self {
+            lambda,
+            n_channels,
+            slots: Vec::new(),
+            free: BTreeSet::new(),
+            adj: Vec::new(),
+            trackers: vec![ChannelTracker::default(); n_channels],
+            cand: vec![Vec::new(); n_channels],
+            dirty: vec![false; n_channels],
+            live: 0,
+        }
+    }
+
+    /// Number of live bidders.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of channels.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Live slot ids, ascending. Position in this list is the bidder's
+    /// compact [`BidderId`] for the next round.
+    pub fn live_slots(&self) -> Vec<u32> {
+        (0..self.slots.len() as u32).filter(|&s| self.slots[s as usize].is_some()).collect()
+    }
+
+    /// The channel tracker for `channel` (maxima and top-k queries).
+    pub fn tracker(&self, channel: ChannelId) -> &ChannelTracker {
+        &self.trackers[channel.0]
+    }
+
+    /// Admits a bidder; returns its slot id (stable until it leaves).
+    ///
+    /// Costs `O(live)` conflict probes plus `O(k log n)` tracker
+    /// updates — no global rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bids` does not cover every channel.
+    pub fn join(&mut self, location: Location, bids: Vec<u32>) -> u32 {
+        assert_eq!(bids.len(), self.n_channels, "bid vector must cover every channel");
+        let slot = match self.free.pop_first() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.adj.push(BTreeSet::new());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        for other in 0..self.slots.len() as u32 {
+            if let Some(peer) = &self.slots[other as usize] {
+                if peer.location.conflicts_with(&location, self.lambda) {
+                    self.adj[slot as usize].insert(other);
+                    self.adj[other as usize].insert(slot);
+                }
+            }
+        }
+        for (c, &bid) in bids.iter().enumerate() {
+            if bid > 0 {
+                self.trackers[c].insert(slot, bid);
+                self.dirty[c] = true;
+            }
+        }
+        self.slots[slot as usize] = Some(Slot { location, bids });
+        self.live += 1;
+        slot
+    }
+
+    /// Retires the bidder in `slot`: clears its adjacency row and its
+    /// tracker entries in `O(degree + k log n)` and frees the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live.
+    pub fn leave(&mut self, slot: u32) {
+        let state = self.slots[slot as usize].take().expect("leave of a non-live slot");
+        for nb in std::mem::take(&mut self.adj[slot as usize]) {
+            self.adj[nb as usize].remove(&slot);
+        }
+        for (c, &bid) in state.bids.iter().enumerate() {
+            if bid > 0 {
+                self.trackers[c].remove(slot, bid);
+                self.dirty[c] = true;
+            }
+        }
+        self.free.insert(slot);
+        self.live -= 1;
+    }
+
+    /// Replaces the bidder's bid vector; only the channels whose bid
+    /// actually changed are touched (and marked dirty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live or `bids` does not cover every
+    /// channel.
+    pub fn revise(&mut self, slot: u32, bids: Vec<u32>) {
+        assert_eq!(bids.len(), self.n_channels, "bid vector must cover every channel");
+        let state = self.slots[slot as usize].as_mut().expect("revise of a non-live slot");
+        for (c, (&old, &new)) in state.bids.iter().zip(&bids).enumerate() {
+            if old != new {
+                self.trackers[c].remove(slot, old);
+                self.trackers[c].insert(slot, new);
+                self.dirty[c] = true;
+            }
+        }
+        state.bids = bids;
+    }
+
+    /// The compacted plaintext bid table over the live set (rows in
+    /// [`live_slots`](IncrementalAuction::live_slots) order) — what a
+    /// from-scratch rebuild would collect.
+    pub fn bid_table(&self) -> BidTable {
+        BidTable::from_rows(
+            self.live_slots()
+                .into_iter()
+                .map(|s| self.slots[s as usize].as_ref().expect("live slot").bids.clone())
+                .collect(),
+        )
+    }
+
+    /// The compacted conflict graph over the live set — equal to
+    /// [`ConflictGraph::from_locations`] over the live locations.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let order = self.live_slots();
+        let mut graph = ConflictGraph::disconnected(order.len());
+        for (i, &slot) in order.iter().enumerate() {
+            for &nb in &self.adj[slot as usize] {
+                if let Ok(j) = order.binary_search(&nb) {
+                    if i < j {
+                        graph.add_conflict(BidderId(i), BidderId(j));
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// Re-derives the candidate list of every dirty channel from its
+    /// tracker; clean channels keep last round's list untouched.
+    fn refresh_dirty(&mut self) {
+        for c in 0..self.n_channels {
+            if !self.dirty[c] {
+                continue;
+            }
+            let mut list: Vec<u32> = self.trackers[c].entries.iter().map(|&(_, s)| s).collect();
+            list.sort_unstable();
+            self.cand[c] = list;
+            self.dirty[c] = false;
+        }
+    }
+
+    /// The bid of a live slot on channel `c`.
+    fn bid_of(&self, slot: u32, c: usize) -> u32 {
+        self.slots[slot as usize].as_ref().map_or(0, |s| s.bids[c])
+    }
+
+    /// Runs one greedy allocation round over the resident state,
+    /// returning grants in compact [`BidderId`] space (indices into
+    /// [`live_slots`](IncrementalAuction::live_slots)).
+    ///
+    /// Control flow and RNG consumption replay
+    /// [`greedy_allocate`](crate::allocation::greedy_allocate) over the
+    /// equivalent from-scratch [`BidTable`]/[`ConflictGraph`] exactly —
+    /// same pool shuffles, same tie-break draws — so the grant sequence
+    /// is bitwise-equal. The difference is cost: candidate lists come
+    /// from the delta-maintained per-channel state (only dirty channels
+    /// re-derived), and the first selection on a channel untouched by
+    /// in-round deletions reads the tied set straight off the tracker
+    /// instead of scanning the column.
+    pub fn allocate<R: Rng>(&mut self, rng: &mut R) -> Vec<Grant> {
+        self.refresh_dirty();
+        let order = self.live_slots();
+        let k = self.n_channels;
+        let mut alive = vec![false; self.slots.len()];
+        for &s in &order {
+            alive[s as usize] = true;
+        }
+        // In-round deletions: (channel, slot) entries struck because a
+        // conflicting neighbour won the channel. Membership-only (never
+        // iterated), so hash order cannot leak into results.
+        let mut deleted: HashSet<(usize, u32)> = HashSet::new();
+        // A channel stays round-clean until an in-round deletion touches
+        // its column; while clean, its tracker is exact.
+        let mut round_clean = vec![true; k];
+        let mut remaining: usize = self.cand.iter().map(Vec::len).sum();
+
+        let mut grants = Vec::new();
+        let mut pool: Vec<usize> = Vec::new();
+        while remaining > 0 {
+            if pool.is_empty() {
+                pool = (0..k).collect();
+                pool.shuffle(rng);
+            }
+            let Some(c) = pool.pop() else { break };
+
+            let candidates: Vec<u32> = self.cand[c]
+                .iter()
+                .copied()
+                .filter(|&s| alive[s as usize] && !deleted.contains(&(c, s)))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+
+            // Tied-at-max set, ascending slot order — identical to what
+            // the batch oracle's column scan computes.
+            let tied: Vec<u32> = if round_clean[c] {
+                self.trackers[c].top()
+            } else {
+                let best = candidates.iter().map(|&s| self.bid_of(s, c)).max().unwrap_or(0);
+                candidates.iter().copied().filter(|&s| self.bid_of(s, c) == best).collect()
+            };
+            let winner = match tied.choose(rng) {
+                Some(&w) => w,
+                None => candidates[0],
+            };
+            let compact = order.binary_search(&winner).expect("winner is live");
+            grants.push(Grant { bidder: BidderId(compact), channel: ChannelId(c) });
+
+            // Delete the winner's whole row: its remaining entries leave
+            // the pool and every column it occupied loses tracker
+            // exactness for the rest of the round.
+            alive[winner as usize] = false;
+            for (ch, &bid) in
+                self.slots[winner as usize].as_ref().expect("live slot").bids.iter().enumerate()
+            {
+                if bid > 0 && !deleted.contains(&(ch, winner)) {
+                    remaining -= 1;
+                    round_clean[ch] = false;
+                }
+            }
+
+            // Strike conflicting neighbours' entries for this channel.
+            for &nb in &self.adj[winner as usize] {
+                if alive[nb as usize] && self.bid_of(nb, c) > 0 && deleted.insert((c, nb)) {
+                    remaining -= 1;
+                    round_clean[c] = false;
+                }
+            }
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::greedy_allocate;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
+
+    #[test]
+    fn tracker_maxima_follow_revise_and_leave() {
+        let mut t = ChannelTracker::default();
+        t.insert(0, 5);
+        t.insert(1, 9);
+        t.insert(2, 9);
+        t.insert(3, 0); // zero is never an entry
+        assert_eq!(t.max_bid(), Some(9));
+        assert_eq!(t.top(), vec![1, 2]);
+        assert_eq!(t.top_k(3), vec![(1, 9), (2, 9), (0, 5)]);
+        assert_eq!(t.len(), 3);
+
+        // Revise slot 1 down: 9 → 4.
+        t.remove(1, 9);
+        t.insert(1, 4);
+        assert_eq!(t.top(), vec![2]);
+        assert_eq!(t.top_k(2), vec![(2, 9), (0, 5)]);
+
+        // Leave of the maximum exposes the next tier.
+        t.remove(2, 9);
+        assert_eq!(t.max_bid(), Some(5));
+        assert_eq!(t.top(), vec![0]);
+
+        t.remove(0, 5);
+        t.remove(1, 4);
+        assert!(t.is_empty());
+        assert_eq!(t.max_bid(), None);
+        assert!(t.top().is_empty());
+    }
+
+    #[test]
+    fn join_reuses_freed_slots_lowest_first() {
+        let mut a = IncrementalAuction::new(2, 1);
+        let s0 = a.join(Location::new(0, 0), vec![1]);
+        let s1 = a.join(Location::new(10, 10), vec![2]);
+        let s2 = a.join(Location::new(20, 20), vec![3]);
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        a.leave(s1);
+        a.leave(s0);
+        assert_eq!(a.live_count(), 1);
+        // Lowest freed id first, then the next.
+        assert_eq!(a.join(Location::new(30, 30), vec![4]), 0);
+        assert_eq!(a.join(Location::new(40, 40), vec![5]), 1);
+        assert_eq!(a.join(Location::new(50, 50), vec![6]), 3);
+        assert_eq!(a.live_slots(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn adjacency_tracks_joins_and_leaves() {
+        let mut a = IncrementalAuction::new(3, 1);
+        let s0 = a.join(Location::new(0, 0), vec![1]);
+        let s1 = a.join(Location::new(2, 2), vec![1]); // conflicts with s0
+        let s2 = a.join(Location::new(50, 50), vec![1]);
+        let g = a.conflict_graph();
+        assert!(g.are_conflicting(BidderId(0), BidderId(1)));
+        assert!(!g.are_conflicting(BidderId(0), BidderId(2)));
+
+        a.leave(s1);
+        let g = a.conflict_graph();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 0);
+
+        // A re-join on the freed slot rebuilds its own row only.
+        let s3 = a.join(Location::new(1, 1), vec![1]);
+        assert_eq!(s3, s1);
+        let g = a.conflict_graph();
+        assert!(g.are_conflicting(BidderId(0), BidderId(1)));
+        let _ = (s0, s2);
+    }
+
+    /// Drives a seeded churn history and checks, each round, that the
+    /// resident state equals a from-scratch rebuild: same conflict
+    /// graph, same bid table, and bitwise-equal grants under a shared
+    /// RNG seed.
+    #[test]
+    fn churned_state_matches_from_scratch_rebuild_every_round() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0xc4u64.wrapping_mul(seed + 1));
+            let k = 1 + (seed as usize % 3);
+            let mut auction = IncrementalAuction::new(3, k);
+            let mut mirror: Vec<(u32, Location, Vec<u32>)> = Vec::new(); // (slot, loc, bids)
+
+            let rand_bids = |rng: &mut StdRng, k: usize| -> Vec<u32> {
+                (0..k).map(|_| if rng.gen_bool(0.4) { 0 } else { rng.gen_range(1..=9) }).collect()
+            };
+
+            for round in 0..12 {
+                // Apply a random delta batch: joins, leaves, revisions.
+                for _ in 0..rng.gen_range(1..5) {
+                    let op = rng.gen_range(0..3);
+                    if op == 0 || mirror.is_empty() {
+                        let loc = Location::new(rng.gen_range(0..20), rng.gen_range(0..20));
+                        let bids = rand_bids(&mut rng, k);
+                        let slot = auction.join(loc, bids.clone());
+                        mirror.push((slot, loc, bids));
+                    } else if op == 1 {
+                        let i = rng.gen_range(0..mirror.len());
+                        let (slot, _, _) = mirror.swap_remove(i);
+                        auction.leave(slot);
+                    } else {
+                        let i = rng.gen_range(0..mirror.len());
+                        let bids = rand_bids(&mut rng, k);
+                        auction.revise(mirror[i].0, bids.clone());
+                        mirror[i].2 = bids;
+                    }
+                }
+
+                // From-scratch rebuild over the live set in slot order.
+                mirror.sort_unstable_by_key(|(slot, _, _)| *slot);
+                if mirror.is_empty() {
+                    assert!(auction.allocate(&mut StdRng::seed_from_u64(round)).is_empty());
+                    continue;
+                }
+                let locs: Vec<Location> = mirror.iter().map(|&(_, l, _)| l).collect();
+                let rows: Vec<Vec<u32>> = mirror.iter().map(|(_, _, b)| b.clone()).collect();
+                let graph = ConflictGraph::from_locations(&locs, 3);
+                let table = BidTable::from_rows(rows);
+
+                assert_eq!(auction.conflict_graph(), graph, "seed {seed} round {round}");
+                let live = auction.live_slots();
+                assert_eq!(
+                    live,
+                    mirror.iter().map(|&(s, _, _)| s).collect::<Vec<_>>(),
+                    "seed {seed} round {round}"
+                );
+
+                let round_seed = rng.gen::<u64>();
+                let incremental = auction.allocate(&mut StdRng::seed_from_u64(round_seed));
+                let scratch =
+                    greedy_allocate(&table, &graph, &mut StdRng::seed_from_u64(round_seed));
+                assert_eq!(incremental, scratch, "seed {seed} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocate_on_empty_state_grants_nothing() {
+        let mut a = IncrementalAuction::new(2, 3);
+        assert!(a.allocate(&mut StdRng::seed_from_u64(1)).is_empty());
+        let s = a.join(Location::new(0, 0), vec![0, 0, 0]);
+        assert!(a.allocate(&mut StdRng::seed_from_u64(1)).is_empty());
+        a.leave(s);
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live slot")]
+    fn leave_of_free_slot_panics() {
+        let mut a = IncrementalAuction::new(2, 1);
+        let s = a.join(Location::new(0, 0), vec![1]);
+        a.leave(s);
+        a.leave(s);
+    }
+}

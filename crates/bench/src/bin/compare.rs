@@ -16,7 +16,13 @@
 //!
 //! ```text
 //! compare results/BENCH_pr2_before.json results/BENCH_pr2_after.json
+//! compare BENCH_pr2_before.json BENCH_pr2_after.json   # same thing
 //! ```
+//!
+//! A bare `BENCH_*.json` name that does not exist relative to the
+//! current directory is retried under `results/` — the committed layout
+//! (see the README's *Load testing* section) — so comparisons can be
+//! typed without the directory prefix from the repo root.
 //!
 //! The parser is hand-rolled for the harness's flat numeric/string
 //! objects — the workspace is hermetic and takes no serde dependency.
@@ -60,9 +66,30 @@ fn context_body(line: &str) -> Option<String> {
     Some(body.replace("\":\"", "=").replace("\",\"", " ").replace('"', ""))
 }
 
+/// Resolves a report path: a bare `BENCH_*.json` file name that does
+/// not exist as given is looked up under the committed `results/`
+/// directory before giving up.
+fn resolve_path(path: &str) -> String {
+    if std::path::Path::new(path).exists() {
+        return path.to_string();
+    }
+    let p = std::path::Path::new(path);
+    if p.parent().is_none_or(|d| d.as_os_str().is_empty())
+        && path.starts_with("BENCH_")
+        && path.ends_with(".json")
+    {
+        let under_results = format!("results/{path}");
+        if std::path::Path::new(&under_results).exists() {
+            return under_results;
+        }
+    }
+    path.to_string()
+}
+
 /// Parses a whole bench file into `group/bench → sample` plus the
 /// deduplicated machine-context lines, skipping anything else.
 fn parse_file(path: &str) -> Result<(BTreeMap<String, Sample>, Vec<String>), String> {
+    let path = &resolve_path(path);
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = BTreeMap::new();
     let mut contexts: Vec<String> = Vec::new();
@@ -167,6 +194,16 @@ mod tests {
         );
         // Benchmark records are not context lines.
         assert_eq!(context_body(LINE), None);
+    }
+
+    #[test]
+    fn bare_bench_names_fall_back_to_results_dir_only() {
+        // Non-BENCH names and missing bare names pass through untouched,
+        // so the error message shows the path as typed.
+        assert_eq!(resolve_path("nope.json"), "nope.json");
+        assert_eq!(resolve_path("BENCH_missing_for_sure.json"), "BENCH_missing_for_sure.json");
+        // A path with a directory component is never rewritten.
+        assert_eq!(resolve_path("elsewhere/BENCH_x.json"), "elsewhere/BENCH_x.json");
     }
 
     #[test]

@@ -15,16 +15,30 @@
 //! * `"bench"`+`"mean_ns"` records (area latency quantiles, per-bidder
 //!   routing cost, total wall clock) that the `compare` bin can join.
 //!
+//! `--churn` switches to the sustained-churn harness: the fleet is
+//! admitted once, then `--rounds` churn rounds (default 8) each touch
+//! `--churn-rate` of the live population (default 0.10, split 1:1:2
+//! join:leave:revise) and re-settle every area. Both the incremental
+//! delta path and the rebuild-everything baseline run; the bin fails if
+//! their decision fingerprints diverge and reports the steady-state
+//! rounds/s of each plus the speedup.
+//!
 //! Usage:
 //!
 //! ```text
 //! load [--bidders N] [--areas N] [--channels N] [--seed N] [--out PATH] [--full]
+//!      [--churn] [--rounds N] [--churn-rate F] [--mode incremental|rebuild|both]
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use lppa_service::{AuctionService, ServiceConfig, ServiceReport, WorkloadSpec};
+use lppa_service::{
+    run_churn, AuctionService, ChurnMode, ChurnReport, ChurnSpec, ServiceConfig, ServiceReport,
+    WorkloadSpec,
+};
+
+const USAGE: &str = "usage: load [--bidders N] [--areas N] [--channels N] [--seed N] [--out PATH] [--full]\n            [--churn] [--rounds N] [--churn-rate F] [--mode incremental|rebuild|both]";
 
 /// Command-line knobs, hand-parsed (the workspace takes no CLI crate).
 struct Args {
@@ -33,10 +47,24 @@ struct Args {
     channels: usize,
     seed: u64,
     out: Option<String>,
+    churn: bool,
+    rounds: usize,
+    churn_rate: f64,
+    modes: Vec<ChurnMode>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { bidders: 100_000, areas: 100, channels: 2, seed: 20260809, out: None };
+    let mut args = Args {
+        bidders: 100_000,
+        areas: 100,
+        channels: 2,
+        seed: 20260809,
+        out: None,
+        churn: false,
+        rounds: 8,
+        churn_rate: 0.10,
+        modes: vec![ChurnMode::Incremental, ChurnMode::Rebuild],
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -57,11 +85,30 @@ fn parse_args() -> Result<Args, String> {
                 args.bidders = 1_000_000;
                 args.areas = 1000;
             }
+            "--churn" => args.churn = true,
+            "--rounds" => {
+                args.rounds = value("--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--churn-rate" => {
+                args.churn_rate =
+                    value("--churn-rate")?.parse().map_err(|e| format!("--churn-rate: {e}"))?
+            }
+            "--mode" => {
+                args.modes = match value("--mode")?.as_str() {
+                    "incremental" => vec![ChurnMode::Incremental],
+                    "rebuild" => vec![ChurnMode::Rebuild],
+                    "both" => vec![ChurnMode::Incremental, ChurnMode::Rebuild],
+                    other => return Err(format!("--mode: unknown mode {other}")),
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.areas == 0 || args.channels == 0 {
         return Err("--areas and --channels must be at least 1".into());
+    }
+    if args.churn && (args.rounds == 0 || !(0.0..=1.0).contains(&args.churn_rate)) {
+        return Err("--rounds must be ≥ 1 and --churn-rate within [0, 1]".into());
     }
     Ok(args)
 }
@@ -84,12 +131,128 @@ impl Report {
     }
 }
 
+/// Writes the buffered report to `--out`, if requested.
+fn flush_out(report: &Report, out: Option<&String>) -> Result<(), ExitCode> {
+    if let Some(path) = out {
+        let body = report.lines.join("\n") + "\n";
+        if let Err(err) = std::fs::write(path, body) {
+            eprintln!("error: cannot write {path}: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("[load] report written to {path}");
+    }
+    Ok(())
+}
+
+/// The sustained-churn harness: runs every requested mode over the same
+/// spec, records steady-state round metrics per mode, cross-checks the
+/// decision fingerprints and reports the rebuild-vs-incremental speedup.
+fn run_churn_bench(args: &Args, config: &ServiceConfig, report: &mut Report) -> ExitCode {
+    let spec = ChurnSpec::balanced(
+        WorkloadSpec::new(args.seed, args.areas, args.bidders, args.channels),
+        args.rounds,
+        args.churn_rate,
+    );
+    eprintln!(
+        "[load] churn mode: {} rounds at rate {:.3} (join {:.3} / leave {:.3} / revise {:.3})",
+        args.rounds, args.churn_rate, spec.join_rate, spec.leave_rate, spec.revise_rate
+    );
+
+    let mut runs: Vec<(ChurnReport, f64)> = Vec::new();
+    for &mode in &args.modes {
+        let start = Instant::now();
+        let run = match run_churn(&spec, mode, config.shards, config.threads) {
+            Ok(run) => run,
+            Err(err) => {
+                eprintln!("error: churn run ({}) failed: {err}", mode.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        let wall_ns = start.elapsed().as_nanos() as f64;
+        // Timing-free outcome line per mode: the cross-configuration
+        // (and cross-mode) diff target for CI.
+        report.push(format!(
+            "{{\"group\":\"load\",\"outcome\":{{\"mode\":\"{}\",\"fingerprint\":\"{:#018x}\",\"areas\":{},\"rounds\":{},\"errors\":{},\"initial_bidders\":{},\"final_bidders\":{},\"churn_events\":{},\"assignments\":{},\"revenue\":{}}}}}",
+            run.mode.name(),
+            run.fingerprint,
+            run.areas,
+            run.rounds,
+            run.errors.len(),
+            run.initial_bidders,
+            run.final_bidders,
+            run.churn_events,
+            run.total_assignments,
+            run.total_revenue,
+        ));
+        let lat = run.round_latency;
+        let rounds = run.rounds.max(1) as u64;
+        let prefix = format!("churn/{}", run.mode.name());
+        report.record(&format!("{prefix}/round_p50"), rounds, lat.p50_ns as f64, "");
+        report.record(&format!("{prefix}/round_p95"), rounds, lat.p95_ns as f64, "");
+        report.record(&format!("{prefix}/round_p99"), rounds, lat.p99_ns as f64, "");
+        report.record(&format!("{prefix}/round_mean"), rounds, lat.mean_ns as f64, "");
+        let rounds_per_s = run.rounds as f64 / (lat.mean_ns as f64 * run.rounds as f64 * 1e-9);
+        report.record(
+            &format!("{prefix}/wall"),
+            1,
+            wall_ns,
+            &format!(",\"rounds_per_s\":{rounds_per_s:.3}"),
+        );
+        eprintln!(
+            "[load] {}: {} rounds in {:.2}s ({:.2} rounds/s); round p50 {:.2}ms p99 {:.2}ms; {} churn events",
+            run.mode.name(),
+            run.rounds,
+            lat.mean_ns as f64 * run.rounds as f64 * 1e-9,
+            rounds_per_s,
+            lat.p50_ns as f64 * 1e-6,
+            lat.p99_ns as f64 * 1e-6,
+            run.churn_events,
+        );
+        for (area, err) in &run.errors {
+            eprintln!("error: area {area} failed during churn: {err}");
+        }
+        runs.push((run, wall_ns));
+    }
+
+    if let [(a, _), (b, _)] = runs.as_slice() {
+        if a.fingerprint != b.fingerprint {
+            eprintln!(
+                "error: {} and {} settled differently ({:#018x} vs {:#018x})",
+                a.mode.name(),
+                b.mode.name(),
+                a.fingerprint,
+                b.fingerprint
+            );
+            return ExitCode::FAILURE;
+        }
+        let speedup = b.round_latency.mean_ns as f64 / a.round_latency.mean_ns.max(1) as f64;
+        report.record(
+            "churn/speedup_rebuild_over_incremental",
+            1,
+            0.0,
+            &format!(",\"speedup\":{speedup:.2}"),
+        );
+        eprintln!(
+            "[load] fingerprints agree ({:#018x}); incremental is {speedup:.2}x faster per round",
+            a.fingerprint
+        );
+    }
+
+    if let Err(code) = flush_out(report, args.out.as_ref()) {
+        return code;
+    }
+    if runs.iter().any(|(run, _)| !run.errors.is_empty()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(err) => {
             eprintln!("error: {err}");
-            eprintln!("usage: load [--bidders N] [--areas N] [--channels N] [--seed N] [--out PATH] [--full]");
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -112,6 +275,10 @@ fn main() -> ExitCode {
         "[load] {} bidders, {} areas, {} channels, seed {}; shards={shards} threads={threads}",
         args.bidders, args.areas, args.channels, args.seed
     );
+
+    if args.churn {
+        return run_churn_bench(&args, &config, &mut report);
+    }
 
     let setup_start = Instant::now();
     let plans = match spec.plans() {
@@ -176,13 +343,8 @@ fn main() -> ExitCode {
         lat.p99_ns as f64 * 1e-6,
     );
 
-    if let Some(path) = &args.out {
-        let body = report.lines.join("\n") + "\n";
-        if let Err(err) = std::fs::write(path, body) {
-            eprintln!("error: cannot write {path}: {err}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("[load] report written to {path}");
+    if let Err(code) = flush_out(&report, args.out.as_ref()) {
+        return code;
     }
     if !outcome.errors.is_empty() {
         for (area, err) in &outcome.errors {

@@ -1,0 +1,605 @@
+//! Incremental masked auction state: delta updates between rounds.
+//!
+//! The batch auctioneer ([`crate::protocol::run_private_auction_with_model`])
+//! rebuilds everything each round — it re-indexes every bidder's x-range
+//! tags, re-probes every point family and re-collects the masked table,
+//! `O(n · w)` work even when only a handful of bidders changed. An
+//! [`IncrementalAuctioneer`] keeps the masked state *resident* and
+//! applies per-bidder deltas instead:
+//!
+//! - **join** inserts one bidder's x-axis tags into the persistent
+//!   [`TagIndex`]es and probes only that bidder's tags to discover its
+//!   conflict edges — `O(w + candidates)`, not a rebuild;
+//! - **leave** retires the bidder's tags through the index's tombstoned
+//!   [`TagIndex::remove`] path and clears one adjacency row — `O(w +
+//!   degree)`;
+//! - **revise** swaps a bidder's submission in place (detach + attach),
+//!   so a bid change never touches the other `n − 1` bidders.
+//!
+//! ## Equality with the batch path
+//!
+//! [`build_conflict_graph`] adds the edge `(i, j)`, `i < j`, iff
+//! `point_x(i) ∩ range_x(j) ≠ ∅` and `point_y(i) ∈ range_y(j)` — a
+//! *directional* test evaluated in the lower-to-higher direction. The
+//! incremental graph reproduces it exactly: a join probes **both**
+//! directions (its point family against the resident range index, its
+//! range cover against the resident point index), so any pair the
+//! canonical direction would connect shows up as a candidate, and every
+//! candidate is then confirmed with the canonical
+//! [`LocationSubmission::conflicts_with`] test in canonical order.
+//! Spurious one-directional padding hits are filtered by that re-check;
+//! genuine conflicts hit in both directions. The per-round runner
+//! ([`IncrementalAuctioneer::run_round`]) then feeds the resident graph
+//! into the shared phase-2–4 pipeline
+//! ([`crate::protocol::run_private_auction_with_graph`]), so for equal
+//! live sets and equal RNG state the whole round result is bit-identical
+//! to a from-scratch rebuild — the property tests and the
+//! `incremental_equals_rebuild` oracle invariant hold it to that.
+
+use std::collections::BTreeSet;
+
+use lppa_auction::bidder::BidderId;
+use lppa_auction::conflict::ConflictGraph;
+use lppa_prefix::TagIndex;
+use lppa_rng::Rng;
+
+use crate::error::LppaError;
+use crate::ppbs::bid::AdvancedBidSubmission;
+use crate::ppbs::location::{build_conflict_graph, LocationSubmission};
+use crate::protocol::{settle_allocation, AuctioneerModel, PrivateAuctionResult};
+use crate::psd::table::MaskedBidTable;
+use crate::ttp::Ttp;
+
+/// Delta-maintained masked auction state; see the module docs.
+///
+/// Slot ids are stable for a bidder's lifetime and reused lowest-first
+/// after a leave; the compact per-round [`BidderId`] of a live bidder is
+/// its rank in [`live_slots`](IncrementalAuctioneer::live_slots).
+#[derive(Clone, Debug)]
+pub struct IncrementalAuctioneer {
+    model: AuctioneerModel,
+    slots: Vec<Option<crate::protocol::SuSubmission>>,
+    free: BTreeSet<u32>,
+    /// Per-slot live conflict neighbours, ascending.
+    adj: Vec<BTreeSet<u32>>,
+    /// Persistent index of every live bidder's x-axis range cover.
+    x_ranges: TagIndex,
+    /// Persistent index of every live bidder's x-axis point family.
+    x_points: TagIndex,
+    /// Per-channel live slots by **descending masked bid** (ties in
+    /// ascending slot order) — the resident form of the table's tie
+    /// classes. A join or revision re-ranks one bidder in `O(log n)`
+    /// masked comparisons; a from-scratch collect pays a full
+    /// masked-comparison sort per channel instead.
+    orders: Vec<Vec<u32>>,
+    /// Per-channel class-boundary flags parallel to `orders`:
+    /// `breaks[ch][i]` is `true` iff `orders[ch][i]` starts a new tie
+    /// class relative to its predecessor (always `false` at `i == 0`).
+    /// Maintained with **no** extra masked comparisons — an insert knows
+    /// its tie-class bounds from the ranking binary searches, and on a
+    /// removal tie transitivity merges the two adjacent flags — so
+    /// reading the round's classes is pure integer work.
+    breaks: Vec<Vec<bool>>,
+    live: usize,
+}
+
+impl IncrementalAuctioneer {
+    /// Empty state under the given auctioneer model.
+    pub fn new(model: AuctioneerModel) -> Self {
+        Self {
+            model,
+            slots: Vec::new(),
+            free: BTreeSet::new(),
+            adj: Vec::new(),
+            x_ranges: TagIndex::new(),
+            x_points: TagIndex::new(),
+            orders: Vec::new(),
+            breaks: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live bidders.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Live slot ids, ascending; position = compact round [`BidderId`].
+    pub fn live_slots(&self) -> Vec<u32> {
+        (0..self.slots.len() as u32).filter(|&s| self.slots[s as usize].is_some()).collect()
+    }
+
+    /// Entries currently held by the persistent x-axis indexes
+    /// (`(range entries, point entries)`) — observability for tests and
+    /// metrics.
+    pub fn index_entries(&self) -> (usize, usize) {
+        (self.x_ranges.entry_count(), self.x_points.entry_count())
+    }
+
+    /// Admits a masked submission; returns its stable slot id.
+    ///
+    /// Costs `O(w)` index insertions plus one canonical conflict test
+    /// per x-axis candidate pair.
+    pub fn join(&mut self, submission: crate::protocol::SuSubmission) -> u32 {
+        let slot = match self.free.pop_first() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.adj.push(BTreeSet::new());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.attach(slot, submission);
+        self.live += 1;
+        slot
+    }
+
+    /// Retires the bidder in `slot`, returning its submission.
+    ///
+    /// Costs `O(w)` tombstoned index removals plus `O(degree)` adjacency
+    /// updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live.
+    pub fn leave(&mut self, slot: u32) -> crate::protocol::SuSubmission {
+        let submission = self.detach(slot);
+        self.free.insert(slot);
+        self.live -= 1;
+        submission
+    }
+
+    /// Replaces the bidder's submission in place (a bid revision, or any
+    /// re-mask). The slot keeps its id; only this bidder's tags move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live.
+    pub fn revise(&mut self, slot: u32, submission: crate::protocol::SuSubmission) {
+        self.detach(slot);
+        self.attach(slot, submission);
+    }
+
+    /// Bid-only revision fast path: when the new submission carries the
+    /// *same masked location* (same raw location re-masked from the same
+    /// seed — builds draw location randomness before bid randomness, so
+    /// those bytes are bit-identical), the conflict edges and x-axis
+    /// index entries cannot change. Only the bidder's rank in each
+    /// channel order moves: `O(k · (log n + n))` integer-and-compare
+    /// work, no tag index churn, no conflict re-probing.
+    ///
+    /// Falls back to the full [`revise`](IncrementalAuctioneer::revise)
+    /// when the location checksum differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live.
+    pub fn revise_bids(&mut self, slot: u32, submission: crate::protocol::SuSubmission) {
+        {
+            let old = self.slots[slot as usize].as_ref().expect("revise_bids of a non-live slot");
+            if old.location.checksum() != submission.location.checksum() {
+                self.revise(slot, submission);
+                return;
+            }
+        }
+        for ch in 0..self.orders.len() {
+            self.order_remove(ch, slot);
+        }
+        let k = submission.bids.n_channels();
+        if self.orders.len() < k {
+            self.orders.resize_with(k, Vec::new);
+            self.breaks.resize_with(k, Vec::new);
+        }
+        self.slots[slot as usize] = Some(submission);
+        for ch in 0..k {
+            self.order_insert(ch, slot);
+        }
+    }
+
+    /// Wires `slot`'s submission into the resident state: discovers its
+    /// conflict edges by probing both index directions, then indexes its
+    /// own tags.
+    fn attach(&mut self, slot: u32, submission: crate::protocol::SuSubmission) {
+        // Candidate peers whose x-sets may intersect ours, from either
+        // probe direction (see the module docs for why both are needed).
+        // Sort-and-dedup keeps the same ascending visit order a BTreeSet
+        // would give, without per-hit tree inserts.
+        let mut candidates: Vec<u32> = Vec::new();
+        for tag in submission.location.point_x().iter() {
+            candidates.extend_from_slice(self.x_ranges.owners(tag));
+        }
+        for tag in submission.location.range_x().iter() {
+            candidates.extend_from_slice(self.x_points.owners(tag));
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for &peer in &candidates {
+            debug_assert_ne!(peer, slot, "own tags are indexed after probing");
+            let other = self.slots[peer as usize].as_ref().expect("indexed peer is live");
+            // Canonical direction: lower slot's point against higher
+            // slot's range, both axes — exactly the batch predicate.
+            let conflicting = if peer < slot {
+                other.location.conflicts_with(&submission.location)
+            } else {
+                submission.location.conflicts_with(&other.location)
+            };
+            if conflicting {
+                self.adj[slot as usize].insert(peer);
+                self.adj[peer as usize].insert(slot);
+            }
+        }
+        self.x_ranges.insert_all(submission.location.range_x().iter(), slot);
+        self.x_points.insert_all(submission.location.point_x().iter(), slot);
+        let k = submission.bids.n_channels();
+        if self.orders.len() < k {
+            self.orders.resize_with(k, Vec::new);
+            self.breaks.resize_with(k, Vec::new);
+        }
+        self.slots[slot as usize] = Some(submission);
+        for ch in 0..k {
+            self.order_insert(ch, slot);
+        }
+    }
+
+    /// The masked column comparison `bid(a, ch) ≥ bid(b, ch)` between
+    /// two live slots.
+    fn bid_ge(&self, ch: usize, a: u32, b: u32) -> bool {
+        let sa = self.slots[a as usize].as_ref().expect("live slot");
+        let sb = self.slots[b as usize].as_ref().expect("live slot");
+        sa.bids.bids()[ch].point.in_range(&sb.bids.bids()[ch].range)
+    }
+
+    /// Ranks `slot` into channel `ch`'s resident order: two binary
+    /// searches under the masked total preorder find its tie class, a
+    /// third (integer) one its canonical ascending-slot position inside
+    /// it.
+    fn order_insert(&mut self, ch: usize, slot: u32) {
+        let order = &self.orders[ch];
+        // First position `slot`'s bid is ≥ of — everything before is
+        // strictly greater.
+        let lo = order.partition_point(|&o| !self.bid_ge(ch, slot, o));
+        // Residents at `lo..` that are still ≥ `slot` are its ties.
+        let hi = lo + order[lo..].partition_point(|&o| self.bid_ge(ch, o, slot));
+        let pos = lo + order[lo..hi].partition_point(|&o| o < slot);
+        self.orders[ch].insert(pos, slot);
+        // Boundary flags from the class bounds alone: `slot` starts a
+        // new class iff it landed at the top of its class below a
+        // strictly-greater predecessor; the displaced successor starts
+        // one iff `slot` landed past the bottom of its class.
+        let breaks = &mut self.breaks[ch];
+        breaks.insert(pos, pos == lo && lo > 0);
+        if pos + 1 < breaks.len() {
+            breaks[pos + 1] = pos == hi;
+        }
+    }
+
+    /// Drops `slot` from channel `ch`'s resident order, fusing the
+    /// boundary flags around the gap: mutual masked `≥` is transitive,
+    /// so the survivors are tied iff both removed pairs were.
+    fn order_remove(&mut self, ch: usize, slot: u32) {
+        let Some(pos) = self.orders[ch].iter().position(|&s| s == slot) else {
+            return;
+        };
+        self.orders[ch].remove(pos);
+        let gone = self.breaks[ch].remove(pos);
+        if pos < self.breaks[ch].len() {
+            self.breaks[ch][pos] = pos > 0 && (gone || self.breaks[ch][pos]);
+        }
+    }
+
+    /// Unwires `slot` from the resident state: removes its tags from
+    /// both indexes (tombstoned `O(w)` path) and clears its adjacency
+    /// row.
+    fn detach(&mut self, slot: u32) -> crate::protocol::SuSubmission {
+        let submission = self.slots[slot as usize].take().expect("detach of a non-live slot");
+        self.x_ranges.remove_all(submission.location.range_x().iter(), slot);
+        self.x_points.remove_all(submission.location.point_x().iter(), slot);
+        for ch in 0..self.orders.len() {
+            self.order_remove(ch, slot);
+        }
+        for nb in std::mem::take(&mut self.adj[slot as usize]) {
+            self.adj[nb as usize].remove(&slot);
+        }
+        submission
+    }
+
+    /// The compacted conflict graph over the live set — equal to
+    /// [`build_conflict_graph`] over the live submissions in
+    /// [`live_slots`](IncrementalAuctioneer::live_slots) order.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let order = self.live_slots();
+        let mut graph = ConflictGraph::disconnected(order.len());
+        for (i, &slot) in order.iter().enumerate() {
+            for &nb in &self.adj[slot as usize] {
+                if let Ok(j) = order.binary_search(&nb) {
+                    if i < j {
+                        graph.add_conflict(BidderId(i), BidderId(j));
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// The per-channel tie classes over compact ids, read off the
+    /// resident orders and their maintained boundary flags — equal to
+    /// [`compute_classes`](crate::psd::table::compute_classes) over
+    /// [`compact_submissions`](IncrementalAuctioneer::compact_submissions)'
+    /// bids, with **zero** masked comparisons per round.
+    fn channel_classes(&self) -> Vec<Vec<u32>> {
+        let live = self.live_slots();
+        self.orders
+            .iter()
+            .zip(&self.breaks)
+            .map(|(order, breaks)| {
+                let mut classes = vec![0u32; live.len()];
+                let mut class = 0u32;
+                for (i, &slot) in order.iter().enumerate() {
+                    class += u32::from(breaks[i]);
+                    let compact = live.binary_search(&slot).expect("ordered slot is live");
+                    classes[compact] = class;
+                }
+                classes
+            })
+            .collect()
+    }
+
+    /// The live submissions, cloned in compact order — what a
+    /// from-scratch rebuild would collect.
+    pub fn compact_submissions(&self) -> Vec<crate::protocol::SuSubmission> {
+        self.live_slots()
+            .into_iter()
+            .map(|s| self.slots[s as usize].as_ref().expect("live slot").clone())
+            .collect()
+    }
+
+    /// Runs one auction round over the resident state: the persistent
+    /// conflict graph replaces phase 1, then the shared phase-2–4
+    /// pipeline (masked table, greedy allocation, TTP charging) runs
+    /// unchanged. Grants use compact ids into
+    /// [`live_slots`](IncrementalAuctioneer::live_slots).
+    ///
+    /// Bit-identical to
+    /// [`run_private_auction_with_model`](crate::protocol::run_private_auction_with_model)
+    /// over [`compact_submissions`](IncrementalAuctioneer::compact_submissions)
+    /// with the same RNG state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::protocol::run_private_auction`].
+    pub fn run_round<R: Rng>(
+        &self,
+        ttp: &Ttp,
+        rng: &mut R,
+    ) -> Result<PrivateAuctionResult, LppaError> {
+        // Phase 2 from resident state: borrow the bid submissions in
+        // place (locations are already distilled into the resident
+        // graph) and read the tie classes off the maintained channel
+        // orders — no clones and no per-round masked ranking sort.
+        let bids: Vec<&AdvancedBidSubmission> = self
+            .live_slots()
+            .into_iter()
+            .map(|s| &self.slots[s as usize].as_ref().expect("live slot").bids)
+            .collect();
+        let classes = self.channel_classes();
+        let table = match self.model {
+            AuctioneerModel::Oblivious => MaskedBidTable::collect_with_classes(bids, classes)?,
+            AuctioneerModel::IterativeCharging => {
+                MaskedBidTable::collect_pruned_with_classes(bids, classes)?
+            }
+        };
+        settle_allocation(&table, self.conflict_graph(), ttp, rng)
+    }
+}
+
+/// Sanity helper for tests and the differential oracle: the graph a
+/// batch rebuild would produce over `submissions`.
+pub fn rebuild_conflict_graph(submissions: &[crate::protocol::SuSubmission]) -> ConflictGraph {
+    let locations: Vec<LocationSubmission> =
+        submissions.iter().map(|s| s.location.clone()).collect();
+    build_conflict_graph(&locations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LppaConfig;
+    use crate::protocol::{run_private_auction_with_model, SuSubmission};
+    use crate::zero_replace::ZeroReplacePolicy;
+    use lppa_auction::bidder::Location;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
+
+    fn ttp(k: usize, seed: u64) -> Ttp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ttp::new(k, LppaConfig::default(), &mut rng).unwrap()
+    }
+
+    fn submission(ttp: &Ttp, loc: Location, bids: &[u32], seed: u64) -> SuSubmission {
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let mut rng = StdRng::seed_from_u64(seed);
+        SuSubmission::build(loc, bids, ttp, &policy, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn churned_graph_matches_batch_rebuild_every_round() {
+        let ttp = ttp(1, 0xa1);
+        let mut rng = StdRng::seed_from_u64(0x90a7);
+        let mut state = IncrementalAuctioneer::new(AuctioneerModel::IterativeCharging);
+        let mut live: Vec<u32> = Vec::new();
+        for round in 0..10 {
+            for _ in 0..rng.gen_range(1..4) {
+                if live.is_empty() || rng.gen_bool(0.6) {
+                    let loc = Location::new(rng.gen_range(0..30), rng.gen_range(0..30));
+                    let sub = submission(&ttp, loc, &[1], rng.gen());
+                    live.push(state.join(sub));
+                } else {
+                    let i = rng.gen_range(0..live.len());
+                    state.leave(live.swap_remove(i));
+                }
+            }
+            let compacted = state.compact_submissions();
+            assert_eq!(state.conflict_graph(), rebuild_conflict_graph(&compacted), "round {round}");
+        }
+    }
+
+    #[test]
+    fn run_round_is_bit_identical_to_batch_auction() {
+        let ttp = ttp(2, 0xb2);
+        let mut rng = StdRng::seed_from_u64(0x1c4e);
+        let mut state = IncrementalAuctioneer::new(AuctioneerModel::IterativeCharging);
+        let mut live: Vec<u32> = Vec::new();
+        for round in 0..5u64 {
+            for _ in 0..rng.gen_range(1..4) {
+                let op = rng.gen_range(0..3);
+                if op == 0 || live.is_empty() {
+                    let loc = Location::new(rng.gen_range(0..40), rng.gen_range(0..40));
+                    let bids = [rng.gen_range(0..9), rng.gen_range(0..9)];
+                    live.push(state.join(submission(&ttp, loc, &bids, rng.gen())));
+                } else if op == 1 {
+                    let i = rng.gen_range(0..live.len());
+                    state.leave(live.swap_remove(i));
+                } else {
+                    let i = rng.gen_range(0..live.len());
+                    let loc = Location::new(rng.gen_range(0..40), rng.gen_range(0..40));
+                    let bids = [rng.gen_range(0..9), rng.gen_range(0..9)];
+                    state.revise(live[i], submission(&ttp, loc, &bids, rng.gen()));
+                }
+            }
+            if state.live_count() == 0 {
+                continue;
+            }
+            let round_seed = rng.gen::<u64>();
+            let delta = state.run_round(&ttp, &mut StdRng::seed_from_u64(round_seed)).unwrap();
+            let scratch = run_private_auction_with_model(
+                &state.compact_submissions(),
+                &ttp,
+                AuctioneerModel::IterativeCharging,
+                &mut StdRng::seed_from_u64(round_seed),
+            )
+            .unwrap();
+            assert_eq!(delta.grants, scratch.grants, "round {round}");
+            assert_eq!(delta.invalid_grants, scratch.invalid_grants, "round {round}");
+            assert_eq!(delta.outcome.assignments(), scratch.outcome.assignments(), "round {round}");
+            assert_eq!(delta.conflicts, scratch.conflicts, "round {round}");
+        }
+    }
+
+    #[test]
+    fn resident_channel_orders_match_scratch_classes() {
+        let ttp = ttp(3, 0xe5);
+        let mut rng = StdRng::seed_from_u64(0x0c7a);
+        let mut state = IncrementalAuctioneer::new(AuctioneerModel::IterativeCharging);
+        let mut live: Vec<u32> = Vec::new();
+        for round in 0..12 {
+            for _ in 0..rng.gen_range(1..5) {
+                let op = rng.gen_range(0..3);
+                if op == 0 || live.is_empty() {
+                    let loc = Location::new(rng.gen_range(0..40), rng.gen_range(0..40));
+                    let bids = [rng.gen_range(0..6), rng.gen_range(0..6), rng.gen_range(0..6)];
+                    live.push(state.join(submission(&ttp, loc, &bids, rng.gen())));
+                } else if op == 1 {
+                    let i = rng.gen_range(0..live.len());
+                    state.leave(live.swap_remove(i));
+                } else {
+                    let i = rng.gen_range(0..live.len());
+                    let loc = Location::new(rng.gen_range(0..40), rng.gen_range(0..40));
+                    let bids = [rng.gen_range(0..6), rng.gen_range(0..6), rng.gen_range(0..6)];
+                    state.revise(live[i], submission(&ttp, loc, &bids, rng.gen()));
+                }
+            }
+            if state.live_count() == 0 {
+                continue;
+            }
+            let bids: Vec<_> = state.compact_submissions().into_iter().map(|s| s.bids).collect();
+            assert_eq!(
+                state.channel_classes(),
+                crate::psd::table::compute_classes(&bids),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn revise_bids_fast_path_matches_full_revise() {
+        let ttp = ttp(2, 0xf6);
+        let mut rng = StdRng::seed_from_u64(0xbead);
+        let mut fast = IncrementalAuctioneer::new(AuctioneerModel::IterativeCharging);
+        let mut full = IncrementalAuctioneer::new(AuctioneerModel::IterativeCharging);
+        let seeds: Vec<u64> = (0..12).map(|_| rng.gen()).collect();
+        let locs: Vec<Location> =
+            (0..12).map(|_| Location::new(rng.gen_range(0..30), rng.gen_range(0..30))).collect();
+        for (i, (&seed, &loc)) in seeds.iter().zip(&locs).enumerate() {
+            let bids = [i as u32 % 7, (i as u32 * 3) % 7];
+            fast.join(submission(&ttp, loc, &bids, seed));
+            full.join(submission(&ttp, loc, &bids, seed));
+        }
+        for round in 0..6u64 {
+            let i = rng.gen_range(0..12u32);
+            let bids = [rng.gen_range(0..9), rng.gen_range(0..9)];
+            // Same seed + same location: only the bids move.
+            fast.revise_bids(i, submission(&ttp, locs[i as usize], &bids, seeds[i as usize]));
+            full.revise(i, submission(&ttp, locs[i as usize], &bids, seeds[i as usize]));
+            assert_eq!(fast.conflict_graph(), full.conflict_graph(), "round {round}");
+            assert_eq!(fast.channel_classes(), full.channel_classes(), "round {round}");
+            let round_seed = rng.gen::<u64>();
+            let a = fast.run_round(&ttp, &mut StdRng::seed_from_u64(round_seed)).unwrap();
+            let b = full.run_round(&ttp, &mut StdRng::seed_from_u64(round_seed)).unwrap();
+            assert_eq!(a.grants, b.grants, "round {round}");
+            assert_eq!(a.outcome.assignments(), b.outcome.assignments(), "round {round}");
+        }
+        // A relocation through revise_bids must fall back to the full
+        // path and still track conflicts correctly.
+        let moved = Location::new(99, 99);
+        fast.revise_bids(0, submission(&ttp, moved, &[1, 1], 777));
+        full.revise(0, submission(&ttp, moved, &[1, 1], 777));
+        assert_eq!(fast.conflict_graph(), full.conflict_graph());
+    }
+
+    #[test]
+    fn leave_tombstones_are_reclaimed_by_the_index() {
+        let ttp = ttp(1, 0xc3);
+        let mut state = IncrementalAuctioneer::new(AuctioneerModel::IterativeCharging);
+        let mut rng = StdRng::seed_from_u64(7);
+        let slots: Vec<u32> = (0..20)
+            .map(|i| {
+                let loc = Location::new(rng.gen_range(0..50), rng.gen_range(0..50));
+                state.join(submission(&ttp, loc, &[1], i))
+            })
+            .collect();
+        let full = state.index_entries();
+        for &s in &slots[5..] {
+            state.leave(s);
+        }
+        // Live entries shrink with the live set; slot ids recycle
+        // lowest-first on the next join.
+        let drained = state.index_entries();
+        assert!(drained.0 < full.0 && drained.1 < full.1);
+        assert_eq!(state.live_count(), 5);
+        let loc = Location::new(1, 1);
+        assert_eq!(state.join(submission(&ttp, loc, &[1], 99)), 5);
+    }
+
+    #[test]
+    fn revise_moves_only_the_revised_bidder() {
+        let ttp = ttp(1, 0xd4);
+        let mut state = IncrementalAuctioneer::new(AuctioneerModel::IterativeCharging);
+        let a = state.join(submission(&ttp, Location::new(0, 0), &[4], 1));
+        let b = state.join(submission(&ttp, Location::new(2, 2), &[5], 2));
+        let c = state.join(submission(&ttp, Location::new(90, 90), &[6], 3));
+        assert_eq!(state.conflict_graph().edge_count(), 1);
+
+        // Relocate b away from a: the edge must dissolve.
+        state.revise(b, submission(&ttp, Location::new(60, 60), &[5], 4));
+        assert_eq!(state.conflict_graph().edge_count(), 0);
+
+        // And back next to c: a new edge, nothing else.
+        state.revise(b, submission(&ttp, Location::new(89, 91), &[7], 5));
+        let g = state.conflict_graph();
+        assert_eq!(g.edge_count(), 1);
+        let order = state.live_slots();
+        let rank = |s: u32| order.binary_search(&s).unwrap();
+        assert!(g.are_conflicting(BidderId(rank(b)), BidderId(rank(c))));
+        let _ = a;
+    }
+}

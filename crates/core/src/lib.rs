@@ -21,7 +21,10 @@
 //!   BCM attack at a quantifiable performance cost;
 //! * [`analysis`] — the paper's Theorems 1–4 with Monte-Carlo
 //!   validators;
-//! * [`protocol`] — the end-to-end auction round.
+//! * [`protocol`] — the end-to-end auction round;
+//! * [`incremental`] — delta-maintained auctioneer state for churn
+//!   (joins/leaves/revisions between rounds), bit-identical to a
+//!   from-scratch rebuild.
 //!
 //! # Examples
 //!
@@ -58,6 +61,7 @@
 pub mod analysis;
 pub mod config;
 pub mod error;
+pub mod incremental;
 pub mod ppbs;
 pub mod protocol;
 pub mod psd;
@@ -69,13 +73,14 @@ pub mod zero_replace;
 pub use analysis::{cost_model, CostModel};
 pub use config::LppaConfig;
 pub use error::LppaError;
+pub use incremental::IncrementalAuctioneer;
 pub use ppbs::bid::{AdvancedBidSubmission, BasicBidSubmission, ChannelBid};
 pub use ppbs::location::{build_conflict_graph, LocationSubmission};
 pub use protocol::{
     charge_requests, run_private_auction, run_private_auction_from_bids,
     run_private_auction_from_bids_with_model, run_private_auction_tolerant,
-    run_private_auction_with_model, validate_submission, AuctioneerModel, PrivateAuctionResult,
-    SuSubmission, TolerantAuctionResult,
+    run_private_auction_with_graph, run_private_auction_with_model, validate_submission,
+    AuctioneerModel, PrivateAuctionResult, SuSubmission, TolerantAuctionResult,
 };
 pub use psd::table::MaskedBidTable;
 pub use pseudonym::PseudonymPool;

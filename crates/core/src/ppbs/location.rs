@@ -92,6 +92,18 @@ impl LocationSubmission {
         self.point_x.in_range(&other.range_x) && self.point_y.in_range(&other.range_y)
     }
 
+    /// The masked x-axis point family (probe material for the conflict
+    /// index).
+    pub fn point_x(&self) -> &MaskedPoint {
+        &self.point_x
+    }
+
+    /// The masked x-axis range cover (index material for the conflict
+    /// index).
+    pub fn range_x(&self) -> &MaskedRange {
+        &self.range_x
+    }
+
     /// Transmission size in bytes (both axes, points and ranges).
     pub fn wire_len(&self) -> usize {
         self.point_x.wire_len()

@@ -187,19 +187,61 @@ pub fn run_private_auction_with_model<R: Rng>(
     let locations: Vec<LocationSubmission> =
         submissions.iter().map(|s| s.location.clone()).collect();
     let conflicts = build_conflict_graph(&locations);
+    run_private_auction_with_graph(submissions, conflicts, ttp, model, rng)
+}
 
+/// Phases 2–4 of [`run_private_auction_with_model`] over a *prebuilt*
+/// conflict graph: masked table collection, greedy allocation and TTP
+/// charging.
+///
+/// This is the entry point for callers that maintain the conflict graph
+/// incrementally across rounds (see [`crate::incremental`]) instead of
+/// rebuilding it from the submissions; with a graph equal to
+/// [`build_conflict_graph`]'s output, the result is bit-identical to
+/// the full run.
+///
+/// # Errors
+///
+/// As for [`run_private_auction`].
+///
+/// # Panics
+///
+/// The allocation panics if `conflicts` is not sized to
+/// `submissions.len()`.
+pub fn run_private_auction_with_graph<R: Rng>(
+    submissions: &[SuSubmission],
+    conflicts: ConflictGraph,
+    ttp: &Ttp,
+    model: AuctioneerModel,
+    rng: &mut R,
+) -> Result<PrivateAuctionResult, LppaError> {
     // Phase 2: masked table.
     let bids = submissions.iter().map(|s| s.bids.clone()).collect();
     let table = match model {
         AuctioneerModel::Oblivious => MaskedBidTable::collect(bids)?,
         AuctioneerModel::IterativeCharging => MaskedBidTable::collect_pruned(bids)?,
     };
+    settle_allocation(&table, conflicts, ttp, rng)
+}
 
+/// Phases 3–4 over an already-collected table: greedy allocation and
+/// TTP charging. Shared by the batch path above and the incremental
+/// engine (which collects its table with precomputed tie classes).
+pub(crate) fn settle_allocation<S, R>(
+    table: &MaskedBidTable<S>,
+    conflicts: ConflictGraph,
+    ttp: &Ttp,
+    rng: &mut R,
+) -> Result<PrivateAuctionResult, LppaError>
+where
+    S: std::borrow::Borrow<AdvancedBidSubmission> + Sync,
+    R: Rng,
+{
     // Phase 3: greedy allocation over masked comparisons.
-    let grants = greedy_allocate(&table, &conflicts, rng);
+    let grants = greedy_allocate(table, &conflicts, rng);
 
     // Phase 4: batch charging through the TTP.
-    let requests = charge_requests(&table, &grants)?;
+    let requests = charge_requests(table, &grants)?;
     let decisions = ttp.open_charges(&requests)?;
 
     let mut assignments = Vec::new();
@@ -216,7 +258,7 @@ pub fn run_private_auction_with_model<R: Rng>(
     }
 
     Ok(PrivateAuctionResult {
-        outcome: AuctionOutcome::from_assignments(assignments, submissions.len()),
+        outcome: AuctionOutcome::from_assignments(assignments, table.submissions().len()),
         invalid_grants,
         conflicts,
         grants,
@@ -231,8 +273,8 @@ pub fn run_private_auction_with_model<R: Rng>(
 /// the table — impossible for grants produced by the allocation, but
 /// checked instead of indexed so corrupted grant lists cannot panic the
 /// auctioneer.
-pub fn charge_requests(
-    table: &MaskedBidTable,
+pub fn charge_requests<S: std::borrow::Borrow<AdvancedBidSubmission> + Sync>(
+    table: &MaskedBidTable<S>,
     grants: &[Grant],
 ) -> Result<Vec<ChargeRequest>, LppaError> {
     grants
@@ -241,10 +283,10 @@ pub fn charge_requests(
             let bid = table
                 .submissions()
                 .get(g.bidder.0)
-                .and_then(|s| s.bids().get(g.channel.0))
+                .and_then(|s| s.borrow().bids().get(g.channel.0))
                 .ok_or_else(|| LppaError::Internal {
-                what: format!("grant ({}, {}) outside bid table", g.bidder.0, g.channel.0),
-            })?;
+                    what: format!("grant ({}, {}) outside bid table", g.bidder.0, g.channel.0),
+                })?;
             Ok(ChargeRequest {
                 channel: g.channel,
                 sealed: bid.sealed.clone(),

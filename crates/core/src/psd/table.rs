@@ -14,23 +14,32 @@ use lppa_prefix::TagIndex;
 use lppa_rng::seq::SliceRandom;
 use lppa_spectrum::ChannelId;
 
+use std::borrow::Borrow;
+
 use crate::error::LppaError;
 use crate::ppbs::bid::AdvancedBidSubmission;
 
 /// All bidders' masked submissions, as the auctioneer stores them.
 #[derive(Clone, Debug)]
-pub struct MaskedBidTable {
-    submissions: Vec<AdvancedBidSubmission>,
+pub struct MaskedBidTable<S = AdvancedBidSubmission> {
+    submissions: Vec<S>,
     n_channels: usize,
     prune_plain_zeros: bool,
+    /// Per-channel *tie classes*: `classes[ch][b]` is bidder `b`'s rank
+    /// class on channel `ch` by descending masked bid, `0` highest, with
+    /// equal transformed values (mutual masked `≥`) sharing a class.
+    /// Computed once per collect — every later winner selection is then
+    /// pure integer work instead of `O(m)` masked membership tests.
+    classes: Vec<Vec<u32>>,
     /// One inverted index per channel over every bidder's *point* tags,
-    /// built once at collect time. Probing a range against it yields all
+    /// built lazily on first use. Probing a range against it yields all
     /// bidders whose masked bid is ≥ that range's lower bound — the
-    /// second half of every winner selection.
-    point_indexes: Vec<TagIndex>,
+    /// reference path ([`Self::maxima_indexed`]) the class-based winner
+    /// selection is property-tested against.
+    point_indexes: std::sync::OnceLock<Vec<TagIndex>>,
 }
 
-impl MaskedBidTable {
+impl<S: Borrow<AdvancedBidSubmission> + Sync> MaskedBidTable<S> {
     /// Collects the submissions into a fully oblivious table: every cell
     /// is an entry, because the auctioneer cannot tell zeros apart.
     ///
@@ -39,8 +48,8 @@ impl MaskedBidTable {
     /// Returns [`LppaError::ChannelCountMismatch`] if the submissions do
     /// not all cover the same channels, or [`LppaError::InvalidConfig`]
     /// if there are none.
-    pub fn collect(submissions: Vec<AdvancedBidSubmission>) -> Result<Self, LppaError> {
-        Self::collect_inner(submissions, false)
+    pub fn collect(submissions: Vec<S>) -> Result<Self, LppaError> {
+        Self::collect_inner(submissions, false, None)
     }
 
     /// Collects the submissions with *plain-zero pruning*: cells whose
@@ -53,42 +62,103 @@ impl MaskedBidTable {
     /// strikes the cell and re-auctions the channel. Since a plain zero
     /// never beats a positive-looking entry, striking them all up front
     /// yields the same final allocation as the round-by-round iteration.
-    pub fn collect_pruned(submissions: Vec<AdvancedBidSubmission>) -> Result<Self, LppaError> {
-        Self::collect_inner(submissions, true)
+    pub fn collect_pruned(submissions: Vec<S>) -> Result<Self, LppaError> {
+        Self::collect_inner(submissions, true, None)
+    }
+
+    /// As [`Self::collect`], with *precomputed* per-channel tie classes
+    /// (see [`Self::classes`]) — for callers that maintain the channel
+    /// orders incrementally across rounds (`crate::incremental`) and so
+    /// skip the per-collect masked ranking sort.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::collect`], plus [`LppaError::InvalidConfig`] if
+    /// the class table is not `n_channels × n_bidders`.
+    pub fn collect_with_classes(
+        submissions: Vec<S>,
+        classes: Vec<Vec<u32>>,
+    ) -> Result<Self, LppaError> {
+        Self::collect_inner(submissions, false, Some(classes))
+    }
+
+    /// As [`Self::collect_pruned`], with precomputed tie classes; see
+    /// [`Self::collect_with_classes`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::collect_with_classes`].
+    pub fn collect_pruned_with_classes(
+        submissions: Vec<S>,
+        classes: Vec<Vec<u32>>,
+    ) -> Result<Self, LppaError> {
+        Self::collect_inner(submissions, true, Some(classes))
     }
 
     fn collect_inner(
-        submissions: Vec<AdvancedBidSubmission>,
+        submissions: Vec<S>,
         prune_plain_zeros: bool,
+        classes: Option<Vec<Vec<u32>>>,
     ) -> Result<Self, LppaError> {
         let n_channels = submissions
             .first()
-            .map(AdvancedBidSubmission::n_channels)
+            .map(|s| s.borrow().n_channels())
             .ok_or_else(|| LppaError::InvalidConfig { reason: "no submissions".into() })?;
         for s in &submissions {
-            if s.n_channels() != n_channels {
+            if s.borrow().n_channels() != n_channels {
                 return Err(LppaError::ChannelCountMismatch {
-                    submitted: s.n_channels(),
+                    submitted: s.borrow().n_channels(),
                     expected: n_channels,
                 });
             }
         }
-        // One point-tag index per channel, built in parallel across
-        // channels (channels are independent columns of the table).
-        let channels: Vec<usize> = (0..n_channels).collect();
-        let point_indexes = lppa_par::par_map(&channels, |&ch| {
-            let tags_per_point = submissions[0].bids()[ch].point.len();
-            let mut index = TagIndex::with_capacity(submissions.len() * tags_per_point);
-            for (bidder, s) in submissions.iter().enumerate() {
-                index.insert_all(s.bids()[ch].point.iter(), bidder as u32);
+        let classes = match classes {
+            Some(classes) => {
+                if classes.len() != n_channels
+                    || classes.iter().any(|col| col.len() != submissions.len())
+                {
+                    return Err(LppaError::InvalidConfig {
+                        reason: "class table is not n_channels × n_bidders".into(),
+                    });
+                }
+                classes
             }
-            index
-        });
-        Ok(Self { submissions, n_channels, prune_plain_zeros, point_indexes })
+            None => compute_classes(&submissions),
+        };
+        Ok(Self {
+            submissions,
+            n_channels,
+            prune_plain_zeros,
+            classes,
+            point_indexes: std::sync::OnceLock::new(),
+        })
     }
 
-    /// The stored submissions.
-    pub fn submissions(&self) -> &[AdvancedBidSubmission] {
+    /// The per-channel tie classes driving winner selection;
+    /// `classes()[ch][b]` is bidder `b`'s descending-bid rank class on
+    /// channel `ch` (`0` highest, ties share a class).
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// The per-channel point-tag indexes, built on first use (the
+    /// class-based winner selection never needs them).
+    fn point_index(&self, channel: ChannelId) -> &TagIndex {
+        &self.point_indexes.get_or_init(|| {
+            let channels: Vec<usize> = (0..self.n_channels).collect();
+            lppa_par::par_map(&channels, |&ch| {
+                let tags_per_point = self.submissions[0].borrow().bids()[ch].point.len();
+                let mut index = TagIndex::with_capacity(self.submissions.len() * tags_per_point);
+                for (bidder, s) in self.submissions.iter().enumerate() {
+                    index.insert_all(s.borrow().bids()[ch].point.iter(), bidder as u32);
+                }
+                index
+            })
+        })[channel.0]
+    }
+
+    /// The stored submissions (owned or borrowed, per `S`).
+    pub fn submissions(&self) -> &[S] {
         &self.submissions
     }
 
@@ -99,8 +169,8 @@ impl MaskedBidTable {
     /// Panics if any index is out of range; use [`Self::try_ge`] for
     /// untrusted indices.
     pub fn ge(&self, channel: ChannelId, a: BidderId, b: BidderId) -> bool {
-        let pa = &self.submissions[a.0].bids()[channel.0];
-        let pb = &self.submissions[b.0].bids()[channel.0];
+        let pa = &self.submissions[a.0].borrow().bids()[channel.0];
+        let pb = &self.submissions[b.0].borrow().bids()[channel.0];
         pa.point.in_range(&pb.range)
     }
 
@@ -111,11 +181,12 @@ impl MaskedBidTable {
     /// Returns [`LppaError::Internal`] naming the out-of-range index.
     pub fn try_ge(&self, channel: ChannelId, a: BidderId, b: BidderId) -> Result<bool, LppaError> {
         let cell = |bidder: BidderId| {
-            self.submissions.get(bidder.0).and_then(|s| s.bids().get(channel.0)).ok_or_else(|| {
-                LppaError::Internal {
+            self.submissions
+                .get(bidder.0)
+                .and_then(|s| s.borrow().bids().get(channel.0))
+                .ok_or_else(|| LppaError::Internal {
                     what: format!("bid cell ({}, {}) out of range", bidder.0, channel.0),
-                }
-            })
+                })
         };
         Ok(cell(a)?.point.in_range(&cell(b)?.range))
     }
@@ -182,8 +253,8 @@ impl MaskedBidTable {
     /// Panics if any id is out of range.
     pub fn maxima_indexed(&self, channel: ChannelId, candidates: &[BidderId]) -> Vec<BidderId> {
         let Some(best) = self.scan_best(channel, candidates) else { return Vec::new() };
-        let range = &self.submissions[best.0].bids()[channel.0].range;
-        let index = &self.point_indexes[channel.0];
+        let range = &self.submissions[best.0].borrow().bids()[channel.0].range;
+        let index = self.point_index(channel);
         let mut hit = vec![false; self.submissions.len()];
         for tag in range.iter() {
             for &owner in index.owners(tag) {
@@ -210,7 +281,7 @@ impl MaskedBidTable {
     }
 }
 
-impl BidOracle for MaskedBidTable {
+impl<S: Borrow<AdvancedBidSubmission> + Sync> BidOracle for MaskedBidTable<S> {
     fn n_bidders(&self) -> usize {
         self.submissions.len()
     }
@@ -226,7 +297,7 @@ impl BidOracle for MaskedBidTable {
     /// is a plain zero are absent.
     fn has_entry(&self, bidder: BidderId, channel: ChannelId) -> bool {
         if self.prune_plain_zeros {
-            self.submissions[bidder.0].presented_positive()[channel.0]
+            self.submissions[bidder.0].borrow().presented_positive()[channel.0]
         } else {
             true
         }
@@ -238,14 +309,62 @@ impl BidOracle for MaskedBidTable {
         candidates: &[BidderId],
         rng: &mut dyn lppa_rng::RngCore,
     ) -> BidderId {
-        let maxima = self.maxima_indexed(channel, candidates);
-        // Non-empty whenever `candidates` is (the trait contract); fall
-        // back to the first candidate instead of panicking mid-auction.
+        // Integer-only maxima via the precomputed tie classes: the
+        // candidates in the lowest class are exactly the mutual-`≥` tie
+        // set of the column maximum, the same set (in the same candidate
+        // order) as [`Self::maxima_indexed`] — asserted by the property
+        // suite — so the RNG draw sequence is unchanged.
+        let classes = &self.classes[channel.0];
+        let Some(best) = candidates.iter().map(|c| classes[c.0]).min() else {
+            // Empty candidates break the trait contract; mirror the old
+            // fallback shape instead of panicking mid-auction.
+            return candidates.first().copied().unwrap_or(BidderId(0));
+        };
+        let maxima: Vec<BidderId> =
+            candidates.iter().copied().filter(|c| classes[c.0] == best).collect();
         match maxima.choose(rng) {
             Some(&winner) => winner,
             None => candidates[0],
         }
     }
+}
+
+/// Computes the per-channel tie classes of [`MaskedBidTable::classes`]
+/// from scratch: one stable masked-comparison sort per channel
+/// (channels rank in parallel), then a single adjacent-pair walk
+/// assigning class ids. Within a class the sort leaves bidder ids
+/// ascending — the canonical order incremental maintainers must match.
+pub fn compute_classes<S: Borrow<AdvancedBidSubmission> + Sync>(
+    submissions: &[S],
+) -> Vec<Vec<u32>> {
+    let n_channels = submissions.first().map_or(0, |s| s.borrow().n_channels());
+    let channels: Vec<usize> = (0..n_channels).collect();
+    lppa_par::par_map(&channels, |&ch| {
+        let ge = |a: usize, b: usize| {
+            submissions[a].borrow().bids()[ch]
+                .point
+                .in_range(&submissions[b].borrow().bids()[ch].range)
+        };
+        let mut order: Vec<usize> = (0..submissions.len()).collect();
+        // Stable sort under the masked total preorder: descending bid,
+        // ties (mutual ≥) kept in ascending-id order.
+        order.sort_by(|&a, &b| match (ge(a, b), ge(b, a)) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            _ => std::cmp::Ordering::Equal,
+        });
+        let mut classes = vec![0u32; submissions.len()];
+        let mut class = 0u32;
+        for (i, &id) in order.iter().enumerate() {
+            // Descending order makes `prev ≥ id` a given; the pair is
+            // tied iff `id ≥ prev` holds too.
+            if i > 0 && !ge(id, order[i - 1]) {
+                class += 1;
+            }
+            classes[id] = class;
+        }
+        classes
+    })
 }
 
 #[cfg(test)]
@@ -351,6 +470,6 @@ mod tests {
             MaskedBidTable::collect(vec![a, b]),
             Err(LppaError::ChannelCountMismatch { .. })
         ));
-        assert!(MaskedBidTable::collect(vec![]).is_err());
+        assert!(MaskedBidTable::<AdvancedBidSubmission>::collect(vec![]).is_err());
     }
 }

@@ -111,6 +111,11 @@ pub fn registry() -> Vec<Invariant> {
             check: service_sequential_equivalence,
         },
         Invariant {
+            name: "incremental_equals_rebuild",
+            summary: "delta-applied churn rounds settle identically to per-round rebuilds",
+            check: incremental_equals_rebuild,
+        },
+        Invariant {
             name: "permutation_invariance",
             summary: "relabeling bidders permutes the outcome and nothing else",
             check: permutation_invariance,
@@ -534,6 +539,40 @@ fn service_sequential_equivalence(run: &ScenarioRun) -> Result<(), String> {
         return Err(format!(
             "aggregate fingerprints diverged: {:#x} vs {:#x}",
             probe.sharded_fingerprint, probe.sequential_fingerprint
+        ));
+    }
+    Ok(())
+}
+
+fn incremental_equals_rebuild(run: &ScenarioRun) -> Result<(), String> {
+    let probe = &run.churn;
+    let inc = &probe.incremental;
+    let reb = &probe.rebuild;
+    if !inc.errors.is_empty() || !reb.errors.is_empty() {
+        return Err(format!(
+            "churn probe reported area errors: incremental {:?}, rebuild {:?}",
+            inc.errors, reb.errors
+        ));
+    }
+    if inc.fingerprint != reb.fingerprint {
+        return Err(format!(
+            "churn fingerprints diverged: incremental {:#x} vs rebuild {:#x}",
+            inc.fingerprint, reb.fingerprint
+        ));
+    }
+    for (what, a, b) in [
+        ("final_bidders", inc.final_bidders, reb.final_bidders),
+        ("churn_events", inc.churn_events, reb.churn_events),
+        ("total_assignments", inc.total_assignments, reb.total_assignments),
+    ] {
+        if a != b {
+            return Err(format!("churn {what} diverged: incremental {a} vs rebuild {b}"));
+        }
+    }
+    if inc.total_revenue != reb.total_revenue {
+        return Err(format!(
+            "churn total_revenue diverged: incremental {} vs rebuild {}",
+            inc.total_revenue, reb.total_revenue
         ));
     }
     Ok(())

@@ -21,6 +21,11 @@
 //!   multi-area workload settled through the work-stealing
 //!   `lppa-service` event loop and through its single-threaded
 //!   unsharded reference, compared on decision fingerprints;
+//! * **incremental churn vs per-round rebuild** — the same seeded churn
+//!   schedule (joins, leaves, bid revisions) settled once through the
+//!   delta-applying [`lppa_service::run_churn`] incremental path (on a
+//!   sharded executor) and once by rebuilding every round from scratch
+//!   (single-threaded), compared on decision fingerprints;
 //! * metamorphic rebuilds: permuted bidders, rotated per-round keys,
 //!   shifted `rd` / scaled `cr` — each producing an outcome to compare
 //!   against the base masked run.
@@ -116,6 +121,23 @@ pub struct ServiceRun {
     pub sequential_fingerprint: u64,
 }
 
+/// The incremental-churn-vs-rebuild variant pair's products.
+///
+/// A small churn schedule is derived from the scenario seed and settled
+/// twice through [`lppa_service::run_churn`]: once in
+/// [`lppa_service::ChurnMode::Incremental`] (delta TagIndex, resident
+/// conflict graph and channel orders, on 2 shards × 2 threads) and once
+/// in [`lppa_service::ChurnMode::Rebuild`] (full per-round rebuild, one
+/// shard, one thread) — so a fingerprint match certifies both
+/// mode-equality and shard/thread-grid invariance at once.
+#[derive(Debug)]
+pub struct ChurnRun {
+    /// Report of the delta-applying incremental run.
+    pub incremental: lppa_service::ChurnReport,
+    /// Report of the from-scratch per-round rebuild run.
+    pub rebuild: lppa_service::ChurnReport,
+}
+
 /// A metamorphic rebuild of the masked pipeline.
 #[derive(Debug)]
 pub struct MetamorphicRun {
@@ -162,6 +184,8 @@ pub struct ScenarioRun {
     pub tag_kernel: TagKernelRun,
     /// Sharded-service-vs-sequential probe.
     pub service: ServiceRun,
+    /// Incremental-churn-vs-rebuild probe.
+    pub churn: ChurnRun,
     /// Metamorphic rebuilds (only for tie-free, disguise-free
     /// scenarios, where exact equivalence is well-defined).
     pub metamorphic: Vec<MetamorphicRun>,
@@ -247,6 +271,7 @@ impl ScenarioRun {
         let session = Self::run_session(&scenario, &ttp, &submissions)?;
         let tag_kernel = Self::run_tag_kernel(&scenario, &ttp);
         let service = Self::run_service(&scenario)?;
+        let churn = Self::run_churn(&scenario)?;
 
         let mut run = Self {
             scenario,
@@ -263,6 +288,7 @@ impl ScenarioRun {
             session,
             tag_kernel,
             service,
+            churn,
             metamorphic: Vec::new(),
         };
         if run.strong_equivalence_applies() {
@@ -355,6 +381,30 @@ impl ScenarioRun {
             sharded_fingerprint: sharded.fingerprint(),
             sequential_fingerprint: sequential.fingerprint(),
         })
+    }
+
+    /// Runs the incremental-churn-vs-rebuild probe.
+    ///
+    /// The schedule is tiny (2 areas, ~7 bidders each, 3 rounds at 40 %
+    /// total churn) but every delta path fires: tombstoned TagIndex
+    /// removals, resident-order re-ranking on bid revisions, dirty
+    /// conflict rows on joins/leaves — against the rebuild oracle that
+    /// re-masks and re-collects each round from the same member state.
+    fn run_churn(scenario: &Scenario) -> Result<ChurnRun, LppaError> {
+        use lppa_service::{run_churn, ChurnMode, ChurnSpec, WorkloadSpec};
+        let spec = ChurnSpec::balanced(
+            WorkloadSpec::new(
+                scenario.seed ^ 0xc4b2_0000_0000_0007,
+                2,
+                14,
+                scenario.n_channels.max(1),
+            ),
+            3,
+            0.4,
+        );
+        let incremental = run_churn(&spec, ChurnMode::Incremental, 2, 2)?;
+        let rebuild = run_churn(&spec, ChurnMode::Rebuild, 1, 1)?;
+        Ok(ChurnRun { incremental, rebuild })
     }
 
     fn session_config(scenario: &Scenario) -> SessionConfig {
@@ -510,6 +560,8 @@ mod tests {
         assert_eq!(run.service.sharded, run.service.sequential);
         assert_eq!(run.service.sharded.len(), 3, "errors: {:?}", run.service.sharded_errors);
         assert_eq!(run.service.sharded_fingerprint, run.service.sequential_fingerprint);
+        assert!(run.churn.incremental.churn_events > 0, "churn probe should apply events");
+        assert_eq!(run.churn.incremental.fingerprint, run.churn.rebuild.fingerprint);
     }
 
     #[test]

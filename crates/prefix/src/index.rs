@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use lppa_crypto::tag::{Tag, TagBuildHasher};
@@ -119,6 +120,36 @@ impl<T: Copy + Default> SmallVec<T> {
     }
 }
 
+impl<T: Copy + Default + PartialEq> SmallVec<T> {
+    /// Removes the first occurrence of `value`, shifting later elements
+    /// left so the slice stays dense and order-preserving. Returns
+    /// whether anything was removed.
+    ///
+    /// A spilled vector stays spilled even when it shrinks back under
+    /// the inline capacity: its heap buffer is exactly the allocation a
+    /// reinsertion for the same tag would otherwise have to redo.
+    pub fn remove_first(&mut self, value: T) -> bool {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                let n = usize::from(*len);
+                let Some(pos) = buf[..n].iter().position(|x| *x == value) else {
+                    return false;
+                };
+                buf.copy_within(pos + 1..n, pos);
+                *len -= 1;
+                true
+            }
+            Repr::Spilled(v) => {
+                let Some(pos) = v.iter().position(|x| *x == value) else {
+                    return false;
+                };
+                v.remove(pos);
+                true
+            }
+        }
+    }
+}
+
 impl<T: Copy + Default> Default for SmallVec<T> {
     fn default() -> Self {
         Self::new()
@@ -136,11 +167,31 @@ impl<T: Copy + Default> Default for SmallVec<T> {
 /// Owners are caller-chosen `u32` labels — bidder indices in the auction
 /// paths. The index never deduplicates: inserting the same `(tag,
 /// owner)` twice yields the owner twice.
+///
+/// # Incremental updates
+///
+/// [`remove`](TagIndex::remove) deletes one `(tag, owner)` entry in
+/// `O(|owners|)` — effectively `O(1)` for the short lists this index
+/// stores — so retiring a bidder's whole tag set costs `O(w)`, not a
+/// rebuild. A slot whose owner list empties becomes a **tombstone**: the
+/// map entry (and any spilled heap buffer) is kept so a reinsertion of
+/// the same tag is allocation-free, and [`owners`](TagIndex::owners)
+/// still returns a dense slice because the lists themselves are always
+/// compacted in place. Tombstones are swept by
+/// [`compact`](TagIndex::compact) once they outnumber
+/// [`COMPACT_MIN_TOMBSTONES`] *and* half the live tags, keeping the map
+/// within a constant factor of its live size.
 #[derive(Clone, Debug, Default)]
 pub struct TagIndex {
     map: HashMap<Tag, SmallVec<u32>, TagBuildHasher>,
     entries: usize,
+    tombstones: usize,
 }
+
+/// Tombstone count below which [`TagIndex::remove`] never triggers a
+/// compaction sweep (sweeps are `O(distinct tags)`; amortizing them
+/// needs a worthwhile batch).
+pub const COMPACT_MIN_TOMBSTONES: usize = 16;
 
 impl TagIndex {
     /// An empty index.
@@ -150,12 +201,28 @@ impl TagIndex {
 
     /// An empty index pre-sized for roughly `tags` distinct tags.
     pub fn with_capacity(tags: usize) -> Self {
-        Self { map: HashMap::with_capacity_and_hasher(tags, TagBuildHasher::default()), entries: 0 }
+        Self {
+            map: HashMap::with_capacity_and_hasher(tags, TagBuildHasher::default()),
+            entries: 0,
+            tombstones: 0,
+        }
     }
 
     /// Records that `owner` transmitted `tag`.
     pub fn insert(&mut self, tag: Tag, owner: u32) {
-        self.map.entry(tag).or_default().push(owner);
+        match self.map.entry(tag) {
+            Entry::Occupied(mut slot) => {
+                if slot.get().is_empty() {
+                    // Reviving a tombstone: the slot (and any spilled
+                    // buffer) is reused as-is.
+                    self.tombstones -= 1;
+                }
+                slot.get_mut().push(owner);
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(SmallVec::new()).push(owner);
+            }
+        }
         self.entries += 1;
     }
 
@@ -169,24 +236,76 @@ impl TagIndex {
         }
     }
 
+    /// Forgets one `(tag, owner)` entry — the inverse of
+    /// [`insert`](TagIndex::insert). Returns whether the entry existed.
+    ///
+    /// Only the first occurrence is removed (inserting twice requires
+    /// removing twice), and the owner list is compacted in place so
+    /// [`owners`](TagIndex::owners) stays dense. An emptied slot is
+    /// tombstoned rather than unlinked; once tombstones pass the
+    /// compaction threshold the whole map is swept.
+    pub fn remove(&mut self, tag: &Tag, owner: u32) -> bool {
+        let Some(slot) = self.map.get_mut(tag) else {
+            return false;
+        };
+        if !slot.remove_first(owner) {
+            return false;
+        }
+        self.entries -= 1;
+        if slot.is_empty() {
+            self.tombstones += 1;
+            if self.tombstones >= COMPACT_MIN_TOMBSTONES && self.tombstones * 2 >= self.map.len() {
+                self.compact();
+            }
+        }
+        true
+    }
+
+    /// Forgets every tag of one transmitted set for `owner` — the
+    /// inverse of [`insert_all`](TagIndex::insert_all). Returns how many
+    /// entries were actually present and removed.
+    pub fn remove_all<'a, I>(&mut self, tags: I, owner: u32) -> usize
+    where
+        I: IntoIterator<Item = &'a Tag>,
+    {
+        tags.into_iter().filter(|tag| self.remove(tag, owner)).count()
+    }
+
+    /// Sweeps all tombstoned slots, shrinking the map to its live tags.
+    /// `O(distinct tags)`; called automatically by
+    /// [`remove`](TagIndex::remove) past the threshold.
+    pub fn compact(&mut self) {
+        if self.tombstones == 0 {
+            return;
+        }
+        self.map.retain(|_, slot| !slot.is_empty());
+        self.tombstones = 0;
+    }
+
     /// The owners that transmitted `tag` (empty slice if none did).
     pub fn owners(&self, tag: &Tag) -> &[u32] {
         self.map.get(tag).map_or(&[], SmallVec::as_slice)
     }
 
-    /// Number of distinct tags present.
+    /// Number of distinct tags with at least one live owner (tombstoned
+    /// slots are not counted).
     pub fn distinct_tags(&self) -> usize {
-        self.map.len()
+        self.map.len() - self.tombstones
     }
 
-    /// Total number of `(tag, owner)` insertions.
+    /// Number of tombstoned slots currently awaiting compaction.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Total number of live `(tag, owner)` entries.
     pub fn entry_count(&self) -> usize {
         self.entries
     }
 
-    /// Whether the index holds no tags.
+    /// Whether the index holds no live tags.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries == 0
     }
 }
 
@@ -254,5 +373,195 @@ mod tests {
         assert_eq!(index.distinct_tags(), 0);
         assert_eq!(index.entry_count(), 0);
         assert!(index.owners(&tag(9)).is_empty());
+    }
+
+    #[test]
+    fn smallvec_remove_first_is_order_preserving() {
+        // Inline repr: remove from the middle, the front, past the end.
+        let mut v: SmallVec<u32> = SmallVec::new();
+        for x in [5, 6, 7] {
+            v.push(x);
+        }
+        assert!(v.remove_first(6));
+        assert_eq!(v.as_slice(), [5, 7]);
+        assert!(v.remove_first(5));
+        assert_eq!(v.as_slice(), [7]);
+        assert!(!v.remove_first(99));
+        assert_eq!(v.as_slice(), [7]);
+
+        // Spilled repr: stays spilled after shrinking below the inline
+        // capacity, and only the first duplicate goes.
+        let mut s: SmallVec<u32> = SmallVec::new();
+        for x in [1, 2, 1, 3, 1] {
+            s.push(x);
+        }
+        assert!(matches!(s.repr, Repr::Spilled(_)));
+        assert!(s.remove_first(1));
+        assert_eq!(s.as_slice(), [2, 1, 3, 1]);
+        assert!(s.remove_first(1));
+        assert!(s.remove_first(3));
+        assert!(s.remove_first(2));
+        assert_eq!(s.as_slice(), [1]);
+        assert!(matches!(s.repr, Repr::Spilled(_)));
+    }
+
+    #[test]
+    fn remove_of_never_inserted_owner_is_a_noop() {
+        let mut index = TagIndex::new();
+        index.insert(tag(1), 10);
+        // Unknown tag, and known tag with an owner that never held it.
+        assert!(!index.remove(&tag(2), 10));
+        assert!(!index.remove(&tag(1), 11));
+        assert_eq!(index.owners(&tag(1)), [10]);
+        assert_eq!(index.entry_count(), 1);
+        assert_eq!(index.distinct_tags(), 1);
+        assert_eq!(index.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn remove_then_reinsert_same_owner_revives_the_slot() {
+        let mut index = TagIndex::new();
+        index.insert(tag(1), 10);
+        index.insert(tag(1), 11);
+        assert!(index.remove(&tag(1), 10));
+        assert_eq!(index.owners(&tag(1)), [11]);
+        assert!(index.remove(&tag(1), 11));
+        assert!(index.owners(&tag(1)).is_empty());
+        assert_eq!(index.tombstone_count(), 1);
+        assert_eq!(index.distinct_tags(), 0);
+        assert!(index.is_empty());
+
+        // Reinsertion revives the tombstoned slot in place.
+        index.insert(tag(1), 10);
+        assert_eq!(index.owners(&tag(1)), [10]);
+        assert_eq!(index.tombstone_count(), 0);
+        assert_eq!(index.distinct_tags(), 1);
+        assert_eq!(index.entry_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_entries_need_matching_removes() {
+        let mut index = TagIndex::new();
+        index.insert(tag(4), 7);
+        index.insert(tag(4), 7);
+        assert_eq!(index.owners(&tag(4)), [7, 7]);
+        assert!(index.remove(&tag(4), 7));
+        assert_eq!(index.owners(&tag(4)), [7]);
+        assert!(index.remove(&tag(4), 7));
+        assert!(index.owners(&tag(4)).is_empty());
+        assert!(!index.remove(&tag(4), 7));
+    }
+
+    #[test]
+    fn remove_all_reports_how_many_entries_existed() {
+        let mut index = TagIndex::new();
+        let tags = [tag(1), tag(2), tag(3)];
+        index.insert_all(tags.iter(), 7);
+        // One of the three was already removed; the batch reports 2.
+        assert!(index.remove(&tag(2), 7));
+        assert_eq!(index.remove_all(tags.iter(), 7), 2);
+        assert!(index.is_empty());
+        assert_eq!(index.remove_all(tags.iter(), 7), 0);
+    }
+
+    #[test]
+    fn tombstones_compact_past_the_threshold() {
+        let mut index = TagIndex::new();
+        let n = COMPACT_MIN_TOMBSTONES as u8;
+        // n + 2 singleton tags, then kill n of them: the n-th dead slot
+        // crosses both threshold legs (>= COMPACT_MIN_TOMBSTONES and
+        // >= half the map) and triggers the sweep.
+        for b in 0..n + 2 {
+            index.insert(tag(b), u32::from(b));
+        }
+        for b in 0..n - 1 {
+            assert!(index.remove(&tag(b), u32::from(b)));
+        }
+        assert_eq!(index.tombstone_count(), usize::from(n) - 1);
+        assert!(index.remove(&tag(n - 1), u32::from(n - 1)));
+        assert_eq!(index.tombstone_count(), 0);
+        assert_eq!(index.distinct_tags(), 2);
+        assert_eq!(index.entry_count(), 2);
+        // Survivors are untouched by the sweep.
+        assert_eq!(index.owners(&tag(n)), [u32::from(n)]);
+        assert_eq!(index.owners(&tag(n + 1)), [u32::from(n) + 1]);
+    }
+
+    #[test]
+    fn shuffled_insert_remove_interleaving_matches_fresh_build() {
+        use lppa_rng::rngs::StdRng;
+        use lppa_rng::seq::SliceRandom;
+        use lppa_rng::{Rng, SeedableRng};
+
+        // Property: a churned index (inserts and removes interleaved in
+        // a seeded shuffle order) answers every probe exactly like an
+        // index freshly built from only the surviving entries.
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(0xde17a ^ seed);
+            // A pool of (tag, owner) entries, some sharing tags.
+            let pool: Vec<(Tag, u32)> = (0..60).map(|i| (tag(rng.gen_range(0..24)), i)).collect();
+            // Survivors keep their entry; the rest get a matching
+            // remove scheduled after their insert.
+            let survives: Vec<bool> = pool.iter().map(|_| rng.gen_bool(0.5)).collect();
+
+            // Ops: insert i, then remove i for the non-survivors, with
+            // each remove shuffled to any point after its insert.
+            #[derive(Clone, Copy)]
+            enum Op {
+                Insert(usize),
+                Remove(usize),
+            }
+            let mut ops: Vec<Op> = (0..pool.len()).map(Op::Insert).collect();
+            ops.shuffle(&mut rng);
+            let mut interleaved: Vec<Op> = Vec::with_capacity(pool.len() * 2);
+            for op in ops {
+                interleaved.push(op);
+                if let Op::Insert(i) = op {
+                    if !survives[i] {
+                        interleaved.push(Op::Remove(i));
+                    }
+                }
+            }
+            // Give removes room to drift later while keeping them after
+            // their insert: bubble each remove a random distance right.
+            for _ in 0..interleaved.len() {
+                let i = rng.gen_range(0..interleaved.len() - 1);
+                if matches!(interleaved[i], Op::Remove(_)) && rng.gen_bool(0.5) {
+                    interleaved.swap(i, i + 1);
+                }
+            }
+
+            let mut churned = TagIndex::new();
+            for op in &interleaved {
+                match *op {
+                    Op::Insert(i) => churned.insert(pool[i].0, pool[i].1),
+                    Op::Remove(i) => {
+                        assert!(
+                            churned.remove(&pool[i].0, pool[i].1),
+                            "seed {seed}: missing entry"
+                        );
+                    }
+                }
+            }
+
+            let mut fresh = TagIndex::new();
+            for (i, &(t, owner)) in pool.iter().enumerate() {
+                if survives[i] {
+                    fresh.insert(t, owner);
+                }
+            }
+
+            assert_eq!(churned.entry_count(), fresh.entry_count(), "seed {seed}");
+            assert_eq!(churned.distinct_tags(), fresh.distinct_tags(), "seed {seed}");
+            for b in 0..24 {
+                let mut a: Vec<u32> = churned.owners(&tag(b)).to_vec();
+                let mut e: Vec<u32> = fresh.owners(&tag(b)).to_vec();
+                // Owner order may differ between the two histories;
+                // membership must not.
+                a.sort_unstable();
+                e.sort_unstable();
+                assert_eq!(a, e, "seed {seed}, tag {b}");
+            }
+        }
     }
 }

@@ -16,6 +16,10 @@
 //! - [`service`] — the [`AuctionService`] event loop, its epoch-based
 //!   [`drain`](AuctionService::drain), and the unsharded
 //!   [`run_sequential`] reference it must match bit for bit.
+//! - [`churn`] — the sustained-churn path: persistent areas applying
+//!   per-round join/leave/revise deltas through a resident
+//!   `IncrementalAuctioneer`, fingerprint-equal to a full per-round
+//!   rebuild.
 //! - [`workload`] / [`metrics`] — synthetic fleet generation and the
 //!   latency accounting used by the `load` harness in `lppa-bench`.
 //!
@@ -30,12 +34,14 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod churn;
 pub mod metrics;
 pub mod service;
 pub mod shard;
 pub mod workload;
 
 pub use admission::{default_flush_chunk, AreaState, BidderInput, MIN_FLUSH};
+pub use churn::{run_churn, ChurnMode, ChurnReport, ChurnSpec};
 pub use metrics::{LatencyRecorder, LatencySummary};
 pub use service::{run_sequential, AreaOutcome, AuctionService, ServiceConfig, ServiceReport};
 pub use shard::{

@@ -109,8 +109,10 @@ fn empty_auction_is_an_error_not_a_panic() {
 
 #[test]
 fn collect_rejects_empty_or_mixed_tables() {
-    assert!(MaskedBidTable::collect(vec![]).is_err());
-    assert!(MaskedBidTable::collect_pruned(vec![]).is_err());
+    assert!(MaskedBidTable::<lppa::ppbs::bid::AdvancedBidSubmission>::collect(vec![]).is_err());
+    assert!(
+        MaskedBidTable::<lppa::ppbs::bid::AdvancedBidSubmission>::collect_pruned(vec![]).is_err()
+    );
 }
 
 #[test]
