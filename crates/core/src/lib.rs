@@ -68,6 +68,7 @@ pub mod psd;
 pub mod pseudonym;
 pub mod rounds;
 pub mod ttp;
+pub mod wire;
 pub mod zero_replace;
 
 pub use analysis::{cost_model, CostModel};
@@ -80,10 +81,15 @@ pub use protocol::{
     charge_requests, run_private_auction, run_private_auction_from_bids,
     run_private_auction_from_bids_with_model, run_private_auction_tolerant,
     run_private_auction_with_graph, run_private_auction_with_model, validate_submission,
-    AuctioneerModel, PrivateAuctionResult, SuSubmission, TolerantAuctionResult,
+    validate_submission_with, AuctioneerModel, PrivateAuctionResult, SuSubmission,
+    TolerantAuctionResult,
 };
 pub use psd::table::MaskedBidTable;
 pub use pseudonym::PseudonymPool;
 pub use rounds::{RoundDriver, RoundResult};
 pub use ttp::{BidderKeys, ChargeDecision, ChargeRequest, Ttp};
+pub use wire::{
+    decode_charge_request, decode_charge_verdict, decode_submission, encode_charge_request,
+    encode_charge_verdict, encode_submission, verdict_of, SubmissionView, WireError, WireVerdict,
+};
 pub use zero_replace::ZeroReplacePolicy;

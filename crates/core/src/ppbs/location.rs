@@ -104,6 +104,32 @@ impl LocationSubmission {
         &self.range_x
     }
 
+    /// The masked y-axis point family.
+    pub fn point_y(&self) -> &MaskedPoint {
+        &self.point_y
+    }
+
+    /// The masked y-axis range cover.
+    pub fn range_y(&self) -> &MaskedRange {
+        &self.range_y
+    }
+
+    /// Reassembles a submission from its four masked components, as a
+    /// wire decoder does after parsing the tag groups.
+    ///
+    /// No structural validation happens here — the auctioneer runs
+    /// [`validate`](Self::validate) on every received submission, exactly
+    /// as it does for submissions that arrived through the typed
+    /// transport.
+    pub fn from_parts(
+        point_x: MaskedPoint,
+        range_x: MaskedRange,
+        point_y: MaskedPoint,
+        range_y: MaskedRange,
+    ) -> Self {
+        Self { point_x, range_x, point_y, range_y }
+    }
+
     /// Transmission size in bytes (both axes, points and ranges).
     pub fn wire_len(&self) -> usize {
         self.point_x.wire_len()

@@ -19,6 +19,7 @@ use lppa_auction::outcome::{Assignment, AuctionOutcome};
 use lppa_rng::rngs::StdRng;
 use lppa_rng::{Rng, SeedableRng};
 
+use crate::config::LppaConfig;
 use crate::error::LppaError;
 use crate::ppbs::bid::AdvancedBidSubmission;
 use crate::ppbs::location::{build_conflict_graph, LocationSubmission};
@@ -88,11 +89,27 @@ impl SuSubmission {
 /// [`LppaError::ChannelCountMismatch`] or
 /// [`LppaError::MalformedSubmission`] naming the broken part.
 pub fn validate_submission(sub: &SuSubmission, ttp: &Ttp) -> Result<(), LppaError> {
-    let expected = ttp.n_channels();
+    validate_submission_with(sub, ttp.n_channels(), ttp.config())
+}
+
+/// [`validate_submission`] against explicit public round parameters.
+///
+/// Validation needs only the channel count and the (public) auction
+/// configuration — never the TTP's keys — so a networked auctioneer
+/// that learned both from the round announcement can run the identical
+/// check without holding a [`Ttp`].
+///
+/// # Errors
+///
+/// As [`validate_submission`].
+pub fn validate_submission_with(
+    sub: &SuSubmission,
+    expected: usize,
+    config: &LppaConfig,
+) -> Result<(), LppaError> {
     if sub.bids.n_channels() != expected {
         return Err(LppaError::ChannelCountMismatch { submitted: sub.bids.n_channels(), expected });
     }
-    let config = ttp.config();
     sub.location.validate(config)?;
     let width = config.transformed_bits();
     let want_point = usize::from(width) + 1;

@@ -17,6 +17,9 @@ use crate::keys::SealKey;
 /// Length in bytes of the authentication tag on a sealed value.
 pub const MAC_LEN: usize = 16;
 
+/// Size of a sealed value on the wire: nonce ‖ ciphertext ‖ MAC.
+pub const SEALED_WIRE_LEN: usize = NONCE_LEN + 8 + MAC_LEN;
+
 /// Error returned when opening a sealed value fails authentication.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OpenError;
@@ -111,6 +114,34 @@ impl SealedValue {
             acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
         }
         acc
+    }
+
+    /// Serializes the sealed value as nonce ‖ ciphertext ‖ MAC.
+    ///
+    /// The layout is the transmission order already implied by
+    /// [`wire_len`](Self::wire_len) and hashed by
+    /// [`fingerprint`](Self::fingerprint).
+    pub fn to_wire_bytes(&self) -> [u8; SEALED_WIRE_LEN] {
+        let mut out = [0u8; SEALED_WIRE_LEN];
+        out[..NONCE_LEN].copy_from_slice(&self.nonce);
+        out[NONCE_LEN..NONCE_LEN + 8].copy_from_slice(&self.ciphertext);
+        out[NONCE_LEN + 8..].copy_from_slice(&self.mac);
+        out
+    }
+
+    /// Reconstructs a sealed value from its wire bytes.
+    ///
+    /// No authentication happens here — the MAC is carried verbatim and
+    /// checked by [`open`](Self::open), so a tampered wire image is
+    /// rejected at opening time, not at parse time.
+    pub fn from_wire_bytes(bytes: [u8; SEALED_WIRE_LEN]) -> Self {
+        let mut nonce = [0u8; NONCE_LEN];
+        let mut ciphertext = [0u8; 8];
+        let mut mac = [0u8; MAC_LEN];
+        nonce.copy_from_slice(&bytes[..NONCE_LEN]);
+        ciphertext.copy_from_slice(&bytes[NONCE_LEN..NONCE_LEN + 8]);
+        mac.copy_from_slice(&bytes[NONCE_LEN + 8..]);
+        Self { nonce, ciphertext, mac }
     }
 
     fn mac(key: &SealKey, nonce: &[u8; NONCE_LEN], ciphertext: &[u8; 8]) -> [u8; MAC_LEN] {
@@ -212,6 +243,31 @@ mod tests {
         msg.extend_from_slice(&sealed.ciphertext);
         let full = crate::hmac::hmac_sha256(key.as_bytes(), &msg);
         assert_eq!(sealed.mac, full[..MAC_LEN]);
+    }
+
+    #[test]
+    fn wire_bytes_roundtrip() {
+        let (key, mut rng) = setup();
+        let sealed = SealedValue::seal(&key, 31337, &mut rng);
+        let bytes = sealed.to_wire_bytes();
+        assert_eq!(bytes.len(), sealed.wire_len());
+        let back = SealedValue::from_wire_bytes(bytes);
+        assert_eq!(back, sealed);
+        assert_eq!(back.fingerprint(), sealed.fingerprint());
+        assert_eq!(back.open(&key), Ok(31337));
+    }
+
+    #[test]
+    fn tampered_wire_bytes_fail_open() {
+        // Parsing never authenticates; the MAC check at open() is what
+        // rejects a wire image damaged anywhere in nonce/ct/MAC.
+        let (key, mut rng) = setup();
+        let sealed = SealedValue::seal(&key, 8, &mut rng);
+        for pos in [0, NONCE_LEN, NONCE_LEN + 8, SEALED_WIRE_LEN - 1] {
+            let mut bytes = sealed.to_wire_bytes();
+            bytes[pos] ^= 0x40;
+            assert_eq!(SealedValue::from_wire_bytes(bytes).open(&key), Err(OpenError));
+        }
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Standalone auctioneer: binds the `LPPA_NET_*` address, waits for
+//! the announced bidder fleet plus one TTP node, runs a full
+//! Announce → Collect → Allocate → Charge → Settle round over the
+//! sockets, and prints the settled outcome as a bench-JSON line.
+//!
+//! The auctioneer regenerates only the *public* fixture parameters
+//! (config, fleet size); the TTP keys live in the `ttp_node` process.
+//!
+//! Usage:
+//!
+//! ```text
+//! auctioneer [--bidders N] [--channels N] [--seed N] [--fixture-seed N] [--chaos]
+//! ```
+//!
+//! Set `LPPA_NET_PORT` to a fixed port so peers can find the listener.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use lppa::LppaConfig;
+use lppa_net::{round::serve_auctioneer, round::RoundSpec, AuctioneerRun, NetConfig};
+use lppa_session::{FaultConfig, SessionConfig};
+
+const USAGE: &str =
+    "usage: auctioneer [--bidders N] [--channels N] [--seed N] [--fixture-seed N] [--chaos]";
+
+fn run() -> Result<(), String> {
+    let mut bidders = 6usize;
+    let mut channels = 2usize;
+    let mut seed = 20260809u64;
+    let mut chaos = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--bidders" => bidders = value("--bidders")?.parse().map_err(|e| format!("{e}"))?,
+            "--channels" => channels = value("--channels")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            // Accepted for CLI symmetry with the other roles; the
+            // auctioneer itself never touches the fixture keys.
+            "--fixture-seed" => {
+                value("--fixture-seed")?;
+            }
+            "--chaos" => chaos = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let base = if chaos { FaultConfig::chaotic() } else { FaultConfig::none() };
+    let spec = RoundSpec {
+        seed,
+        session: SessionConfig {
+            faults: base.with_env_overrides(),
+            min_accepted: 1,
+            ..SessionConfig::default()
+        },
+        lppa: LppaConfig::default(),
+        n_bidders: bidders,
+        n_channels: channels,
+    };
+    let net = NetConfig::from_env();
+    let listener =
+        TcpListener::bind((net.addr.as_str(), net.port)).map_err(|e| format!("bind: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    eprintln!("auctioneer: listening on {addr} for {bidders} bidders + 1 ttp node");
+    match serve_auctioneer(&listener, &spec, &net, None).map_err(|e| e.to_string())? {
+        AuctioneerRun::Settled(outcome) => {
+            println!(
+                "{{\"group\":\"net\",\"outcome\":{{\"mode\":\"auctioneer\",\
+                 \"fingerprint\":\"{:#018x}\",\"journal\":\"{:#018x}\",\"accepted\":{},\
+                 \"grants\":{},\"revenue\":{}}}}}",
+                outcome.fingerprint(),
+                outcome.journal.fingerprint(),
+                outcome.accepted.len(),
+                outcome.grants.len(),
+                outcome.outcome.revenue(),
+            );
+            Ok(())
+        }
+        other => Err(format!("round did not settle: {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("auctioneer: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Standalone bidder: regenerates its masked submission from the
+//! shared fixture seed, connects to the auctioneer (with backoff, so
+//! it may start first), and follows the lockstep collect protocol
+//! until the round settles.
+//!
+//! Usage:
+//!
+//! ```text
+//! bidder --id N [--bidders N] [--channels N] [--fixture-seed N]
+//! ```
+//!
+//! `LPPA_NET_ADDR`/`LPPA_NET_PORT` locate the auctioneer.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+use lppa_net::{round_fixture, run_bidder, NetConfig};
+use lppa_session::SessionConfig;
+
+const USAGE: &str = "usage: bidder --id N [--bidders N] [--channels N] [--fixture-seed N]";
+
+fn resolve(net: &NetConfig) -> Result<SocketAddr, String> {
+    (net.addr.as_str(), net.port)
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {}:{}: {e}", net.addr, net.port))?
+        .next()
+        .ok_or_else(|| format!("{}:{} resolves to nothing", net.addr, net.port))
+}
+
+fn run() -> Result<(), String> {
+    let mut id: Option<usize> = None;
+    let mut bidders = 6usize;
+    let mut channels = 2usize;
+    let mut fixture_seed = 99u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--id" => id = Some(value("--id")?.parse().map_err(|e| format!("{e}"))?),
+            "--bidders" => bidders = value("--bidders")?.parse().map_err(|e| format!("{e}"))?,
+            "--channels" => channels = value("--channels")?.parse().map_err(|e| format!("{e}"))?,
+            "--fixture-seed" => {
+                fixture_seed = value("--fixture-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let id = id.ok_or_else(|| format!("--id is required\n{USAGE}"))?;
+    if id >= bidders {
+        return Err(format!("--id {id} outside the fleet of {bidders}"));
+    }
+    let (_ttp, submissions) =
+        round_fixture(fixture_seed, bidders, channels).map_err(|e| e.to_string())?;
+    let net = NetConfig::from_env();
+    let addr = resolve(&net)?;
+    let session = SessionConfig::default();
+    match run_bidder(addr, id, &submissions[id], &session, &net).map_err(|e| e.to_string())? {
+        Some(fingerprint) => {
+            println!(
+                "{{\"group\":\"net\",\"outcome\":{{\"mode\":\"bidder\",\"id\":{id},\
+                 \"settled\":\"{fingerprint:#018x}\"}}}}"
+            );
+            Ok(())
+        }
+        None => {
+            eprintln!("bidder {id}: auctioneer went away before the round settled");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bidder: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

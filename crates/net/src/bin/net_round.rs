@@ -1,0 +1,169 @@
+//! Single-process sim-vs-socket gate: runs the simulated wire round
+//! and the loopback socket round under the same seeds and fails if any
+//! fingerprint diverges — the binary behind the CI `net-smoke` job.
+//!
+//! Output is one JSON object per line in the workspace bench-JSON
+//! shape: a timing-free `"outcome"` line per mode carrying the outcome
+//! and journal fingerprints, plus a final `"verdict"` line.
+//!
+//! `--kill collect` and `--kill charge` additionally crash the socket
+//! auctioneer mid-phase and require the rerun/resume to land on the
+//! reference fingerprint.
+//!
+//! Chaos comes from the session defaults unless `--chaos` enables the
+//! chaotic profile; either way the `LPPA_CHAOS_*` overrides apply, and
+//! the socket layer reads `LPPA_NET_*`.
+//!
+//! Usage:
+//!
+//! ```text
+//! net_round [--bidders N] [--channels N] [--seed N] [--fixture-seed N]
+//!           [--chaos] [--kill collect|charge]
+//! ```
+
+use std::process::ExitCode;
+
+use lppa_net::{
+    resume_socket_round, round_fixture, run_socket_round, run_socket_round_with_kill,
+    AuctioneerRun, KillPoint, NetConfig,
+};
+use lppa_session::{run_wire_round, FaultConfig, SessionConfig, SessionOutcome};
+
+const USAGE: &str = "usage: net_round [--bidders N] [--channels N] [--seed N] [--fixture-seed N]\n                 [--chaos] [--kill collect|charge]";
+
+struct Args {
+    bidders: usize,
+    channels: usize,
+    seed: u64,
+    fixture_seed: u64,
+    chaos: bool,
+    kill: Option<KillPoint>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        bidders: 6,
+        channels: 2,
+        seed: 20260809,
+        fixture_seed: 99,
+        chaos: false,
+        kill: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--bidders" => {
+                args.bidders = value("--bidders")?.parse().map_err(|e| format!("--bidders: {e}"))?
+            }
+            "--channels" => {
+                args.channels =
+                    value("--channels")?.parse().map_err(|e| format!("--channels: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--fixture-seed" => {
+                args.fixture_seed =
+                    value("--fixture-seed")?.parse().map_err(|e| format!("--fixture-seed: {e}"))?
+            }
+            "--chaos" => args.chaos = true,
+            "--kill" => {
+                args.kill = Some(match value("--kill")?.as_str() {
+                    "collect" => KillPoint::MidCollect { tick: 2 },
+                    "charge" => KillPoint::MidCharge { served: 1 },
+                    other => return Err(format!("--kill: unknown point {other:?}")),
+                })
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn outcome_line(mode: &str, outcome: &SessionOutcome) {
+    println!(
+        "{{\"group\":\"net\",\"outcome\":{{\"mode\":\"{mode}\",\"fingerprint\":\"{:#018x}\",\
+         \"journal\":\"{:#018x}\",\"accepted\":{},\"grants\":{},\"revenue\":{}}}}}",
+        outcome.fingerprint(),
+        outcome.journal.fingerprint(),
+        outcome.accepted.len(),
+        outcome.grants.len(),
+        outcome.outcome.revenue(),
+    );
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let (ttp, submissions) =
+        round_fixture(args.fixture_seed, args.bidders, args.channels).map_err(|e| e.to_string())?;
+    let base = if args.chaos { FaultConfig::chaotic() } else { FaultConfig::none() };
+    let config = SessionConfig {
+        faults: base.with_env_overrides(),
+        min_accepted: 1,
+        ..SessionConfig::default()
+    };
+    let net = NetConfig::from_env();
+
+    let reference =
+        run_wire_round(&ttp, config, &submissions, args.seed).map_err(|e| e.to_string())?;
+    outcome_line("sim", &reference);
+
+    let socket = match args.kill {
+        None => run_socket_round(&ttp, config, &submissions, args.seed, &net)
+            .map_err(|e| e.to_string())?,
+        Some(kill) => {
+            let killed =
+                run_socket_round_with_kill(&ttp, config, &submissions, args.seed, &net, Some(kill))
+                    .map_err(|e| e.to_string())?;
+            match killed {
+                AuctioneerRun::KilledInCollect => {
+                    // Nothing committed: the documented recovery is a
+                    // rerun from the same seed.
+                    run_socket_round(&ttp, config, &submissions, args.seed, &net)
+                        .map_err(|e| e.to_string())?
+                }
+                AuctioneerRun::KilledInCharge(checkpoint) => {
+                    resume_socket_round(&ttp, config, submissions.len(), &checkpoint, &net)
+                        .map_err(|e| e.to_string())?
+                }
+                AuctioneerRun::Settled(_) => {
+                    return Err("kill point never fired".to_string());
+                }
+            }
+        }
+    };
+    let mode = match args.kill {
+        None => "socket",
+        Some(KillPoint::MidCollect { .. }) => "socket-killed-collect",
+        Some(KillPoint::MidCharge { .. }) => "socket-killed-charge",
+    };
+    outcome_line(mode, &socket);
+
+    let matched = reference.fingerprint() == socket.fingerprint()
+        && reference.journal.fingerprint() == socket.journal.fingerprint();
+    println!(
+        "{{\"group\":\"net\",\"verdict\":{{\"mode\":\"{mode}\",\"chaos\":{},\"match\":{matched}}}}}",
+        args.chaos
+    );
+    Ok(matched)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("net_round: sim and socket fingerprints diverged");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("net_round: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Standalone TTP node: holds the round's keys (regenerated from the
+//! shared fixture seed), connects to the auctioneer, and answers
+//! charge-opening requests until the auctioneer says goodbye.
+//!
+//! Usage:
+//!
+//! ```text
+//! ttp_node [--bidders N] [--channels N] [--fixture-seed N]
+//! ```
+//!
+//! `LPPA_NET_ADDR`/`LPPA_NET_PORT` locate the auctioneer.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+use lppa_net::{round_fixture, serve_ttp, FramedConn, NetConfig};
+use lppa_session::frame::{encode_hello, FrameKind, Hello};
+
+const USAGE: &str = "usage: ttp_node [--bidders N] [--channels N] [--fixture-seed N]";
+
+fn resolve(net: &NetConfig) -> Result<SocketAddr, String> {
+    (net.addr.as_str(), net.port)
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {}:{}: {e}", net.addr, net.port))?
+        .next()
+        .ok_or_else(|| format!("{}:{} resolves to nothing", net.addr, net.port))
+}
+
+fn run() -> Result<(), String> {
+    let mut bidders = 6usize;
+    let mut channels = 2usize;
+    let mut fixture_seed = 99u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--bidders" => bidders = value("--bidders")?.parse().map_err(|e| format!("{e}"))?,
+            "--channels" => channels = value("--channels")?.parse().map_err(|e| format!("{e}"))?,
+            "--fixture-seed" => {
+                fixture_seed = value("--fixture-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let (ttp, _submissions) =
+        round_fixture(fixture_seed, bidders, channels).map_err(|e| e.to_string())?;
+    let net = NetConfig::from_env();
+    let addr = resolve(&net)?;
+    let mut conn = FramedConn::connect(addr, &net).map_err(|e| e.to_string())?;
+    conn.send(FrameKind::Hello, &encode_hello(Hello { role: 1, id: 0 }))
+        .map_err(|e| e.to_string())?;
+    let served = serve_ttp(&mut conn, &ttp).map_err(|e| e.to_string())?;
+    println!("{{\"group\":\"net\",\"outcome\":{{\"mode\":\"ttp\",\"served\":{served}}}}}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ttp_node: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Network tuning knobs and their `LPPA_NET_*` environment overrides.
+//!
+//! Every knob goes through the strict `LPPA_THREADS`-style grammar in
+//! `lppa-par` (plain decimal digits, no signs/hex/exponents, no empty
+//! or whitespace-only values, overflow rejected); a value the grammar
+//! refuses leaves the default in place, exactly like the `LPPA_CHAOS_*`
+//! family.
+
+use std::env;
+use std::time::Duration;
+
+use lppa_par::parse_count;
+
+/// Connection tuning for the framed TCP transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Address the auctioneer binds / peers connect to
+    /// (`LPPA_NET_ADDR`, default loopback).
+    pub addr: String,
+    /// TCP port (`LPPA_NET_PORT`); 0 asks the OS for an ephemeral port.
+    pub port: u16,
+    /// Per-attempt connect deadline in milliseconds
+    /// (`LPPA_NET_CONNECT_TIMEOUT_MS`).
+    pub connect_timeout_ms: u64,
+    /// Per-read deadline in milliseconds (`LPPA_NET_READ_TIMEOUT_MS`).
+    pub read_timeout_ms: u64,
+    /// Base reconnect backoff in milliseconds (`LPPA_NET_BACKOFF_MS`);
+    /// doubles per failed attempt.
+    pub backoff_ms: u64,
+    /// Backoff ceiling in milliseconds (`LPPA_NET_BACKOFF_CAP_MS`).
+    pub backoff_cap_ms: u64,
+    /// Connect attempts beyond the first (`LPPA_NET_RETRIES`).
+    pub retries: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1".to_string(),
+            port: 0,
+            connect_timeout_ms: 2000,
+            read_timeout_ms: 5000,
+            backoff_ms: 25,
+            backoff_cap_ms: 1600,
+            retries: 6,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The defaults with `LPPA_NET_*` overrides applied.
+    pub fn from_env() -> Self {
+        Self::default().with_overrides_from(|name| env::var(name).ok())
+    }
+
+    /// [`Self::from_env`] against an explicit lookup, so the grammar is
+    /// testable without mutating the process environment.
+    fn with_overrides_from(mut self, get: impl Fn(&str) -> Option<String>) -> Self {
+        if let Some(addr) = get("LPPA_NET_ADDR").filter(|a| !a.trim().is_empty()) {
+            self.addr = addr.trim().to_string();
+        }
+        if let Some(port) = parse_count(get("LPPA_NET_PORT").as_deref()) {
+            if let Ok(port) = u16::try_from(port) {
+                self.port = port;
+            }
+        }
+        if let Some(v) = parse_count(get("LPPA_NET_CONNECT_TIMEOUT_MS").as_deref()) {
+            self.connect_timeout_ms = v;
+        }
+        if let Some(v) = parse_count(get("LPPA_NET_READ_TIMEOUT_MS").as_deref()) {
+            self.read_timeout_ms = v;
+        }
+        if let Some(v) = parse_count(get("LPPA_NET_BACKOFF_MS").as_deref()) {
+            self.backoff_ms = v;
+        }
+        if let Some(v) = parse_count(get("LPPA_NET_BACKOFF_CAP_MS").as_deref()) {
+            self.backoff_cap_ms = v;
+        }
+        if let Some(v) = parse_count(get("LPPA_NET_RETRIES").as_deref()) {
+            if let Ok(v) = u32::try_from(v) {
+                self.retries = v;
+            }
+        }
+        self
+    }
+
+    /// The connect deadline as a [`Duration`].
+    pub fn connect_timeout(&self) -> Duration {
+        Duration::from_millis(self.connect_timeout_ms)
+    }
+
+    /// The read deadline as a [`Duration`]; `None` disables the
+    /// deadline (a zero timeout would otherwise error at the socket).
+    pub fn read_timeout(&self) -> Option<Duration> {
+        (self.read_timeout_ms > 0).then(|| Duration::from_millis(self.read_timeout_ms))
+    }
+
+    /// Backoff before reconnect attempt `attempt` (0-based), doubling
+    /// from [`Self::backoff_ms`] and saturating at
+    /// [`Self::backoff_cap_ms`].
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        let base = self.backoff_ms.max(1);
+        let exp = base.saturating_mul(1u64 << attempt.min(16));
+        Duration::from_millis(exp.min(self.backoff_cap_ms.max(base)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_loopback_ephemeral() {
+        let c = NetConfig::default();
+        assert_eq!(c.addr, "127.0.0.1");
+        assert_eq!(c.port, 0);
+        assert!(c.read_timeout().is_some());
+    }
+
+    #[test]
+    fn overrides_apply_well_formed_values() {
+        let env = |name: &str| match name {
+            "LPPA_NET_ADDR" => Some(" 127.0.0.2 ".to_string()),
+            "LPPA_NET_PORT" => Some("4100".to_string()),
+            "LPPA_NET_READ_TIMEOUT_MS" => Some("250".to_string()),
+            "LPPA_NET_BACKOFF_MS" => Some("10".to_string()),
+            "LPPA_NET_BACKOFF_CAP_MS" => Some("40".to_string()),
+            "LPPA_NET_RETRIES" => Some("2".to_string()),
+            _ => None,
+        };
+        let c = NetConfig::default().with_overrides_from(env);
+        assert_eq!(c.addr, "127.0.0.2");
+        assert_eq!(c.port, 4100);
+        assert_eq!(c.read_timeout_ms, 250);
+        assert_eq!(c.backoff_before(0), Duration::from_millis(10));
+        assert_eq!(c.backoff_before(1), Duration::from_millis(20));
+        assert_eq!(c.backoff_before(5), Duration::from_millis(40), "capped");
+        assert_eq!(c.retries, 2);
+    }
+
+    #[test]
+    fn overrides_reject_malformed_values() {
+        let hostile = |name: &str| match name {
+            "LPPA_NET_ADDR" => Some("   ".to_string()),
+            "LPPA_NET_PORT" => Some("70000".to_string()),
+            "LPPA_NET_CONNECT_TIMEOUT_MS" => Some("-5".to_string()),
+            "LPPA_NET_READ_TIMEOUT_MS" => Some(String::new()),
+            "LPPA_NET_BACKOFF_MS" => Some("0x10".to_string()),
+            "LPPA_NET_BACKOFF_CAP_MS" => Some("99999999999999999999999999".to_string()),
+            "LPPA_NET_RETRIES" => Some("1e3".to_string()),
+            _ => None,
+        };
+        let base = NetConfig::default();
+        assert_eq!(base.clone().with_overrides_from(hostile), base);
+    }
+}

@@ -1,0 +1,402 @@
+//! A framed TCP connection: length-prefixed LPPA frames over a stream
+//! socket, with per-peer deadlines, exponential-backoff reconnect and
+//! sequence-keyed duplicate suppression.
+//!
+//! The frame grammar is `lppa_session::frame`; this module only adds
+//! what a real socket needs on top of it:
+//!
+//! * **Deadlines** — every connect attempt and every read carries a
+//!   timeout from [`NetConfig`]; a peer that stalls surfaces as a typed
+//!   [`NetError::Timeout`], never a hang.
+//! * **Backoff reconnect** — [`FramedConn::connect`] retries with
+//!   exponentially growing, capped sleeps, so a peer that comes up late
+//!   (the auctioneer binding its listener, a TTP restarting) is joined
+//!   rather than raced.
+//! * **Idempotent resend** — the sender stamps every frame with a
+//!   monotonically increasing sequence number and keeps its last frame;
+//!   after a reconnect it resends it blindly. The receiver drops any
+//!   frame whose sequence number does not advance, so a resend of
+//!   something that *did* arrive is absorbed silently.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use lppa_session::frame::{
+    decode_frame_exact, encode_frame, peek_frame_len, FrameError, FrameKind, FRAME_HEADER_LEN,
+};
+
+use crate::config::NetConfig;
+
+/// Why a connection operation failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent bytes that are not a valid frame.
+    Frame(FrameError),
+    /// A deadline elapsed (connect or read).
+    Timeout,
+    /// The peer closed the stream.
+    Closed,
+    /// The peer violated the round protocol; human-readable detail.
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "socket error: {err}"),
+            Self::Frame(err) => write!(f, "bad frame: {err}"),
+            Self::Timeout => write!(f, "peer deadline elapsed"),
+            Self::Closed => write!(f, "peer closed the connection"),
+            Self::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(err: io::Error) -> Self {
+        match err.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Self::Timeout,
+            io::ErrorKind::UnexpectedEof => Self::Closed,
+            _ => Self::Io(err),
+        }
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(err: FrameError) -> Self {
+        Self::Frame(err)
+    }
+}
+
+/// Bytes-and-frames counters for one connection, split by direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames written.
+    pub frames_sent: u64,
+    /// Bytes written (headers included).
+    pub bytes_sent: u64,
+    /// Frames read and delivered.
+    pub frames_received: u64,
+    /// Bytes read (headers included).
+    pub bytes_received: u64,
+    /// Received frames dropped as sequence-number duplicates.
+    pub duplicates_dropped: u64,
+}
+
+impl WireStats {
+    /// Field-wise sum, for aggregating per-peer counters.
+    pub fn merge(&mut self, other: &WireStats) {
+        self.frames_sent += other.frames_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_received += other.bytes_received;
+        self.duplicates_dropped += other.duplicates_dropped;
+    }
+}
+
+/// One received frame, owned (copied off the socket buffer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedFrame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// Sender sequence number.
+    pub seq: u64,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+    /// The complete encoded frame (header + payload) as received — what
+    /// the auctioneer feeds to the chaos ingress and the collect
+    /// engine, byte-identical to what the sender produced.
+    pub raw: Vec<u8>,
+}
+
+/// A framed, deadline-guarded TCP connection.
+#[derive(Debug)]
+pub struct FramedConn {
+    stream: TcpStream,
+    next_seq: u64,
+    last_delivered_seq: Option<u64>,
+    last_sent: Option<Vec<u8>>,
+    /// Connection counters.
+    pub stats: WireStats,
+}
+
+impl FramedConn {
+    /// Wraps an accepted stream, applying the configured deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Socket option failures.
+    pub fn from_stream(stream: TcpStream, net: &NetConfig) -> Result<Self, NetError> {
+        stream.set_read_timeout(net.read_timeout()).map_err(NetError::Io)?;
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        Ok(Self {
+            stream,
+            next_seq: 0,
+            last_delivered_seq: None,
+            last_sent: None,
+            stats: WireStats::default(),
+        })
+    }
+
+    /// Connects to `addr` with the configured per-attempt deadline,
+    /// retrying up to [`NetConfig::retries`] extra times with
+    /// exponential backoff between attempts.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's failure once retries are exhausted.
+    pub fn connect(addr: SocketAddr, net: &NetConfig) -> Result<Self, NetError> {
+        let mut last = None;
+        for attempt in 0..=net.retries {
+            if attempt > 0 {
+                std::thread::sleep(net.backoff_before(attempt - 1));
+            }
+            match TcpStream::connect_timeout(&addr, net.connect_timeout()) {
+                Ok(stream) => return Self::from_stream(stream, net),
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last.map_or(NetError::Timeout, NetError::from))
+    }
+
+    /// Sends one frame, stamping the connection's next sequence number,
+    /// and remembers it for [`Self::resend_last`].
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn send(&mut self, kind: FrameKind, payload: &[u8]) -> Result<u64, NetError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = encode_frame(kind, seq, payload);
+        self.write_frame(&frame)?;
+        self.last_sent = Some(frame);
+        Ok(seq)
+    }
+
+    /// Sends a pre-encoded frame verbatim — the path for submission
+    /// frames, whose bytes (and embedded attempt sequence) must be
+    /// exactly what the simulated transport would carry.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn send_raw(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.write_frame(frame)?;
+        self.last_sent = Some(frame.to_vec());
+        Ok(())
+    }
+
+    /// Resends the most recent frame unchanged — the idempotent recover
+    /// step after a reconnect. The receiver's sequence check absorbs it
+    /// if the original actually arrived.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures. A no-op if nothing was ever sent.
+    pub fn resend_last(&mut self) -> Result<(), NetError> {
+        if let Some(frame) = self.last_sent.clone() {
+            self.write_frame(&frame)?;
+        }
+        Ok(())
+    }
+
+    fn write_frame(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(frame)?;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Reads the next frame, whatever its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the read deadline passes,
+    /// [`NetError::Closed`] on EOF, [`NetError::Frame`] for hostile
+    /// bytes.
+    pub fn recv(&mut self) -> Result<OwnedFrame, NetError> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let total = peek_frame_len(&header)?;
+        let mut raw = vec![0u8; total];
+        raw[..FRAME_HEADER_LEN].copy_from_slice(&header);
+        self.stream.read_exact(&mut raw[FRAME_HEADER_LEN..])?;
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += raw.len() as u64;
+        let view = decode_frame_exact(&raw)?;
+        Ok(OwnedFrame { kind: view.kind, seq: view.seq, payload: view.payload.to_vec(), raw })
+    }
+
+    /// Reads the next *new* frame: anything whose sequence number does
+    /// not advance past the last delivered one is dropped as a resend
+    /// duplicate and counted in [`WireStats::duplicates_dropped`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::recv`].
+    pub fn recv_new(&mut self) -> Result<OwnedFrame, NetError> {
+        loop {
+            let frame = self.recv()?;
+            if self.last_delivered_seq.is_some_and(|last| frame.seq <= last) {
+                self.stats.duplicates_dropped += 1;
+                continue;
+            }
+            self.last_delivered_seq = Some(frame.seq);
+            return Ok(frame);
+        }
+    }
+
+    /// Reads the next new frame and insists on `kind`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::recv_new`], plus [`NetError::Protocol`] on a kind
+    /// mismatch.
+    pub fn expect(&mut self, kind: FrameKind) -> Result<OwnedFrame, NetError> {
+        let frame = self.recv_new()?;
+        if frame.kind != kind {
+            return Err(NetError::Protocol(format!(
+                "expected {kind:?} frame, got {:?}",
+                frame.kind
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// The peer's address, for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn peer_addr(&self) -> Result<SocketAddr, NetError> {
+        self.stream.peer_addr().map_err(NetError::Io)
+    }
+
+    /// Lowers the read deadline for a bounded drain, returning the old
+    /// configuration for restore.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn set_read_deadline(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout).map_err(NetError::Io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn fast_net() -> NetConfig {
+        NetConfig {
+            connect_timeout_ms: 500,
+            read_timeout_ms: 500,
+            backoff_ms: 5,
+            backoff_cap_ms: 40,
+            retries: 10,
+            ..NetConfig::default()
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_loopback() {
+        let net = fast_net();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_net = net.clone();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FramedConn::from_stream(stream, &server_net).unwrap();
+            let frame = conn.recv_new().unwrap();
+            conn.send(frame.kind, &frame.payload).unwrap();
+            conn.stats
+        });
+        let mut client = FramedConn::connect(addr, &net).unwrap();
+        client.send(FrameKind::Bye, &[7]).unwrap();
+        let echoed = client.expect(FrameKind::Bye).unwrap();
+        assert_eq!(echoed.payload, vec![7]);
+        let server_stats = server.join().unwrap();
+        assert_eq!(server_stats.frames_received, 1);
+        assert_eq!(client.stats.frames_sent, 1);
+        assert_eq!(client.stats.bytes_sent, (FRAME_HEADER_LEN + 1) as u64);
+    }
+
+    #[test]
+    fn read_deadline_surfaces_as_timeout() {
+        let net = NetConfig { read_timeout_ms: 50, ..fast_net() };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The server accepts but never writes.
+        let holder = thread::spawn(move || listener.accept().unwrap());
+        let mut client = FramedConn::connect(addr, &net).unwrap();
+        assert!(matches!(client.recv(), Err(NetError::Timeout)));
+        drop(holder.join().unwrap());
+    }
+
+    #[test]
+    fn connect_backoff_joins_a_late_listener() {
+        let net = fast_net();
+        // Reserve a port, drop the listener, rebind it after a delay —
+        // the client's backoff loop must survive the gap.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let server = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(60));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FramedConn::from_stream(stream, &fast_net()).unwrap();
+            conn.expect(FrameKind::Bye).unwrap().payload
+        });
+        let mut client = FramedConn::connect(addr, &net).expect("backoff outlasts the gap");
+        client.send(FrameKind::Bye, &[1]).unwrap();
+        assert_eq!(server.join().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn resend_duplicates_are_dropped_by_sequence() {
+        let net = fast_net();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_net = net.clone();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FramedConn::from_stream(stream, &server_net).unwrap();
+            let a = conn.recv_new().unwrap();
+            let b = conn.recv_new().unwrap();
+            (a.payload, b.payload, conn.stats)
+        });
+        let mut client = FramedConn::connect(addr, &net).unwrap();
+        client.send(FrameKind::Bye, &[1]).unwrap();
+        // An over-cautious resend of the same frame, then fresh data.
+        client.resend_last().unwrap();
+        client.send(FrameKind::Bye, &[2]).unwrap();
+        let (a, b, stats) = server.join().unwrap();
+        assert_eq!(a, vec![1]);
+        assert_eq!(b, vec![2], "the duplicate resend is absorbed");
+        assert_eq!(stats.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn hostile_bytes_surface_as_frame_errors() {
+        let net = fast_net();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.write_all(b"XXXXXXXXXXXXXXXX").unwrap();
+        });
+        let mut client = FramedConn::connect(addr, &net).unwrap();
+        assert!(matches!(client.recv(), Err(NetError::Frame(FrameError::BadMagic))));
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic round fixtures shared by the role binaries, the CI
+//! `net-smoke` job and the wire-cost bench.
+//!
+//! Every process in a multi-process round regenerates the same TTP and
+//! submission set from `(fixture_seed, n_bidders, n_channels)`; in the
+//! deployed protocol the TTP provisions bidder keys out of band, and
+//! the shared seed stands in for that provisioning step.
+
+use lppa::protocol::{build_submissions, SuSubmission};
+use lppa::ttp::Ttp;
+use lppa::zero_replace::ZeroReplacePolicy;
+use lppa::{LppaConfig, LppaError};
+use lppa_auction::bidder::Location;
+use lppa_rng::rngs::StdRng;
+use lppa_rng::SeedableRng;
+
+/// A TTP plus a full masked-submission fleet, derived entirely from
+/// `seed`: locations spiral across the grid, bids vary per bidder and
+/// channel, everything stays inside the default config's ranges.
+///
+/// # Errors
+///
+/// Key generation or masking failures (structurally impossible for
+/// in-range fixtures; surfaced rather than unwrapped).
+pub fn round_fixture(
+    seed: u64,
+    n_bidders: usize,
+    n_channels: usize,
+) -> Result<(Ttp, Vec<SuSubmission>), LppaError> {
+    let config = LppaConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ttp = Ttp::new(n_channels, config, &mut rng)?;
+    let loc_span = config.loc_max().saturating_sub(10).max(1);
+    let bid_max = config.bid_max();
+    let bidders: Vec<_> = (0..n_bidders)
+        .map(|i| {
+            let i = i as u32;
+            let x = 5 + (13 * i) % loc_span;
+            let y = 5 + (29 * i) % loc_span;
+            let bids = (0..n_channels as u32).map(|c| 1 + (7 * i + 13 * c) % bid_max).collect();
+            (Location::new(x, y), bids)
+        })
+        .collect();
+    let policy = ZeroReplacePolicy::never(bid_max);
+    let submissions = build_submissions(&bidders, &ttp, &policy, &mut rng)?;
+    Ok((ttp, submissions))
+}

@@ -106,6 +106,12 @@ pub fn registry() -> Vec<Invariant> {
             check: session_consistency,
         },
         Invariant {
+            name: "wire_socket_equivalence",
+            summary:
+                "live-socket rounds and killed-and-resumed sessions equal the simulated wire round",
+            check: wire_socket_equivalence,
+        },
+        Invariant {
             name: "service_sequential_equivalence",
             summary: "sharded service outcomes equal the unsharded sequential reference",
             check: service_sequential_equivalence,
@@ -506,6 +512,46 @@ fn session_consistency(run: &ScenarioRun) -> Result<(), String> {
             return Err(format!(
                 "session invalid grants {got_invalid:?} != plain runner {want_invalid:?}"
             ));
+        }
+    }
+    Ok(())
+}
+
+fn wire_socket_equivalence(run: &ScenarioRun) -> Result<(), String> {
+    let Some(wire) = &run.wire else {
+        return Ok(()); // starved below quorum under chaos — legitimate
+    };
+    let fp = wire.sim.fingerprint();
+    if wire.socket_fingerprint != fp {
+        return Err(format!(
+            "socket round outcome {:#x} != simulated wire round {fp:#x}",
+            wire.socket_fingerprint
+        ));
+    }
+    if wire.socket_journal_fingerprint != wire.sim.journal.fingerprint() {
+        return Err(format!(
+            "socket round journal {:#x} != simulated wire journal {:#x}",
+            wire.socket_journal_fingerprint,
+            wire.sim.journal.fingerprint()
+        ));
+    }
+    if wire.resumed_fingerprint != fp {
+        return Err(format!(
+            "mid-charge-killed socket session resumed to {:#x}, expected {fp:#x}",
+            wire.resumed_fingerprint
+        ));
+    }
+    // On a reliable link the binary wire path must also agree with the
+    // typed in-process session (chaos corrupts typed values and raw
+    // bytes differently, so the cross-check is no-fault only).
+    if !run.scenario.chaos {
+        if let Some(session) = &run.session {
+            let typed = session.outcome.fingerprint();
+            if fp != typed {
+                return Err(format!(
+                    "no-fault wire round {fp:#x} != typed session round {typed:#x}"
+                ));
+            }
         }
     }
     Ok(())

@@ -26,6 +26,11 @@
 //!   delta-applying [`lppa_service::run_churn`] incremental path (on a
 //!   sharded executor) and once by rebuilding every round from scratch
 //!   (single-threaded), compared on decision fingerprints;
+//! * **simulated wire vs live sockets** — the binary-frame round over
+//!   the seeded `SimTransport` chaos schedule as reference, replayed
+//!   over real loopback TCP (same seeds, same ingress chaos) and once
+//!   more with the auctioneer killed mid-charge and resumed from its
+//!   checkpoint, all compared on outcome and journal fingerprints;
 //! * metamorphic rebuilds: permuted bidders, rotated per-round keys,
 //!   shifted `rd` / scaled `cr` — each producing an outcome to compare
 //!   against the base masked run.
@@ -43,11 +48,15 @@ use lppa_auction::conflict::ConflictGraph;
 use lppa_auction::outcome::AuctionOutcome;
 use lppa_crypto::lanes;
 use lppa_crypto::tag::Tag;
+use lppa_net::{
+    resume_socket_round, run_socket_round, run_socket_round_with_kill, AuctioneerRun, KillPoint,
+    NetConfig,
+};
 use lppa_prefix::{prefix_family, range_prefixes};
 use lppa_rng::rngs::StdRng;
 use lppa_rng::seq::SliceRandom;
 use lppa_rng::{Rng, RngCore, SeedableRng};
-use lppa_session::{AuctionSession, FaultConfig, SessionConfig, SessionOutcome};
+use lppa_session::{run_wire_round, AuctionSession, FaultConfig, SessionConfig, SessionOutcome};
 
 use crate::scenario::Scenario;
 
@@ -75,6 +84,27 @@ pub struct SessionRun {
     /// What the direct pipeline computes with the session's internally
     /// derived allocation seed (no-fault sessions only).
     pub expected: Option<PrivateAuctionResult>,
+}
+
+/// The wire-vs-socket variant pair's products (absent when chaos
+/// starves the wire round below quorum — a legitimate outcome).
+///
+/// All three runs share the session seed: the simulated wire round is
+/// the reference, the loopback socket round must reproduce it
+/// fingerprint-for-fingerprint (the chaos ingress replays the same
+/// seeded schedule), and the killed-then-resumed socket round must
+/// recover to it across a process-crash boundary.
+#[derive(Debug)]
+pub struct WireRun {
+    /// The simulated wire round (binary frames over `SimTransport`).
+    pub sim: SessionOutcome,
+    /// Outcome fingerprint of the loopback socket round.
+    pub socket_fingerprint: u64,
+    /// Journal fingerprint of the loopback socket round.
+    pub socket_journal_fingerprint: u64,
+    /// Outcome fingerprint after a mid-charge kill and checkpoint
+    /// resume over a fresh TTP connection.
+    pub resumed_fingerprint: u64,
 }
 
 /// The scalar-vs-batched tag kernel variant pair's products.
@@ -180,6 +210,8 @@ pub struct ScenarioRun {
     pub oblivious: PrivateAuctionResult,
     /// Session pipeline (None below quorum under chaos).
     pub session: Option<SessionRun>,
+    /// Wire/socket pipeline (None below quorum under chaos).
+    pub wire: Option<WireRun>,
     /// Scalar-vs-batched tag kernel probe.
     pub tag_kernel: TagKernelRun,
     /// Sharded-service-vs-sequential probe.
@@ -269,6 +301,7 @@ impl ScenarioRun {
         )?;
 
         let session = Self::run_session(&scenario, &ttp, &submissions)?;
+        let wire = Self::run_wire(&scenario, &ttp, &submissions)?;
         let tag_kernel = Self::run_tag_kernel(&scenario, &ttp);
         let service = Self::run_service(&scenario)?;
         let churn = Self::run_churn(&scenario)?;
@@ -286,6 +319,7 @@ impl ScenarioRun {
             masked,
             oblivious,
             session,
+            wire,
             tag_kernel,
             service,
             churn,
@@ -454,6 +488,52 @@ impl ScenarioRun {
         Ok(Some(SessionRun { outcome, repeat_fingerprint, resumed_fingerprint, expected }))
     }
 
+    /// Runs the wire/socket probe: the simulated binary-frame round as
+    /// reference, a loopback socket round that must reproduce it, and a
+    /// mid-charge-killed socket round resumed from its checkpoint.
+    fn run_wire(
+        scenario: &Scenario,
+        ttp: &Ttp,
+        submissions: &[SuSubmission],
+    ) -> Result<Option<WireRun>, LppaError> {
+        let config = Self::session_config(scenario);
+        let seed = scenario.session_seed();
+        let sim = match run_wire_round(ttp, config, submissions, seed) {
+            Ok(outcome) => outcome,
+            // Chaos legitimately starves a round below quorum.
+            Err(LppaError::QuorumNotReached { .. }) if scenario.chaos => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        // Loopback with tight backoff so fuzz scenarios stay fast.
+        let net =
+            NetConfig { backoff_ms: 5, backoff_cap_ms: 80, retries: 10, ..NetConfig::default() };
+        let net_err =
+            |err: lppa_net::NetError| LppaError::Internal { what: format!("socket probe: {err}") };
+        let socket = run_socket_round(ttp, config, submissions, seed, &net).map_err(net_err)?;
+        let killed = run_socket_round_with_kill(
+            ttp,
+            config,
+            submissions,
+            seed,
+            &net,
+            Some(KillPoint::MidCharge { served: 1 }),
+        )
+        .map_err(net_err)?;
+        let AuctioneerRun::KilledInCharge(checkpoint) = killed else {
+            return Err(LppaError::Internal {
+                what: format!("socket probe: kill point never fired: {killed:?}"),
+            });
+        };
+        let resumed = resume_socket_round(ttp, config, submissions.len(), &checkpoint, &net)
+            .map_err(net_err)?;
+        Ok(Some(WireRun {
+            socket_fingerprint: socket.fingerprint(),
+            socket_journal_fingerprint: socket.journal.fingerprint(),
+            resumed_fingerprint: resumed.fingerprint(),
+            sim,
+        }))
+    }
+
     /// The metamorphic rebuilds: each transforms the scenario in a way
     /// that must not move the outcome, then runs the masked pipeline
     /// with the same allocation seed.
@@ -556,6 +636,9 @@ mod tests {
         assert_eq!(run.submissions.len(), 8);
         assert_eq!(run.parallel_checksums, run.serial_checksums);
         assert!(run.session.is_some());
+        let wire = run.wire.as_ref().expect("wire probe should run");
+        assert_eq!(wire.sim.fingerprint(), wire.socket_fingerprint);
+        assert_eq!(wire.sim.fingerprint(), wire.resumed_fingerprint);
         assert_eq!(run.metamorphic.len(), 3, "all three metamorphic rebuilds should run");
         assert_eq!(run.service.sharded, run.service.sequential);
         assert_eq!(run.service.sharded.len(), 3, "errors: {:?}", run.service.sharded_errors);

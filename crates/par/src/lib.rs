@@ -93,6 +93,78 @@ pub fn parse_threads(value: Option<&str>) -> Option<usize> {
     v.parse::<usize>().ok().filter(|&n| n >= 1).map(|n| n.min(MAX_WORKERS))
 }
 
+/// Parses a non-negative integer knob (tick counts, ports, millisecond
+/// budgets) under the same strict grammar as [`parse_threads`]: trimmed
+/// ASCII whitespace, plain decimal digits only, overflow rejected.
+/// Unlike worker counts, `0` is a legal value — "no delay" and "retry
+/// forever disabled" are real configurations.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lppa_par::parse_count(Some(" 250 ")), Some(250));
+/// assert_eq!(lppa_par::parse_count(Some("0")), Some(0));
+/// assert_eq!(lppa_par::parse_count(Some("+1")), None);
+/// assert_eq!(lppa_par::parse_count(Some("")), None);
+/// assert_eq!(lppa_par::parse_count(Some("99999999999999999999999")), None);
+/// ```
+pub fn parse_count(value: Option<&str>) -> Option<u64> {
+    let v = value?.trim();
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    v.parse::<u64>().ok()
+}
+
+/// Parses a probability knob in `[0, 1]` under the strict grammar:
+/// trimmed ASCII whitespace, then plain decimal digits with at most one
+/// interior `.`. Signs, exponents (`1e-3`), hex, `.5`/`1.` forms and
+/// values above 1 are all rejected — an invalid rate must fall back to
+/// the caller's default, never silently clamp.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lppa_par::parse_rate(Some("0.25")), Some(0.25));
+/// assert_eq!(lppa_par::parse_rate(Some(" 1 ")), Some(1.0));
+/// assert_eq!(lppa_par::parse_rate(Some("+0.5")), None);
+/// assert_eq!(lppa_par::parse_rate(Some("1e-3")), None);
+/// assert_eq!(lppa_par::parse_rate(Some("1.5")), None);
+/// ```
+pub fn parse_rate(value: Option<&str>) -> Option<f64> {
+    let v = value?.trim();
+    let (int, frac) = match v.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (v, "0"),
+    };
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if !digits(int) || !digits(frac) {
+        return None;
+    }
+    // All-digit integer and fraction parts make `f64::from_str` total
+    // and exact enough; the range check is what matters.
+    v.parse::<f64>().ok().filter(|r| (0.0..=1.0).contains(r))
+}
+
+/// Parses a boolean knob: exactly `0` (off) or `1` (on) after trimming.
+/// `true`/`yes`/`on` spellings are rejected — one spelling per knob.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lppa_par::parse_flag(Some("1")), Some(true));
+/// assert_eq!(lppa_par::parse_flag(Some(" 0\n")), Some(false));
+/// assert_eq!(lppa_par::parse_flag(Some("true")), None);
+/// assert_eq!(lppa_par::parse_flag(Some("")), None);
+/// ```
+pub fn parse_flag(value: Option<&str>) -> Option<bool> {
+    match value?.trim() {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
 /// The number of worker threads the primitives in this crate use.
 ///
 /// `LPPA_THREADS` if set to a positive integer, else
@@ -326,6 +398,43 @@ mod tests {
         assert_eq!(parse_threads(Some("100000")), Some(MAX_WORKERS));
         assert_eq!(parse_threads(Some(&MAX_WORKERS.to_string())), Some(MAX_WORKERS));
         assert_eq!(parse_threads(Some("511")), Some(511));
+    }
+
+    #[test]
+    fn parse_count_is_strict_but_allows_zero() {
+        assert_eq!(parse_count(Some("0")), Some(0));
+        assert_eq!(parse_count(Some(" 42\t")), Some(42));
+        assert_eq!(parse_count(Some("18446744073709551615")), Some(u64::MAX));
+        for bad in ["", "   ", "+1", "-1", "1 2", "0x10", "1.0", "18446744073709551616"] {
+            assert_eq!(parse_count(Some(bad)), None, "{bad:?}");
+        }
+        assert_eq!(parse_count(None), None);
+    }
+
+    #[test]
+    fn parse_rate_accepts_unit_interval_decimals_only() {
+        assert_eq!(parse_rate(Some("0")), Some(0.0));
+        assert_eq!(parse_rate(Some("1")), Some(1.0));
+        assert_eq!(parse_rate(Some("0.25")), Some(0.25));
+        assert_eq!(parse_rate(Some(" 0.5 ")), Some(0.5));
+        assert_eq!(parse_rate(Some("1.0")), Some(1.0));
+        assert_eq!(parse_rate(Some("1.000")), Some(1.0));
+        for bad in [
+            "", "  ", "+0.5", "-0.5", ".5", "1.", "1e-3", "1E0", "2", "1.01", "0.2.3", "0x1", "NaN",
+        ] {
+            assert_eq!(parse_rate(Some(bad)), None, "{bad:?}");
+        }
+        assert_eq!(parse_rate(None), None);
+    }
+
+    #[test]
+    fn parse_flag_is_binary() {
+        assert_eq!(parse_flag(Some("1")), Some(true));
+        assert_eq!(parse_flag(Some(" 0 ")), Some(false));
+        for bad in ["", " ", "true", "false", "yes", "on", "2", "01", "+1"] {
+            assert_eq!(parse_flag(Some(bad)), None, "{bad:?}");
+        }
+        assert_eq!(parse_flag(None), None);
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod range;
 pub use error::PrefixError;
 pub use family::prefix_family;
 pub use index::TagIndex;
-pub use masked::{MaskedPoint, MaskedRange};
+pub use masked::{raw_tag_mix, MaskedPoint, MaskedRange};
 pub use prefix::{Prefix, MASK_INPUT_LEN, MAX_WIDTH};
 pub use range::{max_cover_len, range_prefixes};

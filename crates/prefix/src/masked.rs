@@ -157,14 +157,25 @@ impl MaskedPoint {
 
 /// XOR of per-tag mixes: an order-independent digest over a tag set.
 fn tag_set_fingerprint(tags: &TagSet) -> u64 {
-    tags.iter()
-        .map(|t| {
-            let bytes = t.as_bytes();
-            let mut word = [0u8; 8];
-            word.copy_from_slice(&bytes[..8]);
-            split_mix(u64::from_le_bytes(word))
-        })
-        .fold(0u64, |acc, h| acc ^ h)
+    tags.iter().map(|t| raw_tag_mix(t.as_bytes())).fold(0u64, |acc, h| acc ^ h)
+}
+
+/// The per-tag mix underlying [`MaskedPoint::fingerprint`], computed
+/// from raw wire bytes.
+///
+/// XOR-folding this over a group of serialized tags reproduces the
+/// fingerprint of the materialized tag set without building a `HashSet`
+/// — zero-copy frame decoders use it to verify transport checksums
+/// against borrowed `&[u8]` views before allocating anything.
+///
+/// # Panics
+///
+/// Panics if `tag_bytes` is shorter than 8 bytes; wire tags are always
+/// [`TAG_LEN`] (16) bytes.
+pub fn raw_tag_mix(tag_bytes: &[u8]) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&tag_bytes[..8]);
+    split_mix(u64::from_le_bytes(word))
 }
 
 /// SplitMix64 avalanche, used for tag-set fingerprints.
@@ -312,6 +323,20 @@ mod tests {
         let range = MaskedRange::mask(&k, 13, 100, 7000).unwrap();
         assert_eq!(range.len(), scalar.len());
         assert!(range.iter().all(|t| scalar.contains(t)));
+    }
+
+    #[test]
+    fn raw_tag_mix_folds_to_set_fingerprint() {
+        // XOR-folding raw_tag_mix over serialized tag bytes must equal
+        // the materialized set's fingerprint — this is the equation the
+        // zero-copy wire decoder relies on to checksum borrowed views.
+        let k = key(9);
+        let point = MaskedPoint::mask(&k, 11, 700).unwrap();
+        let folded = point.iter().map(|t| raw_tag_mix(t.as_bytes())).fold(0u64, |a, h| a ^ h);
+        assert_eq!(folded, point.fingerprint());
+        let range = MaskedRange::mask(&k, 11, 3, 1999).unwrap();
+        let folded = range.iter().map(|t| raw_tag_mix(t.as_bytes())).fold(0u64, |a, h| a ^ h);
+        assert_eq!(folded, range.fingerprint());
     }
 
     #[test]

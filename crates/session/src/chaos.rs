@@ -55,6 +55,19 @@ pub fn corrupt_in_flight(msg: &mut SubmissionMsg, rng: &mut StdRng) {
     }
 }
 
+/// The frame-level corruption model: flip one random byte anywhere in
+/// the encoded frame. Unlike [`corrupt_in_flight`], which surgically
+/// damages one tag, this can hit the header, a length field, or the
+/// checksum itself — the receiver must survive all of it, answering
+/// with either a checksum discard or a frame rejection, never a panic.
+pub fn corrupt_frame(frame: &mut [u8], rng: &mut StdRng) {
+    if frame.is_empty() {
+        return;
+    }
+    let pos = rng.gen_range(0..frame.len());
+    frame[pos] ^= rng.gen_range(1..=255u8);
+}
+
 /// Truncates `channel`'s masked point to `keep` tags — a ragged
 /// submission from a buggy sender. The caller should resend the result
 /// as a fresh message so its checksum is honestly recomputed (transport

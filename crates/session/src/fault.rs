@@ -7,6 +7,8 @@
 
 use std::env;
 
+use lppa_par::{parse_count, parse_flag, parse_rate};
+
 /// Probabilities and bounds for the unreliable-transport simulation.
 ///
 /// All rates are per *send* (drop, duplicate, corrupt, delay) and lie in
@@ -50,30 +52,38 @@ impl FaultConfig {
 
     /// Overrides fields from the `LPPA_CHAOS_*` environment variables:
     /// `LPPA_CHAOS_DROP`, `LPPA_CHAOS_DUP`, `LPPA_CHAOS_CORRUPT` and
-    /// `LPPA_CHAOS_DELAY` (floats in `[0, 1]`), `LPPA_CHAOS_MAX_DELAY`
-    /// (ticks) and `LPPA_CHAOS_REORDER` (`0`/`1`). Unset or unparsable
-    /// variables leave the corresponding field unchanged, mirroring how
-    /// `LPPA_THREADS` and `LPPA_PROPTEST_SEED` degrade elsewhere in the
-    /// workspace.
+    /// `LPPA_CHAOS_DELAY` (decimal rates in `[0, 1]`),
+    /// `LPPA_CHAOS_MAX_DELAY` (ticks) and `LPPA_CHAOS_REORDER`
+    /// (`0`/`1`). Values are parsed with the strict `LPPA_THREADS`
+    /// grammar from `lppa-par` — plain decimals only, no signs,
+    /// exponents, hex, or empty strings — and anything the grammar
+    /// rejects (or an unset variable) leaves the corresponding field
+    /// unchanged.
     #[must_use]
-    pub fn with_env_overrides(mut self) -> Self {
-        if let Some(v) = env_rate("LPPA_CHAOS_DROP") {
+    pub fn with_env_overrides(self) -> Self {
+        self.with_overrides_from(|name| env::var(name).ok())
+    }
+
+    /// [`Self::with_env_overrides`] against an explicit lookup, so the
+    /// grammar is testable without mutating the process environment.
+    fn with_overrides_from(mut self, get: impl Fn(&str) -> Option<String>) -> Self {
+        if let Some(v) = parse_rate(get("LPPA_CHAOS_DROP").as_deref()) {
             self.drop = v;
         }
-        if let Some(v) = env_rate("LPPA_CHAOS_DUP") {
+        if let Some(v) = parse_rate(get("LPPA_CHAOS_DUP").as_deref()) {
             self.duplicate = v;
         }
-        if let Some(v) = env_rate("LPPA_CHAOS_CORRUPT") {
+        if let Some(v) = parse_rate(get("LPPA_CHAOS_CORRUPT").as_deref()) {
             self.corrupt = v;
         }
-        if let Some(v) = env_rate("LPPA_CHAOS_DELAY") {
+        if let Some(v) = parse_rate(get("LPPA_CHAOS_DELAY").as_deref()) {
             self.delay = v;
         }
-        if let Some(v) = env_parse::<u64>("LPPA_CHAOS_MAX_DELAY") {
+        if let Some(v) = parse_count(get("LPPA_CHAOS_MAX_DELAY").as_deref()) {
             self.max_delay = v;
         }
-        if let Some(v) = env_parse::<u8>("LPPA_CHAOS_REORDER") {
-            self.reorder = v != 0;
+        if let Some(v) = parse_flag(get("LPPA_CHAOS_REORDER").as_deref()) {
+            self.reorder = v;
         }
         self
     }
@@ -95,19 +105,11 @@ impl FaultConfig {
     }
 }
 
-/// The chaos seed: `LPPA_CHAOS_SEED` if set and parsable, else
-/// `default`. Printed by the chaos example so a failing schedule can be
-/// replayed exactly.
+/// The chaos seed: `LPPA_CHAOS_SEED` if set and parsable under the
+/// strict grammar, else `default`. Printed by the chaos example so a
+/// failing schedule can be replayed exactly.
 pub fn chaos_seed(default: u64) -> u64 {
-    env_parse::<u64>("LPPA_CHAOS_SEED").unwrap_or(default)
-}
-
-fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
-    env::var(name).ok().and_then(|v| v.trim().parse().ok())
-}
-
-fn env_rate(name: &str) -> Option<f64> {
-    env_parse::<f64>(name).filter(|v| (0.0..=1.0).contains(v))
+    parse_count(env::var("LPPA_CHAOS_SEED").ok().as_deref()).unwrap_or(default)
 }
 
 #[cfg(test)]
@@ -141,5 +143,52 @@ mod tests {
         if std::env::var("LPPA_CHAOS_SEED").is_err() {
             assert_eq!(chaos_seed(42), 42);
         }
+    }
+
+    #[test]
+    fn overrides_apply_well_formed_values() {
+        let env = |name: &str| match name {
+            "LPPA_CHAOS_DROP" => Some("0.5".to_string()),
+            "LPPA_CHAOS_DUP" => Some(" 0.25 ".to_string()),
+            "LPPA_CHAOS_MAX_DELAY" => Some("7".to_string()),
+            "LPPA_CHAOS_REORDER" => Some("1".to_string()),
+            _ => None,
+        };
+        let f = FaultConfig::none().with_overrides_from(env);
+        assert_eq!(f.drop, 0.5);
+        assert_eq!(f.duplicate, 0.25);
+        assert_eq!(f.max_delay, 7);
+        assert!(f.reorder);
+        // Unset knobs stay at their base values.
+        assert_eq!(f.corrupt, 0.0);
+        assert_eq!(f.delay, 0.0);
+    }
+
+    #[test]
+    fn overrides_reject_malformed_values() {
+        // Each value here was accepted by the old lenient f64/u64 parse
+        // (or silently treated as valid); the strict grammar must leave
+        // the base config untouched for every one of them.
+        let hostile = |name: &str| match name {
+            "LPPA_CHAOS_DROP" => Some("1e-3".to_string()),
+            "LPPA_CHAOS_DUP" => Some("+0.5".to_string()),
+            "LPPA_CHAOS_CORRUPT" => Some(String::new()),
+            "LPPA_CHAOS_DELAY" => Some("   ".to_string()),
+            "LPPA_CHAOS_MAX_DELAY" => Some("99999999999999999999999999".to_string()),
+            "LPPA_CHAOS_REORDER" => Some("true".to_string()),
+            _ => None,
+        };
+        let base = FaultConfig::chaotic();
+        assert_eq!(base.with_overrides_from(hostile), base);
+    }
+
+    #[test]
+    fn overrides_reject_out_of_range_rates() {
+        let env = |name: &str| match name {
+            "LPPA_CHAOS_DROP" => Some("1.5".to_string()),
+            _ => None,
+        };
+        let base = FaultConfig::none();
+        assert_eq!(base.with_overrides_from(env), base, "rates above 1 are refused");
     }
 }

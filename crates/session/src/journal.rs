@@ -72,6 +72,13 @@ pub enum JournalEntry {
         /// Arrival tick.
         tick: u64,
     },
+    /// A wire frame failed to decode (bad header, truncated or
+    /// structurally hostile payload) and was discarded before it could
+    /// be attributed to any bidder.
+    FrameRejected {
+        /// Arrival tick.
+        tick: u64,
+    },
     /// A bidder was quarantined; `reason` is the rendered
     /// [`crate::quarantine::QuarantineReason`].
     Quarantined {

@@ -72,15 +72,27 @@
 
 pub mod chaos;
 pub mod fault;
+pub mod frame;
 pub mod journal;
 pub mod quarantine;
 pub mod session;
 pub mod transport;
 pub mod ttp_link;
+pub mod wire_round;
 
 pub use fault::{chaos_seed, FaultConfig};
+pub use frame::{
+    decode_frame, decode_frame_exact, encode_frame, FrameError, FrameKind, FrameView,
+    FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_VERSION,
+};
 pub use journal::{Journal, JournalEntry, Phase};
 pub use quarantine::{QuarantineReason, QuarantineReport};
-pub use session::{AuctionSession, SessionConfig, SessionOutcome, SubmissionMsg};
-pub use transport::{SimTransport, TransportStats};
-pub use ttp_link::{TtpLink, TtpLinkConfig, TtpSchedule};
+pub use session::{
+    derive_seeds, finish_round, AuctionSession, SessionConfig, SessionOutcome, SubmissionMsg,
+};
+pub use transport::{FrameTransport, SimTransport, TransportStats};
+pub use ttp_link::{ChargeBackend, LocalTtp, TtpLink, TtpLinkConfig, TtpSchedule};
+pub use wire_round::{
+    encode_submission_frame, run_wire_round, BidderSendState, SubmissionAck, WireCollectEngine,
+    WireCollectResult,
+};

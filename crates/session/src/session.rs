@@ -43,7 +43,7 @@ use crate::fault::FaultConfig;
 use crate::journal::{Journal, JournalEntry, Phase};
 use crate::quarantine::{QuarantineReason, QuarantineReport};
 use crate::transport::{SimTransport, TransportStats};
-use crate::ttp_link::{TtpLink, TtpLinkConfig, TtpSchedule};
+use crate::ttp_link::{ChargeBackend, LocalTtp, TtpLink, TtpLinkConfig, TtpSchedule};
 
 /// Tuning for one auction session.
 #[derive(Clone, Copy, Debug)]
@@ -168,6 +168,18 @@ impl SessionOutcome {
     }
 }
 
+/// Derives the per-subsystem seeds every driver (typed sim, wire sim,
+/// socket round) draws from the session master seed, in this exact
+/// order: `(transport_seed, auction_seed, ttp_seed)`. Sim-vs-socket
+/// equivalence starts here — both sides must agree on all three.
+pub fn derive_seeds(seed: u64) -> (u64, u64, u64) {
+    let mut master = StdRng::seed_from_u64(seed);
+    let transport_seed = master.next_u64();
+    let auction_seed = master.next_u64();
+    let ttp_seed = master.next_u64();
+    (transport_seed, auction_seed, ttp_seed)
+}
+
 /// What the collect phase produced.
 struct CollectResult {
     accepted: Vec<usize>,
@@ -204,10 +216,7 @@ impl<'a> AuctionSession<'a> {
         submissions: &[SuSubmission],
         seed: u64,
     ) -> Result<SessionOutcome, LppaError> {
-        let mut master = StdRng::seed_from_u64(seed);
-        let transport_seed = master.next_u64();
-        let auction_seed = master.next_u64();
-        let ttp_seed = master.next_u64();
+        let (transport_seed, auction_seed, ttp_seed) = derive_seeds(seed);
 
         let mut journal = Journal::new();
         journal.append(JournalEntry::PhaseEntered { phase: Phase::Announce, tick: 0 });
@@ -235,6 +244,22 @@ impl<'a> AuctionSession<'a> {
             collect.quarantine,
             collect.stats,
         )
+    }
+
+    /// As [`Self::run`], but over *encoded bytes*: submissions travel
+    /// as framed wire messages through the simulated chaos link. See
+    /// [`crate::wire_round::run_wire_round`] — this is the in-process
+    /// reference for the socket transport's determinism gate.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_wire(
+        &self,
+        submissions: &[SuSubmission],
+        seed: u64,
+    ) -> Result<SessionOutcome, LppaError> {
+        crate::wire_round::run_wire_round(self.ttp, self.config, submissions, seed)
     }
 
     /// Recovers an interrupted session from its journal and replays the
@@ -395,106 +420,161 @@ impl<'a> AuctionSession<'a> {
         auction_seed: u64,
         ttp_seed: u64,
         start_tick: u64,
-        mut journal: Journal,
-        mut quarantine: QuarantineReport,
+        journal: Journal,
+        quarantine: QuarantineReport,
         stats: TransportStats,
     ) -> Result<SessionOutcome, LppaError> {
-        journal.append(JournalEntry::PhaseEntered { phase: Phase::Allocate, tick: start_tick });
-        let locations: Vec<LocationSubmission> =
-            accepted.iter().map(|&i| submissions[i].location.clone()).collect();
-        let conflicts = build_conflict_graph(&locations);
-        let bids = accepted.iter().map(|&i| submissions[i].bids.clone()).collect();
-        let table = match self.config.model {
-            AuctioneerModel::Oblivious => MaskedBidTable::collect(bids)?,
-            AuctioneerModel::IterativeCharging => MaskedBidTable::collect_pruned(bids)?,
-        };
-        let mut alloc_rng = StdRng::seed_from_u64(auction_seed);
-        let compact_grants = greedy_allocate(&table, &conflicts, &mut alloc_rng);
-        let to_original = |g: &Grant| Grant { bidder: BidderId(accepted[g.bidder.0]), ..*g };
-        for grant in &compact_grants {
-            journal.append(JournalEntry::GrantIssued {
-                bidder: accepted[grant.bidder.0],
-                channel: grant.channel.0,
-            });
-        }
-
-        journal.append(JournalEntry::PhaseEntered { phase: Phase::Charge, tick: start_tick });
-        let requests = charge_requests(&table, &compact_grants)?;
-        let mut link =
-            TtpLink::new(self.ttp, self.config.ttp_schedule, self.config.ttp_link, ttp_seed);
-        link.enqueue(requests);
-        let charge_end = start_tick + self.config.charge_deadline;
-        let mut tick = start_tick;
-        while tick <= charge_end {
-            if link.pump(tick, &mut journal) {
-                break;
-            }
-            tick += 1;
-        }
-
-        let mut assignments = Vec::new();
-        let mut invalid_grants = Vec::new();
-        let mut provisional = Vec::new();
-        let mut deferred = Vec::new();
-        for (slot, grant) in compact_grants.iter().enumerate() {
-            let original = to_original(grant);
-            match &link.decisions()[slot] {
-                Some(Ok(ChargeDecision::Valid { raw_price })) => {
-                    journal.append(JournalEntry::ChargeDecided {
-                        bidder: original.bidder.0,
-                        channel: original.channel.0,
-                        verdict: format!("valid:{raw_price}"),
-                    });
-                    assignments.push(Assignment {
-                        bidder: original.bidder,
-                        channel: original.channel,
-                        price: *raw_price,
-                    });
-                }
-                Some(Ok(ChargeDecision::InvalidZero)) => {
-                    journal.append(JournalEntry::ChargeDecided {
-                        bidder: original.bidder.0,
-                        channel: original.channel.0,
-                        verdict: "invalid-zero".into(),
-                    });
-                    invalid_grants.push(original);
-                }
-                Some(Err(cause)) => {
-                    journal.append(JournalEntry::ChargeDecided {
-                        bidder: original.bidder.0,
-                        channel: original.channel.0,
-                        verdict: format!("refused: {cause}"),
-                    });
-                    let reason = QuarantineReason::ChargeFailed { cause: cause.clone() };
-                    journal.append(JournalEntry::Quarantined {
-                        bidder: original.bidder.0,
-                        reason: reason.to_string(),
-                    });
-                    quarantine.insert(original.bidder.0, reason);
-                }
-                None => {
-                    deferred.push(original.bidder.0);
-                    provisional.push(original);
-                }
-            }
-        }
-        if !deferred.is_empty() {
-            journal.append(JournalEntry::ChargesDeferred { bidders: deferred, tick });
-        }
-        journal.append(JournalEntry::PhaseEntered { phase: Phase::Settle, tick });
-        journal.append(JournalEntry::Settled { tick });
-
-        Ok(SessionOutcome {
-            outcome: AuctionOutcome::from_assignments(assignments, submissions.len()),
-            invalid_grants,
-            provisional,
-            grants: compact_grants.iter().map(to_original).collect(),
-            conflicts,
+        let compact: Vec<SuSubmission> = accepted.iter().map(|&i| submissions[i].clone()).collect();
+        finish_round(
+            &self.config,
+            LocalTtp(self.ttp),
+            submissions.len(),
             accepted,
-            quarantine,
+            &compact,
+            auction_seed,
+            ttp_seed,
+            start_tick,
             journal,
+            quarantine,
             stats,
-            ticks: tick,
-        })
+        )
     }
+}
+
+/// Allocate + Charge + Settle over a committed accepted set, charging
+/// through any [`ChargeBackend`].
+///
+/// This is the shared tail of every driver: the in-process
+/// [`AuctionSession`] (typed or wire-framed collect) calls it with
+/// [`LocalTtp`]; the socket auctioneer calls it with a remote TTP
+/// connection. `accepted_submissions` is *compact* — parallel to
+/// `accepted`, holding only the submissions that survived collect —
+/// because a networked auctioneer never materializes the ones that
+/// didn't. `n_bidders` sizes the outcome's bidder space (original
+/// indices).
+///
+/// # Errors
+///
+/// [`LppaError::Internal`] if `accepted` and `accepted_submissions`
+/// disagree in length, or for table inconsistencies (impossible for
+/// validated submissions).
+#[allow(clippy::too_many_arguments)] // the CollectCommitted tuple, spelled out
+pub fn finish_round<B: ChargeBackend>(
+    config: &SessionConfig,
+    backend: B,
+    n_bidders: usize,
+    accepted: Vec<usize>,
+    accepted_submissions: &[SuSubmission],
+    auction_seed: u64,
+    ttp_seed: u64,
+    start_tick: u64,
+    mut journal: Journal,
+    mut quarantine: QuarantineReport,
+    stats: TransportStats,
+) -> Result<SessionOutcome, LppaError> {
+    if accepted.len() != accepted_submissions.len() {
+        return Err(LppaError::Internal {
+            what: format!(
+                "finish_round: {} accepted indices but {} submissions",
+                accepted.len(),
+                accepted_submissions.len()
+            ),
+        });
+    }
+    journal.append(JournalEntry::PhaseEntered { phase: Phase::Allocate, tick: start_tick });
+    let locations: Vec<LocationSubmission> =
+        accepted_submissions.iter().map(|s| s.location.clone()).collect();
+    let conflicts = build_conflict_graph(&locations);
+    let bids = accepted_submissions.iter().map(|s| s.bids.clone()).collect();
+    let table = match config.model {
+        AuctioneerModel::Oblivious => MaskedBidTable::collect(bids)?,
+        AuctioneerModel::IterativeCharging => MaskedBidTable::collect_pruned(bids)?,
+    };
+    let mut alloc_rng = StdRng::seed_from_u64(auction_seed);
+    let compact_grants = greedy_allocate(&table, &conflicts, &mut alloc_rng);
+    let to_original = |g: &Grant| Grant { bidder: BidderId(accepted[g.bidder.0]), ..*g };
+    for grant in &compact_grants {
+        journal.append(JournalEntry::GrantIssued {
+            bidder: accepted[grant.bidder.0],
+            channel: grant.channel.0,
+        });
+    }
+
+    journal.append(JournalEntry::PhaseEntered { phase: Phase::Charge, tick: start_tick });
+    let requests = charge_requests(&table, &compact_grants)?;
+    let mut link = TtpLink::new(backend, config.ttp_schedule, config.ttp_link, ttp_seed);
+    link.enqueue(requests);
+    let charge_end = start_tick + config.charge_deadline;
+    let mut tick = start_tick;
+    while tick <= charge_end {
+        if link.pump(tick, &mut journal) {
+            break;
+        }
+        tick += 1;
+    }
+
+    let mut assignments = Vec::new();
+    let mut invalid_grants = Vec::new();
+    let mut provisional = Vec::new();
+    let mut deferred = Vec::new();
+    for (slot, grant) in compact_grants.iter().enumerate() {
+        let original = to_original(grant);
+        match &link.decisions()[slot] {
+            Some(Ok(ChargeDecision::Valid { raw_price })) => {
+                journal.append(JournalEntry::ChargeDecided {
+                    bidder: original.bidder.0,
+                    channel: original.channel.0,
+                    verdict: format!("valid:{raw_price}"),
+                });
+                assignments.push(Assignment {
+                    bidder: original.bidder,
+                    channel: original.channel,
+                    price: *raw_price,
+                });
+            }
+            Some(Ok(ChargeDecision::InvalidZero)) => {
+                journal.append(JournalEntry::ChargeDecided {
+                    bidder: original.bidder.0,
+                    channel: original.channel.0,
+                    verdict: "invalid-zero".into(),
+                });
+                invalid_grants.push(original);
+            }
+            Some(Err(cause)) => {
+                journal.append(JournalEntry::ChargeDecided {
+                    bidder: original.bidder.0,
+                    channel: original.channel.0,
+                    verdict: format!("refused: {cause}"),
+                });
+                let reason = QuarantineReason::ChargeFailed { cause: cause.clone() };
+                journal.append(JournalEntry::Quarantined {
+                    bidder: original.bidder.0,
+                    reason: reason.to_string(),
+                });
+                quarantine.insert(original.bidder.0, reason);
+            }
+            None => {
+                deferred.push(original.bidder.0);
+                provisional.push(original);
+            }
+        }
+    }
+    if !deferred.is_empty() {
+        journal.append(JournalEntry::ChargesDeferred { bidders: deferred, tick });
+    }
+    journal.append(JournalEntry::PhaseEntered { phase: Phase::Settle, tick });
+    journal.append(JournalEntry::Settled { tick });
+
+    Ok(SessionOutcome {
+        outcome: AuctionOutcome::from_assignments(assignments, n_bidders),
+        invalid_grants,
+        provisional,
+        grants: compact_grants.iter().map(to_original).collect(),
+        conflicts,
+        accepted,
+        quarantine,
+        journal,
+        stats,
+        ticks: tick,
+    })
 }

@@ -78,15 +78,39 @@ impl Default for TtpLinkConfig {
     }
 }
 
-/// The auctioneer's queued connection to a periodically-online [`Ttp`].
+/// Whatever answers charge requests: the in-process [`Ttp`]
+/// ([`LocalTtp`]) or a remote TTP node spoken to over sockets. The
+/// session's charge loop is generic over this, so the drain/backoff/
+/// deferral machinery is identical no matter where the TTP lives.
+pub trait ChargeBackend {
+    /// Decides one charge request.
+    ///
+    /// # Errors
+    ///
+    /// The TTP's refusal for manipulated or unauthentic sealed bids —
+    /// a per-grant verdict, not a link failure.
+    fn decide(&mut self, request: &ChargeRequest) -> Result<ChargeDecision, LppaError>;
+}
+
+/// The in-process TTP as a [`ChargeBackend`].
+#[derive(Clone, Copy, Debug)]
+pub struct LocalTtp<'a>(pub &'a Ttp);
+
+impl ChargeBackend for LocalTtp<'_> {
+    fn decide(&mut self, request: &ChargeRequest) -> Result<ChargeDecision, LppaError> {
+        self.0.open_charge(request)
+    }
+}
+
+/// The auctioneer's queued connection to a periodically-online TTP.
 ///
 /// Decisions land in slot order — `decisions()[i]` is the verdict for
 /// the `i`-th enqueued request — regardless of the order batches
 /// actually drained, so downstream bookkeeping is immune to the link's
 /// timing.
 #[derive(Debug)]
-pub struct TtpLink<'a> {
-    ttp: &'a Ttp,
+pub struct TtpLink<B> {
+    backend: B,
     schedule: TtpSchedule,
     config: TtpLinkConfig,
     /// `(slot, request)` pairs still waiting for a verdict.
@@ -98,12 +122,12 @@ pub struct TtpLink<'a> {
     gave_up: bool,
 }
 
-impl<'a> TtpLink<'a> {
-    /// A link to `ttp` under `schedule`, with connection flaps driven by
-    /// `seed`.
-    pub fn new(ttp: &'a Ttp, schedule: TtpSchedule, config: TtpLinkConfig, seed: u64) -> Self {
+impl<B: ChargeBackend> TtpLink<B> {
+    /// A link to `backend` under `schedule`, with connection flaps
+    /// driven by `seed`.
+    pub fn new(backend: B, schedule: TtpSchedule, config: TtpLinkConfig, seed: u64) -> Self {
         Self {
-            ttp,
+            backend,
             schedule,
             config,
             queue: VecDeque::new(),
@@ -151,7 +175,7 @@ impl<'a> TtpLink<'a> {
         let take = self.config.batch_size.max(1).min(self.queue.len());
         for _ in 0..take {
             let Some((slot, request)) = self.queue.pop_front() else { break };
-            self.decisions[slot] = Some(self.ttp.open_charge(&request));
+            self.decisions[slot] = Some(self.backend.decide(&request));
         }
         self.queue.is_empty()
     }

@@ -1,0 +1,426 @@
+//! The wire-framed collect engine and the simulated wire round.
+//!
+//! The typed [`crate::session::AuctionSession::run`] moves
+//! [`crate::session::SubmissionMsg`] structs through the chaos link —
+//! faithful to the protocol, but nothing like a network. This module
+//! runs the same round over *encoded bytes*: bidders serialize their
+//! submissions with [`lppa::wire`], wrap them in [`crate::frame`]
+//! frames, and push them through any [`FrameTransport`]. The
+//! auctioneer's side is [`WireCollectEngine`] — decode, checksum-check,
+//! validate, quarantine — and it is deliberately transport-blind: the
+//! in-process simulation ([`run_wire_round`]) and the real socket round
+//! in `lppa-net` feed it the same bytes in the same order, which is the
+//! whole sim-vs-socket equivalence argument. Whatever the engine
+//! decides is journalled exactly like the typed path, so the journal
+//! replay and resume machinery applies unchanged.
+
+use lppa::protocol::{validate_submission_with, SuSubmission};
+use lppa::ttp::Ttp;
+use lppa::wire::{decode_submission, encode_submission};
+use lppa::{LppaConfig, LppaError};
+
+use crate::frame::{decode_frame_exact, encode_frame, FrameKind};
+use crate::journal::{Journal, JournalEntry, Phase};
+use crate::quarantine::{QuarantineReason, QuarantineReport};
+use crate::session::{derive_seeds, finish_round, SessionConfig, SessionOutcome};
+use crate::transport::{FrameTransport, SimTransport};
+use crate::ttp_link::LocalTtp;
+
+/// One bidder's retry/backoff bookkeeping during a wire-framed collect.
+///
+/// This is the *sender's* state machine, split out of the collect loop
+/// so a real bidder process can run it against its own clock: ask
+/// [`Self::should_send`] once per tick, transmit when it says so, and
+/// [`Self::mark_done`] when the auctioneer acknowledges (accept *or*
+/// reject — both end the resend loop). The schedule it produces is
+/// byte-for-byte the one the typed collect loop runs inline.
+#[derive(Clone, Debug, Default)]
+pub struct BidderSendState {
+    next_send: u64,
+    attempts: u32,
+    done: bool,
+}
+
+impl BidderSendState {
+    /// A bidder that has not sent yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether this bidder transmits at `tick`. If so, records the
+    /// attempt, schedules the exponential-backoff resend, and returns
+    /// the 1-based attempt number to stamp on the wire.
+    pub fn should_send(&mut self, tick: u64, config: &SessionConfig) -> Option<u32> {
+        if self.done || tick < self.next_send || self.attempts > config.max_retries {
+            return None;
+        }
+        self.attempts += 1;
+        let backoff = config.retry_backoff.max(1) << u64::from(self.attempts - 1).min(16);
+        self.next_send = tick + backoff;
+        Some(self.attempts)
+    }
+
+    /// The auctioneer settled this bidder; stop resending.
+    pub fn mark_done(&mut self) {
+        self.done = true;
+    }
+
+    /// Whether the auctioneer has settled this bidder.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Send attempts made so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+/// The verdict [`WireCollectEngine::ingest`] asks the driver to relay
+/// back to a bidder. Both verdicts end that bidder's resend loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmissionAck {
+    /// Original submission index.
+    pub bidder: usize,
+    /// `true` for accepted, `false` for structurally rejected.
+    pub accepted: bool,
+}
+
+/// What a closed wire collect hands to [`finish_round`].
+#[derive(Debug)]
+pub struct WireCollectResult {
+    /// Accepted original indices, ascending.
+    pub accepted: Vec<usize>,
+    /// The accepted submissions, parallel to `accepted`.
+    pub accepted_submissions: Vec<SuSubmission>,
+    /// Per-bidder exclusions.
+    pub quarantine: QuarantineReport,
+}
+
+/// The auctioneer's collect phase over encoded frames.
+///
+/// Feed it every arriving frame in delivery order via
+/// [`Self::ingest`]; it decodes, checksums, validates and journals with
+/// exactly the typed collect loop's per-bidder semantics, plus one new
+/// outcome: bytes that don't decode to a submission at all are
+/// journalled as [`JournalEntry::FrameRejected`] — a frame so damaged
+/// it can't even be attributed to a bidder.
+#[derive(Debug)]
+pub struct WireCollectEngine {
+    n: usize,
+    n_channels: usize,
+    config: LppaConfig,
+    done: Vec<bool>,
+    corrupt_copies: Vec<u32>,
+    accepted: Vec<usize>,
+    submissions: Vec<Option<SuSubmission>>,
+    quarantine: QuarantineReport,
+}
+
+impl WireCollectEngine {
+    /// An engine for a round of `n_bidders` bidders over `n_channels`
+    /// channels under the announced public `config` — everything
+    /// validation needs, no TTP keys required.
+    pub fn new(n_bidders: usize, n_channels: usize, config: LppaConfig) -> Self {
+        Self {
+            n: n_bidders,
+            n_channels,
+            config,
+            done: vec![false; n_bidders],
+            corrupt_copies: vec![0; n_bidders],
+            accepted: Vec::new(),
+            submissions: vec![None; n_bidders],
+            quarantine: QuarantineReport::new(),
+        }
+    }
+
+    /// Processes one delivered frame at `tick`. Returns the ack to
+    /// relay when the frame settles a bidder (accepted or rejected);
+    /// `None` for everything that a retransmission may still cover
+    /// (corrupt copies, undecodable frames) or that needs no answer
+    /// (duplicates, unknown bidders).
+    pub fn ingest(
+        &mut self,
+        tick: u64,
+        bytes: &[u8],
+        journal: &mut Journal,
+    ) -> Option<SubmissionAck> {
+        let Ok(frame) = decode_frame_exact(bytes) else {
+            journal.append(JournalEntry::FrameRejected { tick });
+            return None;
+        };
+        if frame.kind != FrameKind::Submission {
+            journal.append(JournalEntry::FrameRejected { tick });
+            return None;
+        }
+        let Ok(view) = decode_submission(frame.payload) else {
+            journal.append(JournalEntry::FrameRejected { tick });
+            return None;
+        };
+        let i = view.bidder();
+        if i >= self.n {
+            // A corrupted header naming a nonexistent bidder: nothing to
+            // quarantine, nothing to poison.
+            return None;
+        }
+        if self.done[i] {
+            journal.append(JournalEntry::DuplicateIgnored { bidder: i, tick });
+            return None;
+        }
+        if view.computed_checksum() != view.declared_checksum() {
+            self.corrupt_copies[i] += 1;
+            journal.append(JournalEntry::CorruptDiscarded { bidder: i, tick });
+            return None;
+        }
+        let (submission, attempt) = match view.materialize() {
+            Ok((submission, attempt, _)) => (submission, attempt),
+            Err(cause) => return Some(self.reject(i, cause, journal)),
+        };
+        match validate_submission_with(&submission, self.n_channels, &self.config) {
+            Ok(()) => {
+                self.done[i] = true;
+                self.accepted.push(i);
+                journal.append(JournalEntry::SubmissionAccepted { bidder: i, tick, attempt });
+                self.submissions[i] = Some(submission);
+                Some(SubmissionAck { bidder: i, accepted: true })
+            }
+            Err(cause) => Some(self.reject(i, cause, journal)),
+        }
+    }
+
+    /// Quarantines bidder `i`: a structurally-bad submission that passed
+    /// the checksum is bad at the *sender* — retries would fail
+    /// identically.
+    fn reject(&mut self, i: usize, cause: LppaError, journal: &mut Journal) -> SubmissionAck {
+        self.done[i] = true;
+        let reason = QuarantineReason::Rejected { cause };
+        journal.append(JournalEntry::Quarantined { bidder: i, reason: reason.to_string() });
+        self.quarantine.insert(i, reason);
+        SubmissionAck { bidder: i, accepted: false }
+    }
+
+    /// Closes the phase at the deadline: quarantines every unsettled
+    /// bidder as `MissedDeadline` (with the send `attempts` counted by
+    /// the driver's [`BidderSendState`] mirrors) and sorts the accepted
+    /// set.
+    pub fn close(mut self, attempts: &[u32], journal: &mut Journal) -> WireCollectResult {
+        for i in 0..self.n {
+            if !self.done[i] {
+                let reason = QuarantineReason::MissedDeadline {
+                    attempts: attempts.get(i).copied().unwrap_or(0),
+                    corrupt_copies: self.corrupt_copies[i],
+                };
+                journal.append(JournalEntry::Quarantined { bidder: i, reason: reason.to_string() });
+                self.quarantine.insert(i, reason);
+            }
+        }
+        self.accepted.sort_unstable();
+        let accepted_submissions = self
+            .accepted
+            .iter()
+            .map(|&i| self.submissions[i].take().expect("accepted bidders stored a submission"))
+            .collect();
+        WireCollectResult {
+            accepted: self.accepted,
+            accepted_submissions,
+            quarantine: self.quarantine,
+        }
+    }
+}
+
+/// Encodes one submission as a complete frame: the [`lppa::wire`]
+/// payload wrapped in a [`FrameKind::Submission`] header, seq stamped
+/// with the attempt number.
+pub fn encode_submission_frame(bidder: usize, attempt: u32, sub: &SuSubmission) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(sub.wire_len() + 64);
+    encode_submission(bidder, attempt, sub.checksum(), sub, &mut payload);
+    encode_frame(FrameKind::Submission, u64::from(attempt), &payload)
+}
+
+/// Runs one complete round over encoded frames through the simulated
+/// chaos link — the in-process reference the socket round must match
+/// fingerprint-for-fingerprint under the same seeds.
+///
+/// # Errors
+///
+/// [`LppaError::QuorumNotReached`] below the configured quorum;
+/// [`LppaError::Internal`] for table inconsistencies.
+pub fn run_wire_round(
+    ttp: &Ttp,
+    config: SessionConfig,
+    submissions: &[SuSubmission],
+    seed: u64,
+) -> Result<SessionOutcome, LppaError> {
+    let (transport_seed, auction_seed, ttp_seed) = derive_seeds(seed);
+    let n = submissions.len();
+    let mut journal = Journal::new();
+    journal.append(JournalEntry::PhaseEntered { phase: Phase::Announce, tick: 0 });
+    journal.append(JournalEntry::PhaseEntered { phase: Phase::Collect, tick: 0 });
+
+    let mut link: SimTransport<Vec<u8>> = SimTransport::new(config.faults, transport_seed);
+    let mut senders = vec![BidderSendState::new(); n];
+    let mut engine = WireCollectEngine::new(n, ttp.n_channels(), *ttp.config());
+
+    for tick in 0..=config.collect_deadline {
+        for (i, sub) in submissions.iter().enumerate() {
+            if let Some(attempt) = senders[i].should_send(tick, &config) {
+                link.send_frame(tick, encode_submission_frame(i, attempt, sub));
+            }
+        }
+        for bytes in link.poll_frames(tick) {
+            if let Some(ack) = engine.ingest(tick, &bytes, &mut journal) {
+                senders[ack.bidder].mark_done();
+            }
+        }
+    }
+    link.flush_frames();
+    let attempts: Vec<u32> = senders.iter().map(BidderSendState::attempts).collect();
+    let collected = engine.close(&attempts, &mut journal);
+
+    let required = config.min_accepted.max(1);
+    if collected.accepted.len() < required {
+        return Err(LppaError::QuorumNotReached { accepted: collected.accepted.len(), required });
+    }
+    journal.append(JournalEntry::CollectCommitted {
+        accepted: collected.accepted.clone(),
+        auction_seed,
+        ttp_seed,
+        tick: config.collect_deadline,
+    });
+    finish_round(
+        &config,
+        LocalTtp(ttp),
+        n,
+        collected.accepted,
+        &collected.accepted_submissions,
+        auction_seed,
+        ttp_seed,
+        config.collect_deadline,
+        journal,
+        collected.quarantine,
+        link.frame_stats(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::session::AuctionSession;
+    use lppa::protocol::build_submissions;
+    use lppa::zero_replace::ZeroReplacePolicy;
+    use lppa_auction::bidder::Location;
+    use lppa_rng::rngs::StdRng;
+    use lppa_rng::SeedableRng;
+
+    fn setup(n_bidders: usize) -> (Ttp, Vec<SuSubmission>) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let ttp = Ttp::new(2, LppaConfig::default(), &mut rng).unwrap();
+        let policy = ZeroReplacePolicy::never(ttp.config().bid_max());
+        let bidders: Vec<_> = (0..n_bidders)
+            .map(|i| {
+                let base = 10 + 13 * i as u32;
+                (Location::new(base, base), vec![10 + i as u32, 30 - i as u32])
+            })
+            .collect();
+        let submissions = build_submissions(&bidders, &ttp, &policy, &mut rng).unwrap();
+        (ttp, submissions)
+    }
+
+    #[test]
+    fn reliable_wire_round_matches_typed_round() {
+        let (ttp, submissions) = setup(4);
+        let config = SessionConfig::default();
+        let typed = AuctionSession::new(&ttp, config).run(&submissions, 7).unwrap();
+        let wired = run_wire_round(&ttp, config, &submissions, 7).unwrap();
+        assert_eq!(typed.fingerprint(), wired.fingerprint());
+        assert_eq!(typed.accepted, wired.accepted);
+        assert_eq!(typed.outcome.revenue(), wired.outcome.revenue());
+    }
+
+    #[test]
+    fn chaotic_wire_round_replays_identically() {
+        let (ttp, submissions) = setup(6);
+        let config = SessionConfig {
+            faults: FaultConfig::chaotic(),
+            min_accepted: 1,
+            ..SessionConfig::default()
+        };
+        let a = run_wire_round(&ttp, config, &submissions, 1234).unwrap();
+        let b = run_wire_round(&ttp, config, &submissions, 1234).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.journal.fingerprint(), b.journal.fingerprint());
+        let c = run_wire_round(&ttp, config, &submissions, 1235).unwrap();
+        assert_ne!(a.journal.fingerprint(), c.journal.fingerprint());
+    }
+
+    #[test]
+    fn wire_journal_resumes_to_identical_fingerprint() {
+        let (ttp, submissions) = setup(5);
+        let config = SessionConfig {
+            faults: FaultConfig::chaotic(),
+            min_accepted: 1,
+            ..SessionConfig::default()
+        };
+        let full = run_wire_round(&ttp, config, &submissions, 42).unwrap();
+        let resumed =
+            AuctionSession::new(&ttp, config).resume(&submissions, &full.journal).unwrap();
+        assert_eq!(full.fingerprint(), resumed.fingerprint());
+    }
+
+    #[test]
+    fn send_state_mirrors_the_typed_schedule() {
+        let config = SessionConfig { retry_backoff: 2, max_retries: 2, ..SessionConfig::default() };
+        let mut state = BidderSendState::new();
+        let mut sent = Vec::new();
+        for tick in 0..=16 {
+            if let Some(attempt) = state.should_send(tick, &config) {
+                sent.push((tick, attempt));
+            }
+        }
+        // Backoff: 2 << 0, 2 << 1, 2 << 2 → sends at 0, 2, 6, then the
+        // attempt cap (max_retries + 1 total sends) stops the loop.
+        assert_eq!(sent, vec![(0, 1), (2, 2), (6, 3)]);
+        let mut done = BidderSendState::new();
+        assert!(done.should_send(0, &config).is_some());
+        done.mark_done();
+        assert!(done.should_send(10, &config).is_none());
+        assert_eq!(done.attempts(), 1);
+    }
+
+    #[test]
+    fn engine_rejects_garbage_and_quarantines_bad_senders() {
+        let (ttp, submissions) = setup(2);
+        let mut journal = Journal::new();
+        let mut engine = WireCollectEngine::new(2, ttp.n_channels(), *ttp.config());
+
+        // Pure garbage: frame-rejected, no ack.
+        assert!(engine.ingest(1, &[0xFF; 40], &mut journal).is_none());
+        // A non-submission frame: frame-rejected.
+        let stray = encode_frame(FrameKind::TickStart, 0, &crate::frame::encode_tick_start(1));
+        assert!(engine.ingest(1, &stray, &mut journal).is_none());
+        // A checksum mismatch: corrupt-discarded, no ack.
+        let mut bad = encode_submission_frame(0, 1, &submissions[0]);
+        let len = bad.len();
+        bad[len - 1] ^= 0x01;
+        assert!(engine.ingest(1, &bad, &mut journal).is_none());
+        // The honest copy still lands.
+        let good = encode_submission_frame(0, 2, &submissions[0]);
+        assert_eq!(
+            engine.ingest(2, &good, &mut journal),
+            Some(SubmissionAck { bidder: 0, accepted: true })
+        );
+        // And a duplicate is ignored without an ack.
+        let dup = encode_submission_frame(0, 3, &submissions[0]);
+        assert!(engine.ingest(3, &dup, &mut journal).is_none());
+
+        let result = engine.close(&[2, 0], &mut journal);
+        assert_eq!(result.accepted, vec![0]);
+        assert_eq!(result.accepted_submissions.len(), 1);
+        assert!(result.quarantine.contains(1), "silent bidder quarantined at close");
+        let rendered = journal.to_string();
+        assert!(rendered.contains("FrameRejected"), "{rendered}");
+        assert!(rendered.contains("CorruptDiscarded"), "{rendered}");
+        assert!(rendered.contains("DuplicateIgnored"), "{rendered}");
+    }
+}
