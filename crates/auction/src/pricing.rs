@@ -29,6 +29,23 @@ pub struct GrantTrace {
     pub candidates: Vec<BidderId>,
 }
 
+impl GrantTrace {
+    /// The price-setting losers of this contest: every candidate that
+    /// conflicts with the winner. A non-conflicting candidate could
+    /// have been granted the channel alongside the winner, so it never
+    /// constrains the win — both the plaintext second-price comparator
+    /// and the sealed Vickrey settlement price against exactly this
+    /// set.
+    pub fn conflicting_losers<'a>(
+        &'a self,
+        conflicts: &'a ConflictGraph,
+    ) -> impl Iterator<Item = BidderId> + 'a {
+        self.candidates.iter().copied().filter(move |&c| {
+            c != self.grant.bidder && conflicts.are_conflicting(c, self.grant.bidder)
+        })
+    }
+}
+
 /// Runs the same greedy allocation as
 /// [`crate::allocation::greedy_allocate`] but records each contest's
 /// candidate set, enabling post-hoc critical-value pricing.
@@ -124,12 +141,8 @@ pub fn charge_traced(
             let price = match rule {
                 PricingRule::FirstPrice => own,
                 PricingRule::SecondPrice => t
-                    .candidates
-                    .iter()
-                    .filter(|&&c| {
-                        c != t.grant.bidder && conflicts.are_conflicting(c, t.grant.bidder)
-                    })
-                    .map(|&c| table.bid(c, t.grant.channel))
+                    .conflicting_losers(conflicts)
+                    .map(|c| table.bid(c, t.grant.channel))
                     .max()
                     .unwrap_or(0),
             };

@@ -76,6 +76,15 @@ pub enum LppaError {
         /// Ticks waited before giving up.
         waited: u64,
     },
+    /// The audited backend's commitment ledger failed its settle-time
+    /// replay: an entry was altered, the chain was reordered, or it was
+    /// truncated against the published root. Carries the rendered
+    /// [`lppa_crypto::commit::LedgerError`] naming the first offending
+    /// entry.
+    LedgerTampered {
+        /// The underlying chain failure.
+        detail: String,
+    },
     /// An internal invariant was violated — the protocol-layer
     /// replacement for a panic in library code.
     Internal {
@@ -115,6 +124,9 @@ impl std::fmt::Display for LppaError {
             }
             LppaError::TtpUnavailable { waited } => {
                 write!(f, "TTP unreachable for {waited} ticks; charging deferred")
+            }
+            LppaError::LedgerTampered { detail } => {
+                write!(f, "commitment ledger audit failed: {detail}")
             }
             LppaError::Internal { what } => {
                 write!(f, "internal invariant violated: {what}")
@@ -165,6 +177,7 @@ mod tests {
             (LppaError::ChargeAuthentication.rejected_for(4), "bidder 4"),
             (LppaError::QuorumNotReached { accepted: 2, required: 5 }, "2 accepted"),
             (LppaError::TtpUnavailable { waited: 64 }, "64 ticks"),
+            (LppaError::LedgerTampered { detail: "entry 2 digest".into() }, "entry 2 digest"),
             (LppaError::Internal { what: "empty maxima".into() }, "empty maxima"),
         ];
         for (err, needle) in cases {

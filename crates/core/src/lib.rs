@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod incremental;
@@ -72,6 +73,11 @@ pub mod wire;
 pub mod zero_replace;
 
 pub use analysis::{cost_model, CostModel};
+pub use backend::{
+    backend_classes, bloom_probe_stats, charge_request_for, run_private_auction_with_backend,
+    run_private_auction_with_backend_graph, settle_ledger, BackendAuctionResult, BackendBidTable,
+    BloomProbeStats,
+};
 pub use config::LppaConfig;
 pub use error::LppaError;
 pub use incremental::IncrementalAuctioneer;

@@ -196,6 +196,48 @@ impl Ttp {
     ) -> Vec<Result<ChargeDecision, LppaError>> {
         requests.iter().map(|r| self.open_charge(r)).collect()
     }
+
+    /// Sealed-bid second-price (Vickrey) charging: validates the
+    /// `winner` exactly like [`Self::open_charge`], but prices the win
+    /// at the *critical losing bid* — the maximum true raw value among
+    /// the sealed bids of the conflicting losers in the winner's
+    /// contest, forwarded by the auctioneer as `losers`.
+    ///
+    /// The TTP opens each loser's sealed true value, so disguised
+    /// zeros among the losers correctly contribute their true price of
+    /// 0 (not their presented disguise), and a manipulated *winner* is
+    /// still caught by the prefix check. A contest with no conflicting
+    /// losers charges 0 — the winner was unopposed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open_charge`] for the winner;
+    /// [`LppaError::ChargeAuthentication`] if any loser's sealed value
+    /// fails to open, since every forwarded seal came from a validated
+    /// submission.
+    pub fn open_vickrey(
+        &self,
+        winner: &ChargeRequest,
+        losers: &[SealedValue],
+    ) -> Result<ChargeDecision, LppaError> {
+        match self.open_charge(winner)? {
+            ChargeDecision::InvalidZero => Ok(ChargeDecision::InvalidZero),
+            ChargeDecision::Valid { .. } => {
+                let mut price = 0u32;
+                for sealed in losers {
+                    let transformed =
+                        sealed.open(&self.keys.gc).map_err(|_| LppaError::ChargeAuthentication)?;
+                    let transformed =
+                        u32::try_from(transformed).map_err(|_| LppaError::ChargeAuthentication)?;
+                    let offset_value = self.config.decode_transformed(transformed);
+                    if !self.config.is_zero_price(offset_value) {
+                        price = price.max(self.config.decode_offset(offset_value));
+                    }
+                }
+                Ok(ChargeDecision::Valid { raw_price: price })
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +416,88 @@ mod tests {
                 assert_eq!(*v, baseline[(i + rotation) % reqs.len()], "rotation {rotation}");
             }
         }
+    }
+
+    /// Seals the true transformed value of raw bid `raw`, the way a
+    /// conflicting loser's submission carries it.
+    fn loser_seal(ttp: &Ttp, raw: u32, rng: &mut StdRng) -> SealedValue {
+        let config = ttp.config();
+        let offset = if raw == 0 { rng.gen_range(0..=config.rd) } else { config.offset_bid(raw) };
+        let transformed = config.cr * offset + rng.gen_range(0..config.cr);
+        SealedValue::seal(&ttp.bidder_keys().gc, u64::from(transformed), rng)
+    }
+
+    #[test]
+    fn vickrey_prices_at_the_critical_losing_bid() {
+        let (ttp, mut rng) = setup();
+        let winner = genuine_request(&ttp, ChannelId(1), 90, &mut rng);
+        let losers: Vec<SealedValue> =
+            [10u32, 77, 40].iter().map(|&raw| loser_seal(&ttp, raw, &mut rng)).collect();
+        assert_eq!(
+            ttp.open_vickrey(&winner, &losers).unwrap(),
+            ChargeDecision::Valid { raw_price: 77 }
+        );
+    }
+
+    #[test]
+    fn vickrey_unopposed_winner_is_charged_zero() {
+        let (ttp, mut rng) = setup();
+        let winner = genuine_request(&ttp, ChannelId(0), 15, &mut rng);
+        assert_eq!(ttp.open_vickrey(&winner, &[]).unwrap(), ChargeDecision::Valid { raw_price: 0 });
+    }
+
+    #[test]
+    fn vickrey_losing_disguised_zeros_contribute_their_true_price() {
+        // Disguised-zero losers presented a positive value but their
+        // sealed truth is the zero band: the critical price must ignore
+        // the disguise.
+        let (ttp, mut rng) = setup();
+        let winner = genuine_request(&ttp, ChannelId(2), 60, &mut rng);
+        let losers = vec![
+            loser_seal(&ttp, 0, &mut rng),
+            loser_seal(&ttp, 33, &mut rng),
+            loser_seal(&ttp, 0, &mut rng),
+        ];
+        assert_eq!(
+            ttp.open_vickrey(&winner, &losers).unwrap(),
+            ChargeDecision::Valid { raw_price: 33 }
+        );
+        // All-zero opposition is the same as no opposition.
+        let zeros = vec![loser_seal(&ttp, 0, &mut rng), loser_seal(&ttp, 0, &mut rng)];
+        assert_eq!(
+            ttp.open_vickrey(&winner, &zeros).unwrap(),
+            ChargeDecision::Valid { raw_price: 0 }
+        );
+    }
+
+    #[test]
+    fn vickrey_invalid_zero_winner_stays_invalid() {
+        let (ttp, mut rng) = setup();
+        let winner = genuine_request(&ttp, ChannelId(0), 0, &mut rng);
+        let losers = vec![loser_seal(&ttp, 50, &mut rng)];
+        assert_eq!(ttp.open_vickrey(&winner, &losers).unwrap(), ChargeDecision::InvalidZero);
+    }
+
+    #[test]
+    fn vickrey_still_detects_winner_manipulation_and_bad_loser_seals() {
+        let (ttp, mut rng) = setup();
+        let config = *ttp.config();
+        // Manipulated winner: sealed low, presented high.
+        let low = config.cr * config.offset_bid(5);
+        let high = config.cr * config.offset_bid(90);
+        let point =
+            MaskedPoint::mask(&ttp.bidder_keys().gb[0], config.transformed_bits(), high).unwrap();
+        let sealed = SealedValue::seal(&ttp.bidder_keys().gc, u64::from(low), &mut rng);
+        let manipulated = ChargeRequest { channel: ChannelId(0), sealed, point };
+        assert_eq!(
+            ttp.open_vickrey(&manipulated, &[loser_seal(&ttp, 1, &mut rng)]),
+            Err(LppaError::ChargeManipulated)
+        );
+        // A loser seal under a foreign key fails authentication.
+        let winner = genuine_request(&ttp, ChannelId(0), 40, &mut rng);
+        let foreign = SealKey::random(&mut rng);
+        let bad_loser = SealedValue::seal(&foreign, 12, &mut rng);
+        assert_eq!(ttp.open_vickrey(&winner, &[bad_loser]), Err(LppaError::ChargeAuthentication));
     }
 
     #[test]

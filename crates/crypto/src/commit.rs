@@ -1,0 +1,371 @@
+//! An append-only, sha-chained commitment ledger.
+//!
+//! The ledger backend audits an auction round: every submission
+//! checksum, grant and charge verdict is appended as a [`LedgerEntry`]
+//! whose digest covers the previous entry's digest, so the final
+//! [`CommitmentLedger::root`] commits to the entire history in order.
+//! At settle time the auctioneer replays the chain
+//! ([`CommitmentLedger::verify`]) and publishes the root; any party
+//! holding the entries can re-derive it, which is the
+//! dispute-resolution story — a bidder contesting a verdict replays
+//! the public entries and either reproduces the root (the auctioneer
+//! followed its log) or exhibits the first index where the chain
+//! breaks.
+//!
+//! Tampering is detected structurally:
+//!
+//! * flipping any byte of any entry (label, payload, or either digest)
+//!   changes or contradicts that entry's recomputed digest —
+//!   [`LedgerError::DigestMismatch`] / [`LedgerError::BrokenChain`];
+//! * reordering entries breaks the `prev` linkage —
+//!   [`LedgerError::BrokenChain`];
+//! * truncating the chain changes the root —
+//!   [`LedgerError::RootMismatch`] against the published value.
+//!
+//! Entry digests are plain SHA-256 over an unambiguous length-prefixed
+//! encoding; no key is involved because the ledger provides *public
+//! auditability*, not secrecy — the payloads it chains are already
+//! masked or checksummed upstream.
+
+use crate::sha256::{sha256, Sha256, DIGEST_LEN};
+
+/// Domain-separation prefix hashed into the genesis root.
+const GENESIS: &[u8] = b"lppa-ledger-genesis-v1";
+
+/// One chained entry: a labelled payload bound to its predecessor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Short ASCII kind label (`"submission"`, `"grant"`, …), hashed
+    /// into the digest so entries of different kinds can never be
+    /// confused even with identical payload bytes.
+    pub label: String,
+    /// The committed bytes.
+    pub payload: Vec<u8>,
+    /// Digest of the previous entry (the genesis root for index 0).
+    pub prev: [u8; DIGEST_LEN],
+    /// This entry's digest: `SHA-256(prev ‖ len(label) ‖ label ‖
+    /// len(payload) ‖ payload)`.
+    pub digest: [u8; DIGEST_LEN],
+}
+
+impl LedgerEntry {
+    /// Recomputes what this entry's digest must be from its own bytes.
+    fn expected_digest(&self) -> [u8; DIGEST_LEN] {
+        chain_digest(&self.prev, &self.label, &self.payload)
+    }
+}
+
+/// Digest of one link: unambiguous because both variable-length fields
+/// are 64-bit length-prefixed.
+fn chain_digest(prev: &[u8; DIGEST_LEN], label: &str, payload: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(prev);
+    h.update(&(label.len() as u64).to_le_bytes());
+    h.update(label.as_bytes());
+    h.update(&(payload.len() as u64).to_le_bytes());
+    h.update(payload);
+    h.finalize()
+}
+
+/// Why a ledger failed verification. Every variant names the first
+/// offending index, so a dispute replay pinpoints the earliest
+/// manipulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LedgerError {
+    /// `entries[index].prev` does not equal the predecessor's digest —
+    /// an entry was reordered, or its `prev` field was rewritten.
+    BrokenChain {
+        /// First entry whose back-link is wrong.
+        index: usize,
+    },
+    /// `entries[index].digest` does not match the digest recomputed
+    /// from the entry's own label/payload/prev bytes — some byte of
+    /// the entry was flipped.
+    DigestMismatch {
+        /// First entry whose stored digest is inconsistent.
+        index: usize,
+    },
+    /// The chain replays cleanly but ends on a different root than the
+    /// published commitment — entries were truncated or appended.
+    RootMismatch {
+        /// Entries the verifier was given.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::BrokenChain { index } => {
+                write!(f, "ledger chain broken at entry {index}: back-link mismatch")
+            }
+            LedgerError::DigestMismatch { index } => {
+                write!(f, "ledger entry {index} digest mismatch: entry bytes were altered")
+            }
+            LedgerError::RootMismatch { len } => {
+                write!(f, "ledger of {len} entries replays to a different root than published")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The append-only commitment ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitmentLedger {
+    entries: Vec<LedgerEntry>,
+    root: [u8; DIGEST_LEN],
+}
+
+impl Default for CommitmentLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommitmentLedger {
+    /// An empty ledger; its root is the domain-separated genesis
+    /// digest.
+    pub fn new() -> Self {
+        Self { entries: Vec::new(), root: sha256(GENESIS) }
+    }
+
+    /// Appends a labelled payload, returning the new chain root.
+    pub fn append(&mut self, label: &str, payload: &[u8]) -> [u8; DIGEST_LEN] {
+        let prev = self.root;
+        let digest = chain_digest(&prev, label, payload);
+        self.entries.push(LedgerEntry {
+            label: label.to_string(),
+            payload: payload.to_vec(),
+            prev,
+            digest,
+        });
+        self.root = digest;
+        self.root
+    }
+
+    /// The current chain head: the last entry's digest, or the genesis
+    /// digest for an empty ledger.
+    pub fn root(&self) -> [u8; DIGEST_LEN] {
+        self.root
+    }
+
+    /// Number of chained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The chained entries, oldest first.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Replays the whole chain from genesis, re-deriving every digest.
+    ///
+    /// # Errors
+    ///
+    /// The first [`LedgerError`] encountered walking from entry 0:
+    /// a broken back-link, an altered entry, or (last) a head that no
+    /// longer matches the stored root.
+    pub fn verify(&self) -> Result<(), LedgerError> {
+        let replayed = Self::replay(&self.entries)?;
+        if replayed.root != self.root {
+            return Err(LedgerError::RootMismatch { len: self.entries.len() });
+        }
+        Ok(())
+    }
+
+    /// Verifies this ledger against an externally published commitment
+    /// — the settle-time check: the chain must replay cleanly *and*
+    /// end on `expected_root`. Truncations and extensions replay
+    /// cleanly but fail here.
+    ///
+    /// # Errors
+    ///
+    /// Any replay failure, or [`LedgerError::RootMismatch`] if the
+    /// clean replay ends elsewhere.
+    pub fn verify_against(&self, expected_root: [u8; DIGEST_LEN]) -> Result<(), LedgerError> {
+        self.verify()?;
+        if self.root != expected_root {
+            return Err(LedgerError::RootMismatch { len: self.entries.len() });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a ledger from raw entries, verifying every link — the
+    /// dispute-resolution replay. An honest interrupted session can
+    /// feed the entries it persisted and resume appending; the result
+    /// is byte-identical to the ledger that never crashed.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::BrokenChain`] or [`LedgerError::DigestMismatch`]
+    /// at the first inconsistent entry.
+    pub fn replay(entries: &[LedgerEntry]) -> Result<Self, LedgerError> {
+        let mut root = sha256(GENESIS);
+        for (index, entry) in entries.iter().enumerate() {
+            if entry.prev != root {
+                return Err(LedgerError::BrokenChain { index });
+            }
+            if entry.expected_digest() != entry.digest {
+                return Err(LedgerError::DigestMismatch { index });
+            }
+            root = entry.digest;
+        }
+        Ok(Self { entries: entries.to_vec(), root })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CommitmentLedger {
+        let mut ledger = CommitmentLedger::new();
+        ledger.append("submission", b"alpha");
+        ledger.append("grant", b"bidder=3 channel=1");
+        ledger.append("charge", b"valid:17");
+        ledger.append("settle", b"");
+        ledger
+    }
+
+    #[test]
+    fn append_advances_the_root_and_verify_passes() {
+        let mut ledger = CommitmentLedger::new();
+        let genesis = ledger.root();
+        let r1 = ledger.append("a", b"one");
+        assert_ne!(r1, genesis);
+        let r2 = ledger.append("a", b"one");
+        // Same bytes, different position → different digest.
+        assert_ne!(r1, r2);
+        assert_eq!(ledger.len(), 2);
+        ledger.verify().unwrap();
+        ledger.verify_against(r2).unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(sample().root(), sample().root());
+        assert_eq!(sample(), sample());
+    }
+
+    #[test]
+    fn flipping_any_payload_byte_is_detected() {
+        let honest = sample();
+        for i in 0..honest.len() {
+            let payload_len = honest.entries()[i].payload.len();
+            for b in 0..payload_len {
+                for bit in [0x01u8, 0x80] {
+                    let mut entries = honest.entries().to_vec();
+                    entries[i].payload[b] ^= bit;
+                    assert_eq!(
+                        CommitmentLedger::replay(&entries),
+                        Err(LedgerError::DigestMismatch { index: i }),
+                        "flip entry {i} payload byte {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flipping_label_digest_or_prev_bytes_is_detected() {
+        let honest = sample();
+        for i in 0..honest.len() {
+            // Label bytes.
+            let mut entries = honest.entries().to_vec();
+            entries[i].label = entries[i].label.to_uppercase();
+            assert_eq!(
+                CommitmentLedger::replay(&entries),
+                Err(LedgerError::DigestMismatch { index: i })
+            );
+            // Stored digest: the entry itself no longer matches, or —
+            // equivalently from the verifier's seat — the successor's
+            // back-link does.
+            let mut entries = honest.entries().to_vec();
+            entries[i].digest[0] ^= 1;
+            let err = CommitmentLedger::replay(&entries).unwrap_err();
+            assert_eq!(err, LedgerError::DigestMismatch { index: i }, "digest flip at {i}");
+            // Back-link.
+            let mut entries = honest.entries().to_vec();
+            entries[i].prev[31] ^= 1;
+            assert_eq!(
+                CommitmentLedger::replay(&entries),
+                Err(LedgerError::BrokenChain { index: i })
+            );
+        }
+    }
+
+    #[test]
+    fn reordering_entries_is_detected() {
+        let honest = sample();
+        for i in 0..honest.len() {
+            for j in 0..honest.len() {
+                if i == j {
+                    continue;
+                }
+                let mut entries = honest.entries().to_vec();
+                entries.swap(i, j);
+                let at = i.min(j);
+                assert_eq!(
+                    CommitmentLedger::replay(&entries),
+                    Err(LedgerError::BrokenChain { index: at }),
+                    "swap {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_against_the_published_root() {
+        let honest = sample();
+        let published = honest.root();
+        for keep in 0..honest.len() {
+            let truncated = CommitmentLedger::replay(&honest.entries()[..keep]).unwrap();
+            // A truncated prefix is internally consistent…
+            truncated.verify().unwrap();
+            // …but cannot match the published commitment.
+            assert_eq!(
+                truncated.verify_against(published),
+                Err(LedgerError::RootMismatch { len: keep })
+            );
+        }
+    }
+
+    #[test]
+    fn honest_interruption_replays_to_an_identical_root() {
+        // Persist a prefix, "crash", replay it, append the rest: the
+        // resumed ledger is byte-identical to the uninterrupted one.
+        let complete = sample();
+        for cut in 0..=complete.len() {
+            let mut resumed = CommitmentLedger::replay(&complete.entries()[..cut]).unwrap();
+            for entry in &complete.entries()[cut..] {
+                resumed.append(&entry.label, &entry.payload);
+            }
+            assert_eq!(resumed, complete, "cut at {cut}");
+            assert_eq!(resumed.root(), complete.root());
+        }
+    }
+
+    #[test]
+    fn empty_ledger_verifies_and_roundtrips() {
+        let ledger = CommitmentLedger::new();
+        assert!(ledger.is_empty());
+        ledger.verify().unwrap();
+        assert_eq!(CommitmentLedger::replay(&[]).unwrap(), ledger);
+        assert_eq!(CommitmentLedger::default(), ledger);
+    }
+
+    #[test]
+    fn errors_display_the_offending_index() {
+        assert!(LedgerError::BrokenChain { index: 2 }.to_string().contains("entry 2"));
+        assert!(LedgerError::DigestMismatch { index: 0 }.to_string().contains("entry 0"));
+        assert!(LedgerError::RootMismatch { len: 3 }.to_string().contains("3 entries"));
+    }
+}

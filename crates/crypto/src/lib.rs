@@ -13,7 +13,9 @@
 //! * [`keys`] — opaque key newtypes (`g0`, `gb_r`, `gc`);
 //! * [`tag`] — truncated HMAC tags, the unit of every masked submission;
 //! * [`seal`] — randomized authenticated encryption of bid values for
-//!   the TTP (ChaCha20 + HMAC, encrypt-then-MAC).
+//!   the TTP (ChaCha20 + HMAC, encrypt-then-MAC);
+//! * [`commit`] — sha-chained append-only commitment ledgers backing
+//!   the audited `ledger` masking backend.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod chacha20;
+pub mod commit;
 pub mod hmac;
 pub mod kdf;
 pub mod keys;
@@ -51,6 +54,7 @@ pub mod seal;
 pub mod sha256;
 pub mod tag;
 
+pub use commit::{CommitmentLedger, LedgerEntry, LedgerError};
 pub use kdf::{derive_key, KeySchedule};
 pub use keys::{HmacKey, SealKey};
 pub use rand_core::RngCore;

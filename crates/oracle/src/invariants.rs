@@ -122,6 +122,18 @@ pub fn registry() -> Vec<Invariant> {
             check: incremental_equals_rebuild,
         },
         Invariant {
+            name: "backend_outcome_equivalence",
+            summary:
+                "exact masking backends settle bit-identically; bloom stays within its FP budget",
+            check: backend_outcome_equivalence,
+        },
+        Invariant {
+            name: "vickrey_charge_correctness",
+            summary:
+                "Vickrey winners pay the critical losing bid, and misreporting never helps them",
+            check: vickrey_charge_correctness,
+        },
+        Invariant {
             name: "permutation_invariance",
             summary: "relabeling bidders permutes the outcome and nothing else",
             check: permutation_invariance,
@@ -657,6 +669,155 @@ fn metamorphic_equivalence(run: &ScenarioRun, label: &str) -> Result<(), String>
 
 fn permutation_invariance(run: &ScenarioRun) -> Result<(), String> {
     metamorphic_equivalence(run, "permuted_bidders")
+}
+
+fn backend_outcome_equivalence(run: &ScenarioRun) -> Result<(), String> {
+    use lppa_prefix::backend::BackendKind;
+    let probe = &run.backend;
+    let hmac = probe.result(BackendKind::Hmac);
+
+    // The hmac backend replays the masked pipeline's classes and RNG
+    // draws, so the equivalence is exact.
+    if hmac.result.grants != run.masked.grants
+        || assignment_set(&hmac.result.outcome) != assignment_set(&run.masked.outcome)
+        || grant_set(&hmac.result.invalid_grants) != grant_set(&run.masked.invalid_grants)
+    {
+        return Err("hmac backend diverged from the masked pipeline".into());
+    }
+    if hmac.ledger.is_some() {
+        return Err("hmac backend unexpectedly built an audit chain".into());
+    }
+
+    // The ledger backend compares exactly like hmac; it only adds the
+    // audit chain, which must verify against itself at settle.
+    let ledger = probe.result(BackendKind::Ledger);
+    if ledger.result.grants != hmac.result.grants
+        || assignment_set(&ledger.result.outcome) != assignment_set(&hmac.result.outcome)
+        || assignment_set(&ledger.vickrey) != assignment_set(&hmac.vickrey)
+    {
+        return Err("ledger backend diverged from hmac".into());
+    }
+    let Some(chain) = ledger.ledger.as_ref() else {
+        return Err("ledger backend published no audit chain".into());
+    };
+    chain.verify().map_err(|e| format!("ledger audit chain invalid: {e}"))?;
+
+    // Bloom is FP-tolerant: never a false negative, and with zero
+    // measured false positives the outcome must be exact. The FP budget
+    // is counted in *distinct colliding tags*, not flipped probes:
+    // probe counts are heavy-tailed because one ~p tag collision is
+    // shared by every bidder whose family contains the tag (plain
+    // zeros share most of theirs) and by every overlapping `[v, max]`
+    // cover, so a single Bernoulli event can flip O(n²) probes. Each
+    // distinct tag collides with probability ≤ analytic_fp_rate per
+    // (tag, range) trial; the envelope is 2× the expectation plus a
+    // small-sample cushion.
+    let stats = &probe.bloom_stats;
+    if stats.false_negatives != 0 {
+        return Err(format!("bloom produced {} false negatives", stats.false_negatives));
+    }
+    let tag_rate = probe.bloom_params.analytic_fp_rate();
+    let budget = (tag_rate * stats.tag_trials as f64).mul_add(2.0, 8.0);
+    if stats.false_positive_tags as f64 > budget {
+        return Err(format!(
+            "bloom: {} distinct colliding tags over {} tag trials ({} probe flips) exceeds \
+             budget {budget:.2} (per-tag rate {tag_rate:.2e})",
+            stats.false_positive_tags, stats.tag_trials, stats.false_positives
+        ));
+    }
+    let bloom = probe.result(BackendKind::Bloom);
+    if stats.false_positives == 0 && bloom.result.grants != hmac.result.grants {
+        return Err("bloom diverged without any measured false positive".into());
+    }
+    // Even a divergent bloom round settles a structurally valid
+    // allocation (FPs flip comparisons, never conflict edges).
+    grants_interference_free(
+        &bloom.result.grants,
+        &bloom.result.conflicts,
+        run.scenario.n_channels,
+        "bloom-backend",
+    )
+}
+
+fn vickrey_charge_correctness(run: &ScenarioRun) -> Result<(), String> {
+    use lppa_prefix::backend::BackendKind;
+    let rows = &run.scenario.rows;
+    for kind in [BackendKind::Hmac, BackendKind::Ledger] {
+        let result = run.backend.result(kind);
+        let conflicts = &result.result.conflicts;
+        for a in result.vickrey.assignments() {
+            let trace = result
+                .traces
+                .iter()
+                .find(|t| t.grant.bidder == a.bidder && t.grant.channel == a.channel)
+                .ok_or_else(|| {
+                    format!(
+                        "{kind:?}: vickrey assignment ({}, {}) has no contest trace",
+                        a.bidder.0, a.channel.0
+                    )
+                })?;
+            // The winner pays the critical value: the highest *true*
+            // bid among the contest's conflicting losers (the TTP opens
+            // sealed values, so disguises cannot inflate the price).
+            let critical = trace
+                .conflicting_losers(conflicts)
+                .map(|c| rows[c.0][a.channel.0])
+                .max()
+                .unwrap_or(0);
+            if a.price != critical {
+                return Err(format!(
+                    "{kind:?}: bidder {} charged {} on channel {}, critical losing bid {critical}",
+                    a.bidder.0, a.price, a.channel.0
+                ));
+            }
+            let own = rows[a.bidder.0][a.channel.0];
+            if a.price > own {
+                return Err(format!(
+                    "{kind:?}: bidder {} pays {} above its true value {own}",
+                    a.bidder.0, a.price
+                ));
+            }
+        }
+        for g in &result.vickrey_invalid {
+            if rows[g.bidder.0][g.channel.0] != 0 {
+                return Err(format!(
+                    "{kind:?}: vickrey invalidated bidder {} channel {} whose true bid is {}",
+                    g.bidder.0, g.channel.0, rows[g.bidder.0][g.channel.0]
+                ));
+            }
+        }
+    }
+
+    // Truthfulness spot-check on one sampled winner, reduced to its
+    // single-channel contest against the critical bid (the multi-minded
+    // greedy auction as a whole is *not* truthful; the Vickrey property
+    // holds per contest): with the price independent of the winner's
+    // own report and ties resolved winner-side as `ge` does, no
+    // misreport beats bidding the true value.
+    let hmac = run.backend.result(BackendKind::Hmac);
+    let assigns = hmac.vickrey.assignments();
+    if !assigns.is_empty() {
+        let mut rng = StdRng::seed_from_u64(run.scenario.seed ^ 0x71c4_0000_0000_0009);
+        let a = &assigns[rng.gen_range(0..assigns.len())];
+        let value = i64::from(rows[a.bidder.0][a.channel.0]);
+        let critical = a.price;
+        let utility =
+            |report: u32| if report >= critical { value - i64::from(critical) } else { 0 };
+        let truthful = utility(rows[a.bidder.0][a.channel.0]);
+        for misreport in
+            [0, critical.saturating_sub(1), critical, critical + 1, run.scenario.config.bid_max()]
+        {
+            if utility(misreport) > truthful {
+                return Err(format!(
+                    "bidder {} (value {value}, critical {critical}): misreport {misreport} \
+                     yields utility {} > truthful {truthful}",
+                    a.bidder.0,
+                    utility(misreport)
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn key_rotation_invariance(run: &ScenarioRun) -> Result<(), String> {

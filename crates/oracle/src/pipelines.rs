@@ -35,6 +35,9 @@
 //!   shifted `rd` / scaled `cr` — each producing an outcome to compare
 //!   against the base masked run.
 
+use lppa::backend::{
+    bloom_probe_stats, run_private_auction_with_backend, BackendAuctionResult, BloomProbeStats,
+};
 use lppa::ppbs::location::{build_conflict_graph, build_conflict_graph_pairwise};
 use lppa::protocol::{
     build_submissions, run_private_auction_with_model, AuctioneerModel, PrivateAuctionResult,
@@ -52,6 +55,7 @@ use lppa_net::{
     resume_socket_round, run_socket_round, run_socket_round_with_kill, AuctioneerRun, KillPoint,
     NetConfig,
 };
+use lppa_prefix::backend::{BackendKind, BloomParams};
 use lppa_prefix::{prefix_family, range_prefixes};
 use lppa_rng::rngs::StdRng;
 use lppa_rng::seq::SliceRandom;
@@ -168,6 +172,40 @@ pub struct ChurnRun {
     pub rebuild: lppa_service::ChurnReport,
 }
 
+/// The masking-backend variant probe's products.
+///
+/// The same submissions are settled through every [`BackendKind`] with
+/// the masked pipeline's allocation seed, so the `hmac` result must be
+/// bit-identical to [`ScenarioRun::masked`], `ledger` must match `hmac`
+/// while publishing a verified audit chain, and `bloom` may diverge
+/// only within the measured false-positive budget in
+/// [`Self::bloom_stats`]. Each result also carries the Vickrey
+/// resettlement of its grants for the second-price charge invariant.
+#[derive(Debug)]
+pub struct BackendRun {
+    /// One settled round per [`BackendKind::ALL`] entry, in that order,
+    /// iterative-charging model, shared allocation seed with
+    /// [`ScenarioRun::masked`].
+    pub results: Vec<BackendAuctionResult>,
+    /// The Bloom parameters the `bloom` entry ran with.
+    pub bloom_params: BloomParams,
+    /// Measured Bloom-vs-exact disagreement over every (point, range)
+    /// pair of the scenario's bid table.
+    pub bloom_stats: BloomProbeStats,
+}
+
+impl BackendRun {
+    /// The settled round for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe was built without `kind` (impossible for
+    /// probes from [`ScenarioRun::execute`]).
+    pub fn result(&self, kind: BackendKind) -> &BackendAuctionResult {
+        self.results.iter().find(|r| r.kind == kind).expect("probe covers every backend")
+    }
+}
+
 /// A metamorphic rebuild of the masked pipeline.
 #[derive(Debug)]
 pub struct MetamorphicRun {
@@ -218,6 +256,8 @@ pub struct ScenarioRun {
     pub service: ServiceRun,
     /// Incremental-churn-vs-rebuild probe.
     pub churn: ChurnRun,
+    /// Masking-backend variant probe (hmac / bloom / ledger + Vickrey).
+    pub backend: BackendRun,
     /// Metamorphic rebuilds (only for tie-free, disguise-free
     /// scenarios, where exact equivalence is well-defined).
     pub metamorphic: Vec<MetamorphicRun>,
@@ -305,6 +345,7 @@ impl ScenarioRun {
         let tag_kernel = Self::run_tag_kernel(&scenario, &ttp);
         let service = Self::run_service(&scenario)?;
         let churn = Self::run_churn(&scenario)?;
+        let backend = Self::run_backends(&scenario, &ttp, &submissions)?;
 
         let mut run = Self {
             scenario,
@@ -323,6 +364,7 @@ impl ScenarioRun {
             tag_kernel,
             service,
             churn,
+            backend,
             metamorphic: Vec::new(),
         };
         if run.strong_equivalence_applies() {
@@ -367,6 +409,35 @@ impl ScenarioRun {
             .collect();
         let default_batch = Tag::compute_batch(key, &messages);
         TagKernelRun { messages, scalar, batched, default_batch }
+    }
+
+    /// Runs the masking-backend variant probe.
+    ///
+    /// Every backend settles the same submissions with the masked
+    /// pipeline's allocation seed, so exact backends replay its RNG
+    /// draws; the Bloom disagreement budget is measured over every
+    /// (point, range) pair the table could probe.
+    fn run_backends(
+        scenario: &Scenario,
+        ttp: &Ttp,
+        submissions: &[SuSubmission],
+    ) -> Result<BackendRun, LppaError> {
+        let results = BackendKind::ALL
+            .into_iter()
+            .map(|kind| {
+                run_private_auction_with_backend(
+                    submissions,
+                    ttp,
+                    AuctioneerModel::IterativeCharging,
+                    kind,
+                    &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let bids: Vec<_> = submissions.iter().map(|s| s.bids.clone()).collect();
+        let bloom_params = BloomParams::default();
+        let bloom_stats = bloom_probe_stats(bloom_params, &bids);
+        Ok(BackendRun { results, bloom_params, bloom_stats })
     }
 
     /// Runs the sharded-service-vs-sequential probe.
@@ -645,6 +716,14 @@ mod tests {
         assert_eq!(run.service.sharded_fingerprint, run.service.sequential_fingerprint);
         assert!(run.churn.incremental.churn_events > 0, "churn probe should apply events");
         assert_eq!(run.churn.incremental.fingerprint, run.churn.rebuild.fingerprint);
+        // The backend probe settles every kind, with the ledger audited
+        // and the hmac entry bit-identical to the masked pipeline.
+        assert_eq!(run.backend.results.len(), BackendKind::ALL.len());
+        let hmac = run.backend.result(BackendKind::Hmac);
+        assert_eq!(hmac.result.grants, run.masked.grants);
+        assert!(run.backend.result(BackendKind::Ledger).ledger.is_some());
+        assert_eq!(run.backend.bloom_stats.false_negatives, 0);
+        assert!(!hmac.traces.is_empty());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod error;
 pub mod family;
 pub mod index;
@@ -44,6 +45,10 @@ pub mod masked;
 pub mod prefix;
 pub mod range;
 
+pub use backend::{
+    parse_backend, Backend, BackendKind, BackendPoint, BackendRange, BloomFilter, BloomParams,
+    MaskingBackend, BACKEND_ENV,
+};
 pub use error::PrefixError;
 pub use family::prefix_family;
 pub use index::TagIndex;

@@ -1,0 +1,107 @@
+//! Bloom-backend false-positive rate property tests.
+//!
+//! The encrypted Bloom backend's contract is quantitative: for a filter
+//! with `k` index functions and `m = bits_per_tag · n` bits over `n`
+//! inserted tags, the analytic false-positive rate per probed
+//! non-member tag is
+//!
+//! ```text
+//! p = (1 − e^{−kn/m})^k = (1 − e^{−k/bits_per_tag})^k
+//! ```
+//!
+//! Each property below builds a filter from seeded uniform tags,
+//! probes ≥ 10 000 fresh tags, and asserts the measured rate stays
+//! within 2× of the analytic bound (and above a third of it, so the
+//! filter cannot silently degenerate into an always-false or
+//! always-true oracle). False *negatives* must never occur — bits are
+//! only ever set, so every inserted tag must keep testing positive.
+//!
+//! The three (bits_per_tag, hashes) configurations are chosen so the
+//! expected false-positive count per case is large enough (≥ ~250)
+//! that the 2× envelope holds for every seed with overwhelming margin;
+//! the harness reruns the property under `LPPA_PROPTEST_SEED`
+//! overrides, so the assertions must be seed-robust, not tuned to one
+//! fixture.
+
+use lppa_crypto::tag::Tag;
+use lppa_prefix::backend::{BloomFilter, BloomParams};
+use lppa_rng::rngs::StdRng;
+use lppa_rng::{testing, RngCore};
+
+/// Inserted tags per filter.
+const MEMBERS: usize = 2_000;
+/// Fresh tags probed per filter — the "≥ 10k membership probes" the
+/// contract is measured over.
+const PROBES: usize = 12_000;
+
+fn random_tag(rng: &mut StdRng) -> Tag {
+    let mut bytes = [0u8; 16];
+    rng.fill_bytes(&mut bytes);
+    Tag::from_bytes(bytes)
+}
+
+/// Builds a filter from `MEMBERS` seeded tags and measures the FP rate
+/// over `PROBES` fresh tags. Random 128-bit tags collide with the
+/// member set with probability ≈ 2⁻¹⁰⁴ per probe, so every probe tag
+/// is a true non-member.
+fn measured_fp_rate(rng: &mut StdRng, params: BloomParams) -> f64 {
+    let members: Vec<Tag> = (0..MEMBERS).map(|_| random_tag(rng)).collect();
+    let filter = BloomFilter::from_tags(members.iter(), members.len(), params);
+    for tag in &members {
+        assert!(filter.contains(tag), "false negative: inserted tag not found");
+    }
+    let hits = (0..PROBES).filter(|_| filter.contains(&random_tag(rng))).count();
+    hits as f64 / PROBES as f64
+}
+
+fn check_config(name: &'static str, params: BloomParams) {
+    testing::check(name, |rng| {
+        let analytic = params.analytic_fp_rate();
+        let measured = measured_fp_rate(rng, params);
+        assert!(
+            measured <= 2.0 * analytic,
+            "measured FP {measured:.5} exceeds 2x analytic (1-e^(-k/c))^k = {analytic:.5} \
+             for {params:?}"
+        );
+        assert!(
+            measured >= analytic / 3.0,
+            "measured FP {measured:.5} implausibly below analytic {analytic:.5} for {params:?}"
+        );
+    });
+}
+
+#[test]
+fn fp_rate_within_bound_2_bits_2_hashes() {
+    // p = (1 − e^{−1})² ≈ 0.3995
+    check_config("fp_rate_2_2", BloomParams { bits_per_tag: 2, hashes: 2 });
+}
+
+#[test]
+fn fp_rate_within_bound_6_bits_4_hashes() {
+    // p = (1 − e^{−2/3})⁴ ≈ 0.0561
+    check_config("fp_rate_6_4", BloomParams { bits_per_tag: 6, hashes: 4 });
+}
+
+#[test]
+fn fp_rate_within_bound_8_bits_5_hashes() {
+    // p = (1 − e^{−5/8})⁵ ≈ 0.0217
+    check_config("fp_rate_8_5", BloomParams { bits_per_tag: 8, hashes: 5 });
+}
+
+#[test]
+fn false_negatives_never_occur_across_configs() {
+    // Sweep a wider parameter grid than the rate tests: whatever the
+    // sizing, an inserted tag must always test positive.
+    testing::check("bloom_no_false_negative", |rng| {
+        for bits_per_tag in [1usize, 2, 4, 8, 16, 32] {
+            for hashes in [1u32, 2, 4, 8, 12] {
+                let params = BloomParams { bits_per_tag, hashes };
+                let members: Vec<Tag> = (0..200).map(|_| random_tag(rng)).collect();
+                let filter = BloomFilter::from_tags(members.iter(), members.len(), params);
+                for tag in &members {
+                    assert!(filter.contains(tag), "false negative under {params:?}");
+                }
+            }
+        }
+    });
+}

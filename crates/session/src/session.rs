@@ -27,15 +27,18 @@
 //! byte-identically, and the journal of an interrupted session can be
 //! [resumed](AuctionSession::resume) to the identical outcome.
 
+use lppa::backend::{charge_request_for, BackendBidTable};
 use lppa::ppbs::location::{build_conflict_graph, LocationSubmission};
 use lppa::protocol::{charge_requests, validate_submission, AuctioneerModel, SuSubmission};
 use lppa::psd::table::MaskedBidTable;
-use lppa::ttp::{ChargeDecision, Ttp};
+use lppa::ttp::{ChargeDecision, ChargeRequest, Ttp};
 use lppa::LppaError;
 use lppa_auction::allocation::{greedy_allocate, Grant};
 use lppa_auction::bidder::BidderId;
 use lppa_auction::conflict::ConflictGraph;
 use lppa_auction::outcome::{Assignment, AuctionOutcome};
+use lppa_crypto::commit::CommitmentLedger;
+use lppa_prefix::backend::BackendKind;
 use lppa_rng::rngs::StdRng;
 use lppa_rng::{RngCore, SeedableRng};
 
@@ -70,6 +73,13 @@ pub struct SessionConfig {
     /// Ticks the charge phase may spend before undecided grants degrade
     /// to provisional allocations.
     pub charge_deadline: u64,
+    /// Which [`MaskingBackend`](lppa_prefix::backend::MaskingBackend)
+    /// answers the allocation's masked comparisons. The default reads
+    /// the `LPPA_BACKEND` environment knob (falling back to `hmac`).
+    /// `ledger` additionally audits the round through a
+    /// [`CommitmentLedger`] whose settle-time root lands in
+    /// [`SessionOutcome::ledger_root`].
+    pub backend: BackendKind,
 }
 
 impl Default for SessionConfig {
@@ -84,6 +94,7 @@ impl Default for SessionConfig {
             ttp_schedule: TtpSchedule::always_online(),
             ttp_link: TtpLinkConfig::default(),
             charge_deadline: 32,
+            backend: BackendKind::from_env(),
         }
     }
 }
@@ -130,6 +141,12 @@ pub struct SessionOutcome {
     pub stats: TransportStats,
     /// The tick the session settled at.
     pub ticks: u64,
+    /// Root of the settle-time-verified commitment ledger
+    /// ([`BackendKind::Ledger`] only, `None` otherwise). An audit
+    /// artefact, deliberately outside the
+    /// [fingerprint](Self::fingerprint) so fingerprints stay comparable
+    /// across backends; its own determinism is tested separately.
+    pub ledger_root: Option<[u8; 32]>,
 }
 
 impl SessionOutcome {
@@ -485,23 +502,62 @@ pub fn finish_round<B: ChargeBackend>(
     let locations: Vec<LocationSubmission> =
         accepted_submissions.iter().map(|s| s.location.clone()).collect();
     let conflicts = build_conflict_graph(&locations);
-    let bids = accepted_submissions.iter().map(|s| s.bids.clone()).collect();
-    let table = match config.model {
-        AuctioneerModel::Oblivious => MaskedBidTable::collect(bids)?,
-        AuctioneerModel::IterativeCharging => MaskedBidTable::collect_pruned(bids)?,
+    let bids: Vec<_> = accepted_submissions.iter().map(|s| s.bids.clone()).collect();
+    // The ledger backend's audit chain is built from journal-recoverable
+    // data only (accepted set, grants, charge verdicts), so a resumed
+    // session replays to the byte-identical root.
+    let mut ledger = match config.backend {
+        BackendKind::Ledger => Some(CommitmentLedger::new()),
+        _ => None,
     };
+    if let Some(ledger) = ledger.as_mut() {
+        for (&original, submission) in accepted.iter().zip(accepted_submissions) {
+            let mut payload = [0u8; 12];
+            payload[..4].copy_from_slice(&(original as u32).to_le_bytes());
+            payload[4..].copy_from_slice(&submission.checksum().to_le_bytes());
+            ledger.append("submission", &payload);
+        }
+    }
     let mut alloc_rng = StdRng::seed_from_u64(auction_seed);
-    let compact_grants = greedy_allocate(&table, &conflicts, &mut alloc_rng);
+    let (compact_grants, requests): (Vec<Grant>, Vec<ChargeRequest>) = match config.backend {
+        BackendKind::Hmac => {
+            let table = match config.model {
+                AuctioneerModel::Oblivious => MaskedBidTable::collect(bids)?,
+                AuctioneerModel::IterativeCharging => MaskedBidTable::collect_pruned(bids)?,
+            };
+            let grants = greedy_allocate(&table, &conflicts, &mut alloc_rng);
+            let requests = charge_requests(&table, &grants)?;
+            (grants, requests)
+        }
+        kind => {
+            // Probe the allocation through the selected backend. The
+            // exact backends replicate the hmac classes and RNG draws,
+            // so grants stay bit-identical; bloom may diverge within
+            // its configured false-positive budget.
+            let table = BackendBidTable::collect(kind, bids, config.model)?;
+            let grants = greedy_allocate(&table, &conflicts, &mut alloc_rng);
+            let requests = grants
+                .iter()
+                .map(|g| charge_request_for(table.submissions(), g))
+                .collect::<Result<_, _>>()?;
+            (grants, requests)
+        }
+    };
     let to_original = |g: &Grant| Grant { bidder: BidderId(accepted[g.bidder.0]), ..*g };
     for grant in &compact_grants {
         journal.append(JournalEntry::GrantIssued {
             bidder: accepted[grant.bidder.0],
             channel: grant.channel.0,
         });
+        if let Some(ledger) = ledger.as_mut() {
+            let mut payload = [0u8; 8];
+            payload[..4].copy_from_slice(&(accepted[grant.bidder.0] as u32).to_le_bytes());
+            payload[4..].copy_from_slice(&(grant.channel.0 as u32).to_le_bytes());
+            ledger.append("grant", &payload);
+        }
     }
 
     journal.append(JournalEntry::PhaseEntered { phase: Phase::Charge, tick: start_tick });
-    let requests = charge_requests(&table, &compact_grants)?;
     let mut link = TtpLink::new(backend, config.ttp_schedule, config.ttp_link, ttp_seed);
     link.enqueue(requests);
     let charge_end = start_tick + config.charge_deadline;
@@ -563,6 +619,32 @@ pub fn finish_round<B: ChargeBackend>(
         journal.append(JournalEntry::ChargesDeferred { bidders: deferred, tick });
     }
     journal.append(JournalEntry::PhaseEntered { phase: Phase::Settle, tick });
+    if let Some(ledger) = ledger.as_mut() {
+        for (slot, grant) in compact_grants.iter().enumerate() {
+            let original = to_original(grant);
+            let mut payload = [0u8; 13];
+            payload[..4].copy_from_slice(&(original.bidder.0 as u32).to_le_bytes());
+            payload[4..8].copy_from_slice(&(original.channel.0 as u32).to_le_bytes());
+            match &link.decisions()[slot] {
+                Some(Ok(ChargeDecision::Valid { raw_price })) => {
+                    payload[8] = 1;
+                    payload[9..].copy_from_slice(&raw_price.to_le_bytes());
+                }
+                Some(Ok(ChargeDecision::InvalidZero)) => payload[8] = 0,
+                Some(Err(_)) => payload[8] = 2,
+                None => payload[8] = 3,
+            }
+            ledger.append("charge", &payload);
+        }
+    }
+    // The audited backend replays its chain before the round commits.
+    let ledger_root = match ledger.as_ref() {
+        Some(ledger) => {
+            ledger.verify().map_err(|e| LppaError::LedgerTampered { detail: e.to_string() })?;
+            Some(ledger.root())
+        }
+        None => None,
+    };
     journal.append(JournalEntry::Settled { tick });
 
     Ok(SessionOutcome {
@@ -576,5 +658,6 @@ pub fn finish_round<B: ChargeBackend>(
         journal,
         stats,
         ticks: tick,
+        ledger_root,
     })
 }
