@@ -69,52 +69,90 @@ pub fn greedy_allocate<O: BidOracle, R: Rng>(
     conflicts: &ConflictGraph,
     rng: &mut R,
 ) -> Vec<Grant> {
+    greedy_allocate_in(oracle, conflicts, rng, &mut AllocScratch::default())
+}
+
+/// Reusable scratch for [`greedy_allocate_in`]: the entry bitmap, row
+/// liveness, candidate list and round-robin pool, all cleared and
+/// refilled per round while keeping capacity. A warm scratch runs the
+/// whole allocation loop with zero heap traffic beyond the returned
+/// grant list.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    /// Row-major `n × k` remaining-entry bitmap.
+    entry: Vec<bool>,
+    row_alive: Vec<bool>,
+    candidates: Vec<BidderId>,
+    /// The round-robin pool R of §V.A: refilled once exhausted.
+    pool: Vec<usize>,
+}
+
+/// [`greedy_allocate`] over caller-owned scratch buffers.
+///
+/// Control flow and RNG consumption are identical to
+/// [`greedy_allocate`] — same pool shuffles, same tie-break draws — so
+/// the grant sequence is bitwise-equal; only the memory source differs.
+///
+/// # Panics
+///
+/// Panics if the conflict graph size differs from the oracle's bidder
+/// count.
+pub fn greedy_allocate_in<O: BidOracle, R: Rng>(
+    oracle: &O,
+    conflicts: &ConflictGraph,
+    rng: &mut R,
+    scratch: &mut AllocScratch,
+) -> Vec<Grant> {
     let n = oracle.n_bidders();
     let k = oracle.n_channels();
     assert_eq!(conflicts.len(), n, "conflict graph size mismatch");
+    let AllocScratch { entry, row_alive, candidates, pool } = scratch;
 
     // Remaining entries: start from the oracle's initial table.
-    let mut entry = vec![vec![false; k]; n];
+    entry.clear();
+    entry.resize(n * k, false);
     let mut remaining = 0usize;
-    for (i, row) in entry.iter_mut().enumerate() {
-        for (j, cell) in row.iter_mut().enumerate() {
-            *cell = oracle.has_entry(BidderId(i), ChannelId(j));
-            remaining += usize::from(*cell);
+    for i in 0..n {
+        for j in 0..k {
+            let cell = oracle.has_entry(BidderId(i), ChannelId(j));
+            entry[i * k + j] = cell;
+            remaining += usize::from(cell);
         }
     }
 
-    let mut row_alive = vec![true; n];
+    row_alive.clear();
+    row_alive.resize(n, true);
     let mut grants = Vec::new();
-    // The round-robin pool R of §V.A: refilled once exhausted.
-    let mut pool: Vec<usize> = Vec::new();
+    pool.clear();
 
     while remaining > 0 {
         if pool.is_empty() {
-            pool = (0..k).collect();
+            pool.extend(0..k);
             pool.shuffle(rng);
         }
         // `remaining > 0` implies `k > 0`, so the refilled pool is never
         // empty — but a defensive break beats a panic mid-auction.
         let Some(channel) = pool.pop().map(ChannelId) else { break };
 
-        let candidates: Vec<BidderId> =
-            (0..n).filter(|&i| row_alive[i] && entry[i][channel.0]).map(BidderId).collect();
+        candidates.clear();
+        candidates
+            .extend((0..n).filter(|&i| row_alive[i] && entry[i * k + channel.0]).map(BidderId));
         if candidates.is_empty() {
             continue;
         }
 
-        let winner = oracle.select_winner(channel, &candidates, rng);
+        let winner = oracle.select_winner(channel, candidates, rng);
         debug_assert!(candidates.contains(&winner), "oracle must pick a candidate");
         grants.push(Grant { bidder: winner, channel });
 
         // Delete the winner's whole row.
         row_alive[winner.0] = false;
-        remaining -= entry[winner.0].iter().filter(|&&e| e).count();
+        remaining -= entry[winner.0 * k..(winner.0 + 1) * k].iter().filter(|&&e| e).count();
 
         // Delete conflicting neighbours' entries for this channel.
         for nb in conflicts.neighbors(winner) {
-            if row_alive[nb.0] && entry[nb.0][channel.0] {
-                entry[nb.0][channel.0] = false;
+            if row_alive[nb.0] && entry[nb.0 * k + channel.0] {
+                entry[nb.0 * k + channel.0] = false;
                 remaining -= 1;
             }
         }

@@ -53,7 +53,23 @@ impl ConflictGraph {
 
     /// A graph over `n` bidders with no conflicts.
     pub fn disconnected(n: usize) -> Self {
-        Self { n, adj: vec![false; n * n] }
+        Self::disconnected_from(n, Vec::new())
+    }
+
+    /// As [`disconnected`](Self::disconnected), recycling `buf` as the
+    /// matrix backing store: the buffer is cleared and zero-filled to
+    /// `n × n`, keeping its capacity, so pooled callers rebuild graphs
+    /// without touching the allocator.
+    pub fn disconnected_from(n: usize, mut buf: Vec<bool>) -> Self {
+        buf.clear();
+        buf.resize(n * n, false);
+        Self { n, adj: buf }
+    }
+
+    /// Tears the graph down to its backing matrix buffer, for recycling
+    /// through [`disconnected_from`](Self::disconnected_from).
+    pub fn into_matrix(self) -> Vec<bool> {
+        self.adj
     }
 
     /// Number of bidders.

@@ -301,13 +301,27 @@ impl IncrementalAuction {
 
     /// Re-derives the candidate list of every dirty channel from its
     /// tracker; clean channels keep last round's list untouched.
+    ///
+    /// Dirty channels are refreshed **in parallel**: each channel's
+    /// rebuild reads only its own tracker (channels never share
+    /// candidate state), so the dirty set splits into independent
+    /// per-channel jobs handed to the `lppa-par` executor. The merge is
+    /// deterministic by construction — worker threads return one sorted
+    /// list per dirty channel, reassembled positionally into `cand` in
+    /// ascending channel order, so the resident state is bitwise
+    /// independent of `LPPA_THREADS` and of scheduling.
     fn refresh_dirty(&mut self) {
-        for c in 0..self.n_channels {
-            if !self.dirty[c] {
-                continue;
-            }
-            let mut list: Vec<u32> = self.trackers[c].entries.iter().map(|&(_, s)| s).collect();
+        let dirty: Vec<usize> = (0..self.n_channels).filter(|&c| self.dirty[c]).collect();
+        if dirty.is_empty() {
+            return;
+        }
+        let trackers = &self.trackers;
+        let lists = lppa_par::par_map(&dirty, |&c| {
+            let mut list: Vec<u32> = trackers[c].entries.iter().map(|&(_, s)| s).collect();
             list.sort_unstable();
+            list
+        });
+        for (c, list) in dirty.into_iter().zip(lists) {
             self.cand[c] = list;
             self.dirty[c] = false;
         }

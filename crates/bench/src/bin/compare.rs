@@ -17,7 +17,18 @@
 //! ```text
 //! compare results/BENCH_pr2_before.json results/BENCH_pr2_after.json
 //! compare BENCH_pr2_before.json BENCH_pr2_after.json   # same thing
+//! compare --max-regress 1.10 baseline.json current.json
+//! compare --filter allocs_per_round --max-regress 1.05 budget.json run.json
 //! ```
+//!
+//! `--max-regress F` turns the diff into a CI gate: every joined
+//! benchmark whose `after/before` ratio exceeds `F` (i.e. *after* is
+//! more than `F×` the baseline) is reported as a regression, and the
+//! tool exits nonzero if any metric — not just the geometric mean —
+//! regresses past the bound. `--filter SUBSTR` restricts the join to
+//! benchmarks whose `group/bench` name contains `SUBSTR`, so a gate can
+//! target one metric family (e.g. `allocs_per_round`) without being
+//! perturbed by unrelated timings.
 //!
 //! A bare `BENCH_*.json` name that does not exist relative to the
 //! current directory is retried under `results/` — the committed layout
@@ -113,12 +124,65 @@ fn parse_file(path: &str) -> Result<(BTreeMap<String, Sample>, Vec<String>), Str
     Ok((out, contexts))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let [_, before_path, after_path] = &args[..] else {
-        eprintln!("usage: compare <before.json> <after.json>");
-        return ExitCode::FAILURE;
+/// Parsed command line: the two report paths plus gating options.
+#[derive(Debug, PartialEq)]
+struct Cli {
+    before_path: String,
+    after_path: String,
+    /// Fail if any joined metric's `after/before` exceeds this ratio.
+    max_regress: Option<f64>,
+    /// Join only benchmarks whose `group/bench` contains this substring.
+    filter: Option<String>,
+}
+
+/// Parses `compare`'s arguments (excluding `argv[0]`).
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut max_regress = None;
+    let mut filter = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                let v = it.next().ok_or("--max-regress needs a ratio (e.g. 1.10)")?;
+                let ratio: f64 =
+                    v.parse().map_err(|_| format!("--max-regress: not a number: {v}"))?;
+                if !(ratio.is_finite() && ratio > 0.0) {
+                    return Err(format!("--max-regress: ratio must be positive, got {v}"));
+                }
+                max_regress = Some(ratio);
+            }
+            "--filter" => {
+                filter = Some(it.next().ok_or("--filter needs a substring")?.clone());
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            _ => positional.push(arg),
+        }
+    }
+    let [before_path, after_path] = positional[..] else {
+        return Err(
+            "usage: compare [--max-regress F] [--filter SUBSTR] <before.json> <after.json>"
+                .to_string(),
+        );
     };
+    Ok(Cli {
+        before_path: before_path.clone(),
+        after_path: after_path.clone(),
+        max_regress,
+        filter,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (before_path, after_path) = (&cli.before_path, &cli.after_path);
     let ((before, before_ctx), (after, after_ctx)) =
         match (parse_file(before_path), parse_file(after_path)) {
             (Ok(b), Ok(a)) => (b, a),
@@ -135,16 +199,30 @@ fn main() -> ExitCode {
         }
     }
 
-    let width = before.keys().chain(after.keys()).map(String::len).max().unwrap_or(0);
+    let keep = |name: &str| cli.filter.as_deref().is_none_or(|f| name.contains(f));
+    let width =
+        before.keys().chain(after.keys()).filter(|n| keep(n)).map(String::len).max().unwrap_or(0);
     println!("{:width$}  {:>12}  {:>12}  {:>8}", "benchmark", "before", "after", "speedup");
     let mut log_sum = 0.0f64;
     let mut joined = 0usize;
-    for (name, b) in &before {
+    let mut regressions: Vec<(String, f64)> = Vec::new();
+    for (name, b) in before.iter().filter(|(n, _)| keep(n)) {
         let Some(a) = after.get(name) else { continue };
         let speedup = b.mean_ns / a.mean_ns;
         log_sum += speedup.ln();
         joined += 1;
-        println!("{name:width$}  {:>10.0}ns  {:>10.0}ns  {speedup:>7.2}x", b.mean_ns, a.mean_ns);
+        let ratio = a.mean_ns / b.mean_ns;
+        let flag = match cli.max_regress {
+            Some(bound) if ratio > bound => {
+                regressions.push((name.clone(), ratio));
+                "  REGRESSED"
+            }
+            _ => "",
+        };
+        println!(
+            "{name:width$}  {:>10.0}ns  {:>10.0}ns  {speedup:>7.2}x{flag}",
+            b.mean_ns, a.mean_ns
+        );
     }
     if joined > 0 {
         println!(
@@ -155,15 +233,32 @@ fn main() -> ExitCode {
             (log_sum / joined as f64).exp()
         );
     }
-    for name in before.keys().filter(|n| !after.contains_key(*n)) {
+    for name in before.keys().filter(|n| keep(n) && !after.contains_key(*n)) {
         println!("only in before: {name}");
     }
-    for name in after.keys().filter(|n| !before.contains_key(*n)) {
+    for name in after.keys().filter(|n| keep(n) && !before.contains_key(*n)) {
         println!("only in after:  {name}");
     }
     if joined == 0 {
         eprintln!("error: the two files share no benchmarks");
+        if let Some(f) = &cli.filter {
+            eprintln!("(filter was: {f})");
+        }
         return ExitCode::FAILURE;
+    }
+    if let Some(bound) = cli.max_regress {
+        if regressions.is_empty() {
+            println!("gate: all {joined} metrics within {bound:.2}x of baseline");
+        } else {
+            eprintln!(
+                "gate: {} of {joined} metrics regressed past --max-regress {bound:.2}:",
+                regressions.len()
+            );
+            for (name, ratio) in &regressions {
+                eprintln!("  {name}: {ratio:.3}x of baseline");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -204,6 +299,31 @@ mod tests {
         assert_eq!(resolve_path("BENCH_missing_for_sure.json"), "BENCH_missing_for_sure.json");
         // A path with a directory component is never rewritten.
         assert_eq!(resolve_path("elsewhere/BENCH_x.json"), "elsewhere/BENCH_x.json");
+    }
+
+    #[test]
+    fn cli_parses_gate_options_in_any_position() {
+        let to_vec = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        let cli = parse_cli(&to_vec(&["--max-regress", "1.10", "a.json", "b.json"])).unwrap();
+        assert_eq!(cli.before_path, "a.json");
+        assert_eq!(cli.after_path, "b.json");
+        assert_eq!(cli.max_regress, Some(1.10));
+        assert_eq!(cli.filter, None);
+        let cli =
+            parse_cli(&to_vec(&["a.json", "--filter", "allocs_per_round", "b.json"])).unwrap();
+        assert_eq!(cli.filter.as_deref(), Some("allocs_per_round"));
+        assert_eq!(cli.max_regress, None);
+    }
+
+    #[test]
+    fn cli_rejects_bad_gate_arguments() {
+        let to_vec = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert!(parse_cli(&to_vec(&["a.json"])).is_err());
+        assert!(parse_cli(&to_vec(&["a.json", "b.json", "c.json"])).is_err());
+        assert!(parse_cli(&to_vec(&["--max-regress", "zero", "a.json", "b.json"])).is_err());
+        assert!(parse_cli(&to_vec(&["--max-regress", "-1", "a.json", "b.json"])).is_err());
+        assert!(parse_cli(&to_vec(&["--max-regress"])).is_err());
+        assert!(parse_cli(&to_vec(&["--bogus", "a.json", "b.json"])).is_err());
     }
 
     #[test]

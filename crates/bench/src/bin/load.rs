@@ -147,7 +147,20 @@ fn flush_out(report: &Report, out: Option<&String>) -> Result<(), ExitCode> {
 /// The sustained-churn harness: runs every requested mode over the same
 /// spec, records steady-state round metrics per mode, cross-checks the
 /// decision fingerprints and reports the rebuild-vs-incremental speedup.
-fn run_churn_bench(args: &Args, config: &ServiceConfig, report: &mut Report) -> ExitCode {
+///
+/// When the `count-allocs` feature is on, each mode additionally reports
+/// its **warm-round allocation count**: the marginal heap-allocation
+/// cost of one extra steady-state round, measured by differencing a
+/// full run against a second run with twice the rounds — admission and
+/// warm-up allocations cancel out of the difference. The first measured
+/// mode's figure also lands on the machine-context line (`ctx_core` is
+/// the shared context-body prefix built in `main`).
+fn run_churn_bench(
+    args: &Args,
+    config: &ServiceConfig,
+    report: &mut Report,
+    ctx_core: &str,
+) -> ExitCode {
     let spec = ChurnSpec::balanced(
         WorkloadSpec::new(args.seed, args.areas, args.bidders, args.channels),
         args.rounds,
@@ -158,8 +171,9 @@ fn run_churn_bench(args: &Args, config: &ServiceConfig, report: &mut Report) -> 
         args.rounds, args.churn_rate, spec.join_rate, spec.leave_rate, spec.revise_rate
     );
 
-    let mut runs: Vec<(ChurnReport, f64)> = Vec::new();
+    let mut runs: Vec<(ChurnReport, f64, Option<u64>)> = Vec::new();
     for &mode in &args.modes {
+        let single_start = lppa_bench::alloc_count::allocations();
         let start = Instant::now();
         let run = match run_churn(&spec, mode, config.shards, config.threads) {
             Ok(run) => run,
@@ -169,6 +183,32 @@ fn run_churn_bench(args: &Args, config: &ServiceConfig, report: &mut Report) -> 
             }
         };
         let wall_ns = start.elapsed().as_nanos() as f64;
+        let allocs_per_round = single_start.and_then(|a0| {
+            let single = lppa_bench::alloc_count::allocations()? - a0;
+            let mut doubled = spec;
+            doubled.rounds = spec.rounds * 2;
+            let b0 = lppa_bench::alloc_count::allocations()?;
+            run_churn(&doubled, mode, config.shards, config.threads).ok()?;
+            let double = lppa_bench::alloc_count::allocations()? - b0;
+            // Marginal warm rounds: (A(2R) − A(R)) / R.
+            Some(double.saturating_sub(single) / spec.rounds.max(1) as u64)
+        });
+        runs.push((run, wall_ns, allocs_per_round));
+    }
+
+    // Machine-context line first — in churn mode it carries the warm
+    // allocs/round of the first measured mode (the incremental path when
+    // `--mode both`), or "off" without the count-allocs feature.
+    let ctx_allocs = runs
+        .iter()
+        .find_map(|(_, _, allocs)| *allocs)
+        .map_or_else(|| "off".to_string(), |n| n.to_string());
+    report.push(format!(
+        "{{\"group\":\"load\",\"context\":{{{ctx_core},\"allocs_per_round\":\"{ctx_allocs}\"}}}}"
+    ));
+
+    for (run, wall_ns, allocs_per_round) in &runs {
+        let wall_ns = *wall_ns;
         // Timing-free outcome line per mode: the cross-configuration
         // (and cross-mode) diff target for CI.
         report.push(format!(
@@ -198,6 +238,17 @@ fn run_churn_bench(args: &Args, config: &ServiceConfig, report: &mut Report) -> 
             wall_ns,
             &format!(",\"rounds_per_s\":{rounds_per_s:.3}"),
         );
+        // Warm allocs/round doubles as the record's numeric value so the
+        // `compare` bin can ratio it across baselines like any metric.
+        if let Some(n) = allocs_per_round {
+            report.record(
+                &format!("{prefix}/allocs_per_round"),
+                rounds,
+                *n as f64,
+                &format!(",\"allocs_per_round\":{n}"),
+            );
+            eprintln!("[load] {}: {n} heap allocations per warm round", run.mode.name());
+        }
         eprintln!(
             "[load] {}: {} rounds in {:.2}s ({:.2} rounds/s); round p50 {:.2}ms p99 {:.2}ms; {} churn events",
             run.mode.name(),
@@ -211,10 +262,9 @@ fn run_churn_bench(args: &Args, config: &ServiceConfig, report: &mut Report) -> 
         for (area, err) in &run.errors {
             eprintln!("error: area {area} failed during churn: {err}");
         }
-        runs.push((run, wall_ns));
     }
 
-    if let [(a, _), (b, _)] = runs.as_slice() {
+    if let [(a, _, _), (b, _, _)] = runs.as_slice() {
         if a.fingerprint != b.fingerprint {
             eprintln!(
                 "error: {} and {} settled differently ({:#018x} vs {:#018x})",
@@ -241,7 +291,7 @@ fn run_churn_bench(args: &Args, config: &ServiceConfig, report: &mut Report) -> 
     if let Err(code) = flush_out(report, args.out.as_ref()) {
         return code;
     }
-    if runs.iter().any(|(run, _)| !run.errors.is_empty()) {
+    if runs.iter().any(|(run, _, _)| !run.errors.is_empty()) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -261,24 +311,27 @@ fn main() -> ExitCode {
     let mut report = Report { lines: Vec::new() };
 
     // Machine-context metadata, same shape as `lppa_bench::machine_context`
-    // plus the shard count — committed baselines stay interpretable.
+    // plus the shard count — committed baselines stay interpretable. The
+    // churn harness emits the line itself so it can append the measured
+    // warm allocs/round.
     let threads = std::env::var(lppa_par::THREADS_ENV)
         .unwrap_or_else(|_| format!("auto({})", config.threads));
     let shards = std::env::var(lppa_service::SHARDS_ENV)
         .unwrap_or_else(|_| format!("auto({})", config.shards));
-    report.push(format!(
-        "{{\"group\":\"load\",\"context\":{{\"sha_lanes\":\"{}\",\"threads\":\"{threads}\",\"shards\":\"{shards}\",\"cpu_features\":\"{}\"}}}}",
+    let ctx_core = format!(
+        "\"sha_lanes\":\"{}\",\"threads\":\"{threads}\",\"shards\":\"{shards}\",\"cpu_features\":\"{}\"",
         lppa_crypto::lanes::lane_width(),
         lppa_crypto::lanes::cpu_features(),
-    ));
+    );
     eprintln!(
         "[load] {} bidders, {} areas, {} channels, seed {}; shards={shards} threads={threads}",
         args.bidders, args.areas, args.channels, args.seed
     );
 
     if args.churn {
-        return run_churn_bench(&args, &config, &mut report);
+        return run_churn_bench(&args, &config, &mut report, &ctx_core);
     }
+    report.push(format!("{{\"group\":\"load\",\"context\":{{{ctx_core}}}}}"));
 
     let setup_start = Instant::now();
     let plans = match spec.plans() {

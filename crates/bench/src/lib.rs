@@ -11,9 +11,16 @@
 //! * [`experiments::lppa_performance_sweep`] — Fig. 5 (e)(f): revenue
 //!   and satisfaction cost of LPPA.
 
-#![forbid(unsafe_code)]
+// The counting global allocator (`count-allocs` feature) is the one
+// place in the workspace that needs `unsafe`: a `GlobalAlloc` impl is an
+// unsafe trait by definition. The default build keeps the workspace-wide
+// forbid; the feature build downgrades it to deny with a scoped allow on
+// that single module.
+#![cfg_attr(not(feature = "count-allocs"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-allocs", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod experiments;
 
 /// Emits the standard machine-context metadata line for a bench group:

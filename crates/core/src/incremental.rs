@@ -43,10 +43,11 @@ use lppa_auction::conflict::ConflictGraph;
 use lppa_prefix::TagIndex;
 use lppa_rng::Rng;
 
+use crate::arena::{CsrRows, RoundScratch};
 use crate::error::LppaError;
 use crate::ppbs::bid::AdvancedBidSubmission;
 use crate::ppbs::location::{build_conflict_graph, LocationSubmission};
-use crate::protocol::{settle_allocation, AuctioneerModel, PrivateAuctionResult};
+use crate::protocol::{settle_allocation_in, AuctioneerModel, PrivateAuctionResult};
 use crate::psd::table::MaskedBidTable;
 use crate::ttp::Ttp;
 
@@ -60,8 +61,12 @@ pub struct IncrementalAuctioneer {
     model: AuctioneerModel,
     slots: Vec<Option<crate::protocol::SuSubmission>>,
     free: BTreeSet<u32>,
-    /// Per-slot live conflict neighbours, ascending.
-    adj: Vec<BTreeSet<u32>>,
+    /// Per-slot live conflict neighbours, ascending — CSR slab rows
+    /// patched in place (identical iteration order to the `BTreeSet`
+    /// rows they replaced, without per-edge node allocations).
+    adj: CsrRows,
+    /// Reusable staging for attach candidates / detach neighbour sweeps.
+    edge_buf: Vec<u32>,
     /// Persistent index of every live bidder's x-axis range cover.
     x_ranges: TagIndex,
     /// Persistent index of every live bidder's x-axis point family.
@@ -90,7 +95,8 @@ impl IncrementalAuctioneer {
             model,
             slots: Vec::new(),
             free: BTreeSet::new(),
-            adj: Vec::new(),
+            adj: CsrRows::new(),
+            edge_buf: Vec::new(),
             x_ranges: TagIndex::new(),
             x_points: TagIndex::new(),
             orders: Vec::new(),
@@ -125,7 +131,7 @@ impl IncrementalAuctioneer {
             Some(s) => s,
             None => {
                 self.slots.push(None);
-                self.adj.push(BTreeSet::new());
+                self.adj.push_row();
                 (self.slots.len() - 1) as u32
             }
         };
@@ -150,14 +156,20 @@ impl IncrementalAuctioneer {
     }
 
     /// Replaces the bidder's submission in place (a bid revision, or any
-    /// re-mask). The slot keeps its id; only this bidder's tags move.
+    /// re-mask), returning the retired one so callers can recycle its
+    /// tag sets. The slot keeps its id; only this bidder's tags move.
     ///
     /// # Panics
     ///
     /// Panics if the slot is not live.
-    pub fn revise(&mut self, slot: u32, submission: crate::protocol::SuSubmission) {
-        self.detach(slot);
+    pub fn revise(
+        &mut self,
+        slot: u32,
+        submission: crate::protocol::SuSubmission,
+    ) -> crate::protocol::SuSubmission {
+        let old = self.detach(slot);
         self.attach(slot, submission);
+        old
     }
 
     /// Bid-only revision fast path: when the new submission carries the
@@ -171,20 +183,75 @@ impl IncrementalAuctioneer {
     /// Falls back to the full [`revise`](IncrementalAuctioneer::revise)
     /// when the location checksum differs.
     ///
+    /// Like [`revise`](IncrementalAuctioneer::revise), returns the
+    /// retired submission for tag-set recycling.
+    ///
     /// # Panics
     ///
     /// Panics if the slot is not live.
-    pub fn revise_bids(&mut self, slot: u32, submission: crate::protocol::SuSubmission) {
+    pub fn revise_bids(
+        &mut self,
+        slot: u32,
+        submission: crate::protocol::SuSubmission,
+    ) -> crate::protocol::SuSubmission {
         {
             let old = self.slots[slot as usize].as_ref().expect("revise_bids of a non-live slot");
             if old.location.checksum() != submission.location.checksum() {
-                self.revise(slot, submission);
-                return;
+                return self.revise(slot, submission);
             }
         }
         for ch in 0..self.orders.len() {
             self.order_remove(ch, slot);
         }
+        let k = submission.bids.n_channels();
+        if self.orders.len() < k {
+            self.orders.resize_with(k, Vec::new);
+            self.breaks.resize_with(k, Vec::new);
+        }
+        let old =
+            self.slots[slot as usize].replace(submission).expect("revise_bids of a non-live slot");
+        for ch in 0..k {
+            self.order_insert(ch, slot);
+        }
+        old
+    }
+
+    /// First half of a two-phase bid-only revision: takes the resident
+    /// submission out of `slot` (dropping it from every channel order)
+    /// so the caller can salvage its parts — typically reusing the
+    /// masked location via [`SuSubmission::rebuild_bids_in`] — before
+    /// handing a replacement to
+    /// [`put_revised`](IncrementalAuctioneer::put_revised).
+    ///
+    /// The slot stays live but empty in between; no other engine call
+    /// may run until `put_revised` restores it. The replacement **must**
+    /// carry a masked location identical to the taken one (the fast-path
+    /// precondition [`revise_bids`](IncrementalAuctioneer::revise_bids)
+    /// checks by checksum; here the caller guarantees it, normally by
+    /// moving the same [`LocationSubmission`] value back in).
+    ///
+    /// [`SuSubmission::rebuild_bids_in`]: crate::protocol::SuSubmission::rebuild_bids_in
+    /// [`LocationSubmission`]: crate::ppbs::location::LocationSubmission
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live.
+    pub fn take_for_revise(&mut self, slot: u32) -> crate::protocol::SuSubmission {
+        let submission =
+            self.slots[slot as usize].take().expect("take_for_revise of a non-live slot");
+        for ch in 0..self.orders.len() {
+            self.order_remove(ch, slot);
+        }
+        submission
+    }
+
+    /// Second half of a two-phase bid-only revision: installs the
+    /// replacement built from the parts
+    /// [`take_for_revise`](IncrementalAuctioneer::take_for_revise)
+    /// returned and re-ranks the slot in every channel order. Together
+    /// the two halves perform exactly
+    /// [`revise_bids`](IncrementalAuctioneer::revise_bids)' fast path.
+    pub fn put_revised(&mut self, slot: u32, submission: crate::protocol::SuSubmission) {
         let k = submission.bids.n_channels();
         if self.orders.len() < k {
             self.orders.resize_with(k, Vec::new);
@@ -204,7 +271,8 @@ impl IncrementalAuctioneer {
         // probe direction (see the module docs for why both are needed).
         // Sort-and-dedup keeps the same ascending visit order a BTreeSet
         // would give, without per-hit tree inserts.
-        let mut candidates: Vec<u32> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.edge_buf);
+        candidates.clear();
         for tag in submission.location.point_x().iter() {
             candidates.extend_from_slice(self.x_ranges.owners(tag));
         }
@@ -224,10 +292,11 @@ impl IncrementalAuctioneer {
                 submission.location.conflicts_with(&other.location)
             };
             if conflicting {
-                self.adj[slot as usize].insert(peer);
-                self.adj[peer as usize].insert(slot);
+                self.adj.insert(slot as usize, peer);
+                self.adj.insert(peer as usize, slot);
             }
         }
+        self.edge_buf = candidates;
         self.x_ranges.insert_all(submission.location.range_x().iter(), slot);
         self.x_points.insert_all(submission.location.point_x().iter(), slot);
         let k = submission.bids.n_channels();
@@ -297,9 +366,14 @@ impl IncrementalAuctioneer {
         for ch in 0..self.orders.len() {
             self.order_remove(ch, slot);
         }
-        for nb in std::mem::take(&mut self.adj[slot as usize]) {
-            self.adj[nb as usize].remove(&slot);
+        let mut neighbors = std::mem::take(&mut self.edge_buf);
+        neighbors.clear();
+        neighbors.extend_from_slice(self.adj.row(slot as usize));
+        for &nb in &neighbors {
+            self.adj.remove(nb as usize, slot);
         }
+        self.adj.clear_row(slot as usize);
+        self.edge_buf = neighbors;
         submission
     }
 
@@ -307,14 +381,31 @@ impl IncrementalAuctioneer {
     /// [`build_conflict_graph`] over the live submissions in
     /// [`live_slots`](IncrementalAuctioneer::live_slots) order.
     pub fn conflict_graph(&self) -> ConflictGraph {
-        let order = self.live_slots();
-        let mut graph = ConflictGraph::disconnected(order.len());
+        self.conflict_graph_from(&self.live_slots(), Vec::new(), &mut Vec::new())
+    }
+
+    /// [`conflict_graph`](Self::conflict_graph) over a precomputed live
+    /// order, recycling `buf` as the adjacency-matrix backing store and
+    /// `lut` as slot→compact-rank staging. The rank lookup replaces a
+    /// per-edge binary search; neighbours are always live, so stale
+    /// entries for dead slots are never read.
+    fn conflict_graph_from(
+        &self,
+        order: &[u32],
+        buf: Vec<bool>,
+        lut: &mut Vec<u32>,
+    ) -> ConflictGraph {
+        lut.clear();
+        lut.resize(self.slots.len(), 0);
         for (i, &slot) in order.iter().enumerate() {
-            for &nb in &self.adj[slot as usize] {
-                if let Ok(j) = order.binary_search(&nb) {
-                    if i < j {
-                        graph.add_conflict(BidderId(i), BidderId(j));
-                    }
+            lut[slot as usize] = i as u32;
+        }
+        let mut graph = ConflictGraph::disconnected_from(order.len(), buf);
+        for (i, &slot) in order.iter().enumerate() {
+            for &nb in self.adj.row(slot as usize) {
+                let j = lut[nb as usize] as usize;
+                if i < j {
+                    graph.add_conflict(BidderId(i), BidderId(j));
                 }
             }
         }
@@ -326,13 +417,20 @@ impl IncrementalAuctioneer {
     /// [`compute_classes`](crate::psd::table::compute_classes) over
     /// [`compact_submissions`](IncrementalAuctioneer::compact_submissions)'
     /// bids, with **zero** masked comparisons per round.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn channel_classes(&self) -> Vec<Vec<u32>> {
-        let live = self.live_slots();
+        self.channel_classes_in(&self.live_slots(), &mut RoundScratch::new())
+    }
+
+    /// [`channel_classes`](Self::channel_classes) over a precomputed
+    /// live order, filling class vectors checked out of `scratch`.
+    fn channel_classes_in(&self, live: &[u32], scratch: &mut RoundScratch) -> Vec<Vec<u32>> {
         self.orders
             .iter()
             .zip(&self.breaks)
             .map(|(order, breaks)| {
-                let mut classes = vec![0u32; live.len()];
+                let mut classes = scratch.take_classes();
+                classes.resize(live.len(), 0);
                 let mut class = 0u32;
                 for (i, &slot) in order.iter().enumerate() {
                     class += u32::from(breaks[i]);
@@ -372,23 +470,53 @@ impl IncrementalAuctioneer {
         ttp: &Ttp,
         rng: &mut R,
     ) -> Result<PrivateAuctionResult, LppaError> {
+        self.run_round_in(ttp, rng, &mut RoundScratch::new())
+    }
+
+    /// [`run_round`](Self::run_round) over caller-owned
+    /// [`RoundScratch`]: tie classes, the conflict-matrix backing store,
+    /// allocation buffers and charge-verification tag sets all come from
+    /// the pool and return to it, so a warm sustained-churn round runs
+    /// nearly allocation-free. Control flow and RNG consumption are
+    /// identical to [`run_round`](Self::run_round), so the result is
+    /// bitwise-equal.
+    ///
+    /// The scratch also memoizes TTP charge verdicts per `(slot,
+    /// channel)`; a caller that reuses one scratch across rounds **must**
+    /// call [`RoundScratch::charge_clear_slot`] for every slot it joins,
+    /// leaves or revises in between, or stale verdicts may be replayed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::protocol::run_private_auction`].
+    pub fn run_round_in<R: Rng>(
+        &self,
+        ttp: &Ttp,
+        rng: &mut R,
+        scratch: &mut RoundScratch,
+    ) -> Result<PrivateAuctionResult, LppaError> {
         // Phase 2 from resident state: borrow the bid submissions in
         // place (locations are already distilled into the resident
         // graph) and read the tie classes off the maintained channel
         // orders — no clones and no per-round masked ranking sort.
-        let bids: Vec<&AdvancedBidSubmission> = self
-            .live_slots()
-            .into_iter()
-            .map(|s| &self.slots[s as usize].as_ref().expect("live slot").bids)
+        let order = self.live_slots();
+        let bids: Vec<&AdvancedBidSubmission> = order
+            .iter()
+            .map(|&s| &self.slots[s as usize].as_ref().expect("live slot").bids)
             .collect();
-        let classes = self.channel_classes();
+        let classes = self.channel_classes_in(&order, scratch);
         let table = match self.model {
             AuctioneerModel::Oblivious => MaskedBidTable::collect_with_classes(bids, classes)?,
             AuctioneerModel::IterativeCharging => {
                 MaskedBidTable::collect_pruned_with_classes(bids, classes)?
             }
         };
-        settle_allocation(&table, self.conflict_graph(), ttp, rng)
+        let mut lut = scratch.take_classes();
+        let conflicts = self.conflict_graph_from(&order, scratch.take_matrix(), &mut lut);
+        scratch.recycle_classes([lut]);
+        let result = settle_allocation_in(&table, conflicts, ttp, rng, scratch, Some(&order));
+        scratch.recycle_classes(table.into_classes());
+        result
     }
 }
 

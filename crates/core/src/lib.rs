@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arena;
 pub mod backend;
 pub mod config;
 pub mod error;

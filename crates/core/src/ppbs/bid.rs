@@ -20,7 +20,7 @@
 
 use lppa_crypto::keys::{HmacKey, SealKey};
 use lppa_crypto::seal::SealedValue;
-use lppa_prefix::{MaskedPoint, MaskedRange};
+use lppa_prefix::{MaskScratch, MaskedPoint, MaskedRange};
 use lppa_rng::Rng;
 
 use crate::config::LppaConfig;
@@ -67,19 +67,53 @@ impl ChannelBid {
         pad_range: bool,
         rng: &mut R,
     ) -> Result<Self, LppaError> {
+        Self::build_in(
+            key,
+            gc,
+            width,
+            domain_max,
+            shown_value,
+            true_value,
+            pad_range,
+            rng,
+            &mut MaskScratch::new(),
+        )
+    }
+
+    /// [`ChannelBid::build`] staging through a pooled scratch. RNG draw
+    /// order (range padding, then seal nonce) is identical to the
+    /// unpooled path, so output bits match exactly.
+    #[allow(clippy::too_many_arguments)] // private constructor mirroring the protocol fields
+    fn build_in<R: Rng + ?Sized>(
+        key: &HmacKey,
+        gc: &SealKey,
+        width: u8,
+        domain_max: u32,
+        shown_value: u32,
+        true_value: u32,
+        pad_range: bool,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, LppaError> {
         let range = if pad_range {
-            MaskedRange::mask_padded(key, width, shown_value, domain_max, rng)?
+            MaskedRange::mask_padded_in(key, width, shown_value, domain_max, rng, scratch)?
         } else {
             // The basic scheme of §IV.B transmits the minimal cover;
             // its size leaks the bid (§IV.C.1 problem 3), which the
             // advanced scheme's padding closes.
-            MaskedRange::mask(key, width, shown_value, domain_max)?
+            MaskedRange::mask_in(key, width, shown_value, domain_max, scratch)?
         };
         Ok(Self {
-            point: MaskedPoint::mask(key, width, shown_value)?,
+            point: MaskedPoint::mask_in(key, width, shown_value, scratch)?,
             range,
             sealed: SealedValue::seal(gc, u64::from(true_value), rng),
         })
+    }
+
+    /// Retires this bid, recycling its two tag sets into `scratch`.
+    fn reclaim(self, scratch: &mut MaskScratch) {
+        scratch.reclaim_point(self.point);
+        scratch.reclaim_range(self.range);
     }
 }
 
@@ -174,6 +208,24 @@ impl AdvancedBidSubmission {
         policy: &ZeroReplacePolicy,
         rng: &mut R,
     ) -> Result<Self, LppaError> {
+        Self::build_in(raw_bids, keys, config, policy, rng, &mut MaskScratch::new())
+    }
+
+    /// [`AdvancedBidSubmission::build`] staging through a pooled
+    /// [`MaskScratch`]: bit-identical output, allocation-free tag sets
+    /// once the pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AdvancedBidSubmission::build`].
+    pub fn build_in<R: Rng + ?Sized>(
+        raw_bids: &[u32],
+        keys: &BidderKeys,
+        config: &LppaConfig,
+        policy: &ZeroReplacePolicy,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, LppaError> {
         config.validate()?;
         if raw_bids.len() != keys.gb.len() {
             return Err(LppaError::ChannelCountMismatch {
@@ -217,7 +269,7 @@ impl AdvancedBidSubmission {
                     presented_positive.push(true);
                     true_value
                 };
-                ChannelBid::build(
+                ChannelBid::build_in(
                     key,
                     &keys.gc,
                     width,
@@ -226,10 +278,19 @@ impl AdvancedBidSubmission {
                     true_value,
                     true,
                     rng,
+                    scratch,
                 )
             })
             .collect::<Result<_, _>>()?;
         Ok(Self { bids, presented_positive })
+    }
+
+    /// Retires this submission, recycling every per-channel tag set into
+    /// `scratch` for the next [`build_in`](Self::build_in).
+    pub fn reclaim(self, scratch: &mut MaskScratch) {
+        for bid in self.bids {
+            bid.reclaim(scratch);
+        }
     }
 
     /// Reassembles a submission from raw parts — the receiving side of a

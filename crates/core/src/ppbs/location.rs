@@ -14,7 +14,7 @@
 use lppa_auction::bidder::Location;
 use lppa_auction::conflict::ConflictGraph;
 use lppa_crypto::keys::HmacKey;
-use lppa_prefix::{MaskedPoint, MaskedRange, TagIndex};
+use lppa_prefix::{FrozenTagIndex, MaskScratch, MaskedPoint, MaskedRange};
 use lppa_rng::Rng;
 
 use crate::config::LppaConfig;
@@ -62,6 +62,23 @@ impl LocationSubmission {
         config: &LppaConfig,
         rng: &mut R,
     ) -> Result<Self, LppaError> {
+        Self::build_in(location, g0, config, rng, &mut MaskScratch::new())
+    }
+
+    /// [`LocationSubmission::build`] staging through a pooled
+    /// [`MaskScratch`]: bit-identical output, allocation-free once the
+    /// pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LocationSubmission::build`].
+    pub fn build_in<R: Rng + ?Sized>(
+        location: Location,
+        g0: &HmacKey,
+        config: &LppaConfig,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, LppaError> {
         config.validate()?;
         let max = config.loc_max();
         for coordinate in [location.x, location.y] {
@@ -72,15 +89,66 @@ impl LocationSubmission {
         let w = config.loc_bits;
         let half = 2 * config.lambda - 1; // closed-range radius for strict < 2λ
         let build_axis = |value: u32,
-                          rng: &mut R|
+                          rng: &mut R,
+                          scratch: &mut MaskScratch|
          -> Result<(MaskedPoint, MaskedRange), LppaError> {
             let lo = value.saturating_sub(half);
             let hi = (value + half).min(max);
-            Ok((MaskedPoint::mask(g0, w, value)?, MaskedRange::mask_padded(g0, w, lo, hi, rng)?))
+            Ok((
+                MaskedPoint::mask_in(g0, w, value, scratch)?,
+                MaskedRange::mask_padded_in(g0, w, lo, hi, rng, scratch)?,
+            ))
         };
-        let (point_x, range_x) = build_axis(location.x, rng)?;
-        let (point_y, range_y) = build_axis(location.y, rng)?;
+        let (point_x, range_x) = build_axis(location.x, rng, scratch)?;
+        let (point_y, range_y) = build_axis(location.y, rng, scratch)?;
         Ok(Self { point_x, range_x, point_y, range_y })
+    }
+
+    /// Consumes exactly the RNG draws [`build_in`](Self::build_in) would
+    /// for `location`, computing no HMAC.
+    ///
+    /// A revise that keeps the bidder's location and seed can reuse the
+    /// resident masked location verbatim (same key + same draws ⇒ the
+    /// re-mask is bit-identical) and call this to advance the bidder's
+    /// seeded stream to where the bid build starts, keeping the cheap
+    /// path bit-aligned with a full re-mask. Mirrors `build_in`'s
+    /// validation and interference-range derivation exactly; the
+    /// draw-count argument is
+    /// [`MaskedRange::replay_padding_draws`]'s.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LocationSubmission::build`].
+    pub fn replay_build_draws<R: Rng + ?Sized>(
+        location: Location,
+        config: &LppaConfig,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<(), LppaError> {
+        config.validate()?;
+        let max = config.loc_max();
+        for coordinate in [location.x, location.y] {
+            if coordinate > max {
+                return Err(LppaError::LocationOutOfRange { coordinate, max });
+            }
+        }
+        let w = config.loc_bits;
+        let half = 2 * config.lambda - 1;
+        for value in [location.x, location.y] {
+            let lo = value.saturating_sub(half);
+            let hi = (value + half).min(max);
+            MaskedRange::replay_padding_draws(w, lo, hi, rng, scratch)?;
+        }
+        Ok(())
+    }
+
+    /// Retires this submission, recycling its four tag sets into
+    /// `scratch` for the next [`build_in`](Self::build_in).
+    pub fn reclaim(self, scratch: &mut MaskScratch) {
+        scratch.reclaim_point(self.point_x);
+        scratch.reclaim_range(self.range_x);
+        scratch.reclaim_point(self.point_y);
+        scratch.reclaim_range(self.range_y);
     }
 
     /// The auctioneer's conflict test: does `self`'s point fall inside
@@ -190,7 +258,7 @@ impl LocationSubmission {
 ///
 /// Implemented with an inverted tag index instead of the naive pairwise
 /// loop (see [`build_conflict_graph_pairwise`]): every bidder's x-axis
-/// range tags go into a [`TagIndex`], each bidder's x-axis point tags
+/// range tags go into a [`FrozenTagIndex`], each bidder's x-axis point tags
 /// are probed against it, and only the resulting candidate pairs — those
 /// whose x-sets actually intersect — are confirmed on the y axis. The
 /// pairwise loop spends `O(n² · w)` hash probes; the index spends
@@ -209,12 +277,19 @@ pub fn build_conflict_graph(submissions: &[LocationSubmission]) -> ConflictGraph
         return graph;
     }
 
-    // Index every bidder's x-axis range cover.
+    // Index every bidder's x-axis range cover. The dense build freezes
+    // straight into the flat-CSR form: three allocations total instead
+    // of one potential SmallVec spill per shared tag, and packed
+    // owner rows for the probe loop below. Probe results are
+    // byte-identical to the incremental TagIndex (pinned by the prefix
+    // crate's property suite).
     let tags_per_range = submissions[0].range_x.len();
-    let mut index = TagIndex::with_capacity(n * tags_per_range);
-    for (j, s) in submissions.iter().enumerate() {
-        index.insert_all(s.range_x.iter(), j as u32);
-    }
+    let index = FrozenTagIndex::freeze(n * tags_per_range, || {
+        submissions
+            .iter()
+            .enumerate()
+            .flat_map(|(j, s)| s.range_x.iter().map(move |t| (t, j as u32)))
+    });
 
     // Probe every bidder's x-axis point family and confirm candidates on
     // the y axis. A candidate pair is reported at most once per probe

@@ -12,7 +12,10 @@
 //!    back, disguised zeros are flagged invalid (the channel grant is
 //!    wasted — the §VI performance cost of the defence).
 
-use lppa_auction::allocation::{greedy_allocate, Grant};
+use lppa_auction::allocation::{greedy_allocate, greedy_allocate_in, Grant};
+use lppa_prefix::MaskScratch;
+
+use crate::arena::RoundScratch;
 use lppa_auction::bidder::{BidderId, Location};
 use lppa_auction::conflict::ConflictGraph;
 use lppa_auction::outcome::{Assignment, AuctionOutcome};
@@ -50,12 +53,74 @@ impl SuSubmission {
         policy: &ZeroReplacePolicy,
         rng: &mut R,
     ) -> Result<Self, LppaError> {
+        Self::build_in(location, raw_bids, ttp, policy, rng, &mut MaskScratch::new())
+    }
+
+    /// [`SuSubmission::build`] staging every tag set through a pooled
+    /// [`MaskScratch`]: bit-identical output, and allocation-free masking
+    /// once the pool holds enough retired sets (see
+    /// [`reclaim`](Self::reclaim)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SuSubmission::build`].
+    pub fn build_in<R: Rng + ?Sized>(
+        location: Location,
+        raw_bids: &[u32],
+        ttp: &Ttp,
+        policy: &ZeroReplacePolicy,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, LppaError> {
         let keys = ttp.bidder_keys();
         let config = ttp.config();
         Ok(Self {
-            location: LocationSubmission::build(location, &keys.g0, config, rng)?,
-            bids: AdvancedBidSubmission::build(raw_bids, keys, config, policy, rng)?,
+            location: LocationSubmission::build_in(location, &keys.g0, config, rng, scratch)?,
+            bids: AdvancedBidSubmission::build_in(raw_bids, keys, config, policy, rng, scratch)?,
         })
+    }
+
+    /// Rebuilds only the bid half of a submission, reusing a resident
+    /// masked location unchanged.
+    ///
+    /// For a bidder whose location **and** seed are unchanged since its
+    /// last full build, re-masking the location reproduces the resident
+    /// tags bit for bit — so a revise can skip those HMACs entirely. The
+    /// caller passes the resident [`LocationSubmission`] back in along
+    /// with the plaintext `location` it was built from; this replays the
+    /// location build's RNG draws (see
+    /// [`LocationSubmission::replay_build_draws`]) so the bid build
+    /// starts at the same stream position as a full
+    /// [`build_in`](Self::build_in), then masks the new bids for real.
+    /// Output is bit-identical to a full rebuild with the same RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SuSubmission::build`].
+    pub fn rebuild_bids_in<R: Rng + ?Sized>(
+        resident: LocationSubmission,
+        location: Location,
+        raw_bids: &[u32],
+        ttp: &Ttp,
+        policy: &ZeroReplacePolicy,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, LppaError> {
+        let keys = ttp.bidder_keys();
+        let config = ttp.config();
+        LocationSubmission::replay_build_draws(location, config, rng, scratch)?;
+        Ok(Self {
+            location: resident,
+            bids: AdvancedBidSubmission::build_in(raw_bids, keys, config, policy, rng, scratch)?,
+        })
+    }
+
+    /// Retires this submission, recycling every backing tag set into
+    /// `scratch` — the churn service reclaims leavers' and revisers'
+    /// submissions so sustained rounds stop touching the allocator.
+    pub fn reclaim(self, scratch: &mut MaskScratch) {
+        self.location.reclaim(scratch);
+        self.bids.reclaim(scratch);
     }
 
     /// Total transmission size in bytes.
@@ -254,16 +319,68 @@ where
     S: std::borrow::Borrow<AdvancedBidSubmission> + Sync,
     R: Rng,
 {
+    settle_allocation_in(table, conflicts, ttp, rng, &mut RoundScratch::new(), None)
+}
+
+/// [`settle_allocation`] over caller-owned scratch: the allocation loop
+/// runs on pooled buffers and the charging step borrows each winning
+/// bid's sealed value and masked point in place (no [`ChargeRequest`]
+/// clones), verifying through the scratch's tag-set pool. Control flow
+/// and RNG consumption match [`settle_allocation`] exactly.
+///
+/// `slots`, when given, maps each compact bidder id to its stable slot
+/// id and turns on the scratch's per-slot charge-decision memo: a
+/// decision is a pure function of the TTP's channel key and the slot's
+/// resident `(sealed, point)` pair, so re-verifying an unchurned winner
+/// re-derives the identical verdict — the memo skips that HMAC work
+/// without moving an output bit. The caller owns invalidation
+/// ([`RoundScratch::charge_clear_slot`] on every churn event).
+pub(crate) fn settle_allocation_in<S, R>(
+    table: &MaskedBidTable<S>,
+    conflicts: ConflictGraph,
+    ttp: &Ttp,
+    rng: &mut R,
+    scratch: &mut RoundScratch,
+    slots: Option<&[u32]>,
+) -> Result<PrivateAuctionResult, LppaError>
+where
+    S: std::borrow::Borrow<AdvancedBidSubmission> + Sync,
+    R: Rng,
+{
     // Phase 3: greedy allocation over masked comparisons.
-    let grants = greedy_allocate(table, &conflicts, rng);
+    let grants = greedy_allocate_in(table, &conflicts, rng, &mut scratch.alloc);
 
-    // Phase 4: batch charging through the TTP.
-    let requests = charge_requests(table, &grants)?;
-    let decisions = ttp.open_charges(&requests)?;
-
+    // Phase 4: charging through the TTP, borrowing winning bids in
+    // place. Fail-fast like `Ttp::open_charges`: the first tampering
+    // verdict aborts the round.
+    let k = ttp.n_channels();
     let mut assignments = Vec::new();
     let mut invalid_grants = Vec::new();
-    for (grant, decision) in grants.iter().zip(decisions) {
+    for grant in &grants {
+        let bid = table
+            .submissions()
+            .get(grant.bidder.0)
+            .and_then(|s| s.borrow().bids().get(grant.channel.0))
+            .ok_or_else(|| LppaError::Internal {
+                what: format!("grant ({}, {}) outside bid table", grant.bidder.0, grant.channel.0),
+            })?;
+        let slot = slots.map(|order| order[grant.bidder.0]);
+        let memo = slot.and_then(|s| scratch.charge_get(s, grant.channel.0));
+        let decision = match memo {
+            Some(decision) => decision,
+            None => {
+                let decision = ttp.open_charge_parts(
+                    grant.channel,
+                    &bid.sealed,
+                    &bid.point,
+                    &mut scratch.mask,
+                )?;
+                if let Some(s) = slot {
+                    scratch.charge_put(s, k, grant.channel.0, decision);
+                }
+                decision
+            }
+        };
         match decision {
             ChargeDecision::Valid { raw_price } => assignments.push(Assignment {
                 bidder: grant.bidder,
@@ -475,11 +592,16 @@ pub fn build_submissions<R: Rng>(
 ) -> Result<Vec<SuSubmission>, LppaError> {
     let seeded: Vec<(u64, &(Location, Vec<u32>))> =
         bidders.iter().map(|bidder| (rng.next_u64(), bidder)).collect();
-    lppa_par::par_map_aligned(&seeded, lppa_crypto::lanes::lane_width(), |(seed, bidder)| {
-        let (location, raw_bids) = bidder;
-        let mut child = StdRng::seed_from_u64(*seed);
-        SuSubmission::build(*location, raw_bids, ttp, policy, &mut child)
-    })
+    lppa_par::par_map_staged(
+        &seeded,
+        lppa_crypto::lanes::lane_width(),
+        MaskScratch::new,
+        |scratch, (seed, bidder)| {
+            let (location, raw_bids) = bidder;
+            let mut child = StdRng::seed_from_u64(*seed);
+            SuSubmission::build_in(*location, raw_bids, ttp, policy, &mut child, scratch)
+        },
+    )
     .into_iter()
     .collect()
 }

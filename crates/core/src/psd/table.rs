@@ -11,7 +11,6 @@
 use lppa_auction::allocation::BidOracle;
 use lppa_auction::bidder::BidderId;
 use lppa_prefix::TagIndex;
-use lppa_rng::seq::SliceRandom;
 use lppa_spectrum::ChannelId;
 
 use std::borrow::Borrow;
@@ -139,6 +138,12 @@ impl<S: Borrow<AdvancedBidSubmission> + Sync> MaskedBidTable<S> {
     /// channel `ch` (`0` highest, ties share a class).
     pub fn classes(&self) -> &[Vec<u32>] {
         &self.classes
+    }
+
+    /// Tears the table down to its tie-class vectors so a pooled round
+    /// loop can recycle their backing storage.
+    pub(crate) fn into_classes(self) -> Vec<Vec<u32>> {
+        self.classes
     }
 
     /// The per-channel point-tag indexes, built on first use (the
@@ -320,12 +325,22 @@ impl<S: Borrow<AdvancedBidSubmission> + Sync> BidOracle for MaskedBidTable<S> {
             // fallback shape instead of panicking mid-auction.
             return candidates.first().copied().unwrap_or(BidderId(0));
         };
-        let maxima: Vec<BidderId> =
-            candidates.iter().copied().filter(|c| classes[c.0] == best).collect();
-        match maxima.choose(rng) {
-            Some(&winner) => winner,
-            None => candidates[0],
+        // Count-then-draw-then-scan replaces collecting the maxima into
+        // a Vec and calling `choose`: `choose` on a length-`m` slice
+        // draws exactly `gen_range(0..m)`, so the RNG stream and the
+        // picked bidder are bit-identical — with zero allocations in the
+        // auction's innermost loop.
+        let m = candidates.iter().filter(|c| classes[c.0] == best).count();
+        if m == 0 {
+            return candidates[0];
         }
+        let pick = lppa_rng::Rng::gen_range(rng, 0..m);
+        candidates
+            .iter()
+            .copied()
+            .filter(|c| classes[c.0] == best)
+            .nth(pick)
+            .unwrap_or(candidates[0])
     }
 }
 

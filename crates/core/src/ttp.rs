@@ -15,7 +15,7 @@
 
 use lppa_crypto::keys::{HmacKey, SealKey};
 use lppa_crypto::seal::SealedValue;
-use lppa_prefix::MaskedPoint;
+use lppa_prefix::{MaskScratch, MaskedPoint};
 use lppa_rng::Rng;
 use lppa_spectrum::ChannelId;
 
@@ -140,13 +140,36 @@ impl Ttp {
     ///   the bidder lied to the allocation stage;
     /// * [`LppaError::ChannelCountMismatch`] — unknown channel.
     pub fn open_charge(&self, request: &ChargeRequest) -> Result<ChargeDecision, LppaError> {
-        let key = self.keys.gb.get(request.channel.0).ok_or(LppaError::ChannelCountMismatch {
-            submitted: request.channel.0 + 1,
+        self.open_charge_parts(
+            request.channel,
+            &request.sealed,
+            &request.point,
+            &mut MaskScratch::new(),
+        )
+    }
+
+    /// [`Self::open_charge`] over borrowed request parts, staging the
+    /// verification mask through a pooled scratch — the hot settlement
+    /// path charges winners without cloning their sealed values or tag
+    /// sets and, with a warm scratch, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::open_charge`].
+    pub fn open_charge_parts(
+        &self,
+        channel: ChannelId,
+        sealed: &SealedValue,
+        point: &MaskedPoint,
+        scratch: &mut MaskScratch,
+    ) -> Result<ChargeDecision, LppaError> {
+        let key = self.keys.gb.get(channel.0).ok_or(LppaError::ChannelCountMismatch {
+            submitted: channel.0 + 1,
             expected: self.keys.gb.len(),
         })?;
 
         let transformed =
-            request.sealed.open(&self.keys.gc).map_err(|_| LppaError::ChargeAuthentication)?;
+            sealed.open(&self.keys.gc).map_err(|_| LppaError::ChargeAuthentication)?;
         let transformed =
             u32::try_from(transformed).map_err(|_| LppaError::ChargeAuthentication)?;
 
@@ -161,8 +184,11 @@ impl Ttp {
         // Verify the winner did not manipulate its price: the masked
         // family of the sealed transformed value must equal the family it
         // submitted for allocation.
-        let expected = MaskedPoint::mask(key, self.config.transformed_bits(), transformed)?;
-        if expected != request.point {
+        let expected =
+            MaskedPoint::mask_in(key, self.config.transformed_bits(), transformed, scratch)?;
+        let manipulated = expected != *point;
+        scratch.reclaim_point(expected);
+        if manipulated {
             return Err(LppaError::ChargeManipulated);
         }
         Ok(ChargeDecision::Valid { raw_price: self.config.decode_offset(offset_value) })

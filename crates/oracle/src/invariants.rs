@@ -128,6 +128,12 @@ pub fn registry() -> Vec<Invariant> {
             check: backend_outcome_equivalence,
         },
         Invariant {
+            name: "backend_arena_pool_equivalence",
+            summary:
+                "one scratch pool reused across all builds and every backend settles bit-identically",
+            check: backend_arena_pool_equivalence,
+        },
+        Invariant {
             name: "vickrey_charge_correctness",
             summary:
                 "Vickrey winners pay the critical losing bid, and misreporting never helps them",
@@ -737,6 +743,75 @@ fn backend_outcome_equivalence(run: &ScenarioRun) -> Result<(), String> {
         run.scenario.n_channels,
         "bloom-backend",
     )
+}
+
+/// The pool-reuse grid: `LPPA_BACKEND ∈ {hmac, bloom, ledger}` × arena
+/// on/off must land on the same fingerprints.
+///
+/// "Arena on" is modelled explicitly (no env mutation): every
+/// submission is rebuilt through **one** shared [`MaskScratch`] — warmed
+/// by reclaiming a throwaway build first, so later builds genuinely
+/// check recycled sets out of the pool — and each backend then settles
+/// those pool-built submissions. The recorded `ScenarioRun` results are
+/// the arena-off side (fresh allocations everywhere). Checksums pin the
+/// builds, grant/assignment sets pin every backend's settlement; any
+/// state leaking from one bidder's build to the next, or from one
+/// backend's round to the next, shows up as a diff.
+fn backend_arena_pool_equivalence(run: &ScenarioRun) -> Result<(), String> {
+    use lppa::backend::run_private_auction_with_backend;
+    use lppa::protocol::{AuctioneerModel, SuSubmission};
+    use lppa_prefix::MaskScratch;
+
+    let scenario = &run.scenario;
+    let inputs = scenario.bidder_inputs();
+    let policy = scenario.policy();
+
+    let mut scratch = MaskScratch::new();
+    let mut seed_rng = StdRng::seed_from_u64(scenario.submission_seed());
+    let seeds: Vec<u64> = inputs.iter().map(|_| seed_rng.next_u64()).collect();
+    if let (Some(&seed), Some((location, raw))) = (seeds.first(), inputs.first()) {
+        let mut child = StdRng::seed_from_u64(seed);
+        SuSubmission::build_in(*location, raw, &run.ttp, &policy, &mut child, &mut scratch)
+            .map_err(|e| format!("pool warm-up build failed: {e}"))?
+            .reclaim(&mut scratch);
+    }
+    let mut pooled = Vec::with_capacity(inputs.len());
+    for (i, (&seed, (location, raw))) in seeds.iter().zip(&inputs).enumerate() {
+        let mut child = StdRng::seed_from_u64(seed);
+        let sub =
+            SuSubmission::build_in(*location, raw, &run.ttp, &policy, &mut child, &mut scratch)
+                .map_err(|e| format!("pooled build of bidder {i} failed: {e}"))?;
+        if sub.checksum() != run.serial_checksums[i] {
+            return Err(format!(
+                "pooled rebuild of bidder {i} diverged from the fresh serial build"
+            ));
+        }
+        pooled.push(sub);
+    }
+
+    for recorded in &run.backend.results {
+        let replay = run_private_auction_with_backend(
+            &pooled,
+            &run.ttp,
+            AuctioneerModel::IterativeCharging,
+            recorded.kind,
+            &mut StdRng::seed_from_u64(scenario.alloc_seed()),
+        )
+        .map_err(|e| {
+            format!("{:?} backend replay over pooled builds failed: {e}", recorded.kind)
+        })?;
+        if replay.result.grants != recorded.result.grants
+            || assignment_set(&replay.result.outcome) != assignment_set(&recorded.result.outcome)
+            || grant_set(&replay.result.invalid_grants)
+                != grant_set(&recorded.result.invalid_grants)
+        {
+            return Err(format!(
+                "{:?} backend settled pool-built submissions differently from fresh builds",
+                recorded.kind
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn vickrey_charge_correctness(run: &ScenarioRun) -> Result<(), String> {

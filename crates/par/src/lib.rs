@@ -231,6 +231,45 @@ where
     flatten_in_order(per_chunk)
 }
 
+/// [`par_map_aligned`] with a per-chunk staging value: each worker chunk
+/// checks one `S` out of `init()` and threads it mutably through every
+/// item it maps, so scratch buffers (tag-set pools, prefix staging)
+/// amortize across a whole chunk instead of being rebuilt per item.
+///
+/// `f` must give the same result for any prior state of its stage (the
+/// workspace's scratch types guarantee exactly that: pooled buffers are
+/// observationally identical to fresh ones), which keeps the output
+/// independent of chunk boundaries and thread count, like
+/// [`par_map_aligned`].
+///
+/// # Examples
+///
+/// ```
+/// let out = lppa_par::par_map_staged(&[1u32, 2, 3], 1, Vec::new, |buf: &mut Vec<u32>, &x| {
+///     buf.push(x); // per-chunk scratch, reused across the chunk's items
+///     x * 2
+/// });
+/// assert_eq!(out, [2, 4, 6]);
+/// ```
+pub fn par_map_staged<T, R, S, I, F>(items: &[T], align: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = thread_count();
+    let mut chunk_size = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    if align > 1 {
+        chunk_size = chunk_size.div_ceil(align) * align;
+    }
+    let per_chunk = par_chunks(items, chunk_size, |_, chunk| {
+        let mut stage = init();
+        chunk.iter().map(|item| f(&mut stage, item)).collect::<Vec<R>>()
+    });
+    flatten_in_order(per_chunk)
+}
+
 /// Splits `items` into `chunk_size`-sized chunks (the last may be
 /// shorter) and maps `f` over them in parallel. `f` receives the chunk
 /// index and the chunk; results come back in chunk order.

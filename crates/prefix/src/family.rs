@@ -33,14 +33,29 @@ use crate::prefix::Prefix;
 /// # }
 /// ```
 pub fn prefix_family(width: u8, value: u32) -> Result<Vec<Prefix>, PrefixError> {
+    let mut family = Vec::with_capacity(usize::from(width) + 1);
+    prefix_family_into(width, value, &mut family)?;
+    Ok(family)
+}
+
+/// [`prefix_family`] into a caller-owned buffer: the buffer is cleared
+/// and refilled, retaining its capacity, so pooled callers (the arena
+/// scratch layer) pay zero allocations after warm-up.
+///
+/// # Errors
+///
+/// Returns [`PrefixError`] as for [`prefix_family`]; on error the buffer
+/// is left cleared.
+pub fn prefix_family_into(width: u8, value: u32, out: &mut Vec<Prefix>) -> Result<(), PrefixError> {
+    out.clear();
     // Validate once via the strictest constructor.
     Prefix::exact(width, value)?;
-    let mut family = Vec::with_capacity(usize::from(width) + 1);
+    out.reserve(usize::from(width) + 1);
     for spec_len in (0..=width).rev() {
         let bits = if spec_len == 0 { 0 } else { value >> (width - spec_len) };
-        family.push(Prefix::new(width, bits, spec_len).expect("validated above"));
+        out.push(Prefix::new(width, bits, spec_len).expect("validated above"));
     }
-    Ok(family)
+    Ok(())
 }
 
 #[cfg(test)]

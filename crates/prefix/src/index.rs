@@ -309,12 +309,139 @@ impl TagIndex {
     }
 }
 
+/// A frozen, flat-CSR tag index for dense one-shot builds.
+///
+/// Where [`TagIndex`] keeps one [`SmallVec`] per distinct tag — ideal
+/// for incremental insert/remove but one potential heap spill per bucket
+/// — the frozen form packs **every** owner entry into a single `entries`
+/// slab addressed by an `offsets` prefix-sum (classic CSR): exactly
+/// three allocations regardless of how many buckets spill, contiguous
+/// probe reads, and no per-bucket capacity slack. It cannot be mutated
+/// after construction; the dense batch paths build it, probe it, and
+/// drop it within one round.
+///
+/// [`owners`](FrozenTagIndex::owners) returns owners in insertion
+/// order, exactly like [`TagIndex::owners`] over the same insertion
+/// sequence — the property suite pins the two to byte-identical slices,
+/// which is what lets the dense conflict-graph build swap freely
+/// between them.
+#[derive(Clone, Debug, Default)]
+pub struct FrozenTagIndex {
+    rows: HashMap<Tag, u32, TagBuildHasher>,
+    offsets: Vec<u32>,
+    entries: Vec<u32>,
+}
+
+impl FrozenTagIndex {
+    /// Builds the index from two passes over the same `(tag, owner)`
+    /// sequence: `pass()` must yield an identical sequence both times
+    /// (the first pass assigns rows and counts them, the second fills
+    /// the packed slab). `expected_tags` pre-sizes the row map.
+    pub fn freeze<'a, I, F>(expected_tags: usize, mut pass: F) -> Self
+    where
+        I: Iterator<Item = (&'a Tag, u32)>,
+        F: FnMut() -> I,
+    {
+        let mut rows: HashMap<Tag, u32, TagBuildHasher> =
+            HashMap::with_capacity_and_hasher(expected_tags, TagBuildHasher::default());
+        let mut counts: Vec<u32> = Vec::with_capacity(expected_tags);
+        for (tag, _) in pass() {
+            match rows.entry(*tag) {
+                Entry::Occupied(slot) => counts[*slot.get() as usize] += 1,
+                Entry::Vacant(slot) => {
+                    slot.insert(counts.len() as u32);
+                    counts.push(1);
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        // Reuse `counts` as per-row write cursors, rebased to row starts.
+        let mut cursors = counts;
+        let n_rows = cursors.len();
+        cursors.copy_from_slice(&offsets[..n_rows]);
+        let mut entries = vec![0u32; total as usize];
+        for (tag, owner) in pass() {
+            let row = rows[tag] as usize;
+            entries[cursors[row] as usize] = owner;
+            cursors[row] += 1;
+        }
+        Self { rows, offsets, entries }
+    }
+
+    /// Every owner recorded for `tag`, in insertion order; empty if the
+    /// tag was never inserted.
+    pub fn owners(&self, tag: &Tag) -> &[u32] {
+        match self.rows.get(tag) {
+            Some(&row) => {
+                let row = row as usize;
+                &self.entries[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// Number of distinct tags indexed.
+    pub fn distinct_tags(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of `(tag, owner)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tag(byte: u8) -> Tag {
         Tag::from_bytes([byte; 16])
+    }
+
+    #[test]
+    fn frozen_index_matches_tag_index_probes() {
+        // Over the same insertion sequence, the frozen CSR form and the
+        // incremental map must return byte-identical owner slices for
+        // every tag (present or absent) — including duplicate (tag,
+        // owner) entries and buckets past the SmallVec spill point.
+        let mut seq: Vec<(Tag, u32)> = Vec::new();
+        let mut state = 0x9e37_79b9_u64;
+        for owner in 0..300u32 {
+            for _ in 0..1 + (owner % 4) {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seq.push((tag((state >> 33) as u8), owner));
+            }
+        }
+        let mut dynamic = TagIndex::new();
+        for &(t, owner) in &seq {
+            dynamic.insert(t, owner);
+        }
+        let frozen = FrozenTagIndex::freeze(seq.len(), || seq.iter().map(|(t, o)| (t, *o)));
+        assert_eq!(frozen.entry_count(), dynamic.entry_count());
+        assert_eq!(frozen.distinct_tags(), dynamic.distinct_tags());
+        for probe in 0..=255u8 {
+            let t = tag(probe);
+            assert_eq!(frozen.owners(&t), dynamic.owners(&t), "tag byte {probe}");
+        }
+    }
+
+    #[test]
+    fn frozen_index_of_nothing_is_empty() {
+        let frozen = FrozenTagIndex::freeze(0, std::iter::empty);
+        assert!(frozen.is_empty());
+        assert_eq!(frozen.owners(&tag(7)), &[] as &[u32]);
     }
 
     #[test]
@@ -450,6 +577,69 @@ mod tests {
         assert!(index.remove(&tag(4), 7));
         assert!(index.owners(&tag(4)).is_empty());
         assert!(!index.remove(&tag(4), 7));
+    }
+
+    #[test]
+    fn interleaved_churn_with_compaction_matches_dense_rebuild() {
+        // Property: after ANY interleaving of insert_all / remove_all /
+        // compact, every probe must return a slice byte-identical to a
+        // dense rebuild that replays only the surviving entries in
+        // original insertion order. This pins the whole tombstone +
+        // in-place-compaction machinery: removal keeps survivor order
+        // stable, tombstoned slots stay probe-invisible, and explicit
+        // or threshold-triggered sweeps never reorder a bucket.
+        let mut state = 0x1234_5678_9abc_def0_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 32
+        };
+        let mut index = TagIndex::new();
+        // Insertion log of live entries: (tag, owner), original order.
+        let mut log: Vec<(Tag, u32)> = Vec::new();
+        // Per-owner tag sets so remove_all mirrors real usage (a slot
+        // retiring its whole transmitted set).
+        let mut sets: Vec<(u32, Vec<Tag>)> = Vec::new();
+        let mut next_owner = 0u32;
+        for step in 0..600 {
+            match next() % 10 {
+                // Insert a fresh owner's set (tags drawn from a small
+                // byte space so buckets collide, spill, and tombstone).
+                0..=5 => {
+                    let owner = next_owner;
+                    next_owner += 1;
+                    let tags: Vec<Tag> =
+                        (0..1 + next() % 6).map(|_| tag((next() % 48) as u8)).collect();
+                    index.insert_all(tags.iter(), owner);
+                    log.extend(tags.iter().map(|&t| (t, owner)));
+                    sets.push((owner, tags));
+                }
+                // Retire a random live owner's whole set.
+                6..=8 if !sets.is_empty() => {
+                    let (owner, tags) = sets.swap_remove((next() as usize) % sets.len());
+                    let removed = index.remove_all(tags.iter(), owner);
+                    assert_eq!(removed, tags.len(), "step {step}");
+                    for t in &tags {
+                        let pos = log
+                            .iter()
+                            .position(|&(lt, lo)| lt == *t && lo == owner)
+                            .expect("logged entry");
+                        log.remove(pos);
+                    }
+                }
+                _ => index.compact(),
+            }
+            if step % 37 == 0 {
+                let mut dense = TagIndex::new();
+                for &(t, o) in &log {
+                    dense.insert(t, o);
+                }
+                assert_eq!(index.entry_count(), dense.entry_count(), "step {step}");
+                for probe in 0..48u8 {
+                    let t = tag(probe);
+                    assert_eq!(index.owners(&t), dense.owners(&t), "step {step} tag {probe}");
+                }
+            }
+        }
     }
 
     #[test]

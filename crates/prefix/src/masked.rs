@@ -21,9 +21,9 @@ use lppa_crypto::tag::{Tag, TagBuildHasher, TAG_LEN};
 use lppa_rng::RngCore;
 
 use crate::error::PrefixError;
-use crate::family::prefix_family;
+use crate::family::prefix_family_into;
 use crate::prefix::{Prefix, MASK_INPUT_LEN};
-use crate::range::{max_cover_len, range_prefixes};
+use crate::range::{max_cover_len, range_prefixes_into};
 
 /// The set type backing masked families and covers.
 ///
@@ -45,8 +45,8 @@ const MASK_CHUNK: usize = 64;
 /// pass) and tags land directly in the result set, so the only heap
 /// allocation is the `TagSet` itself — and the batched kernel amortizes
 /// one SHA-256 message schedule across up to eight prefixes.
-fn mask_all(key: &HmacKey, prefixes: &[Prefix]) -> TagSet {
-    let mut tags = TagSet::with_capacity_and_hasher(prefixes.len(), Default::default());
+fn mask_all_into(key: &HmacKey, prefixes: &[Prefix], tags: &mut TagSet) {
+    tags.reserve(prefixes.len());
     let mut inputs = [[0u8; MASK_INPUT_LEN]; MASK_CHUNK];
     for chunk in prefixes.chunks(MASK_CHUNK) {
         for (input, prefix) in inputs.iter_mut().zip(chunk) {
@@ -56,7 +56,61 @@ fn mask_all(key: &HmacKey, prefixes: &[Prefix]) -> TagSet {
             tags.insert(tag);
         });
     }
-    tags
+}
+
+/// Reusable masking scratch: a pool of retired [`TagSet`]s plus a prefix
+/// staging buffer.
+///
+/// Checked-out sets are *cleared but not shrunk*, so a warm pool serves
+/// every `mask_in`/`mask_padded_in` call without touching the allocator.
+/// Tag sets are unordered and every consumer in the workspace is
+/// iteration-order independent (membership probes, XOR fingerprints,
+/// sorted candidate lists), so a pooled set of any prior capacity is
+/// observationally identical to a fresh one — the arena on/off oracle
+/// invariant holds the whole pipeline to that.
+#[derive(Debug, Default)]
+pub struct MaskScratch {
+    sets: Vec<TagSet>,
+    prefixes: Vec<Prefix>,
+}
+
+impl MaskScratch {
+    /// An empty pool; grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sets currently parked in the pool (diagnostics).
+    pub fn pooled_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Checks out a cleared set, reusing a retired one when available.
+    fn take_set(&mut self) -> TagSet {
+        match self.sets.pop() {
+            Some(mut set) => {
+                set.clear();
+                set
+            }
+            None => TagSet::default(),
+        }
+    }
+
+    /// Parks a set for reuse, keeping its capacity.
+    pub fn reclaim_set(&mut self, mut set: TagSet) {
+        set.clear();
+        self.sets.push(set);
+    }
+
+    /// Retires a masked point, recycling its backing set.
+    pub fn reclaim_point(&mut self, point: MaskedPoint) {
+        self.reclaim_set(point.tags);
+    }
+
+    /// Retires a masked range, recycling its backing set.
+    pub fn reclaim_range(&mut self, range: MaskedRange) {
+        self.reclaim_set(range.tags);
+    }
 }
 
 /// A masked prefix family `H_g(O(G(x)))`: a hidden point.
@@ -87,8 +141,37 @@ impl MaskedPoint {
     ///
     /// Returns [`PrefixError`] if the domain or value is invalid.
     pub fn mask(key: &HmacKey, width: u8, value: u32) -> Result<Self, PrefixError> {
-        let family = prefix_family(width, value)?;
-        Ok(Self { tags: mask_all(key, &family) })
+        Self::mask_in(key, width, value, &mut MaskScratch::new())
+    }
+
+    /// [`MaskedPoint::mask`] staging through `scratch`: the prefix family
+    /// is built in the pooled staging buffer and the tag set is checked
+    /// out of the pool, so a warm scratch masks without allocating. Bits
+    /// are identical to the unpooled path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError`] if the domain or value is invalid.
+    pub fn mask_in(
+        key: &HmacKey,
+        width: u8,
+        value: u32,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, PrefixError> {
+        let mut family = std::mem::take(&mut scratch.prefixes);
+        let built = prefix_family_into(width, value, &mut family);
+        let mut tags = scratch.take_set();
+        if built.is_ok() {
+            mask_all_into(key, &family, &mut tags);
+        }
+        scratch.prefixes = family;
+        match built {
+            Ok(()) => Ok(Self { tags }),
+            Err(err) => {
+                scratch.reclaim_set(tags);
+                Err(err)
+            }
+        }
     }
 
     /// Reconstructs a masked point from raw transmitted tags.
@@ -199,8 +282,36 @@ impl MaskedRange {
     ///
     /// Returns [`PrefixError`] if the domain is invalid or `lo > hi`.
     pub fn mask(key: &HmacKey, width: u8, lo: u32, hi: u32) -> Result<Self, PrefixError> {
-        let cover = range_prefixes(width, lo, hi)?;
-        Ok(Self { tags: mask_all(key, &cover) })
+        Self::mask_in(key, width, lo, hi, &mut MaskScratch::new())
+    }
+
+    /// [`MaskedRange::mask`] staging through `scratch`, allocation-free
+    /// once the pool is warm; see [`MaskedPoint::mask_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError`] if the domain is invalid or `lo > hi`.
+    pub fn mask_in(
+        key: &HmacKey,
+        width: u8,
+        lo: u32,
+        hi: u32,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, PrefixError> {
+        let mut cover = std::mem::take(&mut scratch.prefixes);
+        let built = range_prefixes_into(width, lo, hi, &mut cover);
+        let mut tags = scratch.take_set();
+        if built.is_ok() {
+            mask_all_into(key, &cover, &mut tags);
+        }
+        scratch.prefixes = cover;
+        match built {
+            Ok(()) => Ok(Self { tags }),
+            Err(err) => {
+                scratch.reclaim_set(tags);
+                Err(err)
+            }
+        }
     }
 
     /// Masks the cover of `[lo, hi]` and pads it with random tags to the
@@ -224,7 +335,25 @@ impl MaskedRange {
         hi: u32,
         rng: &mut R,
     ) -> Result<Self, PrefixError> {
-        let mut masked = Self::mask(key, width, lo, hi)?;
+        Self::mask_padded_in(key, width, lo, hi, rng, &mut MaskScratch::new())
+    }
+
+    /// [`MaskedRange::mask_padded`] staging through `scratch`,
+    /// allocation-free once the pool is warm; the padding draws consume
+    /// exactly the RNG stream of the unpooled path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError`] as for [`MaskedRange::mask`].
+    pub fn mask_padded_in<R: RngCore + ?Sized>(
+        key: &HmacKey,
+        width: u8,
+        lo: u32,
+        hi: u32,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<Self, PrefixError> {
+        let mut masked = Self::mask_in(key, width, lo, hi, scratch)?;
         let target = max_cover_len(width);
         while masked.tags.len() < target {
             let mut bytes = [0u8; TAG_LEN];
@@ -232,6 +361,41 @@ impl MaskedRange {
             masked.tags.insert(Tag::from_bytes(bytes));
         }
         Ok(masked)
+    }
+
+    /// Consumes exactly the RNG draws [`mask_padded_in`](Self::mask_padded_in)
+    /// would spend on `[lo, hi]`, without computing any HMAC tag.
+    ///
+    /// A caller holding a still-valid masked range (same key, same
+    /// interval) can skip the re-mask entirely and call this to keep a
+    /// shared RNG stream bit-aligned with a path that does re-mask. The
+    /// draw count is `max_cover_len(width) − |cover(lo, hi)|`: the pad
+    /// loop adds one uniformly random 16-byte tag per iteration, and a
+    /// 128-bit collision with a genuine or earlier pad tag (the only
+    /// event that would cost an extra draw) has probability ≈ 2⁻¹²⁸ —
+    /// below any reachable state, and caught by the arena on/off
+    /// fingerprint oracle if it ever occurred.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError`] as for [`MaskedRange::mask`].
+    pub fn replay_padding_draws<R: RngCore + ?Sized>(
+        width: u8,
+        lo: u32,
+        hi: u32,
+        rng: &mut R,
+        scratch: &mut MaskScratch,
+    ) -> Result<(), PrefixError> {
+        let mut cover = std::mem::take(&mut scratch.prefixes);
+        let built = range_prefixes_into(width, lo, hi, &mut cover);
+        let cover_len = cover.len();
+        scratch.prefixes = cover;
+        built?;
+        for _ in cover_len..max_cover_len(width) {
+            let mut bytes = [0u8; TAG_LEN];
+            rng.fill_bytes(&mut bytes);
+        }
+        Ok(())
     }
 
     /// Reconstructs a masked range from raw transmitted tags.
@@ -279,6 +443,8 @@ impl MaskedRange {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::family::prefix_family;
+    use crate::range::range_prefixes;
     use lppa_rng::rngs::StdRng;
     use lppa_rng::SeedableRng;
 
@@ -302,6 +468,39 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn replay_padding_draws_keeps_streams_aligned() {
+        // After masking a padded range and after merely replaying its
+        // draws, a shared RNG must sit at the same stream position: the
+        // next value drawn from each must agree, for many random ranges
+        // across widths.
+        let k = key(21);
+        let mut seed_rng = StdRng::seed_from_u64(0x5eed);
+        for trial in 0..200u64 {
+            let width = 2 + (trial % 15) as u8;
+            let max = (1u64 << width) - 1;
+            let a = seed_rng.next_u64() % (max + 1);
+            let b = seed_rng.next_u64() % (max + 1);
+            let (lo, hi) = (a.min(b) as u32, a.max(b) as u32);
+            let mut masked_rng = StdRng::seed_from_u64(trial);
+            let mut replay_rng = StdRng::seed_from_u64(trial);
+            MaskedRange::mask_padded(&k, width, lo, hi, &mut masked_rng).unwrap();
+            MaskedRange::replay_padding_draws(
+                width,
+                lo,
+                hi,
+                &mut replay_rng,
+                &mut MaskScratch::new(),
+            )
+            .unwrap();
+            assert_eq!(
+                masked_rng.next_u64(),
+                replay_rng.next_u64(),
+                "stream diverged: w={width} lo={lo} hi={hi}"
+            );
         }
     }
 

@@ -34,6 +34,26 @@ use crate::prefix::{Prefix, MAX_WIDTH};
 /// # }
 /// ```
 pub fn range_prefixes(width: u8, lo: u32, hi: u32) -> Result<Vec<Prefix>, PrefixError> {
+    let mut cover = Vec::new();
+    range_prefixes_into(width, lo, hi, &mut cover)?;
+    Ok(cover)
+}
+
+/// [`range_prefixes`] into a caller-owned buffer: the buffer is cleared
+/// and refilled, retaining its capacity, so pooled callers (the arena
+/// scratch layer) pay zero allocations after warm-up.
+///
+/// # Errors
+///
+/// Returns [`PrefixError`] as for [`range_prefixes`]; on error the
+/// buffer is left cleared.
+pub fn range_prefixes_into(
+    width: u8,
+    lo: u32,
+    hi: u32,
+    out: &mut Vec<Prefix>,
+) -> Result<(), PrefixError> {
+    out.clear();
     if width == 0 || width > MAX_WIDTH {
         return Err(PrefixError::WidthOutOfRange { width });
     }
@@ -43,9 +63,8 @@ pub fn range_prefixes(width: u8, lo: u32, hi: u32) -> Result<Vec<Prefix>, Prefix
     // Validating `hi` suffices since `lo <= hi`.
     Prefix::exact(width, hi)?;
 
-    let mut cover = Vec::new();
-    descend(width, 0, 0, lo, hi, &mut cover);
-    Ok(cover)
+    descend(width, 0, 0, lo, hi, out);
+    Ok(())
 }
 
 /// Recursively walks the prefix trie, emitting maximal fully-contained

@@ -34,6 +34,7 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use lppa::arena::{arena_enabled, MaskScratch, RoundScratch};
 use lppa::protocol::SuSubmission;
 use lppa::ttp::Ttp;
 use lppa::zero_replace::ZeroReplacePolicy;
@@ -161,8 +162,45 @@ impl Member {
     /// Masks this member's submission from its fixed seed — the same
     /// bits no matter when or how often it is built.
     fn build(&self, ttp: &Ttp, policy: &ZeroReplacePolicy) -> Result<SuSubmission, LppaError> {
+        self.build_in(ttp, policy, &mut MaskScratch::new())
+    }
+
+    /// [`build`](Member::build) staging tag sets through a pooled
+    /// [`MaskScratch`]: bit-identical bits, allocation-free once warm.
+    fn build_in(
+        &self,
+        ttp: &Ttp,
+        policy: &ZeroReplacePolicy,
+        scratch: &mut MaskScratch,
+    ) -> Result<SuSubmission, LppaError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        SuSubmission::build(self.location, &self.bids, ttp, policy, &mut rng)
+        SuSubmission::build_in(self.location, &self.bids, ttp, policy, &mut rng, scratch)
+    }
+
+    /// Bid-only rebuild for a revise: reclaims the retired bid half,
+    /// reuses the resident masked location verbatim (same seed + same
+    /// location ⇒ a re-mask would reproduce it bit for bit), and masks
+    /// only the new bids — skipping every location HMAC while staying on
+    /// the exact RNG stream [`build_in`](Member::build_in) would use.
+    fn rebuild_bids_in(
+        &self,
+        resident: SuSubmission,
+        ttp: &Ttp,
+        policy: &ZeroReplacePolicy,
+        scratch: &mut MaskScratch,
+    ) -> Result<SuSubmission, LppaError> {
+        let SuSubmission { location, bids } = resident;
+        bids.reclaim(scratch);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        SuSubmission::rebuild_bids_in(
+            location,
+            self.location,
+            &self.bids,
+            ttp,
+            policy,
+            &mut rng,
+            scratch,
+        )
     }
 }
 
@@ -198,6 +236,14 @@ struct ChurnArea {
     /// `Some` in incremental mode; rebuild mode keeps no resident
     /// masked state.
     engine: Option<IncrementalAuctioneer>,
+    /// Whether this area runs on pooled scratch memory (the
+    /// `LPPA_ARENA` knob, or the explicit [`run_churn_with`] flag).
+    /// Outcome bits are identical either way; only allocator traffic
+    /// differs.
+    arena: bool,
+    /// The area's persistent round scratch: tag-set pool, allocation
+    /// buffers, class vectors and the conflict-matrix backing store.
+    scratch: RoundScratch,
     members: Vec<Member>,
     alloc: SlotAlloc,
     churn_rng: StdRng,
@@ -236,7 +282,7 @@ fn round_fingerprint(n_live: usize, result: &PrivateAuctionResult) -> u64 {
 }
 
 impl ChurnArea {
-    fn new(plan: &AreaPlan, spec: &ChurnSpec, mode: ChurnMode) -> Self {
+    fn new(plan: &AreaPlan, spec: &ChurnSpec, mode: ChurnMode, arena: bool) -> Self {
         Self {
             area: plan.area,
             ttp: plan.ttp.clone(),
@@ -247,6 +293,8 @@ impl ChurnArea {
                 }
                 ChurnMode::Rebuild => None,
             },
+            arena,
+            scratch: RoundScratch::new(),
             members: Vec::new(),
             alloc: SlotAlloc::default(),
             churn_rng: StdRng::seed_from_u64(spec.churn_seed(plan.area)),
@@ -265,7 +313,12 @@ impl ChurnArea {
         let slot = self.alloc.take();
         let member = Member { slot, seed, location, bids };
         if let Some(engine) = &mut self.engine {
-            let got = engine.join(member.build(&self.ttp, &self.policy)?);
+            let sub = if self.arena {
+                member.build_in(&self.ttp, &self.policy, &mut self.scratch.mask)?
+            } else {
+                member.build(&self.ttp, &self.policy)?
+            };
+            let got = engine.join(sub);
             debug_assert_eq!(got, slot, "engine and allocator must agree on slot ids");
         }
         self.members.push(member);
@@ -291,7 +344,13 @@ impl ChurnArea {
             let member = self.members.swap_remove(i);
             self.alloc.release(member.slot);
             if let Some(engine) = &mut self.engine {
-                engine.leave(member.slot);
+                let retired = engine.leave(member.slot);
+                if self.arena {
+                    // A leaver's tag sets re-arm the pool for the
+                    // round's joiners.
+                    retired.reclaim(&mut self.scratch.mask);
+                    self.scratch.charge_clear_slot(member.slot);
+                }
             }
             self.churn_events += 1;
         }
@@ -306,9 +365,26 @@ impl ChurnArea {
             if let Some(engine) = &mut self.engine {
                 // Same member seed + same location ⇒ the re-masked
                 // location part is bit-identical, so the engine takes
-                // the bid-only fast path (no conflict re-probing).
-                let sub = self.members[i].build(&self.ttp, &self.policy)?;
-                engine.revise_bids(self.members[i].slot, sub);
+                // the bid-only fast path (no conflict re-probing). Under
+                // the arena that equality is exploited further: the
+                // resident masked location is moved back in unchanged
+                // and only the bids are re-masked, skipping the
+                // location's HMACs entirely.
+                let slot = self.members[i].slot;
+                if self.arena {
+                    let resident = engine.take_for_revise(slot);
+                    let sub = self.members[i].rebuild_bids_in(
+                        resident,
+                        &self.ttp,
+                        &self.policy,
+                        &mut self.scratch.mask,
+                    )?;
+                    engine.put_revised(slot, sub);
+                    self.scratch.charge_clear_slot(slot);
+                } else {
+                    let sub = self.members[i].build(&self.ttp, &self.policy)?;
+                    engine.revise_bids(slot, sub);
+                }
             }
             self.churn_events += 1;
         }
@@ -323,8 +399,16 @@ impl ChurnArea {
             let slot = self.alloc.take();
             let member = Member { slot, seed, location, bids };
             if let Some(engine) = &mut self.engine {
-                let got = engine.join(member.build(&self.ttp, &self.policy)?);
+                let sub = if self.arena {
+                    member.build_in(&self.ttp, &self.policy, &mut self.scratch.mask)?
+                } else {
+                    member.build(&self.ttp, &self.policy)?
+                };
+                let got = engine.join(sub);
                 debug_assert_eq!(got, slot, "engine and allocator must agree on slot ids");
+                if self.arena {
+                    self.scratch.charge_clear_slot(slot);
+                }
             }
             self.members.push(member);
             self.churn_events += 1;
@@ -340,7 +424,13 @@ impl ChurnArea {
         let mut rng = StdRng::seed_from_u64(round_seed);
 
         let result = match &self.engine {
-            Some(engine) => engine.run_round(&self.ttp, &mut rng)?,
+            Some(engine) => {
+                if self.arena {
+                    engine.run_round_in(&self.ttp, &mut rng, &mut self.scratch)?
+                } else {
+                    engine.run_round(&self.ttp, &mut rng)?
+                }
+            }
             None => {
                 // Rebuild baseline: re-mask every live member, ascending
                 // slot order — the order the engine compacts to.
@@ -360,6 +450,11 @@ impl ChurnArea {
         fold(&mut self.fingerprint, round_fingerprint(self.members.len(), &result));
         self.assignments += result.outcome.assignments().len();
         self.revenue += result.outcome.revenue();
+        if self.arena {
+            // Hand the round's n×n matrix back to the pool for the next
+            // round's conflict graph.
+            self.scratch.recycle_matrix(result.conflicts.into_matrix());
+        }
         Ok(())
     }
 }
@@ -394,6 +489,25 @@ pub fn run_churn(
     n_shards: usize,
     threads: usize,
 ) -> Result<ChurnReport, LppaError> {
+    run_churn_with(spec, mode, n_shards, threads, arena_enabled())
+}
+
+/// [`run_churn`] with an explicit arena flag instead of the
+/// `LPPA_ARENA` environment default: `arena = true` runs every area on
+/// pooled [`RoundScratch`] memory, `false` on fresh allocations. The
+/// report (and its fingerprint) is identical either way — the
+/// `arena_on_off_identical` oracle invariant holds it to that.
+///
+/// # Errors
+///
+/// As for [`run_churn`].
+pub fn run_churn_with(
+    spec: &ChurnSpec,
+    mode: ChurnMode,
+    n_shards: usize,
+    threads: usize,
+    arena: bool,
+) -> Result<ChurnReport, LppaError> {
     let n_shards = n_shards.max(1);
     let plans = spec.workload.plans()?;
     let mut shards: Vec<ChurnShard> = (0..n_shards).map(|_| ChurnShard::default()).collect();
@@ -404,7 +518,7 @@ pub fn run_churn(
     let mut admission: Vec<StdRng> =
         plans.iter().map(|p| StdRng::seed_from_u64(p.seeds.admission)).collect();
     for plan in &plans {
-        shards[shard_of(plan.area, n_shards)].areas.push(ChurnArea::new(plan, spec, mode));
+        shards[shard_of(plan.area, n_shards)].areas.push(ChurnArea::new(plan, spec, mode, arena));
     }
     let mut initial_bidders = 0usize;
     for bidder in spec.workload.bidders() {
@@ -516,6 +630,19 @@ mod tests {
         for (shards, threads) in [(1, 4), (4, 1), (4, 4), (3, 2)] {
             let run = run_churn(&spec, ChurnMode::Incremental, shards, threads).unwrap();
             assert_eq!(run.fingerprint, reference.fingerprint, "shards={shards} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn arena_on_and_off_settle_identically() {
+        let spec = spec(0x0a1e, 3, 24, 4);
+        for mode in [ChurnMode::Incremental, ChurnMode::Rebuild] {
+            let pooled = run_churn_with(&spec, mode, 2, 2, true).unwrap();
+            let fresh = run_churn_with(&spec, mode, 2, 2, false).unwrap();
+            assert!(pooled.errors.is_empty(), "{:?}", pooled.errors);
+            assert_eq!(pooled.fingerprint, fresh.fingerprint, "{mode:?}");
+            assert_eq!(pooled.total_revenue, fresh.total_revenue, "{mode:?}");
+            assert_eq!(pooled.total_assignments, fresh.total_assignments, "{mode:?}");
         }
     }
 
